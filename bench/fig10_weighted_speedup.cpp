@@ -1,0 +1,8 @@
+// Reproduces paper Figure 10: average weighted speedup (arithmetic mean of
+// per-core relative IPC vs. L2P) per workload class.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return snug::bench::run_figure_bench(argc, argv,
+                                       snug::sim::Metric::kAws, "Figure 10");
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Figure 11: fair speedup (harmonic mean of per-core
+// relative IPC vs. L2P) per workload class.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return snug::bench::run_figure_bench(
+      argc, argv, snug::sim::Metric::kFairSpeedup, "Figure 11");
+}

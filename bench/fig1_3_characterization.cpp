@@ -1,0 +1,94 @@
+// Reproduces paper Figures 1-3: the distribution of set-level capacity
+// demand (Formula 5) over 1000 sampling intervals of 100 K L2 accesses,
+// for ammp (Figure 1, strongly non-uniform), vortex (Figure 2, phased)
+// and applu (Figure 3, streaming/uniform).  Prints a sampled series of
+// bucket-size rows plus the time-averaged distribution per benchmark.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/characterize.hpp"
+#include "common/cli.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "trace/synth_stream.hpp"
+
+using namespace snug;
+
+namespace {
+
+void characterize_one(const std::string& bench, std::uint32_t intervals,
+                      std::uint64_t interval_accesses, bool csv) {
+  analysis::CharacterizationConfig cfg;
+  cfg.intervals = intervals;
+  cfg.interval_accesses = interval_accesses;
+
+  trace::StreamConfig scfg;
+  scfg.num_sets = cfg.l2.num_sets();
+  scfg.phase_period_refs =
+      static_cast<std::uint64_t>(intervals) * interval_accesses;
+  scfg.stream_seed = 1;
+  trace::SyntheticStream stream(trace::profile_for(bench), scfg);
+
+  analysis::CharacterizationRunner runner(cfg);
+  const auto result = runner.run_direct(stream);
+
+  std::printf("\n=== %s: set-level capacity demand distribution ===\n",
+              bench.c_str());
+  std::printf("(%u intervals x %llu L2 accesses; %u sets; buckets over "
+              "[1, %u])\n",
+              intervals,
+              static_cast<unsigned long long>(interval_accesses),
+              cfg.l2.num_sets(), cfg.buckets.a_threshold);
+
+  std::vector<std::string> header{"interval"};
+  for (std::uint32_t j = 1; j <= cfg.buckets.num_buckets; ++j) {
+    header.push_back(analysis::bucket_label(j, cfg.buckets));
+  }
+  TextTable table(header);
+  const std::uint32_t step = intervals >= 10 ? intervals / 10 : 1;
+  for (std::uint32_t i = 0; i < intervals; i += step) {
+    std::vector<std::string> row{strf("%u", i + 1)};
+    for (const double f : result.series[i]) {
+      row.push_back(strf("%.1f%%", f * 100.0));
+    }
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> avg_row{"mean"};
+  for (std::uint32_t j = 1; j <= cfg.buckets.num_buckets; ++j) {
+    avg_row.push_back(strf("%.1f%%", result.mean_fraction(j) * 100.0));
+  }
+  table.add_row(std::move(avg_row));
+  std::fputs((csv ? table.render_csv() : table.render()).c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto intervals = static_cast<std::uint32_t>(args.get_int(
+      "intervals", 1000, "sampling intervals (paper: 1000)"));
+  const auto interval_accesses = static_cast<std::uint64_t>(args.get_int(
+      "interval-accesses", 100'000, "L2 accesses per interval (paper: 100000)"));
+  const std::string only =
+      args.get_string("benchmark", "", "characterise just one benchmark");
+  const bool csv = args.get_bool("csv", false, "emit CSV tables");
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+  args.check_unknown();
+
+  std::printf("Figures 1-3: set-level non-uniformity of capacity demand\n");
+  const std::vector<std::string> benches =
+      only.empty() ? std::vector<std::string>{"ammp", "vortex", "applu"}
+                   : std::vector<std::string>{only};
+  for (const auto& b : benches) {
+    characterize_one(b, intervals, interval_accesses, csv);
+  }
+  std::printf(
+      "\nPaper reference points: ammp keeps ~40%% of sets in the 1~4 "
+      "bucket; vortex frees shallow sets between intervals ~405 and ~792; "
+      "applu keeps ~100%% of sets in the 1~4 bucket.\n");
+  return 0;
+}

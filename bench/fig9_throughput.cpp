@@ -1,0 +1,9 @@
+// Reproduces paper Figure 9: CMP throughput (sum of IPCs) of L2S,
+// CC(Best), DSR and SNUG normalised to the private-L2 baseline, per
+// workload class C1..C6 plus the overall average.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return snug::bench::run_figure_bench(
+      argc, argv, snug::sim::Metric::kThroughputNorm, "Figure 9");
+}

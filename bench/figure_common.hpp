@@ -1,0 +1,66 @@
+// Shared harness for the Figure 9/10/11 benches: runs (or loads from the
+// shared disk cache) the full 21-combo x 9-scheme campaign and renders one
+// metric as the paper renders it — per-class geometric means, C1..C6 plus
+// AVG, normalised to L2P.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "sim/figures.hpp"
+
+namespace snug::bench {
+
+inline int run_figure_bench(int argc, char** argv, sim::Metric metric,
+                            const char* figure_name) {
+  CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false, "emit CSV instead of a table");
+  const std::string cache_dir = args.get_string(
+      "cache-dir", sim::default_cache_dir(), "simulation result cache");
+  const bool quiet = args.get_bool("quiet", false, "suppress progress");
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+  args.check_unknown();
+
+  sim::ExperimentRunner runner(sim::paper_system_config(),
+                               sim::default_run_scale(), cache_dir);
+  if (!quiet) {
+    runner.on_progress = [](const std::string& combo,
+                            const std::string& scheme, bool cached) {
+      std::fprintf(stderr, "  [%s] %s %s\n", combo.c_str(), scheme.c_str(),
+                   cached ? "(cached)" : "simulating...");
+    };
+  }
+
+  const sim::CampaignResults results = sim::run_paper_campaign(runner);
+  const sim::FigureSeries fig = sim::assemble_figure(results, metric);
+
+  std::printf("%s — %s\n", figure_name, sim::to_string(metric));
+  std::printf("(geometric means per workload class, normalised to L2P)\n\n");
+  TextTable table({"scheme", "C1", "C2", "C3", "C4", "C5", "C6", "AVG"});
+  for (const auto& scheme : fig.schemes) {
+    std::vector<std::string> row{scheme};
+    for (const double v : fig.values.at(scheme)) {
+      row.push_back(strf("%.3f", v));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs((csv ? table.render_csv() : table.render()).c_str(), stdout);
+
+  const auto& snug_row = fig.values.at("SNUG");
+  const auto& dsr_row = fig.values.at("DSR");
+  std::printf("\nSNUG average gain over L2P: %s (paper: +13.9%% thr / "
+              "+13.0%% AWS / +10.4%% FS)\n",
+              pct(snug_row[6] - 1.0).c_str());
+  std::printf("DSR  average gain over L2P: %s (paper: +8.4%% thr / "
+              "+9.9%% AWS / +6.3%% FS)\n",
+              pct(dsr_row[6] - 1.0).c_str());
+  return 0;
+}
+
+}  // namespace snug::bench

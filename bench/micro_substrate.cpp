@@ -1,0 +1,86 @@
+// Microbenchmarks of the substrate itself (google-benchmark): cache
+// access throughput, LRU-stack profiling, trace generation, and end-to-end
+// simulated cycles per second.  These quantify the cost of the simulation
+// infrastructure, not the paper's results.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "cache/stack_profiler.hpp"
+#include "common/rng.hpp"
+#include "sim/system.hpp"
+#include "trace/synth_stream.hpp"
+
+using namespace snug;
+
+namespace {
+
+void BM_CacheAccess(benchmark::State& state) {
+  const cache::CacheGeometry geo(1 << 20, 16, 64);
+  cache::SetAssocCache l2("bench.l2", geo);
+  Rng rng(42);
+  std::vector<Addr> addrs;
+  for (int i = 0; i < 4096; ++i) {
+    addrs.push_back(geo.addr_of(rng.below(64), static_cast<SetIndex>(
+                                                   rng.below(1024))));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Addr a = addrs[i++ & 4095];
+    const auto res = l2.access_local(a, false);
+    if (!res.hit) l2.fill_local(a, false, 0);
+    benchmark::DoNotOptimize(res.hit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_StackProfiler(benchmark::State& state) {
+  cache::LruStackProfiler profiler(1024, 32);
+  Rng rng(43);
+  for (auto _ : state) {
+    const auto set = static_cast<SetIndex>(rng.below(1024));
+    profiler.access(set, rng.below(24));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StackProfiler);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  trace::StreamConfig cfg;
+  cfg.stream_seed = 7;
+  trace::SyntheticStream stream(trace::profile_for("ammp"), cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.next().addr);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_L2AccessStream(benchmark::State& state) {
+  trace::StreamConfig cfg;
+  cfg.stream_seed = 7;
+  trace::SyntheticStream stream(trace::profile_for("ammp"), cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.next_l2_access());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_L2AccessStream);
+
+void BM_SimulatedCycles(benchmark::State& state) {
+  const trace::WorkloadCombo combo{"bench", 3,
+                                   {"ammp", "parser", "gzip", "mesa"}};
+  sim::RunScale scale;
+  scale.warmup_cycles = 0;
+  scale.measure_cycles = 0;
+  sim::CmpSystem sys(sim::paper_system_config(),
+                     {schemes::SchemeKind::kSNUG, 0}, combo, scale);
+  for (auto _ : state) {
+    sys.run(1024);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_SimulatedCycles)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,50 @@
+// Reproduces paper Table 2 (field lengths of the SNUG structures for the
+// Table 4 configuration) and Table 3 (storage overhead across address
+// width x line size corners) from the Formula (6) model.
+#include <cstdio>
+
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "core/overhead.hpp"
+
+using namespace snug;
+
+int main() {
+  std::printf("Table 2: SNUG field lengths (1 MB, 16-way, 64 B lines, "
+              "32-bit addresses)\n\n");
+  const core::OverheadBreakdown b =
+      core::compute_overhead(core::OverheadParams{});
+  TextTable fields({"field", "value"});
+  fields.add_row({"cache sets", strf("%u", b.num_sets)});
+  fields.add_row({"tag field", strf("%u bits", b.tag_bits)});
+  fields.add_row({"LRU field", strf("%u bits", b.lru_bits)});
+  fields.add_row({"CC, f, v, d", "1 bit each"});
+  fields.add_row({"saturating counter k", "4 bits"});
+  fields.add_row({"mod-p divider (p=8)", "3 bits"});
+  fields.add_row({"L2 line", strf("%llu bits",
+                                  (unsigned long long)b.l2_line_bits)});
+  fields.add_row({"shadow entry", strf("%llu bits",
+                                       (unsigned long long)b.shadow_entry_bits)});
+  fields.add_row({"shadow set total", strf("%llu bits",
+                                           (unsigned long long)b.shadow_set_bits)});
+  fields.add_row({"storage overhead", pct(b.overhead)});
+  std::fputs(fields.render().c_str(), stdout);
+
+  std::printf("\nTable 3: storage overhead by address width and line size "
+              "(1 MB, 16-way)\n\n");
+  TextTable t3({"line size", "32-bit address", "64-bit address (44 used)",
+                "paper 32-bit", "paper 64-bit"});
+  for (const std::uint32_t line : {64U, 128U}) {
+    core::OverheadParams p32;
+    p32.line_bytes = line;
+    core::OverheadParams p64 = p32;
+    p64.address_bits = 44;
+    const double o32 = core::compute_overhead(p32).overhead;
+    const double o64 = core::compute_overhead(p64).overhead;
+    t3.add_row({strf("%uB", line), strf("%.1f%%", o32 * 100),
+                strf("%.1f%%", o64 * 100), line == 64 ? "3.9%" : "2.1%",
+                line == 64 ? "5.8%" : "3.1%"});
+  }
+  std::fputs(t3.render().c_str(), stdout);
+  return 0;
+}

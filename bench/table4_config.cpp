@@ -1,0 +1,59 @@
+// Prints the simulated system configuration next to the paper's Table 4,
+// including the scaled SNUG epochs and run windows actually used.
+#include <cstdio>
+
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "sim/config.hpp"
+
+using namespace snug;
+
+int main() {
+  const sim::SystemConfig cfg = sim::paper_system_config();
+  const sim::RunScale scale = sim::default_run_scale();
+
+  std::printf("Table 4: simulator configuration (paper vs. this build)\n\n");
+  TextTable t({"parameter", "paper", "this build"});
+  t.add_row({"processors", "4", strf("%u", cfg.num_cores)});
+  t.add_row({"issue/commit", "8/8", strf("%u/%u", cfg.core.issue_width,
+                                         cfg.core.issue_width)});
+  t.add_row({"RUU (ROB)", "128", strf("%u", cfg.core.rob_entries)});
+  t.add_row({"LSQ", "64", strf("%u", cfg.core.lsq_entries)});
+  t.add_row({"branch penalty", "3 cycles",
+             strf("%llu cycles",
+                  (unsigned long long)cfg.core.branch_penalty)});
+  t.add_row({"L1 I/D", "4-way 32KB 64B, 1 cycle",
+             strf("%u-way %lluKB %uB, 1 cycle", cfg.l1d.associativity(),
+                  (unsigned long long)(cfg.l1d.capacity_bytes() >> 10),
+                  cfg.l1d.line_bytes())});
+  const auto& l2 = cfg.scheme_ctx.priv.l2;
+  t.add_row({"L2 slice", "16-way 1MB 64B, 10 cycles local",
+             strf("%u-way %lluMB %uB, 10 cycles local", l2.associativity(),
+                  (unsigned long long)(l2.capacity_bytes() >> 20),
+                  l2.line_bytes())});
+  t.add_row({"remote L2 (CC/DSR)", "30 cycles", "30 cycles"});
+  t.add_row({"remote L2 (SNUG)", "40 cycles", "40 cycles"});
+  t.add_row({"snoop bus", "16B split, 4:1, 1-cycle arb",
+             strf("%uB split, %u:1, %u-cycle arb", cfg.bus.width_bytes,
+                  cfg.bus.speed_ratio, cfg.bus.arb_cycles)});
+  t.add_row({"DRAM latency", "300 cycles",
+             strf("%llu cycles", (unsigned long long)cfg.dram.latency)});
+  t.add_row({"L2 write buffer", "16x64B FIFO, mergeable, direct read",
+             strf("%ux64B FIFO, mergeable, direct read",
+                  cfg.scheme_ctx.priv.wbb.entries)});
+  t.add_row({"SNUG identify epoch", "5M cycles",
+             strf("%lluM cycles (scaled)",
+                  (unsigned long long)(cfg.scheme_ctx.snug.epochs
+                                           .identify_cycles / 1'000'000))});
+  t.add_row({"SNUG group epoch", "100M cycles",
+             strf("%lluM cycles (scaled)",
+                  (unsigned long long)(cfg.scheme_ctx.snug.epochs
+                                           .group_cycles / 1'000'000))});
+  t.add_row({"fast-forward / measure", "6G / 3G cycles",
+             strf("%lluM / %lluM cycles (scaled)",
+                  (unsigned long long)(scale.warmup_cycles / 1'000'000),
+                  (unsigned long long)(scale.measure_cycles / 1'000'000))});
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\nSet SNUG_FULL_SCALE=1 for paper-scale epochs and windows.\n");
+  return 0;
+}

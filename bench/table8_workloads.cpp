@@ -1,0 +1,47 @@
+// Reproduces paper Tables 6-8: benchmark classification, workload
+// combination classes, and the 21 quad-core combinations, validated
+// against the synthetic profile registry.
+#include <cstdio>
+
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "trace/profile.hpp"
+#include "trace/workloads.hpp"
+
+using namespace snug;
+
+int main() {
+  std::printf("Table 6: workload classification\n\n");
+  TextTable t6({"class", "app-level demand", "set-level demand",
+                "applications", "footprint check"});
+  const auto row_for = [&](char cls, const char* app, const char* set) {
+    std::string names;
+    std::string checks;
+    for (const auto& name : trace::benchmarks_in_class(cls)) {
+      const auto& p = trace::profile_for(name);
+      if (!names.empty()) names += ", ";
+      names += name;
+      if (!checks.empty()) checks += ", ";
+      checks += strf("%.2fMB", p.footprint_bytes(1024, 64) / (1 << 20));
+    }
+    t6.add_row({std::string(1, cls), app, set, names, checks});
+  };
+  row_for('A', "> 1MB", "non-uniform");
+  row_for('B', "< 1MB", "non-uniform");
+  row_for('C', "> 1MB", "uniform");
+  row_for('D', "< 1MB", "uniform");
+  std::fputs(t6.render().c_str(), stdout);
+
+  std::printf("\nTable 7/8: the 21 workload combinations\n\n");
+  TextTable t8({"class", "description", "combination"});
+  for (int cls = 1; cls <= 6; ++cls) {
+    for (const auto& combo : trace::combos_in_class(cls)) {
+      t8.add_row({strf("C%d", cls), trace::class_description(cls),
+                  combo.name});
+    }
+  }
+  std::fputs(t8.render().c_str(), stdout);
+  std::printf("\n%zu combinations in total (paper: 21).\n",
+              trace::all_combos().size());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Characterise the set-level capacity demand of any built-in benchmark —
+// the measurement methodology behind the paper's Figures 1-3.
+//
+//   $ ./characterize_workload --benchmark=vortex --intervals=40
+//
+// Prints, per sampling interval, the fraction of L2 sets whose
+// block_required (Formula 3) falls into each of the 8 paper buckets.
+#include <cstdio>
+
+#include "analysis/characterize.hpp"
+#include "common/cli.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "trace/synth_stream.hpp"
+
+using namespace snug;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string bench =
+      args.get_string("benchmark", "ammp", "benchmark to characterise");
+  const auto intervals = static_cast<std::uint32_t>(
+      args.get_int("intervals", 20, "number of sampling intervals"));
+  const auto accesses = static_cast<std::uint64_t>(args.get_int(
+      "interval-accesses", 100'000, "L2 accesses per interval"));
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    std::printf("\navailable benchmarks:");
+    for (const auto& p : trace::all_profiles()) {
+      std::printf(" %s", p.name.c_str());
+    }
+    std::printf("\n");
+    return 0;
+  }
+  args.check_unknown();
+
+  analysis::CharacterizationConfig cfg;
+  cfg.intervals = intervals;
+  cfg.interval_accesses = accesses;
+
+  trace::StreamConfig scfg;
+  scfg.num_sets = cfg.l2.num_sets();
+  scfg.phase_period_refs = static_cast<std::uint64_t>(intervals) * accesses;
+  trace::SyntheticStream stream(trace::profile_for(bench), scfg);
+
+  analysis::CharacterizationRunner runner(cfg);
+  const auto result = runner.run_direct(stream);
+
+  std::printf("%s: distribution of block_required over %u intervals\n\n",
+              bench.c_str(), intervals);
+  std::vector<std::string> header{"interval"};
+  for (std::uint32_t j = 1; j <= cfg.buckets.num_buckets; ++j) {
+    header.push_back(analysis::bucket_label(j, cfg.buckets));
+  }
+  TextTable table(header);
+  for (std::uint32_t i = 0; i < intervals; ++i) {
+    std::vector<std::string> row{strf("%u", i + 1)};
+    for (const double f : result.series[i]) {
+      row.push_back(strf("%.1f%%", f * 100));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const auto& profile = trace::profile_for(bench);
+  std::printf("\nTable 6 class: %c  |  footprint %.2f MB  |  %s\n",
+              profile.app_class,
+              profile.footprint_bytes(1024, 64) / (1 << 20),
+              profile.set_level_nonuniform()
+                  ? "set-level NON-UNIFORM"
+                  : "set-level uniform");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Compare all five L2 organisations on one workload combination and print
+// the paper's three metrics.
+//
+//   $ ./scheme_comparison --combo=4xammp
+//   $ ./scheme_comparison --combo=ammp+parser+swim+mesa
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "sim/figures.hpp"
+#include "sim/runner.hpp"
+
+using namespace snug;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string combo_name =
+      args.get_string("combo", "4xammp", "workload combination (Table 8)");
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    std::printf("\navailable combos:\n");
+    for (const auto& c : trace::all_combos()) {
+      std::printf("  %s (C%d)\n", c.name.c_str(), c.combo_class);
+    }
+    return 0;
+  }
+  args.check_unknown();
+
+  const trace::WorkloadCombo* combo = nullptr;
+  for (const auto& c : trace::all_combos()) {
+    if (c.name == combo_name) combo = &c;
+  }
+  if (combo == nullptr) {
+    std::fprintf(stderr, "unknown combo '%s' (try --help)\n",
+                 combo_name.c_str());
+    return 1;
+  }
+
+  sim::ExperimentRunner runner(sim::paper_system_config(),
+                               sim::default_run_scale());
+  runner.on_progress = [](const std::string& c, const std::string& s,
+                          bool cached) {
+    std::fprintf(stderr, "  %s / %s %s\n", c.c_str(), s.c_str(),
+                 cached ? "(cached)" : "simulating...");
+  };
+  const auto results = runner.run_combo_grid(*combo);
+  const auto& base = results.at("L2P").ipc;
+
+  std::printf("\n%s (class C%d): all schemes vs the L2P baseline\n\n",
+              combo->name.c_str(), combo->combo_class);
+  TextTable t({"scheme", "throughput", "avg weighted speedup",
+               "fair speedup"});
+  for (const auto& [id, r] : results) {
+    t.add_row({id,
+               strf("%.4f", sim::metric_value(sim::Metric::kThroughputNorm,
+                                              r.ipc, base)),
+               strf("%.4f", sim::metric_value(sim::Metric::kAws, r.ipc,
+                                              base)),
+               strf("%.4f", sim::metric_value(sim::Metric::kFairSpeedup,
+                                              r.ipc, base))});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\nCC(Best) for this combo (throughput): %.4f\n",
+              sim::cc_best_value(results, sim::Metric::kThroughputNorm));
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "analysis/capacity.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/require.hpp"
+#include "common/str.hpp"
+
+namespace snug::analysis {
+
+std::uint32_t bucket_of_demand(std::uint32_t demand,
+                               const BucketingConfig& cfg) {
+  SNUG_REQUIRE(is_pow2(cfg.a_threshold));
+  SNUG_REQUIRE(is_pow2(cfg.num_buckets));
+  SNUG_REQUIRE(demand >= 1);
+  const std::uint32_t width = cfg.a_threshold / cfg.num_buckets;
+  std::uint32_t j = (demand - 1) / width + 1;
+  if (j > cfg.num_buckets) j = cfg.num_buckets;  // clamp (">=" last bucket)
+  return j;
+}
+
+std::pair<std::uint32_t, std::uint32_t> bucket_range(
+    std::uint32_t j, const BucketingConfig& cfg) {
+  SNUG_REQUIRE(j >= 1 && j <= cfg.num_buckets);
+  const std::uint32_t width = cfg.a_threshold / cfg.num_buckets;
+  return {(j - 1) * width + 1, j * width};
+}
+
+std::string bucket_label(std::uint32_t j, const BucketingConfig& cfg) {
+  const auto [lo, hi] = bucket_range(j, cfg);
+  if (j == cfg.num_buckets) return strf(">=%u", lo);
+  return strf("%u~%u", lo, hi);
+}
+
+std::vector<std::uint32_t> demand_per_set(
+    const cache::LruStackProfiler& profiler) {
+  std::vector<std::uint32_t> out(profiler.num_sets());
+  for (SetIndex s = 0; s < profiler.num_sets(); ++s) {
+    out[s] = profiler.block_required(s);
+  }
+  return out;
+}
+
+std::vector<double> size_buckets(const cache::LruStackProfiler& profiler,
+                                 const BucketingConfig& cfg) {
+  std::vector<double> fractions(cfg.num_buckets, 0.0);
+  const std::uint32_t n = profiler.num_sets();
+  for (SetIndex s = 0; s < n; ++s) {
+    const std::uint32_t j = bucket_of_demand(profiler.block_required(s), cfg);
+    fractions[j - 1] += 1.0;
+  }
+  for (auto& f : fractions) f /= static_cast<double>(n);
+  return fractions;
+}
+
+}  // namespace snug::analysis

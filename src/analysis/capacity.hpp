@@ -1,0 +1,50 @@
+// The paper's Section 2 capacity-demand quantification, Formulas (1)-(5).
+//
+// Formula (3) [equivalent to (1)/(2) under the LRU stack property]:
+//   block_required(S, I) = min A  s.t.
+//       hit_count(S,I,A) == hit_count(S,I,A_threshold)
+//
+// Formula (4): SF(S, I, bucket_j) = 1 iff block_required(S,I) in bucket_j.
+// Formula (5): size_bucket_j(I)  = (1/N) * sum_S SF(S, I, bucket_j).
+//
+// The hit counts come from a cache::LruStackProfiler; this header adds the
+// bucket machinery and the per-interval distribution used by Figures 1-3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/stack_profiler.hpp"
+#include "common/types.hpp"
+
+namespace snug::analysis {
+
+struct BucketingConfig {
+  std::uint32_t a_threshold = 32;  ///< 2 x A_baseline (paper Section 2.2)
+  std::uint32_t num_buckets = 8;   ///< M; both powers of two
+};
+
+/// bucket_j of Formula (4): the 1-based bucket index of a demand value.
+[[nodiscard]] std::uint32_t bucket_of_demand(std::uint32_t demand,
+                                             const BucketingConfig& cfg);
+
+/// Inclusive demand range [lo, hi] of 1-based bucket j.
+[[nodiscard]] std::pair<std::uint32_t, std::uint32_t> bucket_range(
+    std::uint32_t j, const BucketingConfig& cfg);
+
+/// Legend label matching the paper's figures ("1~4", ..., ">=29").
+[[nodiscard]] std::string bucket_label(std::uint32_t j,
+                                       const BucketingConfig& cfg);
+
+/// Formula (5) over a finished interval of `profiler`: the fraction of
+/// sets whose block_required falls in each bucket (sums to 1).
+[[nodiscard]] std::vector<double> size_buckets(
+    const cache::LruStackProfiler& profiler, const BucketingConfig& cfg);
+
+/// block_required for every set (Formula 3 per set).
+[[nodiscard]] std::vector<std::uint32_t> demand_per_set(
+    const cache::LruStackProfiler& profiler);
+
+}  // namespace snug::analysis

@@ -1,0 +1,76 @@
+#include "analysis/characterize.hpp"
+
+#include "cache/stack_profiler.hpp"
+#include "common/require.hpp"
+
+namespace snug::analysis {
+
+double CharacterizationResult::mean_fraction(std::uint32_t bucket_j) const {
+  SNUG_REQUIRE(bucket_j >= 1);
+  double sum = 0.0;
+  for (const auto& row : series) {
+    SNUG_REQUIRE(bucket_j <= row.size());
+    sum += row[bucket_j - 1];
+  }
+  return series.empty() ? 0.0 : sum / static_cast<double>(series.size());
+}
+
+CharacterizationRunner::CharacterizationRunner(
+    const CharacterizationConfig& cfg)
+    : cfg_(cfg) {
+  SNUG_REQUIRE(cfg.intervals >= 1);
+  SNUG_REQUIRE(cfg.interval_accesses >= 1);
+}
+
+CharacterizationResult CharacterizationRunner::run_direct(
+    trace::SyntheticStream& stream) {
+  cache::LruStackProfiler profiler(cfg_.l2.num_sets(),
+                                   cfg_.buckets.a_threshold);
+  CharacterizationResult result;
+  result.series.reserve(cfg_.intervals);
+  for (std::uint32_t i = 0; i < cfg_.intervals; ++i) {
+    for (std::uint64_t k = 0; k < cfg_.interval_accesses; ++k) {
+      const Addr a = stream.next_l2_access();
+      profiler.access(cfg_.l2.set_of(a), cfg_.l2.tag_of(a));
+    }
+    result.total_l2_accesses += cfg_.interval_accesses;
+    result.series.push_back(size_buckets(profiler, cfg_.buckets));
+    profiler.begin_interval();
+  }
+  return result;
+}
+
+CharacterizationResult CharacterizationRunner::run(
+    trace::InstrStream& stream) {
+  cache::LruStackProfiler profiler(cfg_.l2.num_sets(),
+                                   cfg_.buckets.a_threshold);
+  cache::SetAssocCache l1("char.l1d", cfg_.l1d);
+
+  CharacterizationResult result;
+  result.series.reserve(cfg_.intervals);
+
+  std::uint64_t interval_count = 0;
+  while (result.series.size() < cfg_.intervals) {
+    const trace::Instr instr = stream.next();
+    if (instr.kind != trace::InstrKind::kLoad &&
+        instr.kind != trace::InstrKind::kStore) {
+      continue;
+    }
+    if (cfg_.filter_l1) {
+      const bool is_write = instr.kind == trace::InstrKind::kStore;
+      if (l1.access_local(instr.addr, is_write).hit) continue;
+      l1.fill_local(l1.geometry().block_of(instr.addr), is_write, 0);
+    }
+    // The reference reached the L2: profile it.
+    profiler.access(cfg_.l2.set_of(instr.addr), cfg_.l2.tag_of(instr.addr));
+    ++result.total_l2_accesses;
+    if (++interval_count >= cfg_.interval_accesses) {
+      result.series.push_back(size_buckets(profiler, cfg_.buckets));
+      profiler.begin_interval();
+      interval_count = 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace snug::analysis

@@ -1,0 +1,63 @@
+// CharacterizationRunner — the paper's Section 2.2 methodology:
+//
+//   run a benchmark through L1 into an L2-geometry LRU-stack profiler of
+//   depth A_threshold = 2 x A_baseline = 32; after every sampling interval
+//   of `interval_accesses` L2 accesses, record the distribution of
+//   block_required over the 8 buckets (Formula 5).
+//
+// Driving a synthetic benchmark through this runner regenerates the
+// Figure 1/2/3 stacked-area series (one row per interval).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/capacity.hpp"
+#include "cache/cache.hpp"
+#include "trace/instr.hpp"
+#include "trace/synth_stream.hpp"
+
+namespace snug::analysis {
+
+struct CharacterizationConfig {
+  cache::CacheGeometry l2{1 << 20, 16, 64};   ///< 1024 sets (Table 4)
+  cache::CacheGeometry l1d{32 << 10, 4, 64};  ///< filter, as in sim-cache
+  BucketingConfig buckets;
+  std::uint32_t intervals = 1000;              ///< paper: 1000
+  std::uint64_t interval_accesses = 100'000;   ///< paper: 100'000
+  bool filter_l1 = true;
+};
+
+struct CharacterizationResult {
+  /// [interval][bucket] -> fraction of sets (each row sums to 1).
+  std::vector<std::vector<double>> series;
+  std::uint64_t total_l2_accesses = 0;
+
+  /// Time-average fraction for one bucket across all intervals.
+  [[nodiscard]] double mean_fraction(std::uint32_t bucket_j) const;
+};
+
+class CharacterizationRunner {
+ public:
+  explicit CharacterizationRunner(const CharacterizationConfig& cfg);
+
+  /// Consumes the full instruction stream (computes, branches, loads,
+  /// stores), filtering data references through the L1, until `intervals`
+  /// sampling intervals complete — the exact sim-cache methodology.
+  CharacterizationResult run(trace::InstrStream& stream);
+
+  /// Fast path for the figure benches: consumes the generator's L2-bound
+  /// access sequence directly (the post-L1 stream by construction),
+  /// skipping compute/L1-filler generation.  Equivalent demand series at a
+  /// fraction of the cost.
+  CharacterizationResult run_direct(trace::SyntheticStream& stream);
+
+  [[nodiscard]] const CharacterizationConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  CharacterizationConfig cfg_;
+};
+
+}  // namespace snug::analysis

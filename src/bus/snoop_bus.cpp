@@ -1,0 +1,84 @@
+#include "bus/snoop_bus.hpp"
+
+#include <algorithm>
+
+#include "common/bitutil.hpp"
+#include "common/require.hpp"
+
+namespace snug::bus {
+
+SnoopBus::SnoopBus(const BusConfig& cfg) : cfg_(cfg) {
+  SNUG_REQUIRE(cfg.width_bytes >= 1);
+  SNUG_REQUIRE(cfg.speed_ratio >= 1);
+  SNUG_REQUIRE(cfg.block_bytes >= cfg.width_bytes);
+}
+
+Cycle SnoopBus::duration(BusOp op) const noexcept {
+  const std::uint64_t data_beats =
+      ceil_div(cfg_.block_bytes, cfg_.width_bytes);
+  std::uint64_t bus_cycles = cfg_.arb_cycles;
+  switch (op) {
+    case BusOp::kRequest:
+      bus_cycles += 1;
+      break;
+    case BusOp::kDataBlock:
+      bus_cycles += data_beats;
+      break;
+    case BusOp::kSpill:
+      bus_cycles += 1 + data_beats;
+      break;
+  }
+  return bus_cycles * cfg_.speed_ratio;
+}
+
+void SnoopBus::prune(Cycle now) {
+  // Intervals that ended well in the past can never conflict with new
+  // transactions (grants are always at/after `now`, which only grows
+  // within a run; retire anything ending before the oldest time a caller
+  // could still name).
+  const Cycle horizon = now > 4096 ? now - 4096 : 0;
+  if (horizon <= prune_before_) return;
+  std::size_t keep = 0;
+  while (keep < busy_.size() && busy_[keep].end < horizon) ++keep;
+  if (keep > 0) busy_.erase(busy_.begin(), busy_.begin() + static_cast<std::ptrdiff_t>(keep));
+  prune_before_ = horizon;
+}
+
+BusGrant SnoopBus::transact(Cycle now, BusOp op) {
+  switch (op) {
+    case BusOp::kRequest:
+      ++stats_.requests;
+      break;
+    case BusOp::kDataBlock:
+      ++stats_.data_blocks;
+      break;
+    case BusOp::kSpill:
+      ++stats_.spills;
+      break;
+  }
+  prune(now);
+  const Cycle dur = duration(op);
+
+  // First-fit: earliest gap at/after `now` that holds `dur` cycles.
+  Cycle t = now;
+  std::size_t insert_pos = 0;
+  for (; insert_pos < busy_.size(); ++insert_pos) {
+    const Interval& iv = busy_[insert_pos];
+    if (t + dur <= iv.start) break;  // fits entirely before this tenure
+    if (iv.end > t) t = iv.end;      // pushed past this tenure
+  }
+  busy_.insert(busy_.begin() + static_cast<std::ptrdiff_t>(insert_pos),
+               Interval{t, t + dur});
+
+  stats_.wait_core_cycles += t - now;
+  stats_.busy_core_cycles += dur;
+  return {t, t + dur};
+}
+
+double SnoopBus::utilisation(Cycle horizon) const noexcept {
+  if (horizon == 0) return 0.0;
+  return static_cast<double>(stats_.busy_core_cycles) /
+         static_cast<double>(horizon);
+}
+
+}  // namespace snug::bus

@@ -1,0 +1,95 @@
+// Snoop bus model (paper Table 4): 16-byte-wide split-transaction bus
+// running at a 4:1 core:bus clock ratio, with 1 bus cycle of arbitration
+// per transaction.
+//
+// Transactions occupy the bus serially:
+//   address-only (retrieve/spill request broadcast)  arb + 1 bus cycle
+//   data transfer (64 B block)                       arb + 4 bus cycles
+//   spill (address + data together)                  arb + 5 bus cycles
+// Durations convert to core cycles via the speed ratio.  A transaction
+// requested at cycle `now` is granted at max(now, bus free) — the queueing
+// delay is how spill traffic taxes everyone, which is exactly why
+// indiscriminate eviction-driven CC can lose (paper Section 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace snug::bus {
+
+enum class BusOp : std::uint8_t {
+  kRequest,    ///< address-only broadcast (retrieve or spill probe)
+  kDataBlock,  ///< 64 B data transfer (response, fill, write-back)
+  kSpill,      ///< spill: address + 64 B victim data in one transaction
+};
+
+struct BusConfig {
+  std::uint32_t width_bytes = 16;
+  std::uint32_t speed_ratio = 4;  ///< core cycles per bus cycle
+  std::uint32_t arb_cycles = 1;   ///< bus cycles of arbitration
+  std::uint32_t block_bytes = 64;
+};
+
+struct BusStats {
+  std::uint64_t requests = 0;
+  std::uint64_t data_blocks = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t busy_core_cycles = 0;
+  std::uint64_t wait_core_cycles = 0;  ///< total grant queueing delay
+};
+
+/// Completion information for one transaction.
+struct BusGrant {
+  Cycle granted = 0;   ///< cycle the bus was acquired
+  Cycle finished = 0;  ///< cycle the transaction left the bus
+};
+
+/// Split-transaction semantics: the request and its data return are
+/// independent bus tenures, and the bus is FREE between them (e.g. during
+/// the DRAM access).  Because data returns are scheduled in the future,
+/// the bus keeps a short list of busy intervals and grants each new
+/// transaction the first gap that fits (first-fit, earliest-first) — a
+/// single monotone cursor would wrongly hold the bus across memory
+/// latency and serialise the whole CMP.
+class SnoopBus {
+ public:
+  explicit SnoopBus(const BusConfig& cfg);
+
+  /// Schedules a transaction at/after `now` into the earliest free gap.
+  BusGrant transact(Cycle now, BusOp op);
+
+  /// Transaction duration in core cycles (arbitration included).
+  [[nodiscard]] Cycle duration(BusOp op) const noexcept;
+
+  [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = BusStats{}; }
+  void reset(Cycle now = 0) noexcept {
+    busy_.clear();
+    prune_before_ = now;
+  }
+
+  /// Bus utilisation over [0, horizon).
+  [[nodiscard]] double utilisation(Cycle horizon) const noexcept;
+
+  /// Number of tracked busy intervals (bounded by pruning; for tests).
+  [[nodiscard]] std::size_t tracked_intervals() const noexcept {
+    return busy_.size();
+  }
+
+ private:
+  struct Interval {
+    Cycle start;
+    Cycle end;
+  };
+
+  void prune(Cycle now);
+
+  BusConfig cfg_;
+  std::vector<Interval> busy_;  ///< sorted by start, non-overlapping
+  Cycle prune_before_ = 0;
+  BusStats stats_;
+};
+
+}  // namespace snug::bus

@@ -1,0 +1,152 @@
+#include "cache/cache.hpp"
+
+#include "common/require.hpp"
+
+namespace snug::cache {
+
+SetAssocCache::SetAssocCache(std::string name, const CacheGeometry& geo,
+                             ReplacementKind repl, Rng* rng)
+    : name_(std::move(name)), geo_(geo) {
+  sets_.reserve(geo_.num_sets());
+  for (std::uint32_t s = 0; s < geo_.num_sets(); ++s) {
+    sets_.emplace_back(geo_.associativity(), repl, rng);
+  }
+}
+
+AccessResult SetAssocCache::access_local(Addr addr, bool is_write) {
+  const SetIndex s = geo_.set_of(addr);
+  const std::uint64_t tag = geo_.tag_of(addr);
+  CacheSet& set = sets_[s];
+  ++stats_.accesses;
+  const WayIndex w = set.find_local(tag);
+  if (w == kInvalidWay) {
+    ++stats_.misses;
+    return {false, s, kInvalidWay};
+  }
+  ++stats_.hits;
+  set.touch(w);
+  if (is_write) set.line_mut(w).dirty = true;
+  return {true, s, w};
+}
+
+AccessResult SetAssocCache::probe_local(Addr addr) const {
+  const SetIndex s = geo_.set_of(addr);
+  const WayIndex w = sets_[s].find_local(geo_.tag_of(addr));
+  return {w != kInvalidWay, s, w};
+}
+
+Eviction SetAssocCache::fill_local(Addr addr, bool dirty, CoreId owner) {
+  const SetIndex s = geo_.set_of(addr);
+  CacheSet& set = sets_[s];
+  SNUG_REQUIRE(set.find_local(geo_.tag_of(addr)) == kInvalidWay);
+  const WayIndex victim = set.choose_victim();
+  CacheLine incoming;
+  incoming.tag = geo_.tag_of(addr);
+  incoming.valid = true;
+  incoming.dirty = dirty;
+  incoming.cc = false;
+  incoming.flipped = false;
+  incoming.owner = owner;
+  const CacheLine displaced = set.fill(victim, incoming);
+  ++stats_.fills;
+  if (displaced.valid) {
+    if (displaced.cc) {
+      ++stats_.evict_cc;
+    } else if (displaced.dirty) {
+      ++stats_.evict_dirty;
+    } else {
+      ++stats_.evict_clean;
+    }
+  }
+  return {displaced, s};
+}
+
+Eviction SetAssocCache::insert_cc(Addr addr, CoreId owner, bool flipped,
+                                  bool demoted) {
+  const SetIndex home = geo_.set_of(addr);
+  const SetIndex target = flipped ? geo_.buddy_set(home) : home;
+  CacheSet& set = sets_[target];
+  // Only clean blocks are spilled (Section 3.3, restriction 1), and a block
+  // is never spilled while the owner still holds it, so no duplicate can
+  // legally exist here.
+  SNUG_REQUIRE(set.find_cc(geo_.tag_of(addr), flipped) == kInvalidWay);
+  // Plain LRU victim choice: guests claim stale host lines progressively
+  // and age out naturally.  (choose_victim_prefer_guests is the
+  // replica-first ablation; measurements showed plain LRU hosts guests
+  // better when hosts hold dead-but-valid lines.)
+  const WayIndex victim = set.choose_victim();
+  CacheLine incoming;
+  incoming.tag = geo_.tag_of(addr);
+  incoming.valid = true;
+  incoming.dirty = false;
+  incoming.cc = true;
+  incoming.flipped = flipped;
+  incoming.owner = owner;
+  const CacheLine displaced = demoted ? set.fill_demoted(victim, incoming)
+                                      : set.fill(victim, incoming);
+  ++stats_.cc_inserted;
+  if (displaced.valid) {
+    if (displaced.cc) {
+      ++stats_.evict_cc;
+    } else if (displaced.dirty) {
+      ++stats_.evict_dirty;
+    } else {
+      ++stats_.evict_clean;
+    }
+  }
+  return {displaced, target};
+}
+
+CcLocation SetAssocCache::lookup_cc(Addr addr) const {
+  const SetIndex home = geo_.set_of(addr);
+  const std::uint64_t tag = geo_.tag_of(addr);
+  // Placement 1: home set, f == 0.
+  WayIndex w = sets_[home].find_cc(tag, /*flipped=*/false);
+  if (w != kInvalidWay) return {true, home, w, false};
+  // Placement 2: buddy set, f == 1.
+  const SetIndex buddy = geo_.buddy_set(home);
+  w = sets_[buddy].find_cc(tag, /*flipped=*/true);
+  if (w != kInvalidWay) return {true, buddy, w, true};
+  return {};
+}
+
+void SetAssocCache::forward_and_invalidate(const CcLocation& loc) {
+  SNUG_REQUIRE(loc.found);
+  CacheSet& set = sets_[loc.set];
+  SNUG_REQUIRE(set.line(loc.way).valid && set.line(loc.way).cc);
+  set.invalidate(loc.way);
+  ++stats_.cc_forwarded;
+  ++stats_.cc_invalidated;
+}
+
+void SetAssocCache::invalidate(SetIndex s, WayIndex way) {
+  SNUG_REQUIRE(s < sets_.size());
+  if (sets_[s].line(way).cc) ++stats_.cc_invalidated;
+  sets_[s].invalidate(way);
+}
+
+void SetAssocCache::invalidate_all() {
+  for (auto& set : sets_) {
+    for (WayIndex w = 0; w < set.assoc(); ++w) {
+      if (set.line(w).valid) set.invalidate(w);
+    }
+  }
+}
+
+const CacheSet& SetAssocCache::set(SetIndex s) const {
+  SNUG_REQUIRE(s < sets_.size());
+  return sets_[s];
+}
+
+CacheSet& SetAssocCache::set_mut(SetIndex s) {
+  SNUG_REQUIRE(s < sets_.size());
+  return sets_[s];
+}
+
+std::uint64_t SetAssocCache::total_cc_lines() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& set : sets_) n += set.cc_count();
+  return n;
+}
+
+}  // namespace snug::cache

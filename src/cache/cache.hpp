@@ -1,0 +1,126 @@
+// A set-associative cache with the cooperative-caching mechanism hooks the
+// scheme layer needs:
+//
+//  * local path    — access_local / fill_local, used by the owning core;
+//  * cooperative   — insert_cc / lookup_cc / invalidate, used when a peer
+//                    spills into or retrieves from this cache, including the
+//                    SNUG index-bit-flipped placement (f bit);
+//  * inspection    — per-set access for invariant checks and statistics.
+//
+// The cache is pure mechanism: *whether* to spill, *which* peer receives,
+// and *where* a received block may be placed are decided by src/schemes and
+// src/core.  Timing lives in src/sim; this class is cycle-free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "cache/set.hpp"
+#include "common/types.hpp"
+
+namespace snug::cache {
+
+/// Result of a local lookup.
+struct AccessResult {
+  bool hit = false;
+  SetIndex set = 0;
+  WayIndex way = kInvalidWay;
+};
+
+/// A line displaced by a fill, together with where it lived.
+struct Eviction {
+  CacheLine line;  ///< line.valid == false when nothing was displaced
+  SetIndex set = 0;
+  [[nodiscard]] bool happened() const noexcept { return line.valid; }
+};
+
+/// Location of a cooperatively cached block found by lookup_cc.
+struct CcLocation {
+  bool found = false;
+  SetIndex set = 0;       ///< physical set the line lives in
+  WayIndex way = kInvalidWay;
+  bool flipped = false;   ///< true when set == buddy of the home index
+};
+
+/// Hot-path counters (plain fields; snapshot() turns them into a report).
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t evict_clean = 0;
+  std::uint64_t evict_dirty = 0;
+  std::uint64_t evict_cc = 0;          ///< cooperative lines displaced
+  std::uint64_t cc_inserted = 0;       ///< spills received
+  std::uint64_t cc_forwarded = 0;      ///< cooperative hits served to peers
+  std::uint64_t cc_invalidated = 0;
+};
+
+class SetAssocCache {
+ public:
+  SetAssocCache(std::string name, const CacheGeometry& geo,
+                ReplacementKind repl = ReplacementKind::kLru,
+                Rng* rng = nullptr);
+
+  [[nodiscard]] const CacheGeometry& geometry() const noexcept { return geo_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CacheStats{}; }
+
+  // ------------------------------------------------------------ local path
+
+  /// Looks up `addr` among local (CC==0) lines of its home set.  On a hit
+  /// the line is touched and, for writes, marked dirty.
+  AccessResult access_local(Addr addr, bool is_write);
+
+  /// Probe without any state change (no recency update, no counters).
+  [[nodiscard]] AccessResult probe_local(Addr addr) const;
+
+  /// Installs a local line for `addr` after miss service and returns the
+  /// displaced line.  The victim choice prefers invalid ways.
+  Eviction fill_local(Addr addr, bool dirty, CoreId owner);
+
+  // ------------------------------------------------------ cooperative path
+
+  /// Installs a cooperative line for home address `addr` spilled by
+  /// `owner`.  With flipped==true the line is placed in the buddy set and
+  /// its f bit is set (paper Section 3.2).  `demoted` inserts at LRU
+  /// instead of MRU (ablation knob; the paper inserts at MRU).
+  Eviction insert_cc(Addr addr, CoreId owner, bool flipped,
+                     bool demoted = false);
+
+  /// Searches both legal placements (home set with f==0, buddy set with
+  /// f==1) for a cooperative copy of `addr`.
+  [[nodiscard]] CcLocation lookup_cc(Addr addr) const;
+
+  /// Forwards a cooperative block to its owner: touches stats and
+  /// invalidates the copy (paper Section 3.3, restriction 2).
+  void forward_and_invalidate(const CcLocation& loc);
+
+  /// Invalidates a specific line.
+  void invalidate(SetIndex set, WayIndex way);
+
+  /// Flash-invalidates everything (used between experiment runs).
+  void invalidate_all();
+
+  // ------------------------------------------------------------ inspection
+
+  [[nodiscard]] std::uint32_t num_sets() const noexcept {
+    return geo_.num_sets();
+  }
+  [[nodiscard]] const CacheSet& set(SetIndex s) const;
+  [[nodiscard]] CacheSet& set_mut(SetIndex s);
+
+  /// Total valid cooperative lines (invariant checks).
+  [[nodiscard]] std::uint64_t total_cc_lines() const noexcept;
+
+ private:
+  std::string name_;
+  CacheGeometry geo_;
+  std::vector<CacheSet> sets_;
+  CacheStats stats_;
+};
+
+}  // namespace snug::cache

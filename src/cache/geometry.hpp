@@ -1,0 +1,69 @@
+// Cache geometry: address <-> (tag, set, offset) mapping.
+//
+// The paper's configuration (Table 4): 64 B lines, 1 MB 16-way private L2
+// slices => 1024 sets, 32-bit addresses.  The SNUG index-bit-flipping
+// scheme pairs each set with the set whose *last* (least significant)
+// index bit is flipped, so the geometry also exposes `buddy_set()`.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitutil.hpp"
+#include "common/types.hpp"
+
+namespace snug::cache {
+
+class CacheGeometry {
+ public:
+  /// line_bytes and the implied set count must be powers of two; the
+  /// associativity may be arbitrary (>= 1).
+  CacheGeometry(std::uint64_t capacity_bytes, std::uint32_t associativity,
+                std::uint32_t line_bytes);
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] std::uint32_t associativity() const noexcept {
+    return assoc_;
+  }
+  [[nodiscard]] std::uint32_t line_bytes() const noexcept { return line_; }
+  [[nodiscard]] std::uint32_t num_sets() const noexcept { return sets_; }
+  [[nodiscard]] std::uint32_t offset_bits() const noexcept {
+    return offset_bits_;
+  }
+  [[nodiscard]] std::uint32_t index_bits() const noexcept {
+    return index_bits_;
+  }
+
+  [[nodiscard]] SetIndex set_of(Addr a) const noexcept {
+    return static_cast<SetIndex>(extract_bits(a, offset_bits_, index_bits_));
+  }
+  [[nodiscard]] std::uint64_t tag_of(Addr a) const noexcept {
+    return a >> (offset_bits_ + index_bits_);
+  }
+  /// Address with the offset bits cleared (block-aligned).
+  [[nodiscard]] Addr block_of(Addr a) const noexcept {
+    return a & ~static_cast<Addr>(line_ - 1);
+  }
+  /// Reassembles a block address from its tag and set index.
+  [[nodiscard]] Addr addr_of(std::uint64_t tag, SetIndex set) const noexcept {
+    return (tag << (offset_bits_ + index_bits_)) |
+           (static_cast<Addr>(set) << offset_bits_);
+  }
+  /// The peer set under index-bit flipping: last index bit inverted.
+  [[nodiscard]] SetIndex buddy_set(SetIndex s) const noexcept {
+    return static_cast<SetIndex>(flip_bit(s, 0));
+  }
+
+  bool operator==(const CacheGeometry&) const = default;
+
+ private:
+  std::uint64_t capacity_;
+  std::uint32_t assoc_;
+  std::uint32_t line_;
+  std::uint32_t sets_;
+  std::uint32_t offset_bits_;
+  std::uint32_t index_bits_;
+};
+
+}  // namespace snug::cache

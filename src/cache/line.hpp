@@ -1,0 +1,29 @@
+// The per-line metadata of a SNUG-capable cache (paper Figure 4):
+// tag, valid, dirty, LRU (held by the set's ReplacementState), plus the two
+// cooperative-caching bits:
+//   CC — 1 when the line is cooperatively cached on behalf of a peer core,
+//   f  — meaningful only when CC==1: the line lives in the set whose last
+//        index bit is flipped relative to its home index.
+// `owner` is simulator-side bookkeeping (who spilled the line) used for
+// statistics and invariant checking; real hardware derives it from the
+// retrieve handshake and does not store it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace snug::cache {
+
+struct CacheLine {
+  std::uint64_t tag = 0;
+  bool valid = false;
+  bool dirty = false;
+  bool cc = false;
+  bool flipped = false;
+  CoreId owner = kInvalidCore;
+
+  void invalidate() noexcept { *this = CacheLine{}; }
+};
+
+}  // namespace snug::cache

@@ -1,0 +1,122 @@
+// Per-set replacement policies.
+//
+// The paper assumes true LRU everywhere (its capacity-demand math relies on
+// the LRU stack property, Mattson et al. 1970).  FIFO, Random and Tree-PLRU
+// are provided for the ablation benches, which quantify how much of SNUG's
+// benefit survives under cheaper policies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace snug::cache {
+
+enum class ReplacementKind : std::uint8_t {
+  kLru,
+  kFifo,
+  kRandom,
+  kTreePlru,
+};
+
+[[nodiscard]] const char* to_string(ReplacementKind k) noexcept;
+
+/// Replacement state for one cache set.
+class ReplacementState {
+ public:
+  virtual ~ReplacementState() = default;
+
+  /// A hit touched `way`.
+  virtual void on_access(WayIndex way) = 0;
+  /// A new line was installed in `way` (counts as a touch for most policies).
+  virtual void on_fill(WayIndex way) = 0;
+  /// Chooses the victim way among all valid ways; never returns kInvalidWay.
+  [[nodiscard]] virtual WayIndex victim() = 0;
+  /// Moves `way` to the least-recently-used position so it is evicted next.
+  /// Cooperative-caching schemes use this to make received blocks cheap to
+  /// displace without evicting local blocks eagerly.
+  virtual void demote(WayIndex way) = 0;
+
+  /// Places `way` at recency rank `rank` (0 == MRU).  Exact for LRU; other
+  /// policies approximate (rank in the colder half degrades to demote).
+  virtual void place_at(WayIndex way, std::uint32_t rank);
+
+  /// Recency rank of `way`: 0 == MRU, assoc-1 == LRU.  Exact for LRU; the
+  /// other policies return an approximation good enough for stats.
+  [[nodiscard]] virtual std::uint32_t rank_of(WayIndex way) const = 0;
+};
+
+/// Factory.  `rng` may be nullptr for deterministic policies; kRandom
+/// requires it and keeps the pointer (caller owns the Rng).
+std::unique_ptr<ReplacementState> make_replacement(ReplacementKind kind,
+                                                   std::uint32_t assoc,
+                                                   Rng* rng = nullptr);
+
+/// True LRU via an explicit recency ordering (rank array).
+class LruState final : public ReplacementState {
+ public:
+  explicit LruState(std::uint32_t assoc);
+  void on_access(WayIndex way) override;
+  void on_fill(WayIndex way) override;
+  [[nodiscard]] WayIndex victim() override;
+  void demote(WayIndex way) override;
+  void place_at(WayIndex way, std::uint32_t rank) override;
+  [[nodiscard]] std::uint32_t rank_of(WayIndex way) const override;
+
+ private:
+  void move_to_rank(WayIndex way, std::uint32_t target_rank);
+  std::vector<std::uint8_t> rank_;  // rank_[way] in [0, assoc)
+};
+
+/// FIFO: victim is the oldest fill; hits do not update state.
+class FifoState final : public ReplacementState {
+ public:
+  explicit FifoState(std::uint32_t assoc);
+  void on_access(WayIndex /*way*/) override {}
+  void on_fill(WayIndex way) override;
+  [[nodiscard]] WayIndex victim() override;
+  void demote(WayIndex way) override;
+  [[nodiscard]] std::uint32_t rank_of(WayIndex way) const override;
+
+ private:
+  std::vector<std::uint32_t> order_;  // order_[way] = fill sequence
+  std::uint32_t next_seq_;
+  std::uint32_t assoc_;
+};
+
+/// Uniform random victim.
+class RandomState final : public ReplacementState {
+ public:
+  RandomState(std::uint32_t assoc, Rng* rng);
+  void on_access(WayIndex /*way*/) override {}
+  void on_fill(WayIndex /*way*/) override {}
+  [[nodiscard]] WayIndex victim() override;
+  void demote(WayIndex way) override;
+  [[nodiscard]] std::uint32_t rank_of(WayIndex way) const override;
+
+ private:
+  std::uint32_t assoc_;
+  Rng* rng_;
+  WayIndex demoted_ = kInvalidWay;
+};
+
+/// Tree pseudo-LRU over a power-of-two associativity.
+class TreePlruState final : public ReplacementState {
+ public:
+  explicit TreePlruState(std::uint32_t assoc);
+  void on_access(WayIndex way) override;
+  void on_fill(WayIndex way) override { on_access(way); }
+  [[nodiscard]] WayIndex victim() override;
+  void demote(WayIndex way) override;
+  [[nodiscard]] std::uint32_t rank_of(WayIndex way) const override;
+
+ private:
+  std::uint32_t assoc_;
+  std::uint32_t levels_;
+  std::vector<std::uint8_t> bits_;  // heap-indexed internal nodes, root at 1
+};
+
+}  // namespace snug::cache

@@ -1,0 +1,93 @@
+// One cache set: an array of CacheLine plus replacement state.
+// The set offers mechanism only (lookup / touch / victim / fill /
+// invalidate); all policy — whether to spill a victim, where received
+// blocks are inserted, which lines may be displaced — lives in the scheme
+// layer (src/schemes) and the SNUG controller (src/core).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/line.hpp"
+#include "cache/replacement.hpp"
+#include "common/types.hpp"
+
+namespace snug::cache {
+
+class CacheSet {
+ public:
+  CacheSet(std::uint32_t assoc, ReplacementKind kind, Rng* rng = nullptr);
+
+  // Non-copyable (owns replacement state), movable.
+  CacheSet(const CacheSet&) = delete;
+  CacheSet& operator=(const CacheSet&) = delete;
+  CacheSet(CacheSet&&) noexcept = default;
+  CacheSet& operator=(CacheSet&&) noexcept = default;
+
+  [[nodiscard]] std::uint32_t assoc() const noexcept {
+    return static_cast<std::uint32_t>(lines_.size());
+  }
+
+  /// Way holding a valid *local* (CC==0) line with this tag, or kInvalidWay.
+  [[nodiscard]] WayIndex find_local(std::uint64_t tag) const noexcept;
+
+  /// Way holding a valid *cooperative* (CC==1) line with this tag and the
+  /// given flip flag, or kInvalidWay.
+  [[nodiscard]] WayIndex find_cc(std::uint64_t tag,
+                                 bool flipped) const noexcept;
+
+  /// Any valid line with this tag regardless of CC/f; or kInvalidWay.
+  [[nodiscard]] WayIndex find_any(std::uint64_t tag) const noexcept;
+
+  /// First invalid way, or kInvalidWay when the set is full.
+  [[nodiscard]] WayIndex find_invalid() const noexcept;
+
+  /// Marks a hit on `way` (updates recency).
+  void touch(WayIndex way);
+
+  /// Chooses the way a new line would displace: an invalid way if one
+  /// exists, otherwise the replacement policy's victim.
+  [[nodiscard]] WayIndex choose_victim();
+
+  /// Installs `line` into `way` and returns the displaced line (invalid if
+  /// the way was empty).  The new line becomes MRU.
+  CacheLine fill(WayIndex way, const CacheLine& line);
+
+  /// Installs `line` into `way` at the LRU position (used for received
+  /// cooperative blocks under the "demoted insertion" ablation).
+  CacheLine fill_demoted(WayIndex way, const CacheLine& line);
+
+  /// Victim choice for an incoming cooperative guest: an invalid way if
+  /// any, else the coldest existing guest, else the policy victim.
+  /// Guest-first eviction (Chang & Sohi's replica-first rule) bounds the
+  /// capacity a host can lose to spills: once guests occupy a set, new
+  /// guests displace old guests, never the host's local lines — givers
+  /// donate capacity "with little performance degradation" (Section 1).
+  [[nodiscard]] WayIndex choose_victim_prefer_guests();
+
+  void invalidate(WayIndex way);
+
+  /// Moves `way` to the LRU position without invalidating it.
+  void demote(WayIndex way);
+
+  [[nodiscard]] const CacheLine& line(WayIndex way) const;
+  [[nodiscard]] CacheLine& line_mut(WayIndex way);
+
+  /// Recency rank (0 == MRU).
+  [[nodiscard]] std::uint32_t rank_of(WayIndex way) const;
+
+  [[nodiscard]] std::uint32_t valid_count() const noexcept;
+  [[nodiscard]] std::uint32_t cc_count() const noexcept;
+
+  /// Calls fn(way, line) for every valid line.
+  void for_each_valid(
+      const std::function<void(WayIndex, const CacheLine&)>& fn) const;
+
+ private:
+  std::vector<CacheLine> lines_;
+  std::unique_ptr<ReplacementState> repl_;
+};
+
+}  // namespace snug::cache

@@ -1,0 +1,79 @@
+#include "cache/stack_profiler.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace snug::cache {
+
+LruStackProfiler::LruStackProfiler(std::uint32_t num_sets,
+                                   std::uint32_t depth)
+    : num_sets_(num_sets), depth_(depth) {
+  SNUG_REQUIRE(num_sets >= 1);
+  SNUG_REQUIRE(depth >= 1);
+  stacks_.resize(num_sets);
+  for (auto& s : stacks_) s.reserve(depth);
+  hits_.assign(static_cast<std::size_t>(num_sets) * depth, 0);
+  deep_misses_.assign(num_sets, 0);
+}
+
+std::uint32_t LruStackProfiler::access(SetIndex set, std::uint64_t tag) {
+  SNUG_REQUIRE(set < num_sets_);
+  auto& stack = stacks_[set];
+  const auto it = std::find(stack.begin(), stack.end(), tag);
+  if (it == stack.end()) {
+    // Miss past the profiled depth (compulsory, or reuse distance greater
+    // than A_threshold — indistinguishable here, as in the paper).
+    ++deep_misses_[set];
+    if (stack.size() == depth_) stack.pop_back();
+    stack.insert(stack.begin(), tag);
+    return 0;
+  }
+  const auto pos =
+      static_cast<std::uint32_t>(it - stack.begin()) + 1;  // 1-based
+  stack.erase(it);
+  stack.insert(stack.begin(), tag);
+  ++hits_[static_cast<std::size_t>(set) * depth_ + (pos - 1)];
+  return pos;
+}
+
+std::uint64_t LruStackProfiler::hits_at(SetIndex set,
+                                        std::uint32_t pos) const {
+  SNUG_REQUIRE(set < num_sets_);
+  SNUG_REQUIRE(pos >= 1 && pos <= depth_);
+  return hits_[static_cast<std::size_t>(set) * depth_ + (pos - 1)];
+}
+
+std::uint64_t LruStackProfiler::hit_count(SetIndex set,
+                                          std::uint32_t a) const {
+  SNUG_REQUIRE(set < num_sets_);
+  const std::uint32_t upto = std::min(a, depth_);
+  std::uint64_t sum = 0;
+  for (std::uint32_t p = 1; p <= upto; ++p) sum += hits_at(set, p);
+  return sum;
+}
+
+std::uint64_t LruStackProfiler::deep_misses(SetIndex set) const {
+  SNUG_REQUIRE(set < num_sets_);
+  return deep_misses_[set];
+}
+
+std::uint32_t LruStackProfiler::block_required(SetIndex set) const {
+  SNUG_REQUIRE(set < num_sets_);
+  for (std::uint32_t a = depth_; a >= 1; --a) {
+    if (hits_at(set, a) != 0) return a;
+  }
+  return 1;  // no hits at all: one block suffices (compulsory misses only)
+}
+
+void LruStackProfiler::begin_interval() {
+  std::fill(hits_.begin(), hits_.end(), 0);
+  std::fill(deep_misses_.begin(), deep_misses_.end(), 0);
+}
+
+void LruStackProfiler::reset() {
+  begin_interval();
+  for (auto& s : stacks_) s.clear();
+}
+
+}  // namespace snug::cache

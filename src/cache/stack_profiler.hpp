@@ -1,0 +1,65 @@
+// Mattson LRU-stack profiler.
+//
+// For every set it maintains an LRU stack of up to `depth` block tags and a
+// per-position hit counter.  Because LRU has the stack (inclusion)
+// property, hit_count(S, I, A) — the hits set S would see with A ways —
+// equals the sum of hits at positions 1..A, and the paper's capacity
+// demand (Formula 3) is
+//
+//   block_required(S, I) = min A  s.t.  hit_count(S,I,A) == hit_count(S,I,A_threshold)
+//
+// i.e. the deepest stack position that received a hit during the interval.
+// This is the measurement device behind Figures 1-3 and the conceptual
+// model behind the SNUG shadow sets (a shadow set materialises stack
+// positions A_baseline+1 .. 2*A_baseline).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace snug::cache {
+
+class LruStackProfiler {
+ public:
+  /// `num_sets` LRU stacks of `depth` (== A_threshold) entries each.
+  LruStackProfiler(std::uint32_t num_sets, std::uint32_t depth);
+
+  /// Records one access to `set` for block `tag`.  Returns the 1-based hit
+  /// position, or 0 for a miss beyond the stack depth / compulsory miss.
+  std::uint32_t access(SetIndex set, std::uint64_t tag);
+
+  /// Hits at exactly stack position `pos` (1-based) in `set` this interval.
+  [[nodiscard]] std::uint64_t hits_at(SetIndex set, std::uint32_t pos) const;
+
+  /// hit_count(S, I, A): hits with stack position <= A (Formula 3 LHS).
+  [[nodiscard]] std::uint64_t hit_count(SetIndex set, std::uint32_t a) const;
+
+  /// Misses past the stack depth (compulsory + beyond-threshold).
+  [[nodiscard]] std::uint64_t deep_misses(SetIndex set) const;
+
+  /// block_required(S, I) per Formula (3); a set with no hits demands 1.
+  [[nodiscard]] std::uint32_t block_required(SetIndex set) const;
+
+  /// Clears the hit counters (stack contents persist across intervals, as
+  /// cache contents do in the paper's sim-cache methodology).
+  void begin_interval();
+
+  /// Clears everything, stacks included.
+  void reset();
+
+  [[nodiscard]] std::uint32_t num_sets() const noexcept { return num_sets_; }
+  [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
+
+ private:
+  std::uint32_t num_sets_;
+  std::uint32_t depth_;
+  // stacks_[set] holds up to depth_ tags, MRU first.
+  std::vector<std::vector<std::uint64_t>> stacks_;
+  // hits_[set * depth_ + (pos-1)]
+  std::vector<std::uint64_t> hits_;
+  std::vector<std::uint64_t> deep_misses_;
+};
+
+}  // namespace snug::cache

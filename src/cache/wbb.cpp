@@ -1,0 +1,64 @@
+#include "cache/wbb.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace snug::cache {
+
+WriteBackBuffer::WriteBackBuffer(const WbbConfig& cfg) : cfg_(cfg) {
+  SNUG_REQUIRE(cfg.entries >= 1);
+  SNUG_REQUIRE(cfg.drain_interval >= 1);
+}
+
+Cycle WriteBackBuffer::insert(Addr block_addr, Cycle now) {
+  tick(now);
+  ++stats_.inserts;
+  // Mergeable: coalesce with an existing entry for the same block.
+  for (const Entry& e : fifo_) {
+    if (e.block == block_addr) {
+      ++stats_.merges;
+      return 0;
+    }
+  }
+  Cycle stall = 0;
+  if (full()) {
+    // Force the oldest entry out; the L2 stalls for the drain.
+    fifo_.pop_front();
+    ++stats_.drains;
+    ++stats_.full_stalls;
+    stall = cfg_.full_penalty;
+    next_drain_ = now + stall + cfg_.drain_interval;
+  }
+  fifo_.push_back(Entry{block_addr});
+  if (fifo_.size() == 1 && next_drain_ <= now) {
+    next_drain_ = now + cfg_.drain_interval;
+  }
+  return stall;
+}
+
+bool WriteBackBuffer::read_hit(Addr block_addr) {
+  const bool hit = std::any_of(
+      fifo_.begin(), fifo_.end(),
+      [block_addr](const Entry& e) { return e.block == block_addr; });
+  if (hit) ++stats_.direct_reads;
+  return hit;
+}
+
+std::uint32_t WriteBackBuffer::tick(Cycle now) {
+  std::uint32_t drained = 0;
+  while (!fifo_.empty() && next_drain_ <= now) {
+    fifo_.pop_front();
+    ++stats_.drains;
+    ++drained;
+    next_drain_ += cfg_.drain_interval;
+  }
+  return drained;
+}
+
+void WriteBackBuffer::clear() {
+  fifo_.clear();
+  next_drain_ = 0;
+}
+
+}  // namespace snug::cache

@@ -1,0 +1,47 @@
+// Small constexpr bit-manipulation helpers used by cache geometry and the
+// SNUG index-bit-flipping grouper.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/require.hpp"
+
+namespace snug {
+
+/// True iff v is a power of two (0 is not).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Floor log2 for non-zero v; log2i(1)==0.
+[[nodiscard]] constexpr std::uint32_t log2i(std::uint64_t v) noexcept {
+  return static_cast<std::uint32_t>(63 - std::countl_zero(v | 1));
+}
+
+/// A mask with the low `bits` bits set (bits may be 0..64).
+[[nodiscard]] constexpr std::uint64_t low_mask(std::uint32_t bits) noexcept {
+  return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/// Extracts `count` bits of v starting at bit `from` (LSB == bit 0).
+[[nodiscard]] constexpr std::uint64_t extract_bits(std::uint64_t v,
+                                                   std::uint32_t from,
+                                                   std::uint32_t count) noexcept {
+  return (v >> from) & low_mask(count);
+}
+
+/// Flips the single bit `pos` of v.  The SNUG grouper uses this on the last
+/// (least-significant) index bit of a set index (paper Section 3.2).
+[[nodiscard]] constexpr std::uint64_t flip_bit(std::uint64_t v,
+                                               std::uint32_t pos) noexcept {
+  return v ^ (std::uint64_t{1} << pos);
+}
+
+/// Integer ceiling division.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace snug

@@ -1,0 +1,87 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str.hpp"
+
+namespace snug {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "snug";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: positional arguments are not supported: %s\n",
+                   program_.c_str(), arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  for (const auto& [k, v] : values_) consumed_[k] = false;
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback,
+                                const std::string& help) {
+  entries_.push_back({name, fallback, help});
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback,
+                              const std::string& help) {
+  const std::string v =
+      get_string(name, std::to_string(fallback), help);
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback,
+                           const std::string& help) {
+  const std::string v = get_string(name, strf("%g", fallback), help);
+  return std::strtod(v.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback,
+                       const std::string& help) {
+  const std::string v =
+      get_string(name, fallback ? "true" : "false", help);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string CliArgs::usage() const {
+  std::string out = strf("usage: %s [flags]\n", program_.c_str());
+  for (const auto& e : entries_) {
+    out += strf("  --%-28s %s (default: %s)\n", e.name.c_str(),
+                e.help.c_str(), e.fallback.c_str());
+  }
+  return out;
+}
+
+void CliArgs::check_unknown() const {
+  bool bad = false;
+  for (const auto& [k, used] : consumed_) {
+    if (!used) {
+      std::fprintf(stderr, "unknown flag: --%s\n", k.c_str());
+      bad = true;
+    }
+  }
+  if (bad) {
+    std::fprintf(stderr, "%s", usage().c_str());
+    std::exit(2);
+  }
+}
+
+}  // namespace snug

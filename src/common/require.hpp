@@ -1,0 +1,29 @@
+// Precondition / invariant checking in the spirit of the Core Guidelines'
+// Expects/Ensures.  Violations abort with a location message: a simulator
+// that silently continues after an invariant break produces subtly wrong
+// numbers, which is worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace snug::detail {
+
+[[noreturn]] inline void require_failed(const char* kind, const char* expr,
+                                        const char* file, int line) {
+  std::fprintf(stderr, "snug: %s failed: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace snug::detail
+
+#define SNUG_REQUIRE(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                            \
+          : ::snug::detail::require_failed("precondition", #expr, __FILE__, \
+                                           __LINE__))
+
+#define SNUG_ENSURE(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::snug::detail::require_failed("invariant", #expr, __FILE__,   \
+                                           __LINE__))

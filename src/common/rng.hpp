@@ -1,0 +1,69 @@
+// Deterministic pseudo-random streams.
+//
+// Every source of randomness in the simulator (trace generation, CC spill
+// coin flips, DSR leader-set selection, ...) draws from a named Rng seeded
+// from a (purpose, workload, core) tuple, so every experiment is exactly
+// reproducible.  The generator is xoshiro256** (Blackman & Vigna), seeded
+// through SplitMix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace snug {
+
+/// xoshiro256** pseudo-random generator with convenience samplers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four lanes via SplitMix64 from a single 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Derives a seed deterministically from a string tag and two integers.
+  /// Used to give each (purpose, workload, core) tuple an independent stream.
+  static std::uint64_t derive_seed(std::string_view tag, std::uint64_t a = 0,
+                                   std::uint64_t b = 0) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next() noexcept;
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Geometric-ish sample in [1, n]: distribution proportional to
+  /// q^(k-1), truncated and renormalised.  q==1 degenerates to uniform.
+  /// Used for stack-distance shaping in the trace substrate.
+  std::uint32_t truncated_geometric(std::uint32_t n, double q) noexcept;
+
+  /// Fisher-Yates shuffles indices [0, n) into `out` (resized by callee).
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace snug

@@ -1,0 +1,20 @@
+// printf-style string formatting helpers.  libstdc++ 12 does not ship
+// std::format, so benches and table renderers use these instead.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace snug {
+
+/// snprintf into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strf(const char* fmt, ...);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Fixed-point percentage like "+13.9%" / "-0.5%".
+std::string pct(double fraction, int decimals = 1);
+
+}  // namespace snug

@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace snug {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SNUG_REQUIRE(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  SNUG_REQUIRE(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  const auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += ' ';
+      line += cells[c];
+      line.append(width[c] - cells[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string rule = "+";
+  for (const std::size_t w : width) {
+    rule.append(w + 2, '-');
+    rule += '+';
+  }
+  rule += '\n';
+
+  std::string out = rule + render_line(header_) + rule;
+  for (const auto& row : rows_) out += render_line(row);
+  out += rule;
+  return out;
+}
+
+std::string TextTable::render_csv() const {
+  const auto join = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) line += ',';
+      line += cells[c];
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = join(header_);
+  for (const auto& row : rows_) out += join(row);
+  return out;
+}
+
+}  // namespace snug

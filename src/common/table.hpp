@@ -1,0 +1,30 @@
+// Text table / CSV rendering for bench binaries.  Every figure- or
+// table-reproducing binary prints an aligned text table (the "same rows the
+// paper reports") and can also emit CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace snug {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Aligned, boxed rendering.
+  [[nodiscard]] std::string render() const;
+
+  /// Comma-separated rendering (header + rows).
+  [[nodiscard]] std::string render_csv() const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snug

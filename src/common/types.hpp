@@ -1,0 +1,57 @@
+// Fundamental value types shared by every snug-cc module.
+//
+// The simulator models a quad-core CMP whose private L2 caches cooperate
+// (paper Table 4).  All quantities are expressed in core clock cycles and
+// byte addresses; modules never pass raw integers across interfaces when a
+// named alias exists here.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace snug {
+
+/// Byte address in the simulated physical address space.
+using Addr = std::uint64_t;
+
+/// Core-clock cycle count.  The snoop bus runs at a 4:1 ratio (Table 4) but
+/// all externally visible timestamps are in core cycles.
+using Cycle = std::uint64_t;
+
+/// Identifier of a processor core / private cache slice (0..num_cores-1).
+using CoreId = std::uint32_t;
+
+/// Index of a cache set within one cache.
+using SetIndex = std::uint32_t;
+
+/// Way (column) within a cache set.
+using WayIndex = std::uint32_t;
+
+/// Sentinel for "no way" results from lookup routines.
+inline constexpr WayIndex kInvalidWay = std::numeric_limits<WayIndex>::max();
+
+/// Sentinel for "no core".
+inline constexpr CoreId kInvalidCore = std::numeric_limits<CoreId>::max();
+
+/// Sentinel timestamp meaning "never / not scheduled".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Kind of memory reference issued by a core.
+enum class AccessType : std::uint8_t {
+  kInstFetch,  ///< instruction fetch (L1I path)
+  kLoad,       ///< data load (L1D path)
+  kStore,      ///< data store (L1D path, write-allocate, write-back)
+};
+
+/// Returns true for accesses that go through the data path.
+[[nodiscard]] constexpr bool is_data(AccessType t) noexcept {
+  return t != AccessType::kInstFetch;
+}
+
+/// A single memory reference as produced by the trace substrate.
+struct MemRef {
+  Addr addr = 0;
+  AccessType type = AccessType::kLoad;
+};
+
+}  // namespace snug

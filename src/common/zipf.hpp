@@ -1,0 +1,33 @@
+// Zipf(α) sampler over [0, n) built on a precomputed CDF.
+//
+// The trace substrate uses Zipfian popularity to spread accesses over cache
+// sets non-uniformly (hot sets vs. cold sets), one of the two mechanisms
+// behind set-level non-uniformity of capacity demand (the other being
+// per-set working-set size, Section 2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace snug {
+
+class ZipfSampler {
+ public:
+  /// n items, exponent alpha >= 0 (alpha==0 is uniform).
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Draws an item index in [0, n).
+  std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Probability mass of item i (for tests).
+  [[nodiscard]] double pmf(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace snug

@@ -1,0 +1,34 @@
+#include "core/controller.hpp"
+
+#include "common/require.hpp"
+
+namespace snug::core {
+
+SnugController::SnugController(const EpochConfig& cfg) : cfg_(cfg) {
+  SNUG_REQUIRE(cfg.identify_cycles >= 1);
+  SNUG_REQUIRE(cfg.group_cycles >= 1);
+  boundary_ = cfg_.identify_cycles;
+}
+
+void SnugController::tick(Cycle now) {
+  while (now >= boundary_) {
+    if (stage_ == Stage::kIdentify) {
+      if (on_identify_end) on_identify_end();
+      stage_ = Stage::kGroup;
+      boundary_ += cfg_.group_cycles;
+    } else {
+      if (on_group_end) on_group_end();
+      stage_ = Stage::kIdentify;
+      boundary_ += cfg_.identify_cycles;
+      ++periods_;
+    }
+  }
+}
+
+void SnugController::reset(Cycle now) {
+  stage_ = Stage::kIdentify;
+  boundary_ = now + cfg_.identify_cycles;
+  periods_ = 0;
+}
+
+}  // namespace snug::core

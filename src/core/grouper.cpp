@@ -1,0 +1,30 @@
+#include "core/grouper.hpp"
+
+namespace snug::core {
+
+SpillPlacement choose_spill_placement(const GtVector& gt, SetIndex home) {
+  if (gt.giver(home)) return SpillPlacement::kSame;          // Case 1
+  if (gt.giver(buddy_of(home))) return SpillPlacement::kFlipped;  // Case 2
+  return SpillPlacement::kNone;                              // Case 3
+}
+
+RetrieveSearch retrieve_search(const GtVector& gt, SetIndex home) {
+  RetrieveSearch search;
+  search.same = gt.giver(home);
+  search.flipped = gt.giver(buddy_of(home));
+  return search;
+}
+
+const char* to_string(SpillPlacement p) noexcept {
+  switch (p) {
+    case SpillPlacement::kNone:
+      return "none";
+    case SpillPlacement::kSame:
+      return "same";
+    case SpillPlacement::kFlipped:
+      return "flipped";
+  }
+  return "?";
+}
+
+}  // namespace snug::core

@@ -1,0 +1,48 @@
+// The index-bit-flipping grouper (paper Section 3.2, Figure 8).
+//
+// When a taker set spills, each snooping peer consults the two adjacent
+// entries of its G/T vector whose index matches the spilled block's home
+// index with the last bit as don't-care:
+//
+//   Case 1: same-index set is a giver            -> place there (f = 0)
+//   Case 2: same-index is taker, buddy is giver  -> place in buddy (f = 1)
+//   Case 3: both takers                          -> do not respond
+//
+// Retrieval looks only in giver-marked placements, which (together with
+// the invariant that cooperative lines only ever live in giver sets) makes
+// the search unambiguous: at most one peer can hold the block.
+#pragma once
+
+#include "core/gt_vector.hpp"
+#include "common/types.hpp"
+
+namespace snug::core {
+
+enum class SpillPlacement : std::uint8_t {
+  kNone,     ///< Case 3: peer does not respond
+  kSame,     ///< Case 1: home-index set, f = 0
+  kFlipped,  ///< Case 2: buddy set, f = 1
+};
+
+/// The buddy of a set under last-index-bit flipping.
+[[nodiscard]] constexpr SetIndex buddy_of(SetIndex s) noexcept {
+  return s ^ 1U;
+}
+
+/// Where (if anywhere) a peer with G/T state `gt` would accept a spill
+/// whose home index is `home`.
+[[nodiscard]] SpillPlacement choose_spill_placement(const GtVector& gt,
+                                                    SetIndex home);
+
+/// Which placements a peer must search when snooping a retrieve request.
+struct RetrieveSearch {
+  bool same = false;     ///< search home set for (tag, f=0)
+  bool flipped = false;  ///< search buddy set for (tag, f=1)
+};
+
+[[nodiscard]] RetrieveSearch retrieve_search(const GtVector& gt,
+                                             SetIndex home);
+
+[[nodiscard]] const char* to_string(SpillPlacement p) noexcept;
+
+}  // namespace snug::core

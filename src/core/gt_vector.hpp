@@ -1,0 +1,50 @@
+// The G/T vector: one bit per L2 set, addressable independently of the
+// sets themselves (paper Section 3.1).  G (0) = giver, T (1) = taker.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/types.hpp"
+
+namespace snug::core {
+
+class GtVector {
+ public:
+  explicit GtVector(std::uint32_t num_sets)
+      : bits_(num_sets, std::uint8_t{0}) {
+    SNUG_REQUIRE(num_sets >= 2);
+  }
+
+  [[nodiscard]] bool taker(SetIndex s) const {
+    SNUG_REQUIRE(s < bits_.size());
+    return bits_[s] != 0;
+  }
+  [[nodiscard]] bool giver(SetIndex s) const { return !taker(s); }
+
+  void set_taker(SetIndex s, bool is_taker) {
+    SNUG_REQUIRE(s < bits_.size());
+    bits_[s] = is_taker ? 1 : 0;
+  }
+
+  [[nodiscard]] std::uint32_t num_sets() const noexcept {
+    return static_cast<std::uint32_t>(bits_.size());
+  }
+
+  [[nodiscard]] std::uint32_t taker_count() const noexcept {
+    std::uint32_t n = 0;
+    for (const auto b : bits_) n += b;
+    return n;
+  }
+
+  /// All-giver reset (the state before the first identification stage).
+  void clear() {
+    for (auto& b : bits_) b = 0;
+  }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace snug::core

@@ -1,0 +1,72 @@
+#include "core/monitor.hpp"
+
+#include "common/require.hpp"
+
+namespace snug::core {
+
+CapacityMonitor::CapacityMonitor(const MonitorConfig& cfg) : cfg_(cfg) {
+  SNUG_REQUIRE(cfg.num_sets >= 2);
+  shadows_.reserve(cfg.num_sets);
+  counters_.reserve(cfg.num_sets);
+  dividers_.reserve(cfg.num_sets);
+  for (std::uint32_t s = 0; s < cfg.num_sets; ++s) {
+    shadows_.emplace_back(cfg.assoc);
+    counters_.emplace_back(cfg.k_bits, cfg.taker_biased);
+    dividers_.emplace_back(cfg.p);
+  }
+}
+
+void CapacityMonitor::on_local_hit(SetIndex set) {
+  SNUG_REQUIRE(set < cfg_.num_sets);
+  if (!counting_) return;
+  ++stats_.real_hits;
+  if (dividers_[set].tick()) counters_[set].decrement();
+}
+
+bool CapacityMonitor::on_local_miss(SetIndex set, std::uint64_t tag) {
+  SNUG_REQUIRE(set < cfg_.num_sets);
+  // Shadow upkeep must run even when not counting so exclusivity with the
+  // real set is preserved across stage boundaries.
+  const bool shadow_hit = shadows_[set].probe_and_remove(tag);
+  if (!counting_) return shadow_hit;
+  if (shadow_hit) {
+    ++stats_.shadow_hits;
+    counters_[set].increment();
+    if (dividers_[set].tick()) counters_[set].decrement();
+  }
+  return shadow_hit;
+}
+
+void CapacityMonitor::on_local_eviction(SetIndex set, std::uint64_t tag) {
+  SNUG_REQUIRE(set < cfg_.num_sets);
+  shadows_[set].insert(tag);
+  ++stats_.shadow_inserts;
+}
+
+void CapacityMonitor::harvest(GtVector& out) {
+  SNUG_REQUIRE(out.num_sets() == cfg_.num_sets);
+  for (SetIndex s = 0; s < cfg_.num_sets; ++s) {
+    out.set_taker(s, counters_[s].msb());
+    counters_[s].reset();
+    dividers_[s].reset();
+  }
+}
+
+const SaturatingCounter& CapacityMonitor::counter(SetIndex set) const {
+  SNUG_REQUIRE(set < cfg_.num_sets);
+  return counters_[set];
+}
+
+const ShadowSet& CapacityMonitor::shadow(SetIndex set) const {
+  SNUG_REQUIRE(set < cfg_.num_sets);
+  return shadows_[set];
+}
+
+void CapacityMonitor::reset() {
+  for (auto& sh : shadows_) sh.clear();
+  for (auto& c : counters_) c.reset();
+  for (auto& d : dividers_) d.reset();
+  stats_ = MonitorStats{};
+}
+
+}  // namespace snug::core

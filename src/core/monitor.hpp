@@ -1,0 +1,76 @@
+// CapacityMonitor — the per-slice demand-identification hardware
+// (paper Section 3.1): one shadow set + one k-bit saturating counter + one
+// mod-p divider per L2 set.
+//
+// Event wiring (driven by the SNUG scheme):
+//   local L2 hit            -> on_local_hit(set)
+//   local L2 miss           -> on_local_miss(set, tag)   [probes shadow]
+//   local line evicted      -> on_local_eviction(set, tag)
+//   line enters real set    -> exclusivity is guaranteed because every fill
+//                              is preceded by on_local_miss, which removes
+//                              a matching shadow entry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gt_vector.hpp"
+#include "core/saturating_counter.hpp"
+#include "core/shadow_set.hpp"
+
+namespace snug::core {
+
+struct MonitorConfig {
+  std::uint32_t num_sets = 1024;
+  std::uint32_t assoc = 16;   ///< shadow associativity == L2 associativity
+  std::uint32_t k_bits = 4;   ///< saturating-counter width (Table 2)
+  std::uint32_t p = 8;        ///< hit-rate threshold 1/p (Table 2)
+  /// Counter reset point: true (default) starts at 2^(k-1) so sets with
+  /// no evidence stay takers (safe); false is the paper's 2^(k-1)-1.
+  bool taker_biased = true;
+};
+
+struct MonitorStats {
+  std::uint64_t shadow_hits = 0;
+  std::uint64_t shadow_inserts = 0;
+  std::uint64_t real_hits = 0;
+};
+
+class CapacityMonitor {
+ public:
+  explicit CapacityMonitor(const MonitorConfig& cfg);
+
+  /// Enables/disables counter updates (Stage I only; shadow-tag upkeep
+  /// continues regardless so exclusivity never lapses).
+  void set_counting(bool on) noexcept { counting_ = on; }
+  [[nodiscard]] bool counting() const noexcept { return counting_; }
+
+  void on_local_hit(SetIndex set);
+
+  /// Probes (and on a hit removes) the shadow entry for `tag`.  Returns
+  /// true when the miss would have been a hit with double capacity.
+  bool on_local_miss(SetIndex set, std::uint64_t tag);
+
+  void on_local_eviction(SetIndex set, std::uint64_t tag);
+
+  /// Harvests the G/T classification from the counter MSBs into `out` and
+  /// resets the counters for the next sampling period.
+  void harvest(GtVector& out);
+
+  [[nodiscard]] const MonitorStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SaturatingCounter& counter(SetIndex set) const;
+  [[nodiscard]] const ShadowSet& shadow(SetIndex set) const;
+  [[nodiscard]] const MonitorConfig& config() const noexcept { return cfg_; }
+
+  void reset();
+
+ private:
+  MonitorConfig cfg_;
+  std::vector<ShadowSet> shadows_;
+  std::vector<SaturatingCounter> counters_;
+  std::vector<ModPCounter> dividers_;
+  MonitorStats stats_;
+  bool counting_ = true;
+};
+
+}  // namespace snug::core

@@ -1,0 +1,35 @@
+#include "core/overhead.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/require.hpp"
+
+namespace snug::core {
+
+OverheadBreakdown compute_overhead(const OverheadParams& p) {
+  SNUG_REQUIRE(p.address_bits >= 16 && p.address_bits <= 64);
+  OverheadBreakdown out;
+  const std::uint64_t lines = p.capacity_bytes / p.line_bytes;
+  out.num_sets = static_cast<std::uint32_t>(lines / p.assoc);
+  SNUG_REQUIRE(is_pow2(out.num_sets));
+
+  const std::uint32_t offset_bits = log2i(p.line_bytes);
+  const std::uint32_t index_bits = log2i(out.num_sets);
+  out.tag_bits = p.address_bits - offset_bits - index_bits;
+  out.lru_bits = log2i(p.assoc);
+
+  // L2 line: tag + valid + dirty + CC + f + LRU + data.
+  out.l2_line_bits = out.tag_bits + 4 + out.lru_bits +
+                     static_cast<std::uint64_t>(p.line_bytes) * 8;
+  out.l2_set_bits = out.l2_line_bits * p.assoc;
+
+  // Shadow entry: tag + valid + LRU.  Per set: entries + counter + divider.
+  out.shadow_entry_bits = out.tag_bits + 1 + out.lru_bits;
+  out.shadow_set_bits =
+      out.shadow_entry_bits * p.assoc + p.k_bits + log2i(p.p);
+
+  out.overhead = static_cast<double>(out.shadow_set_bits) /
+                 static_cast<double>(out.shadow_set_bits + out.l2_set_bits);
+  return out;
+}
+
+}  // namespace snug::core

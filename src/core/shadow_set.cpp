@@ -1,0 +1,62 @@
+#include "core/shadow_set.hpp"
+
+#include "common/require.hpp"
+
+namespace snug::core {
+
+ShadowSet::ShadowSet(std::uint32_t assoc) : tags_(assoc), lru_(assoc) {
+  SNUG_REQUIRE(assoc >= 1);
+}
+
+WayIndex ShadowSet::find(std::uint64_t tag) const noexcept {
+  for (WayIndex w = 0; w < tags_.size(); ++w) {
+    if (tags_[w].valid && tags_[w].tag == tag) return w;
+  }
+  return kInvalidWay;
+}
+
+void ShadowSet::insert(std::uint64_t tag) {
+  WayIndex w = find(tag);
+  if (w != kInvalidWay) {
+    lru_.on_access(w);  // refresh
+    return;
+  }
+  // Prefer an invalid way; otherwise replace the shadow LRU entry.
+  for (WayIndex cand = 0; cand < tags_.size(); ++cand) {
+    if (!tags_[cand].valid) {
+      w = cand;
+      break;
+    }
+  }
+  if (w == kInvalidWay) w = lru_.victim();
+  tags_[w] = {tag, true};
+  lru_.on_fill(w);
+}
+
+bool ShadowSet::probe_and_remove(std::uint64_t tag) {
+  const WayIndex w = find(tag);
+  if (w == kInvalidWay) return false;
+  tags_[w].valid = false;
+  return true;
+}
+
+bool ShadowSet::contains(std::uint64_t tag) const noexcept {
+  return find(tag) != kInvalidWay;
+}
+
+void ShadowSet::remove(std::uint64_t tag) {
+  const WayIndex w = find(tag);
+  if (w != kInvalidWay) tags_[w].valid = false;
+}
+
+void ShadowSet::clear() {
+  for (auto& e : tags_) e.valid = false;
+}
+
+std::uint32_t ShadowSet::valid_count() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& e : tags_) n += e.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace snug::core

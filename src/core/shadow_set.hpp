@@ -1,0 +1,62 @@
+// Shadow L2 sets (paper Section 3.1.1).
+//
+// Each real L2 set has a shadow set of equal associativity holding only
+// the tag/valid/LRU fields of *locally evicted* lines.  Shadow entries are
+// kept strictly exclusive with the local lines of the corresponding real
+// set: when an evicted block is revisited, its shadow entry is invalidated
+// (and the hit is signalled to the capacity monitor).  The shadow set thus
+// materialises LRU stack positions A+1 .. 2A of the set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "common/types.hpp"
+
+namespace snug::core {
+
+class ShadowSet {
+ public:
+  explicit ShadowSet(std::uint32_t assoc);
+
+  ShadowSet(const ShadowSet&) = delete;
+  ShadowSet& operator=(const ShadowSet&) = delete;
+  ShadowSet(ShadowSet&&) noexcept = default;
+  ShadowSet& operator=(ShadowSet&&) noexcept = default;
+
+  /// Records a locally evicted tag (replacing the shadow LRU if full).
+  /// Duplicate inserts refresh recency instead of duplicating.
+  void insert(std::uint64_t tag);
+
+  /// True when `tag` is present; the entry is invalidated on a hit
+  /// (exclusivity: the block is about to re-enter the real set).
+  bool probe_and_remove(std::uint64_t tag);
+
+  /// Presence check without side effects.
+  [[nodiscard]] bool contains(std::uint64_t tag) const noexcept;
+
+  /// Drops `tag` if present (used when the real set acquires the block
+  /// through a path that did not probe first).
+  void remove(std::uint64_t tag);
+
+  void clear();
+
+  [[nodiscard]] std::uint32_t valid_count() const noexcept;
+  [[nodiscard]] std::uint32_t assoc() const noexcept {
+    return static_cast<std::uint32_t>(tags_.size());
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t tag = 0;
+    bool valid = false;
+  };
+
+  [[nodiscard]] WayIndex find(std::uint64_t tag) const noexcept;
+
+  std::vector<Entry> tags_;
+  cache::LruState lru_;
+};
+
+}  // namespace snug::core

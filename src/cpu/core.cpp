@@ -1,0 +1,102 @@
+#include "cpu/core.hpp"
+
+#include "common/require.hpp"
+
+namespace snug::cpu {
+
+Core::Core(CoreId id, const CoreConfig& cfg, trace::InstrStream& stream,
+           MemoryPort& mem)
+    : id_(id), cfg_(cfg), stream_(stream), mem_(mem) {
+  SNUG_REQUIRE(cfg.issue_width >= 1);
+  SNUG_REQUIRE(cfg.rob_entries >= cfg.issue_width);
+  SNUG_REQUIRE(cfg.lsq_entries >= 1);
+  SNUG_REQUIRE(cfg.code_blocks >= 1);
+  // Code space: a private region far above data (bit 56 tags code).
+  code_base_ = (Addr{1} << 56) | (static_cast<Addr>(id) << 40);
+}
+
+void Core::step(Cycle now) {
+  // ---- retire (in order, up to issue_width per cycle)
+  std::uint32_t retired_now = 0;
+  while (retired_now < cfg_.issue_width && !rob_.empty() &&
+         rob_.front().done_at <= now) {
+    if (rob_.front().is_mem) --lsq_used_;
+    rob_.pop_front();
+    ++stats_.retired;
+    ++retired_now;
+  }
+
+  // ---- fetch/dispatch
+  if (now < fetch_stall_until_) return;
+  std::uint32_t dispatched = 0;
+  while (dispatched < cfg_.issue_width) {
+    if (rob_.size() >= cfg_.rob_entries) {
+      ++stats_.rob_full_cycles;
+      return;
+    }
+    if (lsq_used_ >= cfg_.lsq_entries) {
+      // Conservatively stop dispatch on LSQ pressure (memory op may come).
+      ++stats_.lsq_full_cycles;
+      return;
+    }
+    dispatch_one(now);
+    ++dispatched;
+    if (now < fetch_stall_until_) return;  // branch redirect / I-miss
+  }
+}
+
+void Core::dispatch_one(Cycle now) {
+  // Per-block instruction fetch: one L1I access per fetched line.
+  const std::uint64_t per_block = cfg_.line_bytes / cfg_.instr_bytes;
+  if (fetched_instrs_ % per_block == 0) {
+    const Addr ifetch_addr =
+        code_base_ + (code_block_cursor_ % cfg_.code_blocks) * cfg_.line_bytes;
+    ++code_block_cursor_;
+    ++stats_.ifetch_blocks;
+    const Cycle done = mem_.inst_fetch(id_, ifetch_addr, now);
+    if (done > now + 1) fetch_stall_until_ = done;  // I-miss stalls fetch
+  }
+  ++fetched_instrs_;
+
+  const trace::Instr instr = stream_.next();
+  RobEntry entry;
+  switch (instr.kind) {
+    case trace::InstrKind::kCompute:
+      entry.done_at = now + 1;
+      break;
+    case trace::InstrKind::kBranch:
+      ++stats_.branches;
+      entry.done_at = now + 1;
+      if (instr.mispredict) {
+        ++stats_.mispredicts;
+        fetch_stall_until_ = now + cfg_.branch_penalty;
+      }
+      break;
+    case trace::InstrKind::kLoad: {
+      ++stats_.loads;
+      entry.is_mem = true;
+      ++lsq_used_;
+      entry.done_at = mem_.data_access(id_, instr.addr, false, now);
+      SNUG_ENSURE(entry.done_at > now);
+      break;
+    }
+    case trace::InstrKind::kStore: {
+      ++stats_.stores;
+      entry.is_mem = true;
+      ++lsq_used_;
+      // The store updates cache state and consumes bandwidth, but commits
+      // without waiting for the line (store-buffer semantics).
+      (void)mem_.data_access(id_, instr.addr, true, now);
+      entry.done_at = now + 1;
+      break;
+    }
+  }
+  rob_.push_back(entry);
+}
+
+double Core::ipc(Cycle cycles) const noexcept {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(stats_.retired) / static_cast<double>(cycles);
+}
+
+}  // namespace snug::cpu

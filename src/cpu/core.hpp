@@ -1,0 +1,102 @@
+// OoO-lite core timing model (paper Table 4: 8-wide issue/commit, 128-entry
+// RUU, 64-entry LSQ, 3-cycle branch penalty).
+//
+// The model captures the two mechanisms by which cache behaviour becomes
+// IPC:
+//   * memory-level parallelism — independent misses overlap while the ROB
+//     has space, so latency is partially hidden;
+//   * back-pressure — when the oldest instruction is an outstanding miss
+//     and the ROB fills, retirement (and therefore dispatch) stalls.
+//
+// Memory timing is provided by a MemoryPort (implemented by sim::CmpSystem)
+// which performs all cache/bus/DRAM state updates synchronously and
+// returns the completion cycle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hpp"
+#include "trace/instr.hpp"
+
+namespace snug::cpu {
+
+struct CoreConfig {
+  std::uint32_t issue_width = 8;
+  std::uint32_t rob_entries = 128;
+  std::uint32_t lsq_entries = 64;
+  Cycle branch_penalty = 3;
+  std::uint32_t instr_bytes = 4;    ///< for instruction-fetch block gating
+  std::uint32_t line_bytes = 64;
+  std::uint32_t code_blocks = 256;  ///< benchmark I-footprint (64 B blocks)
+};
+
+struct CoreStats {
+  std::uint64_t retired = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t ifetch_blocks = 0;
+  std::uint64_t rob_full_cycles = 0;
+  std::uint64_t lsq_full_cycles = 0;
+};
+
+/// Interface to the memory system; one implementation per L2 scheme stack.
+class MemoryPort {
+ public:
+  virtual ~MemoryPort() = default;
+
+  /// Performs a data access for `core`, updating all cache/bus/DRAM state,
+  /// and returns the completion cycle (>= now + 1).
+  virtual Cycle data_access(CoreId core, Addr addr, bool is_write,
+                            Cycle now) = 0;
+
+  /// Instruction fetch of the block containing `addr`.
+  virtual Cycle inst_fetch(CoreId core, Addr addr, Cycle now) = 0;
+};
+
+class Core {
+ public:
+  Core(CoreId id, const CoreConfig& cfg, trace::InstrStream& stream,
+       MemoryPort& mem);
+
+  /// Simulates one core clock cycle: retire, then fetch/dispatch.
+  void step(Cycle now);
+
+  [[nodiscard]] const CoreStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t retired() const noexcept {
+    return stats_.retired;
+  }
+  [[nodiscard]] CoreId id() const noexcept { return id_; }
+
+  /// IPC over a window of `cycles` (uses retired instructions since the
+  /// last reset_stats()).
+  [[nodiscard]] double ipc(Cycle cycles) const noexcept;
+
+  void reset_stats() noexcept { stats_ = CoreStats{}; }
+
+ private:
+  struct RobEntry {
+    Cycle done_at = 0;
+    bool is_mem = false;
+  };
+
+  void dispatch_one(Cycle now);
+
+  CoreId id_;
+  CoreConfig cfg_;
+  trace::InstrStream& stream_;
+  MemoryPort& mem_;
+
+  std::deque<RobEntry> rob_;
+  std::uint32_t lsq_used_ = 0;
+  Cycle fetch_stall_until_ = 0;
+  std::uint64_t fetched_instrs_ = 0;  // gates per-block instruction fetch
+  Addr code_base_;
+  std::uint64_t code_block_cursor_ = 0;
+
+  CoreStats stats_;
+};
+
+}  // namespace snug::cpu

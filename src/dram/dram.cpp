@@ -1,0 +1,41 @@
+#include "dram/dram.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace snug::dram {
+
+DramModel::DramModel(const DramConfig& cfg) : cfg_(cfg) {
+  SNUG_REQUIRE(cfg.channels >= 1);
+  SNUG_REQUIRE(cfg.latency >= 1);
+  free_at_.assign(cfg.channels, 0);
+}
+
+Cycle DramModel::schedule(Cycle now) {
+  // Pick the earliest-free channel.
+  auto it = std::min_element(free_at_.begin(), free_at_.end());
+  const Cycle start = std::max(now, *it);
+  if (start > now) {
+    ++stats_.queued;
+    stats_.queue_cycles += start - now;
+  }
+  *it = start + cfg_.occupancy;
+  return start + cfg_.latency;
+}
+
+Cycle DramModel::read(Cycle now) {
+  ++stats_.reads;
+  return schedule(now);
+}
+
+Cycle DramModel::write(Cycle now) {
+  ++stats_.writes;
+  return schedule(now);
+}
+
+void DramModel::reset(Cycle now) {
+  std::fill(free_at_.begin(), free_at_.end(), now);
+}
+
+}  // namespace snug::dram

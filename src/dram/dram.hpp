@@ -1,0 +1,54 @@
+// Off-chip DRAM model: fixed access latency (300 core cycles, Table 4)
+// plus a bandwidth constraint modelled as `channels` service slots with a
+// per-request occupancy.  A request issued at cycle `now` completes at
+//
+//   max(now, earliest free slot) + latency
+//
+// so bursts of misses queue up — the effect cooperative caching is
+// supposed to mitigate by keeping victims on chip.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace snug::dram {
+
+struct DramConfig {
+  Cycle latency = 300;       ///< paper Table 4
+  std::uint32_t channels = 2;
+  Cycle occupancy = 16;      ///< core cycles a request holds its channel
+};
+
+struct DramStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t queued = 0;        ///< requests that had to wait for a slot
+  std::uint64_t queue_cycles = 0;  ///< total cycles spent waiting
+};
+
+class DramModel {
+ public:
+  explicit DramModel(const DramConfig& cfg);
+
+  /// Schedules a read (cache fill); returns the completion cycle.
+  Cycle read(Cycle now);
+
+  /// Schedules a write-back; returns the completion cycle.  Writes consume
+  /// bandwidth but nothing waits on them.
+  Cycle write(Cycle now);
+
+  [[nodiscard]] const DramStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = DramStats{}; }
+  void reset(Cycle now = 0);
+
+ private:
+  Cycle schedule(Cycle now);
+
+  DramConfig cfg_;
+  std::vector<Cycle> free_at_;  // per-channel next-free cycle
+  DramStats stats_;
+};
+
+}  // namespace snug::dram

@@ -1,0 +1,161 @@
+#include "schemes/dsr_scheme.hpp"
+
+#include "common/require.hpp"
+
+namespace snug::schemes {
+
+DsrScheme::DsrScheme(const PrivateConfig& cfg, const DsrConfig& dsr,
+                     bus::SnoopBus& bus, dram::DramModel& dram)
+    : PrivateSchemeBase("DSR", cfg, bus, dram), dsr_(dsr) {
+  const std::uint32_t num_sets = cfg.l2.num_sets();
+
+  shadows_.resize(cfg.num_cores);
+  for (CoreId c = 0; c < cfg.num_cores; ++c) {
+    shadows_[c].reserve(num_sets);
+    for (std::uint32_t s = 0; s < num_sets; ++s) {
+      shadows_[c].emplace_back(cfg.l2.associativity());
+    }
+    // Same taker-biased reset point as the SNUG monitor: an application
+    // must show hit evidence before it is volunteered as a receiver.
+    app_counter_.emplace_back(dsr.k_bits, /*taker_biased=*/true);
+    divider_.emplace_back(dsr.p);
+  }
+  roles_.assign(cfg.num_cores, Role::kReceiver);  // cold: everyone hosts
+  controller_ = std::make_unique<core::SnugController>(dsr.epochs);
+  controller_->on_identify_end = [this] { harvest_roles(); };
+  controller_->on_group_end = [this] { counting_ = true; };
+
+  // Set-dueling ablation variant.
+  SNUG_REQUIRE(dsr.psel_bits >= 4 && dsr.psel_bits <= 20);
+  psel_max_ = (1U << dsr.psel_bits) - 1;
+  psel_.assign(cfg.num_cores, (psel_max_ + 1) / 2);
+  leaders_.assign(cfg.num_cores,
+                  std::vector<LeaderKind>(num_sets, LeaderKind::kNone));
+  if (dsr.use_set_dueling) {
+    SNUG_REQUIRE(dsr.leader_sets * 2 <= num_sets);
+    for (CoreId c = 0; c < cfg.num_cores; ++c) {
+      Rng leader_rng(Rng::derive_seed("dsr-leaders", c));
+      std::uint32_t placed = 0;
+      while (placed < dsr.leader_sets * 2) {
+        const auto s = static_cast<SetIndex>(leader_rng.below(num_sets));
+        if (leaders_[c][s] != LeaderKind::kNone) continue;
+        leaders_[c][s] = placed < dsr.leader_sets ? LeaderKind::kSpill
+                                                  : LeaderKind::kReceive;
+        ++placed;
+      }
+    }
+  }
+}
+
+void DsrScheme::harvest_roles() {
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    roles_[c] =
+        app_counter_[c].msb() ? Role::kSpiller : Role::kReceiver;
+    app_counter_[c].reset();
+    divider_[c].reset();
+  }
+  counting_ = false;  // counters sleep through the grouping stage
+}
+
+DsrScheme::Role DsrScheme::role_of(CoreId c) const {
+  SNUG_REQUIRE(c < roles_.size());
+  if (dsr_.use_set_dueling) {
+    return psel_[c] > (psel_max_ + 1) / 2 ? Role::kReceiver
+                                          : Role::kSpiller;
+  }
+  return roles_[c];
+}
+
+DsrScheme::Role DsrScheme::role_of(CoreId c, SetIndex s) const {
+  SNUG_REQUIRE(c < roles_.size());
+  SNUG_REQUIRE(s < leaders_[c].size());
+  if (dsr_.use_set_dueling) {
+    switch (leaders_[c][s]) {
+      case LeaderKind::kSpill:
+        return Role::kSpiller;
+      case LeaderKind::kReceive:
+        return Role::kReceiver;
+      case LeaderKind::kNone:
+        break;
+    }
+  }
+  return role_of(c);
+}
+
+std::uint32_t DsrScheme::psel(CoreId c) const {
+  SNUG_REQUIRE(c < psel_.size());
+  return psel_[c];
+}
+
+void DsrScheme::on_local_hit(CoreId c, SetIndex /*set*/) {
+  if (!counting_) return;
+  if (divider_[c].tick()) app_counter_[c].decrement();
+}
+
+void DsrScheme::on_local_miss(CoreId c, SetIndex set, std::uint64_t tag) {
+  // Shadow upkeep always (exclusivity); counting only during Stage I.
+  const bool shadow_hit = shadows_[c][set].probe_and_remove(tag);
+  if (counting_ && shadow_hit) {
+    app_counter_[c].increment();
+    if (divider_[c].tick()) app_counter_[c].decrement();
+  }
+  if (dsr_.use_set_dueling) {
+    switch (leaders_[c][set]) {
+      case LeaderKind::kSpill:
+        if (psel_[c] < psel_max_) ++psel_[c];
+        break;
+      case LeaderKind::kReceive:
+        if (psel_[c] > 0) --psel_[c];
+        break;
+      case LeaderKind::kNone:
+        break;
+    }
+  }
+}
+
+void DsrScheme::on_local_eviction(CoreId c, SetIndex set,
+                                  std::uint64_t tag) {
+  shadows_[c][set].insert(tag);
+}
+
+RemoteResult DsrScheme::probe_peers(CoreId c, Addr addr,
+                                    Cycle request_done) {
+  for (std::uint32_t i = 1; i < cfg_.num_cores; ++i) {
+    const CoreId peer = (c + i) % cfg_.num_cores;
+    const cache::CcLocation loc = slice(peer).lookup_cc(addr);
+    if (!loc.found) continue;
+    slice(peer).forward_and_invalidate(loc);
+    const Cycle lookup_done = request_done + cfg_.lat.remote_lookup_cc;
+    const bus::BusGrant data =
+        bus_.transact(lookup_done, bus::BusOp::kDataBlock);
+    return {true, data.finished};
+  }
+  return {};
+}
+
+void DsrScheme::maybe_spill(CoreId c, Addr victim_addr, SetIndex set,
+                            Cycle now, int chain_budget) {
+  if (!controller_->spilling_allowed()) {
+    ++stats_.spill_blocked_stage;
+    return;
+  }
+  if (role_of(c, set) != Role::kSpiller) {
+    ++stats_.spill_blocked_role;
+    return;
+  }
+  // Pick a receiver peer for this index, rotating the start position so
+  // one receiver does not absorb everything.
+  const std::uint32_t start =
+      static_cast<std::uint32_t>(rng_.below(cfg_.num_cores));
+  for (std::uint32_t i = 0; i < cfg_.num_cores; ++i) {
+    const CoreId peer = (start + i) % cfg_.num_cores;
+    if (peer == c) continue;
+    if (role_of(peer, set) != Role::kReceiver) continue;
+    place_spill(c, peer, victim_addr, /*flipped=*/false, now,
+                chain_budget);
+    return;
+  }
+  ++stats_.spill_no_target;
+}
+
+}  // namespace snug::schemes

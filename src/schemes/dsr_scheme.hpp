@@ -1,0 +1,87 @@
+// DSR — Dynamic Spill-Receive (Qureshi, HPCA 2009), the paper's
+// state-of-the-art baseline: each private cache as a whole is classified
+// as a *spiller* (taker application: benefits from extra capacity) or a
+// *receiver* (giver application: can host peers' victims), and spilling
+// only flows from spillers to receivers, always into the same-index set.
+//
+// Classification substitution (see DESIGN.md): Qureshi learns the roles
+// with set dueling; we learn them with the same shadow-tag capacity
+// monitor SNUG uses, aggregated to ONE saturating counter per cache
+// (sigma_app = shadow hits / all hits > 1/p  =>  taker/spiller).  This
+// keeps the sensing identical between DSR and SNUG, so any performance
+// difference between the two schemes is attributable purely to the
+// *granularity* of the classification and the flipping-based grouping —
+// exactly the comparison the paper makes.  (The set-dueling variant
+// remains available via DsrConfig::use_set_dueling for ablations.)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/saturating_counter.hpp"
+#include "core/shadow_set.hpp"
+#include "schemes/private_base.hpp"
+
+namespace snug::schemes {
+
+struct DsrConfig {
+  std::uint32_t k_bits = 8;  ///< app-level counter width (events/epoch big)
+  std::uint32_t p = 8;       ///< same 1/p threshold as SNUG (Table 2)
+  core::EpochConfig epochs;  ///< synchronised with SNUG's epochs
+  // --- set-dueling ablation variant ---
+  bool use_set_dueling = false;
+  std::uint32_t leader_sets = 32;  ///< per role, per cache
+  std::uint32_t psel_bits = 10;
+};
+
+class DsrScheme final : public PrivateSchemeBase {
+ public:
+  DsrScheme(const PrivateConfig& cfg, const DsrConfig& dsr,
+            bus::SnoopBus& bus, dram::DramModel& dram);
+
+  enum class Role : std::uint8_t { kSpiller, kReceiver };
+
+  void tick(Cycle now) override { controller_->tick(now); }
+
+  /// The cache-wide role (leader sets override it under set dueling).
+  [[nodiscard]] Role role_of(CoreId c) const;
+  /// Effective role for one set (differs from role_of(c) only for leader
+  /// sets in the set-dueling variant).
+  [[nodiscard]] Role role_of(CoreId c, SetIndex s) const;
+
+  [[nodiscard]] std::uint32_t psel(CoreId c) const;
+  [[nodiscard]] core::Stage stage() const noexcept {
+    return controller_->stage();
+  }
+
+ protected:
+  RemoteResult probe_peers(CoreId c, Addr addr,
+                           Cycle request_done) override;
+  void maybe_spill(CoreId c, Addr victim_addr, SetIndex set, Cycle now,
+                   int chain_budget) override;
+  void on_local_hit(CoreId c, SetIndex set) override;
+  void on_local_miss(CoreId c, SetIndex set, std::uint64_t tag) override;
+  void on_local_eviction(CoreId c, SetIndex set,
+                         std::uint64_t tag) override;
+
+ private:
+  enum class LeaderKind : std::uint8_t { kNone, kSpill, kReceive };
+
+  void harvest_roles();
+
+  DsrConfig dsr_;
+  // Monitor-based classification (default).
+  std::vector<std::vector<core::ShadowSet>> shadows_;  // [cache][set]
+  std::vector<core::SaturatingCounter> app_counter_;
+  std::vector<core::ModPCounter> divider_;
+  std::vector<Role> roles_;
+  std::unique_ptr<core::SnugController> controller_;
+  bool counting_ = true;
+  // Set-dueling variant state.
+  std::uint32_t psel_max_ = 0;
+  std::vector<std::uint32_t> psel_;
+  std::vector<std::vector<LeaderKind>> leaders_;  // [cache][set]
+};
+
+}  // namespace snug::schemes

@@ -1,0 +1,62 @@
+#include "schemes/factory.hpp"
+
+#include "common/require.hpp"
+#include "common/str.hpp"
+
+namespace snug::schemes {
+
+std::string SchemeSpec::id() const {
+  switch (kind) {
+    case SchemeKind::kL2P:
+      return "L2P";
+    case SchemeKind::kL2S:
+      return "L2S";
+    case SchemeKind::kCC:
+      return strf("CC(%d%%)", static_cast<int>(cc_spill_prob * 100));
+    case SchemeKind::kDSR:
+      return "DSR";
+    case SchemeKind::kSNUG:
+      return "SNUG";
+  }
+  return "?";
+}
+
+std::unique_ptr<L2Scheme> make_scheme(const SchemeSpec& spec,
+                                      const SchemeBuildContext& ctx,
+                                      bus::SnoopBus& bus,
+                                      dram::DramModel& dram) {
+  switch (spec.kind) {
+    case SchemeKind::kL2P:
+      return std::make_unique<L2P>(ctx.priv, bus, dram);
+    case SchemeKind::kL2S:
+      return std::make_unique<L2S>(ctx.shared, bus, dram);
+    case SchemeKind::kCC:
+      return std::make_unique<CcScheme>(ctx.priv, spec.cc_spill_prob, bus,
+                                        dram);
+    case SchemeKind::kDSR:
+      return std::make_unique<DsrScheme>(ctx.priv, ctx.dsr, bus, dram);
+    case SchemeKind::kSNUG:
+      return std::make_unique<SnugScheme>(ctx.priv, ctx.snug, bus, dram);
+  }
+  SNUG_REQUIRE(false);
+  return nullptr;
+}
+
+const std::vector<double>& cc_probability_grid() {
+  static const std::vector<double> kGrid{0.0, 0.25, 0.5, 0.75, 1.0};
+  return kGrid;
+}
+
+std::vector<SchemeSpec> paper_scheme_grid() {
+  std::vector<SchemeSpec> out;
+  out.push_back({SchemeKind::kL2P, 0.0});
+  out.push_back({SchemeKind::kL2S, 0.0});
+  for (const double p : cc_probability_grid()) {
+    out.push_back({SchemeKind::kCC, p});
+  }
+  out.push_back({SchemeKind::kDSR, 0.0});
+  out.push_back({SchemeKind::kSNUG, 0.0});
+  return out;
+}
+
+}  // namespace snug::schemes

@@ -1,0 +1,47 @@
+// Scheme construction by name, used by the experiment runner, examples and
+// bench binaries.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "schemes/cc_scheme.hpp"
+#include "schemes/dsr_scheme.hpp"
+#include "schemes/l2p.hpp"
+#include "schemes/l2s.hpp"
+#include "schemes/scheme.hpp"
+#include "schemes/snug_scheme.hpp"
+
+namespace snug::schemes {
+
+enum class SchemeKind : std::uint8_t { kL2P, kL2S, kCC, kDSR, kSNUG };
+
+/// A fully specified scheme choice ("CC" needs its spill probability).
+struct SchemeSpec {
+  SchemeKind kind = SchemeKind::kL2P;
+  double cc_spill_prob = 1.0;
+
+  /// Stable identifier, e.g. "L2P", "CC(50%)", "DSR", "SNUG".
+  [[nodiscard]] std::string id() const;
+};
+
+/// Everything needed to build any scheme.
+struct SchemeBuildContext {
+  PrivateConfig priv;   ///< private slices (L2P/CC/DSR/SNUG)
+  SharedConfig shared;  ///< L2S aggregate
+  DsrConfig dsr;
+  SnugConfig snug;
+};
+
+[[nodiscard]] std::unique_ptr<L2Scheme> make_scheme(
+    const SchemeSpec& spec, const SchemeBuildContext& ctx,
+    bus::SnoopBus& bus, dram::DramModel& dram);
+
+/// The paper's evaluation grid: L2P, L2S, CC at each probability, DSR,
+/// SNUG (Section 4.1).
+[[nodiscard]] std::vector<SchemeSpec> paper_scheme_grid();
+
+/// The CC spill probabilities evaluated for CC(Best).
+[[nodiscard]] const std::vector<double>& cc_probability_grid();
+
+}  // namespace snug::schemes

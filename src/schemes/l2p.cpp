@@ -1,0 +1,5 @@
+#include "schemes/l2p.hpp"
+
+// L2P adds nothing on top of the base flow; this TU anchors the class.
+
+namespace snug::schemes {}

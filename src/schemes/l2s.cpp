@@ -1,0 +1,70 @@
+#include "schemes/l2s.hpp"
+
+#include "common/require.hpp"
+
+namespace snug::schemes {
+
+L2S::L2S(const SharedConfig& cfg, bus::SnoopBus& bus, dram::DramModel& dram)
+    : cfg_(cfg), bus_(bus), dram_(dram) {
+  SNUG_REQUIRE(cfg.num_cores >= 1);
+  shared_ = std::make_unique<cache::SetAssocCache>("L2S.shared", cfg.l2);
+  wbb_ = std::make_unique<cache::WriteBackBuffer>(cfg.wbb);
+}
+
+std::uint32_t L2S::bank_of(Addr addr) const {
+  // Block-address interleaving over the low set-index bits.
+  return shared_->geometry().set_of(addr) % cfg_.num_cores;
+}
+
+Cycle L2S::bank_latency(CoreId c, Addr addr) const {
+  return bank_of(addr) == c ? cfg_.lat.l2_local : cfg_.lat.l2s_remote;
+}
+
+Cycle L2S::access(CoreId c, Addr addr, bool is_write, Cycle now) {
+  ++stats_.l2_accesses;
+  wbb_->tick(now);
+  const Cycle lat = bank_latency(c, addr);
+  const cache::AccessResult res = shared_->access_local(addr, is_write);
+  if (res.hit) {
+    ++stats_.l2_hits;
+    return now + lat;
+  }
+  ++stats_.l2_misses;
+
+  const Addr block = shared_->geometry().block_of(addr);
+  if (wbb_->read_hit(block)) {
+    ++stats_.wbb_direct_reads;
+    return now + lat;
+  }
+
+  // DRAM over the bus, then install at the home bank.
+  const bus::BusGrant req = bus_.transact(now, bus::BusOp::kRequest);
+  const Cycle data_ready = dram_.read(req.finished);
+  const bus::BusGrant fill =
+      bus_.transact(data_ready, bus::BusOp::kDataBlock);
+  ++stats_.dram_fills;
+  const Cycle completion = fill.finished + lat;
+
+  const cache::Eviction ev = shared_->fill_local(block, is_write, c);
+  Cycle stall = 0;
+  if (ev.happened() && ev.line.dirty) {
+    const Addr victim =
+        shared_->geometry().addr_of(ev.line.tag, ev.set);
+    stall = wbb_->insert(victim, completion);
+    stats_.wbb_stall_cycles += stall;
+  }
+  return completion + stall;
+}
+
+void L2S::l1_writeback(CoreId /*c*/, Addr addr, Cycle now) {
+  const cache::AccessResult res = shared_->probe_local(addr);
+  if (res.hit) {
+    shared_->set_mut(res.set).line_mut(res.way).dirty = true;
+    return;
+  }
+  const Cycle stall =
+      wbb_->insert(shared_->geometry().block_of(addr), now);
+  stats_.wbb_stall_cycles += stall;
+}
+
+}  // namespace snug::schemes

@@ -1,0 +1,52 @@
+// L2S — the shared organisation: one address-interleaved L2 of aggregate
+// capacity (4 MB for the quad-core Table 4 machine), 4 banks selected by
+// the low set-index bits.  A core reaches its local bank in 10 cycles and
+// a remote bank in 30 (NUCA, paper Section 1); banked shared caches use
+// their own interconnect, so remote-bank hops do not occupy the snoop bus
+// (DRAM traffic still does).
+#pragma once
+
+#include <memory>
+
+#include "cache/wbb.hpp"
+#include "schemes/scheme.hpp"
+
+namespace snug::schemes {
+
+struct SharedConfig {
+  std::uint32_t num_cores = 4;
+  cache::CacheGeometry l2{4 << 20, 16, 64};  ///< aggregate
+  cache::WbbConfig wbb;
+  LatencyConfig lat;
+};
+
+class L2S final : public L2Scheme {
+ public:
+  L2S(const SharedConfig& cfg, bus::SnoopBus& bus, dram::DramModel& dram);
+
+  [[nodiscard]] const char* name() const override { return "L2S"; }
+  Cycle access(CoreId c, Addr addr, bool is_write, Cycle now) override;
+  void l1_writeback(CoreId c, Addr addr, Cycle now) override;
+
+  [[nodiscard]] cache::SetAssocCache& slice(CoreId) override {
+    return *shared_;
+  }
+  [[nodiscard]] const cache::SetAssocCache& slice(CoreId) const override {
+    return *shared_;
+  }
+  [[nodiscard]] std::uint32_t num_slices() const override { return 1; }
+
+  /// Bank (0..num_cores-1) serving `addr`.
+  [[nodiscard]] std::uint32_t bank_of(Addr addr) const;
+
+ private:
+  [[nodiscard]] Cycle bank_latency(CoreId c, Addr addr) const;
+
+  SharedConfig cfg_;
+  bus::SnoopBus& bus_;
+  dram::DramModel& dram_;
+  std::unique_ptr<cache::SetAssocCache> shared_;
+  std::unique_ptr<cache::WriteBackBuffer> wbb_;
+};
+
+}  // namespace snug::schemes

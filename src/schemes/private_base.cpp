@@ -1,0 +1,156 @@
+#include "schemes/private_base.hpp"
+
+#include "common/require.hpp"
+#include "common/str.hpp"
+
+namespace snug::schemes {
+
+PrivateSchemeBase::PrivateSchemeBase(std::string scheme_name,
+                                     const PrivateConfig& cfg,
+                                     bus::SnoopBus& bus,
+                                     dram::DramModel& dram)
+    : cfg_(cfg),
+      bus_(bus),
+      dram_(dram),
+      rng_(Rng::derive_seed("scheme", Rng::derive_seed(scheme_name))),
+      name_(std::move(scheme_name)) {
+  SNUG_REQUIRE(cfg.num_cores >= 2);
+  for (CoreId c = 0; c < cfg.num_cores; ++c) {
+    slices_.push_back(std::make_unique<cache::SetAssocCache>(
+        strf("%s.l2[%u]", name_.c_str(), static_cast<unsigned>(c)),
+        cfg.l2));
+    wbbs_.push_back(std::make_unique<cache::WriteBackBuffer>(cfg.wbb));
+  }
+}
+
+cache::SetAssocCache& PrivateSchemeBase::slice(CoreId c) {
+  SNUG_REQUIRE(c < slices_.size());
+  return *slices_[c];
+}
+
+const cache::SetAssocCache& PrivateSchemeBase::slice(CoreId c) const {
+  SNUG_REQUIRE(c < slices_.size());
+  return *slices_[c];
+}
+
+cache::WriteBackBuffer& PrivateSchemeBase::wbb(CoreId c) {
+  SNUG_REQUIRE(c < wbbs_.size());
+  return *wbbs_[c];
+}
+
+std::uint32_t PrivateSchemeBase::cc_copies_of(Addr addr) const {
+  std::uint32_t n = 0;
+  for (const auto& s : slices_) n += s->lookup_cc(addr).found ? 1U : 0U;
+  return n;
+}
+
+Cycle PrivateSchemeBase::install_fill(CoreId c, Addr addr, bool dirty,
+                                      Cycle now) {
+  const cache::Eviction ev = slices_[c]->fill_local(addr, dirty, c);
+  if (ev.happened() && !ev.line.cc && ev.line.dirty) {
+    // Dirty victim: write-back buffer; report the stall to the caller.
+    const auto& geo = slices_[c]->geometry();
+    on_local_eviction(c, ev.set, ev.line.tag);
+    ++stats_.evict_dirty_local;
+    const Cycle stall =
+        wbbs_[c]->insert(geo.addr_of(ev.line.tag, ev.set), now);
+    stats_.wbb_stall_cycles += stall;
+    return stall;
+  }
+  route_eviction(c, ev, now, kMaxSpillChain);
+  return 0;
+}
+
+void PrivateSchemeBase::route_eviction(CoreId cache,
+                                       const cache::Eviction& ev, Cycle now,
+                                       int chain_budget) {
+  if (!ev.happened()) return;
+  if (ev.line.cc) {
+    ++stats_.evict_guest;  // one-chance forwarding: guests are dropped
+    return;
+  }
+  const auto& geo = slices_[cache]->geometry();
+  const Addr victim_addr = geo.addr_of(ev.line.tag, ev.set);
+  on_local_eviction(cache, ev.set, ev.line.tag);
+  if (ev.line.dirty) {
+    // Only clean blocks may be cooperatively cached (Section 3.3).
+    ++stats_.evict_dirty_local;
+    const Cycle stall = wbbs_[cache]->insert(victim_addr, now);
+    stats_.wbb_stall_cycles += stall;
+    return;
+  }
+  ++stats_.evict_clean_local;
+  if (chain_budget > 0) {
+    maybe_spill(cache, victim_addr, ev.set, now, chain_budget);
+  }
+}
+
+void PrivateSchemeBase::place_spill(CoreId owner, CoreId target, Addr addr,
+                                    bool flipped, Cycle now,
+                                    int chain_budget) {
+  SNUG_REQUIRE(owner != target);
+  bus_.transact(now, bus::BusOp::kSpill);
+  const cache::Eviction ev =
+      slices_[target]->insert_cc(addr, owner, flipped);
+  ++stats_.spills;
+  // A displaced local victim of the target is an ordinary eviction and
+  // may spill onward (this cascade is what lets eviction-driven CC pool
+  // same-index sets across slices).
+  route_eviction(target, ev, now, chain_budget - 1);
+}
+
+Cycle PrivateSchemeBase::access(CoreId c, Addr addr, bool is_write,
+                                Cycle now) {
+  SNUG_REQUIRE(c < slices_.size());
+  ++stats_.l2_accesses;
+  wbbs_[c]->tick(now);
+
+  cache::SetAssocCache& l2 = *slices_[c];
+  const cache::AccessResult res = l2.access_local(addr, is_write);
+  if (res.hit) {
+    ++stats_.l2_hits;
+    on_local_hit(c, res.set);
+    return now + cfg_.lat.l2_local;
+  }
+  ++stats_.l2_misses;
+  on_local_miss(c, res.set, l2.geometry().tag_of(addr));
+
+  // Write-back buffer direct read (Table 4: "support direct read").
+  const Addr block = l2.geometry().block_of(addr);
+  if (wbbs_[c]->read_hit(block)) {
+    ++stats_.wbb_direct_reads;
+    return now + cfg_.lat.l2_local;
+  }
+
+  // One broadcast serves both the peer snoop and the memory request: if
+  // no peer responds, the memory controller picks the request up.
+  const bus::BusGrant req = bus_.transact(now, bus::BusOp::kRequest);
+  Cycle completion;
+  const RemoteResult remote = probe_peers(c, addr, req.finished);
+  if (remote.found) {
+    ++stats_.remote_hits;
+    completion = remote.completion;
+  } else {
+    const Cycle data_ready = dram_.read(req.finished);
+    completion = bus_.transact(data_ready, bus::BusOp::kDataBlock).finished;
+    ++stats_.dram_fills;
+  }
+  const Cycle stall = install_fill(c, block, is_write, completion);
+  return completion + stall;
+}
+
+void PrivateSchemeBase::l1_writeback(CoreId c, Addr addr, Cycle now) {
+  SNUG_REQUIRE(c < slices_.size());
+  cache::SetAssocCache& l2 = *slices_[c];
+  const cache::AccessResult res = l2.probe_local(addr);
+  if (res.hit) {
+    l2.set_mut(res.set).line_mut(res.way).dirty = true;
+    return;
+  }
+  // The L2 line was already displaced (non-inclusive hierarchy): buffer the
+  // dirty data for memory.
+  const Cycle stall = wbbs_[c]->insert(l2.geometry().block_of(addr), now);
+  stats_.wbb_stall_cycles += stall;
+}
+
+}  // namespace snug::schemes

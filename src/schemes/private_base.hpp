@@ -1,0 +1,109 @@
+// Shared machinery for the private-L2 organisations (L2P, CC, DSR, SNUG):
+// one L2 slice + write-back buffer per core, the common access flow
+// (local lookup -> WBB direct read -> remote retrieve -> DRAM -> fill),
+// and eviction routing.  Scheme-specific behaviour enters through four
+// hooks: monitoring callbacks, the remote-retrieve probe, and the spill
+// decision.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/wbb.hpp"
+#include "common/rng.hpp"
+#include "schemes/scheme.hpp"
+
+namespace snug::schemes {
+
+struct PrivateConfig {
+  std::uint32_t num_cores = 4;
+  cache::CacheGeometry l2{1 << 20, 16, 64};  ///< per-slice (Table 4)
+  cache::WbbConfig wbb;
+  LatencyConfig lat;
+};
+
+/// Outcome of a peer-retrieve probe.
+struct RemoteResult {
+  bool found = false;
+  Cycle completion = 0;
+};
+
+class PrivateSchemeBase : public L2Scheme {
+ public:
+  PrivateSchemeBase(std::string scheme_name, const PrivateConfig& cfg,
+                    bus::SnoopBus& bus, dram::DramModel& dram);
+
+  Cycle access(CoreId c, Addr addr, bool is_write, Cycle now) final;
+  void l1_writeback(CoreId c, Addr addr, Cycle now) final;
+
+  [[nodiscard]] const char* name() const override {
+    return name_.c_str();
+  }
+  [[nodiscard]] cache::SetAssocCache& slice(CoreId c) override;
+  [[nodiscard]] const cache::SetAssocCache& slice(CoreId c) const override;
+  [[nodiscard]] std::uint32_t num_slices() const override {
+    return cfg_.num_cores;
+  }
+  [[nodiscard]] cache::WriteBackBuffer& wbb(CoreId c);
+
+  /// Total cooperative copies of `addr` across all slices (invariant: <= 1).
+  [[nodiscard]] std::uint32_t cc_copies_of(Addr addr) const;
+
+ protected:
+  /// Longest eviction-driven spill chain one fill can trigger.  A spill
+  /// displacing a peer's *local* victim makes that victim eligible for
+  /// spilling in turn (it is an ordinary eviction); chains terminate
+  /// naturally when a displaced line is a guest (one-chance forwarding
+  /// drops it) or dirty, and this budget bounds the pathological case.
+  static constexpr int kMaxSpillChain = 4;
+
+  // ------------------------------------------------------------- hooks
+  /// A local hit occurred in slice c (SNUG: feed the monitor).
+  virtual void on_local_hit(CoreId /*c*/, SetIndex /*set*/) {}
+  /// A local miss occurred (SNUG: probe the shadow set).
+  virtual void on_local_miss(CoreId /*c*/, SetIndex /*set*/,
+                             std::uint64_t /*tag*/) {}
+  /// Attempt to serve the miss from a peer L2.  The retrieve request has
+  /// already been broadcast (it finished at `request_done`); on a hit the
+  /// implementation forward-invalidates and transacts the data return.
+  virtual RemoteResult probe_peers(CoreId /*c*/, Addr /*addr*/,
+                                   Cycle /*request_done*/) {
+    return {};
+  }
+  /// A clean local victim left slice c; the scheme may spill it.
+  /// `chain_budget` is decremented across cascade hops.
+  virtual void maybe_spill(CoreId /*c*/, Addr /*victim_addr*/,
+                           SetIndex /*set*/, Cycle /*now*/,
+                           int /*chain_budget*/) {}
+  /// A local line (clean or dirty) was displaced from slice c's set
+  /// (SNUG: insert its tag into the shadow set).
+  virtual void on_local_eviction(CoreId /*c*/, SetIndex /*set*/,
+                                 std::uint64_t /*tag*/) {}
+
+  // -------------------------------------------------------- shared flow
+  /// Installs a fill into slice c and routes the displaced line.
+  /// Returns the WBB stall (0 normally).
+  Cycle install_fill(CoreId c, Addr addr, bool dirty, Cycle now);
+
+  /// Routes a displaced line out of `cache`: guests are dropped
+  /// (one-chance), dirty locals go to the WBB, clean locals may spill
+  /// onward while `chain_budget` lasts.
+  void route_eviction(CoreId cache, const cache::Eviction& ev, Cycle now,
+                      int chain_budget);
+
+  /// Places a spill into `target`'s slice and routes its displaced line.
+  void place_spill(CoreId owner, CoreId target, Addr addr, bool flipped,
+                   Cycle now, int chain_budget);
+
+  PrivateConfig cfg_;
+  bus::SnoopBus& bus_;
+  dram::DramModel& dram_;
+  Rng rng_;  ///< spill coin flips / tie-breaks
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<cache::SetAssocCache>> slices_;
+  std::vector<std::unique_ptr<cache::WriteBackBuffer>> wbbs_;
+};
+
+}  // namespace snug::schemes

@@ -1,0 +1,5 @@
+#include "schemes/scheme.hpp"
+
+// The interface is header-only today; this TU anchors the vtable.
+
+namespace snug::schemes {}

@@ -1,0 +1,82 @@
+// The L2 organisation interface.
+//
+// A scheme owns the L2 storage (private slices or a shared cache) and
+// implements the paper's five organisations: L2P, L2S, CC(p), DSR, SNUG.
+// The CMP system routes every L1 miss through `access`, which performs all
+// state updates (fills, spills, retrieves, write-backs) synchronously and
+// returns the completion cycle.
+//
+// Latency model (Table 4, Section 4.1): a local L2 hit costs 10 cycles; an
+// uncontended remote L2 hit totals 30 cycles for CC/DSR and 40 for SNUG
+// (the extra 10 pays for the peer-side G/T-vector lookup); DRAM adds 300
+// cycles on top of the bus transfers.  The remote total decomposes into
+// bus-request (8) + peer lookup (2 or 12) + bus data transfer (20).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bus/snoop_bus.hpp"
+#include "cache/cache.hpp"
+#include "common/types.hpp"
+#include "dram/dram.hpp"
+
+namespace snug::schemes {
+
+struct LatencyConfig {
+  Cycle l1_hit = 1;
+  Cycle l2_local = 10;
+  Cycle remote_lookup_cc = 2;    ///< 8 + 2 + 20 = 30 total (CC/DSR)
+  Cycle remote_lookup_snug = 12; ///< 8 + 12 + 20 = 40 total (SNUG)
+  Cycle l2s_remote = 30;         ///< shared-L2 remote-bank access
+};
+
+struct SchemeStats {
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t wbb_direct_reads = 0;
+  std::uint64_t remote_hits = 0;    ///< misses served by a peer L2
+  std::uint64_t dram_fills = 0;
+  std::uint64_t spills = 0;         ///< victims placed in a peer
+  std::uint64_t spill_no_target = 0;
+  std::uint64_t evict_guest = 0;    ///< displaced cooperative lines (dropped)
+  std::uint64_t spill_blocked_stage = 0;  ///< SNUG: Stage I, no spilling
+  std::uint64_t spill_blocked_giver = 0;  ///< SNUG: giver sets do not spill
+  std::uint64_t spill_blocked_role = 0;   ///< DSR: receiver role
+  std::uint64_t evict_dirty_local = 0;   ///< dirty locals -> WBB
+  std::uint64_t evict_clean_local = 0;   ///< clean locals -> spill candidates
+  std::uint64_t wbb_stall_cycles = 0;
+  std::uint64_t cc_flushed = 0;     ///< cooperative lines dropped at regroup
+};
+
+class L2Scheme {
+ public:
+  virtual ~L2Scheme() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// An L2-level access (L1 miss) from core `c`; returns completion cycle.
+  virtual Cycle access(CoreId c, Addr addr, bool is_write, Cycle now) = 0;
+
+  /// A dirty L1 victim written back into the L2 level.
+  virtual void l1_writeback(CoreId c, Addr addr, Cycle now) = 0;
+
+  /// Per-cycle housekeeping (epoch state machines).
+  virtual void tick(Cycle /*now*/) {}
+
+  /// The cache storage serving core `c` (the shared cache for L2S).
+  [[nodiscard]] virtual cache::SetAssocCache& slice(CoreId c) = 0;
+  [[nodiscard]] virtual const cache::SetAssocCache& slice(
+      CoreId c) const = 0;
+  [[nodiscard]] virtual std::uint32_t num_slices() const = 0;
+
+  [[nodiscard]] const SchemeStats& stats() const noexcept { return stats_; }
+  virtual void reset_stats() { stats_ = SchemeStats{}; }
+
+ protected:
+  SchemeStats stats_;
+};
+
+}  // namespace snug::schemes

@@ -1,0 +1,88 @@
+#include "sim/config.hpp"
+
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "common/str.hpp"
+
+namespace snug::sim {
+
+void RunScale::scale_by(std::uint64_t factor) {
+  warmup_cycles *= factor;
+  measure_cycles *= factor;
+  phase_period_refs *= factor;
+}
+
+SystemConfig paper_system_config() {
+  SystemConfig cfg;
+  // Core (Table 4): issue/commit 8/8, RUU 128, LSQ 64, 3-cycle branch
+  // penalty.  code_blocks is overridden per benchmark at system build.
+  cfg.core.issue_width = 8;
+  cfg.core.rob_entries = 128;
+  cfg.core.lsq_entries = 64;
+  cfg.core.branch_penalty = 3;
+
+  // Private slices: 1 MB 16-way 64 B; shared aggregate: 4 MB.
+  cfg.scheme_ctx.priv.num_cores = cfg.num_cores;
+  cfg.scheme_ctx.priv.l2 = cache::CacheGeometry(1 << 20, 16, 64);
+  cfg.scheme_ctx.shared.num_cores = cfg.num_cores;
+  cfg.scheme_ctx.shared.l2 = cache::CacheGeometry(4 << 20, 16, 64);
+
+  // SNUG monitor mirrors the slice geometry; k = 4, p = 8 (Table 2).
+  cfg.scheme_ctx.snug.monitor.num_sets =
+      cfg.scheme_ctx.priv.l2.num_sets();
+  cfg.scheme_ctx.snug.monitor.assoc =
+      cfg.scheme_ctx.priv.l2.associativity();
+  cfg.scheme_ctx.snug.monitor.k_bits = 4;
+  cfg.scheme_ctx.snug.monitor.p = 8;
+  // See core::EpochConfig: 2 M identify / 10 M group at default scale;
+  // SNUG_FULL_SCALE=1 restores the paper's 5 M / 100 M epochs.
+  cfg.scheme_ctx.snug.epochs = core::EpochConfig{};
+  if (const char* env = std::getenv("SNUG_FULL_SCALE");
+      env != nullptr && env[0] == '1') {
+    cfg.scheme_ctx.snug.epochs.identify_cycles = 5'000'000;
+    cfg.scheme_ctx.snug.epochs.group_cycles = 100'000'000;
+  }
+  return cfg;
+}
+
+RunScale default_run_scale() {
+  RunScale scale;
+  const char* env = std::getenv("SNUG_FULL_SCALE");
+  if (env != nullptr && env[0] == '1') {
+    // Paper-scale epochs are 5 M + 100 M; cover a full period.
+    scale.warmup_cycles = 8'000'000;
+    scale.measure_cycles = 110'000'000;
+    scale.phase_period_refs = 800'000;
+  }
+  return scale;
+}
+
+std::uint64_t config_fingerprint(const SystemConfig& cfg,
+                                 const RunScale& scale) {
+  // Version salt: bump when the simulator's timing semantics change so
+  // stale cache entries are never reused.
+  const std::string descriptor = strf(
+      "v4|cores=%u|l2=%llu/%u/%u|l1=%llu/%u|bus=%u:%u|dram=%llu/%u/%llu|"
+      "snug=%llu/%llu/k%u/p%u|warm=%llu|meas=%llu|phase=%llu",
+      cfg.num_cores,
+      static_cast<unsigned long long>(
+          cfg.scheme_ctx.priv.l2.capacity_bytes()),
+      cfg.scheme_ctx.priv.l2.associativity(),
+      cfg.scheme_ctx.priv.l2.line_bytes(),
+      static_cast<unsigned long long>(cfg.l1d.capacity_bytes()),
+      cfg.l1d.associativity(), cfg.bus.width_bytes, cfg.bus.speed_ratio,
+      static_cast<unsigned long long>(cfg.dram.latency), cfg.dram.channels,
+      static_cast<unsigned long long>(cfg.dram.occupancy),
+      static_cast<unsigned long long>(
+          cfg.scheme_ctx.snug.epochs.identify_cycles),
+      static_cast<unsigned long long>(
+          cfg.scheme_ctx.snug.epochs.group_cycles),
+      cfg.scheme_ctx.snug.monitor.k_bits, cfg.scheme_ctx.snug.monitor.p,
+      static_cast<unsigned long long>(scale.warmup_cycles),
+      static_cast<unsigned long long>(scale.measure_cycles),
+      static_cast<unsigned long long>(scale.phase_period_refs));
+  return Rng::derive_seed(descriptor);
+}
+
+}  // namespace snug::sim

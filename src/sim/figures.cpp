@@ -1,0 +1,95 @@
+#include "sim/figures.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "stats/metrics.hpp"
+
+namespace snug::sim {
+
+const char* to_string(Metric m) noexcept {
+  switch (m) {
+    case Metric::kThroughputNorm:
+      return "throughput (normalised to L2P)";
+    case Metric::kAws:
+      return "average weighted speedup";
+    case Metric::kFairSpeedup:
+      return "fair speedup";
+  }
+  return "?";
+}
+
+double metric_value(Metric m, const std::vector<double>& scheme_ipc,
+                    const std::vector<double>& base_ipc) {
+  SNUG_REQUIRE(scheme_ipc.size() == base_ipc.size());
+  switch (m) {
+    case Metric::kThroughputNorm:
+      return stats::throughput(scheme_ipc) / stats::throughput(base_ipc);
+    case Metric::kAws:
+      return stats::average_weighted_speedup(scheme_ipc, base_ipc);
+    case Metric::kFairSpeedup:
+      return stats::fair_speedup(scheme_ipc, base_ipc);
+  }
+  SNUG_REQUIRE(false);
+  return 0.0;
+}
+
+CampaignResults run_paper_campaign(ExperimentRunner& runner) {
+  CampaignResults out;
+  for (const auto& combo : trace::all_combos()) {
+    out[combo.name] = runner.run_combo_grid(combo);
+  }
+  return out;
+}
+
+double cc_best_value(const ExperimentRunner::ComboResults& combo_results,
+                     Metric metric) {
+  const auto& base = combo_results.at("L2P").ipc;
+  double best = 0.0;
+  bool any = false;
+  for (const auto& [id, result] : combo_results) {
+    if (id.rfind("CC(", 0) != 0) continue;
+    const double v = metric_value(metric, result.ipc, base);
+    if (!any || v > best) {
+      best = v;
+      any = true;
+    }
+  }
+  SNUG_REQUIRE(any);
+  return best;
+}
+
+FigureSeries assemble_figure(const CampaignResults& results,
+                             Metric metric) {
+  FigureSeries fig;
+  fig.schemes = {"L2S", "CC(Best)", "DSR", "SNUG"};
+
+  for (const auto& scheme : fig.schemes) {
+    std::vector<double> per_class(7, 0.0);
+    std::vector<double> all_values;
+    for (int cls = 1; cls <= 6; ++cls) {
+      std::vector<double> class_values;
+      for (const auto& combo : trace::combos_in_class(cls)) {
+        const auto it = results.find(combo.name);
+        SNUG_REQUIRE(it != results.end());
+        const auto& combo_results = it->second;
+        const auto& base = combo_results.at("L2P").ipc;
+        double v = 0.0;
+        if (scheme == "CC(Best)") {
+          v = cc_best_value(combo_results, metric);
+        } else {
+          v = metric_value(metric, combo_results.at(scheme).ipc, base);
+        }
+        class_values.push_back(v);
+        all_values.push_back(v);
+      }
+      per_class[static_cast<std::size_t>(cls - 1)] =
+          stats::geometric_mean(class_values);
+    }
+    per_class[6] = stats::geometric_mean(all_values);  // AVG
+    fig.values[scheme] = per_class;
+  }
+  return fig;
+}
+
+}  // namespace snug::sim

@@ -1,0 +1,54 @@
+// Metric assembly for the paper's evaluation figures.
+//
+// Figure 9:  throughput normalised to L2P      (Table 5: sum of IPCs)
+// Figure 10: average weighted speedup vs. L2P  (arithmetic mean of rel-IPC)
+// Figure 11: fair speedup vs. L2P              (harmonic mean of rel-IPC)
+//
+// Per Section 5, the value reported for a workload class is the geometric
+// mean over that class's combinations; CC(Best) picks, per combination,
+// the spill probability with the best value of the metric in question.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace snug::sim {
+
+enum class Metric : std::uint8_t {
+  kThroughputNorm,  ///< Figure 9
+  kAws,             ///< Figure 10
+  kFairSpeedup,     ///< Figure 11
+};
+
+[[nodiscard]] const char* to_string(Metric m) noexcept;
+
+/// The metric value of `scheme_ipc` relative to the L2P baseline.
+[[nodiscard]] double metric_value(Metric m,
+                                  const std::vector<double>& scheme_ipc,
+                                  const std::vector<double>& base_ipc);
+
+/// Per-combo results for the whole campaign, keyed by combo name.
+using CampaignResults =
+    std::map<std::string, ExperimentRunner::ComboResults>;
+
+/// Runs (or loads from cache) all 21 combos under the full scheme grid.
+CampaignResults run_paper_campaign(ExperimentRunner& runner);
+
+/// One row of a figure: scheme -> value per class C1..C6 plus AVG (index 6).
+struct FigureSeries {
+  std::vector<std::string> schemes;  ///< L2S, CC(Best), DSR, SNUG
+  std::map<std::string, std::vector<double>> values;  ///< size 7 each
+};
+
+/// Assembles a figure from campaign results.
+[[nodiscard]] FigureSeries assemble_figure(const CampaignResults& results,
+                                           Metric metric);
+
+/// CC(Best): the best CC(p) value for this combo under `metric`.
+[[nodiscard]] double cc_best_value(
+    const ExperimentRunner::ComboResults& combo_results, Metric metric);
+
+}  // namespace snug::sim

@@ -1,0 +1,94 @@
+#include "sim/runner.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "common/str.hpp"
+
+namespace snug::sim {
+
+double RunResult::throughput() const {
+  double sum = 0.0;
+  for (const double v : ipc) sum += v;
+  return sum;
+}
+
+EvalCache::EvalCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) dir_.clear();  // fall back to uncached operation
+  }
+}
+
+bool EvalCache::load(const std::string& key,
+                     std::vector<double>& ipc) const {
+  if (dir_.empty()) return false;
+  std::ifstream in(dir_ + "/" + key + ".txt");
+  if (!in) return false;
+  ipc.clear();
+  double v = 0.0;
+  while (in >> v) ipc.push_back(v);
+  return !ipc.empty();
+}
+
+void EvalCache::store(const std::string& key,
+                      const std::vector<double>& ipc) const {
+  if (dir_.empty()) return;
+  std::ofstream out(dir_ + "/" + key + ".txt");
+  for (const double v : ipc) out << strf("%.9f\n", v);
+}
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("SNUG_CACHE_DIR")) return env;
+  return ".snug_eval_cache";
+}
+
+ExperimentRunner::ExperimentRunner(const SystemConfig& cfg,
+                                   const RunScale& scale,
+                                   std::string cache_dir)
+    : cfg_(cfg), scale_(scale), cache_(std::move(cache_dir)) {}
+
+std::string ExperimentRunner::cache_key(
+    const trace::WorkloadCombo& combo,
+    const schemes::SchemeSpec& spec) const {
+  const std::uint64_t fp = config_fingerprint(cfg_, scale_);
+  return strf("%s__%s__%016llx", combo.name.c_str(), spec.id().c_str(),
+              static_cast<unsigned long long>(fp));
+}
+
+RunResult ExperimentRunner::run(const trace::WorkloadCombo& combo,
+                                const schemes::SchemeSpec& spec) {
+  const std::string key = cache_key(combo, spec);
+  RunResult result;
+  if (cache_.load(key, result.ipc)) {
+    if (on_progress) on_progress(combo.name, spec.id(), true);
+    return result;
+  }
+  if (on_progress) on_progress(combo.name, spec.id(), false);
+
+  CmpSystem system(cfg_, spec, combo, scale_);
+  system.run(scale_.warmup_cycles);
+  system.begin_measurement();
+  system.run(scale_.measure_cycles);
+  result.ipc = system.measured_ipc();
+  for (const double v : result.ipc) SNUG_ENSURE(v > 0.0);
+
+  cache_.store(key, result.ipc);
+  return result;
+}
+
+ExperimentRunner::ComboResults ExperimentRunner::run_combo_grid(
+    const trace::WorkloadCombo& combo) {
+  ComboResults out;
+  for (const auto& spec : schemes::paper_scheme_grid()) {
+    out[spec.id()] = run(combo, spec);
+  }
+  return out;
+}
+
+}  // namespace snug::sim

@@ -1,0 +1,72 @@
+// ExperimentRunner — executes (workload combo x scheme) timing runs and
+// caches per-core IPCs on disk, so the three figure benches (9, 10, 11)
+// share one simulation campaign instead of repeating it.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/system.hpp"
+
+namespace snug::sim {
+
+struct RunResult {
+  std::vector<double> ipc;  ///< per core, measurement window
+
+  [[nodiscard]] double throughput() const;
+};
+
+/// One-file-per-entry disk cache keyed by a fingerprint of
+/// (combo, scheme, config, scale).
+class EvalCache {
+ public:
+  /// `dir` is created on demand; pass "" to disable caching.
+  explicit EvalCache(std::string dir);
+
+  [[nodiscard]] bool load(const std::string& key,
+                          std::vector<double>& ipc) const;
+  void store(const std::string& key, const std::vector<double>& ipc) const;
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+
+ private:
+  std::string dir_;
+};
+
+/// Default cache directory: $SNUG_CACHE_DIR or .snug_eval_cache under the
+/// current working directory.
+[[nodiscard]] std::string default_cache_dir();
+
+class ExperimentRunner {
+ public:
+  ExperimentRunner(const SystemConfig& cfg, const RunScale& scale,
+                   std::string cache_dir = default_cache_dir());
+
+  /// Runs (or loads) one combo under one scheme.
+  RunResult run(const trace::WorkloadCombo& combo,
+                const schemes::SchemeSpec& spec);
+
+  /// Results for one combo under every scheme of the paper grid, keyed by
+  /// scheme id ("L2P", "L2S", "CC(25%)", ..., "DSR", "SNUG").
+  using ComboResults = std::map<std::string, RunResult>;
+  ComboResults run_combo_grid(const trace::WorkloadCombo& combo);
+
+  /// Optional progress callback: (combo, scheme, cached).
+  std::function<void(const std::string&, const std::string&, bool)>
+      on_progress;
+
+  [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const RunScale& scale() const noexcept { return scale_; }
+
+ private:
+  [[nodiscard]] std::string cache_key(const trace::WorkloadCombo& combo,
+                                      const schemes::SchemeSpec& spec) const;
+
+  SystemConfig cfg_;
+  RunScale scale_;
+  EvalCache cache_;
+};
+
+}  // namespace snug::sim

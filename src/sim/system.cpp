@@ -1,0 +1,118 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "common/str.hpp"
+#include "trace/profile.hpp"
+
+namespace snug::sim {
+
+CmpSystem::CmpSystem(const SystemConfig& cfg,
+                     const schemes::SchemeSpec& spec,
+                     const trace::WorkloadCombo& combo,
+                     const RunScale& scale)
+    : cfg_(cfg) {
+  SNUG_REQUIRE(combo.benchmarks.size() == cfg.num_cores);
+  bus_ = std::make_unique<bus::SnoopBus>(cfg.bus);
+  dram_ = std::make_unique<dram::DramModel>(cfg.dram);
+  scheme_ = schemes::make_scheme(spec, cfg.scheme_ctx, *bus_, *dram_);
+
+  for (CoreId c = 0; c < cfg.num_cores; ++c) {
+    const trace::BenchmarkProfile& prof =
+        trace::profile_for(combo.benchmarks[c]);
+
+    l1i_.push_back(std::make_unique<cache::SetAssocCache>(
+        strf("l1i[%u]", c), cfg.l1i));
+    l1d_.push_back(std::make_unique<cache::SetAssocCache>(
+        strf("l1d[%u]", c), cfg.l1d));
+
+    trace::StreamConfig scfg;
+    scfg.num_sets = cfg.scheme_ctx.priv.l2.num_sets();
+    scfg.line_bytes = cfg.scheme_ctx.priv.l2.line_bytes();
+    scfg.addr_base = static_cast<Addr>(c) << 40;  // disjoint address spaces
+    scfg.phase_period_refs = scale.phase_period_refs;
+    scfg.stream_seed = c;
+    streams_.push_back(
+        std::make_unique<trace::SyntheticStream>(prof, scfg));
+
+    cpu::CoreConfig core_cfg = cfg.core;
+    core_cfg.code_blocks = prof.code_blocks;
+    core_cfg.line_bytes = cfg.l1i.line_bytes();
+    cores_.push_back(
+        std::make_unique<cpu::Core>(c, core_cfg, *streams_[c], *this));
+  }
+}
+
+void CmpSystem::run(Cycle cycles) {
+  const Cycle end = now_ + cycles;
+  for (; now_ < end; ++now_) {
+    for (auto& core : cores_) core->step(now_);
+    scheme_->tick(now_);
+  }
+}
+
+void CmpSystem::begin_measurement() {
+  for (auto& core : cores_) core->reset_stats();
+  for (auto& l1 : l1i_) l1->reset_stats();
+  for (auto& l1 : l1d_) l1->reset_stats();
+  scheme_->reset_stats();
+  for (CoreId c = 0; c < scheme_->num_slices(); ++c) {
+    scheme_->slice(c).reset_stats();
+  }
+  bus_->reset_stats();
+  dram_->reset_stats();
+  window_start_ = now_;
+}
+
+std::vector<double> CmpSystem::measured_ipc() const {
+  const Cycle window = now_ - window_start_;
+  std::vector<double> out;
+  out.reserve(cores_.size());
+  for (const auto& core : cores_) out.push_back(core->ipc(window));
+  return out;
+}
+
+Cycle CmpSystem::data_access(CoreId core, Addr addr, bool is_write,
+                             Cycle now) {
+  cache::SetAssocCache& l1 = *l1d_[core];
+  const cache::AccessResult res = l1.access_local(addr, is_write);
+  if (res.hit) return now + 1;
+
+  const Cycle completion = scheme_->access(core, addr, is_write, now);
+  const Addr block = l1.geometry().block_of(addr);
+  const cache::Eviction ev = l1.fill_local(block, is_write, core);
+  if (ev.happened() && ev.line.dirty) {
+    const Addr victim = l1.geometry().addr_of(ev.line.tag, ev.set);
+    scheme_->l1_writeback(core, victim, now);
+  }
+  return std::max(completion, now + 1);
+}
+
+Cycle CmpSystem::inst_fetch(CoreId core, Addr addr, Cycle now) {
+  cache::SetAssocCache& l1 = *l1i_[core];
+  const cache::AccessResult res = l1.access_local(addr, false);
+  if (res.hit) return now + 1;
+
+  const Cycle completion = scheme_->access(core, addr, false, now);
+  const Addr block = l1.geometry().block_of(addr);
+  l1.fill_local(block, false, core);  // I-lines are never dirty
+  return std::max(completion, now + 1);
+}
+
+cpu::Core& CmpSystem::core(CoreId c) {
+  SNUG_REQUIRE(c < cores_.size());
+  return *cores_[c];
+}
+
+cache::SetAssocCache& CmpSystem::l1d(CoreId c) {
+  SNUG_REQUIRE(c < l1d_.size());
+  return *l1d_[c];
+}
+
+trace::SyntheticStream& CmpSystem::stream(CoreId c) {
+  SNUG_REQUIRE(c < streams_.size());
+  return *streams_[c];
+}
+
+}  // namespace snug::sim

@@ -1,0 +1,62 @@
+// CmpSystem — the assembled quad-core machine: cores, private L1I/L1D,
+// an L2 organisation (scheme), the snoop bus and DRAM, driven by synthetic
+// instruction streams.  Implements cpu::MemoryPort: every L1 miss is
+// routed through the scheme, which updates all state synchronously and
+// returns the completion cycle.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hpp"
+#include "schemes/factory.hpp"
+#include "sim/config.hpp"
+#include "trace/synth_stream.hpp"
+#include "trace/workloads.hpp"
+
+namespace snug::sim {
+
+class CmpSystem final : public cpu::MemoryPort {
+ public:
+  CmpSystem(const SystemConfig& cfg, const schemes::SchemeSpec& spec,
+            const trace::WorkloadCombo& combo, const RunScale& scale);
+
+  /// Advances the machine by `cycles` core cycles.
+  void run(Cycle cycles);
+
+  /// Clears all statistics (contents survive) and marks the start of a
+  /// measurement window.
+  void begin_measurement();
+
+  /// Per-core IPC over the current measurement window.
+  [[nodiscard]] std::vector<double> measured_ipc() const;
+
+  // cpu::MemoryPort
+  Cycle data_access(CoreId core, Addr addr, bool is_write,
+                    Cycle now) override;
+  Cycle inst_fetch(CoreId core, Addr addr, Cycle now) override;
+
+  // Introspection for tests and benches.
+  [[nodiscard]] schemes::L2Scheme& scheme() { return *scheme_; }
+  [[nodiscard]] const schemes::L2Scheme& scheme() const { return *scheme_; }
+  [[nodiscard]] bus::SnoopBus& snoop_bus() { return *bus_; }
+  [[nodiscard]] dram::DramModel& dram() { return *dram_; }
+  [[nodiscard]] cpu::Core& core(CoreId c);
+  [[nodiscard]] cache::SetAssocCache& l1d(CoreId c);
+  [[nodiscard]] trace::SyntheticStream& stream(CoreId c);
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+ private:
+  SystemConfig cfg_;
+  std::unique_ptr<bus::SnoopBus> bus_;
+  std::unique_ptr<dram::DramModel> dram_;
+  std::unique_ptr<schemes::L2Scheme> scheme_;
+  std::vector<std::unique_ptr<cache::SetAssocCache>> l1i_;
+  std::vector<std::unique_ptr<cache::SetAssocCache>> l1d_;
+  std::vector<std::unique_ptr<trace::SyntheticStream>> streams_;
+  std::vector<std::unique_ptr<cpu::Core>> cores_;
+  Cycle now_ = 0;
+  Cycle window_start_ = 0;
+};
+
+}  // namespace snug::sim

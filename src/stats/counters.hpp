@@ -1,0 +1,52 @@
+// Named event counters.  Each simulator component owns a CounterBlock;
+// the system aggregates them into reports.  Counters are plain uint64 adds
+// on the hot path — no strings are touched while simulating.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace snug::stats {
+
+/// One monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  void reset() noexcept { value_ = 0; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A registry of counters with stable names, e.g. one per cache slice.
+class CounterBlock {
+ public:
+  /// Returns a reference valid for the lifetime of the block.  Must be
+  /// called during setup, not on the hot path.
+  Counter& get(const std::string& name) { return counters_[name]; }
+
+  [[nodiscard]] std::uint64_t value(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+
+  void reset_all() noexcept {
+    for (auto& [_, c] : counters_) c.reset();
+  }
+
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot()
+      const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+    return out;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+};
+
+}  // namespace snug::stats

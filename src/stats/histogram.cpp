@@ -1,0 +1,60 @@
+#include "stats/histogram.hpp"
+
+#include "common/require.hpp"
+#include "common/str.hpp"
+
+namespace snug::stats {
+
+Histogram::Histogram(std::int64_t lo, std::int64_t hi,
+                     std::size_t num_buckets)
+    : lo_(lo), hi_(hi) {
+  SNUG_REQUIRE(hi > lo);
+  SNUG_REQUIRE(num_buckets > 0);
+  const std::int64_t span = hi - lo + 1;
+  SNUG_REQUIRE(span % static_cast<std::int64_t>(num_buckets) == 0);
+  width_ = span / static_cast<std::int64_t>(num_buckets);
+  counts_.assign(num_buckets, 0);
+}
+
+std::size_t Histogram::bucket_of(std::int64_t value) const {
+  if (value < lo_) return 0;
+  if (value > hi_) return counts_.size() - 1;
+  return static_cast<std::size_t>((value - lo_) / width_);
+}
+
+void Histogram::add(std::int64_t value, std::uint64_t weight) {
+  counts_[bucket_of(value)] += weight;
+  total_ += weight;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c = 0;
+  total_ = 0;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t b) const {
+  SNUG_REQUIRE(b < counts_.size());
+  return counts_[b];
+}
+
+double Histogram::bucket_fraction(std::size_t b) const {
+  SNUG_REQUIRE(b < counts_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[b]) / static_cast<double>(total_);
+}
+
+std::pair<std::int64_t, std::int64_t> Histogram::bucket_range(
+    std::size_t b) const {
+  SNUG_REQUIRE(b < counts_.size());
+  const std::int64_t left = lo_ + static_cast<std::int64_t>(b) * width_;
+  return {left, left + width_ - 1};
+}
+
+std::string Histogram::bucket_label(std::size_t b) const {
+  const auto [left, right] = bucket_range(b);
+  if (b + 1 == counts_.size()) return strf(">=%lld", static_cast<long long>(left));
+  return strf("%lld~%lld", static_cast<long long>(left),
+              static_cast<long long>(right));
+}
+
+}  // namespace snug::stats

@@ -1,0 +1,47 @@
+// Fixed-bucket histogram used by the capacity-demand characterisation
+// (paper Section 2: M equal-length buckets over [1, A_threshold]) and by
+// general diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snug::stats {
+
+class Histogram {
+ public:
+  /// `num_buckets` equal-width buckets covering [lo, hi] inclusive.
+  Histogram(std::int64_t lo, std::int64_t hi, std::size_t num_buckets);
+
+  void add(std::int64_t value, std::uint64_t weight = 1);
+  void reset();
+
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Fraction of samples in bucket b (0 when empty).
+  [[nodiscard]] double bucket_fraction(std::size_t b) const;
+
+  /// Inclusive value range covered by bucket b.
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> bucket_range(
+      std::size_t b) const;
+
+  /// Label like "5~8" or ">=29" for the last bucket (paper figure legends).
+  [[nodiscard]] std::string bucket_label(std::size_t b) const;
+
+  /// Index of the bucket a value falls into (clamped to the edge buckets).
+  [[nodiscard]] std::size_t bucket_of(std::int64_t value) const;
+
+ private:
+  std::int64_t lo_;
+  std::int64_t hi_;
+  std::int64_t width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace snug::stats

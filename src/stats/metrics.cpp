@@ -1,0 +1,59 @@
+#include "stats/metrics.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace snug::stats {
+
+double throughput(std::span<const double> ipc) {
+  double sum = 0.0;
+  for (const double v : ipc) sum += v;
+  return sum;
+}
+
+double average_weighted_speedup(std::span<const double> ipc,
+                                std::span<const double> base) {
+  SNUG_REQUIRE(ipc.size() == base.size());
+  SNUG_REQUIRE(!ipc.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ipc.size(); ++i) {
+    SNUG_REQUIRE(base[i] > 0.0);
+    sum += ipc[i] / base[i];
+  }
+  return sum / static_cast<double>(ipc.size());
+}
+
+double fair_speedup(std::span<const double> ipc,
+                    std::span<const double> base) {
+  SNUG_REQUIRE(ipc.size() == base.size());
+  SNUG_REQUIRE(!ipc.empty());
+  double denom = 0.0;
+  for (std::size_t i = 0; i < ipc.size(); ++i) {
+    SNUG_REQUIRE(ipc[i] > 0.0);
+    denom += base[i] / ipc[i];
+  }
+  return static_cast<double>(ipc.size()) / denom;
+}
+
+double geometric_mean(std::span<const double> values) {
+  SNUG_REQUIRE(!values.empty());
+  double log_sum = 0.0;
+  for (const double v : values) {
+    SNUG_REQUIRE(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double harmonic_mean(std::span<const double> values) {
+  SNUG_REQUIRE(!values.empty());
+  double denom = 0.0;
+  for (const double v : values) {
+    SNUG_REQUIRE(v > 0.0);
+    denom += 1.0 / v;
+  }
+  return static_cast<double>(values.size()) / denom;
+}
+
+}  // namespace snug::stats

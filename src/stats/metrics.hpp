@@ -1,0 +1,33 @@
+// The paper's three performance metrics (Table 5):
+//
+//   Throughput(scheme)            = sum_i IPC_i(scheme)
+//   AverageWeightedSpeedup(schm)  = (1/N) * sum_i IPC_i(schm)/IPC_i(base)
+//   FairSpeedup(scheme)           = N / sum_i IPC_i(base)/IPC_i(schm)
+//
+// plus the aggregation rule used in Section 5: numbers reported for a class
+// of workload combinations are geometric means over the combinations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace snug::stats {
+
+/// Sum of per-core IPCs.
+[[nodiscard]] double throughput(std::span<const double> ipc);
+
+/// Arithmetic mean of relative IPCs vs. a baseline (Tullsen & Brown).
+[[nodiscard]] double average_weighted_speedup(std::span<const double> ipc,
+                                              std::span<const double> base);
+
+/// Harmonic mean of relative IPCs (Luo, Gummaraju & Franklin).
+[[nodiscard]] double fair_speedup(std::span<const double> ipc,
+                                  std::span<const double> base);
+
+/// Geometric mean; requires all values > 0.
+[[nodiscard]] double geometric_mean(std::span<const double> values);
+
+/// Harmonic mean; requires all values > 0.
+[[nodiscard]] double harmonic_mean(std::span<const double> values);
+
+}  // namespace snug::stats

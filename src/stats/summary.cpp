@@ -1,0 +1,22 @@
+#include "stats/summary.hpp"
+
+#include <cmath>
+
+namespace snug::stats {
+
+void Summary::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double Summary::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace snug::stats

@@ -1,0 +1,30 @@
+// Streaming mean/variance (Welford) plus min/max, for diagnostics such as
+// per-interval bucket-size series and bus occupancy.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace snug::stats {
+
+class Summary {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept { *this = Summary{}; }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< population variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace snug::stats

@@ -1,0 +1,44 @@
+// The instruction abstraction the trace substrate hands to the core model.
+//
+// SPEC CPU2000 binaries and reference inputs are not available in this
+// environment, so workloads are synthesised (see DESIGN.md).  The stream is
+// a sequence of retired instructions: compute ops, branches (with a
+// precomputed mispredict flag), and loads/stores carrying data addresses.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace snug::trace {
+
+enum class InstrKind : std::uint8_t {
+  kCompute,
+  kBranch,
+  kLoad,
+  kStore,
+};
+
+struct Instr {
+  InstrKind kind = InstrKind::kCompute;
+  Addr addr = 0;           ///< data address (loads/stores only)
+  bool mispredict = false; ///< branches only
+};
+
+/// An infinite instruction generator; one per simulated core.
+class InstrStream {
+ public:
+  virtual ~InstrStream() = default;
+
+  /// Produces the next retired instruction.
+  virtual Instr next() = 0;
+
+  /// Number of L2-bound data references generated so far (references the
+  /// generator *intends* to miss L1; used by tests and phase bookkeeping).
+  [[nodiscard]] virtual std::uint64_t l2_refs() const = 0;
+
+  /// Human-readable benchmark name.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace snug::trace

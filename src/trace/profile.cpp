@@ -1,0 +1,318 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace snug::trace {
+
+double DemandMix::mean_demand() const {
+  double sum = 0.0;
+  double wsum = 0.0;
+  for (const auto& b : bands) {
+    sum += b.weight * (static_cast<double>(b.lo) + b.hi) / 2.0;
+    wsum += b.weight;
+  }
+  return wsum > 0 ? sum / wsum : 0.0;
+}
+
+double BenchmarkProfile::footprint_bytes(std::uint32_t num_sets,
+                                         std::uint32_t line_bytes) const {
+  double demand = 0.0;
+  for (const auto& ph : phases) demand += ph.fraction * ph.mix.mean_demand();
+  return demand * num_sets * line_bytes;
+}
+
+bool BenchmarkProfile::set_level_nonuniform() const {
+  // Non-uniform when, in some phase, per-set demands spread over more than
+  // two bucket widths (8 blocks) — i.e. sets of the same application land
+  // in clearly different paper buckets.  A band merely straddling one
+  // bucket boundary (e.g. vpr's 18-22) still counts as uniform.
+  for (const auto& ph : phases) {
+    std::uint32_t lo = 33, hi = 0;
+    for (const auto& b : ph.mix.bands) {
+      lo = std::min(lo, b.lo);
+      hi = std::max(hi, b.hi);
+    }
+    if (hi - lo + 1 > 8) return true;
+  }
+  return false;
+}
+
+namespace {
+
+Phase uniform_phase(std::uint32_t lo, std::uint32_t hi, double streaming,
+                    double q, double fraction = 1.0) {
+  Phase ph;
+  ph.fraction = fraction;
+  ph.mix.bands = {{1.0, lo, hi}};
+  ph.streaming_prob = streaming;
+  ph.sd_q = q;
+  return ph;
+}
+
+std::vector<BenchmarkProfile> build_profiles() {
+  std::vector<BenchmarkProfile> out;
+
+  // ------------------------------------------------------------- class A
+  // > 1 MB aggregate demand AND strong set-level non-uniformity.
+
+  {
+    // ammp: ~40% of sets need only 1-4 blocks for the whole run, the rest
+    // are deep (paper Figure 1).
+    BenchmarkProfile p;
+    p.name = "ammp";
+    p.app_class = 'A';
+    p.mem_ratio = 0.36;
+    p.l2_fraction = 0.0435;
+    p.store_fraction = 0.28;
+    p.branch_ratio = 0.12;
+    p.mispredict_rate = 0.03;
+    p.set_zipf_alpha = 0.15;
+    Phase ph;
+    ph.fraction = 1.0;
+    ph.mix.bands = {{0.40, 1, 4},
+                    {0.20, 21, 24},
+                    {0.24, 25, 28},
+                    {0.16, 29, 32}};
+    ph.streaming_prob = 0.01;
+    ph.sd_q = 0.97;
+    p.phases = {ph};
+    out.push_back(std::move(p));
+  }
+  {
+    // parser: moderate non-uniformity, mostly deep sets.
+    BenchmarkProfile p;
+    p.name = "parser";
+    p.app_class = 'A';
+    p.mem_ratio = 0.34;
+    p.l2_fraction = 0.0398;
+    p.store_fraction = 0.32;
+    p.branch_ratio = 0.18;
+    p.mispredict_rate = 0.06;
+    p.set_zipf_alpha = 0.25;
+    Phase ph;
+    ph.fraction = 1.0;
+    ph.mix.bands = {{0.25, 1, 4}, {0.15, 5, 10}, {0.60, 21, 32}};
+    ph.streaming_prob = 0.02;
+    ph.sd_q = 0.96;
+    p.phases = {ph};
+    out.push_back(std::move(p));
+  }
+  {
+    // vortex: phase-dependent non-uniformity; the middle ~40% of the run
+    // (paper intervals ~405-792) frees many shallow sets (Figure 2).
+    BenchmarkProfile p;
+    p.name = "vortex";
+    p.app_class = 'A';
+    p.mem_ratio = 0.35;
+    p.l2_fraction = 0.0398;
+    p.store_fraction = 0.35;
+    p.branch_ratio = 0.16;
+    p.mispredict_rate = 0.04;
+    p.set_zipf_alpha = 0.2;
+    Phase ph1;
+    ph1.fraction = 0.405;
+    ph1.mix.bands = {{0.05, 1, 4}, {0.10, 5, 10}, {0.85, 21, 30}};
+    ph1.streaming_prob = 0.02;
+    ph1.sd_q = 0.97;
+    Phase ph2;
+    ph2.fraction = 0.387;  // paper: until interval ~792
+    ph2.mix.bands = {{0.15, 1, 4},
+                     {0.09, 5, 8},
+                     {0.07, 9, 12},
+                     {0.69, 21, 32}};
+    ph2.streaming_prob = 0.02;
+    ph2.sd_q = 0.97;
+    Phase ph3 = ph1;
+    ph3.fraction = 0.208;
+    p.phases = {ph1, ph2, ph3};
+    out.push_back(std::move(p));
+  }
+
+  // ------------------------------------------------------------- class B
+  // < 1 MB aggregate demand, set-level non-uniform.
+
+  {
+    BenchmarkProfile p;
+    p.name = "apsi";
+    p.app_class = 'B';
+    p.mem_ratio = 0.32;
+    p.l2_fraction = 0.0368;
+    p.store_fraction = 0.3;
+    p.branch_ratio = 0.1;
+    p.mispredict_rate = 0.02;
+    p.set_zipf_alpha = 0.2;
+    Phase ph;
+    ph.fraction = 1.0;
+    ph.mix.bands = {{0.45, 1, 4}, {0.30, 5, 8}, {0.25, 9, 12}};
+    ph.streaming_prob = 0.01;
+    ph.sd_q = 0.95;
+    p.phases = {ph};
+    out.push_back(std::move(p));
+  }
+  {
+    BenchmarkProfile p;
+    p.name = "gcc";
+    p.app_class = 'B';
+    p.mem_ratio = 0.30;
+    p.l2_fraction = 0.033;
+    p.store_fraction = 0.33;
+    p.branch_ratio = 0.22;
+    p.mispredict_rate = 0.07;
+    p.set_zipf_alpha = 0.35;
+    p.code_blocks = 480;  // gcc has a large instruction footprint
+    Phase ph;
+    ph.fraction = 1.0;
+    ph.mix.bands = {{0.35, 1, 4}, {0.35, 5, 8}, {0.30, 9, 12}};
+    ph.streaming_prob = 0.02;
+    ph.sd_q = 0.94;
+    p.phases = {ph};
+    out.push_back(std::move(p));
+  }
+
+  // ------------------------------------------------------------- class C
+  // > 1 MB aggregate demand, set-level uniform (every set is deep).
+
+  {
+    BenchmarkProfile p;
+    p.name = "vpr";
+    p.app_class = 'C';
+    p.mem_ratio = 0.33;
+    p.l2_fraction = 0.0398;
+    p.store_fraction = 0.3;
+    p.branch_ratio = 0.14;
+    p.mispredict_rate = 0.05;
+    p.set_zipf_alpha = 0.1;
+    p.phases = {uniform_phase(19, 22, 0.02, 1.0)};
+    out.push_back(std::move(p));
+  }
+  {
+    BenchmarkProfile p;
+    p.name = "art";
+    p.app_class = 'C';
+    p.mem_ratio = 0.38;
+    p.l2_fraction = 0.0465;
+    p.store_fraction = 0.2;
+    p.branch_ratio = 0.1;
+    p.mispredict_rate = 0.02;
+    p.set_zipf_alpha = 0.05;
+    p.phases = {uniform_phase(22, 26, 0.02, 0.98)};
+    out.push_back(std::move(p));
+  }
+  {
+    BenchmarkProfile p;
+    p.name = "mcf";
+    p.app_class = 'C';
+    p.mem_ratio = 0.40;
+    p.l2_fraction = 0.0525;
+    p.store_fraction = 0.18;
+    p.branch_ratio = 0.12;
+    p.mispredict_rate = 0.06;
+    p.set_zipf_alpha = 0.05;
+    p.phases = {uniform_phase(26, 32, 0.08, 0.98)};
+    out.push_back(std::move(p));
+  }
+  {
+    BenchmarkProfile p;
+    p.name = "bzip2";
+    p.app_class = 'C';
+    p.mem_ratio = 0.31;
+    p.l2_fraction = 0.0368;
+    p.store_fraction = 0.3;
+    p.branch_ratio = 0.15;
+    p.mispredict_rate = 0.05;
+    p.set_zipf_alpha = 0.1;
+    p.phases = {uniform_phase(19, 23, 0.02, 1.0)};
+    out.push_back(std::move(p));
+  }
+
+  // ------------------------------------------------------------- class D
+  // < 1 MB aggregate demand, set-level uniform (shallow everywhere).
+
+  {
+    BenchmarkProfile p;
+    p.name = "gzip";
+    p.app_class = 'D';
+    p.mem_ratio = 0.3;
+    p.l2_fraction = 0.03;
+    p.store_fraction = 0.25;
+    p.branch_ratio = 0.16;
+    p.mispredict_rate = 0.05;
+    p.set_zipf_alpha = 0.1;
+    p.phases = {uniform_phase(5, 9, 0.02, 0.95)};
+    out.push_back(std::move(p));
+  }
+  {
+    // swim: streaming floating-point kernel — mostly compulsory misses.
+    BenchmarkProfile p;
+    p.name = "swim";
+    p.app_class = 'D';
+    p.mem_ratio = 0.36;
+    p.l2_fraction = 0.0465;
+    p.store_fraction = 0.35;
+    p.branch_ratio = 0.06;
+    p.mispredict_rate = 0.01;
+    p.set_zipf_alpha = 0.0;
+    p.phases = {uniform_phase(1, 4, 0.50, 1.0)};
+    out.push_back(std::move(p));
+  }
+  {
+    BenchmarkProfile p;
+    p.name = "mesa";
+    p.app_class = 'D';
+    p.mem_ratio = 0.3;
+    p.l2_fraction = 0.0263;
+    p.store_fraction = 0.3;
+    p.branch_ratio = 0.13;
+    p.mispredict_rate = 0.03;
+    p.set_zipf_alpha = 0.15;
+    p.phases = {uniform_phase(2, 6, 0.02, 0.95)};
+    out.push_back(std::move(p));
+  }
+
+  // ------------------------------------------- characterisation-only apps
+
+  {
+    // applu: pure streaming; paper Figure 3 shows every set in the 1-4
+    // bucket for the whole run.  Not part of the Table 6 evaluation set.
+    BenchmarkProfile p;
+    p.name = "applu";
+    p.app_class = 'X';
+    p.mem_ratio = 0.37;
+    p.l2_fraction = 0.0495;
+    p.store_fraction = 0.35;
+    p.branch_ratio = 0.05;
+    p.mispredict_rate = 0.01;
+    p.set_zipf_alpha = 0.0;
+    p.phases = {uniform_phase(1, 3, 0.80, 1.0)};
+    out.push_back(std::move(p));
+  }
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkProfile>& all_profiles() {
+  static const std::vector<BenchmarkProfile> kProfiles = build_profiles();
+  return kProfiles;
+}
+
+const BenchmarkProfile& profile_for(const std::string& name) {
+  for (const auto& p : all_profiles()) {
+    if (p.name == name) return p;
+  }
+  SNUG_REQUIRE(false && "unknown benchmark profile");
+  return all_profiles().front();  // unreachable
+}
+
+std::vector<std::string> benchmarks_in_class(char app_class) {
+  std::vector<std::string> out;
+  for (const auto& p : all_profiles()) {
+    if (p.app_class == app_class) out.push_back(p.name);
+  }
+  return out;
+}
+
+}  // namespace snug::trace

@@ -1,0 +1,89 @@
+// Synthetic benchmark profiles.
+//
+// Each profile describes a SPEC2000-like program by the features the paper
+// shows are load-bearing for cooperative caching:
+//
+//  * the distribution of per-L2-set capacity demand ("demand bands") —
+//    the quantity characterised in paper Section 2 / Figures 1-3;
+//  * temporal phases (vortex changes its demand mix mid-run);
+//  * streaming behaviour (compulsory-miss fraction);
+//  * instruction mix (memory ratio, branch ratio) and L1 locality.
+//
+// The numeric values are calibrated so each benchmark lands in its Table 6
+// class: A/C have aggregate demand > 1 MB, B/D below; A/B show set-level
+// non-uniformity, C/D do not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snug::trace {
+
+/// A band of per-set demand: `weight` fraction of sets demand a block count
+/// drawn uniformly from [lo, hi] (1 <= lo <= hi <= 32 == A_threshold).
+struct DemandBand {
+  double weight = 1.0;
+  std::uint32_t lo = 1;
+  std::uint32_t hi = 4;
+};
+
+struct DemandMix {
+  std::vector<DemandBand> bands;
+
+  /// Mean per-set demand in blocks.
+  [[nodiscard]] double mean_demand() const;
+};
+
+/// One temporal phase: active for `fraction` of the phase period.
+struct Phase {
+  double fraction = 1.0;
+  DemandMix mix;
+  /// Probability that an L2 reference allocates a brand-new block
+  /// (compulsory miss) instead of re-referencing the working set.
+  double streaming_prob = 0.02;
+  /// Stack-distance skew within a set's working set: 1.0 = uniform over
+  /// [1, d]; < 1.0 biases toward recent blocks (geometric with ratio q).
+  double sd_q = 1.0;
+};
+
+struct BenchmarkProfile {
+  std::string name;
+  char app_class = 'D';    ///< Table 6 class: 'A', 'B', 'C', 'D' ('X' = unclassified)
+  double mem_ratio = 0.33; ///< fraction of instructions touching memory
+  double l2_fraction = 0.066; ///< of memory ops, fraction aimed past L1
+  double store_fraction = 0.3;
+  /// Fraction of data *blocks* that are ever stored to.  Store-type ops
+  /// targeting read-only blocks degrade to loads, so only this share of
+  /// L2 lines turns dirty — mirroring SPEC's store footprints being much
+  /// smaller than load footprints.  Matters because only clean victims
+  /// may be cooperatively cached (paper Section 3.3).
+  double writable_fraction = 0.25;
+  double branch_ratio = 0.15;
+  double mispredict_rate = 0.04;
+  double set_zipf_alpha = 0.2;  ///< set-popularity skew
+  std::uint32_t code_blocks = 256;  ///< I-footprint in 64 B blocks
+  std::vector<Phase> phases;        ///< fractions must sum to ~1
+
+  /// Aggregate working-set estimate in bytes for `num_sets` L2 sets
+  /// (time-weighted across phases), used to sanity-check Table 6 classes.
+  [[nodiscard]] double footprint_bytes(std::uint32_t num_sets,
+                                       std::uint32_t line_bytes) const;
+
+  /// True when the per-set demand distribution spans more than one of the
+  /// paper's 8 buckets (set-level non-uniformity).
+  [[nodiscard]] bool set_level_nonuniform() const;
+};
+
+/// Registry of all built-in profiles (the 12 evaluated benchmarks plus
+/// applu, which appears only in the Figure 3 characterisation).
+[[nodiscard]] const std::vector<BenchmarkProfile>& all_profiles();
+
+/// Lookup by name; aborts on unknown names (typos must not silently
+/// degrade an experiment).
+[[nodiscard]] const BenchmarkProfile& profile_for(const std::string& name);
+
+/// Names of the benchmarks in a given Table 6 class.
+[[nodiscard]] std::vector<std::string> benchmarks_in_class(char app_class);
+
+}  // namespace snug::trace

@@ -1,0 +1,184 @@
+#include "trace/synth_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/bitutil.hpp"
+#include "common/require.hpp"
+
+namespace snug::trace {
+
+SyntheticStream::SyntheticStream(const BenchmarkProfile& profile,
+                                 const StreamConfig& cfg)
+    : profile_(profile),
+      cfg_(cfg),
+      rng_(Rng::derive_seed("stream", cfg.stream_seed,
+                            Rng::derive_seed(profile.name))),
+      set_picker_(cfg.num_sets, profile.set_zipf_alpha) {
+  SNUG_REQUIRE(is_pow2(cfg.num_sets));
+  SNUG_REQUIRE(is_pow2(cfg.line_bytes));
+  SNUG_REQUIRE(!profile_.phases.empty());
+  SNUG_REQUIRE(cfg.phase_period_refs > 0);
+
+  // Set-popularity permutation: identical for every instance of this
+  // benchmark so that hot sets coincide in the stress tests.
+  set_perm_.resize(cfg.num_sets);
+  std::iota(set_perm_.begin(), set_perm_.end(), 0U);
+  Rng perm_rng(Rng::derive_seed(profile_.name + "/setperm"));
+  perm_rng.shuffle(set_perm_);
+
+  stacks_.resize(cfg.num_sets);
+  next_uid_.assign(cfg.num_sets, 0);
+  demand_.assign(cfg.num_sets, 1);
+  writable_threshold_ = static_cast<std::uint32_t>(
+      profile_.writable_fraction * 65536.0);
+  enter_phase(0);
+
+  // Seed the L1-local target with one allocated block so the very first
+  // local reference has something to touch.
+  last_block_ = next_l2_ref();
+}
+
+void SyntheticStream::enter_phase(std::size_t idx) {
+  SNUG_REQUIRE(idx < profile_.phases.size());
+  phase_idx_ = idx;
+  const Phase& ph = profile_.phases[idx];
+
+  // Demand map: shared across cores (seeded by benchmark + phase only).
+  Rng demand_rng(Rng::derive_seed(profile_.name + "/demand", idx));
+  std::vector<SetIndex> order(cfg_.num_sets);
+  std::iota(order.begin(), order.end(), 0U);
+  demand_rng.shuffle(order);
+
+  // Apportion sets to bands by weight (largest-remainder rounding).
+  const auto& bands = ph.mix.bands;
+  SNUG_REQUIRE(!bands.empty());
+  double wsum = 0.0;
+  for (const auto& b : bands) wsum += b.weight;
+  SNUG_REQUIRE(wsum > 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t bi = 0; bi < bands.size(); ++bi) {
+    const bool last = (bi + 1 == bands.size());
+    const auto count =
+        last ? cfg_.num_sets - assigned
+             : static_cast<std::size_t>(
+                   std::llround(bands[bi].weight / wsum * cfg_.num_sets));
+    for (std::size_t k = 0; k < count && assigned < cfg_.num_sets; ++k) {
+      const SetIndex s = order[assigned++];
+      demand_[s] = static_cast<std::uint32_t>(
+          demand_rng.range(bands[bi].lo, bands[bi].hi));
+      SNUG_REQUIRE(demand_[s] >= 1);
+    }
+  }
+  SNUG_ENSURE(assigned == cfg_.num_sets);
+
+  // Shrink working sets that exceed the new demand; their overflow blocks
+  // are simply never referenced again (a compulsory burst follows, which
+  // is what a real phase change produces).
+  for (SetIndex s = 0; s < cfg_.num_sets; ++s) {
+    auto& st = stacks_[s];
+    if (st.size() > demand_[s]) st.resize(demand_[s]);
+  }
+
+  // Phase deadline in cumulative L2 refs.
+  double cum = 0.0;
+  for (std::size_t i = 0; i <= idx; ++i) cum += profile_.phases[i].fraction;
+  const auto period_pos = l2_refs_ % cfg_.phase_period_refs;
+  const auto base = l2_refs_ - period_pos;
+  phase_end_refs_ =
+      base + static_cast<std::uint64_t>(
+                 cum * static_cast<double>(cfg_.phase_period_refs));
+  if (phase_end_refs_ <= l2_refs_) {
+    phase_end_refs_ = l2_refs_ + 1;  // degenerate fraction; keep advancing
+  }
+}
+
+void SyntheticStream::maybe_advance_phase() {
+  if (l2_refs_ < phase_end_refs_) return;
+  const std::size_t next = (phase_idx_ + 1) % profile_.phases.size();
+  enter_phase(next);
+}
+
+Addr SyntheticStream::make_block_addr(SetIndex set,
+                                      std::uint32_t uid) const {
+  const std::uint32_t offset_bits = log2i(cfg_.line_bytes);
+  const std::uint32_t index_bits = log2i(cfg_.num_sets);
+  // Keep uids below the address-base tag bits.
+  SNUG_REQUIRE(uid < (1U << 24));
+  return cfg_.addr_base |
+         (static_cast<Addr>(uid) << (offset_bits + index_bits)) |
+         (static_cast<Addr>(set) << offset_bits);
+}
+
+Addr SyntheticStream::next_l2_ref() {
+  maybe_advance_phase();
+  const Phase& ph = profile_.phases[phase_idx_];
+  const SetIndex set = set_perm_[set_picker_.sample(rng_)];
+  auto& stack = stacks_[set];
+  const std::uint32_t d = demand_[set];
+
+  std::uint32_t uid;
+  bool fresh = stack.empty() || rng_.chance(ph.streaming_prob);
+  std::uint32_t k = 0;
+  if (!fresh) {
+    k = rng_.truncated_geometric(d, ph.sd_q);
+    fresh = (k > stack.size());
+  }
+  if (fresh) {
+    uid = next_uid_[set]++;
+    stack.insert(stack.begin(), uid);
+    if (stack.size() > d) stack.resize(d);
+  } else {
+    uid = stack[k - 1];
+    stack.erase(stack.begin() + (k - 1));
+    stack.insert(stack.begin(), uid);
+  }
+  ++l2_refs_;
+  return make_block_addr(set, uid);
+}
+
+Instr SyntheticStream::next() {
+  const double u = rng_.uniform();
+  Instr instr;
+  if (u < profile_.branch_ratio) {
+    instr.kind = InstrKind::kBranch;
+    instr.mispredict = rng_.chance(profile_.mispredict_rate);
+    return instr;
+  }
+  if (u < profile_.branch_ratio + profile_.mem_ratio) {
+    const bool wants_store = rng_.chance(profile_.store_fraction);
+    if (rng_.chance(profile_.l2_fraction)) {
+      instr.addr = next_l2_ref();
+      last_block_ = instr.addr;
+    } else {
+      // Intra-block locality: re-reference the last block at some offset.
+      instr.addr = last_block_ | (rng_.below(cfg_.line_bytes) & ~Addr{7});
+    }
+    // Stores only dirty the program's store footprint; everything else is
+    // read-only data and the op degrades to a load.
+    instr.kind = wants_store && writable_block(instr.addr)
+                     ? InstrKind::kStore
+                     : InstrKind::kLoad;
+    return instr;
+  }
+  instr.kind = InstrKind::kCompute;
+  return instr;
+}
+
+std::uint32_t SyntheticStream::demand_of(SetIndex s) const {
+  SNUG_REQUIRE(s < cfg_.num_sets);
+  return demand_[s];
+}
+
+bool SyntheticStream::writable_block(Addr block) const noexcept {
+  // SplitMix64-style finaliser: a stable pseudo-random property per block.
+  std::uint64_t h =
+      (block >> 6) * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return (h & 0xFFFF) < writable_threshold_;
+}
+
+}  // namespace snug::trace

@@ -1,0 +1,97 @@
+#include "trace/workloads.hpp"
+
+#include "common/require.hpp"
+#include "trace/profile.hpp"
+
+namespace snug::trace {
+namespace {
+
+WorkloadCombo stress(int cls, const std::string& bench) {
+  return {"4x" + bench, cls, {bench, bench, bench, bench}};
+}
+
+WorkloadCombo mix(int cls, std::vector<std::string> benches) {
+  SNUG_REQUIRE(benches.size() == 4);
+  std::string name = benches[0];
+  for (std::size_t i = 1; i < benches.size(); ++i) name += "+" + benches[i];
+  return {std::move(name), cls, std::move(benches)};
+}
+
+std::vector<WorkloadCombo> build_combos() {
+  std::vector<WorkloadCombo> out;
+
+  // C1: stress tests over class A (paper writes "4 vertex" for vortex).
+  out.push_back(stress(1, "ammp"));
+  out.push_back(stress(1, "parser"));
+  out.push_back(stress(1, "vortex"));
+
+  // C2: stress tests over class C.
+  out.push_back(stress(2, "vpr"));
+  out.push_back(stress(2, "bzip2"));
+  out.push_back(stress(2, "mcf"));
+  out.push_back(stress(2, "art"));
+
+  // C3: (2 x A) + (2 x C).
+  out.push_back(mix(3, {"ammp", "parser", "bzip2", "mcf"}));
+  out.push_back(mix(3, {"parser", "vortex", "mcf", "art"}));
+  out.push_back(mix(3, {"vortex", "ammp", "art", "vpr"}));
+
+  // C4: (2 x A) + (1 x B) + (1 x C).
+  out.push_back(mix(4, {"ammp", "parser", "apsi", "bzip2"}));
+  out.push_back(mix(4, {"parser", "vortex", "gcc", "mcf"}));
+  out.push_back(mix(4, {"vortex", "ammp", "apsi", "art"}));
+  out.push_back(mix(4, {"ammp", "parser", "gcc", "vpr"}));
+
+  // C5: (2 x A) + (2 x D).
+  out.push_back(mix(5, {"ammp", "parser", "swim", "mesa"}));
+  out.push_back(mix(5, {"parser", "vortex", "mesa", "gzip"}));
+  out.push_back(mix(5, {"vortex", "ammp", "swim", "gzip"}));
+
+  // C6: (2 x A) + (1 x B) + (1 x D).
+  out.push_back(mix(6, {"vortex", "ammp", "apsi", "gzip"}));
+  out.push_back(mix(6, {"parser", "vortex", "gcc", "mesa"}));
+  out.push_back(mix(6, {"ammp", "parser", "apsi", "swim"}));
+  out.push_back(mix(6, {"vortex", "ammp", "gcc", "mesa"}));
+
+  // Validate every referenced benchmark exists in the registry.
+  for (const auto& combo : out) {
+    for (const auto& b : combo.benchmarks) (void)profile_for(b);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<WorkloadCombo>& all_combos() {
+  static const std::vector<WorkloadCombo> kCombos = build_combos();
+  return kCombos;
+}
+
+std::vector<WorkloadCombo> combos_in_class(int combo_class) {
+  std::vector<WorkloadCombo> out;
+  for (const auto& c : all_combos()) {
+    if (c.combo_class == combo_class) out.push_back(c);
+  }
+  return out;
+}
+
+const char* class_description(int combo_class) {
+  switch (combo_class) {
+    case 1:
+      return "4 identical class-A apps (stress test)";
+    case 2:
+      return "4 identical class-C apps (stress test)";
+    case 3:
+      return "2xA + 2xC";
+    case 4:
+      return "2xA + 1xB + 1xC";
+    case 5:
+      return "2xA + 2xD";
+    case 6:
+      return "2xA + 1xB + 1xD";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace snug::trace

@@ -1,0 +1,34 @@
+// The paper's workload combinations (Tables 6-8).
+//
+// Six classes of quad-core multiprogrammed mixes:
+//   C1  stress test: 4 identical class-A applications (no data sharing)
+//   C2  stress test: 4 identical class-C applications
+//   C3  2 x class A + 2 x class C
+//   C4  2 x class A + 1 x class B + 1 x class C
+//   C5  2 x class A + 2 x class D
+//   C6  2 x class A + 1 x class B + 1 x class D
+// 21 combinations in total (Table 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snug::trace {
+
+struct WorkloadCombo {
+  std::string name;                   ///< e.g. "4xammp" or "ammp+parser+bzip2+mcf"
+  int combo_class = 1;                ///< 1..6
+  std::vector<std::string> benchmarks;  ///< one per core, size 4
+};
+
+/// All 21 combinations of Table 8, in class order.
+[[nodiscard]] const std::vector<WorkloadCombo>& all_combos();
+
+/// The combinations belonging to one class (1..6).
+[[nodiscard]] std::vector<WorkloadCombo> combos_in_class(int combo_class);
+
+/// Short textual description of a class (Table 7).
+[[nodiscard]] const char* class_description(int combo_class);
+
+}  // namespace snug::trace

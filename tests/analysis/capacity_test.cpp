@@ -1,0 +1,88 @@
+#include "analysis/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::analysis {
+namespace {
+
+TEST(Capacity, PaperBuckets) {
+  const BucketingConfig cfg;  // A_threshold 32, M = 8
+  EXPECT_EQ(bucket_of_demand(1, cfg), 1U);
+  EXPECT_EQ(bucket_of_demand(4, cfg), 1U);
+  EXPECT_EQ(bucket_of_demand(5, cfg), 2U);
+  EXPECT_EQ(bucket_of_demand(32, cfg), 8U);
+}
+
+TEST(Capacity, BucketRangesMatchFormula) {
+  // bucket_j = [(j-1)*A_th/M + 1, j*A_th/M] (Section 2.1.2).
+  const BucketingConfig cfg;
+  for (std::uint32_t j = 1; j <= 8; ++j) {
+    const auto [lo, hi] = bucket_range(j, cfg);
+    EXPECT_EQ(lo, (j - 1) * 4 + 1);
+    EXPECT_EQ(hi, j * 4);
+  }
+}
+
+TEST(Capacity, MembershipIsExclusiveAndExhaustive) {
+  // Formula (4): every demand is in exactly one bucket.
+  const BucketingConfig cfg;
+  for (std::uint32_t d = 1; d <= 32; ++d) {
+    int memberships = 0;
+    for (std::uint32_t j = 1; j <= 8; ++j) {
+      const auto [lo, hi] = bucket_range(j, cfg);
+      if (d >= lo && d <= hi) ++memberships;
+    }
+    EXPECT_EQ(memberships, 1) << "demand " << d;
+    EXPECT_EQ(bucket_of_demand(d, cfg),
+              (d - 1) / 4 + 1);  // closed form
+  }
+}
+
+TEST(Capacity, LabelsMatchPaperLegends) {
+  const BucketingConfig cfg;
+  EXPECT_EQ(bucket_label(1, cfg), "1~4");
+  EXPECT_EQ(bucket_label(2, cfg), "5~8");
+  EXPECT_EQ(bucket_label(7, cfg), "25~28");
+  EXPECT_EQ(bucket_label(8, cfg), ">=29");
+}
+
+TEST(Capacity, SizeBucketsSumToOne) {
+  // Formula (5) is a normalised distribution over sets.
+  cache::LruStackProfiler profiler(16, 32);
+  // Give sets different demands: set s cycles over (s+1) blocks.
+  for (int round = 0; round < 20; ++round) {
+    for (SetIndex s = 0; s < 16; ++s) {
+      for (std::uint64_t b = 0; b <= s; ++b) profiler.access(s, b);
+    }
+  }
+  const BucketingConfig cfg;
+  const auto fractions = size_buckets(profiler, cfg);
+  ASSERT_EQ(fractions.size(), 8U);
+  double sum = 0.0;
+  for (const double f : fractions) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Sets 0..15 demand 1..16 -> 4 sets per bucket in buckets 1-4.
+  EXPECT_NEAR(fractions[0], 4.0 / 16, 1e-12);
+  EXPECT_NEAR(fractions[3], 4.0 / 16, 1e-12);
+  EXPECT_NEAR(fractions[4], 0.0, 1e-12);
+}
+
+TEST(Capacity, DemandPerSetMatchesProfiler) {
+  cache::LruStackProfiler profiler(4, 32);
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t b = 0; b < 6; ++b) profiler.access(2, b);
+  }
+  const auto demands = demand_per_set(profiler);
+  ASSERT_EQ(demands.size(), 4U);
+  EXPECT_EQ(demands[2], 6U);
+  EXPECT_EQ(demands[0], 1U);  // untouched set
+}
+
+TEST(Capacity, DemandAboveThresholdClampsToLastBucket) {
+  const BucketingConfig cfg;
+  EXPECT_EQ(bucket_of_demand(33, cfg), 8U);
+  EXPECT_EQ(bucket_of_demand(100, cfg), 8U);
+}
+
+}  // namespace
+}  // namespace snug::analysis

@@ -1,0 +1,111 @@
+#include "analysis/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synth_stream.hpp"
+
+namespace snug::analysis {
+namespace {
+
+// Test scale: 128 L2 sets with 10 K accesses per interval gives ~78
+// accesses per set per interval — the same per-set sampling density as the
+// paper's 1024 sets x 100 K accesses.
+constexpr std::uint32_t kSets = 128;
+constexpr std::uint64_t kIntervalAccesses = 10'000;
+
+CharacterizationConfig fast_cfg(std::uint32_t intervals = 12) {
+  CharacterizationConfig cfg;
+  cfg.l2 = cache::CacheGeometry(std::uint64_t{kSets} * 16 * 64, 16, 64);
+  cfg.intervals = intervals;
+  cfg.interval_accesses = kIntervalAccesses;
+  return cfg;
+}
+
+trace::StreamConfig stream_cfg(std::uint32_t intervals = 12) {
+  trace::StreamConfig cfg;
+  cfg.num_sets = kSets;
+  cfg.phase_period_refs = intervals * kIntervalAccesses;  // one period
+  cfg.stream_seed = 1;
+  return cfg;
+}
+
+TEST(Characterize, RowsAreDistributions) {
+  trace::SyntheticStream stream(trace::profile_for("ammp"), stream_cfg());
+  CharacterizationRunner runner(fast_cfg());
+  const auto result = runner.run_direct(stream);
+  ASSERT_EQ(result.series.size(), 12U);
+  for (const auto& row : result.series) {
+    ASSERT_EQ(row.size(), 8U);
+    double sum = 0.0;
+    for (const double f : row) sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  EXPECT_EQ(result.total_l2_accesses, 12U * kIntervalAccesses);
+}
+
+TEST(Characterize, AmmpShowsStrongNonUniformity) {
+  // Paper Figure 1: ~40% of sets in the 1-4 bucket, the rest deep.
+  trace::SyntheticStream stream(trace::profile_for("ammp"), stream_cfg());
+  CharacterizationRunner runner(fast_cfg());
+  const auto result = runner.run_direct(stream);
+  const double shallow = result.mean_fraction(1);
+  EXPECT_GT(shallow, 0.30);
+  EXPECT_LT(shallow, 0.55);
+  // Deep buckets (>= 17 blocks, buckets 5-8) hold most of the rest.
+  const double deep = result.mean_fraction(5) + result.mean_fraction(6) +
+                      result.mean_fraction(7) + result.mean_fraction(8);
+  EXPECT_GT(deep, 0.35);
+}
+
+TEST(Characterize, AppluIsAllShallow) {
+  // Paper Figure 3: streaming applu keeps every set in the 1-4 bucket.
+  trace::SyntheticStream stream(trace::profile_for("applu"), stream_cfg());
+  CharacterizationRunner runner(fast_cfg());
+  const auto result = runner.run_direct(stream);
+  EXPECT_GT(result.mean_fraction(1), 0.95);
+}
+
+TEST(Characterize, UniformClassCIsDeepEverywhere) {
+  trace::SyntheticStream stream(trace::profile_for("mcf"), stream_cfg());
+  CharacterizationRunner runner(fast_cfg());
+  const auto result = runner.run_direct(stream);
+  // mcf demands 26-32 blocks per set: buckets 7-8 dominate.
+  EXPECT_GT(result.mean_fraction(7) + result.mean_fraction(8), 0.8);
+}
+
+TEST(Characterize, VortexPhaseShiftVisible) {
+  // Paper Figure 2: the middle phase (intervals ~40%..79%) frees shallow
+  // sets.
+  constexpr std::uint32_t kIntervals = 20;
+  trace::SyntheticStream stream(trace::profile_for("vortex"),
+                                stream_cfg(kIntervals));
+  CharacterizationRunner runner(fast_cfg(kIntervals));
+  const auto result = runner.run_direct(stream);
+  const double early = result.series[2][0] + result.series[3][0];
+  const double mid = result.series[11][0] + result.series[12][0];
+  EXPECT_GT(mid, early + 0.05);
+}
+
+TEST(Characterize, InstructionModeAgreesWithDirectMode) {
+  // The full instruction-mode pipeline (L1 filter and all) must produce
+  // the same qualitative distribution as the direct fast path.
+  trace::SyntheticStream direct(trace::profile_for("ammp"), stream_cfg(4));
+  trace::SyntheticStream full(trace::profile_for("ammp"), stream_cfg(4));
+  CharacterizationRunner runner(fast_cfg(4));
+  const auto r_direct = runner.run_direct(direct);
+  const auto r_full = runner.run(full);
+  for (std::uint32_t j = 1; j <= 8; ++j) {
+    EXPECT_NEAR(r_full.mean_fraction(j), r_direct.mean_fraction(j), 0.08)
+        << "bucket " << j;
+  }
+}
+
+TEST(Characterize, MeanFractionAveragesRows) {
+  CharacterizationResult r;
+  r.series = {{1.0, 0.0}, {0.5, 0.5}};
+  EXPECT_DOUBLE_EQ(r.mean_fraction(1), 0.75);
+  EXPECT_DOUBLE_EQ(r.mean_fraction(2), 0.25);
+}
+
+}  // namespace
+}  // namespace snug::analysis

@@ -1,0 +1,88 @@
+// Property tests for the bus's first-fit interval scheduling — the
+// split-transaction behaviour that keeps the bus free during DRAM waits.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bus/snoop_bus.hpp"
+#include "common/rng.hpp"
+
+namespace snug::bus {
+namespace {
+
+BusConfig paper_bus() { return BusConfig{16, 4, 1, 64}; }
+
+TEST(BusInterval, GapBetweenRequestAndFutureDataIsUsable) {
+  SnoopBus bus(paper_bus());
+  // Miss: request now, data return ~300 cycles later.
+  const BusGrant req = bus.transact(0, BusOp::kRequest);
+  const BusGrant data = bus.transact(300, BusOp::kDataBlock);
+  EXPECT_EQ(req.finished, 8U);
+  EXPECT_EQ(data.granted, 300U);
+  // Another core's request at t=10 must slot into the idle gap, not wait
+  // behind the future data tenure.
+  const BusGrant other = bus.transact(10, BusOp::kRequest);
+  EXPECT_EQ(other.granted, 10U);
+  EXPECT_EQ(other.finished, 18U);
+}
+
+TEST(BusInterval, SmallGapTooTightPushesPastReservation) {
+  SnoopBus bus(paper_bus());
+  bus.transact(0, BusOp::kRequest);           // [0, 8)
+  bus.transact(12, BusOp::kRequest);          // [12, 20)
+  // A data transfer (20 cycles) at t=0 cannot fit in [8,12); it must go
+  // after the second reservation.
+  const BusGrant data = bus.transact(8, BusOp::kDataBlock);
+  EXPECT_EQ(data.granted, 20U);
+}
+
+TEST(BusInterval, ReservationsNeverOverlap) {
+  SnoopBus bus(paper_bus());
+  Rng rng(2026);
+  std::vector<std::pair<Cycle, Cycle>> grants;
+  Cycle now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += rng.below(30);
+    const auto op = static_cast<BusOp>(rng.below(3));
+    // Mix of "now" and "future" (DRAM return) transactions.
+    const Cycle at = rng.chance(0.3) ? now + 300 : now;
+    const BusGrant g = bus.transact(at, op);
+    EXPECT_GE(g.granted, at);
+    EXPECT_EQ(g.finished - g.granted, bus.duration(op));
+    grants.emplace_back(g.granted, g.finished);
+  }
+  std::sort(grants.begin(), grants.end());
+  for (std::size_t i = 1; i < grants.size(); ++i) {
+    EXPECT_LE(grants[i - 1].second, grants[i].first)
+        << "overlap at grant " << i;
+  }
+}
+
+TEST(BusInterval, PruningBoundsTrackedIntervals) {
+  SnoopBus bus(paper_bus());
+  for (Cycle t = 0; t < 2'000'000; t += 50) {
+    bus.transact(t, BusOp::kRequest);
+  }
+  // The interval list must stay small (pruned behind the moving horizon),
+  // or a long simulation would degrade quadratically.
+  EXPECT_LT(bus.tracked_intervals(), 300U);
+}
+
+TEST(BusInterval, BusyAccountingMatchesDurations) {
+  SnoopBus bus(paper_bus());
+  bus.transact(0, BusOp::kRequest);
+  bus.transact(0, BusOp::kDataBlock);
+  bus.transact(0, BusOp::kSpill);
+  EXPECT_EQ(bus.stats().busy_core_cycles, 8U + 20U + 24U);
+}
+
+TEST(BusInterval, ResetClearsSchedule) {
+  SnoopBus bus(paper_bus());
+  bus.transact(0, BusOp::kDataBlock);
+  bus.reset(0);
+  const BusGrant g = bus.transact(0, BusOp::kRequest);
+  EXPECT_EQ(g.granted, 0U);
+}
+
+}  // namespace
+}  // namespace snug::bus

@@ -1,0 +1,77 @@
+#include "bus/snoop_bus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::bus {
+namespace {
+
+// Table 4 bus: 16 B wide, 4:1 speed ratio, 1-cycle arbitration.
+BusConfig paper_bus() { return BusConfig{16, 4, 1, 64}; }
+
+TEST(Bus, Durations) {
+  SnoopBus bus(paper_bus());
+  // Request: (1 arb + 1 addr) x 4 = 8 core cycles.
+  EXPECT_EQ(bus.duration(BusOp::kRequest), 8U);
+  // Data: (1 arb + 64/16 beats) x 4 = 20.
+  EXPECT_EQ(bus.duration(BusOp::kDataBlock), 20U);
+  // Spill: (1 arb + 1 addr + 4 beats) x 4 = 24.
+  EXPECT_EQ(bus.duration(BusOp::kSpill), 24U);
+}
+
+TEST(Bus, RemoteAccessLatencyComposition) {
+  // The scheme layer composes: request(8) + lookup(2) + data(20) = 30 for
+  // CC/DSR, and with lookup 12 -> 40 for SNUG (paper Section 4.1).
+  SnoopBus bus(paper_bus());
+  EXPECT_EQ(bus.duration(BusOp::kRequest) + 2 +
+                bus.duration(BusOp::kDataBlock),
+            30U);
+  EXPECT_EQ(bus.duration(BusOp::kRequest) + 12 +
+                bus.duration(BusOp::kDataBlock),
+            40U);
+}
+
+TEST(Bus, SerialisesOverlappingTransactions) {
+  SnoopBus bus(paper_bus());
+  const BusGrant a = bus.transact(0, BusOp::kRequest);
+  EXPECT_EQ(a.granted, 0U);
+  EXPECT_EQ(a.finished, 8U);
+  const BusGrant b = bus.transact(2, BusOp::kDataBlock);
+  EXPECT_EQ(b.granted, 8U);  // waits for a
+  EXPECT_EQ(b.finished, 28U);
+  EXPECT_EQ(bus.stats().wait_core_cycles, 6U);
+}
+
+TEST(Bus, IdleBusGrantsImmediately) {
+  SnoopBus bus(paper_bus());
+  bus.transact(0, BusOp::kRequest);
+  const BusGrant g = bus.transact(100, BusOp::kSpill);
+  EXPECT_EQ(g.granted, 100U);
+  EXPECT_EQ(g.finished, 124U);
+}
+
+TEST(Bus, CountsPerKind) {
+  SnoopBus bus(paper_bus());
+  bus.transact(0, BusOp::kRequest);
+  bus.transact(0, BusOp::kDataBlock);
+  bus.transact(0, BusOp::kSpill);
+  bus.transact(0, BusOp::kSpill);
+  EXPECT_EQ(bus.stats().requests, 1U);
+  EXPECT_EQ(bus.stats().data_blocks, 1U);
+  EXPECT_EQ(bus.stats().spills, 2U);
+}
+
+TEST(Bus, Utilisation) {
+  SnoopBus bus(paper_bus());
+  bus.transact(0, BusOp::kRequest);  // 8 busy cycles
+  EXPECT_DOUBLE_EQ(bus.utilisation(80), 0.1);
+}
+
+TEST(Bus, WiderBusMovesDataFaster) {
+  SnoopBus wide(BusConfig{32, 4, 1, 64});
+  SnoopBus narrow(paper_bus());
+  EXPECT_LT(wide.duration(BusOp::kDataBlock),
+            narrow.duration(BusOp::kDataBlock));
+}
+
+}  // namespace
+}  // namespace snug::bus

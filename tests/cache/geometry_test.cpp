@@ -1,0 +1,91 @@
+#include "cache/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::cache {
+namespace {
+
+// The paper's private L2 slice: 1 MB, 16-way, 64 B lines (Table 4).
+CacheGeometry paper_l2() { return CacheGeometry(1 << 20, 16, 64); }
+
+TEST(Geometry, PaperL2Has1024Sets) {
+  const auto g = paper_l2();
+  EXPECT_EQ(g.num_sets(), 1024U);
+  EXPECT_EQ(g.offset_bits(), 6U);
+  EXPECT_EQ(g.index_bits(), 10U);
+  EXPECT_EQ(g.associativity(), 16U);
+}
+
+TEST(Geometry, PaperL1) {
+  // 32 KB, 4-way, 64 B lines -> 128 sets.
+  const CacheGeometry g(32 << 10, 4, 64);
+  EXPECT_EQ(g.num_sets(), 128U);
+}
+
+TEST(Geometry, SharedL2) {
+  // L2S: 4 MB aggregated, 16-way -> 4096 sets.
+  const CacheGeometry g(4 << 20, 16, 64);
+  EXPECT_EQ(g.num_sets(), 4096U);
+  EXPECT_EQ(g.index_bits(), 12U);
+}
+
+TEST(Geometry, AddressDecomposition) {
+  const auto g = paper_l2();
+  const Addr a = 0xDEADBEEFULL;
+  EXPECT_EQ(g.set_of(a), (a >> 6) & 1023);
+  EXPECT_EQ(g.tag_of(a), a >> 16);
+  EXPECT_EQ(g.block_of(a), a & ~0x3FULL);
+}
+
+TEST(Geometry, AddrOfRoundTrips) {
+  const auto g = paper_l2();
+  for (const Addr a : {0x0ULL, 0x12345678ULL, 0xFFFF0000ULL, 0x7E4C3B40ULL}) {
+    const Addr block = g.block_of(a);
+    EXPECT_EQ(g.addr_of(g.tag_of(a), g.set_of(a)), block);
+  }
+}
+
+TEST(Geometry, BuddySetFlipsLastIndexBit) {
+  const auto g = paper_l2();
+  EXPECT_EQ(g.buddy_set(0), 1U);
+  EXPECT_EQ(g.buddy_set(1), 0U);
+  EXPECT_EQ(g.buddy_set(512), 513U);
+  // Involution over every set.
+  for (SetIndex s = 0; s < g.num_sets(); ++s) {
+    EXPECT_EQ(g.buddy_set(g.buddy_set(s)), s);
+    EXPECT_NE(g.buddy_set(s), s);
+  }
+}
+
+TEST(Geometry, BuddyPairsPartitionTheCache) {
+  // Every set belongs to exactly one {s, buddy(s)} pair: the grouper's
+  // search space is well defined (paper Figure 8).
+  const auto g = paper_l2();
+  std::vector<int> seen(g.num_sets(), 0);
+  for (SetIndex s = 0; s < g.num_sets(); ++s) {
+    if (s < g.buddy_set(s)) {
+      ++seen[s];
+      ++seen[g.buddy_set(s)];
+    }
+  }
+  for (const int n : seen) EXPECT_EQ(n, 1);
+}
+
+TEST(Geometry, TagIgnoresIndexBits) {
+  // Two addresses differing only in the last index bit share a tag: the f
+  // bit is what disambiguates them in a buddy set.
+  const auto g = paper_l2();
+  const Addr a = 0x12340040ULL;                  // set 1
+  const Addr b = a ^ (1ULL << g.offset_bits());  // set 0
+  EXPECT_NE(g.set_of(a), g.set_of(b));
+  EXPECT_EQ(g.tag_of(a), g.tag_of(b));
+}
+
+TEST(Geometry, DifferentLineSizes) {
+  const CacheGeometry g(1 << 20, 16, 128);
+  EXPECT_EQ(g.num_sets(), 512U);
+  EXPECT_EQ(g.offset_bits(), 7U);
+}
+
+}  // namespace
+}  // namespace snug::cache

@@ -1,0 +1,104 @@
+// Tests for the cooperative-guest mechanics added to the cache substrate:
+// guest-first victim selection (the replica-first ablation), rank
+// placement, and the per-block writable-footprint property used by the
+// trace substrate.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "trace/synth_stream.hpp"
+
+namespace snug::cache {
+namespace {
+
+CacheLine local_line(std::uint64_t tag) {
+  CacheLine l;
+  l.tag = tag;
+  l.valid = true;
+  return l;
+}
+
+CacheLine guest_line(std::uint64_t tag) {
+  CacheLine l = local_line(tag);
+  l.cc = true;
+  l.owner = 1;
+  return l;
+}
+
+TEST(GuestPolicy, PreferGuestsPicksInvalidFirst) {
+  CacheSet set(4, ReplacementKind::kLru);
+  set.fill(0, local_line(1));
+  EXPECT_GE(set.choose_victim_prefer_guests(), 1U);  // an invalid way
+}
+
+TEST(GuestPolicy, PreferGuestsPicksColdestGuest) {
+  CacheSet set(4, ReplacementKind::kLru);
+  set.fill(0, local_line(1));
+  set.fill(1, guest_line(2));
+  set.fill(2, guest_line(3));
+  set.fill(3, local_line(4));
+  // Guest in way 1 is older (colder) than guest in way 2.
+  EXPECT_EQ(set.choose_victim_prefer_guests(), 1U);
+}
+
+TEST(GuestPolicy, PreferGuestsFallsBackToLru) {
+  CacheSet set(2, ReplacementKind::kLru);
+  set.fill(0, local_line(1));
+  set.fill(1, local_line(2));
+  set.touch(1);
+  EXPECT_EQ(set.choose_victim_prefer_guests(), 0U);  // plain LRU local
+}
+
+TEST(GuestPolicy, PlaceAtExactForLru) {
+  LruState lru(4);
+  for (WayIndex w = 0; w < 4; ++w) lru.on_access(w);  // ranks: 3,2,1,0
+  lru.place_at(3, 2);
+  EXPECT_EQ(lru.rank_of(3), 2U);
+  // Ranks remain a permutation.
+  std::uint32_t sum = 0;
+  for (WayIndex w = 0; w < 4; ++w) sum += lru.rank_of(w);
+  EXPECT_EQ(sum, 0U + 1 + 2 + 3);
+}
+
+TEST(GuestPolicy, PlaceAtGenericApproximation) {
+  FifoState fifo(4);
+  for (WayIndex w = 0; w < 4; ++w) fifo.on_fill(w);
+  fifo.place_at(3, 3);  // cold half -> demote
+  EXPECT_EQ(fifo.victim(), 3U);
+}
+
+TEST(WritableFootprint, DeterministicPerBlock) {
+  trace::StreamConfig cfg;
+  cfg.stream_seed = 3;
+  trace::SyntheticStream stream(trace::profile_for("ammp"), cfg);
+  for (Addr block = 0; block < 64 * 100; block += 64) {
+    EXPECT_EQ(stream.writable_block(block), stream.writable_block(block));
+  }
+}
+
+TEST(WritableFootprint, FractionRoughlyMatchesProfile) {
+  trace::StreamConfig cfg;
+  cfg.stream_seed = 3;
+  trace::SyntheticStream stream(trace::profile_for("ammp"), cfg);
+  const double target = trace::profile_for("ammp").writable_fraction;
+  int writable = 0;
+  constexpr int kBlocks = 20000;
+  for (int i = 0; i < kBlocks; ++i) {
+    if (stream.writable_block(static_cast<Addr>(i) * 64)) ++writable;
+  }
+  EXPECT_NEAR(static_cast<double>(writable) / kBlocks, target, 0.02);
+}
+
+TEST(WritableFootprint, StoresOnlyTargetWritableBlocks) {
+  trace::StreamConfig cfg;
+  cfg.stream_seed = 5;
+  trace::SyntheticStream stream(trace::profile_for("parser"), cfg);
+  for (int i = 0; i < 100'000; ++i) {
+    const trace::Instr instr = stream.next();
+    if (instr.kind == trace::InstrKind::kStore) {
+      EXPECT_TRUE(stream.writable_block(instr.addr & ~Addr{63}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snug::cache

@@ -1,0 +1,148 @@
+#include "cache/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace snug::cache {
+namespace {
+
+TEST(Lru, VictimIsLeastRecentlyUsed) {
+  LruState lru(4);
+  lru.on_access(0);
+  lru.on_access(1);
+  lru.on_access(2);
+  lru.on_access(3);
+  EXPECT_EQ(lru.victim(), 0U);
+  lru.on_access(0);
+  EXPECT_EQ(lru.victim(), 1U);
+}
+
+TEST(Lru, RanksArePermutation) {
+  LruState lru(8);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    lru.on_access(static_cast<WayIndex>(rng.below(8)));
+    std::set<std::uint32_t> ranks;
+    for (WayIndex w = 0; w < 8; ++w) ranks.insert(lru.rank_of(w));
+    EXPECT_EQ(ranks.size(), 8U);
+    EXPECT_EQ(*ranks.begin(), 0U);
+    EXPECT_EQ(*ranks.rbegin(), 7U);
+  }
+}
+
+TEST(Lru, AccessMakesMru) {
+  LruState lru(4);
+  lru.on_access(2);
+  EXPECT_EQ(lru.rank_of(2), 0U);
+}
+
+TEST(Lru, DemoteMakesVictim) {
+  LruState lru(4);
+  for (WayIndex w = 0; w < 4; ++w) lru.on_access(w);
+  lru.demote(3);  // most recent becomes LRU
+  EXPECT_EQ(lru.victim(), 3U);
+}
+
+TEST(Lru, MimicsReferenceStack) {
+  // Compare against an explicit list-based LRU model.
+  LruState lru(4);
+  // Initial ranks are the identity: way 0 is MRU, way 3 is LRU.
+  std::vector<WayIndex> model{0, 1, 2, 3};  // MRU front
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const auto w = static_cast<WayIndex>(rng.below(4));
+    lru.on_access(w);
+    model.erase(std::find(model.begin(), model.end(), w));
+    model.insert(model.begin(), w);
+    for (std::size_t r = 0; r < model.size(); ++r) {
+      EXPECT_EQ(lru.rank_of(model[r]), r);
+    }
+    EXPECT_EQ(lru.victim(), model.back());
+  }
+}
+
+TEST(Fifo, EvictsInFillOrder) {
+  FifoState fifo(4);
+  fifo.on_fill(2);
+  fifo.on_fill(0);
+  fifo.on_fill(1);
+  fifo.on_fill(3);
+  EXPECT_EQ(fifo.victim(), 2U);
+  fifo.on_fill(2);  // refill
+  EXPECT_EQ(fifo.victim(), 0U);
+}
+
+TEST(Fifo, AccessDoesNotChangeOrder) {
+  FifoState fifo(2);
+  fifo.on_fill(0);
+  fifo.on_fill(1);
+  fifo.on_access(0);
+  EXPECT_EQ(fifo.victim(), 0U);
+}
+
+TEST(Random, VictimInRangeAndCoversAllWays) {
+  Rng rng(23);
+  RandomState r(4, &rng);
+  std::set<WayIndex> seen;
+  for (int i = 0; i < 200; ++i) {
+    const WayIndex v = r.victim();
+    EXPECT_LT(v, 4U);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4U);
+}
+
+TEST(Random, DemotePinsNextVictim) {
+  Rng rng(29);
+  RandomState r(8, &rng);
+  r.demote(5);
+  EXPECT_EQ(r.victim(), 5U);
+}
+
+TEST(TreePlru, VictimAvoidsRecentlyUsed) {
+  TreePlruState plru(4);
+  plru.on_access(0);
+  const WayIndex v = plru.victim();
+  EXPECT_NE(v, 0U);
+}
+
+TEST(TreePlru, FillingAllWaysCyclesVictims) {
+  TreePlruState plru(8);
+  std::set<WayIndex> victims;
+  for (int i = 0; i < 8; ++i) {
+    const WayIndex v = plru.victim();
+    victims.insert(v);
+    plru.on_access(v);
+  }
+  // Tree-PLRU touring: touching each victim visits all ways.
+  EXPECT_EQ(victims.size(), 8U);
+}
+
+TEST(TreePlru, DemoteMakesVictim) {
+  TreePlruState plru(8);
+  for (WayIndex w = 0; w < 8; ++w) plru.on_access(w);
+  plru.demote(3);
+  EXPECT_EQ(plru.victim(), 3U);
+}
+
+TEST(Factory, CreatesEveryKind) {
+  Rng rng(1);
+  for (const auto kind :
+       {ReplacementKind::kLru, ReplacementKind::kFifo,
+        ReplacementKind::kRandom, ReplacementKind::kTreePlru}) {
+    const auto state = make_replacement(kind, 16, &rng);
+    ASSERT_NE(state, nullptr) << to_string(kind);
+    EXPECT_LT(state->victim(), 16U);
+  }
+}
+
+TEST(Factory, ToStringNames) {
+  EXPECT_STREQ(to_string(ReplacementKind::kLru), "lru");
+  EXPECT_STREQ(to_string(ReplacementKind::kTreePlru), "tree-plru");
+}
+
+}  // namespace
+}  // namespace snug::cache

@@ -1,0 +1,135 @@
+#include "cache/set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::cache {
+namespace {
+
+CacheLine local_line(std::uint64_t tag, CoreId owner = 0) {
+  CacheLine l;
+  l.tag = tag;
+  l.valid = true;
+  l.owner = owner;
+  return l;
+}
+
+CacheLine cc_line(std::uint64_t tag, bool flipped, CoreId owner = 1) {
+  CacheLine l = local_line(tag, owner);
+  l.cc = true;
+  l.flipped = flipped;
+  return l;
+}
+
+TEST(CacheSet, FillAndFindLocal) {
+  CacheSet set(4, ReplacementKind::kLru);
+  EXPECT_EQ(set.find_local(7), kInvalidWay);
+  const WayIndex w = set.choose_victim();
+  set.fill(w, local_line(7));
+  EXPECT_EQ(set.find_local(7), w);
+  EXPECT_EQ(set.valid_count(), 1U);
+}
+
+TEST(CacheSet, FindLocalIgnoresCcLines) {
+  CacheSet set(4, ReplacementKind::kLru);
+  set.fill(0, cc_line(7, false));
+  EXPECT_EQ(set.find_local(7), kInvalidWay);
+  EXPECT_EQ(set.find_cc(7, false), 0U);
+  EXPECT_EQ(set.find_any(7), 0U);
+}
+
+TEST(CacheSet, FindCcMatchesFlipFlagExactly) {
+  CacheSet set(4, ReplacementKind::kLru);
+  set.fill(0, cc_line(7, /*flipped=*/true));
+  EXPECT_EQ(set.find_cc(7, true), 0U);
+  EXPECT_EQ(set.find_cc(7, false), kInvalidWay);
+}
+
+TEST(CacheSet, LocalAndFlippedCcWithSameTagCoexist) {
+  // A local line of this set and a flipped cooperative line from the buddy
+  // index can carry identical tags; they are different blocks.
+  CacheSet set(4, ReplacementKind::kLru);
+  set.fill(0, local_line(7));
+  set.fill(1, cc_line(7, /*flipped=*/true));
+  EXPECT_EQ(set.find_local(7), 0U);
+  EXPECT_EQ(set.find_cc(7, true), 1U);
+}
+
+TEST(CacheSet, ChooseVictimPrefersInvalid) {
+  CacheSet set(4, ReplacementKind::kLru);
+  set.fill(0, local_line(1));
+  set.fill(1, local_line(2));
+  const WayIndex v = set.choose_victim();
+  EXPECT_GE(v, 2U);  // an invalid way, not an occupied one
+}
+
+TEST(CacheSet, LruEvictionOrder) {
+  CacheSet set(2, ReplacementKind::kLru);
+  set.fill(set.choose_victim(), local_line(1));
+  set.fill(set.choose_victim(), local_line(2));
+  set.touch(set.find_local(1));  // 1 is now MRU
+  const WayIndex v = set.choose_victim();
+  EXPECT_EQ(set.line(v).tag, 2U);
+}
+
+TEST(CacheSet, FillReturnsDisplaced) {
+  CacheSet set(1, ReplacementKind::kLru);
+  set.fill(0, local_line(1));
+  const CacheLine d = set.fill(0, local_line(2));
+  EXPECT_TRUE(d.valid);
+  EXPECT_EQ(d.tag, 1U);
+}
+
+TEST(CacheSet, FillDemotedIsNextVictim) {
+  CacheSet set(4, ReplacementKind::kLru);
+  for (std::uint64_t t = 1; t <= 4; ++t) {
+    set.fill(set.choose_victim(), local_line(t));
+  }
+  // Demote-insert a cc block; it must be chosen before older local lines.
+  const WayIndex v = set.choose_victim();
+  set.fill_demoted(v, cc_line(99, false));
+  EXPECT_EQ(set.choose_victim(), set.find_cc(99, false));
+}
+
+TEST(CacheSet, InvalidateFreesWay) {
+  CacheSet set(2, ReplacementKind::kLru);
+  set.fill(0, local_line(1));
+  set.invalidate(0);
+  EXPECT_FALSE(set.line(0).valid);
+  EXPECT_EQ(set.find_local(1), kInvalidWay);
+  EXPECT_EQ(set.choose_victim(), 0U);
+}
+
+TEST(CacheSet, CcCount) {
+  CacheSet set(4, ReplacementKind::kLru);
+  set.fill(0, local_line(1));
+  set.fill(1, cc_line(2, false));
+  set.fill(2, cc_line(3, true));
+  EXPECT_EQ(set.cc_count(), 2U);
+  EXPECT_EQ(set.valid_count(), 3U);
+}
+
+TEST(CacheSet, ForEachValidVisitsAll) {
+  CacheSet set(4, ReplacementKind::kLru);
+  set.fill(0, local_line(1));
+  set.fill(2, local_line(3));
+  int visits = 0;
+  std::uint64_t tag_sum = 0;
+  set.for_each_valid([&](WayIndex, const CacheLine& l) {
+    ++visits;
+    tag_sum += l.tag;
+  });
+  EXPECT_EQ(visits, 2);
+  EXPECT_EQ(tag_sum, 4U);
+}
+
+TEST(CacheSet, DirtyBitSurvivesFillAndDisplace) {
+  CacheSet set(1, ReplacementKind::kLru);
+  CacheLine l = local_line(5);
+  l.dirty = true;
+  set.fill(0, l);
+  const CacheLine d = set.fill(0, local_line(6));
+  EXPECT_TRUE(d.dirty);
+}
+
+}  // namespace
+}  // namespace snug::cache

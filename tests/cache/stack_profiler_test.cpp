@@ -1,0 +1,111 @@
+#include "cache/stack_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace snug::cache {
+namespace {
+
+TEST(StackProfiler, ColdMissesAreDeep) {
+  LruStackProfiler p(4, 8);
+  EXPECT_EQ(p.access(0, 100), 0U);
+  EXPECT_EQ(p.deep_misses(0), 1U);
+}
+
+TEST(StackProfiler, ImmediateReuseHitsPositionOne) {
+  LruStackProfiler p(4, 8);
+  p.access(0, 100);
+  EXPECT_EQ(p.access(0, 100), 1U);
+  EXPECT_EQ(p.hits_at(0, 1), 1U);
+}
+
+TEST(StackProfiler, StackDistanceMeasured) {
+  LruStackProfiler p(1, 8);
+  p.access(0, 1);
+  p.access(0, 2);
+  p.access(0, 3);
+  // Touching 1 again: two blocks (2, 3) are more recent -> position 3.
+  EXPECT_EQ(p.access(0, 1), 3U);
+}
+
+TEST(StackProfiler, CyclicPatternDemandEqualsWorkingSet) {
+  // Round-robin over d blocks: every hit lands at depth d exactly, so
+  // block_required == d (the generator design in src/trace relies on this).
+  constexpr std::uint32_t d = 5;
+  LruStackProfiler p(1, 16);
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t b = 0; b < d; ++b) p.access(0, b);
+  }
+  EXPECT_EQ(p.block_required(0), d);
+}
+
+TEST(StackProfiler, HitCountMonotoneInA) {
+  // hit_count(S, I, A) must be monotonically non-decreasing in A — the
+  // dual of the paper's monotone miss_count (stack property).
+  LruStackProfiler p(1, 16);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) p.access(0, rng.below(24));
+  std::uint64_t prev = 0;
+  for (std::uint32_t a = 1; a <= 16; ++a) {
+    const std::uint64_t h = p.hit_count(0, a);
+    EXPECT_GE(h, prev);
+    prev = h;
+  }
+}
+
+TEST(StackProfiler, BlockRequiredDefinitionFormula3) {
+  // block_required = min A with hit_count(A) == hit_count(A_threshold).
+  LruStackProfiler p(1, 16);
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) p.access(0, rng.below(12));
+  const std::uint32_t br = p.block_required(0);
+  const std::uint64_t full = p.hit_count(0, 16);
+  EXPECT_EQ(p.hit_count(0, br), full);
+  if (br > 1) {
+    EXPECT_LT(p.hit_count(0, br - 1), full);
+  }
+}
+
+TEST(StackProfiler, NoHitsMeansDemandOne) {
+  LruStackProfiler p(1, 8);
+  for (std::uint64_t b = 0; b < 100; ++b) p.access(0, b);  // pure streaming
+  EXPECT_EQ(p.block_required(0), 1U);
+}
+
+TEST(StackProfiler, BeginIntervalClearsCountsKeepsStack) {
+  LruStackProfiler p(1, 8);
+  p.access(0, 1);
+  p.access(0, 1);
+  p.begin_interval();
+  EXPECT_EQ(p.hits_at(0, 1), 0U);
+  // The stack persists: another touch of 1 is still a position-1 hit.
+  EXPECT_EQ(p.access(0, 1), 1U);
+}
+
+TEST(StackProfiler, ResetClearsStacks) {
+  LruStackProfiler p(1, 8);
+  p.access(0, 1);
+  p.reset();
+  EXPECT_EQ(p.access(0, 1), 0U);  // compulsory again
+}
+
+TEST(StackProfiler, SetsAreIndependent) {
+  LruStackProfiler p(2, 8);
+  p.access(0, 1);
+  p.access(1, 1);
+  p.access(0, 1);
+  EXPECT_EQ(p.hits_at(0, 1), 1U);
+  EXPECT_EQ(p.hits_at(1, 1), 0U);
+}
+
+TEST(StackProfiler, EvictionBeyondDepth) {
+  LruStackProfiler p(1, 2);
+  p.access(0, 1);
+  p.access(0, 2);
+  p.access(0, 3);               // evicts 1 from the 2-deep stack
+  EXPECT_EQ(p.access(0, 1), 0U);  // 1 is gone: deep miss
+}
+
+}  // namespace
+}  // namespace snug::cache

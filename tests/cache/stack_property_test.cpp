@@ -1,0 +1,122 @@
+// Property tests for the LRU stack property (Mattson et al. 1970), the
+// mathematical foundation of the paper's Section 2.1:
+//
+//   miss_count(S, I, 0) >= miss_count(S, I, 1) >= ... >= miss_count(S, I, inf)
+//
+// and the equivalence the SNUG shadow sets exploit: the misses of an A-way
+// LRU cache on a reference stream equal the references whose stack distance
+// exceeds A.  We verify both by running REAL SetAssocCache instances at
+// every associativity against the LruStackProfiler on identical streams.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/stack_profiler.hpp"
+#include "common/rng.hpp"
+
+namespace snug::cache {
+namespace {
+
+struct StreamSpec {
+  std::string name;
+  std::uint64_t distinct_blocks;  // working-set size per set
+  double geometric_q;             // stack-distance skew (1.0 == uniform)
+  int accesses;
+};
+
+class StackPropertyTest : public ::testing::TestWithParam<StreamSpec> {};
+
+// Generates the same reference stream deterministically.
+std::vector<std::uint64_t> make_stream(const StreamSpec& spec) {
+  Rng rng(Rng::derive_seed("stack-property", spec.distinct_blocks,
+                           static_cast<std::uint64_t>(spec.accesses)));
+  std::vector<std::uint64_t> stream;
+  stream.reserve(static_cast<std::size_t>(spec.accesses));
+  for (int i = 0; i < spec.accesses; ++i) {
+    if (spec.geometric_q >= 1.0) {
+      stream.push_back(rng.below(spec.distinct_blocks));
+    } else {
+      // Re-reference recent blocks more (approximate temporal locality).
+      const auto k = rng.truncated_geometric(
+          static_cast<std::uint32_t>(spec.distinct_blocks),
+          spec.geometric_q);
+      stream.push_back((static_cast<std::uint64_t>(i) * 2654435761ULL + k) %
+                       spec.distinct_blocks);
+    }
+  }
+  return stream;
+}
+
+// Counts the misses a single-set A-way LRU cache takes on the stream.
+std::uint64_t misses_with_assoc(const std::vector<std::uint64_t>& stream,
+                                std::uint32_t assoc) {
+  // One-set cache: capacity = assoc * line.
+  const CacheGeometry geo(std::uint64_t{64} * assoc, assoc, 64);
+  SetAssocCache cache("probe", geo);
+  std::uint64_t misses = 0;
+  for (const std::uint64_t block : stream) {
+    const Addr a = block << 6;  // all addresses land in set 0
+    if (!cache.access_local(a, false).hit) {
+      ++misses;
+      cache.fill_local(a, false, 0);
+    }
+  }
+  return misses;
+}
+
+TEST_P(StackPropertyTest, MissCountMonotoneNonIncreasingInAssoc) {
+  const auto stream = make_stream(GetParam());
+  std::uint64_t prev = stream.size() + 1;
+  for (std::uint32_t assoc : {1U, 2U, 4U, 8U, 16U, 32U}) {
+    const std::uint64_t m = misses_with_assoc(stream, assoc);
+    EXPECT_LE(m, prev) << "assoc " << assoc;
+    prev = m;
+  }
+}
+
+TEST_P(StackPropertyTest, RealCacheMatchesProfilerPrediction) {
+  // hit_count(S,I,A) from the profiler must equal the hits of a real A-way
+  // LRU cache — Formula (3) is exact, not an approximation.
+  const auto stream = make_stream(GetParam());
+  LruStackProfiler profiler(1, 32);
+  for (const std::uint64_t block : stream) profiler.access(0, block);
+  for (std::uint32_t assoc : {1U, 2U, 4U, 8U, 16U, 32U}) {
+    const std::uint64_t misses = misses_with_assoc(stream, assoc);
+    const std::uint64_t hits = stream.size() - misses;
+    EXPECT_EQ(hits, profiler.hit_count(0, assoc)) << "assoc " << assoc;
+  }
+}
+
+TEST_P(StackPropertyTest, BlockRequiredResolvesAllCapacityMisses) {
+  // Giving the set block_required ways leaves only compulsory misses
+  // (Formula 1: miss_count(S,I,A) - miss_count(S,I,inf) == 0).
+  const auto spec = GetParam();
+  if (spec.distinct_blocks > 32) GTEST_SKIP() << "beyond A_threshold";
+  const auto stream = make_stream(spec);
+  LruStackProfiler profiler(1, 32);
+  for (const std::uint64_t block : stream) profiler.access(0, block);
+  const std::uint32_t demand = profiler.block_required(0);
+  const std::uint64_t misses = misses_with_assoc(stream, demand);
+  EXPECT_EQ(misses, spec.distinct_blocks)  // compulsory only
+      << "demand " << demand;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, StackPropertyTest,
+    ::testing::Values(
+        StreamSpec{"tiny_uniform", 3, 1.0, 4000},
+        StreamSpec{"small_uniform", 8, 1.0, 6000},
+        StreamSpec{"way_sized", 16, 1.0, 8000},
+        StreamSpec{"double_ways", 32, 1.0, 12000},
+        StreamSpec{"overflow", 48, 1.0, 12000},
+        StreamSpec{"skewed_small", 8, 0.7, 6000},
+        StreamSpec{"skewed_large", 32, 0.8, 12000},
+        StreamSpec{"single_block", 1, 1.0, 1000}),
+    [](const ::testing::TestParamInfo<StreamSpec>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace snug::cache

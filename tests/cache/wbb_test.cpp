@@ -1,0 +1,83 @@
+#include "cache/wbb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::cache {
+namespace {
+
+WbbConfig cfg(std::uint32_t entries = 4, Cycle drain = 100,
+              Cycle penalty = 50) {
+  return WbbConfig{entries, drain, penalty};
+}
+
+TEST(Wbb, InsertNoStallWhenSpace) {
+  WriteBackBuffer wbb(cfg());
+  EXPECT_EQ(wbb.insert(0x40, 0), 0U);
+  EXPECT_EQ(wbb.occupancy(), 1U);
+}
+
+TEST(Wbb, MergesSameBlock) {
+  WriteBackBuffer wbb(cfg());
+  wbb.insert(0x40, 0);
+  wbb.insert(0x40, 1);
+  EXPECT_EQ(wbb.occupancy(), 1U);
+  EXPECT_EQ(wbb.stats().merges, 1U);
+}
+
+TEST(Wbb, DirectReadHit) {
+  WriteBackBuffer wbb(cfg());
+  wbb.insert(0x40, 0);
+  EXPECT_TRUE(wbb.read_hit(0x40));
+  EXPECT_FALSE(wbb.read_hit(0x80));
+  EXPECT_EQ(wbb.stats().direct_reads, 1U);
+}
+
+TEST(Wbb, DrainsOverTime) {
+  WriteBackBuffer wbb(cfg(4, 100, 50));
+  wbb.insert(0x40, 0);
+  wbb.insert(0x80, 0);
+  EXPECT_EQ(wbb.occupancy(), 2U);
+  wbb.tick(99);
+  EXPECT_EQ(wbb.occupancy(), 2U);
+  wbb.tick(100);
+  EXPECT_EQ(wbb.occupancy(), 1U);
+  wbb.tick(200);
+  EXPECT_EQ(wbb.occupancy(), 0U);
+}
+
+TEST(Wbb, FullInsertStallsAndForcesDrain) {
+  WriteBackBuffer wbb(cfg(2, 1000, 77));
+  wbb.insert(0x40, 0);
+  wbb.insert(0x80, 0);
+  const Cycle stall = wbb.insert(0xC0, 1);
+  EXPECT_EQ(stall, 77U);
+  EXPECT_EQ(wbb.occupancy(), 2U);  // one forced out, one in
+  EXPECT_EQ(wbb.stats().full_stalls, 1U);
+  EXPECT_FALSE(wbb.read_hit(0x40));  // oldest was drained
+  EXPECT_TRUE(wbb.read_hit(0xC0));
+}
+
+TEST(Wbb, FifoDrainOrder) {
+  WriteBackBuffer wbb(cfg(4, 10, 5));
+  wbb.insert(0x40, 0);
+  wbb.insert(0x80, 0);
+  wbb.tick(10);
+  EXPECT_FALSE(wbb.read_hit(0x40));
+  EXPECT_TRUE(wbb.read_hit(0x80));
+}
+
+TEST(Wbb, ClearEmpties) {
+  WriteBackBuffer wbb(cfg());
+  wbb.insert(0x40, 0);
+  wbb.clear();
+  EXPECT_EQ(wbb.occupancy(), 0U);
+  EXPECT_FALSE(wbb.read_hit(0x40));
+}
+
+TEST(Wbb, PaperConfigIs16Entries) {
+  const WbbConfig c;
+  EXPECT_EQ(c.entries, 16U);
+}
+
+}  // namespace
+}  // namespace snug::cache

@@ -1,0 +1,64 @@
+#include "common/bitutil.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug {
+namespace {
+
+TEST(BitUtil, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(1023));
+  EXPECT_TRUE(is_pow2(std::uint64_t{1} << 63));
+}
+
+TEST(BitUtil, Log2i) {
+  EXPECT_EQ(log2i(1), 0U);
+  EXPECT_EQ(log2i(2), 1U);
+  EXPECT_EQ(log2i(1024), 10U);
+  EXPECT_EQ(log2i(std::uint64_t{1} << 63), 63U);
+}
+
+TEST(BitUtil, Log2iRoundsDown) {
+  EXPECT_EQ(log2i(3), 1U);
+  EXPECT_EQ(log2i(1023), 9U);
+  EXPECT_EQ(log2i(1025), 10U);
+}
+
+TEST(BitUtil, LowMask) {
+  EXPECT_EQ(low_mask(0), 0ULL);
+  EXPECT_EQ(low_mask(1), 1ULL);
+  EXPECT_EQ(low_mask(6), 63ULL);
+  EXPECT_EQ(low_mask(64), ~0ULL);
+}
+
+TEST(BitUtil, ExtractBits) {
+  // Address 0xABCD1234: offset bits [5:0], index bits [15:6].
+  EXPECT_EQ(extract_bits(0xABCD1234ULL, 0, 6), 0x34ULL & 63);
+  EXPECT_EQ(extract_bits(0xFFULL, 4, 4), 0xFULL);
+  EXPECT_EQ(extract_bits(0xF0ULL, 4, 4), 0xFULL);
+  EXPECT_EQ(extract_bits(0xF0ULL, 0, 4), 0x0ULL);
+}
+
+TEST(BitUtil, FlipBit) {
+  EXPECT_EQ(flip_bit(0b1010, 0), 0b1011ULL);
+  EXPECT_EQ(flip_bit(0b1011, 0), 0b1010ULL);
+  EXPECT_EQ(flip_bit(0, 63), std::uint64_t{1} << 63);
+  // Flipping twice is the identity — the property the SNUG f bit relies on.
+  for (std::uint64_t v : {0ULL, 5ULL, 1023ULL, 0xDEADBEEFULL}) {
+    EXPECT_EQ(flip_bit(flip_bit(v, 0), 0), v);
+  }
+}
+
+TEST(BitUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0ULL);
+  EXPECT_EQ(ceil_div(1, 4), 1ULL);
+  EXPECT_EQ(ceil_div(4, 4), 1ULL);
+  EXPECT_EQ(ceil_div(5, 4), 2ULL);
+}
+
+}  // namespace
+}  // namespace snug

@@ -1,0 +1,59 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv_tail) {
+  static std::vector<const char*> argv;
+  argv.clear();
+  argv.push_back("prog");
+  for (const char* a : argv_tail) argv.push_back(a);
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, Defaults) {
+  auto args = make({});
+  EXPECT_EQ(args.get_string("name", "dflt", "h"), "dflt");
+  EXPECT_EQ(args.get_int("n", 7, "h"), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.5, "h"), 0.5);
+  EXPECT_FALSE(args.get_bool("flag", false, "h"));
+}
+
+TEST(Cli, ParsesValues) {
+  auto args = make({"--name=ammp", "--n=42", "--p=0.25", "--flag"});
+  EXPECT_EQ(args.get_string("name", "", "h"), "ammp");
+  EXPECT_EQ(args.get_int("n", 0, "h"), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.0, "h"), 0.25);
+  EXPECT_TRUE(args.get_bool("flag", false, "h"));
+}
+
+TEST(Cli, BoolFalseValues) {
+  auto args = make({"--flag=false"});
+  EXPECT_FALSE(args.get_bool("flag", true, "h"));
+}
+
+TEST(Cli, HelpRequested) {
+  auto args = make({"--help"});
+  EXPECT_TRUE(args.help_requested());
+  auto args2 = make({"-h"});
+  EXPECT_TRUE(args2.help_requested());
+}
+
+TEST(Cli, UsageListsFlags) {
+  auto args = make({});
+  (void)args.get_int("runs", 3, "number of runs");
+  const std::string u = args.usage();
+  EXPECT_NE(u.find("--runs"), std::string::npos);
+  EXPECT_NE(u.find("number of runs"), std::string::npos);
+  EXPECT_NE(u.find("default: 3"), std::string::npos);
+}
+
+TEST(Cli, NegativeNumbers) {
+  auto args = make({"--n=-5"});
+  EXPECT_EQ(args.get_int("n", 0, "h"), -5);
+}
+
+}  // namespace
+}  // namespace snug

@@ -1,0 +1,136 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace snug {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DeriveSeedIsStableAndSensitive) {
+  const auto s1 = Rng::derive_seed("trace", 3, 7);
+  EXPECT_EQ(s1, Rng::derive_seed("trace", 3, 7));
+  EXPECT_NE(s1, Rng::derive_seed("trace", 3, 8));
+  EXPECT_NE(s1, Rng::derive_seed("trace", 4, 7));
+  EXPECT_NE(s1, Rng::derive_seed("spill", 3, 7));
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(11);
+  std::array<int, 8> counts{};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(8)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / 8 - 600);
+    EXPECT_LT(c, kDraws / 8 + 600);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng r(23);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Rng, TruncatedGeometricBounds) {
+  Rng r(29);
+  for (std::uint32_t n : {1U, 2U, 5U, 32U}) {
+    for (double q : {0.5, 0.9, 1.0}) {
+      for (int i = 0; i < 500; ++i) {
+        const auto k = r.truncated_geometric(n, q);
+        EXPECT_GE(k, 1U);
+        EXPECT_LE(k, n);
+      }
+    }
+  }
+}
+
+TEST(Rng, TruncatedGeometricUniformWhenQIsOne) {
+  Rng r(31);
+  std::array<int, 4> counts{};
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.truncated_geometric(4, 1.0) - 1];
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / 4 - 500);
+    EXPECT_LT(c, kDraws / 4 + 500);
+  }
+}
+
+TEST(Rng, TruncatedGeometricSkewsLow) {
+  Rng r(37);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[r.truncated_geometric(16, 0.7) - 1];
+  // Monotone non-increasing counts (within noise): P(1) > P(8) > P(16).
+  EXPECT_GT(counts[0], counts[7]);
+  EXPECT_GT(counts[7], counts[15]);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng r(41);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+}  // namespace
+}  // namespace snug

@@ -1,0 +1,43 @@
+#include "common/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug {
+namespace {
+
+TEST(Str, Strf) {
+  EXPECT_EQ(strf("x=%d", 42), "x=42");
+  EXPECT_EQ(strf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strf("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(strf("empty"), "empty");
+}
+
+TEST(Str, StrfLongOutput) {
+  const std::string s = strf("%0100d", 7);
+  EXPECT_EQ(s.size(), 100U);
+  EXPECT_EQ(s.back(), '7');
+}
+
+TEST(Str, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4U);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Str, SplitNoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1U);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Str, Pct) {
+  EXPECT_EQ(pct(0.139), "+13.9%");
+  EXPECT_EQ(pct(-0.005), "-0.5%");
+  EXPECT_EQ(pct(0.0), "+0.0%");
+  EXPECT_EQ(pct(0.2231, 2), "+22.31%");
+}
+
+}  // namespace
+}  // namespace snug

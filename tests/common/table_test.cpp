@@ -1,0 +1,42 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"scheme", "C1"});
+  t.add_row({"SNUG", "1.223"});
+  t.add_row({"DSR", "1.154"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| scheme |"), std::string::npos);
+  EXPECT_NE(out.find("| SNUG"), std::string::npos);
+  // All lines must have equal width.
+  std::size_t width = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+}
+
+TEST(Table, Csv) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumRows) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.num_rows(), 0U);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.num_rows(), 2U);
+}
+
+}  // namespace
+}  // namespace snug

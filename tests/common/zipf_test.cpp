@@ -1,0 +1,55 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace snug {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfSampler z(100, 0.8);
+  double sum = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) sum += z.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  const ZipfSampler z(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(z.pmf(i), 0.1, 1e-9);
+}
+
+TEST(Zipf, HigherAlphaConcentratesHead) {
+  const ZipfSampler mild(64, 0.3);
+  const ZipfSampler steep(64, 1.2);
+  EXPECT_GT(steep.pmf(0), mild.pmf(0));
+  EXPECT_LT(steep.pmf(63), mild.pmf(63));
+}
+
+TEST(Zipf, PmfMonotoneNonIncreasing) {
+  const ZipfSampler z(32, 0.9);
+  for (std::size_t i = 1; i < z.size(); ++i) {
+    EXPECT_LE(z.pmf(i), z.pmf(i - 1) + 1e-12);
+  }
+}
+
+TEST(Zipf, SampleRespectsDistribution) {
+  const ZipfSampler z(8, 1.0);
+  Rng rng(99);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z.sample(rng)];
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double expected = z.pmf(i) * kDraws;
+    EXPECT_NEAR(counts[i], expected, expected * 0.12 + 80);
+  }
+}
+
+TEST(Zipf, SingleItem) {
+  const ZipfSampler z(1, 2.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.sample(rng), 0U);
+}
+
+}  // namespace
+}  // namespace snug

@@ -1,0 +1,74 @@
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::core {
+namespace {
+
+EpochConfig small_epochs() { return EpochConfig{100, 400}; }
+
+TEST(Controller, StartsInIdentify) {
+  SnugController c(small_epochs());
+  EXPECT_EQ(c.stage(), Stage::kIdentify);
+  EXPECT_FALSE(c.spilling_allowed());
+}
+
+TEST(Controller, TransitionsAtBoundaries) {
+  SnugController c(small_epochs());
+  c.tick(99);
+  EXPECT_EQ(c.stage(), Stage::kIdentify);
+  c.tick(100);
+  EXPECT_EQ(c.stage(), Stage::kGroup);
+  EXPECT_TRUE(c.spilling_allowed());
+  c.tick(499);
+  EXPECT_EQ(c.stage(), Stage::kGroup);
+  c.tick(500);
+  EXPECT_EQ(c.stage(), Stage::kIdentify);
+  EXPECT_EQ(c.periods_completed(), 1U);
+}
+
+TEST(Controller, CallbacksFireInOrder) {
+  SnugController c(small_epochs());
+  int identify_ends = 0;
+  int group_ends = 0;
+  c.on_identify_end = [&] { ++identify_ends; };
+  c.on_group_end = [&] { ++group_ends; };
+  c.tick(100);
+  EXPECT_EQ(identify_ends, 1);
+  EXPECT_EQ(group_ends, 0);
+  c.tick(500);
+  EXPECT_EQ(group_ends, 1);
+  c.tick(600);
+  EXPECT_EQ(identify_ends, 2);
+}
+
+TEST(Controller, BigJumpCatchesUpAllBoundaries) {
+  SnugController c(small_epochs());
+  int identify_ends = 0;
+  c.on_identify_end = [&] { ++identify_ends; };
+  c.tick(1999);  // covers stages: I(100) G(500) I(600) G(1000) I(1100) ...
+  EXPECT_EQ(identify_ends, 4);
+  EXPECT_EQ(c.periods_completed(), 3U);
+}
+
+TEST(Controller, DefaultEpochsKeepIdentifyShort) {
+  // Paper: 5 M identify vs 100 M group (1:20).  The scaled defaults keep
+  // identification much shorter than grouping so the grouping stage
+  // dominates execution, as in the paper.
+  const EpochConfig cfg;
+  EXPECT_GE(cfg.group_cycles / cfg.identify_cycles, 4U);
+}
+
+TEST(Controller, ResetRestartsTimeline) {
+  SnugController c(small_epochs());
+  c.tick(100);
+  c.reset(1000);
+  EXPECT_EQ(c.stage(), Stage::kIdentify);
+  c.tick(1099);
+  EXPECT_EQ(c.stage(), Stage::kIdentify);
+  c.tick(1100);
+  EXPECT_EQ(c.stage(), Stage::kGroup);
+}
+
+}  // namespace
+}  // namespace snug::core

@@ -1,0 +1,79 @@
+#include "core/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::core {
+namespace {
+
+// Table 2 / Table 3 corner: 32-bit addresses, 64 B lines, 1 MB 16-way.
+TEST(Overhead, Table2FieldLengths) {
+  const OverheadBreakdown b = compute_overhead(OverheadParams{});
+  EXPECT_EQ(b.num_sets, 1024U);
+  EXPECT_EQ(b.tag_bits, 16U);   // 32 - 10 index - 6 offset
+  EXPECT_EQ(b.lru_bits, 4U);    // 16 ways
+  // L2 line: 16 tag + v + d + CC + f + 4 LRU + 512 data = 536 bits.
+  EXPECT_EQ(b.l2_line_bits, 536U);
+  // Shadow entry: 16 + 1 + 4 = 21 bits; set: 21*16 + 4 + 3 = 343.
+  EXPECT_EQ(b.shadow_entry_bits, 21U);
+  EXPECT_EQ(b.shadow_set_bits, 343U);
+}
+
+TEST(Overhead, Table3Corner32Bit64B) {
+  const OverheadBreakdown b = compute_overhead(OverheadParams{});
+  EXPECT_NEAR(b.overhead, 0.039, 0.002);  // paper: 3.9%
+}
+
+TEST(Overhead, Table3Corner64Bit64B) {
+  OverheadParams p;
+  p.address_bits = 44;  // paper: "only 44 address bits are used"
+  const OverheadBreakdown b = compute_overhead(p);
+  EXPECT_NEAR(b.overhead, 0.058, 0.003);  // paper: 5.8%
+}
+
+TEST(Overhead, Table3Corner32Bit128B) {
+  OverheadParams p;
+  p.line_bytes = 128;
+  const OverheadBreakdown b = compute_overhead(p);
+  EXPECT_NEAR(b.overhead, 0.021, 0.002);  // paper: 2.1%
+}
+
+TEST(Overhead, Table3Corner64Bit128B) {
+  OverheadParams p;
+  p.address_bits = 44;
+  p.line_bytes = 128;
+  const OverheadBreakdown b = compute_overhead(p);
+  EXPECT_NEAR(b.overhead, 0.031, 0.002);  // paper: 3.1%
+}
+
+TEST(Overhead, SnugOverheadStaysWithinPaperRange) {
+  // Section 3: "the SNUG overhead falls in the range of 2-6%".
+  for (const std::uint32_t addr_bits : {32U, 44U}) {
+    for (const std::uint32_t line : {64U, 128U}) {
+      OverheadParams p;
+      p.address_bits = addr_bits;
+      p.line_bytes = line;
+      const OverheadBreakdown b = compute_overhead(p);
+      EXPECT_GE(b.overhead, 0.02);
+      EXPECT_LE(b.overhead, 0.06);
+    }
+  }
+}
+
+TEST(Overhead, LargerLinesReduceOverhead) {
+  OverheadParams small;
+  OverheadParams big;
+  big.line_bytes = 128;
+  EXPECT_LT(compute_overhead(big).overhead,
+            compute_overhead(small).overhead);
+}
+
+TEST(Overhead, WiderAddressesIncreaseOverhead) {
+  OverheadParams narrow;
+  OverheadParams wide;
+  wide.address_bits = 44;
+  EXPECT_GT(compute_overhead(wide).overhead,
+            compute_overhead(narrow).overhead);
+}
+
+}  // namespace
+}  // namespace snug::core

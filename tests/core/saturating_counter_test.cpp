@@ -1,0 +1,101 @@
+#include "core/saturating_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace snug::core {
+namespace {
+
+TEST(SatCounter, InitialisedToPaperValue) {
+  // Figure 7: a 4-bit counter starts at 2^3 - 1 = 7, MSB clear.
+  SaturatingCounter c(4);
+  EXPECT_EQ(c.value(), 7U);
+  EXPECT_FALSE(c.msb());
+}
+
+TEST(SatCounter, MsbFlipsAtHalf) {
+  SaturatingCounter c(4);
+  c.increment();  // 8
+  EXPECT_TRUE(c.msb());
+  c.decrement();  // 7
+  EXPECT_FALSE(c.msb());
+}
+
+TEST(SatCounter, SaturatesHigh) {
+  SaturatingCounter c(4);
+  for (int i = 0; i < 100; ++i) c.increment();
+  EXPECT_EQ(c.value(), 15U);
+}
+
+TEST(SatCounter, SaturatesLow) {
+  SaturatingCounter c(4);
+  for (int i = 0; i < 100; ++i) c.decrement();
+  EXPECT_EQ(c.value(), 0U);
+}
+
+TEST(SatCounter, ResetRestoresNeutral) {
+  SaturatingCounter c(4);
+  for (int i = 0; i < 5; ++i) c.increment();
+  c.reset();
+  EXPECT_EQ(c.value(), 7U);
+}
+
+TEST(SatCounter, WidthsScale) {
+  SaturatingCounter c3(3);
+  EXPECT_EQ(c3.value(), 3U);
+  SaturatingCounter c6(6);
+  EXPECT_EQ(c6.value(), 31U);
+}
+
+TEST(ModP, TicksEveryPth) {
+  ModPCounter m(8);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 7; ++i) EXPECT_FALSE(m.tick());
+    EXPECT_TRUE(m.tick());
+  }
+}
+
+TEST(ModP, ResetClearsPhase) {
+  ModPCounter m(4);
+  m.tick();
+  m.tick();
+  m.reset();
+  EXPECT_FALSE(m.tick());
+  EXPECT_FALSE(m.tick());
+  EXPECT_FALSE(m.tick());
+  EXPECT_TRUE(m.tick());
+}
+
+// The defining theorem of the mechanism (Section 3.1.2): the counter ends
+// above its start iff sigma = shadow/(real+shadow) > 1/p, checked over
+// randomised hit sequences against direct arithmetic.
+TEST(SatCounterProperty, MsbEquivalentToSigmaThreshold) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Wide counter so saturation does not clip the drift in this test.
+    SaturatingCounter c(12);
+    ModPCounter divider(8);
+    const auto base = static_cast<std::int64_t>(c.value());
+    std::int64_t shadow_hits = 0;
+    std::int64_t total_hits = 0;
+    const int events = 200 + static_cast<int>(rng.below(600));
+    const double shadow_frac = rng.uniform() * 0.4;
+    for (int i = 0; i < events; ++i) {
+      ++total_hits;
+      if (rng.chance(shadow_frac)) {
+        ++shadow_hits;
+        c.increment();
+      }
+      if (divider.tick()) c.decrement();
+    }
+    const std::int64_t drift =
+        static_cast<std::int64_t>(c.value()) - base;
+    const std::int64_t expected = shadow_hits - total_hits / 8;
+    EXPECT_EQ(drift, expected)
+        << "events=" << events << " shadow=" << shadow_hits;
+  }
+}
+
+}  // namespace
+}  // namespace snug::core

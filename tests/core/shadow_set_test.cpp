@@ -1,0 +1,78 @@
+#include "core/shadow_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::core {
+namespace {
+
+TEST(ShadowSet, InsertAndProbe) {
+  ShadowSet s(4);
+  s.insert(42);
+  EXPECT_TRUE(s.contains(42));
+  EXPECT_TRUE(s.probe_and_remove(42));
+  EXPECT_FALSE(s.contains(42));  // exclusivity: removed on hit
+  EXPECT_FALSE(s.probe_and_remove(42));
+}
+
+TEST(ShadowSet, LruReplacementWhenFull) {
+  ShadowSet s(2);
+  s.insert(1);
+  s.insert(2);
+  s.insert(3);  // evicts 1 (shadow LRU)
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(3));
+}
+
+TEST(ShadowSet, ReinsertRefreshesRecency) {
+  ShadowSet s(2);
+  s.insert(1);
+  s.insert(2);
+  s.insert(1);  // refresh, not duplicate
+  EXPECT_EQ(s.valid_count(), 2U);
+  s.insert(3);  // now 2 is the LRU
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_FALSE(s.contains(2));
+}
+
+TEST(ShadowSet, RemoveSpecificTag) {
+  ShadowSet s(4);
+  s.insert(7);
+  s.insert(8);
+  s.remove(7);
+  EXPECT_FALSE(s.contains(7));
+  EXPECT_TRUE(s.contains(8));
+  s.remove(100);  // no-op
+  EXPECT_EQ(s.valid_count(), 1U);
+}
+
+TEST(ShadowSet, ClearEmptiesAll) {
+  ShadowSet s(4);
+  for (std::uint64_t t = 0; t < 4; ++t) s.insert(t);
+  s.clear();
+  EXPECT_EQ(s.valid_count(), 0U);
+}
+
+TEST(ShadowSet, InvalidSlotsReusedBeforeEviction) {
+  ShadowSet s(3);
+  s.insert(1);
+  s.insert(2);
+  s.insert(3);
+  s.probe_and_remove(2);  // frees a slot
+  s.insert(4);            // must use the free slot, not evict 1 or 3
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(4));
+}
+
+TEST(ShadowSet, CapacityMatchesAssociativity) {
+  ShadowSet s(16);
+  for (std::uint64_t t = 0; t < 20; ++t) s.insert(t);
+  EXPECT_EQ(s.valid_count(), 16U);
+  // Oldest four were displaced.
+  for (std::uint64_t t = 0; t < 4; ++t) EXPECT_FALSE(s.contains(t));
+  for (std::uint64_t t = 4; t < 20; ++t) EXPECT_TRUE(s.contains(t));
+}
+
+}  // namespace
+}  // namespace snug::core

@@ -1,0 +1,175 @@
+#include "cpu/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace snug::cpu {
+namespace {
+
+/// Scripted instruction stream for deterministic core tests.
+class ScriptedStream final : public trace::InstrStream {
+ public:
+  explicit ScriptedStream(std::vector<trace::Instr> script)
+      : script_(std::move(script)) {}
+
+  trace::Instr next() override {
+    if (pos_ < script_.size()) return script_[pos_++];
+    return {};  // endless computes afterwards
+  }
+  [[nodiscard]] std::uint64_t l2_refs() const override { return 0; }
+  [[nodiscard]] const char* name() const override { return "scripted"; }
+
+ private:
+  std::vector<trace::Instr> script_;
+  std::size_t pos_ = 0;
+};
+
+/// Memory with a programmable flat latency; records requests.
+class FlatMemory final : public MemoryPort {
+ public:
+  explicit FlatMemory(Cycle latency) : latency_(latency) {}
+
+  Cycle data_access(CoreId, Addr addr, bool is_write, Cycle now) override {
+    data_reqs.push_back({addr, is_write, now});
+    return now + latency_;
+  }
+  Cycle inst_fetch(CoreId, Addr addr, Cycle now) override {
+    ifetches.push_back({addr, false, now});
+    return now + ifetch_latency;
+  }
+
+  struct Req {
+    Addr addr;
+    bool write;
+    Cycle at;
+  };
+  std::vector<Req> data_reqs;
+  std::vector<Req> ifetches;
+  Cycle ifetch_latency = 1;
+
+ private:
+  Cycle latency_;
+};
+
+CoreConfig small_cfg() {
+  CoreConfig cfg;
+  cfg.issue_width = 2;
+  cfg.rob_entries = 8;
+  cfg.lsq_entries = 4;
+  cfg.branch_penalty = 3;
+  return cfg;
+}
+
+trace::Instr load(Addr a) {
+  return {trace::InstrKind::kLoad, a, false};
+}
+
+TEST(Core, ComputeOnlyReachesIssueWidth) {
+  ScriptedStream stream({});
+  FlatMemory mem(1);
+  Core core(0, small_cfg(), stream, mem);
+  for (Cycle t = 0; t < 1000; ++t) core.step(t);
+  // 2-wide core on pure compute: IPC ~ 2.
+  EXPECT_NEAR(core.ipc(1000), 2.0, 0.1);
+}
+
+TEST(Core, LongLoadStallsWhenRobFills) {
+  // One long load followed by computes: the ROB (8 entries) fills, then
+  // the core waits for the load to retire.
+  std::vector<trace::Instr> script{load(0x1000)};
+  ScriptedStream stream(script);
+  FlatMemory mem(300);
+  Core core(0, small_cfg(), stream, mem);
+  for (Cycle t = 0; t < 400; ++t) core.step(t);
+  // Retired at most: before the load there were no instrs; the load
+  // completes around cycle ~300; 8-entry ROB caps progress before that.
+  EXPECT_LE(core.stats().retired, 8U + 200U);
+  EXPECT_GT(core.stats().rob_full_cycles, 200U);
+}
+
+TEST(Core, IndependentMissesOverlap) {
+  // Two loads dispatched back-to-back must overlap: total time well below
+  // 2 x latency (memory-level parallelism).
+  std::vector<trace::Instr> script{load(0x1000), load(0x2000)};
+  ScriptedStream stream(script);
+  FlatMemory mem(100);
+  Core core(0, small_cfg(), stream, mem);
+  for (Cycle t = 0; t < 130; ++t) core.step(t);
+  // Both loads issued in the first cycles and completed by ~t=110.
+  ASSERT_EQ(mem.data_reqs.size(), 2U);
+  EXPECT_LE(mem.data_reqs[1].at, 2U);
+  EXPECT_GE(core.stats().retired, 2U);
+}
+
+TEST(Core, StoresDoNotBlockRetirement) {
+  std::vector<trace::Instr> script{
+      {trace::InstrKind::kStore, 0x1000, false}};
+  ScriptedStream stream(script);
+  FlatMemory mem(300);
+  Core core(0, small_cfg(), stream, mem);
+  for (Cycle t = 0; t < 50; ++t) core.step(t);
+  // The store retired long before its 300-cycle memory time.
+  EXPECT_GT(core.stats().retired, 40U);
+  EXPECT_EQ(core.stats().stores, 1U);
+  ASSERT_EQ(mem.data_reqs.size(), 1U);
+  EXPECT_TRUE(mem.data_reqs[0].write);
+}
+
+TEST(Core, MispredictStallsFetch) {
+  std::vector<trace::Instr> mispredicts(
+      50, {trace::InstrKind::kBranch, 0, true});
+  ScriptedStream stream(mispredicts);
+  FlatMemory mem(1);
+  Core core(0, small_cfg(), stream, mem);
+  for (Cycle t = 0; t < 200; ++t) core.step(t);
+  // Every mispredict costs the 3-cycle penalty: ~1 branch per 3 cycles.
+  EXPECT_EQ(core.stats().mispredicts, 50U);
+  EXPECT_GE(core.stats().branches, 50U);
+}
+
+TEST(Core, InstructionFetchPerBlock) {
+  ScriptedStream stream({});
+  FlatMemory mem(1);
+  CoreConfig cfg = small_cfg();
+  Core core(0, cfg, stream, mem);
+  for (Cycle t = 0; t < 100; ++t) core.step(t);
+  // One ifetch per 16 retired instructions (64 B / 4 B).
+  const std::uint64_t expected = core.stats().retired / 16;
+  EXPECT_NEAR(static_cast<double>(mem.ifetches.size()),
+              static_cast<double>(expected), 3.0);
+}
+
+TEST(Core, SlowIfetchThrottlesDispatch) {
+  ScriptedStream fast_stream({});
+  ScriptedStream slow_stream({});
+  FlatMemory fast_mem(1);
+  FlatMemory slow_mem(1);
+  slow_mem.ifetch_latency = 20;
+  Core fast(0, small_cfg(), fast_stream, fast_mem);
+  Core slow(0, small_cfg(), slow_stream, slow_mem);
+  for (Cycle t = 0; t < 500; ++t) {
+    fast.step(t);
+    slow.step(t);
+  }
+  EXPECT_LT(slow.stats().retired, fast.stats().retired / 2);
+}
+
+TEST(Core, IpcZeroWindow) {
+  ScriptedStream stream({});
+  FlatMemory mem(1);
+  Core core(0, small_cfg(), stream, mem);
+  EXPECT_DOUBLE_EQ(core.ipc(0), 0.0);
+}
+
+TEST(Core, ResetStatsClearsCounts) {
+  ScriptedStream stream({});
+  FlatMemory mem(1);
+  Core core(0, small_cfg(), stream, mem);
+  for (Cycle t = 0; t < 10; ++t) core.step(t);
+  core.reset_stats();
+  EXPECT_EQ(core.stats().retired, 0U);
+}
+
+}  // namespace
+}  // namespace snug::cpu

@@ -1,0 +1,53 @@
+#include "dram/dram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::dram {
+namespace {
+
+TEST(Dram, UncontendedReadTakesLatency) {
+  DramModel dram(DramConfig{300, 2, 16});
+  EXPECT_EQ(dram.read(1000), 1300U);
+}
+
+TEST(Dram, ChannelsServeInParallel) {
+  DramModel dram(DramConfig{300, 2, 16});
+  EXPECT_EQ(dram.read(0), 300U);
+  EXPECT_EQ(dram.read(0), 300U);  // second channel
+  // Third request queues behind the earliest-free channel (free at 16).
+  EXPECT_EQ(dram.read(0), 316U);
+}
+
+TEST(Dram, QueueingTracksOccupancyNotLatency) {
+  DramModel dram(DramConfig{300, 1, 16});
+  dram.read(0);
+  // Channel busy until 16; next request at 10 starts at 16.
+  EXPECT_EQ(dram.read(10), 316U);
+  EXPECT_EQ(dram.stats().queued, 1U);
+  EXPECT_EQ(dram.stats().queue_cycles, 6U);
+}
+
+TEST(Dram, WritesConsumeBandwidth) {
+  DramModel dram(DramConfig{300, 1, 16});
+  dram.write(0);
+  EXPECT_EQ(dram.read(0), 316U);
+  EXPECT_EQ(dram.stats().writes, 1U);
+  EXPECT_EQ(dram.stats().reads, 1U);
+}
+
+TEST(Dram, IdleChannelNoQueueing) {
+  DramModel dram(DramConfig{300, 1, 16});
+  dram.read(0);
+  EXPECT_EQ(dram.read(1000), 1300U);
+  EXPECT_EQ(dram.stats().queued, 0U);
+}
+
+TEST(Dram, ResetClearsTimeline) {
+  DramModel dram(DramConfig{300, 1, 16});
+  dram.read(0);
+  dram.reset(0);
+  EXPECT_EQ(dram.read(0), 300U);
+}
+
+}  // namespace
+}  // namespace snug::dram

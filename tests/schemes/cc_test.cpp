@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "schemes/cc_scheme.hpp"
+
+#include "scheme_test_util.hpp"
+
+namespace snug::schemes {
+namespace {
+
+using testutil::block_addr;
+using testutil::small_context;
+
+struct CcFixture {
+  explicit CcFixture(double prob = 1.0)
+      : scheme(ctx.priv, prob, bus, dram) {}
+  bus::SnoopBus bus{bus::BusConfig{}};
+  dram::DramModel dram{dram::DramConfig{}};
+  SchemeBuildContext ctx = small_context();
+  CcScheme scheme;
+};
+
+// Overflows set `s` of core `c` with `n` clean blocks.
+void overflow_set(CcFixture& f, CoreId c, SetIndex s, std::uint64_t n,
+                  Cycle base = 0) {
+  for (std::uint64_t uid = 0; uid < n; ++uid) {
+    f.scheme.access(c, block_addr(f.ctx.priv.l2, c, s, uid), false,
+                    base + uid * 1000);
+  }
+}
+
+TEST(CC, SpillsCleanVictimsAtFullProbability) {
+  CcFixture f(1.0);
+  overflow_set(f, 0, 2, 8);  // 4-way set: 4 victims spilled
+  EXPECT_EQ(f.scheme.stats().spills, 4U);
+  // Victims live somewhere among the peers, in the same-index set.
+  std::uint64_t hosted = 0;
+  for (CoreId c = 1; c < 4; ++c) {
+    hosted += f.scheme.slice(c).total_cc_lines();
+  }
+  EXPECT_EQ(hosted, 4U);
+}
+
+TEST(CC, ZeroProbabilityNeverSpills) {
+  CcFixture f(0.0);
+  overflow_set(f, 0, 2, 12);
+  EXPECT_EQ(f.scheme.stats().spills, 0U);
+}
+
+TEST(CC, RetrieveFindsSpilledBlockRemotely) {
+  CcFixture f(1.0);
+  const auto& geo = f.ctx.priv.l2;
+  overflow_set(f, 0, 2, 8);
+  // Block 0 was evicted first and spilled.  Re-access it.
+  const auto remote_before = f.scheme.stats().remote_hits;
+  const Cycle start = 1'000'000;
+  const Cycle done = f.scheme.access(0, block_addr(geo, 0, 2, 0), false,
+                                     start);
+  EXPECT_EQ(f.scheme.stats().remote_hits, remote_before + 1);
+  EXPECT_EQ(done - start, 30U);  // uncontended CC remote latency
+}
+
+TEST(CC, ForwardInvalidatesTheCooperativeCopy) {
+  CcFixture f(1.0);
+  const auto& geo = f.ctx.priv.l2;
+  overflow_set(f, 0, 2, 8);
+  const Addr a = block_addr(geo, 0, 2, 0);
+  EXPECT_EQ(f.scheme.cc_copies_of(a), 1U);
+  f.scheme.access(0, a, false, 1'000'000);
+  EXPECT_EQ(f.scheme.cc_copies_of(a), 0U);  // copy moved home
+  EXPECT_TRUE(f.scheme.slice(0).probe_local(a).hit);
+}
+
+TEST(CC, AtMostOneCooperativeCopyEver) {
+  CcFixture f(1.0);
+  const auto& geo = f.ctx.priv.l2;
+  // Churn several sets and re-access repeatedly.
+  for (int round = 0; round < 5; ++round) {
+    for (SetIndex s = 0; s < 8; ++s) {
+      overflow_set(f, 0, s, 8, static_cast<Cycle>(round) * 1'000'000);
+    }
+  }
+  for (SetIndex s = 0; s < 8; ++s) {
+    for (std::uint64_t uid = 0; uid < 8; ++uid) {
+      EXPECT_LE(f.scheme.cc_copies_of(block_addr(geo, 0, s, uid)), 1U);
+    }
+  }
+}
+
+TEST(CC, DirtyVictimsAreNeverSpilled) {
+  CcFixture f(1.0);
+  const auto& geo = f.ctx.priv.l2;
+  // Dirty lines via stores.
+  for (std::uint64_t uid = 0; uid < 8; ++uid) {
+    f.scheme.access(0, block_addr(geo, 0, 3, uid), true, uid * 1000);
+  }
+  EXPECT_EQ(f.scheme.stats().spills, 0U);
+  // Section 3.3 restriction 1: dirty victims go to the write buffer.
+  EXPECT_GT(f.scheme.wbb(0).stats().inserts, 0U);
+}
+
+TEST(CC, OneChanceForwarding) {
+  // A cooperative line displaced from its host is dropped, not re-spilled.
+  CcFixture f(1.0);
+  const auto& geo = f.ctx.priv.l2;
+  overflow_set(f, 0, 2, 8);
+  const std::uint64_t spills_before = f.scheme.stats().spills;
+  // Every peer now hosts guests in set 2.  Make ALL peers overflow their
+  // own set 2, displacing the guests.
+  for (CoreId c = 1; c < 4; ++c) overflow_set(f, c, 2, 8, 2'000'000);
+  std::uint64_t guests = 0;
+  for (CoreId c = 0; c < 4; ++c) {
+    guests += f.scheme.slice(c).total_cc_lines();
+  }
+  // The original 4 guests from core 0 are gone (displaced and dropped);
+  // the only guests left are the new spills from cores 1-3.
+  const std::uint64_t new_spills = f.scheme.stats().spills - spills_before;
+  EXPECT_LE(guests, new_spills);
+  for (std::uint64_t uid = 0; uid < 4; ++uid) {
+    EXPECT_EQ(f.scheme.cc_copies_of(block_addr(geo, 0, 2, uid)), 0U);
+  }
+}
+
+TEST(CC, SpillConsumesBusBandwidth) {
+  CcFixture f(1.0);
+  const auto before = f.bus.stats().spills;
+  overflow_set(f, 0, 2, 8);
+  EXPECT_EQ(f.bus.stats().spills, before + 4);
+}
+
+}  // namespace
+}  // namespace snug::schemes

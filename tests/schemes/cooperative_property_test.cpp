@@ -1,0 +1,123 @@
+// Cross-scheme property tests: invariants that must hold for EVERY
+// cooperative organisation after arbitrary randomized traffic —
+//
+//   P1  at most one cooperative copy of any block exists on chip;
+//   P2  no cache ever holds a cooperative copy of its own block;
+//   P3  cooperative lines are always clean (Section 3.3);
+//   P4  SNUG guests only live in giver-marked sets of their host;
+//   P5  a retrieved block is always the block that was requested
+//       (no aliasing through the f bit).
+//
+// Randomised, seed-parameterised sweeps (TEST_P) over CC, DSR and SNUG.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "schemes/factory.hpp"
+
+#include "scheme_test_util.hpp"
+
+namespace snug::schemes {
+namespace {
+
+using testutil::block_addr;
+using testutil::small_context;
+
+struct SweepSpec {
+  std::string name;
+  SchemeKind kind;
+  double cc_prob;
+  std::uint64_t seed;
+};
+
+class CooperativePropertyTest : public ::testing::TestWithParam<SweepSpec> {
+};
+
+TEST_P(CooperativePropertyTest, InvariantsHoldUnderRandomTraffic) {
+  const SweepSpec spec = GetParam();
+  bus::SnoopBus bus{bus::BusConfig{}};
+  dram::DramModel dram{dram::DramConfig{}};
+  SchemeBuildContext ctx = small_context();
+  const auto scheme = make_scheme({spec.kind, spec.cc_prob}, ctx, bus, dram);
+
+  Rng rng(spec.seed);
+  const auto& geo = ctx.priv.l2;
+  Cycle now = 0;
+  // Random multiprogrammed traffic: per-core working sets of varying
+  // depth (some overflowing the 4-way sets, some not), 30% stores.
+  for (int i = 0; i < 60'000; ++i) {
+    now += 20 + rng.below(60);
+    scheme->tick(now);
+    const auto core = static_cast<CoreId>(rng.below(4));
+    const auto set = static_cast<SetIndex>(rng.below(geo.num_sets()));
+    const std::uint64_t depth = 2 + (set % 4) * 3;  // 2, 5, 8 or 11 blocks
+    const std::uint64_t uid = rng.below(depth);
+    scheme->access(core, block_addr(geo, core, set, uid),
+                   rng.chance(0.3), now);
+  }
+
+  // P1 + P2 + P3 over the whole simulated address space.
+  auto* priv = dynamic_cast<PrivateSchemeBase*>(scheme.get());
+  ASSERT_NE(priv, nullptr);
+  for (CoreId c = 0; c < 4; ++c) {
+    for (SetIndex s = 0; s < geo.num_sets(); ++s) {
+      for (std::uint64_t uid = 0; uid < 12; ++uid) {
+        const Addr a = block_addr(geo, c, s, uid);
+        EXPECT_LE(priv->cc_copies_of(a), 1U) << "P1 " << spec.name;
+        const cache::CcLocation own = priv->slice(c).lookup_cc(a);
+        EXPECT_FALSE(own.found) << "P2: own block hosted at home cache";
+      }
+    }
+  }
+  for (CoreId c = 0; c < 4; ++c) {
+    const auto& slice = priv->slice(c);
+    for (SetIndex s = 0; s < geo.num_sets(); ++s) {
+      const auto& set = slice.set(s);
+      for (WayIndex w = 0; w < set.assoc(); ++w) {
+        const auto& line = set.line(w);
+        if (line.valid && line.cc) {
+          EXPECT_FALSE(line.dirty) << "P3 " << spec.name;
+          EXPECT_NE(line.owner, c) << "P2 " << spec.name;
+        }
+      }
+    }
+  }
+  // P4 for SNUG.
+  if (auto* snug = dynamic_cast<SnugScheme*>(scheme.get())) {
+    EXPECT_EQ(snug->cc_lines_in_taker_sets(), 0U) << "P4";
+  }
+  // P5: retrieving any hosted block returns it home and removes the copy.
+  for (CoreId c = 0; c < 4; ++c) {
+    for (SetIndex s = 0; s < 8; ++s) {
+      for (std::uint64_t uid = 0; uid < 12; ++uid) {
+        const Addr a = block_addr(geo, c, s, uid);
+        if (priv->cc_copies_of(a) == 1 &&
+            !priv->slice(c).probe_local(a).hit) {
+          now += 1000;
+          scheme->tick(now);
+          scheme->access(c, a, false, now);
+          EXPECT_TRUE(priv->slice(c).probe_local(a).hit) << "P5";
+          EXPECT_EQ(priv->cc_copies_of(a), 0U) << "P5";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CooperativePropertyTest,
+    ::testing::Values(SweepSpec{"cc100_s1", SchemeKind::kCC, 1.0, 1},
+                      SweepSpec{"cc50_s2", SchemeKind::kCC, 0.5, 2},
+                      SweepSpec{"cc25_s3", SchemeKind::kCC, 0.25, 3},
+                      SweepSpec{"dsr_s4", SchemeKind::kDSR, 0.0, 4},
+                      SweepSpec{"dsr_s5", SchemeKind::kDSR, 0.0, 5},
+                      SweepSpec{"snug_s6", SchemeKind::kSNUG, 0.0, 6},
+                      SweepSpec{"snug_s7", SchemeKind::kSNUG, 0.0, 7},
+                      SweepSpec{"snug_s8", SchemeKind::kSNUG, 0.0, 8}),
+    [](const ::testing::TestParamInfo<SweepSpec>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace snug::schemes

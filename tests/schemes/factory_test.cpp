@@ -1,0 +1,39 @@
+#include <gtest/gtest.h>
+
+#include "schemes/factory.hpp"
+
+#include "scheme_test_util.hpp"
+
+namespace snug::schemes {
+namespace {
+
+TEST(Factory, SpecIds) {
+  EXPECT_EQ((SchemeSpec{SchemeKind::kL2P, 0}).id(), "L2P");
+  EXPECT_EQ((SchemeSpec{SchemeKind::kL2S, 0}).id(), "L2S");
+  EXPECT_EQ((SchemeSpec{SchemeKind::kCC, 0.25}).id(), "CC(25%)");
+  EXPECT_EQ((SchemeSpec{SchemeKind::kDSR, 0}).id(), "DSR");
+  EXPECT_EQ((SchemeSpec{SchemeKind::kSNUG, 0}).id(), "SNUG");
+}
+
+TEST(Factory, BuildsEveryKind) {
+  bus::SnoopBus bus{bus::BusConfig{}};
+  dram::DramModel dram{dram::DramConfig{}};
+  const SchemeBuildContext ctx = testutil::small_context();
+  for (const auto& spec : paper_scheme_grid()) {
+    const auto scheme = make_scheme(spec, ctx, bus, dram);
+    ASSERT_NE(scheme, nullptr) << spec.id();
+    EXPECT_STREQ(scheme->name(), spec.id().c_str());
+  }
+}
+
+TEST(Factory, PaperGridContents) {
+  const auto grid = paper_scheme_grid();
+  // L2P + L2S + 5 CC probabilities + DSR + SNUG = 9 runs per combo.
+  EXPECT_EQ(grid.size(), 9U);
+  EXPECT_EQ(cc_probability_grid().size(), 5U);
+  EXPECT_DOUBLE_EQ(cc_probability_grid().front(), 0.0);
+  EXPECT_DOUBLE_EQ(cc_probability_grid().back(), 1.0);
+}
+
+}  // namespace
+}  // namespace snug::schemes

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "schemes/l2p.hpp"
+#include "schemes/l2s.hpp"
+
+#include "scheme_test_util.hpp"
+
+namespace snug::schemes {
+namespace {
+
+using testutil::block_addr;
+using testutil::small_context;
+
+struct L2PFixture {
+  bus::SnoopBus bus{bus::BusConfig{}};
+  dram::DramModel dram{dram::DramConfig{}};
+  SchemeBuildContext ctx = small_context();
+  L2P scheme{ctx.priv, bus, dram};
+};
+
+TEST(L2P, MissGoesToDram) {
+  L2PFixture f;
+  const Addr a = block_addr(f.ctx.priv.l2, 0, 3, 1);
+  const Cycle done = f.scheme.access(0, a, false, 0);
+  // request(8) + DRAM(300) + data(20) = 328 uncontended.
+  EXPECT_EQ(done, 328U);
+  EXPECT_EQ(f.scheme.stats().dram_fills, 1U);
+}
+
+TEST(L2P, HitCostsLocalLatency) {
+  L2PFixture f;
+  const Addr a = block_addr(f.ctx.priv.l2, 0, 3, 1);
+  f.scheme.access(0, a, false, 0);
+  const Cycle done = f.scheme.access(0, a, false, 1000);
+  EXPECT_EQ(done, 1010U);
+  EXPECT_EQ(f.scheme.stats().l2_hits, 1U);
+}
+
+TEST(L2P, NeverSpills) {
+  L2PFixture f;
+  const auto& geo = f.ctx.priv.l2;
+  // Overflow set 0 of core 0 with clean lines.
+  for (std::uint64_t uid = 0; uid < 16; ++uid) {
+    f.scheme.access(0, block_addr(geo, 0, 0, uid), false, uid * 1000);
+  }
+  EXPECT_EQ(f.scheme.stats().spills, 0U);
+  for (CoreId c = 0; c < 4; ++c) {
+    EXPECT_EQ(f.scheme.slice(c).total_cc_lines(), 0U);
+  }
+}
+
+TEST(L2P, DirtyVictimEntersWbbAndServesDirectRead) {
+  L2PFixture f;
+  const auto& geo = f.ctx.priv.l2;
+  const Addr dirty = block_addr(geo, 0, 0, 0);
+  f.scheme.access(0, dirty, true, 0);  // store -> dirty line
+  // Evict it by filling the 4-way set with 4 more blocks.
+  for (std::uint64_t uid = 1; uid <= 4; ++uid) {
+    f.scheme.access(0, block_addr(geo, 0, 0, uid), false, 1000 * uid);
+  }
+  EXPECT_TRUE(f.scheme.wbb(0).read_hit(geo.block_of(dirty)));
+  // A quick re-access is served from the buffer, not DRAM.
+  const auto before = f.scheme.stats().dram_fills;
+  f.scheme.access(0, dirty, false, 4100);
+  EXPECT_EQ(f.scheme.stats().wbb_direct_reads, 1U);
+  EXPECT_EQ(f.scheme.stats().dram_fills, before);
+}
+
+TEST(L2P, SlicesAreIsolated) {
+  L2PFixture f;
+  const auto& geo = f.ctx.priv.l2;
+  const Addr a0 = block_addr(geo, 0, 5, 9);
+  f.scheme.access(0, a0, false, 0);
+  // Same block address requested by another core misses its own slice.
+  const Cycle done = f.scheme.access(1, a0, false, 1000);
+  EXPECT_GT(done, 1300U);
+  EXPECT_EQ(f.scheme.stats().l2_misses, 2U);
+}
+
+struct L2SFixture {
+  bus::SnoopBus bus{bus::BusConfig{}};
+  dram::DramModel dram{dram::DramConfig{}};
+  SchemeBuildContext ctx = small_context();
+  L2S scheme{ctx.shared, bus, dram};
+};
+
+TEST(L2S, SharedCapacityVisibleToAllCores) {
+  L2SFixture f;
+  const auto& geo = f.ctx.shared.l2;
+  const Addr a = geo.addr_of(7, 12);
+  f.scheme.access(0, a, false, 0);
+  // Core 2 hits the line core 0 brought in (shared cache, no coherence
+  // separation for read-only data in this multiprogrammed model).
+  const Cycle done = f.scheme.access(2, a, false, 1000);
+  EXPECT_EQ(f.scheme.stats().l2_hits, 1U);
+  EXPECT_LE(done - 1000, 30U);
+}
+
+TEST(L2S, BankLatencyDependsOnRequester) {
+  L2SFixture f;
+  const auto& geo = f.ctx.shared.l2;
+  const Addr a = geo.addr_of(3, 8);  // bank = 8 % 4 = 0
+  ASSERT_EQ(f.scheme.bank_of(a), 0U);
+  f.scheme.access(0, a, false, 0);
+  const Cycle local = f.scheme.access(0, a, false, 10'000) - 10'000;
+  const Cycle remote = f.scheme.access(1, a, false, 20'000) - 20'000;
+  EXPECT_EQ(local, 10U);
+  EXPECT_EQ(remote, 30U);
+}
+
+TEST(L2S, MissGoesToDramPlusBankLatency) {
+  L2SFixture f;
+  const auto& geo = f.ctx.shared.l2;
+  const Addr a = geo.addr_of(9, 8);  // bank 0, local for core 0
+  const Cycle done = f.scheme.access(0, a, false, 0);
+  EXPECT_EQ(done, 328U + 10U);
+}
+
+TEST(L2S, BankInterleavingCoversAllBanks) {
+  L2SFixture f;
+  const auto& geo = f.ctx.shared.l2;
+  std::set<std::uint32_t> banks;
+  for (SetIndex s = 0; s < 16; ++s) banks.insert(f.scheme.bank_of(geo.addr_of(0, s)));
+  EXPECT_EQ(banks.size(), 4U);
+}
+
+}  // namespace
+}  // namespace snug::schemes

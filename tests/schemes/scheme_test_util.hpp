@@ -1,0 +1,39 @@
+// Shared fixtures for scheme tests: a small 4-slice machine (32 sets,
+// 4 ways) with the paper's bus/DRAM timing.
+#pragma once
+
+#include "bus/snoop_bus.hpp"
+#include "cache/geometry.hpp"
+#include "dram/dram.hpp"
+#include "schemes/factory.hpp"
+
+namespace snug::schemes::testutil {
+
+inline PrivateConfig small_private() {
+  PrivateConfig cfg;
+  cfg.num_cores = 4;
+  cfg.l2 = cache::CacheGeometry(32ULL * 4 * 64, 4, 64);  // 32 sets, 4-way
+  return cfg;
+}
+
+inline SchemeBuildContext small_context() {
+  SchemeBuildContext ctx;
+  ctx.priv = small_private();
+  ctx.shared.num_cores = 4;
+  ctx.shared.l2 = cache::CacheGeometry(4ULL * 32 * 4 * 64, 4, 64);
+  ctx.snug.monitor.num_sets = ctx.priv.l2.num_sets();
+  ctx.snug.monitor.assoc = ctx.priv.l2.associativity();
+  // Long enough that a test's training sequence (hundreds of touches at
+  // 50 cycles each) completes inside one identification stage.
+  ctx.snug.epochs = {100'000, 400'000};
+  return ctx;
+}
+
+/// Address of block `uid` in set `s` of core `c`'s address space.
+inline Addr block_addr(const cache::CacheGeometry& geo, CoreId c,
+                       SetIndex s, std::uint64_t uid) {
+  const Addr base = static_cast<Addr>(c) << 40;
+  return base | geo.addr_of(uid, s);
+}
+
+}  // namespace snug::schemes::testutil

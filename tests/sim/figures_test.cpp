@@ -1,0 +1,82 @@
+#include "sim/figures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::sim {
+namespace {
+
+// Synthetic campaign results (no simulation) to verify metric assembly.
+CampaignResults fake_results() {
+  CampaignResults results;
+  for (const auto& combo : trace::all_combos()) {
+    ExperimentRunner::ComboResults cr;
+    cr["L2P"] = RunResult{{1.0, 1.0, 1.0, 1.0}};
+    cr["L2S"] = RunResult{{1.02, 1.02, 1.02, 1.02}};
+    cr["CC(0%)"] = RunResult{{1.0, 1.0, 1.0, 1.0}};
+    cr["CC(25%)"] = RunResult{{1.05, 1.05, 1.05, 1.05}};
+    cr["CC(50%)"] = RunResult{{1.07, 1.07, 1.07, 1.07}};
+    cr["CC(75%)"] = RunResult{{1.06, 1.06, 1.06, 1.06}};
+    cr["CC(100%)"] = RunResult{{1.04, 1.04, 1.04, 1.04}};
+    cr["DSR"] = RunResult{{1.08, 1.08, 1.08, 1.08}};
+    cr["SNUG"] = RunResult{{1.14, 1.14, 1.14, 1.14}};
+    results[combo.name] = std::move(cr);
+  }
+  return results;
+}
+
+TEST(Figures, MetricValueThroughput) {
+  const std::vector<double> base{1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> ipc{1.1, 1.2, 0.9, 1.0};
+  EXPECT_NEAR(metric_value(Metric::kThroughputNorm, ipc, base), 1.05,
+              1e-12);
+}
+
+TEST(Figures, MetricValueAws) {
+  const std::vector<double> base{1.0, 2.0};
+  const std::vector<double> ipc{1.5, 2.0};
+  EXPECT_DOUBLE_EQ(metric_value(Metric::kAws, ipc, base), 1.25);
+}
+
+TEST(Figures, MetricValueFairSpeedup) {
+  const std::vector<double> base{1.0, 1.0};
+  const std::vector<double> ipc{2.0, 0.5};
+  EXPECT_DOUBLE_EQ(metric_value(Metric::kFairSpeedup, ipc, base), 0.8);
+}
+
+TEST(Figures, CcBestPicksMaximum) {
+  const auto results = fake_results();
+  const double best = cc_best_value(results.begin()->second,
+                                    Metric::kThroughputNorm);
+  EXPECT_NEAR(best, 1.07, 1e-12);  // CC(50%) dominates the fake grid
+}
+
+TEST(Figures, AssembleFigureShapes) {
+  const auto fig =
+      assemble_figure(fake_results(), Metric::kThroughputNorm);
+  ASSERT_EQ(fig.schemes.size(), 4U);
+  for (const auto& scheme : fig.schemes) {
+    const auto it = fig.values.find(scheme);
+    ASSERT_NE(it, fig.values.end());
+    ASSERT_EQ(it->second.size(), 7U);  // C1..C6 + AVG
+  }
+}
+
+TEST(Figures, UniformResultsGiveUniformClassValues) {
+  const auto fig =
+      assemble_figure(fake_results(), Metric::kThroughputNorm);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_NEAR(fig.values.at("SNUG")[i], 1.14, 1e-9);
+    EXPECT_NEAR(fig.values.at("DSR")[i], 1.08, 1e-9);
+    EXPECT_NEAR(fig.values.at("CC(Best)")[i], 1.07, 1e-9);
+    EXPECT_NEAR(fig.values.at("L2S")[i], 1.02, 1e-9);
+  }
+}
+
+TEST(Figures, MetricNames) {
+  EXPECT_STRNE(to_string(Metric::kThroughputNorm), "?");
+  EXPECT_STRNE(to_string(Metric::kAws), "?");
+  EXPECT_STRNE(to_string(Metric::kFairSpeedup), "?");
+}
+
+}  // namespace
+}  // namespace snug::sim

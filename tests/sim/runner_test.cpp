@@ -1,0 +1,105 @@
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace snug::sim {
+namespace {
+
+RunScale tiny_scale() {
+  RunScale scale;
+  scale.warmup_cycles = 10'000;
+  scale.measure_cycles = 40'000;
+  scale.phase_period_refs = 50'000;
+  return scale;
+}
+
+struct TempCacheDir {
+  TempCacheDir() {
+    dir = std::filesystem::temp_directory_path() /
+          "snug_runner_test_cache";
+    std::filesystem::remove_all(dir);
+  }
+  ~TempCacheDir() { std::filesystem::remove_all(dir); }
+  std::filesystem::path dir;
+};
+
+TEST(Runner, RunProducesIpcPerCore) {
+  TempCacheDir tmp;
+  ExperimentRunner runner(paper_system_config(), tiny_scale(),
+                          tmp.dir.string());
+  const trace::WorkloadCombo combo{"t", 5, {"gzip", "mesa", "gzip", "mesa"}};
+  const RunResult r = runner.run(combo, {schemes::SchemeKind::kL2P, 0});
+  ASSERT_EQ(r.ipc.size(), 4U);
+  EXPECT_GT(r.throughput(), 0.0);
+}
+
+TEST(Runner, CacheRoundTripsExactValues) {
+  TempCacheDir tmp;
+  ExperimentRunner runner(paper_system_config(), tiny_scale(),
+                          tmp.dir.string());
+  const trace::WorkloadCombo combo{"t", 5, {"gzip", "mesa", "gzip", "mesa"}};
+  const schemes::SchemeSpec spec{schemes::SchemeKind::kL2P, 0};
+
+  int simulated = 0;
+  runner.on_progress = [&](const std::string&, const std::string&,
+                           bool cached) {
+    if (!cached) ++simulated;
+  };
+  const RunResult first = runner.run(combo, spec);
+  const RunResult second = runner.run(combo, spec);
+  EXPECT_EQ(simulated, 1);  // second came from cache
+  ASSERT_EQ(first.ipc.size(), second.ipc.size());
+  for (std::size_t i = 0; i < first.ipc.size(); ++i) {
+    EXPECT_NEAR(first.ipc[i], second.ipc[i], 1e-8);
+  }
+}
+
+TEST(Runner, DifferentSchemesDifferentCacheEntries) {
+  TempCacheDir tmp;
+  ExperimentRunner runner(paper_system_config(), tiny_scale(),
+                          tmp.dir.string());
+  const trace::WorkloadCombo combo{"t", 5, {"gzip", "mesa", "gzip", "mesa"}};
+  int simulated = 0;
+  runner.on_progress = [&](const std::string&, const std::string&,
+                           bool cached) {
+    if (!cached) ++simulated;
+  };
+  runner.run(combo, {schemes::SchemeKind::kL2P, 0});
+  runner.run(combo, {schemes::SchemeKind::kCC, 0.5});
+  EXPECT_EQ(simulated, 2);
+}
+
+TEST(Runner, ScaleChangesInvalidateCache) {
+  TempCacheDir tmp;
+  const trace::WorkloadCombo combo{"t", 5, {"gzip", "mesa", "gzip", "mesa"}};
+  int simulated = 0;
+  const auto count_progress = [&](ExperimentRunner& r) {
+    r.on_progress = [&](const std::string&, const std::string&,
+                        bool cached) {
+      if (!cached) ++simulated;
+    };
+  };
+  ExperimentRunner r1(paper_system_config(), tiny_scale(),
+                      tmp.dir.string());
+  count_progress(r1);
+  r1.run(combo, {schemes::SchemeKind::kL2P, 0});
+  RunScale other = tiny_scale();
+  other.measure_cycles *= 2;
+  ExperimentRunner r2(paper_system_config(), other, tmp.dir.string());
+  count_progress(r2);
+  r2.run(combo, {schemes::SchemeKind::kL2P, 0});
+  EXPECT_EQ(simulated, 2);
+}
+
+TEST(Runner, EvalCacheDisabledWorks) {
+  EvalCache cache("");
+  EXPECT_FALSE(cache.enabled());
+  std::vector<double> ipc;
+  EXPECT_FALSE(cache.load("k", ipc));
+  cache.store("k", {1.0});  // no-op, no crash
+}
+
+}  // namespace
+}  // namespace snug::sim

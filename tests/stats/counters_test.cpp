@@ -1,0 +1,44 @@
+#include "stats/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::stats {
+namespace {
+
+TEST(Counters, AddAndValue) {
+  CounterBlock block;
+  block.get("hits").add();
+  block.get("hits").add(4);
+  EXPECT_EQ(block.value("hits"), 5U);
+  EXPECT_EQ(block.value("absent"), 0U);
+}
+
+TEST(Counters, ResetAll) {
+  CounterBlock block;
+  block.get("a").add(10);
+  block.get("b").add(20);
+  block.reset_all();
+  EXPECT_EQ(block.value("a"), 0U);
+  EXPECT_EQ(block.value("b"), 0U);
+}
+
+TEST(Counters, SnapshotSortedByName) {
+  CounterBlock block;
+  block.get("z").add(1);
+  block.get("a").add(2);
+  const auto snap = block.snapshot();
+  ASSERT_EQ(snap.size(), 2U);
+  EXPECT_EQ(snap[0].first, "a");
+  EXPECT_EQ(snap[1].first, "z");
+}
+
+TEST(Counters, ReferenceStaysValid) {
+  CounterBlock block;
+  Counter& c = block.get("x");
+  block.get("y").add(1);  // must not invalidate c (std::map stability)
+  c.add(3);
+  EXPECT_EQ(block.value("x"), 3U);
+}
+
+}  // namespace
+}  // namespace snug::stats

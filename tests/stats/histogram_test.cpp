@@ -1,0 +1,85 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::stats {
+namespace {
+
+// The paper's configuration: 8 buckets over [1, 32] (Section 2.2).
+Histogram paper_histogram() { return Histogram(1, 32, 8); }
+
+TEST(Histogram, PaperBucketRanges) {
+  auto h = paper_histogram();
+  EXPECT_EQ(h.num_buckets(), 8U);
+  EXPECT_EQ(h.bucket_range(0), (std::pair<std::int64_t, std::int64_t>{1, 4}));
+  EXPECT_EQ(h.bucket_range(1), (std::pair<std::int64_t, std::int64_t>{5, 8}));
+  EXPECT_EQ(h.bucket_range(7),
+            (std::pair<std::int64_t, std::int64_t>{29, 32}));
+}
+
+TEST(Histogram, PaperBucketLabels) {
+  auto h = paper_histogram();
+  EXPECT_EQ(h.bucket_label(0), "1~4");
+  EXPECT_EQ(h.bucket_label(1), "5~8");
+  EXPECT_EQ(h.bucket_label(7), ">=29");
+}
+
+TEST(Histogram, BucketOfEveryValueInRange) {
+  auto h = paper_histogram();
+  for (std::int64_t v = 1; v <= 32; ++v) {
+    const std::size_t b = h.bucket_of(v);
+    const auto [lo, hi] = h.bucket_range(b);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+TEST(Histogram, MembershipIsExclusive) {
+  // Formula (4): each value belongs to exactly one bucket.
+  auto h = paper_histogram();
+  for (std::int64_t v = 1; v <= 32; ++v) {
+    int member_of = 0;
+    for (std::size_t b = 0; b < h.num_buckets(); ++b) {
+      const auto [lo, hi] = h.bucket_range(b);
+      if (v >= lo && v <= hi) ++member_of;
+    }
+    EXPECT_EQ(member_of, 1) << "value " << v;
+  }
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  auto h = paper_histogram();
+  for (std::int64_t v = 1; v <= 32; ++v) h.add(v);
+  double sum = 0;
+  for (std::size_t b = 0; b < h.num_buckets(); ++b) {
+    sum += h.bucket_fraction(b);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_EQ(h.total(), 32U);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  auto h = paper_histogram();
+  h.add(0);    // below range -> first bucket
+  h.add(100);  // above range -> last bucket
+  EXPECT_EQ(h.bucket_count(0), 1U);
+  EXPECT_EQ(h.bucket_count(7), 1U);
+}
+
+TEST(Histogram, WeightedAdd) {
+  auto h = paper_histogram();
+  h.add(2, 10);
+  EXPECT_EQ(h.bucket_count(0), 10U);
+  EXPECT_EQ(h.total(), 10U);
+}
+
+TEST(Histogram, Reset) {
+  auto h = paper_histogram();
+  h.add(5);
+  h.reset();
+  EXPECT_EQ(h.total(), 0U);
+  EXPECT_EQ(h.bucket_count(1), 0U);
+}
+
+}  // namespace
+}  // namespace snug::stats

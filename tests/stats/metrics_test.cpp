@@ -1,0 +1,72 @@
+#include "stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace snug::stats {
+namespace {
+
+// Table 5 metric definitions checked against hand-computed values.
+
+TEST(Metrics, Throughput) {
+  const std::array<double, 4> ipc{0.5, 1.0, 1.5, 2.0};
+  EXPECT_DOUBLE_EQ(throughput(ipc), 5.0);
+}
+
+TEST(Metrics, AwsIsOneForBaseline) {
+  const std::array<double, 4> ipc{0.5, 1.0, 1.5, 2.0};
+  EXPECT_DOUBLE_EQ(average_weighted_speedup(ipc, ipc), 1.0);
+  EXPECT_DOUBLE_EQ(fair_speedup(ipc, ipc), 1.0);
+}
+
+TEST(Metrics, AwsHandComputed) {
+  const std::array<double, 2> base{1.0, 2.0};
+  const std::array<double, 2> ipc{1.5, 2.0};  // speedups 1.5 and 1.0
+  EXPECT_DOUBLE_EQ(average_weighted_speedup(ipc, base), 1.25);
+}
+
+TEST(Metrics, FairSpeedupIsHarmonic) {
+  const std::array<double, 2> base{1.0, 1.0};
+  const std::array<double, 2> ipc{2.0, 0.5};  // speedups 2 and 0.5
+  // harmonic mean of {2, 0.5} = 2 / (0.5 + 2) = 0.8
+  EXPECT_DOUBLE_EQ(fair_speedup(ipc, base), 0.8);
+}
+
+TEST(Metrics, FairSpeedupPenalisesImbalance) {
+  const std::array<double, 2> base{1.0, 1.0};
+  const std::array<double, 2> balanced{1.2, 1.2};
+  const std::array<double, 2> skewed{1.6, 0.9};  // higher AWS than balanced
+  EXPECT_GT(average_weighted_speedup(skewed, base),
+            average_weighted_speedup(balanced, base));
+  EXPECT_LT(fair_speedup(skewed, base), fair_speedup(balanced, base));
+}
+
+TEST(Metrics, GeometricMean) {
+  const std::array<double, 3> v{1.0, 10.0, 100.0};
+  EXPECT_NEAR(geometric_mean(v), 10.0, 1e-12);
+  const std::array<double, 1> one{7.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(one), 7.0);
+}
+
+TEST(Metrics, GeometricMeanLessOrEqualArithmetic) {
+  const std::array<double, 4> v{0.9, 1.1, 1.3, 0.7};
+  double arith = 0;
+  for (const double x : v) arith += x;
+  arith /= 4;
+  EXPECT_LE(geometric_mean(v), arith);
+}
+
+TEST(Metrics, HarmonicMean) {
+  const std::array<double, 2> v{1.0, 3.0};
+  EXPECT_NEAR(harmonic_mean(v), 1.5, 1e-12);
+}
+
+TEST(Metrics, HarmonicLeqGeometric) {
+  const std::array<double, 3> v{0.5, 1.5, 2.5};
+  EXPECT_LE(harmonic_mean(v), geometric_mean(v) + 1e-12);
+}
+
+}  // namespace
+}  // namespace snug::stats

@@ -1,0 +1,47 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::stats {
+namespace {
+
+TEST(Summary, Empty) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MeanAndVariance) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(Summary, MinMax) {
+  Summary s;
+  s.add(3.0);
+  s.add(-1.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(Summary, Reset) {
+  Summary s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0U);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace snug::stats

@@ -1,0 +1,121 @@
+#include "trace/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snug::trace {
+namespace {
+
+// Table 6 membership: classes as published.
+TEST(Profile, Table6Classes) {
+  EXPECT_EQ(profile_for("ammp").app_class, 'A');
+  EXPECT_EQ(profile_for("parser").app_class, 'A');
+  EXPECT_EQ(profile_for("vortex").app_class, 'A');
+  EXPECT_EQ(profile_for("apsi").app_class, 'B');
+  EXPECT_EQ(profile_for("gcc").app_class, 'B');
+  EXPECT_EQ(profile_for("vpr").app_class, 'C');
+  EXPECT_EQ(profile_for("art").app_class, 'C');
+  EXPECT_EQ(profile_for("mcf").app_class, 'C');
+  EXPECT_EQ(profile_for("bzip2").app_class, 'C');
+  EXPECT_EQ(profile_for("gzip").app_class, 'D');
+  EXPECT_EQ(profile_for("swim").app_class, 'D');
+  EXPECT_EQ(profile_for("mesa").app_class, 'D');
+}
+
+TEST(Profile, ClassAAndCExceed1MB) {
+  // Table 6: classes A and C demand > 1 MB aggregate L2 capacity.
+  for (const char cls : {'A', 'C'}) {
+    for (const auto& name : benchmarks_in_class(cls)) {
+      const auto& p = profile_for(name);
+      EXPECT_GT(p.footprint_bytes(1024, 64), 1.0 * (1 << 20))
+          << name << " must exceed 1 MB";
+    }
+  }
+}
+
+TEST(Profile, ClassBAndDBelow1MB) {
+  for (const char cls : {'B', 'D'}) {
+    for (const auto& name : benchmarks_in_class(cls)) {
+      const auto& p = profile_for(name);
+      EXPECT_LT(p.footprint_bytes(1024, 64), 1.0 * (1 << 20))
+          << name << " must stay below 1 MB";
+    }
+  }
+}
+
+TEST(Profile, NonUniformityMatchesTable6) {
+  for (const auto& name : {"ammp", "parser", "vortex", "apsi", "gcc"}) {
+    EXPECT_TRUE(profile_for(name).set_level_nonuniform()) << name;
+  }
+  for (const auto& name : {"vpr", "art", "mcf", "bzip2", "gzip", "swim",
+                           "mesa"}) {
+    EXPECT_FALSE(profile_for(name).set_level_nonuniform()) << name;
+  }
+}
+
+TEST(Profile, PhaseFractionsSumToOne) {
+  for (const auto& p : all_profiles()) {
+    double sum = 0.0;
+    for (const auto& ph : p.phases) sum += ph.fraction;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << p.name;
+  }
+}
+
+TEST(Profile, BandsWithinAThreshold) {
+  for (const auto& p : all_profiles()) {
+    for (const auto& ph : p.phases) {
+      double wsum = 0.0;
+      for (const auto& b : ph.mix.bands) {
+        EXPECT_GE(b.lo, 1U) << p.name;
+        EXPECT_LE(b.hi, 32U) << p.name;
+        EXPECT_LE(b.lo, b.hi) << p.name;
+        EXPECT_GT(b.weight, 0.0) << p.name;
+        wsum += b.weight;
+      }
+      EXPECT_NEAR(wsum, 1.0, 1e-9) << p.name;
+    }
+  }
+}
+
+TEST(Profile, VortexHasThreePhases) {
+  EXPECT_EQ(profile_for("vortex").phases.size(), 3U);
+}
+
+TEST(Profile, AmmpFortyPercentShallow) {
+  // Paper Figure 1: ~40% of ammp's sets require only 1-4 blocks.
+  const auto& p = profile_for("ammp");
+  double shallow = 0.0;
+  for (const auto& b : p.phases[0].mix.bands) {
+    if (b.hi <= 4) shallow += b.weight;
+  }
+  EXPECT_NEAR(shallow, 0.40, 1e-9);
+}
+
+TEST(Profile, AppluIsStreaming) {
+  const auto& p = profile_for("applu");
+  EXPECT_GE(p.phases[0].streaming_prob, 0.5);
+  for (const auto& b : p.phases[0].mix.bands) EXPECT_LE(b.hi, 4U);
+}
+
+TEST(Profile, MeanDemandComputation) {
+  DemandMix mix;
+  mix.bands = {{0.5, 1, 3}, {0.5, 9, 11}};
+  EXPECT_DOUBLE_EQ(mix.mean_demand(), 6.0);
+}
+
+TEST(Profile, RegistryHas13Profiles) {
+  EXPECT_EQ(all_profiles().size(), 13U);  // 12 evaluated + applu
+}
+
+TEST(Profile, SaneRates) {
+  for (const auto& p : all_profiles()) {
+    EXPECT_GT(p.mem_ratio, 0.0);
+    EXPECT_LT(p.mem_ratio + p.branch_ratio, 1.0) << p.name;
+    EXPECT_GT(p.l2_fraction, 0.0);
+    EXPECT_LE(p.l2_fraction, 1.0);
+    EXPECT_GE(p.mispredict_rate, 0.0);
+    EXPECT_LE(p.mispredict_rate, 0.2);
+  }
+}
+
+}  // namespace
+}  // namespace snug::trace

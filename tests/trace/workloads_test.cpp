@@ -1,0 +1,109 @@
+#include "trace/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/profile.hpp"
+
+namespace snug::trace {
+namespace {
+
+TEST(Workloads, TwentyOneCombosTotal) {
+  EXPECT_EQ(all_combos().size(), 21U);  // Table 8
+}
+
+TEST(Workloads, ClassSizes) {
+  EXPECT_EQ(combos_in_class(1).size(), 3U);
+  EXPECT_EQ(combos_in_class(2).size(), 4U);
+  EXPECT_EQ(combos_in_class(3).size(), 3U);
+  EXPECT_EQ(combos_in_class(4).size(), 4U);
+  EXPECT_EQ(combos_in_class(5).size(), 3U);
+  EXPECT_EQ(combos_in_class(6).size(), 4U);
+}
+
+TEST(Workloads, EveryComboHasFourCores) {
+  for (const auto& c : all_combos()) {
+    EXPECT_EQ(c.benchmarks.size(), 4U) << c.name;
+  }
+}
+
+TEST(Workloads, StressTestsAreIdenticalApps) {
+  for (int cls : {1, 2}) {
+    for (const auto& c : combos_in_class(cls)) {
+      const std::set<std::string> distinct(c.benchmarks.begin(),
+                                           c.benchmarks.end());
+      EXPECT_EQ(distinct.size(), 1U) << c.name;
+    }
+  }
+}
+
+TEST(Workloads, C1IsClassA) {
+  for (const auto& c : combos_in_class(1)) {
+    EXPECT_EQ(profile_for(c.benchmarks[0]).app_class, 'A') << c.name;
+  }
+}
+
+TEST(Workloads, C2IsClassC) {
+  for (const auto& c : combos_in_class(2)) {
+    EXPECT_EQ(profile_for(c.benchmarks[0]).app_class, 'C') << c.name;
+  }
+}
+
+TEST(Workloads, MixClassesFollowTable7) {
+  const auto count_class = [](const WorkloadCombo& c, char cls) {
+    int n = 0;
+    for (const auto& b : c.benchmarks) {
+      if (profile_for(b).app_class == cls) ++n;
+    }
+    return n;
+  };
+  for (const auto& c : combos_in_class(3)) {
+    EXPECT_EQ(count_class(c, 'A'), 2) << c.name;
+    EXPECT_EQ(count_class(c, 'C'), 2) << c.name;
+  }
+  for (const auto& c : combos_in_class(4)) {
+    EXPECT_EQ(count_class(c, 'A'), 2) << c.name;
+    EXPECT_EQ(count_class(c, 'B'), 1) << c.name;
+    EXPECT_EQ(count_class(c, 'C'), 1) << c.name;
+  }
+  for (const auto& c : combos_in_class(5)) {
+    EXPECT_EQ(count_class(c, 'A'), 2) << c.name;
+    EXPECT_EQ(count_class(c, 'D'), 2) << c.name;
+  }
+  for (const auto& c : combos_in_class(6)) {
+    EXPECT_EQ(count_class(c, 'A'), 2) << c.name;
+    EXPECT_EQ(count_class(c, 'B'), 1) << c.name;
+    EXPECT_EQ(count_class(c, 'D'), 1) << c.name;
+  }
+}
+
+TEST(Workloads, MixCombosUseDistinctClassAApps) {
+  // Table 7: "2 *different* applications from class A".
+  for (int cls : {3, 4, 5, 6}) {
+    for (const auto& c : combos_in_class(cls)) {
+      std::vector<std::string> a_apps;
+      for (const auto& b : c.benchmarks) {
+        if (profile_for(b).app_class == 'A') a_apps.push_back(b);
+      }
+      ASSERT_EQ(a_apps.size(), 2U) << c.name;
+      EXPECT_NE(a_apps[0], a_apps[1]) << c.name;
+    }
+  }
+}
+
+TEST(Workloads, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& c : all_combos()) names.insert(c.name);
+  EXPECT_EQ(names.size(), all_combos().size());
+}
+
+TEST(Workloads, ClassDescriptions) {
+  for (int cls = 1; cls <= 6; ++cls) {
+    EXPECT_STRNE(class_description(cls), "?");
+  }
+  EXPECT_STREQ(class_description(0), "?");
+}
+
+}  // namespace
+}  // namespace snug::trace
