@@ -1,7 +1,9 @@
 // Shared harness for the Figure 9/10/11 benches: runs (or loads from the
-// shared disk cache) the full 21-combo x 9-scheme campaign and renders one
-// metric as the paper renders it — per-class geometric means, C1..C6 plus
-// AVG, normalised to L2P.
+// shared disk cache) the full 21-combo x 9-scheme campaign — fanned out
+// over --jobs worker threads — and renders one metric as the paper
+// renders it: per-class geometric means, C1..C6 plus AVG, normalised to
+// L2P.  Parallel runs are bit-identical to --jobs=1; a warm cache skips
+// simulation entirely.
 #pragma once
 
 #include <cstdio>
@@ -10,6 +12,7 @@
 #include "common/cli.hpp"
 #include "common/str.hpp"
 #include "common/table.hpp"
+#include "sim/campaign.hpp"
 #include "sim/figures.hpp"
 
 namespace snug::bench {
@@ -21,23 +24,36 @@ inline int run_figure_bench(int argc, char** argv, sim::Metric metric,
   const std::string cache_dir = args.get_string(
       "cache-dir", sim::default_cache_dir(), "simulation result cache");
   const bool quiet = args.get_bool("quiet", false, "suppress progress");
+  const std::int64_t jobs = args.get_jobs();
+  const std::int64_t warmup = args.get_int(
+      "warmup-cycles", 0, "override warm-up cycles (0 = default scale)");
+  const std::int64_t measure = args.get_int(
+      "measure-cycles", 0, "override measured cycles (0 = default scale)");
   if (args.help_requested()) {
     std::fputs(args.usage().c_str(), stdout);
     return 0;
   }
   args.check_unknown();
 
-  sim::ExperimentRunner runner(sim::paper_system_config(),
-                               sim::default_run_scale(), cache_dir);
+  sim::RunScale scale = sim::default_run_scale();
+  if (warmup > 0) scale.warmup_cycles = static_cast<Cycle>(warmup);
+  if (measure > 0) scale.measure_cycles = static_cast<Cycle>(measure);
+
+  sim::ExperimentRunner runner(sim::paper_system_config(), scale, cache_dir);
+  sim::CampaignEngine engine(runner,
+                             sim::resolve_jobs(jobs));
+  ProgressMeter meter(!quiet);
+  engine.on_progress = [&meter](const sim::CampaignProgress& p) {
+    meter.report(p.done, p.total, p.combo + " / " + p.scheme,
+                 p.cached ? "(cached)" : "simulated");
+  };
   if (!quiet) {
-    runner.on_progress = [](const std::string& combo,
-                            const std::string& scheme, bool cached) {
-      std::fprintf(stderr, "  [%s] %s %s\n", combo.c_str(), scheme.c_str(),
-                   cached ? "(cached)" : "simulating...");
-    };
+    std::fprintf(stderr, "%s campaign: %u worker(s), cache %s\n",
+                 figure_name, engine.jobs(),
+                 cache_dir.empty() ? "disabled" : cache_dir.c_str());
   }
 
-  const sim::CampaignResults results = sim::run_paper_campaign(runner);
+  const sim::CampaignResults results = engine.run(sim::CampaignSpec::paper());
   const sim::FigureSeries fig = sim::assemble_figure(results, metric);
 
   std::printf("%s — %s\n", figure_name, sim::to_string(metric));

@@ -61,6 +61,22 @@ bool CliArgs::get_bool(const std::string& name, bool fallback,
   return v == "true" || v == "1" || v == "yes";
 }
 
+std::int64_t CliArgs::get_jobs() {
+  return get_int("jobs", 0, "worker threads (0 = all hardware threads)");
+}
+
+ProgressMeter::ProgressMeter(bool enabled, std::FILE* out)
+    : enabled_(enabled), out_(out) {}
+
+void ProgressMeter::report(std::size_t done, std::size_t total,
+                           const std::string& label,
+                           const std::string& note) {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(out_, "[%3zu/%zu] %s%s%s\n", done, total, label.c_str(),
+               note.empty() ? "" : " ", note.c_str());
+}
+
 std::string CliArgs::usage() const {
   std::string out = strf("usage: %s [flags]\n", program_.c_str());
   for (const auto& e : entries_) {

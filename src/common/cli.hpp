@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,12 @@ class CliArgs {
                     const std::string& help);
   bool get_bool(const std::string& name, bool fallback,
                 const std::string& help);
+
+  /// Registers the conventional `--jobs=N` flag shared by every campaign
+  /// binary: N > 0 means exactly N workers, 0 (the default) means one per
+  /// hardware thread.  The raw request is returned; resolution to a
+  /// worker count happens in the executor (sim/executor.hpp).
+  std::int64_t get_jobs();
 
   /// True when --help was passed; callers should print usage() and exit.
   [[nodiscard]] bool help_requested() const noexcept { return help_; }
@@ -50,6 +58,23 @@ class CliArgs {
   mutable std::map<std::string, bool> consumed_;
   std::vector<HelpEntry> entries_;
   bool help_ = false;
+};
+
+/// Thread-safe progress reporter for long campaigns.  Each report prints
+/// one `[done/total] label note` line; calls may come from any worker
+/// thread — lines are serialised and never torn.  Construct with
+/// enabled=false (e.g. from --quiet) to make report() a no-op.
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(bool enabled = true, std::FILE* out = stderr);
+
+  void report(std::size_t done, std::size_t total, const std::string& label,
+              const std::string& note);
+
+ private:
+  bool enabled_;
+  std::FILE* out_;
+  std::mutex mu_;
 };
 
 }  // namespace snug

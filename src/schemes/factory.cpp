@@ -1,5 +1,8 @@
 #include "schemes/factory.hpp"
 
+#include <cmath>
+#include <cstdlib>
+
 #include "common/require.hpp"
 #include "common/str.hpp"
 
@@ -12,7 +15,7 @@ std::string SchemeSpec::id() const {
     case SchemeKind::kL2S:
       return "L2S";
     case SchemeKind::kCC:
-      return strf("CC(%d%%)", static_cast<int>(cc_spill_prob * 100));
+      return strf("CC(%ld%%)", std::lround(cc_spill_prob * 100));
     case SchemeKind::kDSR:
       return "DSR";
     case SchemeKind::kSNUG:
@@ -45,6 +48,31 @@ std::unique_ptr<L2Scheme> make_scheme(const SchemeSpec& spec,
 const std::vector<double>& cc_probability_grid() {
   static const std::vector<double> kGrid{0.0, 0.25, 0.5, 0.75, 1.0};
   return kGrid;
+}
+
+bool parse_scheme_id(const std::string& id, SchemeSpec& out) {
+  if (id == "L2P") {
+    out = {SchemeKind::kL2P, 0.0};
+  } else if (id == "L2S") {
+    out = {SchemeKind::kL2S, 0.0};
+  } else if (id == "DSR") {
+    out = {SchemeKind::kDSR, 0.0};
+  } else if (id == "SNUG") {
+    out = {SchemeKind::kSNUG, 0.0};
+  } else if (id.rfind("CC(", 0) == 0 && id.size() > 5 &&
+             id.compare(id.size() - 2, 2, "%)") == 0) {
+    const std::string digits = id.substr(3, id.size() - 5);
+    if (digits.empty() || digits.size() > 3 ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    const int percent = std::atoi(digits.c_str());
+    if (percent < 0 || percent > 100) return false;
+    out = {SchemeKind::kCC, percent / 100.0};
+  } else {
+    return false;
+  }
+  return true;
 }
 
 std::vector<SchemeSpec> paper_scheme_grid() {

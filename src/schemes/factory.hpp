@@ -41,6 +41,11 @@ struct SchemeBuildContext {
 /// SNUG (Section 4.1).
 [[nodiscard]] std::vector<SchemeSpec> paper_scheme_grid();
 
+/// Parses a scheme id in the format SchemeSpec::id() produces — "L2P",
+/// "L2S", "DSR", "SNUG" or "CC(25%)" — so campaign grids can be built
+/// declaratively from command lines.  Returns false on unknown ids.
+[[nodiscard]] bool parse_scheme_id(const std::string& id, SchemeSpec& out);
+
 /// The CC spill probabilities evaluated for CC(Best).
 [[nodiscard]] const std::vector<double>& cc_probability_grid();
 

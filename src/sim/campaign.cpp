@@ -1,0 +1,74 @@
+#include "sim/campaign.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "common/require.hpp"
+
+namespace snug::sim {
+
+CampaignSpec CampaignSpec::paper() {
+  return {trace::all_combos(), schemes::paper_scheme_grid()};
+}
+
+CampaignSpec CampaignSpec::single(trace::WorkloadCombo combo) {
+  return {{std::move(combo)}, schemes::paper_scheme_grid()};
+}
+
+CampaignEngine::CampaignEngine(ExperimentRunner& runner, unsigned jobs)
+    : runner_(runner), exec_(jobs) {}
+
+CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
+  const std::size_t n_schemes = spec.schemes.size();
+  const std::size_t n_tasks = spec.size();
+  SNUG_REQUIRE(n_tasks > 0);
+
+  // Task i = (combo i / n_schemes, scheme i % n_schemes); slots are
+  // per-index so workers never contend on result storage.
+  std::vector<RunResult> slots(n_tasks);
+  std::vector<std::unique_ptr<std::atomic<std::size_t>>> remaining;
+  remaining.reserve(spec.combos.size());
+  for (std::size_t c = 0; c < spec.combos.size(); ++c) {
+    remaining.push_back(
+        std::make_unique<std::atomic<std::size_t>>(n_schemes));
+  }
+
+  std::mutex hook_mu;
+  std::size_t done = 0;
+
+  exec_.run_indexed(n_tasks, [&](std::size_t i) {
+    const std::size_t c = i / n_schemes;
+    const auto& combo = spec.combos[c];
+    const auto& scheme = spec.schemes[i % n_schemes];
+    slots[i] = runner_.run(combo, scheme);
+
+    if (on_progress) {
+      const std::lock_guard<std::mutex> lock(hook_mu);
+      on_progress({++done, n_tasks, combo.name, scheme.id(),
+                   slots[i].cached});
+    }
+    // acq_rel: the last decrementer observes every sibling's slot write.
+    if (remaining[c]->fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        on_combo_done) {
+      ComboResults combo_results;
+      for (std::size_t s = 0; s < n_schemes; ++s) {
+        combo_results[spec.schemes[s].id()] = slots[c * n_schemes + s];
+      }
+      const std::lock_guard<std::mutex> lock(hook_mu);
+      on_combo_done(combo, combo_results);
+    }
+  });
+
+  CampaignResults out;
+  for (std::size_t c = 0; c < spec.combos.size(); ++c) {
+    ComboResults combo_results;
+    for (std::size_t s = 0; s < n_schemes; ++s) {
+      combo_results[spec.schemes[s].id()] = slots[c * n_schemes + s];
+    }
+    out[spec.combos[c].name] = std::move(combo_results);
+  }
+  return out;
+}
+
+}  // namespace snug::sim

@@ -1,0 +1,84 @@
+// Campaign — a declarative (workload combo x scheme) experiment grid plus
+// the engine that executes it, serially or fanned out across a thread
+// pool (sim/executor.hpp).
+//
+// The grid is flattened combo-major into index-addressed tasks; every
+// task's result lands in its own slot, so the assembled CampaignResults
+// map is deterministic and bit-identical whether the campaign ran with
+// one job or sixteen.  Aggregation hooks let callers stream per-combo
+// summaries (e.g. figure rows) as combos complete instead of waiting for
+// the whole grid.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/executor.hpp"
+#include "sim/runner.hpp"
+
+namespace snug::sim {
+
+/// Per-combo results keyed by scheme id, e.g. "L2P", "CC(25%)", "SNUG".
+using ComboResults = ExperimentRunner::ComboResults;
+
+/// Per-combo results for a whole campaign, keyed by combo name.
+using CampaignResults = std::map<std::string, ComboResults>;
+
+/// A declarative experiment grid: every combo runs under every scheme.
+struct CampaignSpec {
+  std::vector<trace::WorkloadCombo> combos;
+  std::vector<schemes::SchemeSpec> schemes;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return combos.size() * schemes.size();
+  }
+
+  /// The paper's evaluation campaign: all 21 Table-8 combos under the
+  /// full 9-scheme grid (Figs. 9-11).
+  [[nodiscard]] static CampaignSpec paper();
+
+  /// One combo under the full paper scheme grid.
+  [[nodiscard]] static CampaignSpec single(trace::WorkloadCombo combo);
+};
+
+/// One progress tick, emitted after each (combo, scheme) task finishes.
+struct CampaignProgress {
+  std::size_t done = 0;   ///< tasks finished so far, including this one
+  std::size_t total = 0;  ///< spec.size()
+  std::string combo;
+  std::string scheme;
+  bool cached = false;  ///< served from the eval cache, no simulation
+};
+
+class CampaignEngine {
+ public:
+  /// `jobs` as in resolve_jobs(): 1 = serial on the calling thread,
+  /// 0 = one worker per hardware thread, n = exactly n workers.
+  explicit CampaignEngine(ExperimentRunner& runner, unsigned jobs = 1);
+
+  /// Progress hook; invocations are serialised, so the callback does not
+  /// need its own locking.  Completion order is nondeterministic under
+  /// parallel execution — only the final results map is ordered.
+  std::function<void(const CampaignProgress&)> on_progress;
+
+  /// Aggregation hook, fired once per combo when its last scheme finishes
+  /// (serialised like on_progress).  Lets figure assembly / CSV streaming
+  /// start while the rest of the grid is still simulating.
+  std::function<void(const trace::WorkloadCombo&, const ComboResults&)>
+      on_combo_done;
+
+  /// Executes the grid and returns results keyed by combo name.  Every
+  /// entry is bit-identical to what a serial run would produce.
+  [[nodiscard]] CampaignResults run(const CampaignSpec& spec);
+
+  [[nodiscard]] unsigned jobs() const noexcept { return exec_.jobs(); }
+
+ private:
+  ExperimentRunner& runner_;
+  ParallelExecutor exec_;
+};
+
+}  // namespace snug::sim

@@ -1,0 +1,96 @@
+#include "sim/executor.hpp"
+
+namespace snug::sim {
+
+unsigned resolve_jobs(std::int64_t requested) noexcept {
+  if (requested > 0) return static_cast<unsigned>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ParallelExecutor::ParallelExecutor(unsigned jobs)
+    : jobs_(resolve_jobs(static_cast<std::int64_t>(jobs))) {
+  if (jobs_ < 2) return;  // serial mode: no pool at all
+  workers_.reserve(jobs_);
+  for (unsigned i = 0; i < jobs_; ++i) {
+    workers_.emplace_back(
+        [this](const std::stop_token& stop) { worker_loop(stop); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  for (auto& w : workers_) w.request_stop();
+  work_cv_.notify_all();  // wake everyone so stop tokens are observed
+  // Join here, not via ~jthread: the mutex and condition variables are
+  // members too and must outlive every worker that might touch them.
+  for (auto& w : workers_) w.join();
+}
+
+void ParallelExecutor::worker_loop(const std::stop_token& stop) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, stop,
+                    [&] { return generation_ != seen_generation; });
+      if (stop.stop_requested()) return;
+      seen_generation = generation_;
+    }
+    work_off_batch();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (++workers_done_ == jobs_) done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelExecutor::work_off_batch() {
+  while (true) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch_size_) return;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      // Abandon the rest of the batch: claim everything that is left.
+      next_.store(batch_size_, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ParallelExecutor::run_indexed(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::lock_guard<std::mutex> batch_lock(batch_mu_);
+
+  if (workers_.empty()) {
+    // Serial reference path: index order, calling thread, no pool.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    batch_size_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return workers_done_ == jobs_; });
+    fn_ = nullptr;
+    batch_size_ = 0;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace snug::sim

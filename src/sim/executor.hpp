@@ -1,0 +1,66 @@
+// ParallelExecutor — a persistent worker pool that fans independent,
+// index-addressed tasks out across hardware threads.
+//
+// Every CmpSystem run is a deterministic, isolated simulation, so a
+// campaign is embarrassingly parallel: the pool hands out task indices
+// from a shared atomic counter (cheap work stealing — an idle worker
+// always claims the next undone index) and callers write results into
+// per-index slots.  Because slot assignment depends only on the index,
+// parallel output is bit-identical to a serial run no matter how the
+// schedule interleaves.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snug::sim {
+
+/// Maps a --jobs request to a worker count: n > 0 is taken literally,
+/// anything else (0 = "auto") resolves to the hardware thread count.
+[[nodiscard]] unsigned resolve_jobs(std::int64_t requested) noexcept;
+
+class ParallelExecutor {
+ public:
+  /// `jobs` as in resolve_jobs(); 1 means fully serial (no worker threads
+  /// are created and tasks run inline on the calling thread, in order).
+  explicit ParallelExecutor(unsigned jobs = 0);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  /// Runs fn(i) exactly once for every i in [0, n), possibly concurrently,
+  /// and returns when all are done.  fn must confine its writes to
+  /// per-index state.  The first exception thrown by fn is rethrown here
+  /// (remaining unclaimed indices are abandoned).  Not reentrant: one
+  /// batch runs at a time per executor.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(const std::stop_token& stop);
+  void work_off_batch();
+
+  unsigned jobs_ = 1;
+  std::vector<std::jthread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;      ///< bumped once per batch
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t batch_size_ = 0;
+  std::atomic<std::size_t> next_{0};  ///< next unclaimed task index
+  unsigned workers_done_ = 0;         ///< workers finished with this batch
+  std::exception_ptr first_error_;
+
+  std::mutex batch_mu_;  ///< serialises run_indexed callers
+};
+
+}  // namespace snug::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "stats/aggregate.hpp"
 #include "stats/metrics.hpp"
 
 namespace snug::sim {
@@ -34,16 +35,7 @@ double metric_value(Metric m, const std::vector<double>& scheme_ipc,
   return 0.0;
 }
 
-CampaignResults run_paper_campaign(ExperimentRunner& runner) {
-  CampaignResults out;
-  for (const auto& combo : trace::all_combos()) {
-    out[combo.name] = runner.run_combo_grid(combo);
-  }
-  return out;
-}
-
-double cc_best_value(const ExperimentRunner::ComboResults& combo_results,
-                     Metric metric) {
+double cc_best_value(const ComboResults& combo_results, Metric metric) {
   const auto& base = combo_results.at("L2P").ipc;
   double best = 0.0;
   bool any = false;
@@ -65,29 +57,21 @@ FigureSeries assemble_figure(const CampaignResults& results,
   fig.schemes = {"L2S", "CC(Best)", "DSR", "SNUG"};
 
   for (const auto& scheme : fig.schemes) {
-    std::vector<double> per_class(7, 0.0);
-    std::vector<double> all_values;
-    for (int cls = 1; cls <= 6; ++cls) {
-      std::vector<double> class_values;
-      for (const auto& combo : trace::combos_in_class(cls)) {
-        const auto it = results.find(combo.name);
-        SNUG_REQUIRE(it != results.end());
-        const auto& combo_results = it->second;
-        const auto& base = combo_results.at("L2P").ipc;
-        double v = 0.0;
-        if (scheme == "CC(Best)") {
-          v = cc_best_value(combo_results, metric);
-        } else {
-          v = metric_value(metric, combo_results.at(scheme).ipc, base);
-        }
-        class_values.push_back(v);
-        all_values.push_back(v);
+    std::vector<stats::ClassValue> observations;
+    for (const auto& combo : trace::all_combos()) {
+      const auto it = results.find(combo.name);
+      SNUG_REQUIRE(it != results.end());
+      const auto& combo_results = it->second;
+      const auto& base = combo_results.at("L2P").ipc;
+      double v = 0.0;
+      if (scheme == "CC(Best)") {
+        v = cc_best_value(combo_results, metric);
+      } else {
+        v = metric_value(metric, combo_results.at(scheme).ipc, base);
       }
-      per_class[static_cast<std::size_t>(cls - 1)] =
-          stats::geometric_mean(class_values);
+      observations.push_back({combo.combo_class, v});
     }
-    per_class[6] = stats::geometric_mean(all_values);  // AVG
-    fig.values[scheme] = per_class;
+    fig.values[scheme] = stats::per_class_geomean(observations, 6);
   }
   return fig;
 }

@@ -5,15 +5,18 @@
 // Figure 11: fair speedup vs. L2P              (harmonic mean of rel-IPC)
 //
 // Per Section 5, the value reported for a workload class is the geometric
-// mean over that class's combinations; CC(Best) picks, per combination,
-// the spill probability with the best value of the metric in question.
+// mean over that class's combinations (stats/aggregate.hpp); CC(Best)
+// picks, per combination, the spill probability with the best value of
+// the metric in question.  The campaign itself — which (combo, scheme)
+// runs exist and how they fan out over threads — lives in
+// sim/campaign.hpp; this header only turns CampaignResults into figures.
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
-#include "sim/runner.hpp"
+#include "sim/campaign.hpp"
 
 namespace snug::sim {
 
@@ -30,13 +33,6 @@ enum class Metric : std::uint8_t {
                                   const std::vector<double>& scheme_ipc,
                                   const std::vector<double>& base_ipc);
 
-/// Per-combo results for the whole campaign, keyed by combo name.
-using CampaignResults =
-    std::map<std::string, ExperimentRunner::ComboResults>;
-
-/// Runs (or loads from cache) all 21 combos under the full scheme grid.
-CampaignResults run_paper_campaign(ExperimentRunner& runner);
-
 /// One row of a figure: scheme -> value per class C1..C6 plus AVG (index 6).
 struct FigureSeries {
   std::vector<std::string> schemes;  ///< L2S, CC(Best), DSR, SNUG
@@ -48,7 +44,7 @@ struct FigureSeries {
                                            Metric metric);
 
 /// CC(Best): the best CC(p) value for this combo under `metric`.
-[[nodiscard]] double cc_best_value(
-    const ExperimentRunner::ComboResults& combo_results, Metric metric);
+[[nodiscard]] double cc_best_value(const ComboResults& combo_results,
+                                   Metric metric);
 
 }  // namespace snug::sim

@@ -1,5 +1,7 @@
 #include "sim/runner.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -10,6 +12,20 @@
 #include "common/str.hpp"
 
 namespace snug::sim {
+namespace {
+
+// Entry files are host-endian; the magic word doubles as an endianness
+// check because a byte-swapped header can never match.
+struct CacheHeader {
+  std::uint32_t magic = EvalCache::kMagic;
+  std::uint32_t version = EvalCache::kVersion;
+  std::uint64_t fingerprint = 0;
+  std::uint32_t count = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(CacheHeader) == 24, "header layout must be packed");
+
+}  // namespace
 
 double RunResult::throughput() const {
   double sum = 0.0;
@@ -25,27 +41,86 @@ EvalCache::EvalCache(std::string dir) : dir_(std::move(dir)) {
   }
 }
 
-bool EvalCache::load(const std::string& key,
-                     std::vector<double>& ipc) const {
-  if (dir_.empty()) return false;
-  std::ifstream in(dir_ + "/" + key + ".txt");
-  if (!in) return false;
-  ipc.clear();
-  double v = 0.0;
-  while (in >> v) ipc.push_back(v);
-  return !ipc.empty();
+std::string EvalCache::entry_path(const std::string& key) const {
+  return dir_ + "/" + key + ".snugc";
 }
 
-void EvalCache::store(const std::string& key,
+bool EvalCache::load(const std::string& key, std::uint64_t fingerprint,
+                     std::vector<double>& ipc) const {
+  if (dir_.empty()) return false;
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (!in) return false;
+
+  CacheHeader hdr;
+  in.read(reinterpret_cast<char*>(&hdr), sizeof hdr);
+  if (!in || in.gcount() != sizeof hdr) return false;
+  if (hdr.magic != kMagic || hdr.version != kVersion ||
+      hdr.fingerprint != fingerprint || hdr.reserved != 0) {
+    return false;
+  }
+  if (hdr.count == 0 || hdr.count > kMaxEntries) return false;
+
+  std::vector<double> payload(hdr.count);
+  const std::streamsize bytes =
+      static_cast<std::streamsize>(hdr.count * sizeof(double));
+  in.read(reinterpret_cast<char*>(payload.data()), bytes);
+  if (!in || in.gcount() != bytes) return false;  // truncated entry
+  if (in.peek() != std::ifstream::traits_type::eof()) return false;  // long
+
+  ipc = std::move(payload);
+  return true;
+}
+
+void EvalCache::store(const std::string& key, std::uint64_t fingerprint,
                       const std::vector<double>& ipc) const {
-  if (dir_.empty()) return;
-  std::ofstream out(dir_ + "/" + key + ".txt");
-  for (const double v : ipc) out << strf("%.9f\n", v);
+  if (dir_.empty() || ipc.empty() || ipc.size() > kMaxEntries) return;
+
+  // Unique temp name per (process, store) so concurrent writers — threads
+  // of this process or entirely separate processes — never collide; the
+  // final rename is atomic within the cache directory.
+  const std::string tmp =
+      strf("%s/%s.tmp.%ld.%llu", dir_.c_str(), key.c_str(),
+           static_cast<long>(::getpid()),
+           static_cast<unsigned long long>(
+               store_seq_.fetch_add(1, std::memory_order_relaxed)));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    CacheHeader hdr;
+    hdr.fingerprint = fingerprint;
+    hdr.count = static_cast<std::uint32_t>(ipc.size());
+    out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+    out.write(reinterpret_cast<const char*>(ipc.data()),
+              static_cast<std::streamsize>(ipc.size() * sizeof(double)));
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, entry_path(key), ec);
+  if (ec) std::filesystem::remove(tmp, ec);  // cache stays best-effort
 }
 
 std::string default_cache_dir() {
   if (const char* env = std::getenv("SNUG_CACHE_DIR")) return env;
   return ".snug_eval_cache";
+}
+
+std::uint64_t run_fingerprint(const SystemConfig& cfg, const RunScale& scale,
+                              const trace::WorkloadCombo& combo,
+                              const schemes::SchemeSpec& spec) {
+  std::string tag = combo.name;
+  for (const auto& bench : combo.benchmarks) {
+    tag += '|';
+    tag += bench;
+  }
+  tag += '|';
+  tag += spec.id();
+  return Rng::derive_seed(tag, config_fingerprint(cfg, scale),
+                          EvalCache::kVersion);
 }
 
 ExperimentRunner::ExperimentRunner(const SystemConfig& cfg,
@@ -56,20 +131,33 @@ ExperimentRunner::ExperimentRunner(const SystemConfig& cfg,
 std::string ExperimentRunner::cache_key(
     const trace::WorkloadCombo& combo,
     const schemes::SchemeSpec& spec) const {
-  const std::uint64_t fp = config_fingerprint(cfg_, scale_);
+  return cache_key(combo, spec, run_fingerprint(cfg_, scale_, combo, spec));
+}
+
+std::string ExperimentRunner::cache_key(const trace::WorkloadCombo& combo,
+                                        const schemes::SchemeSpec& spec,
+                                        std::uint64_t fingerprint) const {
   return strf("%s__%s__%016llx", combo.name.c_str(), spec.id().c_str(),
-              static_cast<unsigned long long>(fp));
+              static_cast<unsigned long long>(fingerprint));
 }
 
 RunResult ExperimentRunner::run(const trace::WorkloadCombo& combo,
                                 const schemes::SchemeSpec& spec) {
-  const std::string key = cache_key(combo, spec);
+  const std::uint64_t fp = run_fingerprint(cfg_, scale_, combo, spec);
+  const std::string key = cache_key(combo, spec, fp);
   RunResult result;
-  if (cache_.load(key, result.ipc)) {
-    if (on_progress) on_progress(combo.name, spec.id(), true);
+  if (cache_.load(key, fp, result.ipc)) {
+    result.cached = true;
+    if (on_progress) {
+      const std::lock_guard<std::mutex> lock(progress_mu_);
+      on_progress(combo.name, spec.id(), true);
+    }
     return result;
   }
-  if (on_progress) on_progress(combo.name, spec.id(), false);
+  if (on_progress) {
+    const std::lock_guard<std::mutex> lock(progress_mu_);
+    on_progress(combo.name, spec.id(), false);
+  }
 
   CmpSystem system(cfg_, spec, combo, scale_);
   system.run(scale_.warmup_cycles);
@@ -78,7 +166,7 @@ RunResult ExperimentRunner::run(const trace::WorkloadCombo& combo,
   result.ipc = system.measured_ipc();
   for (const double v : result.ipc) SNUG_ENSURE(v > 0.0);
 
-  cache_.store(key, result.ipc);
+  cache_.store(key, fp, result.ipc);
   return result;
 }
 

@@ -1,10 +1,19 @@
 // ExperimentRunner — executes (workload combo x scheme) timing runs and
 // caches per-core IPCs on disk, so the three figure benches (9, 10, 11)
 // share one simulation campaign instead of repeating it.
+//
+// The runner is concurrency-safe: any number of threads may call run()
+// on the same instance (the campaign executor in sim/executor.hpp does
+// exactly that), and concurrent processes may share one cache directory —
+// stores are atomic temp-file-then-rename, loads validate a versioned
+// binary header and reject anything truncated or stale.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -15,36 +24,70 @@ namespace snug::sim {
 
 struct RunResult {
   std::vector<double> ipc;  ///< per core, measurement window
+  bool cached = false;      ///< true when served from the eval cache
 
   [[nodiscard]] double throughput() const;
 };
 
 /// One-file-per-entry disk cache keyed by a fingerprint of
 /// (combo, scheme, config, scale).
+///
+/// Entry format (host-endian, `<key>.snugc`; the magic word doubles as
+/// an endianness check):
+///   u32 magic 'SNUG'   u32 format version   u64 key fingerprint
+///   u32 ipc count      u32 reserved (0)     f64 x count payload
+/// A load succeeds only when magic, version and fingerprint match and the
+/// file holds exactly `count` doubles — short reads, torn writes and
+/// version bumps all fall through to a fresh simulation.  Stores write a
+/// uniquely named temp file and rename() it into place, so a concurrent
+/// reader can never observe a half-written entry.
 class EvalCache {
  public:
+  static constexpr std::uint32_t kMagic = 0x47554E53;  // "SNUG"
+  static constexpr std::uint32_t kVersion = 1;
+  /// Hard upper bound on plausible per-core entries; anything larger is
+  /// treated as corruption.
+  static constexpr std::uint32_t kMaxEntries = 4096;
+
   /// `dir` is created on demand; pass "" to disable caching.
   explicit EvalCache(std::string dir);
 
-  [[nodiscard]] bool load(const std::string& key,
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  [[nodiscard]] bool load(const std::string& key, std::uint64_t fingerprint,
                           std::vector<double>& ipc) const;
-  void store(const std::string& key, const std::vector<double>& ipc) const;
+  void store(const std::string& key, std::uint64_t fingerprint,
+             const std::vector<double>& ipc) const;
   [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
 
  private:
+  [[nodiscard]] std::string entry_path(const std::string& key) const;
+
   std::string dir_;
+  mutable std::atomic<std::uint64_t> store_seq_{0};  ///< unique temp names
 };
 
 /// Default cache directory: $SNUG_CACHE_DIR or .snug_eval_cache under the
 /// current working directory.
 [[nodiscard]] std::string default_cache_dir();
 
+/// Fingerprint of one cache entry: covers the system config, run scale,
+/// workload combo (name and per-core benchmarks) and scheme spec.  Stable
+/// across runs and processes; changes whenever any input that affects the
+/// simulated IPCs changes.
+[[nodiscard]] std::uint64_t run_fingerprint(const SystemConfig& cfg,
+                                            const RunScale& scale,
+                                            const trace::WorkloadCombo& combo,
+                                            const schemes::SchemeSpec& spec);
+
 class ExperimentRunner {
  public:
   ExperimentRunner(const SystemConfig& cfg, const RunScale& scale,
                    std::string cache_dir = default_cache_dir());
 
-  /// Runs (or loads) one combo under one scheme.
+  /// Runs (or loads) one combo under one scheme.  Safe to call from many
+  /// threads concurrently; each call simulates on its own CmpSystem.
   RunResult run(const trace::WorkloadCombo& combo,
                 const schemes::SchemeSpec& spec);
 
@@ -53,20 +96,28 @@ class ExperimentRunner {
   using ComboResults = std::map<std::string, RunResult>;
   ComboResults run_combo_grid(const trace::WorkloadCombo& combo);
 
-  /// Optional progress callback: (combo, scheme, cached).
+  /// Optional progress callback: (combo, scheme, cached).  Invocations are
+  /// serialised under an internal mutex, so the callback itself does not
+  /// need to be thread-safe even when run() is called concurrently.
   std::function<void(const std::string&, const std::string&, bool)>
       on_progress;
 
   [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const RunScale& scale() const noexcept { return scale_; }
 
- private:
+  /// Cache-entry basename for one task (combo, scheme id, fingerprint);
+  /// exposed for fingerprint-stability tests and cache tooling.
   [[nodiscard]] std::string cache_key(const trace::WorkloadCombo& combo,
                                       const schemes::SchemeSpec& spec) const;
 
+ private:
+  [[nodiscard]] std::string cache_key(const trace::WorkloadCombo& combo,
+                                      const schemes::SchemeSpec& spec,
+                                      std::uint64_t fingerprint) const;
   SystemConfig cfg_;
   RunScale scale_;
   EvalCache cache_;
+  std::mutex progress_mu_;
 };
 
 }  // namespace snug::sim

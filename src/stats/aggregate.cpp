@@ -1,0 +1,31 @@
+#include "stats/aggregate.hpp"
+
+#include "common/require.hpp"
+#include "stats/metrics.hpp"
+
+namespace snug::stats {
+
+std::vector<double> per_class_geomean(std::span<const ClassValue> values,
+                                      int num_classes) {
+  SNUG_REQUIRE(num_classes > 0);
+  std::vector<std::vector<double>> by_class(
+      static_cast<std::size_t>(num_classes));
+  std::vector<double> all;
+  all.reserve(values.size());
+  for (const auto& [cls, value] : values) {
+    SNUG_REQUIRE(cls >= 1 && cls <= num_classes);
+    by_class[static_cast<std::size_t>(cls - 1)].push_back(value);
+    all.push_back(value);
+  }
+
+  std::vector<double> out(static_cast<std::size_t>(num_classes) + 1, 0.0);
+  for (int cls = 1; cls <= num_classes; ++cls) {
+    const auto& class_values = by_class[static_cast<std::size_t>(cls - 1)];
+    SNUG_REQUIRE(!class_values.empty());
+    out[static_cast<std::size_t>(cls - 1)] = geometric_mean(class_values);
+  }
+  out[static_cast<std::size_t>(num_classes)] = geometric_mean(all);
+  return out;
+}
+
+}  // namespace snug::stats

@@ -1,0 +1,24 @@
+// Campaign-level aggregation: how per-combo metric values are reduced to
+// the rows the paper's figures report (Section 5) — a geometric mean per
+// workload class plus one overall geometric mean.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace snug::stats {
+
+/// One observation attributed to a workload class (1-based).
+struct ClassValue {
+  int cls = 1;
+  double value = 0.0;
+};
+
+/// Reduces observations to `num_classes + 1` entries: index c-1 holds the
+/// geometric mean of class c, the final index holds the geometric mean of
+/// every observation (the figures' "AVG" column).  Every class must have
+/// at least one observation and all values must be positive.
+[[nodiscard]] std::vector<double> per_class_geomean(
+    std::span<const ClassValue> values, int num_classes);
+
+}  // namespace snug::stats

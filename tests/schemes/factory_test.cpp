@@ -26,6 +26,27 @@ TEST(Factory, BuildsEveryKind) {
   }
 }
 
+TEST(Factory, ParseSchemeIdRoundTripsTheGrid) {
+  for (const auto& spec : paper_scheme_grid()) {
+    SchemeSpec parsed;
+    ASSERT_TRUE(parse_scheme_id(spec.id(), parsed)) << spec.id();
+    EXPECT_EQ(parsed.kind, spec.kind);
+    EXPECT_EQ(parsed.id(), spec.id());
+  }
+}
+
+TEST(Factory, ParseSchemeIdRejectsGarbage) {
+  SchemeSpec out;
+  EXPECT_FALSE(parse_scheme_id("", out));
+  EXPECT_FALSE(parse_scheme_id("L3P", out));
+  EXPECT_FALSE(parse_scheme_id("CC", out));
+  EXPECT_FALSE(parse_scheme_id("CC()", out));
+  EXPECT_FALSE(parse_scheme_id("CC(%)", out));
+  EXPECT_FALSE(parse_scheme_id("CC(abc%)", out));
+  EXPECT_FALSE(parse_scheme_id("CC(150%)", out));
+  EXPECT_FALSE(parse_scheme_id("snug", out));
+}
+
 TEST(Factory, PaperGridContents) {
   const auto grid = paper_scheme_grid();
   // L2P + L2S + 5 CC probabilities + DSR + SNUG = 9 runs per combo.

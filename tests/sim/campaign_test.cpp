@@ -1,0 +1,159 @@
+// Campaign engine tests: the ISSUE-1 acceptance property — a parallel
+// campaign is bit-identical to the serial one — plus warm-cache reruns
+// and the progress / per-combo aggregation hooks.
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+namespace snug::sim {
+namespace {
+
+RunScale tiny_scale() {
+  RunScale scale;
+  scale.warmup_cycles = 10'000;
+  scale.measure_cycles = 40'000;
+  scale.phase_period_refs = 50'000;
+  return scale;
+}
+
+// A 2-combo x 3-scheme grid that is cheap enough to simulate twice.
+CampaignSpec small_grid() {
+  CampaignSpec spec;
+  spec.combos = {
+      {"mixA", 3, {"gzip", "mesa", "gzip", "mesa"}},
+      {"mixB", 5, {"ammp", "gzip", "mesa", "ammp"}},
+  };
+  spec.schemes = {{schemes::SchemeKind::kL2P, 0.0},
+                  {schemes::SchemeKind::kCC, 0.5},
+                  {schemes::SchemeKind::kSNUG, 0.0}};
+  return spec;
+}
+
+struct TempCacheDir {
+  explicit TempCacheDir(const char* name) {
+    dir = std::filesystem::temp_directory_path() / name;
+    std::filesystem::remove_all(dir);
+  }
+  ~TempCacheDir() { std::filesystem::remove_all(dir); }
+  std::filesystem::path dir;
+};
+
+TEST(Campaign, PaperSpecCoversFullGrid) {
+  const CampaignSpec spec = CampaignSpec::paper();
+  EXPECT_EQ(spec.combos.size(), 21U);
+  EXPECT_EQ(spec.schemes.size(), 9U);
+  EXPECT_EQ(spec.size(), 189U);
+}
+
+TEST(Campaign, ParallelIsBitIdenticalToSerial) {
+  const CampaignSpec spec = small_grid();
+
+  // Separate runners with caching disabled: both paths must *simulate*
+  // everything, so equality proves determinism rather than cache reuse.
+  ExperimentRunner serial_runner(paper_system_config(), tiny_scale(), "");
+  CampaignEngine serial(serial_runner, 1);
+  const CampaignResults a = serial.run(spec);
+
+  ExperimentRunner parallel_runner(paper_system_config(), tiny_scale(), "");
+  CampaignEngine parallel(parallel_runner, 4);
+  EXPECT_EQ(parallel.jobs(), 4U);
+  const CampaignResults b = parallel.run(spec);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [combo, combo_results] : a) {
+    const auto it = b.find(combo);
+    ASSERT_NE(it, b.end()) << combo;
+    ASSERT_EQ(combo_results.size(), it->second.size());
+    for (const auto& [scheme, result] : combo_results) {
+      const auto& other = it->second.at(scheme);
+      ASSERT_EQ(result.ipc.size(), other.ipc.size());
+      for (std::size_t i = 0; i < result.ipc.size(); ++i) {
+        EXPECT_EQ(result.ipc[i], other.ipc[i])  // bit-identical, no epsilon
+            << combo << "/" << scheme << " core " << i;
+      }
+    }
+  }
+}
+
+TEST(Campaign, WarmCacheRerunSkipsAllSimulation) {
+  TempCacheDir tmp("snug_campaign_warm_cache");
+  const CampaignSpec spec = small_grid();
+  ExperimentRunner runner(paper_system_config(), tiny_scale(),
+                          tmp.dir.string());
+
+  CampaignEngine cold(runner, 2);
+  std::size_t cold_hits = 0;
+  cold.on_progress = [&](const CampaignProgress& p) {
+    if (p.cached) ++cold_hits;
+  };
+  const CampaignResults first = cold.run(spec);
+  EXPECT_EQ(cold_hits, 0U);
+
+  CampaignEngine warm(runner, 2);
+  std::size_t warm_hits = 0;
+  warm.on_progress = [&](const CampaignProgress& p) {
+    if (p.cached) ++warm_hits;
+  };
+  const CampaignResults second = warm.run(spec);
+  EXPECT_EQ(warm_hits, spec.size());  // every task served from cache
+
+  for (const auto& [combo, combo_results] : first) {
+    for (const auto& [scheme, result] : combo_results) {
+      const auto& reloaded = second.at(combo).at(scheme);
+      ASSERT_EQ(result.ipc.size(), reloaded.ipc.size());
+      for (std::size_t i = 0; i < result.ipc.size(); ++i) {
+        EXPECT_EQ(result.ipc[i], reloaded.ipc[i]);
+      }
+    }
+  }
+}
+
+TEST(Campaign, ProgressTicksOncePerTask) {
+  const CampaignSpec spec = small_grid();
+  ExperimentRunner runner(paper_system_config(), tiny_scale(), "");
+  CampaignEngine engine(runner, 3);
+  std::set<std::pair<std::string, std::string>> seen;
+  std::size_t max_done = 0;
+  engine.on_progress = [&](const CampaignProgress& p) {
+    EXPECT_EQ(p.total, spec.size());
+    seen.insert({p.combo, p.scheme});
+    max_done = std::max(max_done, p.done);
+  };
+  (void)engine.run(spec);
+  EXPECT_EQ(seen.size(), spec.size());  // every (combo, scheme) reported
+  EXPECT_EQ(max_done, spec.size());     // done counter reaches the end
+}
+
+TEST(Campaign, ComboDoneHookFiresOncePerComboWithFullResults) {
+  const CampaignSpec spec = small_grid();
+  ExperimentRunner runner(paper_system_config(), tiny_scale(), "");
+  CampaignEngine engine(runner, 4);
+  std::map<std::string, std::size_t> fired;
+  engine.on_combo_done = [&](const trace::WorkloadCombo& combo,
+                             const ComboResults& results) {
+    ++fired[combo.name];
+    EXPECT_EQ(results.size(), spec.schemes.size());
+    for (const auto& [scheme, result] : results) {
+      EXPECT_EQ(result.ipc.size(), 4U) << scheme;
+    }
+  };
+  const CampaignResults all = engine.run(spec);
+  EXPECT_EQ(fired.size(), spec.combos.size());
+  for (const auto& [name, count] : fired) EXPECT_EQ(count, 1U) << name;
+  EXPECT_EQ(all.size(), spec.combos.size());
+}
+
+TEST(Campaign, SingleSpecWrapsOneCombo) {
+  const trace::WorkloadCombo combo{"solo", 2, {"ammp", "ammp", "ammp",
+                                               "ammp"}};
+  const CampaignSpec spec = CampaignSpec::single(combo);
+  EXPECT_EQ(spec.combos.size(), 1U);
+  EXPECT_EQ(spec.schemes.size(), 9U);
+  EXPECT_EQ(spec.combos[0].name, "solo");
+}
+
+}  // namespace
+}  // namespace snug::sim

@@ -1,0 +1,203 @@
+// EvalCache binary-format tests: round trips, atomicity hygiene, and —
+// the satellite fix of ISSUE 1 — rejection of truncated, corrupted,
+// version-mismatched and stale entries instead of silently returning a
+// partial IPC vector.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace snug::sim {
+namespace {
+
+struct TempCacheDir {
+  TempCacheDir() {
+    dir = std::filesystem::temp_directory_path() / "snug_eval_cache_test";
+    std::filesystem::remove_all(dir);
+  }
+  ~TempCacheDir() { std::filesystem::remove_all(dir); }
+  std::filesystem::path dir;
+};
+
+std::filesystem::path entry_file(const TempCacheDir& tmp,
+                                 const std::string& key) {
+  return tmp.dir / (key + ".snugc");
+}
+
+TEST(EvalCache, RoundTripsExactBits) {
+  TempCacheDir tmp;
+  EvalCache cache(tmp.dir.string());
+  const std::vector<double> ipc{1.2345678901234567, 0.000001, 3.25, 7e-12};
+  cache.store("k", 42, ipc);
+
+  std::vector<double> loaded;
+  ASSERT_TRUE(cache.load("k", 42, loaded));
+  ASSERT_EQ(loaded.size(), ipc.size());
+  for (std::size_t i = 0; i < ipc.size(); ++i) {
+    EXPECT_EQ(loaded[i], ipc[i]);  // binary format: no text rounding
+  }
+}
+
+TEST(EvalCache, MissingEntryMisses) {
+  TempCacheDir tmp;
+  EvalCache cache(tmp.dir.string());
+  std::vector<double> ipc;
+  EXPECT_FALSE(cache.load("absent", 1, ipc));
+}
+
+TEST(EvalCache, RejectsFingerprintMismatch) {
+  TempCacheDir tmp;
+  EvalCache cache(tmp.dir.string());
+  cache.store("k", 42, {1.0, 2.0});
+  std::vector<double> ipc;
+  EXPECT_FALSE(cache.load("k", 43, ipc));  // stale config/scale/scheme
+  EXPECT_TRUE(cache.load("k", 42, ipc));
+}
+
+TEST(EvalCache, RejectsTruncatedEntry) {
+  TempCacheDir tmp;
+  EvalCache cache(tmp.dir.string());
+  cache.store("k", 42, {1.0, 2.0, 3.0, 4.0});
+
+  // Chop the payload mid-double, as a torn write would.
+  const auto path = entry_file(tmp, "k");
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 12);
+
+  std::vector<double> ipc;
+  EXPECT_FALSE(cache.load("k", 42, ipc));
+  EXPECT_TRUE(ipc.empty());  // nothing partial leaks out
+}
+
+TEST(EvalCache, RejectsHeaderOnlyOrEmptyFile) {
+  TempCacheDir tmp;
+  EvalCache cache(tmp.dir.string());
+  {
+    std::ofstream out(entry_file(tmp, "empty"), std::ios::binary);
+  }
+  cache.store("k", 42, {1.0});
+  std::filesystem::resize_file(entry_file(tmp, "k"), 24);  // header only
+
+  std::vector<double> ipc;
+  EXPECT_FALSE(cache.load("empty", 42, ipc));
+  EXPECT_FALSE(cache.load("k", 42, ipc));
+}
+
+TEST(EvalCache, RejectsTrailingGarbage) {
+  TempCacheDir tmp;
+  EvalCache cache(tmp.dir.string());
+  cache.store("k", 42, {1.0, 2.0});
+  {
+    std::ofstream out(entry_file(tmp, "k"),
+                      std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  std::vector<double> ipc;
+  EXPECT_FALSE(cache.load("k", 42, ipc));
+}
+
+TEST(EvalCache, RejectsBadMagicAndVersion) {
+  TempCacheDir tmp;
+  EvalCache cache(tmp.dir.string());
+  cache.store("k", 42, {1.0});
+
+  const auto corrupt_u32_at = [&](std::streamoff off, std::uint32_t v) {
+    std::fstream f(entry_file(tmp, "k"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(off);
+    f.write(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+
+  std::vector<double> ipc;
+  corrupt_u32_at(0, 0xDEADBEEF);  // magic
+  EXPECT_FALSE(cache.load("k", 42, ipc));
+
+  cache.store("k", 42, {1.0});
+  corrupt_u32_at(4, EvalCache::kVersion + 1);  // future format version
+  EXPECT_FALSE(cache.load("k", 42, ipc));
+
+  cache.store("k", 42, {1.0});
+  corrupt_u32_at(16, 0);  // count = 0
+  EXPECT_FALSE(cache.load("k", 42, ipc));
+
+  cache.store("k", 42, {1.0});
+  corrupt_u32_at(16, EvalCache::kMaxEntries + 1);  // absurd count
+  EXPECT_FALSE(cache.load("k", 42, ipc));
+}
+
+TEST(EvalCache, StoreLeavesNoTempFiles) {
+  TempCacheDir tmp;
+  EvalCache cache(tmp.dir.string());
+  for (int i = 0; i < 8; ++i) {
+    cache.store("k" + std::to_string(i), 42, {1.0, 2.0});
+  }
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(tmp.dir)) {
+    EXPECT_EQ(e.path().extension(), ".snugc") << e.path();
+    ++files;
+  }
+  EXPECT_EQ(files, 8U);
+}
+
+TEST(EvalCache, ConcurrentWritersSameKeyStayConsistent) {
+  TempCacheDir tmp;
+  EvalCache cache(tmp.dir.string());
+  const std::vector<double> ipc{1.0, 2.0, 3.0, 4.0};
+  std::vector<std::thread> writers;
+  writers.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) cache.store("k", 42, ipc);
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  std::vector<double> loaded;
+  ASSERT_TRUE(cache.load("k", 42, loaded));
+  EXPECT_EQ(loaded, ipc);
+}
+
+TEST(EvalCache, RunFingerprintIsStableAndSensitive) {
+  const SystemConfig cfg = paper_system_config();
+  RunScale scale;
+  const trace::WorkloadCombo combo{"t", 5, {"gzip", "mesa", "gzip", "mesa"}};
+  const schemes::SchemeSpec snug{schemes::SchemeKind::kSNUG, 0.0};
+
+  // Stable: same inputs, same fingerprint, across calls.
+  const std::uint64_t fp = run_fingerprint(cfg, scale, combo, snug);
+  EXPECT_EQ(fp, run_fingerprint(cfg, scale, combo, snug));
+
+  // Sensitive: scheme, combo contents, combo name, and scale each matter.
+  EXPECT_NE(fp, run_fingerprint(cfg, scale, combo,
+                                {schemes::SchemeKind::kDSR, 0.0}));
+  EXPECT_NE(fp, run_fingerprint(cfg, scale, combo,
+                                {schemes::SchemeKind::kCC, 0.5}));
+  trace::WorkloadCombo renamed = combo;
+  renamed.name = "t2";
+  EXPECT_NE(fp, run_fingerprint(cfg, scale, renamed, snug));
+  trace::WorkloadCombo swapped = combo;
+  swapped.benchmarks = {"mesa", "gzip", "gzip", "mesa"};
+  EXPECT_NE(fp, run_fingerprint(cfg, scale, swapped, snug));
+  RunScale longer = scale;
+  longer.measure_cycles *= 2;
+  EXPECT_NE(fp, run_fingerprint(cfg, longer, combo, snug));
+}
+
+TEST(EvalCache, CacheKeyEmbedsComboSchemeAndFingerprint) {
+  ExperimentRunner runner(paper_system_config(), RunScale{}, "");
+  const trace::WorkloadCombo combo{"t", 5, {"gzip", "mesa", "gzip", "mesa"}};
+  const schemes::SchemeSpec spec{schemes::SchemeKind::kCC, 0.25};
+  const std::string key = runner.cache_key(combo, spec);
+  EXPECT_NE(key.find("t__"), std::string::npos);
+  EXPECT_NE(key.find("CC(25%)"), std::string::npos);
+  EXPECT_EQ(key, runner.cache_key(combo, spec));  // stable
+}
+
+}  // namespace
+}  // namespace snug::sim

@@ -1,0 +1,89 @@
+#include "sim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace snug::sim {
+namespace {
+
+TEST(Executor, ResolveJobs) {
+  EXPECT_EQ(resolve_jobs(1), 1U);
+  EXPECT_EQ(resolve_jobs(7), 7U);
+  EXPECT_GE(resolve_jobs(0), 1U);   // auto: at least one worker
+  EXPECT_GE(resolve_jobs(-3), 1U);  // nonsense degrades to auto
+}
+
+TEST(Executor, RunsEveryIndexExactlyOnce) {
+  for (const unsigned jobs : {1U, 2U, 4U, 8U}) {
+    ParallelExecutor exec(jobs);
+    EXPECT_EQ(exec.jobs(), jobs);
+    std::vector<std::atomic<int>> hits(257);
+    exec.run_indexed(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Executor, SlotIndexedResultsAreDeterministic) {
+  const auto task = [](std::size_t i) {
+    return static_cast<double>(i * i) + 0.5;
+  };
+  std::vector<double> serial(1000);
+  ParallelExecutor one(1);
+  one.run_indexed(serial.size(),
+                  [&](std::size_t i) { serial[i] = task(i); });
+
+  std::vector<double> parallel(1000);
+  ParallelExecutor many(6);
+  many.run_indexed(parallel.size(),
+                   [&](std::size_t i) { parallel[i] = task(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Executor, EmptyBatchIsANoOp) {
+  ParallelExecutor exec(4);
+  bool ran = false;
+  exec.run_indexed(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(Executor, PoolIsReusableAcrossBatches) {
+  ParallelExecutor exec(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    exec.run_indexed(10, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(Executor, FirstExceptionPropagates) {
+  for (const unsigned jobs : {1U, 4U}) {
+    ParallelExecutor exec(jobs);
+    EXPECT_THROW(
+        exec.run_indexed(64,
+                         [](std::size_t i) {
+                           if (i == 13) throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool survives a failed batch.
+    std::atomic<int> ok{0};
+    exec.run_indexed(8, [&](std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 8);
+  }
+}
+
+TEST(Executor, SerialModeRunsInIndexOrder) {
+  ParallelExecutor exec(1);
+  std::vector<std::size_t> order;
+  exec.run_indexed(16, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0U);
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace snug::sim

@@ -97,8 +97,18 @@ TEST(Runner, EvalCacheDisabledWorks) {
   EvalCache cache("");
   EXPECT_FALSE(cache.enabled());
   std::vector<double> ipc;
-  EXPECT_FALSE(cache.load("k", ipc));
-  cache.store("k", {1.0});  // no-op, no crash
+  EXPECT_FALSE(cache.load("k", 1, ipc));
+  cache.store("k", 1, {1.0});  // no-op, no crash
+}
+
+TEST(Runner, CachedFlagReflectsOrigin) {
+  TempCacheDir tmp;
+  ExperimentRunner runner(paper_system_config(), tiny_scale(),
+                          tmp.dir.string());
+  const trace::WorkloadCombo combo{"t", 5, {"gzip", "mesa", "gzip", "mesa"}};
+  const schemes::SchemeSpec spec{schemes::SchemeKind::kL2P, 0};
+  EXPECT_FALSE(runner.run(combo, spec).cached);
+  EXPECT_TRUE(runner.run(combo, spec).cached);
 }
 
 }  // namespace
