@@ -4,9 +4,14 @@
 // renders it: per-class geometric means, C1..C6 plus AVG, normalised to
 // L2P.  Parallel runs are bit-identical to --jobs=1; a warm cache skips
 // simulation entirely.
+//
+// The campaign is described by a ScenarioSpec (sim/scenario.hpp): the
+// default is the paper's quad-core Table 4 machine, and --list-schemes /
+// --list-combos / --dry-run print the expanded grid without simulating.
 #pragma once
 
 #include <cstdio>
+#include <span>
 #include <string>
 
 #include "common/cli.hpp"
@@ -16,6 +21,42 @@
 #include "sim/figures.hpp"
 
 namespace snug::bench {
+
+/// Registers the --list-schemes / --list-combos / --dry-run flags every
+/// campaign bench shares and, when one was passed, prints the requested
+/// listing for each spec of the sweep (the figure benches pass exactly
+/// one; scaling_study one per topology).  Returns true when the caller
+/// should exit (a listing was printed).
+inline bool handle_grid_listings(CliArgs& args,
+                                 std::span<const sim::CampaignSpec> sweep) {
+  const bool list_schemes =
+      args.get_bool("list-schemes", false, "print the scheme grid and exit");
+  const bool list_combos = args.get_bool(
+      "list-combos", false, "print the expanded workload combos and exit");
+  const bool dry_run = args.get_bool(
+      "dry-run", false,
+      "print the expanded scenario x scheme grid and exit (no simulation)");
+  if (args.help_requested()) return false;
+  if (list_schemes && !sweep.empty()) {
+    // Every spec of a sweep runs the same scheme grid.
+    std::fputs(sim::describe_schemes(sweep.front().schemes).c_str(),
+               stdout);
+  }
+  if (list_combos) {
+    for (const auto& spec : sweep) {
+      if (sweep.size() > 1) {
+        std::printf("%s:\n", spec.scenario.name.c_str());
+      }
+      std::fputs(sim::describe_combos(spec.combos()).c_str(), stdout);
+    }
+  }
+  if (dry_run) {
+    for (const auto& spec : sweep) {
+      std::fputs(sim::describe_grid(spec).c_str(), stdout);
+    }
+  }
+  return list_schemes || list_combos || dry_run;
+}
 
 inline int run_figure_bench(int argc, char** argv, sim::Metric metric,
                             const char* figure_name) {
@@ -29,19 +70,23 @@ inline int run_figure_bench(int argc, char** argv, sim::Metric metric,
       "warmup-cycles", 0, "override warm-up cycles (0 = default scale)");
   const std::int64_t measure = args.get_int(
       "measure-cycles", 0, "override measured cycles (0 = default scale)");
+
+  sim::CampaignSpec spec = sim::CampaignSpec::paper();
+  if (warmup > 0) spec.scenario.scale.warmup_cycles =
+      static_cast<Cycle>(warmup);
+  if (measure > 0) spec.scenario.scale.measure_cycles =
+      static_cast<Cycle>(measure);
+
+  const bool listed = handle_grid_listings(args, {&spec, 1});
   if (args.help_requested()) {
     std::fputs(args.usage().c_str(), stdout);
     return 0;
   }
   args.check_unknown();
+  if (listed) return 0;
 
-  sim::RunScale scale = sim::default_run_scale();
-  if (warmup > 0) scale.warmup_cycles = static_cast<Cycle>(warmup);
-  if (measure > 0) scale.measure_cycles = static_cast<Cycle>(measure);
-
-  sim::ExperimentRunner runner(sim::paper_system_config(), scale, cache_dir);
-  sim::CampaignEngine engine(runner,
-                             sim::resolve_jobs(jobs));
+  sim::ExperimentRunner runner(spec.scenario, cache_dir);
+  sim::CampaignEngine engine(runner, sim::resolve_jobs(jobs));
   ProgressMeter meter(!quiet);
   engine.on_progress = [&meter](const sim::CampaignProgress& p) {
     meter.report(p.done, p.total, p.combo + " / " + p.scheme,
@@ -53,7 +98,7 @@ inline int run_figure_bench(int argc, char** argv, sim::Metric metric,
                  cache_dir.empty() ? "disabled" : cache_dir.c_str());
   }
 
-  const sim::CampaignResults results = engine.run(sim::CampaignSpec::paper());
+  const sim::CampaignResults results = engine.run(spec);
   const sim::FigureSeries fig = sim::assemble_figure(results, metric);
 
   std::printf("%s — %s\n", figure_name, sim::to_string(metric));

@@ -1,9 +1,11 @@
 // Compare L2 organisations on one workload combination — fanned out over
 // --jobs worker threads through the campaign engine — and print the
-// paper's three metrics.
+// paper's three metrics.  --scenario accepts any sim/scenario.hpp
+// directives, so the comparison also runs on non-paper topologies.
 //
 //   $ ./scheme_comparison --combo=4xammp --jobs=4
 //   $ ./scheme_comparison --combo=ammp+parser+swim+mesa --schemes=L2P,SNUG
+//   $ ./scheme_comparison --scenario="cores=8 workload=2A+1B+1C"
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -20,6 +22,9 @@ int main(int argc, char** argv) {
       args.get_string("combo", "4xammp", "workload combination (Table 8)");
   const std::string scheme_list = args.get_string(
       "schemes", "", "comma-separated scheme ids (default: full paper grid)");
+  const std::string scenario_text = args.get_string(
+      "scenario", "",
+      "scenario directives (sim/scenario.hpp); overrides --combo");
   const std::int64_t jobs = args.get_jobs();
   if (args.help_requested()) {
     std::fputs(args.usage().c_str(), stdout);
@@ -31,17 +36,27 @@ int main(int argc, char** argv) {
   }
   args.check_unknown();
 
-  const trace::WorkloadCombo* combo = nullptr;
-  for (const auto& c : trace::all_combos()) {
-    if (c.name == combo_name) combo = &c;
-  }
-  if (combo == nullptr) {
-    std::fprintf(stderr, "unknown combo '%s' (try --help)\n",
-                 combo_name.c_str());
-    return 1;
+  sim::CampaignSpec spec;
+  if (!scenario_text.empty()) {
+    std::string error;
+    if (!sim::parse_scenario(scenario_text, spec.scenario, error)) {
+      std::fprintf(stderr, "bad --scenario: %s\n", error.c_str());
+      return 1;
+    }
+  } else {
+    const trace::WorkloadCombo* combo = nullptr;
+    for (const auto& c : trace::all_combos()) {
+      if (c.name == combo_name) combo = &c;
+    }
+    if (combo == nullptr) {
+      std::fprintf(stderr, "unknown combo '%s' (try --help)\n",
+                   combo_name.c_str());
+      return 1;
+    }
+    spec.scenario = sim::ScenarioSpec::with_combos({*combo});
   }
 
-  sim::CampaignSpec spec = sim::CampaignSpec::single(*combo);
+  spec.schemes = schemes::paper_scheme_grid();
   if (!scheme_list.empty()) {
     // Declarative grid from the command line; L2P is forced in because
     // every metric is relative to the private-L2 baseline.
@@ -58,8 +73,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  sim::ExperimentRunner runner(sim::paper_system_config(),
-                               sim::default_run_scale());
+  sim::ExperimentRunner runner(spec.scenario);
   sim::CampaignEngine engine(runner, sim::resolve_jobs(jobs));
   ProgressMeter meter;
   engine.on_progress = [&meter](const sim::CampaignProgress& p) {
@@ -67,27 +81,32 @@ int main(int argc, char** argv) {
                  p.cached ? "(cached)" : "simulated");
   };
   const sim::CampaignResults campaign = engine.run(spec);
-  const sim::ComboResults& results = campaign.at(combo->name);
-  const auto& base = results.at("L2P").ipc;
 
-  std::printf("\n%s (class C%d): schemes vs the L2P baseline (%u worker(s))"
-              "\n\n",
-              combo->name.c_str(), combo->combo_class, engine.jobs());
-  TextTable t({"scheme", "throughput", "avg weighted speedup",
-               "fair speedup"});
-  for (const auto& [id, r] : results) {
-    t.add_row({id,
-               strf("%.4f", sim::metric_value(sim::Metric::kThroughputNorm,
-                                              r.ipc, base)),
-               strf("%.4f", sim::metric_value(sim::Metric::kAws, r.ipc,
-                                              base)),
-               strf("%.4f", sim::metric_value(sim::Metric::kFairSpeedup,
-                                              r.ipc, base))});
-  }
-  std::fputs(t.render().c_str(), stdout);
-  if (scheme_list.empty()) {
-    std::printf("\nCC(Best) for this combo (throughput): %.4f\n",
-                sim::cc_best_value(results, sim::Metric::kThroughputNorm));
+  // One table per combo — a multi-combo scenario (e.g. a pattern with
+  // several variants) reports every mix it simulated.
+  for (const auto& combo : spec.combos()) {
+    const sim::ComboResults& results = campaign.at(combo.name);
+    const auto& base = results.at("L2P").ipc;
+
+    std::printf("\n%s (class C%d): schemes vs the L2P baseline "
+                "(%u worker(s))\n\n",
+                combo.name.c_str(), combo.combo_class, engine.jobs());
+    TextTable t({"scheme", "throughput", "avg weighted speedup",
+                 "fair speedup"});
+    for (const auto& [id, r] : results) {
+      t.add_row({id,
+                 strf("%.4f", sim::metric_value(sim::Metric::kThroughputNorm,
+                                                r.ipc, base)),
+                 strf("%.4f", sim::metric_value(sim::Metric::kAws, r.ipc,
+                                                base)),
+                 strf("%.4f", sim::metric_value(sim::Metric::kFairSpeedup,
+                                                r.ipc, base))});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    if (scheme_list.empty()) {
+      std::printf("\nCC(Best) for this combo (throughput): %.4f\n",
+                  sim::cc_best_value(results, sim::Metric::kThroughputNorm));
+    }
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 // numbers, which is worse than a crash.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -13,6 +14,17 @@ namespace snug::detail {
                                         const char* file, int line) {
   std::fprintf(stderr, "snug: %s failed: %s at %s:%d\n", kind, expr, file,
                line);
+  std::abort();
+}
+
+[[noreturn]] [[gnu::format(printf, 3, 4)]] inline void fail_msg(
+    const char* file, int line, const char* fmt, ...) {
+  std::fprintf(stderr, "snug: error at %s:%d: ", file, line);
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
   std::abort();
 }
 
@@ -27,3 +39,10 @@ namespace snug::detail {
   ((expr) ? static_cast<void>(0)                                           \
           : ::snug::detail::require_failed("invariant", #expr, __FILE__,   \
                                            __LINE__))
+
+/// Precondition with a printf-style diagnostic — for configuration errors
+/// where the bare expression text would not tell the user what to fix
+/// (e.g. a combo whose benchmark count does not match the scenario).
+#define SNUG_REQUIRE_MSG(expr, ...)          \
+  ((expr) ? static_cast<void>(0)             \
+          : ::snug::detail::fail_msg(__FILE__, __LINE__, __VA_ARGS__))

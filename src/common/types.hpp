@@ -1,7 +1,8 @@
 // Fundamental value types shared by every snug-cc module.
 //
-// The simulator models a quad-core CMP whose private L2 caches cooperate
-// (paper Table 4).  All quantities are expressed in core clock cycles and
+// The simulator models an N-core CMP whose private L2 caches cooperate
+// (paper Table 4 is the quad-core instance; sim/scenario.hpp describes
+// other topologies).  All quantities are expressed in core clock cycles and
 // byte addresses; modules never pass raw integers across interfaces when a
 // named alias exists here.
 #pragma once

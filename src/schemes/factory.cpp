@@ -24,10 +24,51 @@ std::string SchemeSpec::id() const {
   return "?";
 }
 
+std::string validate_build_context(const SchemeSpec& spec,
+                                   const SchemeBuildContext& ctx) {
+  if (spec.kind == SchemeKind::kL2S) {
+    if (ctx.shared.num_cores < 1) {
+      return "L2S needs num_cores >= 1";
+    }
+    if (ctx.shared.l2.num_sets() < ctx.shared.num_cores) {
+      return strf("L2S banks by set %% num_cores, but the shared L2 has "
+                  "only %u sets for %u cores",
+                  ctx.shared.l2.num_sets(), ctx.shared.num_cores);
+    }
+    return "";
+  }
+  // Private organisations: cooperation needs at least one peer.
+  if (ctx.priv.num_cores < 2) {
+    return strf("%s cooperates across private slices and needs "
+                "num_cores >= 2 (got %u)",
+                spec.id().c_str(), ctx.priv.num_cores);
+  }
+  if (spec.kind == SchemeKind::kCC &&
+      (spec.cc_spill_prob < 0.0 || spec.cc_spill_prob > 1.0)) {
+    return strf("CC spill probability %.3f is outside [0, 1]",
+                spec.cc_spill_prob);
+  }
+  if (spec.kind == SchemeKind::kSNUG) {
+    if (ctx.snug.monitor.num_sets != ctx.priv.l2.num_sets()) {
+      return strf("SNUG's monitor must mirror the slice geometry: "
+                  "monitor has %u sets, the slice %u",
+                  ctx.snug.monitor.num_sets, ctx.priv.l2.num_sets());
+    }
+    // Index-bit flipping pairs each set with its last-bit buddy.
+    if (ctx.priv.l2.num_sets() < 2) {
+      return "SNUG's index-bit flipping needs slices with >= 2 sets";
+    }
+  }
+  return "";
+}
+
 std::unique_ptr<L2Scheme> make_scheme(const SchemeSpec& spec,
                                       const SchemeBuildContext& ctx,
                                       bus::SnoopBus& bus,
                                       dram::DramModel& dram) {
+  const std::string error = validate_build_context(spec, ctx);
+  SNUG_REQUIRE_MSG(error.empty(), "cannot build %s: %s",
+                   spec.id().c_str(), error.c_str());
   switch (spec.kind) {
     case SchemeKind::kL2P:
       return std::make_unique<L2P>(ctx.priv, bus, dram);

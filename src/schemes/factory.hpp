@@ -33,6 +33,17 @@ struct SchemeBuildContext {
   SnugConfig snug;
 };
 
+/// Checks that `ctx` can actually host the scheme `spec` names — core
+/// count bounds, slice/shared geometry consistency, SNUG's monitor
+/// mirroring the slice and the buddy-pair requirement of index-bit
+/// flipping.  Returns "" when buildable, else one clear sentence.  Works
+/// for any core count >= 2 (>= 1 for L2S); nothing here assumes the
+/// paper's quad-core machine.
+[[nodiscard]] std::string validate_build_context(
+    const SchemeSpec& spec, const SchemeBuildContext& ctx);
+
+/// Builds the scheme; aborts with the validate_build_context() message
+/// when the context cannot host it (configuration error, not a bug).
 [[nodiscard]] std::unique_ptr<L2Scheme> make_scheme(
     const SchemeSpec& spec, const SchemeBuildContext& ctx,
     bus::SnoopBus& bus, dram::DramModel& dram);

@@ -6,7 +6,8 @@ namespace snug::schemes {
 
 L2S::L2S(const SharedConfig& cfg, bus::SnoopBus& bus, dram::DramModel& dram)
     : cfg_(cfg), bus_(bus), dram_(dram) {
-  SNUG_REQUIRE(cfg.num_cores >= 1);
+  SNUG_REQUIRE_MSG(cfg.num_cores >= 1,
+                   "L2S needs num_cores >= 1 (got %u)", cfg.num_cores);
   shared_ = std::make_unique<cache::SetAssocCache>("L2S.shared", cfg.l2);
   wbb_ = std::make_unique<cache::WriteBackBuffer>(cfg.wbb);
 }

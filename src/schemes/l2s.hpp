@@ -1,6 +1,6 @@
 // L2S — the shared organisation: one address-interleaved L2 of aggregate
-// capacity (4 MB for the quad-core Table 4 machine), 4 banks selected by
-// the low set-index bits.  A core reaches its local bank in 10 cycles and
+// capacity (num_cores x slice; 4 MB for the quad-core Table 4 machine),
+// one bank per core selected by the low set-index bits.  A core reaches its local bank in 10 cycles and
 // a remote bank in 30 (NUCA, paper Section 1); banked shared caches use
 // their own interconnect, so remote-bank hops do not occupy the snoop bus
 // (DRAM traffic still does).

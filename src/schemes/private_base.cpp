@@ -14,7 +14,10 @@ PrivateSchemeBase::PrivateSchemeBase(std::string scheme_name,
       dram_(dram),
       rng_(Rng::derive_seed("scheme", Rng::derive_seed(scheme_name))),
       name_(std::move(scheme_name)) {
-  SNUG_REQUIRE(cfg.num_cores >= 2);
+  SNUG_REQUIRE_MSG(cfg.num_cores >= 2,
+                   "%s cooperates across private slices and needs "
+                   "num_cores >= 2 (got %u)",
+                   name_.c_str(), cfg.num_cores);
   for (CoreId c = 0; c < cfg.num_cores; ++c) {
     slices_.push_back(std::make_unique<cache::SetAssocCache>(
         strf("%s.l2[%u]", name_.c_str(), static_cast<unsigned>(c)),

@@ -5,31 +5,89 @@
 #include <mutex>
 
 #include "common/require.hpp"
+#include "common/str.hpp"
 
 namespace snug::sim {
 
 CampaignSpec CampaignSpec::paper() {
-  return {trace::all_combos(), schemes::paper_scheme_grid()};
+  return {ScenarioSpec::paper(), schemes::paper_scheme_grid()};
 }
 
 CampaignSpec CampaignSpec::single(trace::WorkloadCombo combo) {
-  return {{std::move(combo)}, schemes::paper_scheme_grid()};
+  return grid({std::move(combo)}, schemes::paper_scheme_grid());
+}
+
+CampaignSpec CampaignSpec::grid(std::vector<trace::WorkloadCombo> combos,
+                                std::vector<schemes::SchemeSpec> schemes) {
+  return {ScenarioSpec::with_combos(std::move(combos)),
+          std::move(schemes)};
+}
+
+std::string describe_schemes(
+    const std::vector<schemes::SchemeSpec>& schemes) {
+  std::string out;
+  for (const auto& scheme : schemes) {
+    out += "  " + scheme.id() + "\n";
+  }
+  return out;
+}
+
+std::string describe_combos(
+    const std::vector<trace::WorkloadCombo>& combos) {
+  std::string out;
+  for (const auto& combo : combos) {
+    out += strf("  %-28s C%d  [", combo.name.c_str(), combo.combo_class);
+    for (std::size_t i = 0; i < combo.benchmarks.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += combo.benchmarks[i];
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+std::string describe_grid(const CampaignSpec& spec) {
+  const std::vector<trace::WorkloadCombo> combos = spec.combos();
+  std::string out = "scenario " + spec.scenario.summary() + "\n";
+  out += strf("grid: %zu combo(s) x %zu scheme(s) = %zu task(s)\n",
+              combos.size(), spec.schemes.size(),
+              combos.size() * spec.schemes.size());
+  std::size_t i = 0;
+  for (const auto& combo : combos) {
+    for (const auto& scheme : spec.schemes) {
+      out += strf("  [%3zu] %s / %s\n", ++i, combo.name.c_str(),
+                  scheme.id().c_str());
+    }
+  }
+  return out;
 }
 
 CampaignEngine::CampaignEngine(ExperimentRunner& runner, unsigned jobs)
     : runner_(runner), exec_(jobs) {}
 
 CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
+  // The scenario must describe the machine this engine's runner was
+  // built from, or cached results would be attributed to the wrong
+  // topology.
+  SNUG_REQUIRE_MSG(
+      config_fingerprint(spec.scenario.system_config(),
+                         spec.scenario.scale) ==
+          config_fingerprint(runner_.config(), runner_.scale()),
+      "campaign scenario '%s' does not match the runner's machine — "
+      "construct the ExperimentRunner from the same ScenarioSpec",
+      spec.scenario.name.c_str());
+
+  const std::vector<trace::WorkloadCombo> combos = spec.combos();
   const std::size_t n_schemes = spec.schemes.size();
-  const std::size_t n_tasks = spec.size();
+  const std::size_t n_tasks = combos.size() * n_schemes;
   SNUG_REQUIRE(n_tasks > 0);
 
   // Task i = (combo i / n_schemes, scheme i % n_schemes); slots are
   // per-index so workers never contend on result storage.
   std::vector<RunResult> slots(n_tasks);
   std::vector<std::unique_ptr<std::atomic<std::size_t>>> remaining;
-  remaining.reserve(spec.combos.size());
-  for (std::size_t c = 0; c < spec.combos.size(); ++c) {
+  remaining.reserve(combos.size());
+  for (std::size_t c = 0; c < combos.size(); ++c) {
     remaining.push_back(
         std::make_unique<std::atomic<std::size_t>>(n_schemes));
   }
@@ -39,7 +97,7 @@ CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
 
   exec_.run_indexed(n_tasks, [&](std::size_t i) {
     const std::size_t c = i / n_schemes;
-    const auto& combo = spec.combos[c];
+    const auto& combo = combos[c];
     const auto& scheme = spec.schemes[i % n_schemes];
     slots[i] = runner_.run(combo, scheme);
 
@@ -61,12 +119,12 @@ CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
   });
 
   CampaignResults out;
-  for (std::size_t c = 0; c < spec.combos.size(); ++c) {
+  for (std::size_t c = 0; c < combos.size(); ++c) {
     ComboResults combo_results;
     for (std::size_t s = 0; s < n_schemes; ++s) {
       combo_results[spec.schemes[s].id()] = slots[c * n_schemes + s];
     }
-    out[spec.combos[c].name] = std::move(combo_results);
+    out[combos[c].name] = std::move(combo_results);
   }
   return out;
 }

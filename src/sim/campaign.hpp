@@ -18,6 +18,7 @@
 
 #include "sim/executor.hpp"
 #include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 
 namespace snug::sim {
 
@@ -27,22 +28,43 @@ using ComboResults = ExperimentRunner::ComboResults;
 /// Per-combo results for a whole campaign, keyed by combo name.
 using CampaignResults = std::map<std::string, ComboResults>;
 
-/// A declarative experiment grid: every combo runs under every scheme.
+/// A declarative experiment grid: one scenario (topology + scale +
+/// workload) crossed with a scheme list — every combo the scenario
+/// expands to runs under every scheme.
 struct CampaignSpec {
-  std::vector<trace::WorkloadCombo> combos;
+  ScenarioSpec scenario;
   std::vector<schemes::SchemeSpec> schemes;
 
-  [[nodiscard]] std::size_t size() const noexcept {
-    return combos.size() * schemes.size();
+  /// The scenario's combos, expanded to its core count (deterministic).
+  [[nodiscard]] std::vector<trace::WorkloadCombo> combos() const {
+    return scenario.combos();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return combos().size() * schemes.size();
   }
 
   /// The paper's evaluation campaign: all 21 Table-8 combos under the
-  /// full 9-scheme grid (Figs. 9-11).
+  /// full 9-scheme grid (Figs. 9-11) on the Table 4 quad-core machine.
   [[nodiscard]] static CampaignSpec paper();
 
   /// One combo under the full paper scheme grid.
   [[nodiscard]] static CampaignSpec single(trace::WorkloadCombo combo);
+
+  /// An explicit combo list on the paper machine (tests, ad-hoc grids).
+  [[nodiscard]] static CampaignSpec grid(
+      std::vector<trace::WorkloadCombo> combos,
+      std::vector<schemes::SchemeSpec> schemes);
 };
+
+/// Human-readable listings for the --list-schemes / --list-combos /
+/// --dry-run bench flags.
+[[nodiscard]] std::string describe_schemes(
+    const std::vector<schemes::SchemeSpec>& schemes);
+[[nodiscard]] std::string describe_combos(
+    const std::vector<trace::WorkloadCombo>& combos);
+/// The fully expanded scenario x scheme grid, one line per task.
+[[nodiscard]] std::string describe_grid(const CampaignSpec& spec);
 
 /// One progress tick, emitted after each (combo, scheme) task finishes.
 struct CampaignProgress {
@@ -71,7 +93,9 @@ class CampaignEngine {
       on_combo_done;
 
   /// Executes the grid and returns results keyed by combo name.  Every
-  /// entry is bit-identical to what a serial run would produce.
+  /// entry is bit-identical to what a serial run would produce.  The
+  /// spec's scenario must describe the same machine the runner was
+  /// built from (checked by fingerprint).
   [[nodiscard]] CampaignResults run(const CampaignSpec& spec);
 
   [[nodiscard]] unsigned jobs() const noexcept { return exec_.jobs(); }

@@ -61,27 +61,52 @@ RunScale default_run_scale() {
 std::uint64_t config_fingerprint(const SystemConfig& cfg,
                                  const RunScale& scale) {
   // Version salt: bump when the simulator's timing semantics change so
-  // stale cache entries are never reused.
-  const std::string descriptor = strf(
-      "v4|cores=%u|l2=%llu/%u/%u|l1=%llu/%u|bus=%u:%u|dram=%llu/%u/%llu|"
-      "snug=%llu/%llu/k%u/p%u|warm=%llu|meas=%llu|phase=%llu",
-      cfg.num_cores,
-      static_cast<unsigned long long>(
-          cfg.scheme_ctx.priv.l2.capacity_bytes()),
+  // stale cache entries are never reused.  v5 covers every SystemConfig
+  // field a ScenarioSpec can reach — full L1I/L1D and shared-L2
+  // geometries, the core pipeline, WBB, latencies and the scheme
+  // ablation knobs — not just the quad-core-era subset.
+  const auto u = [](auto v) { return static_cast<unsigned long long>(v); };
+  std::string descriptor = strf(
+      "v5|cores=%u|l2=%llu/%u/%u|l2s=%llu/%u|l1i=%llu/%u|l1d=%llu/%u|"
+      "bus=%u:%u:%u:%u|dram=%llu/%u/%llu",
+      cfg.num_cores, u(cfg.scheme_ctx.priv.l2.capacity_bytes()),
       cfg.scheme_ctx.priv.l2.associativity(),
       cfg.scheme_ctx.priv.l2.line_bytes(),
-      static_cast<unsigned long long>(cfg.l1d.capacity_bytes()),
-      cfg.l1d.associativity(), cfg.bus.width_bytes, cfg.bus.speed_ratio,
-      static_cast<unsigned long long>(cfg.dram.latency), cfg.dram.channels,
-      static_cast<unsigned long long>(cfg.dram.occupancy),
-      static_cast<unsigned long long>(
-          cfg.scheme_ctx.snug.epochs.identify_cycles),
-      static_cast<unsigned long long>(
-          cfg.scheme_ctx.snug.epochs.group_cycles),
+      u(cfg.scheme_ctx.shared.l2.capacity_bytes()),
+      cfg.scheme_ctx.shared.l2.associativity(),
+      u(cfg.l1i.capacity_bytes()), cfg.l1i.associativity(),
+      u(cfg.l1d.capacity_bytes()), cfg.l1d.associativity(),
+      cfg.bus.width_bytes, cfg.bus.speed_ratio, cfg.bus.arb_cycles,
+      cfg.bus.block_bytes, u(cfg.dram.latency), cfg.dram.channels,
+      u(cfg.dram.occupancy));
+  descriptor += strf(
+      "|core=%u/%u/%u/%llu|wbb=%u/%llu/%llu|lat=%llu/%llu/%llu/%llu/%llu",
+      cfg.core.issue_width, cfg.core.rob_entries, cfg.core.lsq_entries,
+      u(cfg.core.branch_penalty), cfg.scheme_ctx.priv.wbb.entries,
+      u(cfg.scheme_ctx.priv.wbb.drain_interval),
+      u(cfg.scheme_ctx.priv.wbb.full_penalty),
+      u(cfg.scheme_ctx.priv.lat.l1_hit), u(cfg.scheme_ctx.priv.lat.l2_local),
+      u(cfg.scheme_ctx.priv.lat.remote_lookup_cc),
+      u(cfg.scheme_ctx.priv.lat.remote_lookup_snug),
+      u(cfg.scheme_ctx.priv.lat.l2s_remote));
+  descriptor += strf(
+      "|snug=%llu/%llu/k%u/p%u/m%u/b%d/f%d/a%d|dsr=%u/%u/%d/%u/%u"
+      "|warm=%llu|meas=%llu|phase=%llu",
+      u(cfg.scheme_ctx.snug.epochs.identify_cycles),
+      u(cfg.scheme_ctx.snug.epochs.group_cycles),
       cfg.scheme_ctx.snug.monitor.k_bits, cfg.scheme_ctx.snug.monitor.p,
-      static_cast<unsigned long long>(scale.warmup_cycles),
-      static_cast<unsigned long long>(scale.measure_cycles),
-      static_cast<unsigned long long>(scale.phase_period_refs));
+      cfg.scheme_ctx.snug.monitor.num_sets,
+      cfg.scheme_ctx.snug.monitor.taker_biased ? 1 : 0,
+      cfg.scheme_ctx.snug.flip_enabled ? 1 : 0,
+      cfg.scheme_ctx.snug.monitor_always ? 1 : 0,
+      cfg.scheme_ctx.dsr.k_bits, cfg.scheme_ctx.dsr.p,
+      cfg.scheme_ctx.dsr.use_set_dueling ? 1 : 0,
+      cfg.scheme_ctx.dsr.leader_sets, cfg.scheme_ctx.dsr.psel_bits,
+      u(scale.warmup_cycles), u(scale.measure_cycles),
+      u(scale.phase_period_refs));
+  descriptor += strf("|dsre=%llu/%llu",
+                     u(cfg.scheme_ctx.dsr.epochs.identify_cycles),
+                     u(cfg.scheme_ctx.dsr.epochs.group_cycles));
   return Rng::derive_seed(descriptor);
 }
 

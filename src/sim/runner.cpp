@@ -128,6 +128,11 @@ ExperimentRunner::ExperimentRunner(const SystemConfig& cfg,
                                    std::string cache_dir)
     : cfg_(cfg), scale_(scale), cache_(std::move(cache_dir)) {}
 
+ExperimentRunner::ExperimentRunner(const ScenarioSpec& scenario,
+                                   std::string cache_dir)
+    : ExperimentRunner(scenario.system_config(), scenario.scale,
+                       std::move(cache_dir)) {}
+
 std::string ExperimentRunner::cache_key(
     const trace::WorkloadCombo& combo,
     const schemes::SchemeSpec& spec) const {

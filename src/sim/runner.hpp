@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/scenario.hpp"
 #include "sim/system.hpp"
 
 namespace snug::sim {
@@ -44,7 +45,12 @@ struct RunResult {
 class EvalCache {
  public:
   static constexpr std::uint32_t kMagic = 0x47554E53;  // "SNUG"
-  static constexpr std::uint32_t kVersion = 1;
+  /// v2: the scenario layer — run fingerprints now cover the full
+  /// topology (L1I/shared-L2 geometry, core pipeline, WBB, latency and
+  /// ablation knobs) and generated-mix parameters.  Pre-scenario v1
+  /// entries fingerprinted only a quad-core-era subset, so they are
+  /// rejected wholesale by the version check.
+  static constexpr std::uint32_t kVersion = 2;
   /// Hard upper bound on plausible per-core entries; anything larger is
   /// treated as corruption.
   static constexpr std::uint32_t kMaxEntries = 4096;
@@ -85,6 +91,11 @@ class ExperimentRunner {
  public:
   ExperimentRunner(const SystemConfig& cfg, const RunScale& scale,
                    std::string cache_dir = default_cache_dir());
+
+  /// Builds the runner's machine and scale from a scenario spec; aborts
+  /// with the spec's validate() message on an unbuildable scenario.
+  explicit ExperimentRunner(const ScenarioSpec& scenario,
+                            std::string cache_dir = default_cache_dir());
 
   /// Runs (or loads) one combo under one scheme.  Safe to call from many
   /// threads concurrently; each call simulates on its own CmpSystem.

@@ -13,7 +13,24 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
                      const trace::WorkloadCombo& combo,
                      const RunScale& scale)
     : cfg_(cfg) {
-  SNUG_REQUIRE(combo.benchmarks.size() == cfg.num_cores);
+  SNUG_REQUIRE_MSG(
+      combo.benchmarks.size() == cfg.num_cores,
+      "workload combo '%s' provides %zu benchmark(s) but the machine has "
+      "%u cores — pick a combo matching the scenario's core count, or "
+      "generate one with a class pattern (e.g. workload=2A+1B+1C)",
+      combo.name.c_str(), combo.benchmarks.size(), cfg.num_cores);
+  build(spec, combo, scale);
+}
+
+CmpSystem::CmpSystem(const ScenarioSpec& scenario,
+                     const schemes::SchemeSpec& spec,
+                     const trace::WorkloadCombo& combo)
+    : CmpSystem(scenario.system_config(), spec, combo, scenario.scale) {}
+
+void CmpSystem::build(const schemes::SchemeSpec& spec,
+                      const trace::WorkloadCombo& combo,
+                      const RunScale& scale) {
+  const SystemConfig& cfg = cfg_;
   bus_ = std::make_unique<bus::SnoopBus>(cfg.bus);
   dram_ = std::make_unique<dram::DramModel>(cfg.dram);
   scheme_ = schemes::make_scheme(spec, cfg.scheme_ctx, *bus_, *dram_);

@@ -1,5 +1,5 @@
-// CmpSystem — the assembled quad-core machine: cores, private L1I/L1D,
-// an L2 organisation (scheme), the snoop bus and DRAM, driven by synthetic
+// CmpSystem — the assembled N-core machine: cores, private L1I/L1D, an
+// L2 organisation (scheme), the snoop bus and DRAM, driven by synthetic
 // instruction streams.  Implements cpu::MemoryPort: every L1 miss is
 // routed through the scheme, which updates all state synchronously and
 // returns the completion cycle.
@@ -11,6 +11,7 @@
 #include "cpu/core.hpp"
 #include "schemes/factory.hpp"
 #include "sim/config.hpp"
+#include "sim/scenario.hpp"
 #include "trace/synth_stream.hpp"
 #include "trace/workloads.hpp"
 
@@ -20,6 +21,10 @@ class CmpSystem final : public cpu::MemoryPort {
  public:
   CmpSystem(const SystemConfig& cfg, const schemes::SchemeSpec& spec,
             const trace::WorkloadCombo& combo, const RunScale& scale);
+
+  /// The machine a scenario describes, running `combo` under `spec`.
+  CmpSystem(const ScenarioSpec& scenario, const schemes::SchemeSpec& spec,
+            const trace::WorkloadCombo& combo);
 
   /// Advances the machine by `cycles` core cycles.
   void run(Cycle cycles);
@@ -47,6 +52,9 @@ class CmpSystem final : public cpu::MemoryPort {
   [[nodiscard]] Cycle now() const noexcept { return now_; }
 
  private:
+  void build(const schemes::SchemeSpec& spec,
+             const trace::WorkloadCombo& combo, const RunScale& scale);
+
   SystemConfig cfg_;
   std::unique_ptr<bus::SnoopBus> bus_;
   std::unique_ptr<dram::DramModel> dram_;

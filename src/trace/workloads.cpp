@@ -1,6 +1,7 @@
 #include "trace/workloads.hpp"
 
 #include "common/require.hpp"
+#include "common/str.hpp"
 #include "trace/profile.hpp"
 
 namespace snug::trace {
@@ -11,7 +12,6 @@ WorkloadCombo stress(int cls, const std::string& bench) {
 }
 
 WorkloadCombo mix(int cls, std::vector<std::string> benches) {
-  SNUG_REQUIRE(benches.size() == 4);
   std::string name = benches[0];
   for (std::size_t i = 1; i < benches.size(); ++i) name += "+" + benches[i];
   return {std::move(name), cls, std::move(benches)};
@@ -77,6 +77,8 @@ std::vector<WorkloadCombo> combos_in_class(int combo_class) {
 
 const char* class_description(int combo_class) {
   switch (combo_class) {
+    case 0:
+      return "custom / generated mix";
     case 1:
       return "4 identical class-A apps (stress test)";
     case 2:
@@ -92,6 +94,132 @@ const char* class_description(int combo_class) {
     default:
       return "?";
   }
+}
+
+// ------------------------------------------------------ N-core generation
+
+std::uint32_t MixPattern::total_count() const {
+  std::uint32_t total = 0;
+  for (const auto& term : terms) total += term.count;
+  return total;
+}
+
+std::string MixPattern::to_string() const {
+  std::string out;
+  for (const auto& term : terms) {
+    if (!out.empty()) out += '+';
+    out += strf("%u%c", term.count, term.app_class);
+  }
+  return out;
+}
+
+bool parse_mix_pattern(const std::string& text, MixPattern& out,
+                       std::string& error) {
+  MixPattern pattern;
+  for (const auto& token : split(text, '+')) {
+    if (token.empty()) {
+      error = "empty term in mix pattern '" + text + "'";
+      return false;
+    }
+    std::size_t i = 0;
+    while (i < token.size() && token[i] >= '0' && token[i] <= '9') ++i;
+    if (i + 1 != token.size()) {
+      error = "mix term '" + token +
+              "' is not <count><class> (e.g. \"2A\"); the class is one "
+              "letter of A-D";
+      return false;
+    }
+    const char cls = token[i];
+    if (cls < 'A' || cls > 'D') {
+      error = strf("unknown application class '%c' in mix term '%s' "
+                   "(Table 6 classes are A-D)",
+                   cls, token.c_str());
+      return false;
+    }
+    std::uint32_t count = 1;
+    if (i > 0) {
+      if (i > 3) {
+        error = "implausible count in mix term '" + token + "'";
+        return false;
+      }
+      count = static_cast<std::uint32_t>(std::stoul(token.substr(0, i)));
+      if (count == 0) {
+        error = "zero count in mix term '" + token + "'";
+        return false;
+      }
+    }
+    pattern.terms.push_back({count, cls});
+  }
+  if (pattern.terms.empty()) {
+    error = "mix pattern is empty";
+    return false;
+  }
+  out = std::move(pattern);
+  return true;
+}
+
+bool expand_mix_pattern(const MixPattern& pattern, std::uint32_t num_cores,
+                        std::uint32_t variant, WorkloadCombo& out,
+                        std::string& error) {
+  const std::uint32_t total = pattern.total_count();
+  SNUG_REQUIRE(total > 0);
+  if (num_cores == 0 || num_cores % total != 0) {
+    error = strf("mix pattern '%s' covers %u cores per repetition, which "
+                 "does not divide the scenario's %u cores",
+                 pattern.to_string().c_str(), total, num_cores);
+    return false;
+  }
+  const std::uint32_t factor = num_cores / total;
+
+  WorkloadCombo combo;
+  combo.combo_class = 0;
+  combo.name = strf("%s@%uc#%u", pattern.to_string().c_str(), num_cores,
+                    variant);
+  combo.benchmarks.reserve(num_cores);
+  for (const auto& term : pattern.terms) {
+    const std::vector<std::string> roster =
+        benchmarks_in_class(term.app_class);
+    SNUG_REQUIRE(!roster.empty());
+    // Round-robin from a variant-dependent offset: successive variants
+    // rotate every class roster, and multiple slots of one class pick
+    // distinct applications while the roster lasts (Table 7's "different
+    // applications from class A" rule, generalised).
+    for (std::uint32_t slot = 0; slot < term.count * factor; ++slot) {
+      combo.benchmarks.push_back(
+          roster[(variant + slot) % roster.size()]);
+    }
+  }
+  out = std::move(combo);
+  return true;
+}
+
+std::vector<WorkloadCombo> generate_mix_combos(const MixPattern& pattern,
+                                               std::uint32_t num_cores,
+                                               std::uint32_t count) {
+  std::vector<WorkloadCombo> out;
+  out.reserve(count);
+  for (std::uint32_t v = 0; v < count; ++v) {
+    WorkloadCombo combo;
+    std::string error;
+    SNUG_REQUIRE_MSG(
+        expand_mix_pattern(pattern, num_cores, v, combo, error), "%s",
+        error.c_str());
+    out.push_back(std::move(combo));
+  }
+  return out;
+}
+
+WorkloadCombo custom_combo(const std::vector<std::string>& benchmarks) {
+  SNUG_REQUIRE(!benchmarks.empty());
+  WorkloadCombo combo;
+  combo.combo_class = 0;
+  for (const auto& b : benchmarks) {
+    (void)profile_for(b);  // aborts on unknown names
+    if (!combo.name.empty()) combo.name += '+';
+    combo.name += b;
+  }
+  combo.benchmarks = benchmarks;
+  return combo;
 }
 
 }  // namespace snug::trace

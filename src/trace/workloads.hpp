@@ -1,4 +1,5 @@
-// The paper's workload combinations (Tables 6-8).
+// Workload combinations: the paper's fixed quad-core tables (Tables 6-8)
+// plus an N-core combo generator.
 //
 // Six classes of quad-core multiprogrammed mixes:
 //   C1  stress test: 4 identical class-A applications (no data sharing)
@@ -8,6 +9,11 @@
 //   C5  2 x class A + 2 x class D
 //   C6  2 x class A + 1 x class B + 1 x class D
 // 21 combinations in total (Table 8).
+//
+// Beyond the paper, a class-pattern mix such as "2A+1B+1C" can be expanded
+// to any core count whose size the pattern divides: "2A+1B+1C" at 8 cores
+// becomes 4xA + 2xB + 2xC, with concrete benchmarks drawn round-robin from
+// each class roster so variants are deterministic and distinct.
 #pragma once
 
 #include <cstdint>
@@ -17,18 +23,65 @@
 namespace snug::trace {
 
 struct WorkloadCombo {
-  std::string name;                   ///< e.g. "4xammp" or "ammp+parser+bzip2+mcf"
-  int combo_class = 1;                ///< 1..6
-  std::vector<std::string> benchmarks;  ///< one per core, size 4
+  std::string name;  ///< e.g. "4xammp" or "ammp+parser+bzip2+mcf"
+  int combo_class = 1;  ///< 1..6 (Table 7); 0 = custom / generated
+  std::vector<std::string> benchmarks;  ///< one per core
 };
 
-/// All 21 combinations of Table 8, in class order.
+/// All 21 combinations of Table 8, in class order (quad-core).
 [[nodiscard]] const std::vector<WorkloadCombo>& all_combos();
 
 /// The combinations belonging to one class (1..6).
 [[nodiscard]] std::vector<WorkloadCombo> combos_in_class(int combo_class);
 
-/// Short textual description of a class (Table 7).
+/// Short textual description of a class (Table 7); 0 = custom.
 [[nodiscard]] const char* class_description(int combo_class);
+
+// ---------------------------------------------------- N-core generation
+
+/// One term of a class-pattern mix: `count` applications of `app_class`.
+struct MixTerm {
+  std::uint32_t count = 1;
+  char app_class = 'A';  ///< Table 6 class: 'A', 'B', 'C' or 'D'
+};
+
+/// A class-pattern mix, e.g. {2A, 1B, 1C}.  Patterns describe *ratios*:
+/// expansion scales every count by num_cores / total_count().
+struct MixPattern {
+  std::vector<MixTerm> terms;
+
+  [[nodiscard]] std::uint32_t total_count() const;
+  /// Canonical text form, e.g. "2A+1B+1C" (parse round-trips it).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses "2A+1B+1C" (one or more <count><class> terms joined by '+';
+/// the count may be omitted for 1, e.g. "1A+1C" == "A+C").  On failure
+/// returns false and describes the problem in `error`.
+[[nodiscard]] bool parse_mix_pattern(const std::string& text,
+                                     MixPattern& out, std::string& error);
+
+/// Expands `pattern` to a `num_cores`-wide combo.  The pattern's total
+/// must divide num_cores; each class contributes count * (num_cores /
+/// total) cores, filled round-robin from the class roster starting at
+/// offset `variant` — so successive variants are distinct, deterministic
+/// mixes.  Returns false with a diagnostic in `error` when the pattern
+/// does not fit the core count.
+[[nodiscard]] bool expand_mix_pattern(const MixPattern& pattern,
+                                      std::uint32_t num_cores,
+                                      std::uint32_t variant,
+                                      WorkloadCombo& out,
+                                      std::string& error);
+
+/// `count` successive variants of `pattern` expanded to `num_cores`.
+[[nodiscard]] std::vector<WorkloadCombo> generate_mix_combos(
+    const MixPattern& pattern, std::uint32_t num_cores,
+    std::uint32_t count);
+
+/// A custom combo from explicit per-core benchmark names (one per core,
+/// any core count >= 1).  Aborts on unknown benchmark names — typos must
+/// not silently degrade an experiment.  combo_class is 0 (custom).
+[[nodiscard]] WorkloadCombo custom_combo(
+    const std::vector<std::string>& benchmarks);
 
 }  // namespace snug::trace

@@ -8,7 +8,9 @@
 //   P5  a retrieved block is always the block that was requested
 //       (no aliasing through the f bit).
 //
-// Randomised, seed-parameterised sweeps (TEST_P) over CC, DSR and SNUG.
+// Randomised, seed-parameterised sweeps (TEST_P) over CC, DSR and SNUG,
+// crossed with 2-, 4- and 8-core machines — the invariants are scale
+// free, so N-core generalisation must not bend them.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -29,6 +31,7 @@ struct SweepSpec {
   SchemeKind kind;
   double cc_prob;
   std::uint64_t seed;
+  std::uint32_t num_cores = 4;
 };
 
 class CooperativePropertyTest : public ::testing::TestWithParam<SweepSpec> {
@@ -36,9 +39,10 @@ class CooperativePropertyTest : public ::testing::TestWithParam<SweepSpec> {
 
 TEST_P(CooperativePropertyTest, InvariantsHoldUnderRandomTraffic) {
   const SweepSpec spec = GetParam();
+  const std::uint32_t cores = spec.num_cores;
   bus::SnoopBus bus{bus::BusConfig{}};
   dram::DramModel dram{dram::DramConfig{}};
-  SchemeBuildContext ctx = small_context();
+  SchemeBuildContext ctx = small_context(cores);
   const auto scheme = make_scheme({spec.kind, spec.cc_prob}, ctx, bus, dram);
 
   Rng rng(spec.seed);
@@ -49,7 +53,7 @@ TEST_P(CooperativePropertyTest, InvariantsHoldUnderRandomTraffic) {
   for (int i = 0; i < 60'000; ++i) {
     now += 20 + rng.below(60);
     scheme->tick(now);
-    const auto core = static_cast<CoreId>(rng.below(4));
+    const auto core = static_cast<CoreId>(rng.below(cores));
     const auto set = static_cast<SetIndex>(rng.below(geo.num_sets()));
     const std::uint64_t depth = 2 + (set % 4) * 3;  // 2, 5, 8 or 11 blocks
     const std::uint64_t uid = rng.below(depth);
@@ -60,7 +64,7 @@ TEST_P(CooperativePropertyTest, InvariantsHoldUnderRandomTraffic) {
   // P1 + P2 + P3 over the whole simulated address space.
   auto* priv = dynamic_cast<PrivateSchemeBase*>(scheme.get());
   ASSERT_NE(priv, nullptr);
-  for (CoreId c = 0; c < 4; ++c) {
+  for (CoreId c = 0; c < cores; ++c) {
     for (SetIndex s = 0; s < geo.num_sets(); ++s) {
       for (std::uint64_t uid = 0; uid < 12; ++uid) {
         const Addr a = block_addr(geo, c, s, uid);
@@ -70,7 +74,7 @@ TEST_P(CooperativePropertyTest, InvariantsHoldUnderRandomTraffic) {
       }
     }
   }
-  for (CoreId c = 0; c < 4; ++c) {
+  for (CoreId c = 0; c < cores; ++c) {
     const auto& slice = priv->slice(c);
     for (SetIndex s = 0; s < geo.num_sets(); ++s) {
       const auto& set = slice.set(s);
@@ -88,7 +92,7 @@ TEST_P(CooperativePropertyTest, InvariantsHoldUnderRandomTraffic) {
     EXPECT_EQ(snug->cc_lines_in_taker_sets(), 0U) << "P4";
   }
   // P5: retrieving any hosted block returns it home and removes the copy.
-  for (CoreId c = 0; c < 4; ++c) {
+  for (CoreId c = 0; c < cores; ++c) {
     for (SetIndex s = 0; s < 8; ++s) {
       for (std::uint64_t uid = 0; uid < 12; ++uid) {
         const Addr a = block_addr(geo, c, s, uid);
@@ -107,14 +111,22 @@ TEST_P(CooperativePropertyTest, InvariantsHoldUnderRandomTraffic) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, CooperativePropertyTest,
-    ::testing::Values(SweepSpec{"cc100_s1", SchemeKind::kCC, 1.0, 1},
-                      SweepSpec{"cc50_s2", SchemeKind::kCC, 0.5, 2},
-                      SweepSpec{"cc25_s3", SchemeKind::kCC, 0.25, 3},
-                      SweepSpec{"dsr_s4", SchemeKind::kDSR, 0.0, 4},
-                      SweepSpec{"dsr_s5", SchemeKind::kDSR, 0.0, 5},
-                      SweepSpec{"snug_s6", SchemeKind::kSNUG, 0.0, 6},
-                      SweepSpec{"snug_s7", SchemeKind::kSNUG, 0.0, 7},
-                      SweepSpec{"snug_s8", SchemeKind::kSNUG, 0.0, 8}),
+    ::testing::Values(
+        SweepSpec{"cc100_s1", SchemeKind::kCC, 1.0, 1},
+        SweepSpec{"cc50_s2", SchemeKind::kCC, 0.5, 2},
+        SweepSpec{"cc25_s3", SchemeKind::kCC, 0.25, 3},
+        SweepSpec{"dsr_s4", SchemeKind::kDSR, 0.0, 4},
+        SweepSpec{"dsr_s5", SchemeKind::kDSR, 0.0, 5},
+        SweepSpec{"snug_s6", SchemeKind::kSNUG, 0.0, 6},
+        SweepSpec{"snug_s7", SchemeKind::kSNUG, 0.0, 7},
+        SweepSpec{"snug_s8", SchemeKind::kSNUG, 0.0, 8},
+        // N-core sweeps: the same invariants on 2- and 8-slice machines.
+        SweepSpec{"cc100_2c", SchemeKind::kCC, 1.0, 9, 2},
+        SweepSpec{"cc50_8c", SchemeKind::kCC, 0.5, 10, 8},
+        SweepSpec{"dsr_2c", SchemeKind::kDSR, 0.0, 11, 2},
+        SweepSpec{"dsr_8c", SchemeKind::kDSR, 0.0, 12, 8},
+        SweepSpec{"snug_2c", SchemeKind::kSNUG, 0.0, 13, 2},
+        SweepSpec{"snug_8c", SchemeKind::kSNUG, 0.0, 14, 8}),
     [](const ::testing::TestParamInfo<SweepSpec>& param_info) {
       return param_info.param.name;
     });

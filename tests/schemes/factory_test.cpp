@@ -47,6 +47,58 @@ TEST(Factory, ParseSchemeIdRejectsGarbage) {
   EXPECT_FALSE(parse_scheme_id("snug", out));
 }
 
+TEST(Factory, BuildsEveryKindOnNcoreContexts) {
+  bus::SnoopBus bus{bus::BusConfig{}};
+  dram::DramModel dram{dram::DramConfig{}};
+  for (const std::uint32_t cores : {2U, 8U, 16U}) {
+    const SchemeBuildContext ctx = testutil::small_context(cores);
+    for (const auto& spec : paper_scheme_grid()) {
+      const auto scheme = make_scheme(spec, ctx, bus, dram);
+      ASSERT_NE(scheme, nullptr) << spec.id() << " @ " << cores;
+      EXPECT_EQ(scheme->num_slices(),
+                spec.kind == SchemeKind::kL2S ? 1U : cores)
+          << spec.id();
+    }
+  }
+}
+
+TEST(Factory, ValidateBuildContextCatchesMisconfiguration) {
+  // A buildable context validates clean for the whole grid.
+  const SchemeBuildContext good = testutil::small_context();
+  for (const auto& spec : paper_scheme_grid()) {
+    EXPECT_EQ(validate_build_context(spec, good), "") << spec.id();
+  }
+
+  // Cooperation needs a peer.
+  SchemeBuildContext ctx = testutil::small_context();
+  ctx.priv.num_cores = 1;
+  const std::string solo =
+      validate_build_context({SchemeKind::kSNUG, 0.0}, ctx);
+  EXPECT_NE(solo.find("num_cores >= 2"), std::string::npos);
+
+  // CC spill probability is a probability.
+  EXPECT_NE(validate_build_context({SchemeKind::kCC, 1.5},
+                                   testutil::small_context())
+                .find("outside [0, 1]"),
+            std::string::npos);
+
+  // SNUG's monitor must mirror the slice geometry.
+  ctx = testutil::small_context();
+  ctx.snug.monitor.num_sets = ctx.priv.l2.num_sets() * 2;
+  EXPECT_NE(validate_build_context({SchemeKind::kSNUG, 0.0}, ctx)
+                .find("mirror"),
+            std::string::npos);
+  // ...but only SNUG cares.
+  EXPECT_EQ(validate_build_context({SchemeKind::kCC, 0.5}, ctx), "");
+
+  // L2S needs at least one set per bank.
+  ctx = testutil::small_context();
+  ctx.shared.num_cores = 256;
+  EXPECT_NE(validate_build_context({SchemeKind::kL2S, 0.0}, ctx)
+                .find("banks"),
+            std::string::npos);
+}
+
 TEST(Factory, PaperGridContents) {
   const auto grid = paper_scheme_grid();
   // L2P + L2S + 5 CC probabilities + DSR + SNUG = 9 runs per combo.

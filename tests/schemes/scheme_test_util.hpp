@@ -1,5 +1,5 @@
-// Shared fixtures for scheme tests: a small 4-slice machine (32 sets,
-// 4 ways) with the paper's bus/DRAM timing.
+// Shared fixtures for scheme tests: a small N-slice machine (32 sets,
+// 4 ways; 4 slices by default) with the paper's bus/DRAM timing.
 #pragma once
 
 #include "bus/snoop_bus.hpp"
@@ -9,18 +9,19 @@
 
 namespace snug::schemes::testutil {
 
-inline PrivateConfig small_private() {
+inline PrivateConfig small_private(std::uint32_t num_cores = 4) {
   PrivateConfig cfg;
-  cfg.num_cores = 4;
+  cfg.num_cores = num_cores;
   cfg.l2 = cache::CacheGeometry(32ULL * 4 * 64, 4, 64);  // 32 sets, 4-way
   return cfg;
 }
 
-inline SchemeBuildContext small_context() {
+inline SchemeBuildContext small_context(std::uint32_t num_cores = 4) {
   SchemeBuildContext ctx;
-  ctx.priv = small_private();
-  ctx.shared.num_cores = 4;
-  ctx.shared.l2 = cache::CacheGeometry(4ULL * 32 * 4 * 64, 4, 64);
+  ctx.priv = small_private(num_cores);
+  ctx.shared.num_cores = num_cores;
+  ctx.shared.l2 =
+      cache::CacheGeometry(num_cores * 32ULL * 4 * 64, 4, 64);
   ctx.snug.monitor.num_sets = ctx.priv.l2.num_sets();
   ctx.snug.monitor.assoc = ctx.priv.l2.associativity();
   // Long enough that a test's training sequence (hundreds of touches at

@@ -1,12 +1,15 @@
 // Campaign engine tests: the ISSUE-1 acceptance property — a parallel
-// campaign is bit-identical to the serial one — plus warm-cache reruns
-// and the progress / per-combo aggregation hooks.
+// campaign is bit-identical to the serial one — plus warm-cache reruns,
+// the progress / per-combo aggregation hooks, and (ISSUE 2) the same
+// equivalence on 2-, 4- and 8-core scenarios.
 #include "sim/campaign.hpp"
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <set>
+
+#include "common/str.hpp"
 
 namespace snug::sim {
 namespace {
@@ -21,14 +24,15 @@ RunScale tiny_scale() {
 
 // A 2-combo x 3-scheme grid that is cheap enough to simulate twice.
 CampaignSpec small_grid() {
-  CampaignSpec spec;
-  spec.combos = {
-      {"mixA", 3, {"gzip", "mesa", "gzip", "mesa"}},
-      {"mixB", 5, {"ammp", "gzip", "mesa", "ammp"}},
-  };
-  spec.schemes = {{schemes::SchemeKind::kL2P, 0.0},
-                  {schemes::SchemeKind::kCC, 0.5},
-                  {schemes::SchemeKind::kSNUG, 0.0}};
+  CampaignSpec spec = CampaignSpec::grid(
+      {
+          {"mixA", 3, {"gzip", "mesa", "gzip", "mesa"}},
+          {"mixB", 5, {"ammp", "gzip", "mesa", "ammp"}},
+      },
+      {{schemes::SchemeKind::kL2P, 0.0},
+       {schemes::SchemeKind::kCC, 0.5},
+       {schemes::SchemeKind::kSNUG, 0.0}});
+  spec.scenario.scale = tiny_scale();
   return spec;
 }
 
@@ -41,27 +45,7 @@ struct TempCacheDir {
   std::filesystem::path dir;
 };
 
-TEST(Campaign, PaperSpecCoversFullGrid) {
-  const CampaignSpec spec = CampaignSpec::paper();
-  EXPECT_EQ(spec.combos.size(), 21U);
-  EXPECT_EQ(spec.schemes.size(), 9U);
-  EXPECT_EQ(spec.size(), 189U);
-}
-
-TEST(Campaign, ParallelIsBitIdenticalToSerial) {
-  const CampaignSpec spec = small_grid();
-
-  // Separate runners with caching disabled: both paths must *simulate*
-  // everything, so equality proves determinism rather than cache reuse.
-  ExperimentRunner serial_runner(paper_system_config(), tiny_scale(), "");
-  CampaignEngine serial(serial_runner, 1);
-  const CampaignResults a = serial.run(spec);
-
-  ExperimentRunner parallel_runner(paper_system_config(), tiny_scale(), "");
-  CampaignEngine parallel(parallel_runner, 4);
-  EXPECT_EQ(parallel.jobs(), 4U);
-  const CampaignResults b = parallel.run(spec);
-
+void expect_identical(const CampaignResults& a, const CampaignResults& b) {
   ASSERT_EQ(a.size(), b.size());
   for (const auto& [combo, combo_results] : a) {
     const auto it = b.find(combo);
@@ -78,11 +62,76 @@ TEST(Campaign, ParallelIsBitIdenticalToSerial) {
   }
 }
 
+TEST(Campaign, PaperSpecCoversFullGrid) {
+  const CampaignSpec spec = CampaignSpec::paper();
+  EXPECT_EQ(spec.combos().size(), 21U);
+  EXPECT_EQ(spec.schemes.size(), 9U);
+  EXPECT_EQ(spec.size(), 189U);
+}
+
+TEST(Campaign, ParallelIsBitIdenticalToSerial) {
+  const CampaignSpec spec = small_grid();
+
+  // Separate runners with caching disabled: both paths must *simulate*
+  // everything, so equality proves determinism rather than cache reuse.
+  ExperimentRunner serial_runner(spec.scenario, "");
+  CampaignEngine serial(serial_runner, 1);
+  const CampaignResults a = serial.run(spec);
+
+  ExperimentRunner parallel_runner(spec.scenario, "");
+  CampaignEngine parallel(parallel_runner, 4);
+  EXPECT_EQ(parallel.jobs(), 4U);
+  const CampaignResults b = parallel.run(spec);
+
+  expect_identical(a, b);
+}
+
+// ISSUE-2 acceptance: the equivalence holds on every topology, not just
+// the paper's quad-core machine — generated mixes expanded to 2, 4 and
+// 8 cores.
+class CampaignScenarioEquivalence
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CampaignScenarioEquivalence, ParallelMatchesSerialOnNcores) {
+  const std::uint32_t cores = GetParam();
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_scenario(
+      strf("name=%uc cores=%u workload=1A+1C variants=1 "
+           "warmup-cycles=10000 measure-cycles=40000",
+           cores, cores),
+      spec.scenario, error))
+      << error;
+  spec.schemes = {{schemes::SchemeKind::kL2P, 0.0},
+                  {schemes::SchemeKind::kSNUG, 0.0}};
+
+  ExperimentRunner serial_runner(spec.scenario, "");
+  CampaignEngine serial(serial_runner, 1);
+  const CampaignResults a = serial.run(spec);
+
+  ExperimentRunner parallel_runner(spec.scenario, "");
+  CampaignEngine parallel(parallel_runner, 4);
+  const CampaignResults b = parallel.run(spec);
+
+  expect_identical(a, b);
+  // Per-core IPC vectors really are N wide.
+  for (const auto& [combo, combo_results] : a) {
+    for (const auto& [scheme, result] : combo_results) {
+      EXPECT_EQ(result.ipc.size(), cores) << combo << "/" << scheme;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, CampaignScenarioEquivalence,
+                         ::testing::Values(2U, 4U, 8U),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& p) {
+                           return std::to_string(p.param) + "cores";
+                         });
+
 TEST(Campaign, WarmCacheRerunSkipsAllSimulation) {
   TempCacheDir tmp("snug_campaign_warm_cache");
   const CampaignSpec spec = small_grid();
-  ExperimentRunner runner(paper_system_config(), tiny_scale(),
-                          tmp.dir.string());
+  ExperimentRunner runner(spec.scenario, tmp.dir.string());
 
   CampaignEngine cold(runner, 2);
   std::size_t cold_hits = 0;
@@ -100,20 +149,12 @@ TEST(Campaign, WarmCacheRerunSkipsAllSimulation) {
   const CampaignResults second = warm.run(spec);
   EXPECT_EQ(warm_hits, spec.size());  // every task served from cache
 
-  for (const auto& [combo, combo_results] : first) {
-    for (const auto& [scheme, result] : combo_results) {
-      const auto& reloaded = second.at(combo).at(scheme);
-      ASSERT_EQ(result.ipc.size(), reloaded.ipc.size());
-      for (std::size_t i = 0; i < result.ipc.size(); ++i) {
-        EXPECT_EQ(result.ipc[i], reloaded.ipc[i]);
-      }
-    }
-  }
+  expect_identical(first, second);
 }
 
 TEST(Campaign, ProgressTicksOncePerTask) {
   const CampaignSpec spec = small_grid();
-  ExperimentRunner runner(paper_system_config(), tiny_scale(), "");
+  ExperimentRunner runner(spec.scenario, "");
   CampaignEngine engine(runner, 3);
   std::set<std::pair<std::string, std::string>> seen;
   std::size_t max_done = 0;
@@ -129,7 +170,7 @@ TEST(Campaign, ProgressTicksOncePerTask) {
 
 TEST(Campaign, ComboDoneHookFiresOncePerComboWithFullResults) {
   const CampaignSpec spec = small_grid();
-  ExperimentRunner runner(paper_system_config(), tiny_scale(), "");
+  ExperimentRunner runner(spec.scenario, "");
   CampaignEngine engine(runner, 4);
   std::map<std::string, std::size_t> fired;
   engine.on_combo_done = [&](const trace::WorkloadCombo& combo,
@@ -141,18 +182,34 @@ TEST(Campaign, ComboDoneHookFiresOncePerComboWithFullResults) {
     }
   };
   const CampaignResults all = engine.run(spec);
-  EXPECT_EQ(fired.size(), spec.combos.size());
+  EXPECT_EQ(fired.size(), spec.combos().size());
   for (const auto& [name, count] : fired) EXPECT_EQ(count, 1U) << name;
-  EXPECT_EQ(all.size(), spec.combos.size());
+  EXPECT_EQ(all.size(), spec.combos().size());
 }
 
 TEST(Campaign, SingleSpecWrapsOneCombo) {
   const trace::WorkloadCombo combo{"solo", 2, {"ammp", "ammp", "ammp",
                                                "ammp"}};
   const CampaignSpec spec = CampaignSpec::single(combo);
-  EXPECT_EQ(spec.combos.size(), 1U);
+  EXPECT_EQ(spec.combos().size(), 1U);
   EXPECT_EQ(spec.schemes.size(), 9U);
-  EXPECT_EQ(spec.combos[0].name, "solo");
+  EXPECT_EQ(spec.combos()[0].name, "solo");
+}
+
+TEST(Campaign, ListingsDescribeTheGrid) {
+  const CampaignSpec spec = small_grid();
+  const std::string schemes = describe_schemes(spec.schemes);
+  EXPECT_NE(schemes.find("L2P"), std::string::npos);
+  EXPECT_NE(schemes.find("CC(50%)"), std::string::npos);
+
+  const std::string combos = describe_combos(spec.combos());
+  EXPECT_NE(combos.find("mixA"), std::string::npos);
+  EXPECT_NE(combos.find("gzip"), std::string::npos);
+
+  const std::string grid = describe_grid(spec);
+  EXPECT_NE(grid.find("2 combo(s) x 3 scheme(s) = 6 task(s)"),
+            std::string::npos);
+  EXPECT_NE(grid.find("mixB / SNUG"), std::string::npos);
 }
 
 }  // namespace

@@ -163,6 +163,79 @@ TEST(EvalCache, ConcurrentWritersSameKeyStayConsistent) {
   EXPECT_EQ(loaded, ipc);
 }
 
+TEST(EvalCache, RejectsPreScenarioFormatEntries) {
+  // The scenario refactor bumped the entry format to v2 (fingerprints now
+  // cover the full topology).  A well-formed v1 entry — as any
+  // pre-refactor cache directory holds — must be rejected wholesale even
+  // when its stored fingerprint happens to match.
+  ASSERT_GE(EvalCache::kVersion, 2U);
+  TempCacheDir tmp;
+  EvalCache cache(tmp.dir.string());
+
+  struct V1Header {
+    std::uint32_t magic = EvalCache::kMagic;
+    std::uint32_t version = 1;  // pre-scenario format
+    std::uint64_t fingerprint = 42;
+    std::uint32_t count = 2;
+    std::uint32_t reserved = 0;
+  } hdr;
+  const double payload[2] = {1.25, 0.75};
+  {
+    std::ofstream out(entry_file(tmp, "legacy"), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+    out.write(reinterpret_cast<const char*>(payload), sizeof payload);
+  }
+
+  std::vector<double> ipc;
+  EXPECT_FALSE(cache.load("legacy", 42, ipc));
+  EXPECT_TRUE(ipc.empty());
+
+  // The same bytes with the current version load fine — the rejection
+  // above is the version check, nothing else.
+  hdr.version = EvalCache::kVersion;
+  {
+    std::ofstream out(entry_file(tmp, "legacy"), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+    out.write(reinterpret_cast<const char*>(payload), sizeof payload);
+  }
+  EXPECT_TRUE(cache.load("legacy", 42, ipc));
+}
+
+TEST(EvalCache, RunFingerprintCoversFullTopology) {
+  // The v5 config descriptor must move with every scenario-reachable
+  // topology knob, including the ones the quad-core era ignored (L1I,
+  // shared-L2 aggregate, core pipeline).
+  const RunScale scale;
+  const trace::WorkloadCombo combo{"t", 5, {"gzip", "mesa", "gzip", "mesa"}};
+  const schemes::SchemeSpec snug{schemes::SchemeKind::kSNUG, 0.0};
+  const SystemConfig base = paper_system_config();
+  const std::uint64_t fp = run_fingerprint(base, scale, combo, snug);
+
+  SystemConfig cfg = base;
+  cfg.l1i = cache::CacheGeometry(64 << 10, 4, 64);
+  EXPECT_NE(fp, run_fingerprint(cfg, scale, combo, snug));
+
+  cfg = base;
+  cfg.scheme_ctx.shared.l2 = cache::CacheGeometry(8 << 20, 16, 64);
+  EXPECT_NE(fp, run_fingerprint(cfg, scale, combo, snug));
+
+  cfg = base;
+  cfg.core.issue_width = 4;
+  EXPECT_NE(fp, run_fingerprint(cfg, scale, combo, snug));
+
+  cfg = base;
+  cfg.scheme_ctx.priv.wbb.entries = 8;
+  EXPECT_NE(fp, run_fingerprint(cfg, scale, combo, snug));
+
+  cfg = base;
+  cfg.scheme_ctx.snug.flip_enabled = false;
+  EXPECT_NE(fp, run_fingerprint(cfg, scale, combo, snug));
+
+  cfg = base;
+  cfg.scheme_ctx.dsr.use_set_dueling = true;
+  EXPECT_NE(fp, run_fingerprint(cfg, scale, combo, snug));
+}
+
 TEST(EvalCache, RunFingerprintIsStableAndSensitive) {
   const SystemConfig cfg = paper_system_config();
   RunScale scale;

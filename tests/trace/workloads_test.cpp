@@ -99,10 +99,123 @@ TEST(Workloads, NamesAreUnique) {
 }
 
 TEST(Workloads, ClassDescriptions) {
-  for (int cls = 1; cls <= 6; ++cls) {
+  for (int cls = 0; cls <= 6; ++cls) {
     EXPECT_STRNE(class_description(cls), "?");
   }
-  EXPECT_STREQ(class_description(0), "?");
+  EXPECT_STREQ(class_description(7), "?");
+}
+
+// ------------------------------------------------------ N-core generation
+
+TEST(MixPattern, ParsesAndCanonicalises) {
+  MixPattern pattern;
+  std::string error;
+  ASSERT_TRUE(parse_mix_pattern("2A+1B+1C", pattern, error)) << error;
+  ASSERT_EQ(pattern.terms.size(), 3U);
+  EXPECT_EQ(pattern.terms[0].count, 2U);
+  EXPECT_EQ(pattern.terms[0].app_class, 'A');
+  EXPECT_EQ(pattern.total_count(), 4U);
+  EXPECT_EQ(pattern.to_string(), "2A+1B+1C");
+
+  // A count-free term means one application of that class.
+  ASSERT_TRUE(parse_mix_pattern("A+D", pattern, error)) << error;
+  EXPECT_EQ(pattern.total_count(), 2U);
+  EXPECT_EQ(pattern.to_string(), "1A+1D");
+}
+
+TEST(MixPattern, RejectsMalformedPatterns) {
+  MixPattern pattern;
+  std::string error;
+  EXPECT_FALSE(parse_mix_pattern("", pattern, error));
+  EXPECT_FALSE(parse_mix_pattern("2A++1C", pattern, error));
+  EXPECT_FALSE(parse_mix_pattern("2E", pattern, error));  // no class E
+  EXPECT_FALSE(parse_mix_pattern("0A", pattern, error));
+  EXPECT_FALSE(parse_mix_pattern("2", pattern, error));
+  EXPECT_FALSE(parse_mix_pattern("A2", pattern, error));
+  EXPECT_FALSE(parse_mix_pattern("ammp", pattern, error));
+  EXPECT_FALSE(parse_mix_pattern("9999A", pattern, error));
+}
+
+TEST(MixPattern, ExpandsToAnyDivisibleCoreCount) {
+  MixPattern pattern;
+  std::string error;
+  ASSERT_TRUE(parse_mix_pattern("2A+1B+1C", pattern, error));
+
+  for (const std::uint32_t cores : {4U, 8U, 16U}) {
+    WorkloadCombo combo;
+    ASSERT_TRUE(expand_mix_pattern(pattern, cores, 0, combo, error))
+        << error;
+    EXPECT_EQ(combo.benchmarks.size(), cores);
+    EXPECT_EQ(combo.combo_class, 0);
+    int a = 0, b = 0, c = 0;
+    for (const auto& bench : combo.benchmarks) {
+      const char cls = profile_for(bench).app_class;
+      a += cls == 'A';
+      b += cls == 'B';
+      c += cls == 'C';
+    }
+    EXPECT_EQ(a, static_cast<int>(cores / 2)) << cores;
+    EXPECT_EQ(b, static_cast<int>(cores / 4)) << cores;
+    EXPECT_EQ(c, static_cast<int>(cores / 4)) << cores;
+  }
+
+  // 6 cores: 2A+1B+1C sums to 4, which does not divide 6.
+  WorkloadCombo combo;
+  EXPECT_FALSE(expand_mix_pattern(pattern, 6, 0, combo, error));
+  EXPECT_NE(error.find("does not divide"), std::string::npos);
+}
+
+TEST(MixPattern, MultipleSlotsOfAClassUseDistinctApps) {
+  // Table 7's "2 different applications from class A" rule, generalised:
+  // slots rotate through the class roster.
+  MixPattern pattern;
+  std::string error;
+  ASSERT_TRUE(parse_mix_pattern("2A+2C", pattern, error));
+  WorkloadCombo combo;
+  ASSERT_TRUE(expand_mix_pattern(pattern, 4, 0, combo, error)) << error;
+  EXPECT_NE(combo.benchmarks[0], combo.benchmarks[1]);
+  EXPECT_NE(combo.benchmarks[2], combo.benchmarks[3]);
+}
+
+TEST(MixPattern, VariantsAreDistinctAndDeterministic) {
+  MixPattern pattern;
+  std::string error;
+  ASSERT_TRUE(parse_mix_pattern("1A+1C", pattern, error));
+
+  const auto combos = generate_mix_combos(pattern, 8, 3);
+  ASSERT_EQ(combos.size(), 3U);
+  std::set<std::string> names;
+  std::set<std::vector<std::string>> rosters;
+  for (const auto& combo : combos) {
+    EXPECT_EQ(combo.benchmarks.size(), 8U);
+    names.insert(combo.name);
+    rosters.insert(combo.benchmarks);
+  }
+  EXPECT_EQ(names.size(), 3U);    // names embed the variant index
+  EXPECT_EQ(rosters.size(), 3U);  // and the mixes really differ
+
+  // Deterministic: regenerating gives the same combos.
+  const auto again = generate_mix_combos(pattern, 8, 3);
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    EXPECT_EQ(combos[i].name, again[i].name);
+    EXPECT_EQ(combos[i].benchmarks, again[i].benchmarks);
+  }
+}
+
+TEST(MixPattern, GeneratedNamesEmbedPatternCoresAndVariant) {
+  MixPattern pattern;
+  std::string error;
+  ASSERT_TRUE(parse_mix_pattern("1A+1C", pattern, error));
+  WorkloadCombo combo;
+  ASSERT_TRUE(expand_mix_pattern(pattern, 8, 2, combo, error));
+  EXPECT_EQ(combo.name, "1A+1C@8c#2");
+}
+
+TEST(Workloads, CustomComboValidatesAndNames) {
+  const WorkloadCombo combo = custom_combo({"gzip", "mesa", "ammp"});
+  EXPECT_EQ(combo.name, "gzip+mesa+ammp");
+  EXPECT_EQ(combo.combo_class, 0);
+  EXPECT_EQ(combo.benchmarks.size(), 3U);
 }
 
 }  // namespace
