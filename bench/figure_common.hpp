@@ -103,14 +103,7 @@ inline int run_figure_bench(int argc, char** argv, sim::Metric metric,
 
   std::printf("%s — %s\n", figure_name, sim::to_string(metric));
   std::printf("(geometric means per workload class, normalised to L2P)\n\n");
-  TextTable table({"scheme", "C1", "C2", "C3", "C4", "C5", "C6", "AVG"});
-  for (const auto& scheme : fig.schemes) {
-    std::vector<std::string> row{scheme};
-    for (const double v : fig.values.at(scheme)) {
-      row.push_back(strf("%.3f", v));
-    }
-    table.add_row(std::move(row));
-  }
+  const TextTable table = sim::figure_table(fig);
   std::fputs((csv ? table.render_csv() : table.render()).c_str(), stdout);
 
   const auto& snug_row = fig.values.at("SNUG");

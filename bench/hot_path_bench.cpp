@@ -1,0 +1,286 @@
+// Hot-path microbenchmark — the measurement device behind the ISSUE 3
+// inner-loop overhaul.  Two tiers, both deterministic:
+//
+//   raw    — a SetAssocCache on the paper's 1 MB 16-way slice geometry,
+//            driven directly: a local access/fill mix sized to ~50%
+//            steady-state hit rate, and the cooperative
+//            insert/lookup/forward mix.
+//   system — a full CmpSystem (default: 8-core SNUG machine) driven
+//            through data_access/inst_fetch on a pre-generated reference
+//            trace, so the measured cost is the memory hierarchy, not
+//            trace synthesis or the core pipeline.
+//
+// Reports accesses/second per tier.  --json-out=FILE writes one JSON
+// record tagged with --label; BENCH_hotpath.json at the repo root keeps
+// the pre-refactor baseline and the post-refactor number side by side.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/str.hpp"
+#include "cpu/core.hpp"
+#include "schemes/factory.hpp"
+#include "sim/scenario.hpp"
+#include "sim/system.hpp"
+
+namespace {
+
+using namespace snug;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+/// A compact pre-generated address buffer: uniform blocks over 2x the
+/// cache capacity.  Pre-generated (and cycled) so that neither random
+/// sampling nor trace-buffer memory traffic sits on the measured path.
+std::vector<Addr> raw_addresses(const char* tag, std::uint64_t footprint) {
+  Rng rng(Rng::derive_seed(tag));
+  std::vector<Addr> addrs(1 << 16);
+  for (auto& a : addrs) a = rng.below(footprint) * 64;
+  return addrs;
+}
+
+/// Local access/fill mix over a footprint of 2x the cache capacity:
+/// roughly half the accesses hit, the other half take the miss + fill +
+/// eviction path.  Returns accesses per second.
+double raw_local_mix(std::uint64_t ops, std::uint64_t& checksum) {
+  const cache::CacheGeometry geo(1 << 20, 16, 64);
+  cache::SetAssocCache l2("hot.raw", geo);
+  const std::vector<Addr> addrs =
+      raw_addresses("hot-path-raw", 2 * geo.capacity_bytes() / 64);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t cursor = 0;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const Addr addr = addrs[cursor];
+    if (++cursor == addrs.size()) cursor = 0;
+    const bool is_write = (i & 3) == 0;
+    const cache::AccessResult res = l2.access_local(addr, is_write);
+    if (!res.hit) {
+      const cache::Eviction ev = l2.fill_local(addr, is_write, 0);
+      checksum += ev.line.tag;
+    }
+    checksum += res.way;
+  }
+  const double dt = seconds_since(t0);
+  checksum += l2.stats().hits;
+  return static_cast<double>(ops) / dt;
+}
+
+/// Cooperative-path mix: lookup_cc, forward-and-invalidate on a hit,
+/// insert_cc (alternating the flipped placement) on a miss.
+double raw_cc_mix(std::uint64_t ops, std::uint64_t& checksum) {
+  const cache::CacheGeometry geo(1 << 20, 16, 64);
+  cache::SetAssocCache l2("hot.cc", geo);
+  const std::vector<Addr> addrs =
+      raw_addresses("hot-path-cc", 2 * geo.capacity_bytes() / 64);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t cursor = 0;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const Addr addr = addrs[cursor];
+    if (++cursor == addrs.size()) cursor = 0;
+    const cache::CcLocation loc = l2.lookup_cc(addr);
+    if (loc.found) {
+      l2.forward_and_invalidate(loc);
+    } else {
+      const cache::Eviction ev = l2.insert_cc(addr, 1, (i & 1) != 0);
+      checksum += ev.line.tag;
+    }
+  }
+  const double dt = seconds_since(t0);
+  checksum += l2.stats().cc_forwarded;
+  return static_cast<double>(ops) / dt;
+}
+
+struct SystemResult {
+  double acc_per_sec = 0.0;       ///< end-to-end data_access/inst_fetch
+  double l2_acc_per_sec = 0.0;    ///< scheme()->access driven directly
+  std::uint64_t accesses = 0;
+};
+
+/// Full-system tier: data_access/inst_fetch on a pre-generated trace.
+/// One ifetch block access is interleaved per four data accesses, the
+/// per-core ratio the core model produces for typical mixes.
+SystemResult system_mix(const sim::ScenarioSpec& scenario,
+                        const schemes::SchemeSpec& spec, std::uint64_t ops,
+                        Cycle warmup, std::uint64_t& checksum) {
+  const auto combos = scenario.combos();
+  SNUG_REQUIRE_MSG(!combos.empty(), "scenario expands to no combos");
+  sim::CmpSystem sys(scenario, spec, combos.front());
+
+  // Warm caches and predictors through the real pipeline first.
+  sys.run(warmup);
+
+  // Pre-generate each core's data references so trace synthesis is not
+  // on the measured path.  The replay buffer is deliberately compact
+  // (cycled when ops exceed it): it must stay machine-cache-resident so
+  // the measured cost is the simulator's access path, not streaming the
+  // trace itself from memory.
+  const std::uint32_t cores = scenario.num_cores;
+  const std::uint64_t per_core =
+      std::min<std::uint64_t>(ops / (4 * cores) + 1, 16384);
+  std::vector<std::vector<std::pair<Addr, bool>>> refs(cores);
+  for (CoreId c = 0; c < cores; ++c) {
+    refs[c].reserve(per_core);
+    while (refs[c].size() < per_core) {
+      const trace::Instr in = sys.stream(c).next();
+      if (in.kind == trace::InstrKind::kLoad) {
+        refs[c].emplace_back(in.addr, false);
+      } else if (in.kind == trace::InstrKind::kStore) {
+        refs[c].emplace_back(in.addr, true);
+      }
+    }
+  }
+
+  // Replay round-robin: four data accesses then one ifetch per core turn,
+  // mirroring Core::dispatch_one's per-block fetch cadence over the same
+  // code region and I-footprint the core model uses.
+  std::vector<std::size_t> cursor(cores, 0);
+  std::vector<Addr> code_cursor(cores, 0);
+  const std::uint32_t code_blocks = cpu::CoreConfig{}.code_blocks;
+  const std::uint32_t line_bytes = scenario.line_bytes;
+  Cycle now = sys.now();
+  std::uint64_t accesses = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (accesses < ops) {
+    for (CoreId c = 0; c < cores && accesses < ops; ++c) {
+      const auto& trace = refs[c];
+      std::size_t i = cursor[c];
+      for (int k = 0; k < 4; ++k) {
+        const auto& [addr, is_write] = trace[i];
+        if (++i == trace.size()) i = 0;
+        now = sys.data_access(c, addr, is_write, now);
+        ++accesses;
+      }
+      cursor[c] = i;
+      const Addr pc = cpu::code_base(c) +
+                      (code_cursor[c]++ % code_blocks) * line_bytes;
+      now = sys.inst_fetch(c, pc, now);
+      ++accesses;
+    }
+  }
+  const double dt = seconds_since(t0);
+  checksum += now;
+
+  // L2 tier: the same machine, but every reference is driven straight
+  // into the L2 organisation (scheme access path — local lookup, peer
+  // retrieve, spill routing).  This is the "per-access cost in the cache
+  // model" the scaling study is bound by at high core counts.
+  const std::uint64_t l2_ops = ops / 8;
+  std::uint64_t l2_done = 0;
+  std::vector<std::size_t> l2_cursor(cores, 0);
+  const auto t1 = std::chrono::steady_clock::now();
+  while (l2_done < l2_ops) {
+    for (CoreId c = 0; c < cores && l2_done < l2_ops; ++c) {
+      const auto& trace = refs[c];
+      std::size_t i = l2_cursor[c];
+      for (int k = 0; k < 4; ++k) {
+        const auto& [addr, is_write] = trace[i];
+        if (++i == trace.size()) i = 0;
+        now = sys.scheme().access(c, addr, is_write, now);
+        ++l2_done;
+      }
+      l2_cursor[c] = i;
+    }
+  }
+  const double dt2 = seconds_since(t1);
+  checksum += now;
+  return {static_cast<double>(accesses) / dt,
+          static_cast<double>(l2_done) / dt2, accesses};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snug;
+  CliArgs args(argc, argv);
+  const std::int64_t raw_ops = args.get_int(
+      "raw-ops", 8'000'000, "accesses per raw-tier measurement");
+  const std::int64_t sys_ops = args.get_int(
+      "system-ops", 4'000'000, "accesses for the system-tier measurement");
+  const std::int64_t warmup = args.get_int(
+      "warmup-cycles", 100'000, "system-tier pipeline warm-up cycles");
+  const std::string scenario_text = args.get_string(
+      "scenario", "name=hot8 cores=8 workload=2A+1B+1C",
+      "system-tier scenario spec");
+  const std::string scheme_id = args.get_string(
+      "scheme", "SNUG", "system-tier L2 organisation (L2P, CC(50%), ...)");
+  const std::string json_out = args.get_string(
+      "json-out", "", "write the results as one JSON record to this file");
+  const std::string label = args.get_string(
+      "label", "run", "label stored in the JSON record");
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+  args.check_unknown();
+
+  sim::ScenarioSpec scenario;
+  std::string err;
+  if (!sim::parse_scenario(scenario_text, scenario, err)) {
+    std::fprintf(stderr, "hot_path_bench: bad --scenario: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  schemes::SchemeSpec scheme;
+  if (!schemes::parse_scheme_id(scheme_id, scheme)) {
+    std::fprintf(stderr, "hot_path_bench: unknown --scheme '%s'\n",
+                 scheme_id.c_str());
+    return 1;
+  }
+
+  std::uint64_t checksum = 0;
+  const double raw_local =
+      raw_local_mix(static_cast<std::uint64_t>(raw_ops), checksum);
+  const double raw_cc =
+      raw_cc_mix(static_cast<std::uint64_t>(raw_ops) / 4, checksum);
+  const SystemResult system =
+      system_mix(scenario, scheme, static_cast<std::uint64_t>(sys_ops),
+                 static_cast<Cycle>(warmup), checksum);
+
+  std::printf("hot_path_bench — %s\n", scenario.summary().c_str());
+  std::printf("%-28s %14s\n", "tier", "accesses/sec");
+  std::printf("%-28s %14s\n", "raw local access+fill",
+              strf("%.2fM", raw_local / 1e6).c_str());
+  std::printf("%-28s %14s\n", "raw cooperative mix",
+              strf("%.2fM", raw_cc / 1e6).c_str());
+  std::printf("%-28s %14s\n", "system data+ifetch",
+              strf("%.2fM", system.acc_per_sec / 1e6).c_str());
+  std::printf("%-28s %14s\n", "system L2 scheme access",
+              strf("%.2fM", system.l2_acc_per_sec / 1e6).c_str());
+  std::printf("(checksum %llu)\n",
+              static_cast<unsigned long long>(checksum));
+
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "hot_path_bench: cannot write %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"label\": \"%s\",\n"
+                 "  \"scenario\": \"%s\",\n"
+                 "  \"raw_local_acc_per_sec\": %.0f,\n"
+                 "  \"raw_cc_acc_per_sec\": %.0f,\n"
+                 "  \"system_acc_per_sec\": %.0f,\n"
+                 "  \"system_l2_acc_per_sec\": %.0f,\n"
+                 "  \"raw_ops\": %lld,\n"
+                 "  \"system_accesses\": %llu\n"
+                 "}\n",
+                 label.c_str(), scenario_text.c_str(), raw_local, raw_cc,
+                 system.acc_per_sec, system.l2_acc_per_sec,
+                 static_cast<long long>(raw_ops),
+                 static_cast<unsigned long long>(system.accesses));
+    std::fclose(f);
+  }
+  return 0;
+}

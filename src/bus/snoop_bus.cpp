@@ -8,9 +8,9 @@
 namespace snug::bus {
 
 SnoopBus::SnoopBus(const BusConfig& cfg) : cfg_(cfg) {
-  SNUG_REQUIRE(cfg.width_bytes >= 1);
-  SNUG_REQUIRE(cfg.speed_ratio >= 1);
-  SNUG_REQUIRE(cfg.block_bytes >= cfg.width_bytes);
+  SNUG_ENSURE(cfg.width_bytes >= 1);
+  SNUG_ENSURE(cfg.speed_ratio >= 1);
+  SNUG_ENSURE(cfg.block_bytes >= cfg.width_bytes);
 }
 
 Cycle SnoopBus::duration(BusOp op) const noexcept {

@@ -6,38 +6,28 @@ namespace snug::cache {
 
 SetAssocCache::SetAssocCache(std::string name, const CacheGeometry& geo,
                              ReplacementKind repl, Rng* rng)
-    : name_(std::move(name)), geo_(geo) {
-  sets_.reserve(geo_.num_sets());
+    : name_(std::move(name)),
+      geo_(geo),
+      assoc_(geo.associativity()),
+      repl_kind_(repl),
+      rng_(rng) {
+  SNUG_REQUIRE_MSG(assoc_ >= 1 && assoc_ <= kMaxReplAssoc,
+                   "cache '%s': associativity %u outside 1..%u",
+                   name_.c_str(), assoc_, kMaxReplAssoc);
+  const std::size_t lines = std::size_t{geo_.num_sets()} * assoc_;
+  tags_.assign(lines, 0);
+  meta_.assign(lines, kMetaInvalid);
+  repl_.assign(lines, 0);
+  occ_.assign(geo_.num_sets(), 0);
+  cc_count_.assign(geo_.num_sets(), 0);
   for (std::uint32_t s = 0; s < geo_.num_sets(); ++s) {
-    sets_.emplace_back(geo_.associativity(), repl, rng);
+    repl::init(repl_kind_, repl_.data() + std::size_t{s} * assoc_, assoc_);
   }
-}
-
-AccessResult SetAssocCache::access_local(Addr addr, bool is_write) {
-  const SetIndex s = geo_.set_of(addr);
-  const std::uint64_t tag = geo_.tag_of(addr);
-  CacheSet& set = sets_[s];
-  ++stats_.accesses;
-  const WayIndex w = set.find_local(tag);
-  if (w == kInvalidWay) {
-    ++stats_.misses;
-    return {false, s, kInvalidWay};
-  }
-  ++stats_.hits;
-  set.touch(w);
-  if (is_write) set.line_mut(w).dirty = true;
-  return {true, s, w};
-}
-
-AccessResult SetAssocCache::probe_local(Addr addr) const {
-  const SetIndex s = geo_.set_of(addr);
-  const WayIndex w = sets_[s].find_local(geo_.tag_of(addr));
-  return {w != kInvalidWay, s, w};
 }
 
 Eviction SetAssocCache::fill_local(Addr addr, bool dirty, CoreId owner) {
   const SetIndex s = geo_.set_of(addr);
-  CacheSet& set = sets_[s];
+  const CacheSet set = set_view(s);
   SNUG_REQUIRE(set.find_local(geo_.tag_of(addr)) == kInvalidWay);
   const WayIndex victim = set.choose_victim();
   CacheLine incoming;
@@ -65,7 +55,7 @@ Eviction SetAssocCache::insert_cc(Addr addr, CoreId owner, bool flipped,
                                   bool demoted) {
   const SetIndex home = geo_.set_of(addr);
   const SetIndex target = flipped ? geo_.buddy_set(home) : home;
-  CacheSet& set = sets_[target];
+  const CacheSet set = set_view(target);
   // Only clean blocks are spilled (Section 3.3, restriction 1), and a block
   // is never spilled while the owner still holds it, so no duplicate can
   // legally exist here.
@@ -97,55 +87,41 @@ Eviction SetAssocCache::insert_cc(Addr addr, CoreId owner, bool flipped,
   return {displaced, target};
 }
 
-CcLocation SetAssocCache::lookup_cc(Addr addr) const {
-  const SetIndex home = geo_.set_of(addr);
-  const std::uint64_t tag = geo_.tag_of(addr);
-  // Placement 1: home set, f == 0.
-  WayIndex w = sets_[home].find_cc(tag, /*flipped=*/false);
-  if (w != kInvalidWay) return {true, home, w, false};
-  // Placement 2: buddy set, f == 1.
-  const SetIndex buddy = geo_.buddy_set(home);
-  w = sets_[buddy].find_cc(tag, /*flipped=*/true);
-  if (w != kInvalidWay) return {true, buddy, w, true};
-  return {};
-}
-
 void SetAssocCache::forward_and_invalidate(const CcLocation& loc) {
   SNUG_REQUIRE(loc.found);
-  CacheSet& set = sets_[loc.set];
-  SNUG_REQUIRE(set.line(loc.way).valid && set.line(loc.way).cc);
+  const CacheSet set = set_view(loc.set);
+  SNUG_REQUIRE(set.valid_cc(loc.way));
   set.invalidate(loc.way);
   ++stats_.cc_forwarded;
   ++stats_.cc_invalidated;
 }
 
 void SetAssocCache::invalidate(SetIndex s, WayIndex way) {
-  SNUG_REQUIRE(s < sets_.size());
-  if (sets_[s].line(way).cc) ++stats_.cc_invalidated;
-  sets_[s].invalidate(way);
+  SNUG_REQUIRE(s < geo_.num_sets());
+  const CacheSet set = set_view(s);
+  if (set.valid_cc(way)) ++stats_.cc_invalidated;
+  set.invalidate(way);
 }
 
 void SetAssocCache::invalidate_all() {
-  for (auto& set : sets_) {
-    for (WayIndex w = 0; w < set.assoc(); ++w) {
-      if (set.line(w).valid) set.invalidate(w);
+  for (SetIndex s = 0; s < geo_.num_sets(); ++s) {
+    const CacheSet set = set_view(s);
+    for (WayIndex w = 0; w < assoc_; ++w) {
+      if (set.valid(w)) set.invalidate(w);
     }
   }
 }
 
-const CacheSet& SetAssocCache::set(SetIndex s) const {
-  SNUG_REQUIRE(s < sets_.size());
-  return sets_[s];
-}
-
-CacheSet& SetAssocCache::set_mut(SetIndex s) {
-  SNUG_REQUIRE(s < sets_.size());
-  return sets_[s];
+CacheSet SetAssocCache::set(SetIndex s) const {
+  SNUG_REQUIRE(s < geo_.num_sets());
+  return set_view(s);
 }
 
 std::uint64_t SetAssocCache::total_cc_lines() const noexcept {
   std::uint64_t n = 0;
-  for (const auto& set : sets_) n += set.cc_count();
+  for (SetIndex s = 0; s < geo_.num_sets(); ++s) {
+    n += set_view(s).cc_count();
+  }
   return n;
 }
 

@@ -10,6 +10,15 @@
 // The cache is pure mechanism: *whether* to spill, *which* peer receives,
 // and *where* a received block may be placed are decided by src/schemes and
 // src/core.  Timing lives in src/sim; this class is cycle-free.
+//
+// Storage is structure-of-arrays, owned flat by the cache: one contiguous
+// tag array, one packed LineMeta array and one replacement-state byte
+// array span all sets (set s occupies [s*assoc, (s+1)*assoc)).  A lookup
+// touches two short contiguous runs instead of walking an array of
+// 24-byte structs, and replacement updates dispatch statically on the
+// policy kind (cache/replacement.hpp) instead of through a per-set
+// heap-allocated virtual ReplacementState.  set() hands out CacheSet
+// views into the arrays (shallow-const, like std::span).
 #pragma once
 
 #include <cstdint>
@@ -70,13 +79,40 @@ class SetAssocCache {
   void reset_stats() noexcept { stats_ = CacheStats{}; }
 
   // ------------------------------------------------------------ local path
+  // The local lookup / fill pair is the simulator's innermost loop (every
+  // L1 probe of every core lands here), so both are defined inline below —
+  // the scans fold into the caller without a cross-TU call.
 
   /// Looks up `addr` among local (CC==0) lines of its home set.  On a hit
   /// the line is touched and, for writes, marked dirty.
-  AccessResult access_local(Addr addr, bool is_write);
+  AccessResult access_local(Addr addr, bool is_write) {
+    const SetIndex s = geo_.set_of(addr);
+    const std::uint64_t tag = geo_.tag_of(addr);
+    const CacheSet set = set_view(s);
+    ++stats_.accesses;
+    const WayIndex w = set.find_local(tag);
+    if (w == kInvalidWay) {
+      ++stats_.misses;
+      return {false, s, kInvalidWay};
+    }
+    ++stats_.hits;
+    set.touch(w);
+    if (is_write) set.mark_dirty(w);
+    return {true, s, w};
+  }
 
   /// Probe without any state change (no recency update, no counters).
-  [[nodiscard]] AccessResult probe_local(Addr addr) const;
+  [[nodiscard]] AccessResult probe_local(Addr addr) const {
+    const SetIndex s = geo_.set_of(addr);
+    const WayIndex w = set_view(s).find_local(geo_.tag_of(addr));
+    return {w != kInvalidWay, s, w};
+  }
+
+  /// Marks a known-resident local line dirty (L1 write-back landed).
+  void mark_dirty(SetIndex set, WayIndex way) {
+    SNUG_REQUIRE(set < geo_.num_sets());
+    set_view(set).mark_dirty(way);
+  }
 
   /// Installs a local line for `addr` after miss service and returns the
   /// displaced line.  The victim choice prefers invalid ways.
@@ -93,7 +129,18 @@ class SetAssocCache {
 
   /// Searches both legal placements (home set with f==0, buddy set with
   /// f==1) for a cooperative copy of `addr`.
-  [[nodiscard]] CcLocation lookup_cc(Addr addr) const;
+  [[nodiscard]] CcLocation lookup_cc(Addr addr) const {
+    const SetIndex home = geo_.set_of(addr);
+    const std::uint64_t tag = geo_.tag_of(addr);
+    // Placement 1: home set, f == 0.
+    WayIndex w = set_view(home).find_cc(tag, /*flipped=*/false);
+    if (w != kInvalidWay) return {true, home, w, false};
+    // Placement 2: buddy set, f == 1.
+    const SetIndex buddy = geo_.buddy_set(home);
+    w = set_view(buddy).find_cc(tag, /*flipped=*/true);
+    if (w != kInvalidWay) return {true, buddy, w, true};
+    return {};
+  }
 
   /// Forwards a cooperative block to its owner: touches stats and
   /// invalidates the copy (paper Section 3.3, restriction 2).
@@ -110,16 +157,38 @@ class SetAssocCache {
   [[nodiscard]] std::uint32_t num_sets() const noexcept {
     return geo_.num_sets();
   }
-  [[nodiscard]] const CacheSet& set(SetIndex s) const;
-  [[nodiscard]] CacheSet& set_mut(SetIndex s);
+
+  /// A view of set `s` (shallow-const: views obtained from a const cache
+  /// still alias mutable storage, like std::span).
+  [[nodiscard]] CacheSet set(SetIndex s) const;
 
   /// Total valid cooperative lines (invariant checks).
   [[nodiscard]] std::uint64_t total_cc_lines() const noexcept;
 
  private:
+  /// Unchecked view construction for the hot paths.
+  [[nodiscard]] CacheSet set_view(SetIndex s) const noexcept {
+    const std::size_t base = std::size_t{s} * assoc_;
+    return {const_cast<std::uint64_t*>(tags_.data() + base),
+            const_cast<LineMeta*>(meta_.data() + base),
+            const_cast<std::uint8_t*>(repl_.data() + base),
+            const_cast<std::uint64_t*>(occ_.data() + s),
+            const_cast<std::uint16_t*>(cc_count_.data() + s),
+            assoc_,
+            repl_kind_,
+            rng_};
+  }
+
   std::string name_;
   CacheGeometry geo_;
-  std::vector<CacheSet> sets_;
+  std::uint32_t assoc_;
+  ReplacementKind repl_kind_;
+  Rng* rng_;
+  std::vector<std::uint64_t> tags_;  ///< num_sets * assoc, flat
+  std::vector<LineMeta> meta_;       ///< num_sets * assoc, flat
+  std::vector<std::uint8_t> repl_;   ///< num_sets * assoc, flat
+  std::vector<std::uint64_t> occ_;   ///< per-set valid-way bitmask
+  std::vector<std::uint16_t> cc_count_;  ///< per-set live guest count
   CacheStats stats_;
 };
 

@@ -10,13 +10,13 @@ CacheGeometry::CacheGeometry(std::uint64_t capacity_bytes,
     : capacity_(capacity_bytes), assoc_(associativity), line_(line_bytes) {
   // Line size and the set count must be powers of two (they map to address
   // bits); the associativity itself may be arbitrary.
-  SNUG_REQUIRE(is_pow2(line_bytes));
-  SNUG_REQUIRE(associativity >= 1);
+  SNUG_ENSURE(is_pow2(line_bytes));
+  SNUG_ENSURE(associativity >= 1);
   const std::uint64_t set_bytes =
       static_cast<std::uint64_t>(line_bytes) * associativity;
-  SNUG_REQUIRE(capacity_bytes % set_bytes == 0);
+  SNUG_ENSURE(capacity_bytes % set_bytes == 0);
   sets_ = static_cast<std::uint32_t>(capacity_bytes / set_bytes);
-  SNUG_REQUIRE(is_pow2(sets_));
+  SNUG_ENSURE(is_pow2(sets_));
   offset_bits_ = log2i(line_bytes);
   index_bits_ = log2i(sets_);
 }

@@ -1,16 +1,22 @@
 // The per-line metadata of a SNUG-capable cache (paper Figure 4):
-// tag, valid, dirty, LRU (held by the set's ReplacementState), plus the two
-// cooperative-caching bits:
+// tag, valid, dirty, LRU (held by the set's replacement state), plus the
+// two cooperative-caching bits:
 //   CC — 1 when the line is cooperatively cached on behalf of a peer core,
 //   f  — meaningful only when CC==1: the line lives in the set whose last
 //        index bit is flipped relative to its home index.
 // `owner` is simulator-side bookkeeping (who spilled the line) used for
 // statistics and invariant checking; real hardware derives it from the
 // retrieve handshake and does not store it.
+//
+// Storage is structure-of-arrays (cache/cache.hpp): one contiguous tag
+// array and one LineMeta word array across all sets.  CacheLine is the
+// unpacked value type that crosses module boundaries (fills, evictions,
+// inspection); pack_meta/unpack_line convert at the edge.
 #pragma once
 
 #include <cstdint>
 
+#include "common/require.hpp"
 #include "common/types.hpp"
 
 namespace snug::cache {
@@ -25,5 +31,51 @@ struct CacheLine {
 
   void invalidate() noexcept { *this = CacheLine{}; }
 };
+
+/// Packed per-line metadata word: flag bits in the low byte, the owner
+/// core in the high byte (0xFF encodes kInvalidCore; the scenario layer
+/// caps machines far below 255 cores).
+using LineMeta = std::uint16_t;
+
+inline constexpr LineMeta kMetaValid = 0x01;
+inline constexpr LineMeta kMetaDirty = 0x02;
+inline constexpr LineMeta kMetaCc = 0x04;
+inline constexpr LineMeta kMetaFlipped = 0x08;
+inline constexpr LineMeta kMetaOwnerShift = 8;
+inline constexpr LineMeta kMetaOwnerNone = 0xFF;
+
+/// The lookup keys a way-scan compares against: flag bits with dirty (and
+/// the owner byte) masked out, since neither distinguishes a match.
+inline constexpr LineMeta kMetaKeyMask = kMetaValid | kMetaCc | kMetaFlipped;
+
+/// An empty way: no flags, owner none — unpacks to a default CacheLine.
+inline constexpr LineMeta kMetaInvalid =
+    static_cast<LineMeta>(kMetaOwnerNone << kMetaOwnerShift);
+
+[[nodiscard]] inline LineMeta pack_meta(const CacheLine& l) noexcept {
+  SNUG_REQUIRE(l.owner == kInvalidCore || l.owner < kMetaOwnerNone);
+  const LineMeta owner_byte =
+      l.owner == kInvalidCore ? kMetaOwnerNone
+                              : static_cast<LineMeta>(l.owner & 0xFF);
+  return static_cast<LineMeta>(
+      (l.valid ? kMetaValid : 0) | (l.dirty ? kMetaDirty : 0) |
+      (l.cc ? kMetaCc : 0) | (l.flipped ? kMetaFlipped : 0) |
+      static_cast<LineMeta>(owner_byte << kMetaOwnerShift));
+}
+
+[[nodiscard]] inline CacheLine unpack_line(std::uint64_t tag,
+                                           LineMeta meta) noexcept {
+  CacheLine l;
+  l.tag = tag;
+  l.valid = (meta & kMetaValid) != 0;
+  l.dirty = (meta & kMetaDirty) != 0;
+  l.cc = (meta & kMetaCc) != 0;
+  l.flipped = (meta & kMetaFlipped) != 0;
+  const auto owner_byte =
+      static_cast<std::uint8_t>(meta >> kMetaOwnerShift);
+  l.owner = owner_byte == kMetaOwnerNone ? kInvalidCore
+                                         : static_cast<CoreId>(owner_byte);
+  return l;
+}
 
 }  // namespace snug::cache

@@ -1,11 +1,5 @@
 #include "cache/replacement.hpp"
 
-#include <algorithm>
-#include <numeric>
-
-#include "common/bitutil.hpp"
-#include "common/require.hpp"
-
 namespace snug::cache {
 
 const char* to_string(ReplacementKind k) noexcept {
@@ -20,212 +14,6 @@ const char* to_string(ReplacementKind k) noexcept {
       return "tree-plru";
   }
   return "?";
-}
-
-void ReplacementState::place_at(WayIndex way, std::uint32_t rank) {
-  // Generic approximation: cold-half placements become full demotions,
-  // warm-half placements count as touches.
-  if (rank == 0) {
-    on_access(way);
-  } else {
-    demote(way);
-  }
-}
-
-std::unique_ptr<ReplacementState> make_replacement(ReplacementKind kind,
-                                                   std::uint32_t assoc,
-                                                   Rng* rng) {
-  switch (kind) {
-    case ReplacementKind::kLru:
-      return std::make_unique<LruState>(assoc);
-    case ReplacementKind::kFifo:
-      return std::make_unique<FifoState>(assoc);
-    case ReplacementKind::kRandom:
-      return std::make_unique<RandomState>(assoc, rng);
-    case ReplacementKind::kTreePlru:
-      return std::make_unique<TreePlruState>(assoc);
-  }
-  SNUG_REQUIRE(false);
-  return nullptr;
-}
-
-// ---------------------------------------------------------------- LruState
-
-LruState::LruState(std::uint32_t assoc) : rank_(assoc) {
-  SNUG_REQUIRE(assoc >= 1 && assoc <= 255);
-  std::iota(rank_.begin(), rank_.end(), std::uint8_t{0});
-}
-
-void LruState::move_to_rank(WayIndex way, std::uint32_t target_rank) {
-  const std::uint32_t old_rank = rank_[way];
-  if (old_rank == target_rank) return;
-  if (target_rank < old_rank) {
-    // Everything in [target, old) ages by one.
-    for (auto& r : rank_) {
-      if (r >= target_rank && r < old_rank) ++r;
-    }
-  } else {
-    // Everything in (old, target] rejuvenates by one.
-    for (auto& r : rank_) {
-      if (r > old_rank && r <= target_rank) --r;
-    }
-  }
-  rank_[way] = static_cast<std::uint8_t>(target_rank);
-}
-
-void LruState::on_access(WayIndex way) {
-  SNUG_REQUIRE(way < rank_.size());
-  move_to_rank(way, 0);
-}
-
-void LruState::on_fill(WayIndex way) { on_access(way); }
-
-WayIndex LruState::victim() {
-  const std::uint32_t lru_rank = static_cast<std::uint32_t>(rank_.size()) - 1;
-  for (WayIndex w = 0; w < rank_.size(); ++w) {
-    if (rank_[w] == lru_rank) return w;
-  }
-  SNUG_REQUIRE(false);
-  return kInvalidWay;
-}
-
-void LruState::demote(WayIndex way) {
-  SNUG_REQUIRE(way < rank_.size());
-  move_to_rank(way, static_cast<std::uint32_t>(rank_.size()) - 1);
-}
-
-void LruState::place_at(WayIndex way, std::uint32_t rank) {
-  SNUG_REQUIRE(way < rank_.size());
-  SNUG_REQUIRE(rank < rank_.size());
-  move_to_rank(way, rank);
-}
-
-std::uint32_t LruState::rank_of(WayIndex way) const {
-  SNUG_REQUIRE(way < rank_.size());
-  return rank_[way];
-}
-
-// --------------------------------------------------------------- FifoState
-
-FifoState::FifoState(std::uint32_t assoc)
-    : order_(assoc), next_seq_(assoc), assoc_(assoc) {
-  SNUG_REQUIRE(assoc >= 1);
-  std::iota(order_.begin(), order_.end(), 0U);
-}
-
-void FifoState::on_fill(WayIndex way) {
-  SNUG_REQUIRE(way < order_.size());
-  order_[way] = next_seq_++;
-  // Renormalise long before wrap-around becomes possible.
-  if (next_seq_ > (1U << 30)) {
-    const std::uint32_t base =
-        *std::min_element(order_.begin(), order_.end());
-    for (auto& o : order_) o -= base;
-    next_seq_ -= base;
-  }
-}
-
-WayIndex FifoState::victim() {
-  return static_cast<WayIndex>(
-      std::min_element(order_.begin(), order_.end()) - order_.begin());
-}
-
-void FifoState::demote(WayIndex way) {
-  SNUG_REQUIRE(way < order_.size());
-  const std::uint32_t oldest =
-      *std::min_element(order_.begin(), order_.end());
-  order_[way] = oldest == 0 ? 0 : oldest - 1;
-}
-
-std::uint32_t FifoState::rank_of(WayIndex way) const {
-  SNUG_REQUIRE(way < order_.size());
-  // rank 0 == newest fill.
-  std::uint32_t rank = 0;
-  for (std::uint32_t w = 0; w < assoc_; ++w) {
-    if (order_[w] > order_[way]) ++rank;
-  }
-  return rank;
-}
-
-// ------------------------------------------------------------- RandomState
-
-RandomState::RandomState(std::uint32_t assoc, Rng* rng)
-    : assoc_(assoc), rng_(rng) {
-  SNUG_REQUIRE(assoc >= 1);
-  SNUG_REQUIRE(rng != nullptr);
-}
-
-WayIndex RandomState::victim() {
-  if (demoted_ != kInvalidWay) {
-    const WayIndex w = demoted_;
-    demoted_ = kInvalidWay;
-    return w;
-  }
-  return static_cast<WayIndex>(rng_->below(assoc_));
-}
-
-void RandomState::demote(WayIndex way) {
-  SNUG_REQUIRE(way < assoc_);
-  demoted_ = way;
-}
-
-std::uint32_t RandomState::rank_of(WayIndex way) const {
-  SNUG_REQUIRE(way < assoc_);
-  return way == demoted_ ? assoc_ - 1 : 0;
-}
-
-// ----------------------------------------------------------- TreePlruState
-
-TreePlruState::TreePlruState(std::uint32_t assoc)
-    : assoc_(assoc), levels_(log2i(assoc)), bits_(assoc, 0) {
-  SNUG_REQUIRE(is_pow2(assoc));
-  SNUG_REQUIRE(assoc >= 2);
-}
-
-void TreePlruState::on_access(WayIndex way) {
-  SNUG_REQUIRE(way < assoc_);
-  // Walk from the root; at each level point the bit AWAY from `way`.
-  std::uint32_t node = 1;
-  for (std::uint32_t level = 0; level < levels_; ++level) {
-    const std::uint32_t bit = (way >> (levels_ - 1 - level)) & 1U;
-    bits_[node] = static_cast<std::uint8_t>(bit ^ 1U);
-    node = node * 2 + bit;
-  }
-}
-
-WayIndex TreePlruState::victim() {
-  std::uint32_t node = 1;
-  std::uint32_t way = 0;
-  for (std::uint32_t level = 0; level < levels_; ++level) {
-    const std::uint32_t bit = bits_[node];
-    way = (way << 1) | bit;
-    node = node * 2 + bit;
-  }
-  return static_cast<WayIndex>(way);
-}
-
-void TreePlruState::demote(WayIndex way) {
-  SNUG_REQUIRE(way < assoc_);
-  // Point every bit on the path TOWARD `way`.
-  std::uint32_t node = 1;
-  for (std::uint32_t level = 0; level < levels_; ++level) {
-    const std::uint32_t bit = (way >> (levels_ - 1 - level)) & 1U;
-    bits_[node] = static_cast<std::uint8_t>(bit);
-    node = node * 2 + bit;
-  }
-}
-
-std::uint32_t TreePlruState::rank_of(WayIndex way) const {
-  SNUG_REQUIRE(way < assoc_);
-  // Approximate: count path bits pointing toward `way` (more == colder).
-  std::uint32_t node = 1;
-  std::uint32_t toward = 0;
-  for (std::uint32_t level = 0; level < levels_; ++level) {
-    const std::uint32_t bit = (way >> (levels_ - 1 - level)) & 1U;
-    if (bits_[node] == bit) ++toward;
-    node = node * 2 + bit;
-  }
-  return toward * (assoc_ - 1) / (levels_ == 0 ? 1 : levels_);
 }
 
 }  // namespace snug::cache

@@ -1,15 +1,35 @@
-// Per-set replacement policies.
+// Per-set replacement policies over flat byte-packed state.
 //
 // The paper assumes true LRU everywhere (its capacity-demand math relies on
 // the LRU stack property, Mattson et al. 1970).  FIFO, Random and Tree-PLRU
 // are provided for the ablation benches, which quantify how much of SNUG's
 // benefit survives under cheaper policies.
+//
+// Every set's policy state is `assoc` bytes inside one flat array owned by
+// the cache — no per-set allocation, no virtual dispatch.  Callers pass the
+// set's byte slice to the free functions below, which switch on the policy
+// kind once per operation (a perfectly predicted branch, hoisted out of the
+// way-scan loops).  Per-policy interpretation of the slice:
+//
+//   kLru       state[w] = recency rank (0 == MRU, assoc-1 == LRU)
+//   kFifo      state[w] = fill-recency rank (0 == newest fill); hits do
+//              not touch it, so the rank-(assoc-1) way is the oldest fill —
+//              the classic FIFO queue expressed as ranks.  rank_of and
+//              victim are O(1)/O(assoc) byte reads instead of the old
+//              sequence-number counting (O(assoc²) rank_of), and demote
+//              always produces a unique oldest way (the old sequence
+//              representation pinned demoted ways at order 0, so two
+//              demotions with an oldest sequence of 0 became
+//              indistinguishable to victim()).
+//   kRandom    state[0] = way demoted since the last victim pick
+//              (kNoDemotedWay when none)
+//   kTreePlru  state[1..assoc-1] = heap-indexed tree bits, root at 1
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <vector>
 
+#include "common/bitutil.hpp"
+#include "common/require.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
@@ -24,99 +44,285 @@ enum class ReplacementKind : std::uint8_t {
 
 [[nodiscard]] const char* to_string(ReplacementKind k) noexcept;
 
-/// Replacement state for one cache set.
-class ReplacementState {
- public:
-  virtual ~ReplacementState() = default;
+/// The victim scan and the cache's per-set occupancy word build 64-bit
+/// way bitmasks, so 64 ways is the hard ceiling (ranks and way indices
+/// also fit a byte, and kRandom reserves 0xFF as its "no demoted way"
+/// sentinel).
+inline constexpr std::uint32_t kMaxReplAssoc = 64;
+inline constexpr std::uint8_t kNoDemotedWay = 0xFF;
 
-  /// A hit touched `way`.
-  virtual void on_access(WayIndex way) = 0;
-  /// A new line was installed in `way` (counts as a touch for most policies).
-  virtual void on_fill(WayIndex way) = 0;
-  /// Chooses the victim way among all valid ways; never returns kInvalidWay.
-  [[nodiscard]] virtual WayIndex victim() = 0;
-  /// Moves `way` to the least-recently-used position so it is evicted next.
-  /// Cooperative-caching schemes use this to make received blocks cheap to
-  /// displace without evicting local blocks eagerly.
-  virtual void demote(WayIndex way) = 0;
+namespace repl {
 
-  /// Places `way` at recency rank `rank` (0 == MRU).  Exact for LRU; other
-  /// policies approximate (rank in the colder half degrades to demote).
-  virtual void place_at(WayIndex way, std::uint32_t rank);
+// ------------------------------------------------------ rank primitives
+// Shared by kLru and kFifo: `state` is a permutation of [0, assoc).
 
-  /// Recency rank of `way`: 0 == MRU, assoc-1 == LRU.  Exact for LRU; the
-  /// other policies return an approximation good enough for stats.
-  [[nodiscard]] virtual std::uint32_t rank_of(WayIndex way) const = 0;
-};
+/// Moves `way` to `target` rank, ageing / rejuvenating the ways in
+/// between by one.  The loop body is branch-light over contiguous bytes.
+inline void rank_move(std::uint8_t* state, std::uint32_t assoc,
+                      WayIndex way, std::uint32_t target) noexcept {
+  const std::uint32_t old_rank = state[way];
+  if (old_rank == target) return;
+  if (target < old_rank) {
+    // Everything in [target, old) ages by one.
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+      const std::uint8_t r = state[w];
+      state[w] = static_cast<std::uint8_t>(
+          r + ((r >= target && r < old_rank) ? 1 : 0));
+    }
+  } else {
+    // Everything in (old, target] rejuvenates by one.
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+      const std::uint8_t r = state[w];
+      state[w] = static_cast<std::uint8_t>(
+          r - ((r > old_rank && r <= target) ? 1 : 0));
+    }
+  }
+  state[way] = static_cast<std::uint8_t>(target);
+}
 
-/// Factory.  `rng` may be nullptr for deterministic policies; kRandom
-/// requires it and keeps the pointer (caller owns the Rng).
-std::unique_ptr<ReplacementState> make_replacement(ReplacementKind kind,
-                                                   std::uint32_t assoc,
-                                                   Rng* rng = nullptr);
+/// Moves `way` to the MRU rank: every warmer way ages by one.  Fully
+/// branchless — the aging predicate folds into the arithmetic, and when
+/// `way` is already MRU the loop adds zeros.
+inline void rank_touch(std::uint8_t* state, std::uint32_t assoc,
+                       WayIndex way) noexcept {
+  const std::uint8_t old_rank = state[way];
+  for (std::uint32_t w = 0; w < assoc; ++w) {
+    const std::uint8_t r = state[w];
+    state[w] = static_cast<std::uint8_t>(r + (r < old_rank ? 1 : 0));
+  }
+  state[way] = 0;
+}
 
-/// True LRU via an explicit recency ordering (rank array).
-class LruState final : public ReplacementState {
- public:
-  explicit LruState(std::uint32_t assoc);
-  void on_access(WayIndex way) override;
-  void on_fill(WayIndex way) override;
-  [[nodiscard]] WayIndex victim() override;
-  void demote(WayIndex way) override;
-  void place_at(WayIndex way, std::uint32_t rank) override;
-  [[nodiscard]] std::uint32_t rank_of(WayIndex way) const override;
+/// Moves `way` to the LRU rank: every colder way rejuvenates by one.
+inline void rank_demote(std::uint8_t* state, std::uint32_t assoc,
+                        WayIndex way) noexcept {
+  const std::uint8_t old_rank = state[way];
+  for (std::uint32_t w = 0; w < assoc; ++w) {
+    const std::uint8_t r = state[w];
+    state[w] = static_cast<std::uint8_t>(r - (r > old_rank ? 1 : 0));
+  }
+  state[way] = static_cast<std::uint8_t>(assoc - 1);
+}
 
- private:
-  void move_to_rank(WayIndex way, std::uint32_t target_rank);
-  std::vector<std::uint8_t> rank_;  // rank_[way] in [0, assoc)
-};
+/// The way at the coldest rank.  Ranks are a permutation, so the match is
+/// unique; the mask scan is branch-free over one cache line of bytes.
+[[nodiscard]] inline WayIndex rank_victim(const std::uint8_t* state,
+                                          std::uint32_t assoc) noexcept {
+  const std::uint8_t lru_rank = static_cast<std::uint8_t>(assoc - 1);
+  std::uint64_t m = 0;
+  for (WayIndex w = 0; w < assoc; ++w) {
+    m |= static_cast<std::uint64_t>(state[w] == lru_rank) << w;
+  }
+  SNUG_ENSURE(m != 0);  // rank state corrupt: not a permutation
+  return static_cast<WayIndex>(std::countr_zero(m));
+}
 
-/// FIFO: victim is the oldest fill; hits do not update state.
-class FifoState final : public ReplacementState {
- public:
-  explicit FifoState(std::uint32_t assoc);
-  void on_access(WayIndex /*way*/) override {}
-  void on_fill(WayIndex way) override;
-  [[nodiscard]] WayIndex victim() override;
-  void demote(WayIndex way) override;
-  [[nodiscard]] std::uint32_t rank_of(WayIndex way) const override;
+// -------------------------------------------------- tree-plru primitives
 
- private:
-  std::vector<std::uint32_t> order_;  // order_[way] = fill sequence
-  std::uint32_t next_seq_;
-  std::uint32_t assoc_;
-};
+/// Walks from the root pointing every bit AWAY from `way` (a touch).
+inline void plru_touch(std::uint8_t* state, std::uint32_t assoc,
+                       WayIndex way) noexcept {
+  const std::uint32_t levels = log2i(assoc);
+  std::uint32_t node = 1;
+  for (std::uint32_t level = 0; level < levels; ++level) {
+    const std::uint32_t bit = (way >> (levels - 1 - level)) & 1U;
+    state[node] = static_cast<std::uint8_t>(bit ^ 1U);
+    node = node * 2 + bit;
+  }
+}
 
-/// Uniform random victim.
-class RandomState final : public ReplacementState {
- public:
-  RandomState(std::uint32_t assoc, Rng* rng);
-  void on_access(WayIndex /*way*/) override {}
-  void on_fill(WayIndex /*way*/) override {}
-  [[nodiscard]] WayIndex victim() override;
-  void demote(WayIndex way) override;
-  [[nodiscard]] std::uint32_t rank_of(WayIndex way) const override;
+/// Walks from the root pointing every bit TOWARD `way` (a demotion).
+inline void plru_demote(std::uint8_t* state, std::uint32_t assoc,
+                        WayIndex way) noexcept {
+  const std::uint32_t levels = log2i(assoc);
+  std::uint32_t node = 1;
+  for (std::uint32_t level = 0; level < levels; ++level) {
+    const std::uint32_t bit = (way >> (levels - 1 - level)) & 1U;
+    state[node] = static_cast<std::uint8_t>(bit);
+    node = node * 2 + bit;
+  }
+}
 
- private:
-  std::uint32_t assoc_;
-  Rng* rng_;
-  WayIndex demoted_ = kInvalidWay;
-};
+[[nodiscard]] inline WayIndex plru_victim(const std::uint8_t* state,
+                                          std::uint32_t assoc) noexcept {
+  const std::uint32_t levels = log2i(assoc);
+  std::uint32_t node = 1;
+  std::uint32_t way = 0;
+  for (std::uint32_t level = 0; level < levels; ++level) {
+    const std::uint32_t bit = state[node];
+    way = (way << 1) | bit;
+    node = node * 2 + bit;
+  }
+  return static_cast<WayIndex>(way);
+}
 
-/// Tree pseudo-LRU over a power-of-two associativity.
-class TreePlruState final : public ReplacementState {
- public:
-  explicit TreePlruState(std::uint32_t assoc);
-  void on_access(WayIndex way) override;
-  void on_fill(WayIndex way) override { on_access(way); }
-  [[nodiscard]] WayIndex victim() override;
-  void demote(WayIndex way) override;
-  [[nodiscard]] std::uint32_t rank_of(WayIndex way) const override;
+[[nodiscard]] inline std::uint32_t plru_rank_of(const std::uint8_t* state,
+                                                std::uint32_t assoc,
+                                                WayIndex way) noexcept {
+  // Approximate: count path bits pointing toward `way` (more == colder).
+  const std::uint32_t levels = log2i(assoc);
+  std::uint32_t node = 1;
+  std::uint32_t toward = 0;
+  for (std::uint32_t level = 0; level < levels; ++level) {
+    const std::uint32_t bit = (way >> (levels - 1 - level)) & 1U;
+    if (state[node] == bit) ++toward;
+    node = node * 2 + bit;
+  }
+  return toward * (assoc - 1) / (levels == 0 ? 1 : levels);
+}
 
- private:
-  std::uint32_t assoc_;
-  std::uint32_t levels_;
-  std::vector<std::uint8_t> bits_;  // heap-indexed internal nodes, root at 1
-};
+// ------------------------------------------------------------- dispatch
 
+/// Initialises one set's state slice.  Configuration errors (Tree-PLRU on
+/// a non-power-of-two associativity) abort in every build type.
+inline void init(ReplacementKind kind, std::uint8_t* state,
+                 std::uint32_t assoc) noexcept {
+  SNUG_REQUIRE_MSG(assoc >= 1 && assoc <= kMaxReplAssoc,
+                   "replacement state supports 1..%u ways (got %u)",
+                   kMaxReplAssoc, assoc);
+  switch (kind) {
+    case ReplacementKind::kLru:
+      for (std::uint32_t w = 0; w < assoc; ++w) {
+        state[w] = static_cast<std::uint8_t>(w);
+      }
+      break;
+    case ReplacementKind::kFifo:
+      // The old sequence representation started with order_[w] == w (way 0
+      // oldest); as fill-recency ranks that is rank assoc-1-w.
+      for (std::uint32_t w = 0; w < assoc; ++w) {
+        state[w] = static_cast<std::uint8_t>(assoc - 1 - w);
+      }
+      break;
+    case ReplacementKind::kRandom:
+      state[0] = kNoDemotedWay;
+      break;
+    case ReplacementKind::kTreePlru:
+      SNUG_REQUIRE_MSG(is_pow2(assoc) && assoc >= 2,
+                       "tree-plru needs a power-of-two associativity >= 2 "
+                       "(got %u)",
+                       assoc);
+      for (std::uint32_t w = 0; w < assoc; ++w) state[w] = 0;
+      break;
+  }
+}
+
+/// A hit touched `way`.
+inline void on_access(ReplacementKind kind, std::uint8_t* state,
+                      std::uint32_t assoc, WayIndex way) noexcept {
+  SNUG_REQUIRE(way < assoc);
+  switch (kind) {
+    case ReplacementKind::kLru:
+      rank_touch(state, assoc, way);
+      break;
+    case ReplacementKind::kFifo:
+    case ReplacementKind::kRandom:
+      break;  // hits do not update FIFO/Random state
+    case ReplacementKind::kTreePlru:
+      plru_touch(state, assoc, way);
+      break;
+  }
+}
+
+/// A new line was installed in `way`.
+inline void on_fill(ReplacementKind kind, std::uint8_t* state,
+                    std::uint32_t assoc, WayIndex way) noexcept {
+  SNUG_REQUIRE(way < assoc);
+  switch (kind) {
+    case ReplacementKind::kLru:
+    case ReplacementKind::kFifo:
+      rank_touch(state, assoc, way);
+      break;
+    case ReplacementKind::kRandom:
+      break;
+    case ReplacementKind::kTreePlru:
+      plru_touch(state, assoc, way);
+      break;
+  }
+}
+
+/// Chooses the victim way among all valid ways; never returns
+/// kInvalidWay.  `rng` is consulted by kRandom only (and may be nullptr
+/// for the deterministic policies).
+[[nodiscard]] inline WayIndex victim(ReplacementKind kind,
+                                     std::uint8_t* state,
+                                     std::uint32_t assoc,
+                                     Rng* rng) noexcept {
+  switch (kind) {
+    case ReplacementKind::kLru:
+    case ReplacementKind::kFifo:
+      return rank_victim(state, assoc);
+    case ReplacementKind::kRandom: {
+      if (state[0] != kNoDemotedWay) {
+        const WayIndex w = state[0];
+        state[0] = kNoDemotedWay;
+        return w;
+      }
+      SNUG_ENSURE(rng != nullptr);  // kRandom without an Rng is a config bug
+      return static_cast<WayIndex>(rng->below(assoc));
+    }
+    case ReplacementKind::kTreePlru:
+      return plru_victim(state, assoc);
+  }
+  SNUG_ENSURE(false);
+  return kInvalidWay;
+}
+
+/// Moves `way` to the least-recently-used position so it is evicted next.
+/// Cooperative-caching schemes use this to make received blocks cheap to
+/// displace without evicting local blocks eagerly.
+inline void demote(ReplacementKind kind, std::uint8_t* state,
+                   std::uint32_t assoc, WayIndex way) noexcept {
+  SNUG_REQUIRE(way < assoc);
+  switch (kind) {
+    case ReplacementKind::kLru:
+    case ReplacementKind::kFifo:
+      rank_demote(state, assoc, way);
+      break;
+    case ReplacementKind::kRandom:
+      state[0] = static_cast<std::uint8_t>(way);
+      break;
+    case ReplacementKind::kTreePlru:
+      plru_demote(state, assoc, way);
+      break;
+  }
+}
+
+/// Places `way` at recency rank `rank` (0 == MRU).  Exact for LRU; other
+/// policies approximate (rank in the colder half degrades to demote).
+inline void place_at(ReplacementKind kind, std::uint8_t* state,
+                     std::uint32_t assoc, WayIndex way,
+                     std::uint32_t rank) noexcept {
+  SNUG_REQUIRE(way < assoc);
+  SNUG_REQUIRE(rank < assoc);
+  if (kind == ReplacementKind::kLru) {
+    rank_move(state, assoc, way, rank);
+  } else if (rank == 0) {
+    on_access(kind, state, assoc, way);
+  } else {
+    demote(kind, state, assoc, way);
+  }
+}
+
+/// Recency rank of `way`: 0 == MRU, assoc-1 == LRU.  Exact for LRU and
+/// FIFO (a direct byte read); the other policies return an approximation
+/// good enough for stats.
+[[nodiscard]] inline std::uint32_t rank_of(ReplacementKind kind,
+                                           const std::uint8_t* state,
+                                           std::uint32_t assoc,
+                                           WayIndex way) noexcept {
+  SNUG_REQUIRE(way < assoc);
+  switch (kind) {
+    case ReplacementKind::kLru:
+    case ReplacementKind::kFifo:
+      return state[way];
+    case ReplacementKind::kRandom:
+      return way == state[0] ? assoc - 1 : 0;
+    case ReplacementKind::kTreePlru:
+      return plru_rank_of(state, assoc, way);
+  }
+  SNUG_ENSURE(false);
+  return 0;
+}
+
+}  // namespace repl
 }  // namespace snug::cache

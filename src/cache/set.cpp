@@ -1,135 +1,17 @@
 #include "cache/set.hpp"
 
-#include <algorithm>
-
 #include "common/require.hpp"
 
 namespace snug::cache {
 
-CacheSet::CacheSet(std::uint32_t assoc, ReplacementKind kind, Rng* rng)
-    : lines_(assoc), repl_(make_replacement(kind, assoc, rng)) {
-  SNUG_REQUIRE(assoc >= 1);
-}
-
-WayIndex CacheSet::find_local(std::uint64_t tag) const noexcept {
-  for (WayIndex w = 0; w < lines_.size(); ++w) {
-    const CacheLine& l = lines_[w];
-    if (l.valid && !l.cc && l.tag == tag) return w;
-  }
-  return kInvalidWay;
-}
-
-WayIndex CacheSet::find_cc(std::uint64_t tag, bool flipped) const noexcept {
-  for (WayIndex w = 0; w < lines_.size(); ++w) {
-    const CacheLine& l = lines_[w];
-    if (l.valid && l.cc && l.flipped == flipped && l.tag == tag) return w;
-  }
-  return kInvalidWay;
-}
-
-WayIndex CacheSet::find_any(std::uint64_t tag) const noexcept {
-  for (WayIndex w = 0; w < lines_.size(); ++w) {
-    const CacheLine& l = lines_[w];
-    if (l.valid && l.tag == tag) return w;
-  }
-  return kInvalidWay;
-}
-
-WayIndex CacheSet::find_invalid() const noexcept {
-  for (WayIndex w = 0; w < lines_.size(); ++w) {
-    if (!lines_[w].valid) return w;
-  }
-  return kInvalidWay;
-}
-
-void CacheSet::touch(WayIndex way) {
-  SNUG_REQUIRE(way < lines_.size());
-  SNUG_REQUIRE(lines_[way].valid);
-  repl_->on_access(way);
-}
-
-WayIndex CacheSet::choose_victim() {
-  const WayIndex inv = find_invalid();
-  if (inv != kInvalidWay) return inv;
-  return repl_->victim();
-}
-
-CacheLine CacheSet::fill(WayIndex way, const CacheLine& line) {
-  SNUG_REQUIRE(way < lines_.size());
-  SNUG_REQUIRE(line.valid);
-  const CacheLine displaced = lines_[way];
-  lines_[way] = line;
-  repl_->on_fill(way);
-  return displaced;
-}
-
-CacheLine CacheSet::fill_demoted(WayIndex way, const CacheLine& line) {
-  const CacheLine displaced = fill(way, line);
-  repl_->demote(way);
-  return displaced;
-}
-
-WayIndex CacheSet::choose_victim_prefer_guests() {
-  const WayIndex inv = find_invalid();
-  if (inv != kInvalidWay) return inv;
-  WayIndex coldest_guest = kInvalidWay;
-  std::uint32_t coldest_rank = 0;
-  for (WayIndex w = 0; w < lines_.size(); ++w) {
-    if (!lines_[w].valid || !lines_[w].cc) continue;
-    const std::uint32_t r = repl_->rank_of(w);
-    if (coldest_guest == kInvalidWay || r > coldest_rank) {
-      coldest_guest = w;
-      coldest_rank = r;
-    }
-  }
-  if (coldest_guest != kInvalidWay) return coldest_guest;
-  return repl_->victim();
-}
-
-void CacheSet::invalidate(WayIndex way) {
-  SNUG_REQUIRE(way < lines_.size());
-  lines_[way].invalidate();
-  // An invalid way is picked before the policy victim, so no policy update
-  // is required here.
-}
-
-void CacheSet::demote(WayIndex way) {
-  SNUG_REQUIRE(way < lines_.size());
-  repl_->demote(way);
-}
-
-const CacheLine& CacheSet::line(WayIndex way) const {
-  SNUG_REQUIRE(way < lines_.size());
-  return lines_[way];
-}
-
-CacheLine& CacheSet::line_mut(WayIndex way) {
-  SNUG_REQUIRE(way < lines_.size());
-  return lines_[way];
-}
-
-std::uint32_t CacheSet::rank_of(WayIndex way) const {
-  SNUG_REQUIRE(way < lines_.size());
-  return repl_->rank_of(way);
-}
-
-std::uint32_t CacheSet::valid_count() const noexcept {
-  std::uint32_t n = 0;
-  for (const auto& l : lines_) n += l.valid ? 1 : 0;
-  return n;
-}
-
-std::uint32_t CacheSet::cc_count() const noexcept {
-  std::uint32_t n = 0;
-  for (const auto& l : lines_) n += (l.valid && l.cc) ? 1 : 0;
-  return n;
-}
-
-void CacheSet::for_each_valid(
-    const std::function<void(WayIndex, const CacheLine&)>& fn) const {
-  for (WayIndex w = 0; w < lines_.size(); ++w) {
-    if (lines_[w].valid) fn(w, lines_[w]);
-  }
+SoloSet::SoloSet(std::uint32_t assoc, ReplacementKind kind, Rng* rng)
+    : tags_(assoc, 0),
+      meta_(assoc, kMetaInvalid),
+      repl_(assoc, 0),
+      kind_(kind),
+      rng_(rng) {
+  SNUG_REQUIRE_MSG(assoc >= 1, "a set needs at least one way");
+  repl::init(kind, repl_.data(), assoc);
 }
 
 }  // namespace snug::cache

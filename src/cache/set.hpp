@@ -1,13 +1,21 @@
-// One cache set: an array of CacheLine plus replacement state.
+// One cache set, as a *view*: CacheSet is a non-owning window onto one
+// set's slice of the structure-of-arrays storage owned by SetAssocCache
+// (cache/cache.hpp) — a contiguous tag run, a packed LineMeta run and the
+// replacement-state bytes.  The lookup scans are branch-light loops over
+// those contiguous runs, and replacement updates dispatch statically
+// (cache/replacement.hpp); nothing here allocates or makes virtual calls.
+//
 // The set offers mechanism only (lookup / touch / victim / fill /
 // invalidate); all policy — whether to spill a victim, where received
 // blocks are inserted, which lines may be displaced — lives in the scheme
 // layer (src/schemes) and the SNUG controller (src/core).
+//
+// Like std::span, the view is shallow-const: a `const CacheSet` still
+// refers to mutable storage.  Unit tests that need a set without a whole
+// cache use SoloSet, which owns single-set arrays and hands out views.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <vector>
 
 #include "cache/line.hpp"
@@ -18,46 +26,153 @@ namespace snug::cache {
 
 class CacheSet {
  public:
-  CacheSet(std::uint32_t assoc, ReplacementKind kind, Rng* rng = nullptr);
+  /// `occupancy` is the set's valid-way bitmask word (bit w set ⟺ way w
+  /// holds a valid line) — a one-load find_invalid instead of a meta scan.
+  /// `cc_count` is the set's live cooperative-line count; both are derived
+  /// state the view maintains through fill/invalidate.  The count lets
+  /// find_cc answer "no guests here" from one hot byte instead of walking
+  /// the (much larger, usually cache-cold) tag run — the common case for
+  /// every peer probe of a retrieve broadcast.
+  CacheSet(std::uint64_t* tags, LineMeta* meta, std::uint8_t* repl_state,
+           std::uint64_t* occupancy, std::uint16_t* cc_count,
+           std::uint32_t assoc, ReplacementKind kind, Rng* rng) noexcept
+      : tags_(tags),
+        meta_(meta),
+        repl_(repl_state),
+        occ_(occupancy),
+        cc_count_(cc_count),
+        assoc_(assoc),
+        kind_(kind),
+        rng_(rng) {}
 
-  // Non-copyable (owns replacement state), movable.
-  CacheSet(const CacheSet&) = delete;
-  CacheSet& operator=(const CacheSet&) = delete;
-  CacheSet(CacheSet&&) noexcept = default;
-  CacheSet& operator=(CacheSet&&) noexcept = default;
+  [[nodiscard]] std::uint32_t assoc() const noexcept { return assoc_; }
 
-  [[nodiscard]] std::uint32_t assoc() const noexcept {
-    return static_cast<std::uint32_t>(lines_.size());
-  }
+  // Two scan strategies, picked by set width (both return the identical
+  // way, so simulation output does not depend on the choice):
+  //
+  //  * narrow sets (L1, <= kBranchFreeScanMaxAssoc ways) — a branch-free
+  //    mask pass over the whole tag run, then a metadata check on the
+  //    matched candidates (almost always at most one).  An early-exit
+  //    scan here takes a data-dependent branch at an unpredictable way
+  //    index — a guaranteed ~15-cycle mispredict per lookup on data that
+  //    is otherwise L1-resident.
+  //  * wide sets (L2 slices) — classic early-exit scan.  Their tag runs
+  //    span multiple machine cache lines and are usually cold, so the
+  //    scan cost is lines touched, not branches: exiting early skips
+  //    whole lines, which beats mispredict-free full scans.
+
+  static constexpr std::uint32_t kBranchFreeScanMaxAssoc = 8;
 
   /// Way holding a valid *local* (CC==0) line with this tag, or kInvalidWay.
-  [[nodiscard]] WayIndex find_local(std::uint64_t tag) const noexcept;
+  [[nodiscard]] WayIndex find_local(std::uint64_t tag) const noexcept {
+    if (assoc_ <= kBranchFreeScanMaxAssoc) {
+      for (std::uint32_t m = tag_match_mask(tag); m != 0; m &= m - 1) {
+        const auto w = static_cast<WayIndex>(std::countr_zero(m));
+        if ((meta_[w] & (kMetaValid | kMetaCc)) == kMetaValid) return w;
+      }
+      return kInvalidWay;
+    }
+    for (WayIndex w = 0; w < assoc_; ++w) {
+      if (tags_[w] == tag &&
+          (meta_[w] & (kMetaValid | kMetaCc)) == kMetaValid) {
+        return w;
+      }
+    }
+    return kInvalidWay;
+  }
 
   /// Way holding a valid *cooperative* (CC==1) line with this tag and the
   /// given flip flag, or kInvalidWay.
   [[nodiscard]] WayIndex find_cc(std::uint64_t tag,
-                                 bool flipped) const noexcept;
+                                 bool flipped) const noexcept {
+    if (*cc_count_ == 0) return kInvalidWay;  // no guests: skip the scan
+    const LineMeta want = static_cast<LineMeta>(
+        kMetaValid | kMetaCc | (flipped ? kMetaFlipped : 0));
+    if (assoc_ <= kBranchFreeScanMaxAssoc) {
+      for (std::uint32_t m = tag_match_mask(tag); m != 0; m &= m - 1) {
+        const auto w = static_cast<WayIndex>(std::countr_zero(m));
+        if ((meta_[w] & kMetaKeyMask) == want) return w;
+      }
+      return kInvalidWay;
+    }
+    for (WayIndex w = 0; w < assoc_; ++w) {
+      if (tags_[w] == tag && (meta_[w] & kMetaKeyMask) == want) return w;
+    }
+    return kInvalidWay;
+  }
 
   /// Any valid line with this tag regardless of CC/f; or kInvalidWay.
-  [[nodiscard]] WayIndex find_any(std::uint64_t tag) const noexcept;
+  [[nodiscard]] WayIndex find_any(std::uint64_t tag) const noexcept {
+    for (WayIndex w = 0; w < assoc_; ++w) {
+      if (tags_[w] == tag && (meta_[w] & kMetaValid) != 0) return w;
+    }
+    return kInvalidWay;
+  }
 
   /// First invalid way, or kInvalidWay when the set is full.
-  [[nodiscard]] WayIndex find_invalid() const noexcept;
+  [[nodiscard]] WayIndex find_invalid() const noexcept {
+    const std::uint64_t empty = ~*occ_ & low_mask(assoc_);
+    if (empty == 0) return kInvalidWay;
+    return static_cast<WayIndex>(std::countr_zero(empty));
+  }
+
+  [[nodiscard]] bool valid(WayIndex way) const noexcept {
+    SNUG_REQUIRE(way < assoc_);
+    return (meta_[way] & kMetaValid) != 0;
+  }
+
+  [[nodiscard]] bool valid_cc(WayIndex way) const noexcept {
+    SNUG_REQUIRE(way < assoc_);
+    return (meta_[way] & (kMetaValid | kMetaCc)) == (kMetaValid | kMetaCc);
+  }
 
   /// Marks a hit on `way` (updates recency).
-  void touch(WayIndex way);
+  void touch(WayIndex way) const noexcept {
+    SNUG_REQUIRE(way < assoc_);
+    SNUG_REQUIRE(valid(way));
+    repl::on_access(kind_, repl_, assoc_, way);
+  }
+
+  /// Marks `way` dirty (an L1 write-back landed on it).
+  void mark_dirty(WayIndex way) const noexcept {
+    SNUG_REQUIRE(valid(way));
+    meta_[way] |= kMetaDirty;
+  }
 
   /// Chooses the way a new line would displace: an invalid way if one
   /// exists, otherwise the replacement policy's victim.
-  [[nodiscard]] WayIndex choose_victim();
+  [[nodiscard]] WayIndex choose_victim() const noexcept {
+    const WayIndex inv = find_invalid();
+    if (inv != kInvalidWay) return inv;
+    return repl::victim(kind_, repl_, assoc_, rng_);
+  }
 
   /// Installs `line` into `way` and returns the displaced line (invalid if
   /// the way was empty).  The new line becomes MRU.
-  CacheLine fill(WayIndex way, const CacheLine& line);
+  CacheLine fill(WayIndex way, const CacheLine& line) const noexcept {
+    SNUG_REQUIRE(way < assoc_);
+    SNUG_REQUIRE(line.valid);
+    const CacheLine displaced = unpack_line(tags_[way], meta_[way]);
+    tags_[way] = line.tag;
+    meta_[way] = pack_meta(line);
+    *occ_ |= std::uint64_t{1} << way;
+    const int cc_delta =
+        (line.cc ? 1 : 0) - ((displaced.valid && displaced.cc) ? 1 : 0);
+    if (cc_delta != 0) {  // local fills displacing local lines skip the store
+      *cc_count_ = static_cast<std::uint16_t>(
+          static_cast<int>(*cc_count_) + cc_delta);
+    }
+    repl::on_fill(kind_, repl_, assoc_, way);
+    return displaced;
+  }
 
   /// Installs `line` into `way` at the LRU position (used for received
   /// cooperative blocks under the "demoted insertion" ablation).
-  CacheLine fill_demoted(WayIndex way, const CacheLine& line);
+  CacheLine fill_demoted(WayIndex way, const CacheLine& line) const noexcept {
+    const CacheLine displaced = fill(way, line);
+    repl::demote(kind_, repl_, assoc_, way);
+    return displaced;
+  }
 
   /// Victim choice for an incoming cooperative guest: an invalid way if
   /// any, else the coldest existing guest, else the policy victim.
@@ -65,29 +180,116 @@ class CacheSet {
   /// capacity a host can lose to spills: once guests occupy a set, new
   /// guests displace old guests, never the host's local lines — givers
   /// donate capacity "with little performance degradation" (Section 1).
-  [[nodiscard]] WayIndex choose_victim_prefer_guests();
+  [[nodiscard]] WayIndex choose_victim_prefer_guests() const noexcept {
+    const WayIndex inv = find_invalid();
+    if (inv != kInvalidWay) return inv;
+    WayIndex coldest_guest = kInvalidWay;
+    std::uint32_t coldest_rank = 0;
+    for (WayIndex w = 0; w < assoc_; ++w) {
+      if (!valid_cc(w)) continue;
+      const std::uint32_t r = repl::rank_of(kind_, repl_, assoc_, w);
+      if (coldest_guest == kInvalidWay || r > coldest_rank) {
+        coldest_guest = w;
+        coldest_rank = r;
+      }
+    }
+    if (coldest_guest != kInvalidWay) return coldest_guest;
+    return repl::victim(kind_, repl_, assoc_, rng_);
+  }
 
-  void invalidate(WayIndex way);
+  void invalidate(WayIndex way) const noexcept {
+    SNUG_REQUIRE(way < assoc_);
+    if (valid_cc(way)) {
+      *cc_count_ = static_cast<std::uint16_t>(*cc_count_ - 1);
+    }
+    tags_[way] = 0;
+    meta_[way] = kMetaInvalid;
+    *occ_ &= ~(std::uint64_t{1} << way);
+    // An invalid way is picked before the policy victim, so no policy
+    // update is required here.
+  }
 
   /// Moves `way` to the LRU position without invalidating it.
-  void demote(WayIndex way);
+  void demote(WayIndex way) const noexcept {
+    SNUG_REQUIRE(way < assoc_);
+    repl::demote(kind_, repl_, assoc_, way);
+  }
 
-  [[nodiscard]] const CacheLine& line(WayIndex way) const;
-  [[nodiscard]] CacheLine& line_mut(WayIndex way);
+  /// The line at `way`, unpacked (a value — storage stays SoA).
+  [[nodiscard]] CacheLine line(WayIndex way) const noexcept {
+    SNUG_REQUIRE(way < assoc_);
+    return unpack_line(tags_[way], meta_[way]);
+  }
 
   /// Recency rank (0 == MRU).
-  [[nodiscard]] std::uint32_t rank_of(WayIndex way) const;
+  [[nodiscard]] std::uint32_t rank_of(WayIndex way) const noexcept {
+    SNUG_REQUIRE(way < assoc_);
+    return repl::rank_of(kind_, repl_, assoc_, way);
+  }
 
-  [[nodiscard]] std::uint32_t valid_count() const noexcept;
-  [[nodiscard]] std::uint32_t cc_count() const noexcept;
+  [[nodiscard]] std::uint32_t valid_count() const noexcept {
+    std::uint32_t n = 0;
+    for (WayIndex w = 0; w < assoc_; ++w) {
+      n += (meta_[w] & kMetaValid) != 0 ? 1 : 0;
+    }
+    return n;
+  }
 
-  /// Calls fn(way, line) for every valid line.
-  void for_each_valid(
-      const std::function<void(WayIndex, const CacheLine&)>& fn) const;
+  [[nodiscard]] std::uint32_t cc_count() const noexcept { return *cc_count_; }
+
+  /// Calls fn(way, line) for every valid line.  Statically dispatched —
+  /// fn inlines into the scan (the old std::function version boxed the
+  /// callable and paid an indirect call per line).
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) const {
+    for (WayIndex w = 0; w < assoc_; ++w) {
+      if ((meta_[w] & kMetaValid) != 0) fn(w, unpack_line(tags_[w], meta_[w]));
+    }
+  }
 
  private:
-  std::vector<CacheLine> lines_;
-  std::unique_ptr<ReplacementState> repl_;
+  /// Bitmask of ways whose tag equals `tag` (validity not yet checked).
+  [[nodiscard]] std::uint32_t tag_match_mask(
+      std::uint64_t tag) const noexcept {
+    std::uint32_t m = 0;
+    for (WayIndex w = 0; w < assoc_; ++w) {
+      m |= static_cast<std::uint32_t>(tags_[w] == tag) << w;
+    }
+    return m;
+  }
+
+  std::uint64_t* tags_;
+  LineMeta* meta_;
+  std::uint8_t* repl_;
+  std::uint64_t* occ_;
+  std::uint16_t* cc_count_;
+  std::uint32_t assoc_;
+  ReplacementKind kind_;
+  Rng* rng_;
+};
+
+/// An owning single set: the harness unit tests and micro-experiments use
+/// when they want CacheSet mechanics without building a whole cache.
+class SoloSet {
+ public:
+  explicit SoloSet(std::uint32_t assoc,
+                   ReplacementKind kind = ReplacementKind::kLru,
+                   Rng* rng = nullptr);
+
+  /// The view; valid as long as this SoloSet is alive.
+  [[nodiscard]] CacheSet set() noexcept {
+    return {tags_.data(), meta_.data(), repl_.data(), &occ_, &cc_count_,
+            static_cast<std::uint32_t>(tags_.size()), kind_, rng_};
+  }
+
+ private:
+  std::vector<std::uint64_t> tags_;
+  std::vector<LineMeta> meta_;
+  std::vector<std::uint8_t> repl_;
+  std::uint64_t occ_ = 0;
+  std::uint16_t cc_count_ = 0;
+  ReplacementKind kind_;
+  Rng* rng_;
 };
 
 }  // namespace snug::cache

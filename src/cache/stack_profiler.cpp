@@ -9,32 +9,36 @@ namespace snug::cache {
 LruStackProfiler::LruStackProfiler(std::uint32_t num_sets,
                                    std::uint32_t depth)
     : num_sets_(num_sets), depth_(depth) {
-  SNUG_REQUIRE(num_sets >= 1);
-  SNUG_REQUIRE(depth >= 1);
-  stacks_.resize(num_sets);
-  for (auto& s : stacks_) s.reserve(depth);
+  SNUG_REQUIRE_MSG(num_sets >= 1, "profiler needs at least one set");
+  SNUG_REQUIRE_MSG(depth >= 1, "profiler needs depth >= 1");
+  stack_tags_.assign(static_cast<std::size_t>(num_sets) * depth, 0);
+  stack_size_.assign(num_sets, 0);
   hits_.assign(static_cast<std::size_t>(num_sets) * depth, 0);
   deep_misses_.assign(num_sets, 0);
 }
 
 std::uint32_t LruStackProfiler::access(SetIndex set, std::uint64_t tag) {
   SNUG_REQUIRE(set < num_sets_);
-  auto& stack = stacks_[set];
-  const auto it = std::find(stack.begin(), stack.end(), tag);
-  if (it == stack.end()) {
+  std::uint64_t* stack = stack_tags_.data() +
+                         static_cast<std::size_t>(set) * depth_;
+  const std::uint32_t size = stack_size_[set];
+  std::uint32_t pos = 0;
+  while (pos < size && stack[pos] != tag) ++pos;
+  if (pos == size) {
     // Miss past the profiled depth (compulsory, or reuse distance greater
     // than A_threshold — indistinguishable here, as in the paper).
     ++deep_misses_[set];
-    if (stack.size() == depth_) stack.pop_back();
-    stack.insert(stack.begin(), tag);
+    const std::uint32_t keep = size == depth_ ? depth_ - 1 : size;
+    std::copy_backward(stack, stack + keep, stack + keep + 1);
+    stack[0] = tag;
+    stack_size_[set] = keep + 1;
     return 0;
   }
-  const auto pos =
-      static_cast<std::uint32_t>(it - stack.begin()) + 1;  // 1-based
-  stack.erase(it);
-  stack.insert(stack.begin(), tag);
-  ++hits_[static_cast<std::size_t>(set) * depth_ + (pos - 1)];
-  return pos;
+  // Hit at 1-based position pos+1: rotate [0, pos) down one, tag to MRU.
+  std::copy_backward(stack, stack + pos, stack + pos + 1);
+  stack[0] = tag;
+  ++hits_[static_cast<std::size_t>(set) * depth_ + pos];
+  return pos + 1;
 }
 
 std::uint64_t LruStackProfiler::hits_at(SetIndex set,
@@ -73,7 +77,7 @@ void LruStackProfiler::begin_interval() {
 
 void LruStackProfiler::reset() {
   begin_interval();
-  for (auto& s : stacks_) s.clear();
+  std::fill(stack_size_.begin(), stack_size_.end(), 0U);
 }
 
 }  // namespace snug::cache

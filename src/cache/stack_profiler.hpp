@@ -55,8 +55,11 @@ class LruStackProfiler {
  private:
   std::uint32_t num_sets_;
   std::uint32_t depth_;
-  // stacks_[set] holds up to depth_ tags, MRU first.
-  std::vector<std::vector<std::uint64_t>> stacks_;
+  // Flat structure-of-arrays storage (one allocation each, no per-set
+  // vectors): set s's stack is stack_tags_[s*depth_ .. s*depth_+
+  // stack_size_[s]), MRU first.
+  std::vector<std::uint64_t> stack_tags_;
+  std::vector<std::uint32_t> stack_size_;
   // hits_[set * depth_ + (pos-1)]
   std::vector<std::uint64_t> hits_;
   std::vector<std::uint64_t> deep_misses_;

@@ -7,8 +7,8 @@
 namespace snug::cache {
 
 WriteBackBuffer::WriteBackBuffer(const WbbConfig& cfg) : cfg_(cfg) {
-  SNUG_REQUIRE(cfg.entries >= 1);
-  SNUG_REQUIRE(cfg.drain_interval >= 1);
+  SNUG_ENSURE(cfg.entries >= 1);
+  SNUG_ENSURE(cfg.drain_interval >= 1);
 }
 
 Cycle WriteBackBuffer::insert(Addr block_addr, Cycle now) {

@@ -4,10 +4,22 @@
 
 #include <bit>
 #include <cstdint>
+#include <string_view>
 
 #include "common/require.hpp"
 
 namespace snug {
+
+/// FNV-1a over a byte string.  Used to derive named Rng streams and to
+/// pin golden-output regression hashes (tests/sim/golden_fig9_test.cpp).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
 
 /// True iff v is a power of two (0 is not).
 [[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {

@@ -2,6 +2,27 @@
 // Expects/Ensures.  Violations abort with a location message: a simulator
 // that silently continues after an invariant break produces subtly wrong
 // numbers, which is worse than a crash.
+//
+// The three macros differ in when they are compiled in:
+//
+//  SNUG_REQUIRE      hot-path precondition (bounds, lookup contracts).
+//                    Compiled OUT under NDEBUG: Release / RelWithPerf
+//                    builds pay nothing for the checks the cache inner
+//                    loop performs millions of times per simulated
+//                    second.  The default RelWithDebInfo configuration
+//                    deliberately strips -DNDEBUG (CMakeLists.txt) so
+//                    tier-1 test runs still execute every check.  The
+//                    expression is still parsed (inside an unevaluated
+//                    operand), so guarded-variable warnings do not
+//                    appear in either configuration.
+//  SNUG_ENSURE       invariant on simulation *results* (completion times,
+//                    conservation of cooperative copies).  Always on, in
+//                    every build type: a broken invariant means the
+//                    numbers are wrong, and fast wrong numbers are worse
+//                    than slow right ones.
+//  SNUG_REQUIRE_MSG  configuration error with a printf diagnostic.
+//                    Always on: it fires on user input (scenario specs,
+//                    CLI flags), never on the hot path.
 #pragma once
 
 #include <cstdarg>
@@ -30,10 +51,15 @@ namespace snug::detail {
 
 }  // namespace snug::detail
 
+#ifdef NDEBUG
+#define SNUG_REQUIRE(expr) \
+  static_cast<void>(sizeof((expr) ? 1 : 0))
+#else
 #define SNUG_REQUIRE(expr)                                                  \
   ((expr) ? static_cast<void>(0)                                            \
           : ::snug::detail::require_failed("precondition", #expr, __FILE__, \
                                            __LINE__))
+#endif
 
 #define SNUG_ENSURE(expr)                                                  \
   ((expr) ? static_cast<void>(0)                                           \

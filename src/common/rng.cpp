@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/bitutil.hpp"
 #include "common/require.hpp"
 
 namespace snug {
@@ -19,16 +20,6 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
-// FNV-1a over the tag bytes; good enough to decorrelate named streams.
-std::uint64_t fnv1a(std::string_view s) noexcept {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const char c : s) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) noexcept {
@@ -38,39 +29,10 @@ Rng::Rng(std::uint64_t seed) noexcept {
 
 std::uint64_t Rng::derive_seed(std::string_view tag, std::uint64_t a,
                                std::uint64_t b) noexcept {
-  std::uint64_t h = fnv1a(tag);
+  std::uint64_t h = fnv1a64(tag);
   std::uint64_t sm = h ^ (a * 0x9E3779B97F4A7C15ULL) ^ rotl(b, 31);
   // One SplitMix round to mix the integer contributions through.
   return splitmix64(sm);
-}
-
-std::uint64_t Rng::next() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::below(std::uint64_t bound) noexcept {
-  SNUG_REQUIRE(bound > 0);
-  // Lemire's nearly-divisionless method with rejection for exact uniformity.
-  std::uint64_t x = next();
-  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
-  auto low = static_cast<std::uint64_t>(m);
-  if (low < bound) {
-    const std::uint64_t threshold = -bound % bound;
-    while (low < threshold) {
-      x = next();
-      m = static_cast<unsigned __int128>(x) * bound;
-      low = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
 }
 
 std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
@@ -78,17 +40,6 @@ std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
   const auto span =
       static_cast<std::uint64_t>(hi - lo) + 1;  // hi-lo < 2^63 in our uses
   return lo + static_cast<std::int64_t>(below(span));
-}
-
-double Rng::uniform() noexcept {
-  // 53 high bits -> double in [0,1).
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::chance(double p) noexcept {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
 }
 
 std::uint32_t Rng::truncated_geometric(std::uint32_t n, double q) noexcept {

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/require.hpp"
+
 namespace snug {
 
 /// xoshiro256** pseudo-random generator with convenience samplers.
@@ -26,8 +28,20 @@ class Rng {
   static std::uint64_t derive_seed(std::string_view tag, std::uint64_t a = 0,
                                    std::uint64_t b = 0) noexcept;
 
-  /// Raw 64 random bits.
-  std::uint64_t next() noexcept;
+  /// Raw 64 random bits.  Inline: every synthesised instruction and every
+  /// spill coin-flip draws from this, so the generator must not cost a
+  /// cross-TU call per sample.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl_(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl_(s_[3], 45);
+    return result;
+  }
 
   // UniformRandomBitGenerator interface so <algorithm> shuffles work.
   static constexpr result_type min() noexcept { return 0; }
@@ -35,16 +49,36 @@ class Rng {
   result_type operator()() noexcept { return next(); }
 
   /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
-  std::uint64_t below(std::uint64_t bound) noexcept;
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    SNUG_REQUIRE(bound > 0);
+    std::uint64_t x = next();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) [[unlikely]] {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<unsigned __int128>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
 
-  /// Uniform double in [0, 1).
-  double uniform() noexcept;
+  /// Uniform double in [0, 1): 53 high bits of one draw.
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
 
   /// Bernoulli trial with success probability p (clamped to [0,1]).
-  bool chance(double p) noexcept;
+  bool chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
 
   /// Geometric-ish sample in [1, n]: distribution proportional to
   /// q^(k-1), truncated and renormalised.  q==1 degenerates to uniform.
@@ -63,6 +97,10 @@ class Rng {
   }
 
  private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_{};
 };
 

@@ -8,8 +8,8 @@
 namespace snug {
 
 ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
-  SNUG_REQUIRE(n > 0);
-  SNUG_REQUIRE(alpha >= 0.0);
+  SNUG_ENSURE(n > 0);
+  SNUG_ENSURE(alpha >= 0.0);
   cdf_.resize(n);
   double sum = 0.0;
   for (std::size_t i = 0; i < n; ++i) {

@@ -4,13 +4,12 @@
 
 namespace snug::core {
 
-CapacityMonitor::CapacityMonitor(const MonitorConfig& cfg) : cfg_(cfg) {
-  SNUG_REQUIRE(cfg.num_sets >= 2);
-  shadows_.reserve(cfg.num_sets);
+CapacityMonitor::CapacityMonitor(const MonitorConfig& cfg)
+    : cfg_(cfg), shadows_(cfg.num_sets, cfg.assoc) {
+  SNUG_REQUIRE_MSG(cfg.num_sets >= 2, "monitor needs at least two sets");
   counters_.reserve(cfg.num_sets);
   dividers_.reserve(cfg.num_sets);
   for (std::uint32_t s = 0; s < cfg.num_sets; ++s) {
-    shadows_.emplace_back(cfg.assoc);
     counters_.emplace_back(cfg.k_bits, cfg.taker_biased);
     dividers_.emplace_back(cfg.p);
   }
@@ -27,7 +26,7 @@ bool CapacityMonitor::on_local_miss(SetIndex set, std::uint64_t tag) {
   SNUG_REQUIRE(set < cfg_.num_sets);
   // Shadow upkeep must run even when not counting so exclusivity with the
   // real set is preserved across stage boundaries.
-  const bool shadow_hit = shadows_[set].probe_and_remove(tag);
+  const bool shadow_hit = shadows_.probe_and_remove(set, tag);
   if (!counting_) return shadow_hit;
   if (shadow_hit) {
     ++stats_.shadow_hits;
@@ -39,7 +38,7 @@ bool CapacityMonitor::on_local_miss(SetIndex set, std::uint64_t tag) {
 
 void CapacityMonitor::on_local_eviction(SetIndex set, std::uint64_t tag) {
   SNUG_REQUIRE(set < cfg_.num_sets);
-  shadows_[set].insert(tag);
+  shadows_.insert(set, tag);
   ++stats_.shadow_inserts;
 }
 
@@ -57,13 +56,8 @@ const SaturatingCounter& CapacityMonitor::counter(SetIndex set) const {
   return counters_[set];
 }
 
-const ShadowSet& CapacityMonitor::shadow(SetIndex set) const {
-  SNUG_REQUIRE(set < cfg_.num_sets);
-  return shadows_[set];
-}
-
 void CapacityMonitor::reset() {
-  for (auto& sh : shadows_) sh.clear();
+  shadows_.clear();
   for (auto& c : counters_) c.reset();
   for (auto& d : dividers_) d.reset();
   stats_ = MonitorStats{};

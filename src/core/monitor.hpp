@@ -59,14 +59,16 @@ class CapacityMonitor {
 
   [[nodiscard]] const MonitorStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const SaturatingCounter& counter(SetIndex set) const;
-  [[nodiscard]] const ShadowSet& shadow(SetIndex set) const;
+  [[nodiscard]] const ShadowSetArray& shadows() const noexcept {
+    return shadows_;
+  }
   [[nodiscard]] const MonitorConfig& config() const noexcept { return cfg_; }
 
   void reset();
 
  private:
   MonitorConfig cfg_;
-  std::vector<ShadowSet> shadows_;
+  ShadowSetArray shadows_;
   std::vector<SaturatingCounter> counters_;
   std::vector<ModPCounter> dividers_;
   MonitorStats stats_;

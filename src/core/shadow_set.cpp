@@ -1,62 +1,83 @@
 #include "core/shadow_set.hpp"
 
+#include <algorithm>
+#include <bit>
+
+#include "common/bitutil.hpp"
 #include "common/require.hpp"
 
 namespace snug::core {
 
-ShadowSet::ShadowSet(std::uint32_t assoc) : tags_(assoc), lru_(assoc) {
-  SNUG_REQUIRE(assoc >= 1);
+namespace {
+constexpr auto kLru = cache::ReplacementKind::kLru;
+}  // namespace
+
+ShadowSetArray::ShadowSetArray(std::uint32_t num_sets, std::uint32_t assoc)
+    : num_sets_(num_sets), assoc_(assoc) {
+  SNUG_REQUIRE_MSG(num_sets >= 1, "shadow array needs at least one set");
+  SNUG_REQUIRE_MSG(assoc >= 1 && assoc <= 64,
+                   "shadow sets support 1..64 ways (got %u)", assoc);
+  const std::size_t entries = std::size_t{num_sets} * assoc;
+  tags_.assign(entries, 0);
+  valid_.assign(num_sets, 0);
+  rank_.assign(entries, 0);
+  for (std::uint32_t s = 0; s < num_sets; ++s) {
+    cache::repl::init(kLru, rank_.data() + std::size_t{s} * assoc_, assoc_);
+  }
 }
 
-WayIndex ShadowSet::find(std::uint64_t tag) const noexcept {
-  for (WayIndex w = 0; w < tags_.size(); ++w) {
-    if (tags_[w].valid && tags_[w].tag == tag) return w;
+WayIndex ShadowSetArray::find(SetIndex set, std::uint64_t tag) const noexcept {
+  SNUG_REQUIRE(set < num_sets_);
+  const std::uint64_t* tags = tags_.data() + std::size_t{set} * assoc_;
+  std::uint64_t m = valid_[set];
+  while (m != 0) {
+    const auto w = static_cast<WayIndex>(std::countr_zero(m));
+    if (tags[w] == tag) return w;
+    m &= m - 1;
   }
   return kInvalidWay;
 }
 
-void ShadowSet::insert(std::uint64_t tag) {
-  WayIndex w = find(tag);
+void ShadowSetArray::insert(SetIndex set, std::uint64_t tag) {
+  std::uint8_t* rank = rank_.data() + std::size_t{set} * assoc_;
+  WayIndex w = find(set, tag);
   if (w != kInvalidWay) {
-    lru_.on_access(w);  // refresh
+    cache::repl::on_access(kLru, rank, assoc_, w);  // refresh
     return;
   }
   // Prefer an invalid way; otherwise replace the shadow LRU entry.
-  for (WayIndex cand = 0; cand < tags_.size(); ++cand) {
-    if (!tags_[cand].valid) {
-      w = cand;
-      break;
-    }
-  }
-  if (w == kInvalidWay) w = lru_.victim();
-  tags_[w] = {tag, true};
-  lru_.on_fill(w);
+  const std::uint64_t empty = ~valid_[set] & low_mask(assoc_);
+  w = empty != 0 ? static_cast<WayIndex>(std::countr_zero(empty))
+                 : cache::repl::victim(kLru, rank, assoc_, nullptr);
+  tags_[std::size_t{set} * assoc_ + w] = tag;
+  valid_[set] |= std::uint64_t{1} << w;
+  cache::repl::on_fill(kLru, rank, assoc_, w);
 }
 
-bool ShadowSet::probe_and_remove(std::uint64_t tag) {
-  const WayIndex w = find(tag);
+bool ShadowSetArray::probe_and_remove(SetIndex set, std::uint64_t tag) {
+  const WayIndex w = find(set, tag);
   if (w == kInvalidWay) return false;
-  tags_[w].valid = false;
+  valid_[set] &= ~(std::uint64_t{1} << w);
   return true;
 }
 
-bool ShadowSet::contains(std::uint64_t tag) const noexcept {
-  return find(tag) != kInvalidWay;
+bool ShadowSetArray::contains(SetIndex set,
+                              std::uint64_t tag) const noexcept {
+  return find(set, tag) != kInvalidWay;
 }
 
-void ShadowSet::remove(std::uint64_t tag) {
-  const WayIndex w = find(tag);
-  if (w != kInvalidWay) tags_[w].valid = false;
+void ShadowSetArray::remove(SetIndex set, std::uint64_t tag) {
+  const WayIndex w = find(set, tag);
+  if (w != kInvalidWay) valid_[set] &= ~(std::uint64_t{1} << w);
 }
 
-void ShadowSet::clear() {
-  for (auto& e : tags_) e.valid = false;
+void ShadowSetArray::clear() {
+  std::fill(valid_.begin(), valid_.end(), 0ULL);
 }
 
-std::uint32_t ShadowSet::valid_count() const noexcept {
-  std::uint32_t n = 0;
-  for (const auto& e : tags_) n += e.valid ? 1 : 0;
-  return n;
+std::uint32_t ShadowSetArray::valid_count(SetIndex set) const noexcept {
+  SNUG_REQUIRE(set < num_sets_);
+  return static_cast<std::uint32_t>(std::popcount(valid_[set]));
 }
 
 }  // namespace snug::core

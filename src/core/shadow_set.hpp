@@ -6,6 +6,12 @@
 // set: when an evicted block is revisited, its shadow entry is invalidated
 // (and the hit is signalled to the capacity monitor).  The shadow set thus
 // materialises LRU stack positions A+1 .. 2A of the set.
+//
+// Storage is structure-of-arrays across ALL sets of one monitor, the same
+// flat layout as the cache proper (cache/cache.hpp): one contiguous tag
+// array, one per-set valid-way bitmask and one LRU rank-byte array — a
+// shadow probe on the miss path walks two short contiguous runs instead
+// of chasing two heap vectors per set.
 #pragma once
 
 #include <cstdint>
@@ -16,47 +22,45 @@
 
 namespace snug::core {
 
-class ShadowSet {
+class ShadowSetArray {
  public:
-  explicit ShadowSet(std::uint32_t assoc);
+  ShadowSetArray(std::uint32_t num_sets, std::uint32_t assoc);
 
-  ShadowSet(const ShadowSet&) = delete;
-  ShadowSet& operator=(const ShadowSet&) = delete;
-  ShadowSet(ShadowSet&&) noexcept = default;
-  ShadowSet& operator=(ShadowSet&&) noexcept = default;
+  ShadowSetArray(const ShadowSetArray&) = delete;
+  ShadowSetArray& operator=(const ShadowSetArray&) = delete;
+  ShadowSetArray(ShadowSetArray&&) noexcept = default;
+  ShadowSetArray& operator=(ShadowSetArray&&) noexcept = default;
 
-  /// Records a locally evicted tag (replacing the shadow LRU if full).
-  /// Duplicate inserts refresh recency instead of duplicating.
-  void insert(std::uint64_t tag);
+  /// Records a locally evicted tag in `set` (replacing the shadow LRU if
+  /// full).  Duplicate inserts refresh recency instead of duplicating.
+  void insert(SetIndex set, std::uint64_t tag);
 
-  /// True when `tag` is present; the entry is invalidated on a hit
-  /// (exclusivity: the block is about to re-enter the real set).
-  bool probe_and_remove(std::uint64_t tag);
+  /// True when `tag` is present in `set`; the entry is invalidated on a
+  /// hit (exclusivity: the block is about to re-enter the real set).
+  bool probe_and_remove(SetIndex set, std::uint64_t tag);
 
   /// Presence check without side effects.
-  [[nodiscard]] bool contains(std::uint64_t tag) const noexcept;
+  [[nodiscard]] bool contains(SetIndex set, std::uint64_t tag) const noexcept;
 
   /// Drops `tag` if present (used when the real set acquires the block
   /// through a path that did not probe first).
-  void remove(std::uint64_t tag);
+  void remove(SetIndex set, std::uint64_t tag);
 
+  /// Empties every set.
   void clear();
 
-  [[nodiscard]] std::uint32_t valid_count() const noexcept;
-  [[nodiscard]] std::uint32_t assoc() const noexcept {
-    return static_cast<std::uint32_t>(tags_.size());
-  }
+  [[nodiscard]] std::uint32_t valid_count(SetIndex set) const noexcept;
+  [[nodiscard]] std::uint32_t num_sets() const noexcept { return num_sets_; }
+  [[nodiscard]] std::uint32_t assoc() const noexcept { return assoc_; }
 
  private:
-  struct Entry {
-    std::uint64_t tag = 0;
-    bool valid = false;
-  };
+  [[nodiscard]] WayIndex find(SetIndex set, std::uint64_t tag) const noexcept;
 
-  [[nodiscard]] WayIndex find(std::uint64_t tag) const noexcept;
-
-  std::vector<Entry> tags_;
-  cache::LruState lru_;
+  std::uint32_t num_sets_;
+  std::uint32_t assoc_;
+  std::vector<std::uint64_t> tags_;   ///< num_sets * assoc, flat
+  std::vector<std::uint64_t> valid_;  ///< per-set valid-way bitmask
+  std::vector<std::uint8_t> rank_;    ///< num_sets * assoc LRU ranks
 };
 
 }  // namespace snug::core

@@ -7,12 +7,11 @@ namespace snug::cpu {
 Core::Core(CoreId id, const CoreConfig& cfg, trace::InstrStream& stream,
            MemoryPort& mem)
     : id_(id), cfg_(cfg), stream_(stream), mem_(mem) {
-  SNUG_REQUIRE(cfg.issue_width >= 1);
-  SNUG_REQUIRE(cfg.rob_entries >= cfg.issue_width);
-  SNUG_REQUIRE(cfg.lsq_entries >= 1);
-  SNUG_REQUIRE(cfg.code_blocks >= 1);
-  // Code space: a private region far above data (bit 56 tags code).
-  code_base_ = (Addr{1} << 56) | (static_cast<Addr>(id) << 40);
+  SNUG_ENSURE(cfg.issue_width >= 1);
+  SNUG_ENSURE(cfg.rob_entries >= cfg.issue_width);
+  SNUG_ENSURE(cfg.lsq_entries >= 1);
+  SNUG_ENSURE(cfg.code_blocks >= 1);
+  code_base_ = code_base(id);
 }
 
 void Core::step(Cycle now) {

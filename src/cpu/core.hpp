@@ -21,6 +21,13 @@
 
 namespace snug::cpu {
 
+/// The private code region of core `id`: bit 56 tags code, bits 40+ the
+/// core — one definition shared by the core model and the benches that
+/// mimic its per-block fetch pattern.
+[[nodiscard]] constexpr Addr code_base(CoreId id) noexcept {
+  return (Addr{1} << 56) | (static_cast<Addr>(id) << 40);
+}
+
 struct CoreConfig {
   std::uint32_t issue_width = 8;
   std::uint32_t rob_entries = 128;

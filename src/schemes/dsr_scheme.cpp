@@ -9,12 +9,9 @@ DsrScheme::DsrScheme(const PrivateConfig& cfg, const DsrConfig& dsr,
     : PrivateSchemeBase("DSR", cfg, bus, dram), dsr_(dsr) {
   const std::uint32_t num_sets = cfg.l2.num_sets();
 
-  shadows_.resize(cfg.num_cores);
+  shadows_.reserve(cfg.num_cores);
   for (CoreId c = 0; c < cfg.num_cores; ++c) {
-    shadows_[c].reserve(num_sets);
-    for (std::uint32_t s = 0; s < num_sets; ++s) {
-      shadows_[c].emplace_back(cfg.l2.associativity());
-    }
+    shadows_.emplace_back(num_sets, cfg.l2.associativity());
     // Same taker-biased reset point as the SNUG monitor: an application
     // must show hit evidence before it is volunteered as a receiver.
     app_counter_.emplace_back(dsr.k_bits, /*taker_biased=*/true);
@@ -26,13 +23,13 @@ DsrScheme::DsrScheme(const PrivateConfig& cfg, const DsrConfig& dsr,
   controller_->on_group_end = [this] { counting_ = true; };
 
   // Set-dueling ablation variant.
-  SNUG_REQUIRE(dsr.psel_bits >= 4 && dsr.psel_bits <= 20);
+  SNUG_ENSURE(dsr.psel_bits >= 4 && dsr.psel_bits <= 20);
   psel_max_ = (1U << dsr.psel_bits) - 1;
   psel_.assign(cfg.num_cores, (psel_max_ + 1) / 2);
   leaders_.assign(cfg.num_cores,
                   std::vector<LeaderKind>(num_sets, LeaderKind::kNone));
   if (dsr.use_set_dueling) {
-    SNUG_REQUIRE(dsr.leader_sets * 2 <= num_sets);
+    SNUG_ENSURE(dsr.leader_sets * 2 <= num_sets);
     for (CoreId c = 0; c < cfg.num_cores; ++c) {
       Rng leader_rng(Rng::derive_seed("dsr-leaders", c));
       std::uint32_t placed = 0;
@@ -94,7 +91,7 @@ void DsrScheme::on_local_hit(CoreId c, SetIndex /*set*/) {
 
 void DsrScheme::on_local_miss(CoreId c, SetIndex set, std::uint64_t tag) {
   // Shadow upkeep always (exclusivity); counting only during Stage I.
-  const bool shadow_hit = shadows_[c][set].probe_and_remove(tag);
+  const bool shadow_hit = shadows_[c].probe_and_remove(set, tag);
   if (counting_ && shadow_hit) {
     app_counter_[c].increment();
     if (divider_[c].tick()) app_counter_[c].decrement();
@@ -115,7 +112,7 @@ void DsrScheme::on_local_miss(CoreId c, SetIndex set, std::uint64_t tag) {
 
 void DsrScheme::on_local_eviction(CoreId c, SetIndex set,
                                   std::uint64_t tag) {
-  shadows_[c][set].insert(tag);
+  shadows_[c].insert(set, tag);
 }
 
 RemoteResult DsrScheme::probe_peers(CoreId c, Addr addr,

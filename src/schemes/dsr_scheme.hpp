@@ -72,7 +72,7 @@ class DsrScheme final : public PrivateSchemeBase {
 
   DsrConfig dsr_;
   // Monitor-based classification (default).
-  std::vector<std::vector<core::ShadowSet>> shadows_;  // [cache][set]
+  std::vector<core::ShadowSetArray> shadows_;  // [cache](set)
   std::vector<core::SaturatingCounter> app_counter_;
   std::vector<core::ModPCounter> divider_;
   std::vector<Role> roles_;

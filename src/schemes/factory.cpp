@@ -82,7 +82,7 @@ std::unique_ptr<L2Scheme> make_scheme(const SchemeSpec& spec,
     case SchemeKind::kSNUG:
       return std::make_unique<SnugScheme>(ctx.priv, ctx.snug, bus, dram);
   }
-  SNUG_REQUIRE(false);
+  SNUG_ENSURE(false);
   return nullptr;
 }
 

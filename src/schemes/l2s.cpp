@@ -60,7 +60,7 @@ Cycle L2S::access(CoreId c, Addr addr, bool is_write, Cycle now) {
 void L2S::l1_writeback(CoreId /*c*/, Addr addr, Cycle now) {
   const cache::AccessResult res = shared_->probe_local(addr);
   if (res.hit) {
-    shared_->set_mut(res.set).line_mut(res.way).dirty = true;
+    shared_->mark_dirty(res.set, res.way);
     return;
   }
   const Cycle stall =

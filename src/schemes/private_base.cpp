@@ -18,45 +18,47 @@ PrivateSchemeBase::PrivateSchemeBase(std::string scheme_name,
                    "%s cooperates across private slices and needs "
                    "num_cores >= 2 (got %u)",
                    name_.c_str(), cfg.num_cores);
+  slices_.reserve(cfg.num_cores);
+  wbbs_.reserve(cfg.num_cores);
   for (CoreId c = 0; c < cfg.num_cores; ++c) {
-    slices_.push_back(std::make_unique<cache::SetAssocCache>(
+    slices_.emplace_back(
         strf("%s.l2[%u]", name_.c_str(), static_cast<unsigned>(c)),
-        cfg.l2));
-    wbbs_.push_back(std::make_unique<cache::WriteBackBuffer>(cfg.wbb));
+        cfg.l2);
+    wbbs_.emplace_back(cfg.wbb);
   }
 }
 
 cache::SetAssocCache& PrivateSchemeBase::slice(CoreId c) {
   SNUG_REQUIRE(c < slices_.size());
-  return *slices_[c];
+  return slices_[c];
 }
 
 const cache::SetAssocCache& PrivateSchemeBase::slice(CoreId c) const {
   SNUG_REQUIRE(c < slices_.size());
-  return *slices_[c];
+  return slices_[c];
 }
 
 cache::WriteBackBuffer& PrivateSchemeBase::wbb(CoreId c) {
   SNUG_REQUIRE(c < wbbs_.size());
-  return *wbbs_[c];
+  return wbbs_[c];
 }
 
 std::uint32_t PrivateSchemeBase::cc_copies_of(Addr addr) const {
   std::uint32_t n = 0;
-  for (const auto& s : slices_) n += s->lookup_cc(addr).found ? 1U : 0U;
+  for (const auto& s : slices_) n += s.lookup_cc(addr).found ? 1U : 0U;
   return n;
 }
 
 Cycle PrivateSchemeBase::install_fill(CoreId c, Addr addr, bool dirty,
                                       Cycle now) {
-  const cache::Eviction ev = slices_[c]->fill_local(addr, dirty, c);
+  const cache::Eviction ev = slices_[c].fill_local(addr, dirty, c);
   if (ev.happened() && !ev.line.cc && ev.line.dirty) {
     // Dirty victim: write-back buffer; report the stall to the caller.
-    const auto& geo = slices_[c]->geometry();
+    const auto& geo = slices_[c].geometry();
     on_local_eviction(c, ev.set, ev.line.tag);
     ++stats_.evict_dirty_local;
     const Cycle stall =
-        wbbs_[c]->insert(geo.addr_of(ev.line.tag, ev.set), now);
+        wbbs_[c].insert(geo.addr_of(ev.line.tag, ev.set), now);
     stats_.wbb_stall_cycles += stall;
     return stall;
   }
@@ -72,13 +74,13 @@ void PrivateSchemeBase::route_eviction(CoreId cache,
     ++stats_.evict_guest;  // one-chance forwarding: guests are dropped
     return;
   }
-  const auto& geo = slices_[cache]->geometry();
+  const auto& geo = slices_[cache].geometry();
   const Addr victim_addr = geo.addr_of(ev.line.tag, ev.set);
   on_local_eviction(cache, ev.set, ev.line.tag);
   if (ev.line.dirty) {
     // Only clean blocks may be cooperatively cached (Section 3.3).
     ++stats_.evict_dirty_local;
-    const Cycle stall = wbbs_[cache]->insert(victim_addr, now);
+    const Cycle stall = wbbs_[cache].insert(victim_addr, now);
     stats_.wbb_stall_cycles += stall;
     return;
   }
@@ -94,7 +96,7 @@ void PrivateSchemeBase::place_spill(CoreId owner, CoreId target, Addr addr,
   SNUG_REQUIRE(owner != target);
   bus_.transact(now, bus::BusOp::kSpill);
   const cache::Eviction ev =
-      slices_[target]->insert_cc(addr, owner, flipped);
+      slices_[target].insert_cc(addr, owner, flipped);
   ++stats_.spills;
   // A displaced local victim of the target is an ordinary eviction and
   // may spill onward (this cascade is what lets eviction-driven CC pool
@@ -106,9 +108,9 @@ Cycle PrivateSchemeBase::access(CoreId c, Addr addr, bool is_write,
                                 Cycle now) {
   SNUG_REQUIRE(c < slices_.size());
   ++stats_.l2_accesses;
-  wbbs_[c]->tick(now);
+  wbbs_[c].tick(now);
 
-  cache::SetAssocCache& l2 = *slices_[c];
+  cache::SetAssocCache& l2 = slices_[c];
   const cache::AccessResult res = l2.access_local(addr, is_write);
   if (res.hit) {
     ++stats_.l2_hits;
@@ -120,7 +122,7 @@ Cycle PrivateSchemeBase::access(CoreId c, Addr addr, bool is_write,
 
   // Write-back buffer direct read (Table 4: "support direct read").
   const Addr block = l2.geometry().block_of(addr);
-  if (wbbs_[c]->read_hit(block)) {
+  if (wbbs_[c].read_hit(block)) {
     ++stats_.wbb_direct_reads;
     return now + cfg_.lat.l2_local;
   }
@@ -144,15 +146,15 @@ Cycle PrivateSchemeBase::access(CoreId c, Addr addr, bool is_write,
 
 void PrivateSchemeBase::l1_writeback(CoreId c, Addr addr, Cycle now) {
   SNUG_REQUIRE(c < slices_.size());
-  cache::SetAssocCache& l2 = *slices_[c];
+  cache::SetAssocCache& l2 = slices_[c];
   const cache::AccessResult res = l2.probe_local(addr);
   if (res.hit) {
-    l2.set_mut(res.set).line_mut(res.way).dirty = true;
+    l2.mark_dirty(res.set, res.way);
     return;
   }
   // The L2 line was already displaced (non-inclusive hierarchy): buffer the
   // dirty data for memory.
-  const Cycle stall = wbbs_[c]->insert(l2.geometry().block_of(addr), now);
+  const Cycle stall = wbbs_[c].insert(l2.geometry().block_of(addr), now);
   stats_.wbb_stall_cycles += stall;
 }
 

@@ -102,8 +102,10 @@ class PrivateSchemeBase : public L2Scheme {
 
  private:
   std::string name_;
-  std::vector<std::unique_ptr<cache::SetAssocCache>> slices_;
-  std::vector<std::unique_ptr<cache::WriteBackBuffer>> wbbs_;
+  // Value storage: one pointer chase fewer on every access, and the
+  // slices' flat arrays sit in one allocation run per slice.
+  std::vector<cache::SetAssocCache> slices_;
+  std::vector<cache::WriteBackBuffer> wbbs_;
 };
 
 }  // namespace snug::schemes

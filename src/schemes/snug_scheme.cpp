@@ -7,8 +7,8 @@ namespace snug::schemes {
 SnugScheme::SnugScheme(const PrivateConfig& cfg, const SnugConfig& snug,
                        bus::SnoopBus& bus, dram::DramModel& dram)
     : PrivateSchemeBase("SNUG", cfg, bus, dram), snug_(snug) {
-  SNUG_REQUIRE(snug.monitor.num_sets == cfg.l2.num_sets());
-  SNUG_REQUIRE(snug.monitor.assoc == cfg.l2.associativity());
+  SNUG_ENSURE(snug.monitor.num_sets == cfg.l2.num_sets());
+  SNUG_ENSURE(snug.monitor.assoc == cfg.l2.associativity());
   for (CoreId c = 0; c < cfg.num_cores; ++c) {
     monitors_.push_back(
         std::make_unique<core::CapacityMonitor>(snug.monitor));
@@ -56,9 +56,9 @@ void SnugScheme::harvest_and_regroup() {
     cache::SetAssocCache& l2 = slice(c);
     for (SetIndex s = 0; s < gts_[c].num_sets(); ++s) {
       if (gts_[c].giver(s)) continue;
-      cache::CacheSet& set = l2.set_mut(s);
+      const cache::CacheSet set = l2.set(s);
       for (WayIndex w = 0; w < set.assoc(); ++w) {
-        if (set.line(w).valid && set.line(w).cc) {
+        if (set.valid_cc(w)) {
           l2.invalidate(s, w);
           ++stats_.cc_flushed;
         }
@@ -134,9 +134,9 @@ std::uint64_t SnugScheme::cc_lines_in_taker_sets() const {
     const cache::SetAssocCache& l2 = slice(c);
     for (SetIndex s = 0; s < gts_[c].num_sets(); ++s) {
       if (gts_[c].giver(s)) continue;
-      const cache::CacheSet& set = l2.set(s);
+      const cache::CacheSet set = l2.set(s);
       for (WayIndex w = 0; w < set.assoc(); ++w) {
-        if (set.line(w).valid && set.line(w).cc) ++violations;
+        if (set.valid_cc(w)) ++violations;
       }
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "common/str.hpp"
 #include "stats/aggregate.hpp"
 #include "stats/metrics.hpp"
 
@@ -31,7 +32,7 @@ double metric_value(Metric m, const std::vector<double>& scheme_ipc,
     case Metric::kFairSpeedup:
       return stats::fair_speedup(scheme_ipc, base_ipc);
   }
-  SNUG_REQUIRE(false);
+  SNUG_ENSURE(false);
   return 0.0;
 }
 
@@ -74,6 +75,35 @@ FigureSeries assemble_figure(const CampaignResults& results,
     fig.values[scheme] = stats::per_class_geomean(observations, 6);
   }
   return fig;
+}
+
+TextTable figure_table(const FigureSeries& fig) {
+  TextTable table({"scheme", "C1", "C2", "C3", "C4", "C5", "C6", "AVG"});
+  for (const auto& scheme : fig.schemes) {
+    std::vector<std::string> row{scheme};
+    for (const double v : fig.values.at(scheme)) {
+      row.push_back(strf("%.3f", v));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::string render_cell_csv(const CampaignResults& results) {
+  std::string out = "combo,scheme,ipc...\n";
+  for (const auto& [combo, combo_results] : results) {
+    for (const auto& [scheme, result] : combo_results) {
+      out += combo;
+      out += ',';
+      out += scheme;
+      for (const double ipc : result.ipc) {
+        out += ',';
+        out += strf("%.17g", ipc);
+      }
+      out += '\n';
+    }
+  }
+  return out;
 }
 
 }  // namespace snug::sim

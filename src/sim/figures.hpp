@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/table.hpp"
 #include "sim/campaign.hpp"
 
 namespace snug::sim {
@@ -42,6 +43,19 @@ struct FigureSeries {
 /// Assembles a figure from campaign results.
 [[nodiscard]] FigureSeries assemble_figure(const CampaignResults& results,
                                            Metric metric);
+
+/// Renders a figure as the benches print it: scheme rows, C1..C6 + AVG
+/// columns, %.3f cells.  figure_table(fig).render_csv() is the literal
+/// fig9/10/11 CSV, shared by the figure benches and the golden
+/// bit-identity test.
+[[nodiscard]] TextTable figure_table(const FigureSeries& fig);
+
+/// Full-precision per-cell dump: one "combo,scheme,ipc0,ipc1,..." line
+/// per (combo, scheme), with every per-core IPC printed round-trip
+/// exactly (%.17g).  IPCs are plain divisions of deterministic integer
+/// counters, so this string is bit-identical across machines and
+/// optimisation levels — the strongest pin the golden test hashes.
+[[nodiscard]] std::string render_cell_csv(const CampaignResults& results);
 
 /// CC(Best): the best CC(p) value for this combo under `metric`.
 [[nodiscard]] double cc_best_value(const ComboResults& combo_results,

@@ -287,7 +287,7 @@ std::vector<trace::WorkloadCombo> ScenarioSpec::combos() const {
     case WorkloadSpec::Kind::kExplicit:
       return workload.combos;
   }
-  SNUG_REQUIRE(false);
+  SNUG_ENSURE(false);
   return {};
 }
 

@@ -1,7 +1,5 @@
 #include "sim/system.hpp"
 
-#include <algorithm>
-
 #include "common/require.hpp"
 #include "common/str.hpp"
 #include "trace/profile.hpp"
@@ -35,14 +33,14 @@ void CmpSystem::build(const schemes::SchemeSpec& spec,
   dram_ = std::make_unique<dram::DramModel>(cfg.dram);
   scheme_ = schemes::make_scheme(spec, cfg.scheme_ctx, *bus_, *dram_);
 
+  l1i_.reserve(cfg.num_cores);
+  l1d_.reserve(cfg.num_cores);
   for (CoreId c = 0; c < cfg.num_cores; ++c) {
     const trace::BenchmarkProfile& prof =
         trace::profile_for(combo.benchmarks[c]);
 
-    l1i_.push_back(std::make_unique<cache::SetAssocCache>(
-        strf("l1i[%u]", c), cfg.l1i));
-    l1d_.push_back(std::make_unique<cache::SetAssocCache>(
-        strf("l1d[%u]", c), cfg.l1d));
+    l1i_.emplace_back(strf("l1i[%u]", c), cfg.l1i);
+    l1d_.emplace_back(strf("l1d[%u]", c), cfg.l1d);
 
     trace::StreamConfig scfg;
     scfg.num_sets = cfg.scheme_ctx.priv.l2.num_sets();
@@ -71,8 +69,8 @@ void CmpSystem::run(Cycle cycles) {
 
 void CmpSystem::begin_measurement() {
   for (auto& core : cores_) core->reset_stats();
-  for (auto& l1 : l1i_) l1->reset_stats();
-  for (auto& l1 : l1d_) l1->reset_stats();
+  for (auto& l1 : l1i_) l1.reset_stats();
+  for (auto& l1 : l1d_) l1.reset_stats();
   scheme_->reset_stats();
   for (CoreId c = 0; c < scheme_->num_slices(); ++c) {
     scheme_->slice(c).reset_stats();
@@ -90,33 +88,6 @@ std::vector<double> CmpSystem::measured_ipc() const {
   return out;
 }
 
-Cycle CmpSystem::data_access(CoreId core, Addr addr, bool is_write,
-                             Cycle now) {
-  cache::SetAssocCache& l1 = *l1d_[core];
-  const cache::AccessResult res = l1.access_local(addr, is_write);
-  if (res.hit) return now + 1;
-
-  const Cycle completion = scheme_->access(core, addr, is_write, now);
-  const Addr block = l1.geometry().block_of(addr);
-  const cache::Eviction ev = l1.fill_local(block, is_write, core);
-  if (ev.happened() && ev.line.dirty) {
-    const Addr victim = l1.geometry().addr_of(ev.line.tag, ev.set);
-    scheme_->l1_writeback(core, victim, now);
-  }
-  return std::max(completion, now + 1);
-}
-
-Cycle CmpSystem::inst_fetch(CoreId core, Addr addr, Cycle now) {
-  cache::SetAssocCache& l1 = *l1i_[core];
-  const cache::AccessResult res = l1.access_local(addr, false);
-  if (res.hit) return now + 1;
-
-  const Cycle completion = scheme_->access(core, addr, false, now);
-  const Addr block = l1.geometry().block_of(addr);
-  l1.fill_local(block, false, core);  // I-lines are never dirty
-  return std::max(completion, now + 1);
-}
-
 cpu::Core& CmpSystem::core(CoreId c) {
   SNUG_REQUIRE(c < cores_.size());
   return *cores_[c];
@@ -124,7 +95,7 @@ cpu::Core& CmpSystem::core(CoreId c) {
 
 cache::SetAssocCache& CmpSystem::l1d(CoreId c) {
   SNUG_REQUIRE(c < l1d_.size());
-  return *l1d_[c];
+  return l1d_[c];
 }
 
 trace::SyntheticStream& CmpSystem::stream(CoreId c) {

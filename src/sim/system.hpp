@@ -36,10 +36,36 @@ class CmpSystem final : public cpu::MemoryPort {
   /// Per-core IPC over the current measurement window.
   [[nodiscard]] std::vector<double> measured_ipc() const;
 
-  // cpu::MemoryPort
+  // cpu::MemoryPort.  Defined inline: these two calls are the boundary
+  // between the core model and the memory hierarchy — every simulated
+  // load, store and ifetch crosses it, and the L1-hit fast path below
+  // must fold into the caller rather than pay a cross-TU call.
   Cycle data_access(CoreId core, Addr addr, bool is_write,
-                    Cycle now) override;
-  Cycle inst_fetch(CoreId core, Addr addr, Cycle now) override;
+                    Cycle now) override {
+    cache::SetAssocCache& l1 = l1d_[core];
+    const cache::AccessResult res = l1.access_local(addr, is_write);
+    if (res.hit) return now + 1;
+
+    const Cycle completion = scheme_->access(core, addr, is_write, now);
+    const Addr block = l1.geometry().block_of(addr);
+    const cache::Eviction ev = l1.fill_local(block, is_write, core);
+    if (ev.happened() && ev.line.dirty) {
+      const Addr victim = l1.geometry().addr_of(ev.line.tag, ev.set);
+      scheme_->l1_writeback(core, victim, now);
+    }
+    return completion > now ? completion : now + 1;
+  }
+
+  Cycle inst_fetch(CoreId core, Addr addr, Cycle now) override {
+    cache::SetAssocCache& l1 = l1i_[core];
+    const cache::AccessResult res = l1.access_local(addr, false);
+    if (res.hit) return now + 1;
+
+    const Cycle completion = scheme_->access(core, addr, false, now);
+    const Addr block = l1.geometry().block_of(addr);
+    l1.fill_local(block, false, core);  // I-lines are never dirty
+    return completion > now ? completion : now + 1;
+  }
 
   // Introspection for tests and benches.
   [[nodiscard]] schemes::L2Scheme& scheme() { return *scheme_; }
@@ -59,8 +85,10 @@ class CmpSystem final : public cpu::MemoryPort {
   std::unique_ptr<bus::SnoopBus> bus_;
   std::unique_ptr<dram::DramModel> dram_;
   std::unique_ptr<schemes::L2Scheme> scheme_;
-  std::vector<std::unique_ptr<cache::SetAssocCache>> l1i_;
-  std::vector<std::unique_ptr<cache::SetAssocCache>> l1d_;
+  // Value storage: the L1 probe is the innermost loop of the whole
+  // simulator, and one pointer chase per access is measurable there.
+  std::vector<cache::SetAssocCache> l1i_;
+  std::vector<cache::SetAssocCache> l1d_;
   std::vector<std::unique_ptr<trace::SyntheticStream>> streams_;
   std::vector<std::unique_ptr<cpu::Core>> cores_;
   Cycle now_ = 0;

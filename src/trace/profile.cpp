@@ -303,7 +303,7 @@ const BenchmarkProfile& profile_for(const std::string& name) {
   for (const auto& p : all_profiles()) {
     if (p.name == name) return p;
   }
-  SNUG_REQUIRE(false && "unknown benchmark profile");
+  SNUG_ENSURE(false && "unknown benchmark profile");
   return all_profiles().front();  // unreachable
 }
 

@@ -16,10 +16,10 @@ SyntheticStream::SyntheticStream(const BenchmarkProfile& profile,
       rng_(Rng::derive_seed("stream", cfg.stream_seed,
                             Rng::derive_seed(profile.name))),
       set_picker_(cfg.num_sets, profile.set_zipf_alpha) {
-  SNUG_REQUIRE(is_pow2(cfg.num_sets));
-  SNUG_REQUIRE(is_pow2(cfg.line_bytes));
-  SNUG_REQUIRE(!profile_.phases.empty());
-  SNUG_REQUIRE(cfg.phase_period_refs > 0);
+  SNUG_ENSURE(is_pow2(cfg.num_sets));
+  SNUG_ENSURE(is_pow2(cfg.line_bytes));
+  SNUG_ENSURE(!profile_.phases.empty());
+  SNUG_ENSURE(cfg.phase_period_refs > 0);
 
   // Set-popularity permutation: identical for every instance of this
   // benchmark so that hot sets coincide in the stress tests.

@@ -25,13 +25,15 @@ CacheLine guest_line(std::uint64_t tag) {
 }
 
 TEST(GuestPolicy, PreferGuestsPicksInvalidFirst) {
-  CacheSet set(4, ReplacementKind::kLru);
+  SoloSet solo(4);
+  const CacheSet set = solo.set();
   set.fill(0, local_line(1));
   EXPECT_GE(set.choose_victim_prefer_guests(), 1U);  // an invalid way
 }
 
 TEST(GuestPolicy, PreferGuestsPicksColdestGuest) {
-  CacheSet set(4, ReplacementKind::kLru);
+  SoloSet solo(4);
+  const CacheSet set = solo.set();
   set.fill(0, local_line(1));
   set.fill(1, guest_line(2));
   set.fill(2, guest_line(3));
@@ -41,7 +43,8 @@ TEST(GuestPolicy, PreferGuestsPicksColdestGuest) {
 }
 
 TEST(GuestPolicy, PreferGuestsFallsBackToLru) {
-  CacheSet set(2, ReplacementKind::kLru);
+  SoloSet solo(2);
+  const CacheSet set = solo.set();
   set.fill(0, local_line(1));
   set.fill(1, local_line(2));
   set.touch(1);
@@ -49,21 +52,29 @@ TEST(GuestPolicy, PreferGuestsFallsBackToLru) {
 }
 
 TEST(GuestPolicy, PlaceAtExactForLru) {
-  LruState lru(4);
-  for (WayIndex w = 0; w < 4; ++w) lru.on_access(w);  // ranks: 3,2,1,0
-  lru.place_at(3, 2);
-  EXPECT_EQ(lru.rank_of(3), 2U);
+  std::uint8_t lru[4];
+  repl::init(ReplacementKind::kLru, lru, 4);
+  for (WayIndex w = 0; w < 4; ++w) {
+    repl::on_access(ReplacementKind::kLru, lru, 4, w);  // ranks: 3,2,1,0
+  }
+  repl::place_at(ReplacementKind::kLru, lru, 4, 3, 2);
+  EXPECT_EQ(repl::rank_of(ReplacementKind::kLru, lru, 4, 3), 2U);
   // Ranks remain a permutation.
   std::uint32_t sum = 0;
-  for (WayIndex w = 0; w < 4; ++w) sum += lru.rank_of(w);
+  for (WayIndex w = 0; w < 4; ++w) {
+    sum += repl::rank_of(ReplacementKind::kLru, lru, 4, w);
+  }
   EXPECT_EQ(sum, 0U + 1 + 2 + 3);
 }
 
 TEST(GuestPolicy, PlaceAtGenericApproximation) {
-  FifoState fifo(4);
-  for (WayIndex w = 0; w < 4; ++w) fifo.on_fill(w);
-  fifo.place_at(3, 3);  // cold half -> demote
-  EXPECT_EQ(fifo.victim(), 3U);
+  std::uint8_t fifo[4];
+  repl::init(ReplacementKind::kFifo, fifo, 4);
+  for (WayIndex w = 0; w < 4; ++w) {
+    repl::on_fill(ReplacementKind::kFifo, fifo, 4, w);
+  }
+  repl::place_at(ReplacementKind::kFifo, fifo, 4, 3, 3);  // cold -> demote
+  EXPECT_EQ(repl::victim(ReplacementKind::kFifo, fifo, 4, nullptr), 3U);
 }
 
 TEST(WritableFootprint, DeterministicPerBlock) {

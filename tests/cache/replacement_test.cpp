@@ -9,8 +9,36 @@
 namespace snug::cache {
 namespace {
 
+/// Owning harness for one set's flat policy-state bytes.
+struct PolicyState {
+  explicit PolicyState(ReplacementKind k, std::uint32_t a,
+                       Rng* r = nullptr)
+      : kind(k), assoc(a), rng(r), state(a, 0) {
+    repl::init(kind, state.data(), assoc);
+  }
+  void on_access(WayIndex w) {
+    repl::on_access(kind, state.data(), assoc, w);
+  }
+  void on_fill(WayIndex w) { repl::on_fill(kind, state.data(), assoc, w); }
+  [[nodiscard]] WayIndex victim() {
+    return repl::victim(kind, state.data(), assoc, rng);
+  }
+  void demote(WayIndex w) { repl::demote(kind, state.data(), assoc, w); }
+  void place_at(WayIndex w, std::uint32_t rank) {
+    repl::place_at(kind, state.data(), assoc, w, rank);
+  }
+  [[nodiscard]] std::uint32_t rank_of(WayIndex w) const {
+    return repl::rank_of(kind, state.data(), assoc, w);
+  }
+
+  ReplacementKind kind;
+  std::uint32_t assoc;
+  Rng* rng;
+  std::vector<std::uint8_t> state;
+};
+
 TEST(Lru, VictimIsLeastRecentlyUsed) {
-  LruState lru(4);
+  PolicyState lru(ReplacementKind::kLru, 4);
   lru.on_access(0);
   lru.on_access(1);
   lru.on_access(2);
@@ -21,7 +49,7 @@ TEST(Lru, VictimIsLeastRecentlyUsed) {
 }
 
 TEST(Lru, RanksArePermutation) {
-  LruState lru(8);
+  PolicyState lru(ReplacementKind::kLru, 8);
   Rng rng(5);
   for (int i = 0; i < 200; ++i) {
     lru.on_access(static_cast<WayIndex>(rng.below(8)));
@@ -34,13 +62,13 @@ TEST(Lru, RanksArePermutation) {
 }
 
 TEST(Lru, AccessMakesMru) {
-  LruState lru(4);
+  PolicyState lru(ReplacementKind::kLru, 4);
   lru.on_access(2);
   EXPECT_EQ(lru.rank_of(2), 0U);
 }
 
 TEST(Lru, DemoteMakesVictim) {
-  LruState lru(4);
+  PolicyState lru(ReplacementKind::kLru, 4);
   for (WayIndex w = 0; w < 4; ++w) lru.on_access(w);
   lru.demote(3);  // most recent becomes LRU
   EXPECT_EQ(lru.victim(), 3U);
@@ -48,7 +76,7 @@ TEST(Lru, DemoteMakesVictim) {
 
 TEST(Lru, MimicsReferenceStack) {
   // Compare against an explicit list-based LRU model.
-  LruState lru(4);
+  PolicyState lru(ReplacementKind::kLru, 4);
   // Initial ranks are the identity: way 0 is MRU, way 3 is LRU.
   std::vector<WayIndex> model{0, 1, 2, 3};  // MRU front
   Rng rng(17);
@@ -65,7 +93,7 @@ TEST(Lru, MimicsReferenceStack) {
 }
 
 TEST(Fifo, EvictsInFillOrder) {
-  FifoState fifo(4);
+  PolicyState fifo(ReplacementKind::kFifo, 4);
   fifo.on_fill(2);
   fifo.on_fill(0);
   fifo.on_fill(1);
@@ -76,16 +104,55 @@ TEST(Fifo, EvictsInFillOrder) {
 }
 
 TEST(Fifo, AccessDoesNotChangeOrder) {
-  FifoState fifo(2);
+  PolicyState fifo(ReplacementKind::kFifo, 2);
   fifo.on_fill(0);
   fifo.on_fill(1);
   fifo.on_access(0);
   EXPECT_EQ(fifo.victim(), 0U);
 }
 
+TEST(Fifo, RankOfCountsNewerFills) {
+  PolicyState fifo(ReplacementKind::kFifo, 4);
+  fifo.on_fill(2);
+  fifo.on_fill(0);
+  fifo.on_fill(1);
+  fifo.on_fill(3);
+  EXPECT_EQ(fifo.rank_of(3), 0U);  // newest
+  EXPECT_EQ(fifo.rank_of(1), 1U);
+  EXPECT_EQ(fifo.rank_of(0), 2U);
+  EXPECT_EQ(fifo.rank_of(2), 3U);  // oldest
+}
+
+TEST(Fifo, DemoteOnFreshStateMakesDemotedWayTheVictim) {
+  // Regression: the old sequence-number representation set a demoted
+  // way's order to oldest-1, but pinned it at 0 when the oldest sequence
+  // was already 0 — duplicating the oldest order, so victim() (a min
+  // scan) returned the lowest-indexed tied way instead of the demoted
+  // one.  The rank representation keeps a permutation by construction.
+  PolicyState fifo(ReplacementKind::kFifo, 4);
+  fifo.demote(1);
+  EXPECT_EQ(fifo.victim(), 1U);
+}
+
+TEST(Fifo, RepeatedDemotionsStayDistinguishable) {
+  // Second half of the regression: two demotions in a row must leave the
+  // most recently demoted way as the unique oldest and the earlier one
+  // right behind it, never two indistinguishable ways.
+  PolicyState fifo(ReplacementKind::kFifo, 4);
+  for (WayIndex w = 0; w < 4; ++w) fifo.on_fill(w);
+  fifo.demote(1);
+  fifo.demote(2);
+  EXPECT_EQ(fifo.victim(), 2U);
+  fifo.on_fill(2);  // evict + refill the victim way
+  EXPECT_EQ(fifo.victim(), 1U);
+  std::set<std::uint32_t> ranks;
+  for (WayIndex w = 0; w < 4; ++w) ranks.insert(fifo.rank_of(w));
+  EXPECT_EQ(ranks.size(), 4U);  // still a permutation
+}
+
 TEST(Random, VictimInRangeAndCoversAllWays) {
   Rng rng(23);
-  RandomState r(4, &rng);
+  PolicyState r(ReplacementKind::kRandom, 4, &rng);
   std::set<WayIndex> seen;
   for (int i = 0; i < 200; ++i) {
     const WayIndex v = r.victim();
@@ -97,20 +164,20 @@ TEST(Random, VictimInRangeAndCoversAllWays) {
 
 TEST(Random, DemotePinsNextVictim) {
   Rng rng(29);
-  RandomState r(8, &rng);
+  PolicyState r(ReplacementKind::kRandom, 8, &rng);
   r.demote(5);
   EXPECT_EQ(r.victim(), 5U);
 }
 
 TEST(TreePlru, VictimAvoidsRecentlyUsed) {
-  TreePlruState plru(4);
+  PolicyState plru(ReplacementKind::kTreePlru, 4);
   plru.on_access(0);
   const WayIndex v = plru.victim();
   EXPECT_NE(v, 0U);
 }
 
 TEST(TreePlru, FillingAllWaysCyclesVictims) {
-  TreePlruState plru(8);
+  PolicyState plru(ReplacementKind::kTreePlru, 8);
   std::set<WayIndex> victims;
   for (int i = 0; i < 8; ++i) {
     const WayIndex v = plru.victim();
@@ -122,24 +189,23 @@ TEST(TreePlru, FillingAllWaysCyclesVictims) {
 }
 
 TEST(TreePlru, DemoteMakesVictim) {
-  TreePlruState plru(8);
+  PolicyState plru(ReplacementKind::kTreePlru, 8);
   for (WayIndex w = 0; w < 8; ++w) plru.on_access(w);
   plru.demote(3);
   EXPECT_EQ(plru.victim(), 3U);
 }
 
-TEST(Factory, CreatesEveryKind) {
+TEST(Dispatch, EveryKindInitialisesAndPicksInRangeVictims) {
   Rng rng(1);
   for (const auto kind :
        {ReplacementKind::kLru, ReplacementKind::kFifo,
         ReplacementKind::kRandom, ReplacementKind::kTreePlru}) {
-    const auto state = make_replacement(kind, 16, &rng);
-    ASSERT_NE(state, nullptr) << to_string(kind);
-    EXPECT_LT(state->victim(), 16U);
+    PolicyState s(kind, 16, &rng);
+    EXPECT_LT(s.victim(), 16U) << to_string(kind);
   }
 }
 
-TEST(Factory, ToStringNames) {
+TEST(Dispatch, ToStringNames) {
   EXPECT_STREQ(to_string(ReplacementKind::kLru), "lru");
   EXPECT_STREQ(to_string(ReplacementKind::kTreePlru), "tree-plru");
 }

@@ -21,7 +21,8 @@ CacheLine cc_line(std::uint64_t tag, bool flipped, CoreId owner = 1) {
 }
 
 TEST(CacheSet, FillAndFindLocal) {
-  CacheSet set(4, ReplacementKind::kLru);
+  SoloSet solo(4);
+  const CacheSet set = solo.set();
   EXPECT_EQ(set.find_local(7), kInvalidWay);
   const WayIndex w = set.choose_victim();
   set.fill(w, local_line(7));
@@ -30,7 +31,8 @@ TEST(CacheSet, FillAndFindLocal) {
 }
 
 TEST(CacheSet, FindLocalIgnoresCcLines) {
-  CacheSet set(4, ReplacementKind::kLru);
+  SoloSet solo(4);
+  const CacheSet set = solo.set();
   set.fill(0, cc_line(7, false));
   EXPECT_EQ(set.find_local(7), kInvalidWay);
   EXPECT_EQ(set.find_cc(7, false), 0U);
@@ -38,7 +40,8 @@ TEST(CacheSet, FindLocalIgnoresCcLines) {
 }
 
 TEST(CacheSet, FindCcMatchesFlipFlagExactly) {
-  CacheSet set(4, ReplacementKind::kLru);
+  SoloSet solo(4);
+  const CacheSet set = solo.set();
   set.fill(0, cc_line(7, /*flipped=*/true));
   EXPECT_EQ(set.find_cc(7, true), 0U);
   EXPECT_EQ(set.find_cc(7, false), kInvalidWay);
@@ -47,7 +50,8 @@ TEST(CacheSet, FindCcMatchesFlipFlagExactly) {
 TEST(CacheSet, LocalAndFlippedCcWithSameTagCoexist) {
   // A local line of this set and a flipped cooperative line from the buddy
   // index can carry identical tags; they are different blocks.
-  CacheSet set(4, ReplacementKind::kLru);
+  SoloSet solo(4);
+  const CacheSet set = solo.set();
   set.fill(0, local_line(7));
   set.fill(1, cc_line(7, /*flipped=*/true));
   EXPECT_EQ(set.find_local(7), 0U);
@@ -55,7 +59,8 @@ TEST(CacheSet, LocalAndFlippedCcWithSameTagCoexist) {
 }
 
 TEST(CacheSet, ChooseVictimPrefersInvalid) {
-  CacheSet set(4, ReplacementKind::kLru);
+  SoloSet solo(4);
+  const CacheSet set = solo.set();
   set.fill(0, local_line(1));
   set.fill(1, local_line(2));
   const WayIndex v = set.choose_victim();
@@ -63,7 +68,8 @@ TEST(CacheSet, ChooseVictimPrefersInvalid) {
 }
 
 TEST(CacheSet, LruEvictionOrder) {
-  CacheSet set(2, ReplacementKind::kLru);
+  SoloSet solo(2);
+  const CacheSet set = solo.set();
   set.fill(set.choose_victim(), local_line(1));
   set.fill(set.choose_victim(), local_line(2));
   set.touch(set.find_local(1));  // 1 is now MRU
@@ -72,7 +78,8 @@ TEST(CacheSet, LruEvictionOrder) {
 }
 
 TEST(CacheSet, FillReturnsDisplaced) {
-  CacheSet set(1, ReplacementKind::kLru);
+  SoloSet solo(1);
+  const CacheSet set = solo.set();
   set.fill(0, local_line(1));
   const CacheLine d = set.fill(0, local_line(2));
   EXPECT_TRUE(d.valid);
@@ -80,7 +87,8 @@ TEST(CacheSet, FillReturnsDisplaced) {
 }
 
 TEST(CacheSet, FillDemotedIsNextVictim) {
-  CacheSet set(4, ReplacementKind::kLru);
+  SoloSet solo(4);
+  const CacheSet set = solo.set();
   for (std::uint64_t t = 1; t <= 4; ++t) {
     set.fill(set.choose_victim(), local_line(t));
   }
@@ -91,7 +99,8 @@ TEST(CacheSet, FillDemotedIsNextVictim) {
 }
 
 TEST(CacheSet, InvalidateFreesWay) {
-  CacheSet set(2, ReplacementKind::kLru);
+  SoloSet solo(2);
+  const CacheSet set = solo.set();
   set.fill(0, local_line(1));
   set.invalidate(0);
   EXPECT_FALSE(set.line(0).valid);
@@ -100,7 +109,8 @@ TEST(CacheSet, InvalidateFreesWay) {
 }
 
 TEST(CacheSet, CcCount) {
-  CacheSet set(4, ReplacementKind::kLru);
+  SoloSet solo(4);
+  const CacheSet set = solo.set();
   set.fill(0, local_line(1));
   set.fill(1, cc_line(2, false));
   set.fill(2, cc_line(3, true));
@@ -109,7 +119,8 @@ TEST(CacheSet, CcCount) {
 }
 
 TEST(CacheSet, ForEachValidVisitsAll) {
-  CacheSet set(4, ReplacementKind::kLru);
+  SoloSet solo(4);
+  const CacheSet set = solo.set();
   set.fill(0, local_line(1));
   set.fill(2, local_line(3));
   int visits = 0;
@@ -123,7 +134,8 @@ TEST(CacheSet, ForEachValidVisitsAll) {
 }
 
 TEST(CacheSet, DirtyBitSurvivesFillAndDisplace) {
-  CacheSet set(1, ReplacementKind::kLru);
+  SoloSet solo(1);
+  const CacheSet set = solo.set();
   CacheLine l = local_line(5);
   l.dirty = true;
   set.fill(0, l);

@@ -5,73 +5,84 @@
 namespace snug::core {
 namespace {
 
-TEST(ShadowSet, InsertAndProbe) {
-  ShadowSet s(4);
-  s.insert(42);
-  EXPECT_TRUE(s.contains(42));
-  EXPECT_TRUE(s.probe_and_remove(42));
-  EXPECT_FALSE(s.contains(42));  // exclusivity: removed on hit
-  EXPECT_FALSE(s.probe_and_remove(42));
+TEST(ShadowSetArray, InsertAndProbe) {
+  ShadowSetArray a(2, 4);
+  a.insert(0, 42);
+  EXPECT_TRUE(a.contains(0, 42));
+  EXPECT_TRUE(a.probe_and_remove(0, 42));
+  EXPECT_FALSE(a.contains(0, 42));  // exclusivity: removed on hit
+  EXPECT_FALSE(a.probe_and_remove(0, 42));
 }
 
-TEST(ShadowSet, LruReplacementWhenFull) {
-  ShadowSet s(2);
-  s.insert(1);
-  s.insert(2);
-  s.insert(3);  // evicts 1 (shadow LRU)
-  EXPECT_FALSE(s.contains(1));
-  EXPECT_TRUE(s.contains(2));
-  EXPECT_TRUE(s.contains(3));
+TEST(ShadowSetArray, LruReplacementWhenFull) {
+  ShadowSetArray a(2, 2);
+  a.insert(0, 1);
+  a.insert(0, 2);
+  a.insert(0, 3);  // evicts 1 (shadow LRU)
+  EXPECT_FALSE(a.contains(0, 1));
+  EXPECT_TRUE(a.contains(0, 2));
+  EXPECT_TRUE(a.contains(0, 3));
 }
 
-TEST(ShadowSet, ReinsertRefreshesRecency) {
-  ShadowSet s(2);
-  s.insert(1);
-  s.insert(2);
-  s.insert(1);  // refresh, not duplicate
-  EXPECT_EQ(s.valid_count(), 2U);
-  s.insert(3);  // now 2 is the LRU
-  EXPECT_TRUE(s.contains(1));
-  EXPECT_FALSE(s.contains(2));
+TEST(ShadowSetArray, ReinsertRefreshesRecency) {
+  ShadowSetArray a(2, 2);
+  a.insert(0, 1);
+  a.insert(0, 2);
+  a.insert(0, 1);  // refresh, not duplicate
+  EXPECT_EQ(a.valid_count(0), 2U);
+  a.insert(0, 3);  // now 2 is the LRU
+  EXPECT_TRUE(a.contains(0, 1));
+  EXPECT_FALSE(a.contains(0, 2));
 }
 
-TEST(ShadowSet, RemoveSpecificTag) {
-  ShadowSet s(4);
-  s.insert(7);
-  s.insert(8);
-  s.remove(7);
-  EXPECT_FALSE(s.contains(7));
-  EXPECT_TRUE(s.contains(8));
-  s.remove(100);  // no-op
-  EXPECT_EQ(s.valid_count(), 1U);
+TEST(ShadowSetArray, RemoveSpecificTag) {
+  ShadowSetArray a(2, 4);
+  a.insert(0, 7);
+  a.insert(0, 8);
+  a.remove(0, 7);
+  EXPECT_FALSE(a.contains(0, 7));
+  EXPECT_TRUE(a.contains(0, 8));
+  a.remove(0, 100);  // no-op
+  EXPECT_EQ(a.valid_count(0), 1U);
 }
 
-TEST(ShadowSet, ClearEmptiesAll) {
-  ShadowSet s(4);
-  for (std::uint64_t t = 0; t < 4; ++t) s.insert(t);
-  s.clear();
-  EXPECT_EQ(s.valid_count(), 0U);
+TEST(ShadowSetArray, ClearEmptiesAll) {
+  ShadowSetArray a(2, 4);
+  for (std::uint64_t t = 0; t < 4; ++t) a.insert(0, t);
+  a.clear();
+  EXPECT_EQ(a.valid_count(0), 0U);
 }
 
-TEST(ShadowSet, InvalidSlotsReusedBeforeEviction) {
-  ShadowSet s(3);
-  s.insert(1);
-  s.insert(2);
-  s.insert(3);
-  s.probe_and_remove(2);  // frees a slot
-  s.insert(4);            // must use the free slot, not evict 1 or 3
-  EXPECT_TRUE(s.contains(1));
-  EXPECT_TRUE(s.contains(3));
-  EXPECT_TRUE(s.contains(4));
+TEST(ShadowSetArray, InvalidSlotsReusedBeforeEviction) {
+  ShadowSetArray a(2, 3);
+  a.insert(0, 1);
+  a.insert(0, 2);
+  a.insert(0, 3);
+  a.probe_and_remove(0, 2);  // frees a slot
+  a.insert(0, 4);            // must use the free slot, not evict 1 or 3
+  EXPECT_TRUE(a.contains(0, 1));
+  EXPECT_TRUE(a.contains(0, 3));
+  EXPECT_TRUE(a.contains(0, 4));
 }
 
-TEST(ShadowSet, CapacityMatchesAssociativity) {
-  ShadowSet s(16);
-  for (std::uint64_t t = 0; t < 20; ++t) s.insert(t);
-  EXPECT_EQ(s.valid_count(), 16U);
+TEST(ShadowSetArray, CapacityMatchesAssociativity) {
+  ShadowSetArray a(2, 16);
+  for (std::uint64_t t = 0; t < 20; ++t) a.insert(0, t);
+  EXPECT_EQ(a.valid_count(0), 16U);
   // Oldest four were displaced.
-  for (std::uint64_t t = 0; t < 4; ++t) EXPECT_FALSE(s.contains(t));
-  for (std::uint64_t t = 4; t < 20; ++t) EXPECT_TRUE(s.contains(t));
+  for (std::uint64_t t = 0; t < 4; ++t) EXPECT_FALSE(a.contains(0, t));
+  for (std::uint64_t t = 4; t < 20; ++t) EXPECT_TRUE(a.contains(0, t));
+}
+
+TEST(ShadowSetArray, SetsAreIndependent) {
+  ShadowSetArray a(4, 2);
+  a.insert(0, 42);
+  a.insert(3, 42);
+  EXPECT_TRUE(a.contains(0, 42));
+  EXPECT_FALSE(a.contains(1, 42));
+  EXPECT_TRUE(a.probe_and_remove(3, 42));
+  EXPECT_TRUE(a.contains(0, 42));  // removing from set 3 leaves set 0 alone
+  EXPECT_EQ(a.valid_count(3), 0U);
 }
 
 }  // namespace

@@ -1,0 +1,54 @@
+// Golden bit-identity pin for the simulation core.
+//
+// The ISSUE 3 hot-path overhaul (SoA cache arrays, devirtualised
+// replacement) promises bit-identical simulation output.  This test makes
+// that promise permanent: the 4-core paper-scenario Figure 9 campaign, at
+// the CI smoke scale, must hash to the values captured from the
+// pre-refactor tree.  Any change to cache, replacement, scheme, bus, DRAM
+// or trace behaviour — intended or not — trips it; an intended behaviour
+// change must update the constants and say so in its commit message.
+//
+// Two pins, strongest first:
+//  * the per-cell CSV (every per-core IPC at %.17g) — IPCs are divisions
+//    of deterministic integer counters, so this is machine-portable;
+//  * the rendered fig9 CSV (per-class geometric means at %.3f) — the
+//    literal artefact the bench prints.  Geomeans go through libm
+//    exp/log, whose sub-ulp differences are absorbed by the three-decimal
+//    rounding.
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hpp"
+#include "sim/campaign.hpp"
+#include "sim/figures.hpp"
+
+namespace snug::sim {
+namespace {
+
+// Captured from the pre-refactor tree (PR 2 state) at
+// warmup=200000 / measure=300000, the CI determinism-smoke scale.
+constexpr std::uint64_t kGoldenCellHash = 0x4B1CEF6A50D56CE8ULL;
+constexpr std::uint64_t kGoldenFig9CsvHash = 0xD66421E423D0FDB4ULL;
+
+TEST(GoldenFig9, PaperCampaignBitIdenticalToPreRefactorCapture) {
+  CampaignSpec spec = CampaignSpec::paper();
+  spec.scenario.scale.warmup_cycles = 200'000;
+  spec.scenario.scale.measure_cycles = 300'000;
+
+  ExperimentRunner runner(spec.scenario, /*cache_dir=*/"");
+  CampaignEngine engine(runner, resolve_jobs(0));
+  const CampaignResults results = engine.run(spec);
+
+  const std::string cells = render_cell_csv(results);
+  EXPECT_EQ(fnv1a64(cells), kGoldenCellHash)
+      << "per-cell IPCs diverged from the pre-refactor capture "
+         "(cell hash 0x" << std::hex << fnv1a64(cells) << ")";
+
+  const FigureSeries fig = assemble_figure(results, Metric::kThroughputNorm);
+  const std::string csv = figure_table(fig).render_csv();
+  EXPECT_EQ(fnv1a64(csv), kGoldenFig9CsvHash)
+      << "fig9 CSV diverged (hash 0x" << std::hex << fnv1a64(csv)
+      << "):\n" << csv;
+}
+
+}  // namespace
+}  // namespace snug::sim
