@@ -1,18 +1,30 @@
 // Hot-path microbenchmark — the measurement device behind the ISSUE 3
-// inner-loop overhaul.  Two tiers, both deterministic:
+// inner-loop overhaul and the ISSUE 4 front-end overhaul.  Four tiers,
+// all deterministic:
 //
-//   raw    — a SetAssocCache on the paper's 1 MB 16-way slice geometry,
-//            driven directly: a local access/fill mix sized to ~50%
-//            steady-state hit rate, and the cooperative
-//            insert/lookup/forward mix.
-//   system — a full CmpSystem (default: 8-core SNUG machine) driven
-//            through data_access/inst_fetch on a pre-generated reference
-//            trace, so the measured cost is the memory hierarchy, not
-//            trace synthesis or the core pipeline.
+//   raw      — a SetAssocCache on the paper's 1 MB 16-way slice geometry,
+//              driven directly: a local access/fill mix sized to ~50%
+//              steady-state hit rate, and the cooperative
+//              insert/lookup/forward mix.
+//   frontend — a bare SyntheticStream on the paper slice geometry:
+//              full instruction synthesis (`next()`, the path the core
+//              model consumes) and raw L2-reference generation
+//              (`next_l2_access()`, the path the characterisation
+//              campaigns consume by the hundred million).
+//   system   — a full CmpSystem (default: 8-core SNUG machine) driven
+//              through data_access/inst_fetch on a pre-generated
+//              reference trace, so the measured cost is the memory
+//              hierarchy, not trace synthesis or the core pipeline.
+//   run      — the same machine driven through CmpSystem::run, i.e. the
+//              whole simulator end to end (core loop + trace synthesis +
+//              memory hierarchy + scheme tick), reported as retired
+//              instructions/second, for the --scheme machine and for an
+//              L2P machine (no periodic scheme work).
 //
 // Reports accesses/second per tier.  --json-out=FILE writes one JSON
-// record tagged with --label; BENCH_hotpath.json at the repo root keeps
-// the pre-refactor baseline and the post-refactor number side by side.
+// record tagged with --label; BENCH_hotpath.json / BENCH_frontend.json at
+// the repo root keep the pre-refactor baselines and the post-refactor
+// numbers side by side.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -26,6 +38,8 @@
 #include "schemes/factory.hpp"
 #include "sim/scenario.hpp"
 #include "sim/system.hpp"
+#include "trace/profile.hpp"
+#include "trace/synth_stream.hpp"
 
 namespace {
 
@@ -97,6 +111,76 @@ double raw_cc_mix(std::uint64_t ops, std::uint64_t& checksum) {
   const double dt = seconds_since(t0);
   checksum += l2.stats().cc_forwarded;
   return static_cast<double>(ops) / dt;
+}
+
+struct FrontendResult {
+  double instr_per_sec = 0.0;   ///< full synthesis through InstrStream::next()
+  double l2_acc_per_sec = 0.0;  ///< bare next_l2_access() generation
+};
+
+/// Front-end tier: a SyntheticStream on the paper's 1 MB 16-way slice
+/// geometry (1024 sets), class-A profile (large, non-uniform per-set
+/// demand — the most stack work per reference).  `next()` is consumed
+/// through the per-instruction virtual InstrStream interface — the one
+/// call shape that exists on both sides of the front-end overhaul, so
+/// pre/post binaries built from this same source stay comparable (the
+/// post core model consumes the faster SoA fill_batch; that path is
+/// covered end to end by the run tier below).  `next_l2_access()` is the
+/// raw address generator the 100 M-access characterisation campaigns
+/// (Figures 1-3) are built on.
+FrontendResult frontend_mix(std::uint64_t instr_ops, std::uint64_t l2_ops,
+                            std::uint64_t& checksum) {
+  trace::StreamConfig cfg;
+  cfg.num_sets = 1024;
+  cfg.line_bytes = 64;
+  cfg.phase_period_refs = 1'000'000;
+  cfg.stream_seed = 7;
+
+  FrontendResult out;
+  {
+    trace::SyntheticStream stream(trace::profile_for("ammp"), cfg);
+    trace::InstrStream& virt = stream;  // consume like the core model does
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < instr_ops; ++i) {
+      const trace::Instr in = virt.next();
+      checksum += in.addr + static_cast<std::uint64_t>(in.kind);
+    }
+    out.instr_per_sec = static_cast<double>(instr_ops) / seconds_since(t0);
+    checksum += stream.l2_refs();
+  }
+  {
+    trace::SyntheticStream stream(trace::profile_for("ammp"), cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < l2_ops; ++i) {
+      checksum += stream.next_l2_access();
+    }
+    out.l2_acc_per_sec = static_cast<double>(l2_ops) / seconds_since(t0);
+    checksum += stream.l2_refs();
+  }
+  return out;
+}
+
+/// End-to-end run tier: CmpSystem::run drives the core loop, trace
+/// synthesis, the memory hierarchy and the scheme tick together — the
+/// configuration every campaign cycle actually pays.  Returns retired
+/// instructions per second over the measurement window.
+double system_run_mix(const sim::ScenarioSpec& scenario,
+                      const schemes::SchemeSpec& spec, Cycle warmup,
+                      Cycle measure, std::uint64_t& checksum) {
+  const auto combos = scenario.combos();
+  SNUG_REQUIRE_MSG(!combos.empty(), "scenario expands to no combos");
+  sim::CmpSystem sys(scenario, spec, combos.front());
+  sys.run(warmup);
+  sys.begin_measurement();
+  const auto t0 = std::chrono::steady_clock::now();
+  sys.run(measure);
+  const double dt = seconds_since(t0);
+  std::uint64_t retired = 0;
+  for (CoreId c = 0; c < scenario.num_cores; ++c) {
+    retired += sys.core(c).stats().retired;
+  }
+  checksum += retired + sys.now();
+  return static_cast<double>(retired) / dt;
 }
 
 struct SystemResult {
@@ -203,10 +287,15 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const std::int64_t raw_ops = args.get_int(
       "raw-ops", 8'000'000, "accesses per raw-tier measurement");
+  const std::int64_t frontend_ops = args.get_int(
+      "frontend-ops", 16'000'000,
+      "instructions for the front-end synthesis tier (L2 tier runs 1/4)");
   const std::int64_t sys_ops = args.get_int(
       "system-ops", 4'000'000, "accesses for the system-tier measurement");
   const std::int64_t warmup = args.get_int(
       "warmup-cycles", 100'000, "system-tier pipeline warm-up cycles");
+  const std::int64_t run_cycles = args.get_int(
+      "run-cycles", 2'000'000, "cycles for the end-to-end run tier");
   const std::string scenario_text = args.get_string(
       "scenario", "name=hot8 cores=8 workload=2A+1B+1C",
       "system-tier scenario spec");
@@ -236,25 +325,46 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  schemes::SchemeSpec l2p;
+  SNUG_ENSURE(schemes::parse_scheme_id("L2P", l2p));
+
   std::uint64_t checksum = 0;
   const double raw_local =
       raw_local_mix(static_cast<std::uint64_t>(raw_ops), checksum);
   const double raw_cc =
       raw_cc_mix(static_cast<std::uint64_t>(raw_ops) / 4, checksum);
+  const FrontendResult frontend =
+      frontend_mix(static_cast<std::uint64_t>(frontend_ops),
+                   static_cast<std::uint64_t>(frontend_ops) / 4, checksum);
   const SystemResult system =
       system_mix(scenario, scheme, static_cast<std::uint64_t>(sys_ops),
                  static_cast<Cycle>(warmup), checksum);
+  const double run_scheme =
+      system_run_mix(scenario, scheme, static_cast<Cycle>(warmup),
+                     static_cast<Cycle>(run_cycles), checksum);
+  const double run_l2p =
+      system_run_mix(scenario, l2p, static_cast<Cycle>(warmup),
+                     static_cast<Cycle>(run_cycles), checksum);
 
   std::printf("hot_path_bench — %s\n", scenario.summary().c_str());
-  std::printf("%-28s %14s\n", "tier", "accesses/sec");
+  std::printf("%-28s %14s\n", "tier", "per second");
   std::printf("%-28s %14s\n", "raw local access+fill",
               strf("%.2fM", raw_local / 1e6).c_str());
   std::printf("%-28s %14s\n", "raw cooperative mix",
               strf("%.2fM", raw_cc / 1e6).c_str());
+  std::printf("%-28s %14s\n", "frontend instr synthesis",
+              strf("%.2fM", frontend.instr_per_sec / 1e6).c_str());
+  std::printf("%-28s %14s\n", "frontend L2-ref generation",
+              strf("%.2fM", frontend.l2_acc_per_sec / 1e6).c_str());
   std::printf("%-28s %14s\n", "system data+ifetch",
               strf("%.2fM", system.acc_per_sec / 1e6).c_str());
   std::printf("%-28s %14s\n", "system L2 scheme access",
               strf("%.2fM", system.l2_acc_per_sec / 1e6).c_str());
+  std::printf("%-28s %14s\n",
+              strf("system run instr (%s)", scheme_id.c_str()).c_str(),
+              strf("%.2fM", run_scheme / 1e6).c_str());
+  std::printf("%-28s %14s\n", "system run instr (L2P)",
+              strf("%.2fM", run_l2p / 1e6).c_str());
   std::printf("(checksum %llu)\n",
               static_cast<unsigned long long>(checksum));
 
@@ -271,14 +381,25 @@ int main(int argc, char** argv) {
                  "  \"scenario\": \"%s\",\n"
                  "  \"raw_local_acc_per_sec\": %.0f,\n"
                  "  \"raw_cc_acc_per_sec\": %.0f,\n"
+                 "  \"frontend_instr_per_sec\": %.0f,\n"
+                 "  \"frontend_l2_acc_per_sec\": %.0f,\n"
                  "  \"system_acc_per_sec\": %.0f,\n"
                  "  \"system_l2_acc_per_sec\": %.0f,\n"
+                 "  \"system_run_instr_per_sec\": %.0f,\n"
+                 "  \"system_run_l2p_instr_per_sec\": %.0f,\n"
                  "  \"raw_ops\": %lld,\n"
+                 "  \"frontend_ops\": %lld,\n"
+                 "  \"run_cycles\": %lld,\n"
+                 "  \"warmup_cycles\": %lld,\n"
                  "  \"system_accesses\": %llu\n"
                  "}\n",
                  label.c_str(), scenario_text.c_str(), raw_local, raw_cc,
-                 system.acc_per_sec, system.l2_acc_per_sec,
-                 static_cast<long long>(raw_ops),
+                 frontend.instr_per_sec, frontend.l2_acc_per_sec,
+                 system.acc_per_sec, system.l2_acc_per_sec, run_scheme,
+                 run_l2p, static_cast<long long>(raw_ops),
+                 static_cast<long long>(frontend_ops),
+                 static_cast<long long>(run_cycles),
+                 static_cast<long long>(warmup),
                  static_cast<unsigned long long>(system.accesses));
     std::fclose(f);
   }

@@ -1,0 +1,59 @@
+#include "common/alias.hpp"
+
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace snug {
+
+AliasTable::AliasTable(const std::vector<double>& weights)
+    : n_(weights.size()) {
+  SNUG_ENSURE(!weights.empty());
+  SNUG_ENSURE(n_ <= std::numeric_limits<std::uint32_t>::max());
+
+  double sum = 0.0;
+  for (const double w : weights) {
+    SNUG_ENSURE(w >= 0.0);
+    sum += w;
+  }
+  SNUG_ENSURE(sum > 0.0);
+
+  // Vose's construction: scale each mass to p_i * n, pair every
+  // under-full bucket with an over-full donor, record the donor as the
+  // bucket's alias and the keep probability as a 2^64-scaled threshold.
+  const std::size_t n = weights.size();
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] / sum * n;
+
+  keep_threshold_.assign(n, std::numeric_limits<std::uint64_t>::max());
+  alias_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    alias_[i] = static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large)
+        .push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    alias_[s] = l;
+    // scaled[s] < 1 strictly, so the product stays below 2^64.
+    keep_threshold_[s] =
+        static_cast<std::uint64_t>(scaled[s] * 0x1.0p64);
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (either list) have mass 1 up to rounding: keep always.
+}
+
+}  // namespace snug

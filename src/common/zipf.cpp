@@ -1,6 +1,5 @@
 #include "common/zipf.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "common/require.hpp"
@@ -10,25 +9,20 @@ namespace snug {
 ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
   SNUG_ENSURE(n > 0);
   SNUG_ENSURE(alpha >= 0.0);
-  cdf_.resize(n);
+
+  pmf_.resize(n);
   double sum = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
-    cdf_[i] = sum;
+    pmf_[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    sum += pmf_[i];
   }
-  for (auto& v : cdf_) v /= sum;
-  cdf_.back() = 1.0;  // guard against rounding
-}
-
-std::size_t ZipfSampler::sample(Rng& rng) const {
-  const double u = rng.uniform();
-  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  return static_cast<std::size_t>(it - cdf_.begin());
+  for (auto& p : pmf_) p /= sum;
+  table_ = AliasTable(pmf_);
 }
 
 double ZipfSampler::pmf(std::size_t i) const {
-  SNUG_REQUIRE(i < cdf_.size());
-  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+  SNUG_REQUIRE(i < pmf_.size());
+  return pmf_[i];
 }
 
 }  // namespace snug

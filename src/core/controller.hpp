@@ -40,6 +40,10 @@ class SnugController {
   void tick(Cycle now);
 
   [[nodiscard]] Stage stage() const noexcept { return stage_; }
+  /// Cycle at which the current stage ends — the next tick() that matters.
+  /// Drivers that skip idle cycles clamp to this so boundary callbacks
+  /// fire at exactly the same cycles as under per-cycle ticking.
+  [[nodiscard]] Cycle next_boundary() const noexcept { return boundary_; }
   [[nodiscard]] bool spilling_allowed() const noexcept {
     return stage_ == Stage::kGroup;
   }

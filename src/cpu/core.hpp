@@ -8,14 +8,31 @@
 //   * back-pressure — when the oldest instruction is an outstanding miss
 //     and the ROB fills, retirement (and therefore dispatch) stalls.
 //
-// Memory timing is provided by a MemoryPort (implemented by sim::CmpSystem)
-// which performs all cache/bus/DRAM state updates synchronously and
-// returns the completion cycle.
+// Memory timing is provided by a MemoryPort-shaped `Port` (implemented by
+// sim::CmpSystem) which performs all cache/bus/DRAM state updates
+// synchronously and returns the completion cycle.  Core is a template on
+// the port type: sealed against the final CmpSystem, every simulated load,
+// store and ifetch crosses the core/memory boundary as a direct (and
+// inlinable) call; the virtual MemoryPort interface remains for
+// polymorphic drivers and test doubles (CTAD picks the concrete port type
+// up from the constructor either way).
+//
+// step() returns the next cycle at which the core can make progress, so a
+// driver may skip the cycles in between instead of re-entering a no-op
+// step() every cycle (sim::CmpSystem::run does).  Per-cycle stepping
+// (ignore the return value) remains exactly equivalent: a skipped cycle
+// is by construction one in which step() would change no state, and the
+// stall-cycle statistics are accounted lazily so both calling patterns
+// produce the same counters.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <deque>
+#include <limits>
+#include <vector>
 
+#include "common/require.hpp"
 #include "common/types.hpp"
 #include "trace/instr.hpp"
 
@@ -63,13 +80,104 @@ class MemoryPort {
   virtual Cycle inst_fetch(CoreId core, Addr addr, Cycle now) = 0;
 };
 
+template <typename Port = MemoryPort>
 class Core {
  public:
   Core(CoreId id, const CoreConfig& cfg, trace::InstrStream& stream,
-       MemoryPort& mem);
+       Port& mem)
+      : id_(id), cfg_(cfg), stream_(stream), mem_(mem) {
+    SNUG_ENSURE(cfg.issue_width >= 1);
+    SNUG_ENSURE(cfg.rob_entries >= cfg.issue_width);
+    SNUG_ENSURE(cfg.lsq_entries >= 1);
+    SNUG_ENSURE(cfg.code_blocks >= 1);
+    SNUG_ENSURE(cfg.line_bytes >= cfg.instr_bytes && cfg.instr_bytes >= 1);
+    rob_.resize(cfg.rob_entries);
+    code_base_ = code_base(id);
+  }
 
-  /// Simulates one core clock cycle: retire, then fetch/dispatch.
-  void step(Cycle now);
+  /// Simulates one core clock cycle (retire, then fetch/dispatch) and
+  /// returns the earliest cycle > now at which this core can next change
+  /// state — the driver may skip straight to it.
+  Cycle step(Cycle now) {
+    settle_stall(now);  // fold pending stall cycles < now into the stats
+
+    // ---- retire (in order, up to issue_width per cycle)
+    std::uint32_t retired_now = 0;
+    while (retired_now < cfg_.issue_width && rob_size_ != 0 &&
+           rob_[rob_head_].done_at <= now) {
+      lsq_used_ -= rob_[rob_head_].is_mem;  // branchless: is_mem is 0/1
+      if (++rob_head_ == cfg_.rob_entries) rob_head_ = 0;
+      --rob_size_;
+      ++stats_.retired;
+      ++retired_now;
+    }
+
+    // ---- fetch/dispatch
+    // `observed_block` mirrors the per-cycle loop's accounting: a stall
+    // cycle is charged only when a dispatch attempt actually saw the
+    // full ROB/LSQ (not when the loop ended at issue width or on a
+    // fetch stall).
+    bool observed_block = false;
+    if (now >= fetch_stall_until_) {
+      std::uint32_t dispatched = 0;
+      while (dispatched < cfg_.issue_width) {
+        if (rob_size_ >= cfg_.rob_entries ||
+            lsq_used_ >= cfg_.lsq_entries) {
+          observed_block = true;
+          break;
+        }
+        dispatch_one(now);
+        ++dispatched;
+        if (now < fetch_stall_until_) break;  // branch redirect / I-miss
+      }
+    }
+
+    // ---- next-event computation (and pending-stall bookkeeping)
+    const bool rob_full = rob_size_ >= cfg_.rob_entries;
+    const bool lsq_full = lsq_used_ >= cfg_.lsq_entries;
+    const Cycle dispatch_at = (rob_full || lsq_full)
+                                  ? kNever  // gated on retirement
+                                  : std::max(fetch_stall_until_, now + 1);
+    if (rob_size_ == 0) {
+      stall_from_ = stall_until_ = 0;  // no stall in flight
+      return dispatch_at;
+    }
+
+    const Cycle retire_at = std::max(rob_[rob_head_].done_at, now + 1);
+    if (rob_full || lsq_full) {
+      // Record the stall span [from, retire_at) as *pending*: exactly
+      // the cycles the per-cycle loop would charge one by one (dispatch
+      // is attempted from fetch_stall_until_ on; cycle `now` is included
+      // only if this step's attempt reached the full check; the blockage
+      // cannot clear before the ROB head retires).  Nothing is charged
+      // yet — settle_stall() folds the span in as simulated time
+      // actually reaches it, so the counters never cover cycles a run
+      // window did not execute.
+      stall_from_ = std::max(fetch_stall_until_,
+                             observed_block ? now : now + 1);
+      stall_until_ = retire_at;
+      stall_is_rob_ = rob_full;
+    } else {
+      stall_from_ = stall_until_ = 0;
+    }
+    return std::min(dispatch_at, retire_at);
+  }
+
+  /// Folds the pending stall span into rob_full/lsq_full counters up to
+  /// (excluding) `now`.  step() settles on entry; a driver that ends a
+  /// run window at cycle `end` calls settle_stall(end) so stall cycles
+  /// inside the window are charged even when the core slept through its
+  /// tail (sim::CmpSystem::run does).
+  void settle_stall(Cycle now) noexcept {
+    if (stall_until_ > stall_from_) {
+      const Cycle upto = std::min(now, stall_until_);
+      if (upto > stall_from_) {
+        (stall_is_rob_ ? stats_.rob_full_cycles
+                       : stats_.lsq_full_cycles) += upto - stall_from_;
+        stall_from_ = upto;
+      }
+    }
+  }
 
   [[nodiscard]] const CoreStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::uint64_t retired() const noexcept {
@@ -79,9 +187,23 @@ class Core {
 
   /// IPC over a window of `cycles` (uses retired instructions since the
   /// last reset_stats()).
-  [[nodiscard]] double ipc(Cycle cycles) const noexcept;
+  [[nodiscard]] double ipc(Cycle cycles) const noexcept {
+    if (cycles == 0) return 0.0;
+    return static_cast<double>(stats_.retired) /
+           static_cast<double>(cycles);
+  }
 
-  void reset_stats() noexcept { stats_ = CoreStats{}; }
+  /// Clears counters; `now` marks where the new measurement window
+  /// starts.  The pre-reset part of an in-flight stall span is settled
+  /// into the discarded window and the remainder stays pending for the
+  /// new one, so windowed stall statistics match what per-cycle
+  /// accounting records.  Pass the boundary cycle when windows matter
+  /// (sim::CmpSystem::begin_measurement does); the default 0 just
+  /// clears counters.
+  void reset_stats(Cycle now = 0) noexcept {
+    settle_stall(now);
+    stats_ = CoreStats{};
+  }
 
  private:
   struct RobEntry {
@@ -89,19 +211,97 @@ class Core {
     bool is_mem = false;
   };
 
-  void dispatch_one(Cycle now);
+  static constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+  /// Instructions pulled from the stream per InstrStream::fill call: one
+  /// virtual dispatch amortised over the batch.
+  static constexpr std::size_t kFetchBatch = 64;
+
+  void dispatch_one(Cycle now) {
+    // Per-block instruction fetch: one L1I access per fetched line.
+    if (--ifetch_countdown_ == 0) {
+      ifetch_countdown_ = cfg_.line_bytes / cfg_.instr_bytes;
+      const Addr ifetch_addr =
+          code_base_ + code_block_cursor_ * cfg_.line_bytes;
+      if (++code_block_cursor_ == cfg_.code_blocks) {
+        code_block_cursor_ = 0;  // cyclic I-footprint, division-free
+      }
+      ++stats_.ifetch_blocks;
+      const Cycle done = mem_.inst_fetch(id_, ifetch_addr, now);
+      if (done > now + 1) fetch_stall_until_ = done;  // I-miss stall
+    }
+
+    // Branch-light dispatch: instruction kinds are uniformly random, so
+    // a 4-way switch on them is a steady stream of branch mispredicts on
+    // the host.  One memory-vs-not test (the only unpredictable branch)
+    // plus flag arithmetic on the SoA batch code covers all four kinds;
+    // the mispredict branch is rare enough to stay a branch.
+    if (ibuf_pos_ == ibuf_len_) {
+      ibuf_len_ = static_cast<std::uint32_t>(
+          stream_.fill_batch(icode_.data(), iaddr_.data(), kFetchBatch));
+      SNUG_ENSURE(ibuf_len_ > 0 && ibuf_len_ <= kFetchBatch);
+      ibuf_pos_ = 0;
+    }
+    const std::uint8_t code = icode_[ibuf_pos_];
+    RobEntry entry;
+    entry.done_at = now + 1;
+    if ((code >> 1) == 1) {  // kLoad or kStore
+      const bool is_write = code & 1;
+      stats_.loads += !is_write;
+      stats_.stores += is_write;
+      entry.is_mem = true;
+      ++lsq_used_;
+      const Cycle completion =
+          mem_.data_access(id_, iaddr_[ibuf_pos_], is_write, now);
+      SNUG_ENSURE(completion > now);
+      // Stores update cache state and consume bandwidth but commit
+      // without waiting for the line (store-buffer semantics); loads
+      // occupy their ROB entry until the data arrives.
+      if (!is_write) entry.done_at = completion;
+    } else {
+      stats_.branches += (code & 7) == 1;
+      if (code & trace::kInstrMispredictBit) {
+        ++stats_.mispredicts;
+        fetch_stall_until_ = now + cfg_.branch_penalty;
+      }
+    }
+    ++ibuf_pos_;
+    std::uint32_t tail = rob_head_ + rob_size_;
+    if (tail >= cfg_.rob_entries) tail -= cfg_.rob_entries;
+    rob_[tail] = entry;
+    ++rob_size_;
+  }
 
   CoreId id_;
   CoreConfig cfg_;
   trace::InstrStream& stream_;
-  MemoryPort& mem_;
+  Port& mem_;
 
-  std::deque<RobEntry> rob_;
+  // Fixed-capacity ring buffer ROB: head_ is the oldest entry, entries
+  // wrap modulo cfg_.rob_entries.  Replaces std::deque, whose per-push
+  // bookkeeping and segmented storage sat on the dispatch fast path.
+  std::vector<RobEntry> rob_;
+  std::uint32_t rob_head_ = 0;
+  std::uint32_t rob_size_ = 0;
+
   std::uint32_t lsq_used_ = 0;
   Cycle fetch_stall_until_ = 0;
-  std::uint64_t fetched_instrs_ = 0;  // gates per-block instruction fetch
+  std::uint32_t ifetch_countdown_ = 1;  // instrs until the next block fetch
   Addr code_base_;
   std::uint64_t code_block_cursor_ = 0;
+
+  // SoA instruction batch from the stream (see trace::encode_instr): one
+  // hot code byte per instruction, addresses only read for loads/stores.
+  std::array<std::uint8_t, kFetchBatch> icode_;
+  std::array<Addr, kFetchBatch> iaddr_;
+  std::uint32_t ibuf_pos_ = 0;
+  std::uint32_t ibuf_len_ = 0;
+
+  // Pending stall span [stall_from_, stall_until_) not yet folded into
+  // rob_full/lsq_full — settled as simulated time reaches it (see
+  // settle_stall), so counters never cover cycles outside a run window.
+  Cycle stall_from_ = 0;
+  Cycle stall_until_ = 0;
+  bool stall_is_rob_ = true;
 
   CoreStats stats_;
 };

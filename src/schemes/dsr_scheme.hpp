@@ -43,6 +43,12 @@ class DsrScheme final : public PrivateSchemeBase {
   enum class Role : std::uint8_t { kSpiller, kReceiver };
 
   void tick(Cycle now) override { controller_->tick(now); }
+  [[nodiscard]] bool has_periodic_work() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] Cycle next_tick_cycle() const noexcept override {
+    return controller_->next_boundary();
+  }
 
   /// The cache-wide role (leader sets override it under set dueling).
   [[nodiscard]] Role role_of(CoreId c) const;

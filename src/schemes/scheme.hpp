@@ -63,8 +63,31 @@ class L2Scheme {
   /// A dirty L1 victim written back into the L2 level.
   virtual void l1_writeback(CoreId c, Addr addr, Cycle now) = 0;
 
-  /// Per-cycle housekeeping (epoch state machines).
+  /// Sentinel returned by next_tick_cycle() for schemes with no periodic
+  /// housekeeping at all.
+  static constexpr Cycle kNoPeriodicWork = ~Cycle{0};
+
+  /// Periodic housekeeping (epoch state machines).  Only called by
+  /// drivers when next_tick_cycle() says there is work pending; schemes
+  /// with no periodic work are never ticked.
   virtual void tick(Cycle /*now*/) {}
+
+  /// Declares whether this scheme does any periodic work in tick().  The
+  /// base declaration is "none": L2P/L2S/CC run no epoch machinery, so
+  /// the per-cycle tick call is elided wholesale from the simulation
+  /// loop.
+  [[nodiscard]] virtual bool has_periodic_work() const noexcept {
+    return false;
+  }
+
+  /// Cycle at which tick() next has scheduled work (the next epoch
+  /// boundary).  Event-skipping drivers clamp their time jumps to this
+  /// so boundary work fires at exactly the same cycles as under
+  /// per-cycle ticking.  Meaningless (kNoPeriodicWork) when
+  /// has_periodic_work() is false.
+  [[nodiscard]] virtual Cycle next_tick_cycle() const noexcept {
+    return kNoPeriodicWork;
+  }
 
   /// The cache storage serving core `c` (the shared cache for L2S).
   [[nodiscard]] virtual cache::SetAssocCache& slice(CoreId c) = 0;

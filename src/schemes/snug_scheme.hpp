@@ -45,6 +45,12 @@ class SnugScheme final : public PrivateSchemeBase {
              bus::SnoopBus& bus, dram::DramModel& dram);
 
   void tick(Cycle now) override { controller_->tick(now); }
+  [[nodiscard]] bool has_periodic_work() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] Cycle next_tick_cycle() const noexcept override {
+    return controller_->next_boundary();
+  }
 
   [[nodiscard]] const core::GtVector& gt(CoreId c) const;
   [[nodiscard]] const core::CapacityMonitor& monitor(CoreId c) const;

@@ -50,7 +50,11 @@ class EvalCache {
   /// ablation knobs) and generated-mix parameters.  Pre-scenario v1
   /// entries fingerprinted only a quad-core-era subset, so they are
   /// rejected wholesale by the version check.
-  static constexpr std::uint32_t kVersion = 2;
+  /// v3: the alias-method Zipf sampler consumes RNG draws differently
+  /// than the CDF sampler, so every simulated IPC legitimately changed
+  /// (statistically equivalent, bit-level different); v2 entries would
+  /// silently resurrect pre-alias results and are rejected wholesale.
+  static constexpr std::uint32_t kVersion = 3;
   /// Hard upper bound on plausible per-core entries; anything larger is
   /// treated as corruption.
   static constexpr std::uint32_t kMaxEntries = 4096;

@@ -54,21 +54,44 @@ void CmpSystem::build(const schemes::SchemeSpec& spec,
     cpu::CoreConfig core_cfg = cfg.core;
     core_cfg.code_blocks = prof.code_blocks;
     core_cfg.line_bytes = cfg.l1i.line_bytes();
-    cores_.push_back(
-        std::make_unique<cpu::Core>(c, core_cfg, *streams_[c], *this));
+    cores_.push_back(std::make_unique<cpu::Core<CmpSystem>>(
+        c, core_cfg, *streams_[c], *this));
   }
+  core_wake_.assign(cfg.num_cores, 0);
 }
 
 void CmpSystem::run(Cycle cycles) {
+  // Event-skipping loop: a core is stepped only at cycles where it can
+  // change state (Core::step returns the next such cycle), and the
+  // scheme's tick is consulted only when it declares periodic work.  Time
+  // jumps straight to the earliest pending event, clamped to the next
+  // scheme epoch boundary so boundary callbacks fire at exactly the same
+  // cycles as under per-cycle stepping — the simulated behaviour is
+  // identical to the former for(;;++now_) loop, cycle for cycle.
   const Cycle end = now_ + cycles;
-  for (; now_ < end; ++now_) {
-    for (auto& core : cores_) core->step(now_);
-    scheme_->tick(now_);
+  Cycle boundary = scheme_->has_periodic_work()
+                       ? scheme_->next_tick_cycle()
+                       : schemes::L2Scheme::kNoPeriodicWork;
+  while (now_ < end) {
+    Cycle next = end;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+      if (core_wake_[c] <= now_) core_wake_[c] = cores_[c]->step(now_);
+      if (core_wake_[c] < next) next = core_wake_[c];
+    }
+    if (now_ >= boundary) {
+      scheme_->tick(now_);
+      boundary = scheme_->next_tick_cycle();
+    }
+    if (boundary < next) next = boundary;
+    now_ = next > now_ ? next : now_ + 1;
   }
+  // Close the window for the stall statistics: cores that slept through
+  // the tail still get their in-window stall cycles charged.
+  for (auto& core : cores_) core->settle_stall(end);
 }
 
 void CmpSystem::begin_measurement() {
-  for (auto& core : cores_) core->reset_stats();
+  for (auto& core : cores_) core->reset_stats(now_);
   for (auto& l1 : l1i_) l1.reset_stats();
   for (auto& l1 : l1d_) l1.reset_stats();
   scheme_->reset_stats();
@@ -88,7 +111,7 @@ std::vector<double> CmpSystem::measured_ipc() const {
   return out;
 }
 
-cpu::Core& CmpSystem::core(CoreId c) {
+cpu::Core<CmpSystem>& CmpSystem::core(CoreId c) {
   SNUG_REQUIRE(c < cores_.size());
   return *cores_[c];
 }

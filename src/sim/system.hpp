@@ -72,7 +72,7 @@ class CmpSystem final : public cpu::MemoryPort {
   [[nodiscard]] const schemes::L2Scheme& scheme() const { return *scheme_; }
   [[nodiscard]] bus::SnoopBus& snoop_bus() { return *bus_; }
   [[nodiscard]] dram::DramModel& dram() { return *dram_; }
-  [[nodiscard]] cpu::Core& core(CoreId c);
+  [[nodiscard]] cpu::Core<CmpSystem>& core(CoreId c);
   [[nodiscard]] cache::SetAssocCache& l1d(CoreId c);
   [[nodiscard]] trace::SyntheticStream& stream(CoreId c);
   [[nodiscard]] Cycle now() const noexcept { return now_; }
@@ -90,7 +90,12 @@ class CmpSystem final : public cpu::MemoryPort {
   std::vector<cache::SetAssocCache> l1i_;
   std::vector<cache::SetAssocCache> l1d_;
   std::vector<std::unique_ptr<trace::SyntheticStream>> streams_;
-  std::vector<std::unique_ptr<cpu::Core>> cores_;
+  // Cores are sealed against this (final) system: the per-instruction
+  // data_access/inst_fetch calls devirtualise and inline.
+  std::vector<std::unique_ptr<cpu::Core<CmpSystem>>> cores_;
+  // Per-core next-event cycle: run() skips a core while now_ is below its
+  // wake cycle instead of re-entering a no-op step() every cycle.
+  std::vector<Cycle> core_wake_;
   Cycle now_ = 0;
   Cycle window_start_ = 0;
 };

@@ -9,6 +9,32 @@
 
 namespace snug::trace {
 
+namespace {
+
+/// Smallest power of two >= the largest band demand of any phase: the
+/// per-set slab stride.  Band demands are capped at 32 (== A_threshold,
+/// see trace/profile.hpp), so slabs stay at most 32 uids wide.
+std::uint32_t slab_stride(const BenchmarkProfile& profile) {
+  std::uint32_t max_d = 1;
+  for (const Phase& ph : profile.phases) {
+    for (const DemandBand& b : ph.mix.bands) {
+      max_d = std::max(max_d, b.hi);
+    }
+  }
+  std::uint32_t stride = 1;
+  while (stride < max_d) stride <<= 1;
+  return stride;
+}
+
+/// Probability as a 2^64-scaled integer threshold for one-draw decisions.
+std::uint64_t to_threshold(double p) noexcept {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(p * 0x1.0p64);
+}
+
+}  // namespace
+
 SyntheticStream::SyntheticStream(const BenchmarkProfile& profile,
                                  const StreamConfig& cfg)
     : profile_(profile),
@@ -28,11 +54,25 @@ SyntheticStream::SyntheticStream(const BenchmarkProfile& profile,
   Rng perm_rng(Rng::derive_seed(profile_.name + "/setperm"));
   perm_rng.shuffle(set_perm_);
 
-  stacks_.resize(cfg.num_sets);
+  stride_ = slab_stride(profile_);
+  stride_mask_ = stride_ - 1;
+  stack_arena_.assign(static_cast<std::size_t>(cfg.num_sets) * stride_, 0);
+  stack_head_.assign(cfg.num_sets, 0);
+  stack_size_.assign(cfg.num_sets, 0);
   next_uid_.assign(cfg.num_sets, 0);
   demand_.assign(cfg.num_sets, 1);
   writable_threshold_ = static_cast<std::uint32_t>(
       profile_.writable_fraction * 65536.0);
+  branch_thr_ = to_threshold(profile_.branch_ratio);
+  branch_mispred_thr_ =
+      to_threshold(profile_.branch_ratio * profile_.mispredict_rate);
+  mem_thr_ = to_threshold(profile_.branch_ratio + profile_.mem_ratio);
+  mem_span_ = mem_thr_ - branch_thr_;
+  mem_l2_thr_ = to_threshold(profile_.branch_ratio +
+                             profile_.mem_ratio * profile_.l2_fraction);
+  store_thr_ = to_threshold(profile_.store_fraction);
+  offset_bits_ = log2i(cfg_.line_bytes);
+  index_bits_ = log2i(cfg_.num_sets);
   enter_phase(0);
 
   // Seed the L1-local target with one allocated block so the very first
@@ -69,16 +109,37 @@ void SyntheticStream::enter_phase(std::size_t idx) {
       demand_[s] = static_cast<std::uint32_t>(
           demand_rng.range(bands[bi].lo, bands[bi].hi));
       SNUG_REQUIRE(demand_[s] >= 1);
+      SNUG_REQUIRE(demand_[s] <= stride_);
     }
   }
   SNUG_ENSURE(assigned == cfg_.num_sets);
 
   // Shrink working sets that exceed the new demand; their overflow blocks
   // are simply never referenced again (a compulsory burst follows, which
-  // is what a real phase change produces).
+  // is what a real phase change produces).  Slabs are MRU-first rings, so
+  // truncation is just a size clamp — the tail beyond size is dead.
+  std::vector<bool> depth_in_use(stride_ + 1, false);
   for (SetIndex s = 0; s < cfg_.num_sets; ++s) {
-    auto& st = stacks_[s];
-    if (st.size() > demand_[s]) st.resize(demand_[s]);
+    if (stack_size_[s] > demand_[s]) {
+      stack_size_[s] = static_cast<std::uint16_t>(demand_[s]);
+    }
+    depth_in_use[demand_[s]] = true;
+  }
+
+  // Stack-distance samplers for this phase: one alias table per live
+  // depth d, over [1, d] with weights q^(k-1) (q == 1 is uniform) — the
+  // same truncated-geometric law Rng::truncated_geometric implements,
+  // answered in O(1) without per-draw pow/log.
+  streaming_thr_ = to_threshold(ph.streaming_prob);
+  tg_by_demand_.assign(stride_ + 1, AliasTable{});
+  std::vector<double> weights;
+  for (std::uint32_t d = 1; d <= stride_; ++d) {
+    if (!depth_in_use[d]) continue;
+    weights.assign(d, 1.0);
+    for (std::uint32_t k = 1; k < d; ++k) {
+      weights[k] = weights[k - 1] * ph.sd_q;
+    }
+    tg_by_demand_[d] = AliasTable(weights);
   }
 
   // Phase deadline in cumulative L2 refs.
@@ -102,67 +163,95 @@ void SyntheticStream::maybe_advance_phase() {
 
 Addr SyntheticStream::make_block_addr(SetIndex set,
                                       std::uint32_t uid) const {
-  const std::uint32_t offset_bits = log2i(cfg_.line_bytes);
-  const std::uint32_t index_bits = log2i(cfg_.num_sets);
   // Keep uids below the address-base tag bits.
   SNUG_REQUIRE(uid < (1U << 24));
   return cfg_.addr_base |
-         (static_cast<Addr>(uid) << (offset_bits + index_bits)) |
-         (static_cast<Addr>(set) << offset_bits);
+         (static_cast<Addr>(uid) << (offset_bits_ + index_bits_)) |
+         (static_cast<Addr>(set) << offset_bits_);
 }
 
 Addr SyntheticStream::next_l2_ref() {
   maybe_advance_phase();
-  const Phase& ph = profile_.phases[phase_idx_];
   const SetIndex set = set_perm_[set_picker_.sample(rng_)];
-  auto& stack = stacks_[set];
   const std::uint32_t d = demand_[set];
+  std::uint32_t* slab = stack_arena_.data() +
+                        static_cast<std::size_t>(set) * stride_;
+  std::uint32_t head = stack_head_[set];
+  std::uint32_t size = stack_size_[set];
 
   std::uint32_t uid;
-  bool fresh = stack.empty() || rng_.chance(ph.streaming_prob);
+  bool fresh = size == 0 || rng_.next() < streaming_thr_;
   std::uint32_t k = 0;
   if (!fresh) {
-    k = rng_.truncated_geometric(d, ph.sd_q);
-    fresh = (k > stack.size());
+    k = 1 + static_cast<std::uint32_t>(tg_by_demand_[d].sample(rng_));
+    fresh = (k > size);
   }
   if (fresh) {
     uid = next_uid_[set]++;
-    stack.insert(stack.begin(), uid);
-    if (stack.size() > d) stack.resize(d);
+    head = (head - 1) & stride_mask_;  // O(1) push-front on the ring
+    slab[head] = uid;
+    if (size < d) ++size;  // at size == d the LRU tail drops implicitly
   } else {
-    uid = stack[k - 1];
-    stack.erase(stack.begin() + (k - 1));
-    stack.insert(stack.begin(), uid);
+    // Move-to-front from depth k (1-based): shift depths 0..k-2 down one
+    // slot and re-anchor the hit uid at the head.  Costs k-1 word moves.
+    uid = slab[(head + k - 1) & stride_mask_];
+    for (std::uint32_t j = k - 1; j > 0; --j) {
+      slab[(head + j) & stride_mask_] =
+          slab[(head + j - 1) & stride_mask_];
+    }
+    slab[head] = uid;
   }
+  stack_head_[set] = static_cast<std::uint16_t>(head);
+  stack_size_[set] = static_cast<std::uint16_t>(size);
   ++l2_refs_;
   return make_block_addr(set, uid);
 }
 
-Instr SyntheticStream::next() {
-  const double u = rng_.uniform();
-  Instr instr;
-  if (u < profile_.branch_ratio) {
-    instr.kind = InstrKind::kBranch;
-    instr.mispredict = rng_.chance(profile_.mispredict_rate);
-    return instr;
-  }
-  if (u < profile_.branch_ratio + profile_.mem_ratio) {
-    const bool wants_store = rng_.chance(profile_.store_fraction);
-    if (rng_.chance(profile_.l2_fraction)) {
-      instr.addr = next_l2_ref();
-      last_block_ = instr.addr;
+std::uint8_t SyntheticStream::gen_code(Addr& addr) {
+  const std::uint64_t u = rng_.next();
+  // One unpredictable branch per instruction: memory op or not (the
+  // wrap-around compare folds `branch_thr_ <= u < mem_thr_` into a
+  // single unsigned test).  Everything else is branchless flag
+  // arithmetic — data-dependent mispredicts on uniformly random draws
+  // cost more than the cmovs that replace them.
+  if (u - branch_thr_ < mem_span_) {
+    const bool wants_store = rng_.next() < store_thr_;
+    if (u < mem_l2_thr_) {  // exact conditional draw within the mem band
+      addr = next_l2_ref();
+      last_block_ = addr;
     } else {
       // Intra-block locality: re-reference the last block at some offset.
-      instr.addr = last_block_ | (rng_.below(cfg_.line_bytes) & ~Addr{7});
+      addr = last_block_ | (rng_.next() & (cfg_.line_bytes - 1) & ~Addr{7});
     }
     // Stores only dirty the program's store footprint; everything else is
-    // read-only data and the op degrades to a load.
-    instr.kind = wants_store && writable_block(instr.addr)
-                     ? InstrKind::kStore
-                     : InstrKind::kLoad;
-    return instr;
+    // read-only data and the op degrades to a load.  Non-short-circuit on
+    // purpose: the hash is cheaper than a data-dependent mispredict.
+    return static_cast<std::uint8_t>(InstrKind::kLoad) +
+           static_cast<std::uint8_t>(wants_store & writable_block(addr));
   }
-  instr.kind = InstrKind::kCompute;
+  // Branch or compute; the mispredict flag is an exact conditional draw
+  // (computes have u >= mem_thr_ > branch_mispred_thr_, so it stays 0).
+  const bool is_branch = u < branch_thr_;
+  const bool mispredict = u < branch_mispred_thr_;
+  return static_cast<std::uint8_t>(is_branch) |
+         static_cast<std::uint8_t>(mispredict ? kInstrMispredictBit : 0);
+}
+
+std::size_t SyntheticStream::fill_batch(std::uint8_t* code, Addr* addr,
+                                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    code[i] = gen_code(addr[i]);
+  }
+  return n;
+}
+
+Instr SyntheticStream::gen_next() {
+  Addr addr = 0;
+  const std::uint8_t code = gen_code(addr);
+  Instr instr;
+  instr.kind = static_cast<InstrKind>(code & 7);
+  instr.mispredict = (code & kInstrMispredictBit) != 0;
+  if ((code >> 1) == 1) instr.addr = addr;  // loads/stores only
   return instr;
 }
 

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/alias.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "common/zipf.hpp"
@@ -43,7 +44,14 @@ class SyntheticStream final : public InstrStream {
  public:
   SyntheticStream(const BenchmarkProfile& profile, const StreamConfig& cfg);
 
-  Instr next() override;
+  Instr next() override { return gen_next(); }
+
+  /// Sealed batch synthesis: the whole generator loop runs devirtualised
+  /// inside this one call, so a core consuming through the InstrStream
+  /// interface pays one virtual dispatch per batch, not per instruction —
+  /// and the SoA form skips Instr construction entirely.
+  std::size_t fill_batch(std::uint8_t* code, Addr* addr,
+                         std::size_t n) override;
 
   /// Generates the next L2-bound block address directly, skipping compute
   /// and L1-local filler.  The characterisation benches use this to reach
@@ -71,6 +79,14 @@ class SyntheticStream final : public InstrStream {
   void maybe_advance_phase();
   Addr make_block_addr(SetIndex set, std::uint32_t uid) const;
   Addr next_l2_ref();
+  /// The single per-instruction generator both consumption paths share:
+  /// returns the SoA code byte (see trace::encode_instr) and writes
+  /// `addr` for loads/stores.  fill_batch loops it; next()/gen_next
+  /// decodes it into an Instr — keeping the two paths draw-for-draw
+  /// identical by construction (pinned by
+  /// tests/trace/synth_stream_test.cpp BatchAndNextAreSameStream).
+  std::uint8_t gen_code(Addr& addr);
+  Instr gen_next();
 
   BenchmarkProfile profile_;
   StreamConfig cfg_;
@@ -81,8 +97,48 @@ class SyntheticStream final : public InstrStream {
   std::size_t phase_idx_ = 0;
   std::uint64_t phase_end_refs_ = 0;  // l2 ref count at which phase ends
   std::vector<std::uint32_t> demand_;     // d(s) for current phase
-  std::vector<std::vector<std::uint32_t>> stacks_;  // per-set MRU-first uids
+  // Per-set LRU stacks, MRU-first, flattened into one arena of
+  // fixed-stride circular slabs (stride = max band demand rounded up to a
+  // power of two, ≤ 32 == A_threshold).  A slab is a ring anchored at
+  // head_: depth j lives at slab[(head + j) & stride_mask].  Push-front is
+  // O(1) (head moves back one slot) and a move-to-front from depth k
+  // shifts only the k-1 slots in front of it — geometric-small under the
+  // stack-distance distribution — where the former vector<vector> paid an
+  // O(d) insert(begin)+erase memmove per reference.
+  std::vector<std::uint32_t> stack_arena_;   // num_sets slabs x stride uids
+  std::vector<std::uint16_t> stack_head_;    // MRU offset within the slab
+  std::vector<std::uint16_t> stack_size_;    // live depth (<= demand_[s])
+  std::uint32_t stride_ = 0;
+  std::uint32_t stride_mask_ = 0;
   std::vector<std::uint32_t> next_uid_;   // per-set block allocator
+
+  // O(1) stack-distance sampling: one alias table per working-set depth d
+  // present in the current phase, over [1, d] with weights q^(k-1) —
+  // rebuilt at phase entry.  Replaces Rng::truncated_geometric, whose
+  // per-draw pow/log dominated the reference cost once the Zipf draw
+  // became O(1).
+  std::vector<AliasTable> tg_by_demand_;  // indexed by d; built when used
+
+  // Integer decision thresholds (p * 2^64): one raw 64-bit draw and an
+  // integer compare per decision instead of uniform()'s int-to-double
+  // conversion and double compare.  Exact-zero probabilities stay exact
+  // (u < 0 never holds); exact-one loses 2^-64 — unobservable.
+  //
+  // The kind draw u is reused for the decisions nested inside its
+  // outcome: conditional on u < branch_thr_, u is uniform on
+  // [0, branch_thr_), so `u < branch_thr_ * mispredict_rate` is an exact
+  // Bernoulli(mispredict_rate) — same for the L2-vs-local split within
+  // the memory band.  Two fewer RNG draws per instruction, exactly the
+  // same distribution.
+  std::uint64_t branch_thr_ = 0;
+  std::uint64_t branch_mispred_thr_ = 0;  // branch_ratio * mispredict_rate
+  std::uint64_t mem_thr_ = 0;
+  std::uint64_t mem_span_ = 0;    // mem_thr_ - branch_thr_ (one-test band)
+  std::uint64_t mem_l2_thr_ = 0;  // branch_ratio + mem_ratio * l2_fraction
+  std::uint64_t store_thr_ = 0;
+  std::uint64_t streaming_thr_ = 0;  // per phase
+  std::uint32_t offset_bits_ = 0;
+  std::uint32_t index_bits_ = 0;
 
   std::uint64_t l2_refs_ = 0;
   Addr last_block_ = 0;  // target of L1-local re-references

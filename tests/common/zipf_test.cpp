@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace snug {
@@ -49,6 +50,87 @@ TEST(Zipf, SingleItem) {
   const ZipfSampler z(1, 2.0);
   Rng rng(1);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(z.sample(rng), 0U);
+}
+
+// ---- chi-square goodness of fit ------------------------------------------
+//
+// The statistical-equivalence justification for the alias-method rewrite:
+// alias-sampled frequencies must match the exact pmf() at every (n, alpha)
+// the profiles use.  Bins are pooled from the tail until each holds an
+// expected count >= 8, the textbook validity threshold.  For a correct
+// sampler the statistic is chi-square distributed with (bins - 1) degrees
+// of freedom (mean df, sd sqrt(2 df)); the acceptance bound df + 6 sd is a
+// ~1e-8 one-sided false-positive rate, and the seeds are fixed anyway.
+
+struct ChiSquare {
+  double statistic = 0.0;
+  int dof = 0;
+};
+
+ChiSquare chi_square_vs_pmf(const ZipfSampler& z, int draws,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> counts(z.size(), 0);
+  for (int i = 0; i < draws; ++i) ++counts[z.sample(rng)];
+
+  ChiSquare out;
+  double pooled_exp = 0.0;
+  double pooled_obs = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    pooled_exp += z.pmf(i) * draws;
+    pooled_obs += static_cast<double>(counts[i]);
+    if (pooled_exp >= 8.0) {
+      const double d = pooled_obs - pooled_exp;
+      out.statistic += d * d / pooled_exp;
+      ++out.dof;
+      pooled_exp = 0.0;
+      pooled_obs = 0.0;
+    }
+  }
+  if (pooled_exp > 0.0) {  // leftover tail pool
+    const double d = pooled_obs - pooled_exp;
+    out.statistic += d * d / pooled_exp;
+    ++out.dof;
+  }
+  --out.dof;  // totals are constrained to `draws`
+  return out;
+}
+
+TEST(Zipf, AliasSampledFrequenciesMatchPmf) {
+  struct Case {
+    std::size_t n;
+    double alpha;
+  };
+  // The corners the trace substrate exercises: uniform, the profiles'
+  // mild skews, and a steeper-than-used head concentration; set counts
+  // from the scheme-test geometry up to the paper's 1024-set slice.
+  const Case cases[] = {
+      {16, 0.0}, {64, 0.2}, {256, 0.35}, {1024, 0.8}, {1024, 1.2},
+  };
+  int case_id = 0;
+  for (const Case& c : cases) {
+    const ZipfSampler z(c.n, c.alpha);
+    const ChiSquare chi =
+        chi_square_vs_pmf(z, 400'000, 0xC0FFEE + 31 * case_id++);
+    ASSERT_GE(chi.dof, 1);
+    const double bound =
+        chi.dof + 6.0 * std::sqrt(2.0 * static_cast<double>(chi.dof));
+    EXPECT_LT(chi.statistic, bound)
+        << "n=" << c.n << " alpha=" << c.alpha << " chi2=" << chi.statistic
+        << " dof=" << chi.dof;
+  }
+}
+
+TEST(Zipf, AliasTableCoversAllItems) {
+  // Every item must be reachable: at steep alpha the tail masses are
+  // tiny, but none may round to zero probability.
+  const ZipfSampler z(128, 1.2);
+  Rng rng(5);
+  std::vector<bool> seen(128, false);
+  for (int i = 0; i < 2'000'000; ++i) seen[z.sample(rng)] = true;
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << "item " << i << " never sampled";
+  }
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "common/rng.hpp"
+
 namespace snug::cpu {
 namespace {
 
@@ -153,6 +155,90 @@ TEST(Core, SlowIfetchThrottlesDispatch) {
     slow.step(t);
   }
   EXPECT_LT(slow.stats().retired, fast.stats().retired / 2);
+}
+
+TEST(Core, EventSkipEquivalentToPerCycleStepping) {
+  // The contract behind CmpSystem::run's event skipping: stepping a core
+  // only at the wake cycles step() returns must produce exactly the same
+  // retirement, memory-request trace and stall statistics as stepping it
+  // every cycle.  The script mixes long loads (ROB/LSQ back-pressure),
+  // stores, mispredicting branches (fetch stalls) and computes.
+  Rng rng(Rng::derive_seed("core-skip-equiv"));
+  std::vector<trace::Instr> script;
+  for (int i = 0; i < 20'000; ++i) {
+    const double u = rng.uniform();
+    trace::Instr in;
+    if (u < 0.30) {
+      in.kind = trace::InstrKind::kLoad;
+      in.addr = rng.below(1 << 20) << 6;
+    } else if (u < 0.40) {
+      in.kind = trace::InstrKind::kStore;
+      in.addr = rng.below(1 << 20) << 6;
+    } else if (u < 0.55) {
+      in.kind = trace::InstrKind::kBranch;
+      in.mispredict = rng.chance(0.05);
+    }  // else compute
+    script.push_back(in);
+  }
+
+  ScriptedStream ref_stream(script);
+  ScriptedStream skip_stream(script);
+  FlatMemory ref_mem(150);
+  FlatMemory skip_mem(150);
+  ref_mem.ifetch_latency = skip_mem.ifetch_latency = 8;
+  Core ref(0, small_cfg(), ref_stream, ref_mem);
+  Core skip(0, small_cfg(), skip_stream, skip_mem);
+
+  constexpr Cycle kWindow = 60'000;
+  constexpr Cycle kReset = 30'000;  // mid-run measurement-window reset
+  Cycle wake = 0;
+  std::uint64_t skip_steps = 0;
+  for (Cycle t = 0; t < kWindow; ++t) {
+    if (t == kReset) {
+      // Window boundary: both drivers pass the boundary cycle, so the
+      // pre-reset part of an in-flight stall is settled into the
+      // discarded window and the remainder lands in the new one.
+      ref.reset_stats(kReset);
+      skip.reset_stats(kReset);
+    }
+    ref.step(t);  // per-cycle reference: ignore the wake hint
+    if (wake <= t) {
+      wake = skip.step(t);
+      ASSERT_GT(wake, t);
+      ++skip_steps;
+    }
+  }
+  // Close the stall-accounting window, as CmpSystem::run does at the end
+  // of every run() — a core asleep through the tail still gets its
+  // in-window stall cycles charged, and none beyond the window.
+  ref.settle_stall(kWindow);
+  skip.settle_stall(kWindow);
+
+  EXPECT_EQ(ref.stats().retired, skip.stats().retired);
+  EXPECT_EQ(ref.stats().loads, skip.stats().loads);
+  EXPECT_EQ(ref.stats().stores, skip.stats().stores);
+  EXPECT_EQ(ref.stats().branches, skip.stats().branches);
+  EXPECT_EQ(ref.stats().mispredicts, skip.stats().mispredicts);
+  EXPECT_EQ(ref.stats().ifetch_blocks, skip.stats().ifetch_blocks);
+  EXPECT_EQ(ref.stats().rob_full_cycles, skip.stats().rob_full_cycles);
+  EXPECT_EQ(ref.stats().lsq_full_cycles, skip.stats().lsq_full_cycles);
+
+  // The memory systems must have seen identical request traces at
+  // identical cycles — the property CmpSystem's shared bus/DRAM need.
+  ASSERT_EQ(ref_mem.data_reqs.size(), skip_mem.data_reqs.size());
+  for (std::size_t i = 0; i < ref_mem.data_reqs.size(); ++i) {
+    EXPECT_EQ(ref_mem.data_reqs[i].addr, skip_mem.data_reqs[i].addr);
+    EXPECT_EQ(ref_mem.data_reqs[i].write, skip_mem.data_reqs[i].write);
+    EXPECT_EQ(ref_mem.data_reqs[i].at, skip_mem.data_reqs[i].at);
+  }
+  ASSERT_EQ(ref_mem.ifetches.size(), skip_mem.ifetches.size());
+  for (std::size_t i = 0; i < ref_mem.ifetches.size(); ++i) {
+    EXPECT_EQ(ref_mem.ifetches[i].at, skip_mem.ifetches[i].at);
+  }
+
+  // And the skipping must actually skip: long-load back-pressure makes
+  // most cycles no-ops for this script.
+  EXPECT_LT(skip_steps, kWindow / 2);
 }
 
 TEST(Core, IpcZeroWindow) {

@@ -24,10 +24,20 @@
 namespace snug::sim {
 namespace {
 
-// Captured from the pre-refactor tree (PR 2 state) at
-// warmup=200000 / measure=300000, the CI determinism-smoke scale.
-constexpr std::uint64_t kGoldenCellHash = 0x4B1CEF6A50D56CE8ULL;
-constexpr std::uint64_t kGoldenFig9CsvHash = 0xD66421E423D0FDB4ULL;
+// Captured at warmup=200000 / measure=300000, the CI determinism-smoke
+// scale.  Re-captured for the ISSUE 4 front-end overhaul: the alias-method
+// Zipf sampler consumes RNG draws differently than the CDF sampler it
+// replaced, so every simulated IPC legitimately changed.  The change is
+// *distributionally* neutral — the chi-square test in
+// tests/common/zipf_test.cpp pins alias-sampled frequencies to the exact
+// pmf, the per-set demand map is drawn from an untouched RNG stream
+// (tests/trace/synth_stream_test.cpp PhaseBoundary tests), and the
+// stack-distance law behind giver/taker structure is pinned by
+// tests/cache/stack_property_test.cpp and the truncated-geometric test.
+// The event-skipping core loop and arena stacks are cycle-for-cycle
+// equivalent and contributed nothing to this re-capture.
+constexpr std::uint64_t kGoldenCellHash = 0x549A6716FD6A4694ULL;
+constexpr std::uint64_t kGoldenFig9CsvHash = 0xBF77580B0BEAC553ULL;
 
 TEST(GoldenFig9, PaperCampaignBitIdenticalToPreRefactorCapture) {
   CampaignSpec spec = CampaignSpec::paper();

@@ -1,0 +1,103 @@
+// Pins for the scheme-tick elision and the event-skipping run loop
+// (ISSUE 4): schemes with no periodic work declare it and are never
+// ticked, and epoch-driven schemes (DSR, SNUG) see their stage
+// boundaries fire at exactly the same cycles as under the former
+// per-cycle tick — CmpSystem::run clamps its time jumps to the
+// controller's next boundary.
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "schemes/dsr_scheme.hpp"
+#include "schemes/snug_scheme.hpp"
+#include "sim/system.hpp"
+
+namespace snug::sim {
+namespace {
+
+RunScale tiny_scale() {
+  RunScale scale;
+  scale.warmup_cycles = 200'000;
+  scale.measure_cycles = 150'000;
+  scale.phase_period_refs = 50'000;
+  return scale;
+}
+
+trace::WorkloadCombo mixed_combo() {
+  return {"test-mix", 3, {"ammp", "parser", "gzip", "mesa"}};
+}
+
+TEST(TickElision, SchemesDeclarePeriodicWorkCorrectly) {
+  const SystemConfig cfg = paper_system_config();
+  struct Case {
+    schemes::SchemeKind kind;
+    bool ticks;
+  };
+  const Case cases[] = {
+      {schemes::SchemeKind::kL2P, false},
+      {schemes::SchemeKind::kL2S, false},
+      {schemes::SchemeKind::kCC, false},
+      {schemes::SchemeKind::kDSR, true},
+      {schemes::SchemeKind::kSNUG, true},
+  };
+  for (const Case& c : cases) {
+    CmpSystem sys(cfg, {c.kind, 0.5}, mixed_combo(), tiny_scale());
+    EXPECT_EQ(sys.scheme().has_periodic_work(), c.ticks)
+        << sys.scheme().name();
+    if (!c.ticks) {
+      EXPECT_EQ(sys.scheme().next_tick_cycle(),
+                schemes::L2Scheme::kNoPeriodicWork)
+          << sys.scheme().name();
+    } else {
+      EXPECT_LT(sys.scheme().next_tick_cycle(),
+                schemes::L2Scheme::kNoPeriodicWork)
+          << sys.scheme().name();
+    }
+  }
+}
+
+// DSR's monitor epochs must fire at exactly the cycles the per-cycle
+// tick produced: tick(t) runs for every simulated t in [0, end), and the
+// controller flips kIdentify -> kGroup the first time t reaches
+// identify_cycles.  Running exactly up to the boundary must leave the
+// stage unflipped; one more cycle must flip it.
+TEST(TickElision, DsrEpochsFireAtExactCycles) {
+  SystemConfig cfg = paper_system_config();
+  cfg.scheme_ctx.dsr.epochs = core::EpochConfig{50'000, 120'000};
+  CmpSystem sys(cfg, {schemes::SchemeKind::kDSR, 0}, mixed_combo(),
+                tiny_scale());
+  auto& dsr = dynamic_cast<schemes::DsrScheme&>(sys.scheme());
+
+  sys.run(50'000);  // ticks 0..49'999: boundary at 50'000 not yet reached
+  EXPECT_EQ(dsr.stage(), core::Stage::kIdentify);
+  sys.run(1);  // tick(50'000) fires the stage-I harvest
+  EXPECT_EQ(dsr.stage(), core::Stage::kGroup);
+
+  sys.run(119'999);  // up to cycle 170'000: group boundary not yet reached
+  EXPECT_EQ(dsr.stage(), core::Stage::kGroup);
+  sys.run(1);  // tick(170'000) ends the group stage
+  EXPECT_EQ(dsr.stage(), core::Stage::kIdentify);
+}
+
+TEST(TickElision, SnugEpochsFireAtExactCycles) {
+  SystemConfig cfg = paper_system_config();
+  cfg.scheme_ctx.snug.epochs = core::EpochConfig{40'000, 90'000};
+  CmpSystem sys(cfg, {schemes::SchemeKind::kSNUG, 0}, mixed_combo(),
+                tiny_scale());
+  auto& snug = dynamic_cast<schemes::SnugScheme&>(sys.scheme());
+
+  sys.run(40'000);
+  EXPECT_EQ(snug.stage(), core::Stage::kIdentify);
+  EXPECT_EQ(sys.scheme().next_tick_cycle(), 40'000U);
+  sys.run(1);
+  EXPECT_EQ(snug.stage(), core::Stage::kGroup);
+  EXPECT_EQ(sys.scheme().next_tick_cycle(), 130'000U);
+
+  // A run that jumps across several boundaries still lands on each one:
+  // 3 more full periods advance the controller by exactly 3 periods.
+  sys.run(3 * 130'000);
+  EXPECT_EQ(snug.stage(), core::Stage::kGroup);
+  EXPECT_EQ(sys.scheme().next_tick_cycle(), 4U * 130'000U);
+}
+
+}  // namespace
+}  // namespace snug::sim

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <map>
+#include <memory>
 
 #include "cache/geometry.hpp"
 #include "cache/stack_profiler.hpp"
@@ -117,6 +120,173 @@ TEST(SynthStream, MeasuredDemandMatchesConfiguredDemand) {
     ++checked;
   }
   EXPECT_GT(checked, 20);
+}
+
+TEST(SynthStream, BatchAndNextAreSameStream) {
+  // The core model consumes fill_batch, the characterisation layer
+  // consumes next(); both must be the same instruction stream draw for
+  // draw.  (They share gen_code by construction — this pins the shared
+  // decoding too.)
+  SyntheticStream a(profile_for("parser"), small_cfg(3));
+  SyntheticStream b(profile_for("parser"), small_cfg(3));
+  constexpr std::size_t kBatch = 64;
+  std::uint8_t code[kBatch];
+  Addr addr[kBatch];
+  for (int round = 0; round < 300; ++round) {
+    ASSERT_EQ(a.fill_batch(code, addr, kBatch), kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const Instr in = b.next();
+      ASSERT_EQ(code[i], encode_instr(in.kind, in.mispredict))
+          << "round " << round << " instr " << i;
+      if (in.kind == InstrKind::kLoad || in.kind == InstrKind::kStore) {
+        ASSERT_EQ(addr[i], in.addr) << "round " << round << " instr " << i;
+      }
+    }
+  }
+  EXPECT_EQ(a.l2_refs(), b.l2_refs());
+}
+
+TEST(SynthStream, StackDistancesAreTruncatedGeometric) {
+  // Distributional pin for the arena rewrite: once a set's working set is
+  // full (size == d) and streaming is off, every reference to it is a hit
+  // whose stack distance is exactly truncated-geometric on [1, d].  An
+  // independent shadow LRU stack per set observes the generated address
+  // sequence, and the measured depth histogram is chi-squared against
+  // P(k) ~ q^(k-1) / (1 - q^d).  This is the stack-property contract
+  // (block_required(S, I) == d(s)) expressed as a distribution test.
+  constexpr std::uint32_t kDepth = 16;
+  constexpr double kQ = 0.8;
+  BenchmarkProfile prof;
+  prof.name = "tg-pin";
+  prof.set_zipf_alpha = 0.0;  // uniform set popularity: even sampling
+  Phase ph;
+  ph.fraction = 1.0;
+  ph.streaming_prob = 0.0;  // no compulsory allocations after warm-up
+  ph.sd_q = kQ;
+  ph.mix.bands = {{1.0, kDepth, kDepth}};
+  prof.phases = {ph};
+
+  StreamConfig cfg = small_cfg();
+  cfg.phase_period_refs = 100'000'000;  // stay in phase 0 throughout
+  SyntheticStream stream(prof, cfg);
+  const cache::CacheGeometry geo(64ULL * 64 * 16, 16, 64);  // 64 sets
+
+  std::vector<std::vector<Addr>> shadow(64);  // MRU-first per set
+  std::vector<std::uint64_t> depth_counts(kDepth + 1, 0);
+  for (std::uint64_t i = 0; i < 400'000; ++i) {
+    const Addr a = stream.next_l2_access();
+    auto& st = shadow[geo.set_of(a)];
+    const Addr block = geo.block_of(a);
+    const auto it = std::find(st.begin(), st.end(), block);
+    if (it == st.end()) {
+      st.insert(st.begin(), block);  // compulsory fill during warm-up
+      continue;
+    }
+    const auto depth = static_cast<std::size_t>(it - st.begin()) + 1;
+    ASSERT_LE(depth, kDepth);
+    st.erase(it);
+    st.insert(st.begin(), block);
+    if (st.size() >= kDepth) ++depth_counts[depth];  // steady state only
+  }
+
+  std::uint64_t total = 0;
+  for (std::size_t k = 1; k <= kDepth; ++k) total += depth_counts[k];
+  ASSERT_GT(total, 100'000U);
+
+  const double norm = (1.0 - std::pow(kQ, kDepth)) / (1.0 - kQ);
+  double chi2 = 0.0;
+  for (std::size_t k = 1; k <= kDepth; ++k) {
+    const double expected =
+        std::pow(kQ, static_cast<double>(k - 1)) / norm *
+        static_cast<double>(total);
+    ASSERT_GE(expected, 8.0);
+    const double d = static_cast<double>(depth_counts[k]) - expected;
+    chi2 += d * d / expected;
+  }
+  const double dof = kDepth - 1;
+  EXPECT_LT(chi2, dof + 6.0 * std::sqrt(2.0 * dof)) << "chi2 " << chi2;
+}
+
+TEST(SynthStream, PhaseBoundariesLandAtExactFractions) {
+  // Regression pin for enter_phase/maybe_advance_phase: phase i ends at
+  // exactly base + floor(cum_fraction_i * phase_period_refs) L2 refs —
+  // the x-axis contract the characterisation benches rely on — and the
+  // wrap into the next period rebuilds the same demand map (seeded by
+  // benchmark + phase only).
+  StreamConfig cfg = small_cfg();
+  const std::uint64_t P = 10'000;
+  cfg.phase_period_refs = P;
+  SyntheticStream stream(profile_for("vortex"), cfg);
+  const auto& phases = stream.profile().phases;
+  ASSERT_EQ(phases.size(), 3U);
+
+  std::vector<std::uint32_t> demand_p0(64);
+  for (SetIndex s = 0; s < 64; ++s) demand_p0[s] = stream.demand_of(s);
+
+  // Expected boundaries, replicating enter_phase's arithmetic.
+  const auto boundary = [&](std::uint64_t base, std::size_t idx) {
+    double cum = 0.0;
+    for (std::size_t i = 0; i <= idx; ++i) cum += phases[i].fraction;
+    return base + static_cast<std::uint64_t>(cum * static_cast<double>(P));
+  };
+
+  // Observed transitions: the l2_refs() value the stream reports the
+  // first time it generates in the new phase is boundary + 1 (the
+  // boundary-crossing reference itself is drawn in the new phase).
+  std::size_t prev_phase = stream.current_phase();
+  std::vector<std::uint64_t> observed;
+  while (stream.l2_refs() < 2 * P + P / 2) {
+    stream.next_l2_access();
+    if (stream.current_phase() != prev_phase) {
+      prev_phase = stream.current_phase();
+      observed.push_back(stream.l2_refs() - 1);  // ref count at the switch
+    }
+  }
+  ASSERT_GE(observed.size(), 6U);  // two full periods of 3 phases
+  EXPECT_EQ(observed[0], boundary(0, 0));
+  EXPECT_EQ(observed[1], boundary(0, 1));
+  EXPECT_EQ(observed[2], boundary(0, 2));  // wrap into period 1
+  EXPECT_EQ(observed[3], boundary(P, 0));
+  EXPECT_EQ(observed[4], boundary(P, 1));
+  EXPECT_EQ(observed[5], boundary(P, 2));
+
+  // After the wrap the stream is back in phase 0 with the same demand.
+  SyntheticStream probe(profile_for("vortex"), cfg);
+  while (probe.l2_refs() <= boundary(P, 2)) probe.next_l2_access();
+  ASSERT_EQ(probe.current_phase(), 0U);
+  for (SetIndex s = 0; s < 64; ++s) {
+    EXPECT_EQ(probe.demand_of(s), demand_p0[s]) << "set " << s;
+  }
+}
+
+TEST(SynthStream, DemandAgreesAcrossFourCopiesThroughPhaseChange) {
+  // The C1/C2 stress-test assumption: four cores running the same
+  // benchmark see the same per-set demand in every phase, no matter how
+  // differently their private interleavings draw from the stacks.
+  StreamConfig cfgs[4] = {small_cfg(0), small_cfg(1), small_cfg(2),
+                          small_cfg(3)};
+  cfgs[1].addr_base = Addr{1} << 40;
+  cfgs[2].addr_base = Addr{2} << 40;
+  cfgs[3].addr_base = Addr{3} << 40;
+  std::vector<std::unique_ptr<SyntheticStream>> streams;
+  for (const auto& c : cfgs) {
+    streams.push_back(
+        std::make_unique<SyntheticStream>(profile_for("vortex"), c));
+  }
+  // Step all four in lockstep across two phase boundaries.
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t target = (round + 1) * 20'000;
+    for (auto& s : streams) {
+      while (s->l2_refs() < target) s->next_l2_access();
+    }
+    for (auto& s : streams) {
+      ASSERT_EQ(s->current_phase(), streams[0]->current_phase());
+      for (SetIndex set = 0; set < 64; ++set) {
+        ASSERT_EQ(s->demand_of(set), streams[0]->demand_of(set))
+            << "round " << round << " set " << set;
+      }
+    }
+  }
 }
 
 TEST(SynthStream, PhaseAdvancesAndRevisits) {
