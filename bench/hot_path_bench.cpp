@@ -83,7 +83,7 @@ double raw_local_mix(std::uint64_t ops, std::uint64_t& checksum) {
     checksum += res.way;
   }
   const double dt = seconds_since(t0);
-  checksum += l2.stats().hits;
+  checksum += l2.stats().hits();
   return static_cast<double>(ops) / dt;
 }
 
@@ -109,7 +109,7 @@ double raw_cc_mix(std::uint64_t ops, std::uint64_t& checksum) {
     }
   }
   const double dt = seconds_since(t0);
-  checksum += l2.stats().cc_forwarded;
+  checksum += l2.stats().cc_forwarded();
   return static_cast<double>(ops) / dt;
 }
 

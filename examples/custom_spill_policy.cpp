@@ -71,9 +71,9 @@ int main() {
     for (const double v : ipc) sum += v;
     const auto& st = system.scheme().stats();
     t.add_row({name, strf("%.3f", sum),
-               strf("%llu", static_cast<unsigned long long>(st.spills)),
+               strf("%llu", static_cast<unsigned long long>(st.spills())),
                strf("%llu",
-                    static_cast<unsigned long long>(st.remote_hits))});
+                    static_cast<unsigned long long>(st.remote_hits()))});
   };
 
   {
@@ -96,7 +96,7 @@ int main() {
     }
     std::printf("standalone ring scheme after 32 accesses to one set: "
                 "%llu spills, %u guests at neighbour\n",
-                static_cast<unsigned long long>(ring.stats().spills),
+                static_cast<unsigned long long>(ring.stats().spills()),
                 ring.slice(1).set(7).cc_count());
   }
   {

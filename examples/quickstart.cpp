@@ -61,13 +61,13 @@ int main() {
     std::printf("%s: %llu L2 accesses, %.1f%% hit rate, %llu spills, "
                 "%llu remote hits, %llu DRAM fills\n",
                 spec.id().c_str(),
-                static_cast<unsigned long long>(st.l2_accesses),
-                st.l2_accesses ? 100.0 * static_cast<double>(st.l2_hits) /
-                                     static_cast<double>(st.l2_accesses)
+                static_cast<unsigned long long>(st.l2_accesses()),
+                st.l2_accesses() ? 100.0 * static_cast<double>(st.l2_hits()) /
+                                     static_cast<double>(st.l2_accesses())
                                : 0.0,
-                static_cast<unsigned long long>(st.spills),
-                static_cast<unsigned long long>(st.remote_hits),
-                static_cast<unsigned long long>(st.dram_fills));
+                static_cast<unsigned long long>(st.spills()),
+                static_cast<unsigned long long>(st.remote_hits()),
+                static_cast<unsigned long long>(st.dram_fills()));
   }
   std::printf("\n%s", table.render().c_str());
   std::printf("\nSNUG turned the shallow sets of every slice into hosts "

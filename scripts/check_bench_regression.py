@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Gate the hot-path bench against the committed BENCH baseline.
+
+Usage:
+    check_bench_regression.py MEASURED.json BASELINE.json [--min-ratio R]
+
+MEASURED.json is a fresh `hot_path_bench --json-out` record.  BASELINE.json
+is a committed BENCH_*.json file whose `baseline` object holds the
+reference numbers (the slower, pre-refactor side — deliberately: CI runner
+hardware differs from the machine that produced the baseline, and gating
+against the pre numbers leaves that headroom while still catching real
+regressions).  The gate checks the end-to-end run tier — the number every
+campaign cycle actually pays:
+
+    system_run_instr_per_sec      (the --scheme machine, default SNUG)
+    system_run_l2p_instr_per_sec  (the L2P machine)
+
+and fails when either falls below min-ratio x baseline (default 0.9,
+i.e. a >10% regression).  Exit codes: 0 pass, 1 regression, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_KEYS = ("system_run_instr_per_sec", "system_run_l2p_instr_per_sec")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("measured", help="fresh hot_path_bench --json-out record")
+    parser.add_argument("baseline", help="committed BENCH_*.json with a 'baseline' object")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.9,
+        help="fail when measured/baseline drops below this (default 0.9)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.measured) as f:
+            measured = json.load(f)
+        with open(args.baseline) as f:
+            baseline_file = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_bench_regression: cannot read inputs: {err}", file=sys.stderr)
+        return 2
+
+    baseline = baseline_file.get("baseline", baseline_file)
+    failures = []
+    for key in GATED_KEYS:
+        ref = baseline.get(key)
+        got = measured.get(key)
+        if not isinstance(ref, (int, float)) or ref <= 0:
+            print(f"check_bench_regression: baseline lacks {key}", file=sys.stderr)
+            return 2
+        if not isinstance(got, (int, float)) or got <= 0:
+            print(f"check_bench_regression: measurement lacks {key}", file=sys.stderr)
+            return 2
+        ratio = got / ref
+        status = "OK " if ratio >= args.min_ratio else "REGRESSION"
+        print(f"{status} {key}: measured {got:,.0f} / baseline {ref:,.0f} = {ratio:.3f} "
+              f"(floor {args.min_ratio:.2f})")
+        if ratio < args.min_ratio:
+            failures.append(key)
+
+    if failures:
+        print(f"check_bench_regression: run tier regressed >"
+              f"{(1 - args.min_ratio) * 100:.0f}% on: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

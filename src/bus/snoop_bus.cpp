@@ -1,7 +1,5 @@
 #include "bus/snoop_bus.hpp"
 
-#include <algorithm>
-
 #include "common/bitutil.hpp"
 #include "common/require.hpp"
 
@@ -11,73 +9,97 @@ SnoopBus::SnoopBus(const BusConfig& cfg) : cfg_(cfg) {
   SNUG_ENSURE(cfg.width_bytes >= 1);
   SNUG_ENSURE(cfg.speed_ratio >= 1);
   SNUG_ENSURE(cfg.block_bytes >= cfg.width_bytes);
-}
-
-Cycle SnoopBus::duration(BusOp op) const noexcept {
+  static_assert((kRingCapacity & (kRingCapacity - 1)) == 0,
+                "ring indexing masks against kRingCapacity - 1");
+  // Per-op durations are fixed by the config; precompute them so the
+  // transact path is a table load instead of a switch + ceil_div.
   const std::uint64_t data_beats =
-      ceil_div(cfg_.block_bytes, cfg_.width_bytes);
-  std::uint64_t bus_cycles = cfg_.arb_cycles;
-  switch (op) {
-    case BusOp::kRequest:
-      bus_cycles += 1;
-      break;
-    case BusOp::kDataBlock:
-      bus_cycles += data_beats;
-      break;
-    case BusOp::kSpill:
-      bus_cycles += 1 + data_beats;
-      break;
-  }
-  return bus_cycles * cfg_.speed_ratio;
-}
-
-void SnoopBus::prune(Cycle now) {
-  // Intervals that ended well in the past can never conflict with new
-  // transactions (grants are always at/after `now`, which only grows
-  // within a run; retire anything ending before the oldest time a caller
-  // could still name).
-  const Cycle horizon = now > 4096 ? now - 4096 : 0;
-  if (horizon <= prune_before_) return;
-  std::size_t keep = 0;
-  while (keep < busy_.size() && busy_[keep].end < horizon) ++keep;
-  if (keep > 0) busy_.erase(busy_.begin(), busy_.begin() + static_cast<std::ptrdiff_t>(keep));
-  prune_before_ = horizon;
+      ceil_div(cfg.block_bytes, cfg.width_bytes);
+  duration_[static_cast<std::size_t>(BusOp::kRequest)] =
+      (cfg.arb_cycles + 1) * cfg.speed_ratio;
+  duration_[static_cast<std::size_t>(BusOp::kDataBlock)] =
+      (cfg.arb_cycles + data_beats) * cfg.speed_ratio;
+  duration_[static_cast<std::size_t>(BusOp::kSpill)] =
+      (cfg.arb_cycles + 1 + data_beats) * cfg.speed_ratio;
 }
 
 BusGrant SnoopBus::transact(Cycle now, BusOp op) {
-  switch (op) {
-    case BusOp::kRequest:
-      ++stats_.requests;
-      break;
-    case BusOp::kDataBlock:
-      ++stats_.data_blocks;
-      break;
-    case BusOp::kSpill:
-      ++stats_.spills;
-      break;
-  }
-  prune(now);
+  ++stats_.op_count(op);
   const Cycle dur = duration(op);
 
-  // First-fit: earliest gap at/after `now` that holds `dur` cycles.
-  Cycle t = now;
-  std::size_t insert_pos = 0;
-  for (; insert_pos < busy_.size(); ++insert_pos) {
-    const Interval& iv = busy_[insert_pos];
-    if (t + dur <= iv.start) break;  // fits entirely before this tenure
-    if (iv.end > t) t = iv.end;      // pushed past this tenure
+  // Retire tenures behind the horizon.  Ends are ordered (tenures are
+  // disjoint and start-ordered), so this is a pure head pop.
+  if (now > kRetireSlack && now - kRetireSlack > horizon_) {
+    horizon_ = now - kRetireSlack;
   }
-  busy_.insert(busy_.begin() + static_cast<std::ptrdiff_t>(insert_pos),
-               Interval{t, t + dur});
+  while (size_ != 0 && at(0).end < horizon_) pop_front();
+  if (size_ == kRingCapacity) {
+    // Ring pressure: additionally retire tenures that ended at or before
+    // `now` — they can neither host nor push a grant at/after `now`.
+    // They could still push a *later* transaction issued with a smaller
+    // timestamp, so their range is sealed behind the conflict floor.
+    while (size_ != 0 && at(0).end <= now) {
+      if (at(0).end > floor_) floor_ = at(0).end;
+      pop_front();
+    }
+  }
 
-  stats_.wait_core_cycles += t - now;
-  stats_.busy_core_cycles += dur;
+  // No grant may start before the conflict floor: it covers every
+  // tenure the bounded ring was forced to stop tracking.
+  Cycle t = now > floor_ ? now : floor_;
+  if (size_ == 0 || now >= at(size_ - 1).end) {
+    // O(1) fast path: the bus holds no booking that ends after `now`, so
+    // first-fit degenerates to an immediate grant appended at the tail.
+    // (Any existing tenure iv has iv.end <= now, hence iv.start < t+dur
+    // and iv.end <= t: the scan below would neither break nor push t.
+    // The ring cannot be full here: full + all-ends-<=-now was emptied
+    // by the pressure retirement above.)
+  } else {
+    // First-fit: earliest gap at/after `now` (and the floor) that holds
+    // `dur` cycles.
+    std::size_t insert_pos = 0;
+    for (; insert_pos < size_; ++insert_pos) {
+      const Tenure& iv = at(insert_pos);
+      if (t + dur <= iv.start) break;  // fits entirely before this tenure
+      if (iv.end > t) t = iv.end;      // pushed past this tenure
+    }
+    if (size_ == kRingCapacity) {
+      // Ring full with live bookings.  Drop to the bounded fallback:
+      // grant after the last booked tenure (at worst later than
+      // unbounded first-fit would allow) and retire the head booking to
+      // make room — sealing its range behind the conflict floor so no
+      // later grant can overlap the untracked tenure.
+      ++stats_.ring_full_fallbacks();
+      if (at(size_ - 1).end > t) t = at(size_ - 1).end;
+      if (at(0).end > floor_) floor_ = at(0).end;
+      pop_front();
+      insert_pos = size_;
+    } else if (insert_pos < size_) {
+      // Mid-ring gap: shift the later tenures up one slot.  Bounded by
+      // the ring and rare — only transactions issued behind already
+      // booked future tenures (e.g. a request racing a DRAM return)
+      // land here, and they land near the tail.
+      for (std::size_t i = size_; i > insert_pos; --i) {
+        at(i) = at(i - 1);
+      }
+    }
+    ++size_;
+    at(insert_pos) = Tenure{t, t + dur};
+    stats_.wait_core_cycles() += t - now;
+    stats_.busy_core_cycles() += dur;
+    return {t, t + dur};
+  }
+
+  at(size_) = Tenure{t, t + dur};
+  ++size_;
+  stats_.wait_core_cycles() += t - now;
+  stats_.busy_core_cycles() += dur;
   return {t, t + dur};
 }
 
 double SnoopBus::utilisation(Cycle horizon) const noexcept {
   if (horizon == 0) return 0.0;
-  return static_cast<double>(stats_.busy_core_cycles) /
+  return static_cast<double>(stats_.busy_core_cycles()) /
          static_cast<double>(horizon);
 }
 

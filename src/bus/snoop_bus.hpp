@@ -12,10 +12,12 @@
 // indiscriminate eviction-driven CC can lose (paper Section 1).
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <vector>
+#include <string_view>
 
 #include "common/types.hpp"
+#include "stats/counters.hpp"
 
 namespace snug::bus {
 
@@ -32,13 +34,40 @@ struct BusConfig {
   std::uint32_t block_bytes = 64;
 };
 
-struct BusStats {
-  std::uint64_t requests = 0;
-  std::uint64_t data_blocks = 0;
-  std::uint64_t spills = 0;
-  std::uint64_t busy_core_cycles = 0;
-  std::uint64_t wait_core_cycles = 0;  ///< total grant queueing delay
+/// Bus event counters as SoA words (stats/counters.hpp).  The first
+/// three words are indexed directly by BusOp, so the per-transaction
+/// kind bump is one add on a computed offset — no switch.
+struct BusStats final : stats::CounterWords<BusStats, 6> {
+  enum : std::size_t {
+    kRequests = 0,  // == BusOp::kRequest
+    kDataBlocks,    // == BusOp::kDataBlock
+    kSpills,        // == BusOp::kSpill
+    kBusyCoreCycles,
+    kWaitCoreCycles,
+    kRingFullFallbacks,
+  };
+  static constexpr std::array<std::string_view, kNumWords> kNames = {
+      "requests",         "data_blocks",      "spills",
+      "busy_core_cycles", "wait_core_cycles", "ring_full_fallbacks"};
+  SNUG_COUNTER(requests, kRequests)
+  SNUG_COUNTER(data_blocks, kDataBlocks)
+  SNUG_COUNTER(spills, kSpills)
+  SNUG_COUNTER(busy_core_cycles, kBusyCoreCycles)
+  SNUG_COUNTER(wait_core_cycles, kWaitCoreCycles)  ///< grant queueing delay
+  SNUG_COUNTER(ring_full_fallbacks, kRingFullFallbacks)
+  [[nodiscard]] std::uint64_t& op_count(BusOp op) noexcept {
+    return words_[static_cast<std::size_t>(op)];
+  }
 };
+
+// op_count() and SnoopBus's precomputed duration table index by BusOp
+// value; a reordered or inserted enumerator must fail to compile, not
+// silently misattribute counts and durations.
+static_assert(BusStats::kRequests ==
+              static_cast<std::size_t>(BusOp::kRequest));
+static_assert(BusStats::kDataBlocks ==
+              static_cast<std::size_t>(BusOp::kDataBlock));
+static_assert(BusStats::kSpills == static_cast<std::size_t>(BusOp::kSpill));
 
 /// Completion information for one transaction.
 struct BusGrant {
@@ -49,10 +78,27 @@ struct BusGrant {
 /// Split-transaction semantics: the request and its data return are
 /// independent bus tenures, and the bus is FREE between them (e.g. during
 /// the DRAM access).  Because data returns are scheduled in the future,
-/// the bus keeps a short list of busy intervals and grants each new
-/// transaction the first gap that fits (first-fit, earliest-first) — a
-/// single monotone cursor would wrongly hold the bus across memory
-/// latency and serialise the whole CMP.
+/// the bus tracks its in-flight tenures and grants each new transaction
+/// the first gap that fits (first-fit, earliest-first) — a single
+/// monotone cursor would wrongly hold the bus across memory latency and
+/// serialise the whole CMP.
+///
+// Event-horizon discipline (mirrors the PR 4 event-skipping core loop):
+// tenures live in a bounded ring ordered by start cycle.  Because
+// tenures never overlap, their end cycles are ordered too, so tenures
+// behind the retirement horizon pop off the head in O(1) — no interval
+// list, no erase scan.  The common grant (`now` at/after the last
+// tenure's end — a first-fit scan provably lands there) appends at the
+// tail in O(1); only a transaction issued while later tenures are
+// already booked walks the ring for its first-fit gap.  Busy cycles
+// accumulate in a running counter, so utilisation() never touches the
+// ring.  If an adversarial schedule keeps more than kRingCapacity
+// tenures in flight, the bus falls back to granting after the last
+// booked tenure (counted in stats().ring_full_fallbacks()); the range
+// covered by any tenure the bounded ring stops tracking is sealed
+// behind a conflict floor no later grant may start before, so grants
+// stay conflict-free even across the fallback — at worst slightly
+// later than unbounded first-fit would allow.
 class SnoopBus {
  public:
   explicit SnoopBus(const BusConfig& cfg);
@@ -61,34 +107,65 @@ class SnoopBus {
   BusGrant transact(Cycle now, BusOp op);
 
   /// Transaction duration in core cycles (arbitration included).
-  [[nodiscard]] Cycle duration(BusOp op) const noexcept;
+  [[nodiscard]] Cycle duration(BusOp op) const noexcept {
+    return duration_[static_cast<std::size_t>(op)];
+  }
 
   [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = BusStats{}; }
+  void reset_stats() noexcept { stats_.reset(); }
   void reset(Cycle now = 0) noexcept {
-    busy_.clear();
-    prune_before_ = now;
+    head_ = 0;
+    size_ = 0;
+    horizon_ = now;
+    floor_ = 0;
   }
 
-  /// Bus utilisation over [0, horizon).
+  /// Bus utilisation over [0, horizon): the running busy-cycle
+  /// accumulator against the horizon.  Survives reset(now) — reset
+  /// clears the schedule, reset_stats() the accumulators.
   [[nodiscard]] double utilisation(Cycle horizon) const noexcept;
 
-  /// Number of tracked busy intervals (bounded by pruning; for tests).
+  /// Number of tracked in-flight tenures (bounded by kRingCapacity).
   [[nodiscard]] std::size_t tracked_intervals() const noexcept {
-    return busy_.size();
+    return size_;
   }
 
+  /// Ring bound; schedules that exceed it take the fallback grant path.
+  static constexpr std::size_t kRingCapacity = 512;
+
  private:
-  struct Interval {
+  struct Tenure {
     Cycle start;
     Cycle end;
   };
 
-  void prune(Cycle now);
+  /// Tenures older than this many cycles behind `now` can never affect a
+  /// later grant (callers never name cycles further in the past) and are
+  /// retired off the head.  Same horizon rule as the pre-ring prune().
+  static constexpr Cycle kRetireSlack = 4096;
+
+  [[nodiscard]] Tenure& at(std::size_t i) noexcept {
+    return ring_[(head_ + i) & (kRingCapacity - 1)];
+  }
+  [[nodiscard]] const Tenure& at(std::size_t i) const noexcept {
+    return ring_[(head_ + i) & (kRingCapacity - 1)];
+  }
+  void pop_front() noexcept {
+    head_ = (head_ + 1) & (kRingCapacity - 1);
+    --size_;
+  }
 
   BusConfig cfg_;
-  std::vector<Interval> busy_;  ///< sorted by start, non-overlapping
-  Cycle prune_before_ = 0;
+  std::array<Cycle, 3> duration_{};  ///< per-BusOp, precomputed
+  std::array<Tenure, kRingCapacity> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  Cycle horizon_ = 0;  ///< monotone retirement horizon
+  /// Conflict floor: end of the latest tenure dropped from tracking by
+  /// ring pressure or the fallback (0 while the ring has never
+  /// overflowed — every simulator schedule).  Grants never start below
+  /// it, so untracked tenures can never be double-booked.
+  Cycle floor_ = 0;
   BusStats stats_;
 };
 

@@ -14,14 +14,27 @@ SetAssocCache::SetAssocCache(std::string name, const CacheGeometry& geo,
   SNUG_REQUIRE_MSG(assoc_ >= 1 && assoc_ <= kMaxReplAssoc,
                    "cache '%s': associativity %u outside 1..%u",
                    name_.c_str(), assoc_, kMaxReplAssoc);
-  const std::size_t lines = std::size_t{geo_.num_sets()} * assoc_;
-  tags_.assign(lines, 0);
-  meta_.assign(lines, kMetaInvalid);
-  repl_.assign(lines, 0);
-  occ_.assign(geo_.num_sets(), 0);
-  cc_count_.assign(geo_.num_sets(), 0);
+  // Set-blocked layout: one 64-aligned fixed-stride block per set (see
+  // cache.hpp).  The stride rounds the packed runs up to whole lines.
+  const std::size_t packed =
+      repl_offset() + std::size_t{assoc_} * sizeof(std::uint8_t);
+  set_stride_ = (packed + 63) & ~std::size_t{63};
+  arena_storage_.assign(
+      std::size_t{geo_.num_sets()} * set_stride_ + 63, std::byte{0});
+  arena_ = reinterpret_cast<std::byte*>(
+      (reinterpret_cast<std::uintptr_t>(arena_storage_.data()) + 63) &
+      ~std::uintptr_t{63});
   for (std::uint32_t s = 0; s < geo_.num_sets(); ++s) {
-    repl::init(repl_kind_, repl_.data() + std::size_t{s} * assoc_, assoc_);
+    std::byte* block = arena_ + std::size_t{s} * set_stride_;
+    auto* tags = reinterpret_cast<std::uint64_t*>(block);
+    auto* meta = reinterpret_cast<LineMeta*>(block + meta_offset());
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      tags[w] = 0;
+      meta[w] = kMetaInvalid;
+    }
+    repl::init(repl_kind_,
+               reinterpret_cast<std::uint8_t*>(block + repl_offset()),
+               assoc_);
   }
 }
 
@@ -38,14 +51,14 @@ Eviction SetAssocCache::fill_local(Addr addr, bool dirty, CoreId owner) {
   incoming.flipped = false;
   incoming.owner = owner;
   const CacheLine displaced = set.fill(victim, incoming);
-  ++stats_.fills;
+  ++stats_.fills();
   if (displaced.valid) {
     if (displaced.cc) {
-      ++stats_.evict_cc;
+      ++stats_.evict_cc();
     } else if (displaced.dirty) {
-      ++stats_.evict_dirty;
+      ++stats_.evict_dirty();
     } else {
-      ++stats_.evict_clean;
+      ++stats_.evict_clean();
     }
   }
   return {displaced, s};
@@ -74,14 +87,14 @@ Eviction SetAssocCache::insert_cc(Addr addr, CoreId owner, bool flipped,
   incoming.owner = owner;
   const CacheLine displaced = demoted ? set.fill_demoted(victim, incoming)
                                       : set.fill(victim, incoming);
-  ++stats_.cc_inserted;
+  ++stats_.cc_inserted();
   if (displaced.valid) {
     if (displaced.cc) {
-      ++stats_.evict_cc;
+      ++stats_.evict_cc();
     } else if (displaced.dirty) {
-      ++stats_.evict_dirty;
+      ++stats_.evict_dirty();
     } else {
-      ++stats_.evict_clean;
+      ++stats_.evict_clean();
     }
   }
   return {displaced, target};
@@ -92,14 +105,14 @@ void SetAssocCache::forward_and_invalidate(const CcLocation& loc) {
   const CacheSet set = set_view(loc.set);
   SNUG_REQUIRE(set.valid_cc(loc.way));
   set.invalidate(loc.way);
-  ++stats_.cc_forwarded;
-  ++stats_.cc_invalidated;
+  ++stats_.cc_forwarded();
+  ++stats_.cc_invalidated();
 }
 
 void SetAssocCache::invalidate(SetIndex s, WayIndex way) {
   SNUG_REQUIRE(s < geo_.num_sets());
   const CacheSet set = set_view(s);
-  if (set.valid_cc(way)) ++stats_.cc_invalidated;
+  if (set.valid_cc(way)) ++stats_.cc_invalidated();
   set.invalidate(way);
 }
 

@@ -11,16 +11,22 @@
 // and *where* a received block may be placed are decided by src/schemes and
 // src/core.  Timing lives in src/sim; this class is cycle-free.
 //
-// Storage is structure-of-arrays, owned flat by the cache: one contiguous
-// tag array, one packed LineMeta array and one replacement-state byte
-// array span all sets (set s occupies [s*assoc, (s+1)*assoc)).  A lookup
-// touches two short contiguous runs instead of walking an array of
-// 24-byte structs, and replacement updates dispatch statically on the
-// policy kind (cache/replacement.hpp) instead of through a per-set
-// heap-allocated virtual ReplacementState.  set() hands out CacheSet
-// views into the arrays (shallow-const, like std::span).
+// Storage is set-blocked structure-of-arrays (AoSoA), owned flat by the
+// cache: each set occupies one fixed-stride, cache-line-aligned block
+// holding its contiguous tag run, its valid-way occupancy word, its live
+// guest count, its packed LineMeta run and its replacement-state bytes —
+// in that order.  Within a set the runs are still SoA (the scans in
+// cache/set.hpp walk contiguous same-type runs), but everything one
+// lookup touches now lives in the same block: a 4-way L1 set is exactly
+// ONE host cache line where the former parallel-array layout touched
+// four, and a 16-way L2 set is three.  Replacement updates dispatch
+// statically on the policy kind (cache/replacement.hpp) instead of
+// through a per-set heap-allocated virtual ReplacementState.  set()
+// hands out CacheSet views into the block (shallow-const, like
+// std::span).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -28,6 +34,7 @@
 #include "cache/geometry.hpp"
 #include "cache/set.hpp"
 #include "common/types.hpp"
+#include "stats/counters.hpp"
 
 namespace snug::cache {
 
@@ -53,18 +60,39 @@ struct CcLocation {
   bool flipped = false;   ///< true when set == buddy of the home index
 };
 
-/// Hot-path counters (plain fields; snapshot() turns them into a report).
-struct CacheStats {
-  std::uint64_t accesses = 0;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t fills = 0;
-  std::uint64_t evict_clean = 0;
-  std::uint64_t evict_dirty = 0;
-  std::uint64_t evict_cc = 0;          ///< cooperative lines displaced
-  std::uint64_t cc_inserted = 0;       ///< spills received
-  std::uint64_t cc_forwarded = 0;      ///< cooperative hits served to peers
-  std::uint64_t cc_invalidated = 0;
+/// Hot-path counters as SoA words (stats/counters.hpp).  The aggregate
+/// `accesses` is derived (hits + misses) at report time, so the L1 probe
+/// — the simulator's innermost loop — bumps exactly one word per access.
+struct CacheStats final : stats::CounterWords<CacheStats, 9> {
+  enum : std::size_t {
+    kHits,
+    kMisses,
+    kFills,
+    kEvictClean,
+    kEvictDirty,
+    kEvictCc,
+    kCcInserted,
+    kCcForwarded,
+    kCcInvalidated,
+  };
+  static constexpr std::array<std::string_view, kNumWords> kNames = {
+      "hits",        "misses",       "fills",
+      "evict_clean", "evict_dirty",  "evict_cc",
+      "cc_inserted", "cc_forwarded", "cc_invalidated"};
+  SNUG_COUNTER(hits, kHits)
+  SNUG_COUNTER(misses, kMisses)
+  SNUG_COUNTER(fills, kFills)
+  SNUG_COUNTER(evict_clean, kEvictClean)
+  SNUG_COUNTER(evict_dirty, kEvictDirty)
+  SNUG_COUNTER(evict_cc, kEvictCc)            ///< guests displaced
+  SNUG_COUNTER(cc_inserted, kCcInserted)      ///< spills received
+  SNUG_COUNTER(cc_forwarded, kCcForwarded)    ///< guest hits served to peers
+  SNUG_COUNTER(cc_invalidated, kCcInvalidated)
+
+  /// Derived: every local lookup is exactly one hit or one miss.
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return hits() + misses();
+  }
 };
 
 class SetAssocCache {
@@ -76,7 +104,7 @@ class SetAssocCache {
   [[nodiscard]] const CacheGeometry& geometry() const noexcept { return geo_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = CacheStats{}; }
+  void reset_stats() noexcept { stats_.reset(); }
 
   // ------------------------------------------------------------ local path
   // The local lookup / fill pair is the simulator's innermost loop (every
@@ -89,13 +117,12 @@ class SetAssocCache {
     const SetIndex s = geo_.set_of(addr);
     const std::uint64_t tag = geo_.tag_of(addr);
     const CacheSet set = set_view(s);
-    ++stats_.accesses;
     const WayIndex w = set.find_local(tag);
     if (w == kInvalidWay) {
-      ++stats_.misses;
+      ++stats_.misses();
       return {false, s, kInvalidWay};
     }
-    ++stats_.hits;
+    ++stats_.hits();
     set.touch(w);
     if (is_write) set.mark_dirty(w);
     return {true, s, w};
@@ -166,14 +193,31 @@ class SetAssocCache {
   [[nodiscard]] std::uint64_t total_cc_lines() const noexcept;
 
  private:
-  /// Unchecked view construction for the hot paths.
+  /// Byte offsets of the runs inside one set block (tags sit at 0; the
+  /// occupancy word follows the tag run so both stay 8-byte aligned).
+  [[nodiscard]] std::size_t occ_offset() const noexcept {
+    return std::size_t{assoc_} * sizeof(std::uint64_t);
+  }
+  [[nodiscard]] std::size_t cc_offset() const noexcept {
+    return occ_offset() + sizeof(std::uint64_t);
+  }
+  [[nodiscard]] std::size_t meta_offset() const noexcept {
+    return cc_offset() + sizeof(std::uint16_t);
+  }
+  [[nodiscard]] std::size_t repl_offset() const noexcept {
+    return meta_offset() + std::size_t{assoc_} * sizeof(LineMeta);
+  }
+
+  /// Unchecked view construction for the hot paths: one base pointer,
+  /// five constant offsets — every run of the set shares the block.
   [[nodiscard]] CacheSet set_view(SetIndex s) const noexcept {
-    const std::size_t base = std::size_t{s} * assoc_;
-    return {const_cast<std::uint64_t*>(tags_.data() + base),
-            const_cast<LineMeta*>(meta_.data() + base),
-            const_cast<std::uint8_t*>(repl_.data() + base),
-            const_cast<std::uint64_t*>(occ_.data() + s),
-            const_cast<std::uint16_t*>(cc_count_.data() + s),
+    std::byte* block =
+        const_cast<std::byte*>(arena_) + std::size_t{s} * set_stride_;
+    return {reinterpret_cast<std::uint64_t*>(block),
+            reinterpret_cast<LineMeta*>(block + meta_offset()),
+            reinterpret_cast<std::uint8_t*>(block + repl_offset()),
+            reinterpret_cast<std::uint64_t*>(block + occ_offset()),
+            reinterpret_cast<std::uint16_t*>(block + cc_offset()),
             assoc_,
             repl_kind_,
             rng_};
@@ -184,11 +228,9 @@ class SetAssocCache {
   std::uint32_t assoc_;
   ReplacementKind repl_kind_;
   Rng* rng_;
-  std::vector<std::uint64_t> tags_;  ///< num_sets * assoc, flat
-  std::vector<LineMeta> meta_;       ///< num_sets * assoc, flat
-  std::vector<std::uint8_t> repl_;   ///< num_sets * assoc, flat
-  std::vector<std::uint64_t> occ_;   ///< per-set valid-way bitmask
-  std::vector<std::uint16_t> cc_count_;  ///< per-set live guest count
+  std::vector<std::byte> arena_storage_;  ///< blocks + alignment slack
+  std::byte* arena_ = nullptr;            ///< 64-aligned first set block
+  std::size_t set_stride_ = 0;            ///< block bytes, 64-multiple
   CacheStats stats_;
 };
 

@@ -86,6 +86,16 @@ inline void rank_move(std::uint8_t* state, std::uint32_t assoc,
 inline void rank_touch(std::uint8_t* state, std::uint32_t assoc,
                        WayIndex way) noexcept {
   const std::uint8_t old_rank = state[way];
+  if (assoc == 4) {
+    // The L1 shape — every simulated memory access lands here; the
+    // runtime trip count blocks unrolling, so spell the four lanes out.
+    state[0] = static_cast<std::uint8_t>(state[0] + (state[0] < old_rank));
+    state[1] = static_cast<std::uint8_t>(state[1] + (state[1] < old_rank));
+    state[2] = static_cast<std::uint8_t>(state[2] + (state[2] < old_rank));
+    state[3] = static_cast<std::uint8_t>(state[3] + (state[3] < old_rank));
+    state[way] = 0;
+    return;
+  }
   for (std::uint32_t w = 0; w < assoc; ++w) {
     const std::uint8_t r = state[w];
     state[w] = static_cast<std::uint8_t>(r + (r < old_rank ? 1 : 0));

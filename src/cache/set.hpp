@@ -249,8 +249,18 @@ class CacheSet {
 
  private:
   /// Bitmask of ways whose tag equals `tag` (validity not yet checked).
+  /// The 4-way shape is the L1 configuration — the innermost probe of
+  /// the whole simulator — and gets a straight-line unrolled pass; the
+  /// generic loop's trip count is only known at run time, which blocks
+  /// the compiler from unrolling it.
   [[nodiscard]] std::uint32_t tag_match_mask(
       std::uint64_t tag) const noexcept {
+    if (assoc_ == 4) {
+      return static_cast<std::uint32_t>(tags_[0] == tag) |
+             (static_cast<std::uint32_t>(tags_[1] == tag) << 1) |
+             (static_cast<std::uint32_t>(tags_[2] == tag) << 2) |
+             (static_cast<std::uint32_t>(tags_[3] == tag) << 3);
+    }
     std::uint32_t m = 0;
     for (WayIndex w = 0; w < assoc_; ++w) {
       m |= static_cast<std::uint32_t>(tags_[w] == tag) << w;

@@ -1,7 +1,5 @@
 #include "cache/wbb.hpp"
 
-#include <algorithm>
-
 #include "common/require.hpp"
 
 namespace snug::cache {
@@ -9,47 +7,56 @@ namespace snug::cache {
 WriteBackBuffer::WriteBackBuffer(const WbbConfig& cfg) : cfg_(cfg) {
   SNUG_ENSURE(cfg.entries >= 1);
   SNUG_ENSURE(cfg.drain_interval >= 1);
+  ring_.assign(cfg.entries, 0);
 }
 
 Cycle WriteBackBuffer::insert(Addr block_addr, Cycle now) {
   tick(now);
-  ++stats_.inserts;
+  ++stats_.inserts();
   // Mergeable: coalesce with an existing entry for the same block.
-  for (const Entry& e : fifo_) {
-    if (e.block == block_addr) {
-      ++stats_.merges;
+  for (std::uint32_t i = 0, idx = head_; i < count_; ++i) {
+    if (ring_[idx] == block_addr) {
+      ++stats_.merges();
       return 0;
     }
+    if (++idx == cfg_.entries) idx = 0;
   }
   Cycle stall = 0;
   if (full()) {
     // Force the oldest entry out; the L2 stalls for the drain.
-    fifo_.pop_front();
-    ++stats_.drains;
-    ++stats_.full_stalls;
+    pop_front();
+    ++stats_.drains();
+    ++stats_.full_stalls();
     stall = cfg_.full_penalty;
     next_drain_ = now + stall + cfg_.drain_interval;
   }
-  fifo_.push_back(Entry{block_addr});
-  if (fifo_.size() == 1 && next_drain_ <= now) {
+  std::uint32_t tail = head_ + count_;
+  if (tail >= cfg_.entries) tail -= cfg_.entries;
+  ring_[tail] = block_addr;
+  ++count_;
+  if (count_ == 1 && next_drain_ <= now) {
     next_drain_ = now + cfg_.drain_interval;
   }
   return stall;
 }
 
-bool WriteBackBuffer::read_hit(Addr block_addr) {
-  const bool hit = std::any_of(
-      fifo_.begin(), fifo_.end(),
-      [block_addr](const Entry& e) { return e.block == block_addr; });
-  if (hit) ++stats_.direct_reads;
-  return hit;
+bool WriteBackBuffer::read_hit(Addr block_addr, Cycle now) {
+  tick(now);
+  for (std::uint32_t i = 0, idx = head_; i < count_; ++i) {
+    if (ring_[idx] == block_addr) {
+      ++stats_.direct_reads();
+      return true;
+    }
+    if (++idx == cfg_.entries) idx = 0;
+  }
+  return false;
 }
 
 std::uint32_t WriteBackBuffer::tick(Cycle now) {
   std::uint32_t drained = 0;
-  while (!fifo_.empty() && next_drain_ <= now) {
-    fifo_.pop_front();
-    ++stats_.drains;
+  while (count_ != 0 && next_drain_ <= now) {
+    pop_front();
+    ++stats_.drains();
     ++drained;
     next_drain_ += cfg_.drain_interval;
   }
@@ -57,7 +64,8 @@ std::uint32_t WriteBackBuffer::tick(Cycle now) {
 }
 
 void WriteBackBuffer::clear() {
-  fifo_.clear();
+  head_ = 0;
+  count_ = 0;
   next_drain_ = 0;
 }
 

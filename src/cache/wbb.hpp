@@ -8,12 +8,23 @@
 // cycles once an entry is at least `min_age` old.  If a write-back arrives
 // while the buffer is full, the caller must stall for `full_penalty`
 // cycles (the drain it forces).
+//
+// Event-horizon discipline: the buffer no longer needs an external tick
+// on the access path.  Both mutating observations (insert, read_hit)
+// sync the FIFO to their own timestamp first, and next_drain_cycle()
+// exposes the drain deadline so an event-skipping driver
+// (sim::CmpSystem::run, via L2Scheme::drain) can retire due entries at
+// exactly their deadline instead of polling every access.  Entries live
+// in a fixed ring sized to the configured capacity — no deque nodes.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <deque>
+#include <string_view>
+#include <vector>
 
 #include "common/types.hpp"
+#include "stats/counters.hpp"
 
 namespace snug::cache {
 
@@ -23,43 +34,66 @@ struct WbbConfig {
   Cycle full_penalty = 64;    ///< stall when inserting into a full buffer
 };
 
-struct WbbStats {
-  std::uint64_t inserts = 0;
-  std::uint64_t merges = 0;
-  std::uint64_t direct_reads = 0;  ///< loads served from the buffer
-  std::uint64_t drains = 0;
-  std::uint64_t full_stalls = 0;
+/// Write-back-buffer event counters as SoA words (stats/counters.hpp).
+struct WbbStats final : stats::CounterWords<WbbStats, 5> {
+  enum : std::size_t {
+    kInserts,
+    kMerges,
+    kDirectReads,
+    kDrains,
+    kFullStalls,
+  };
+  static constexpr std::array<std::string_view, kNumWords> kNames = {
+      "inserts", "merges", "direct_reads", "drains", "full_stalls"};
+  SNUG_COUNTER(inserts, kInserts)
+  SNUG_COUNTER(merges, kMerges)
+  SNUG_COUNTER(direct_reads, kDirectReads)  ///< loads served from the buffer
+  SNUG_COUNTER(drains, kDrains)
+  SNUG_COUNTER(full_stalls, kFullStalls)
 };
 
 class WriteBackBuffer {
  public:
+  /// next_drain_cycle() when the buffer is empty: never.
+  static constexpr Cycle kNoDrain = ~Cycle{0};
+
   explicit WriteBackBuffer(const WbbConfig& cfg);
 
   /// Buffers a dirty block.  Returns the stall in cycles (0 unless full).
   Cycle insert(Addr block_addr, Cycle now);
 
-  /// True when the block is currently buffered; counts a direct read.
-  bool read_hit(Addr block_addr);
+  /// True when the block is buffered at `now` (due entries drain first);
+  /// counts a direct read on a hit.
+  bool read_hit(Addr block_addr, Cycle now);
 
   /// Advances time, draining due entries.  Returns number drained.
+  /// insert/read_hit sync themselves; drivers call this only to retire
+  /// entries at their deadline (L2Scheme::drain) or from tests.
   std::uint32_t tick(Cycle now);
 
-  [[nodiscard]] std::size_t occupancy() const noexcept {
-    return fifo_.size();
+  /// Cycle the oldest entry is due to drain (kNoDrain when empty) — the
+  /// deadline an event-skipping driver sleeps until.
+  [[nodiscard]] Cycle next_drain_cycle() const noexcept {
+    return count_ == 0 ? kNoDrain : next_drain_;
   }
+
+  [[nodiscard]] std::size_t occupancy() const noexcept { return count_; }
   [[nodiscard]] bool full() const noexcept {
-    return fifo_.size() >= cfg_.entries;
+    return count_ >= cfg_.entries;
   }
   [[nodiscard]] const WbbStats& stats() const noexcept { return stats_; }
   void clear();
 
  private:
-  struct Entry {
-    Addr block = 0;
-  };
+  void pop_front() noexcept {
+    if (++head_ == cfg_.entries) head_ = 0;
+    --count_;
+  }
 
   WbbConfig cfg_;
-  std::deque<Entry> fifo_;
+  std::vector<Addr> ring_;  ///< cfg_.entries block addresses
+  std::uint32_t head_ = 0;
+  std::uint32_t count_ = 0;
   Cycle next_drain_ = 0;
   WbbStats stats_;
 };

@@ -11,12 +11,16 @@
 //                              a matching shadow entry.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/gt_vector.hpp"
 #include "core/saturating_counter.hpp"
 #include "core/shadow_set.hpp"
+#include "core/window_sampler.hpp"
+#include "stats/counters.hpp"
 
 namespace snug::core {
 
@@ -28,12 +32,31 @@ struct MonitorConfig {
   /// Counter reset point: true (default) starts at 2^(k-1) so sets with
   /// no evidence stay takers (safe); false is the paper's 2^(k-1)-1.
   bool taker_biased = true;
+  /// 1-in-N monitor event sampling (1 = exact, the default).  With N > 1
+  /// each set's monitor events (hit, miss probe, eviction insert) are
+  /// processed only during 1 out of every N windows of
+  /// WindowSampler::kWindow consecutive events — sampling in TIME, not
+  /// per-event (see core/window_sampler.hpp for why pairing matters).
+  /// Because the thinning is uniform across the numerator (shadow hits)
+  /// and the denominator (real + shadow hits, via the mod-p divider) of
+  /// the paper's sigma > 1/p test, the 1/N factor cancels out of the
+  /// threshold compare — the harvested G/T decision estimates the same
+  /// quantity from 1/N as many samples
+  /// (tests/core/monitor_sampling_test pins the distribution).  Shadow
+  /// exclusivity with the real set becomes approximate when sampling: a
+  /// skipped miss probe can leave a stale shadow entry behind, which a
+  /// later sampled probe retires.
+  std::uint32_t sample_period = 1;
 };
 
-struct MonitorStats {
-  std::uint64_t shadow_hits = 0;
-  std::uint64_t shadow_inserts = 0;
-  std::uint64_t real_hits = 0;
+/// Monitor event counters as SoA words (stats/counters.hpp).
+struct MonitorStats final : stats::CounterWords<MonitorStats, 3> {
+  enum : std::size_t { kShadowHits, kShadowInserts, kRealHits };
+  static constexpr std::array<std::string_view, kNumWords> kNames = {
+      "shadow_hits", "shadow_inserts", "real_hits"};
+  SNUG_COUNTER(shadow_hits, kShadowHits)
+  SNUG_COUNTER(shadow_inserts, kShadowInserts)
+  SNUG_COUNTER(real_hits, kRealHits)
 };
 
 class CapacityMonitor {
@@ -73,6 +96,7 @@ class CapacityMonitor {
   std::vector<ModPCounter> dividers_;
   MonitorStats stats_;
   bool counting_ = true;
+  WindowSampler sampler_;  ///< per-set lanes (MonitorConfig::sample_period)
 };
 
 }  // namespace snug::core

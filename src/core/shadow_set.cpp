@@ -1,6 +1,5 @@
 #include "core/shadow_set.hpp"
 
-#include <algorithm>
 #include <bit>
 
 #include "common/bitutil.hpp"
@@ -17,47 +16,52 @@ ShadowSetArray::ShadowSetArray(std::uint32_t num_sets, std::uint32_t assoc)
   SNUG_REQUIRE_MSG(num_sets >= 1, "shadow array needs at least one set");
   SNUG_REQUIRE_MSG(assoc >= 1 && assoc <= 64,
                    "shadow sets support 1..64 ways (got %u)", assoc);
-  const std::size_t entries = std::size_t{num_sets} * assoc;
-  tags_.assign(entries, 0);
-  valid_.assign(num_sets, 0);
-  rank_.assign(entries, 0);
+  valid_offset_ = std::size_t{assoc} * sizeof(std::uint64_t);
+  rank_offset_ = valid_offset_ + sizeof(std::uint64_t);
+  stride_ = (rank_offset_ + assoc + 63) & ~std::size_t{63};
+  arena_storage_.assign(std::size_t{num_sets} * stride_ + 63,
+                        std::byte{0});
+  arena_ = reinterpret_cast<std::byte*>(
+      (reinterpret_cast<std::uintptr_t>(arena_storage_.data()) + 63) &
+      ~std::uintptr_t{63});
   for (std::uint32_t s = 0; s < num_sets; ++s) {
-    cache::repl::init(kLru, rank_.data() + std::size_t{s} * assoc_, assoc_);
+    cache::repl::init(kLru, ranks(s), assoc_);
   }
 }
 
 WayIndex ShadowSetArray::find(SetIndex set, std::uint64_t tag) const noexcept {
   SNUG_REQUIRE(set < num_sets_);
-  const std::uint64_t* tags = tags_.data() + std::size_t{set} * assoc_;
-  std::uint64_t m = valid_[set];
+  const std::uint64_t* t = tags(set);
+  std::uint64_t m = *valid_word(set);
   while (m != 0) {
     const auto w = static_cast<WayIndex>(std::countr_zero(m));
-    if (tags[w] == tag) return w;
+    if (t[w] == tag) return w;
     m &= m - 1;
   }
   return kInvalidWay;
 }
 
 void ShadowSetArray::insert(SetIndex set, std::uint64_t tag) {
-  std::uint8_t* rank = rank_.data() + std::size_t{set} * assoc_;
+  std::uint8_t* rank = ranks(set);
   WayIndex w = find(set, tag);
   if (w != kInvalidWay) {
     cache::repl::on_access(kLru, rank, assoc_, w);  // refresh
     return;
   }
   // Prefer an invalid way; otherwise replace the shadow LRU entry.
-  const std::uint64_t empty = ~valid_[set] & low_mask(assoc_);
+  std::uint64_t* valid = valid_word(set);
+  const std::uint64_t empty = ~*valid & low_mask(assoc_);
   w = empty != 0 ? static_cast<WayIndex>(std::countr_zero(empty))
                  : cache::repl::victim(kLru, rank, assoc_, nullptr);
-  tags_[std::size_t{set} * assoc_ + w] = tag;
-  valid_[set] |= std::uint64_t{1} << w;
+  tags(set)[w] = tag;
+  *valid |= std::uint64_t{1} << w;
   cache::repl::on_fill(kLru, rank, assoc_, w);
 }
 
 bool ShadowSetArray::probe_and_remove(SetIndex set, std::uint64_t tag) {
   const WayIndex w = find(set, tag);
   if (w == kInvalidWay) return false;
-  valid_[set] &= ~(std::uint64_t{1} << w);
+  *valid_word(set) &= ~(std::uint64_t{1} << w);
   return true;
 }
 
@@ -68,16 +72,16 @@ bool ShadowSetArray::contains(SetIndex set,
 
 void ShadowSetArray::remove(SetIndex set, std::uint64_t tag) {
   const WayIndex w = find(set, tag);
-  if (w != kInvalidWay) valid_[set] &= ~(std::uint64_t{1} << w);
+  if (w != kInvalidWay) *valid_word(set) &= ~(std::uint64_t{1} << w);
 }
 
 void ShadowSetArray::clear() {
-  std::fill(valid_.begin(), valid_.end(), 0ULL);
+  for (std::uint32_t s = 0; s < num_sets_; ++s) *valid_word(s) = 0;
 }
 
 std::uint32_t ShadowSetArray::valid_count(SetIndex set) const noexcept {
   SNUG_REQUIRE(set < num_sets_);
-  return static_cast<std::uint32_t>(std::popcount(valid_[set]));
+  return static_cast<std::uint32_t>(std::popcount(*valid_word(set)));
 }
 
 }  // namespace snug::core

@@ -7,13 +7,15 @@
 // (and the hit is signalled to the capacity monitor).  The shadow set thus
 // materialises LRU stack positions A+1 .. 2A of the set.
 //
-// Storage is structure-of-arrays across ALL sets of one monitor, the same
-// flat layout as the cache proper (cache/cache.hpp): one contiguous tag
-// array, one per-set valid-way bitmask and one LRU rank-byte array — a
-// shadow probe on the miss path walks two short contiguous runs instead
-// of chasing two heap vectors per set.
+// Storage is set-blocked structure-of-arrays across ALL sets of one
+// monitor, the same AoSoA layout as the cache proper (cache/cache.hpp):
+// each set owns one fixed-stride, cache-line-aligned block holding its
+// contiguous tag run, its valid-way bitmask and its LRU rank bytes — a
+// shadow probe or insert on the miss path touches one block instead of
+// three parallel arrays' worth of cache lines.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -54,13 +56,28 @@ class ShadowSetArray {
   [[nodiscard]] std::uint32_t assoc() const noexcept { return assoc_; }
 
  private:
+  /// One set's block: tags at offset 0, then the valid word, then ranks.
+  [[nodiscard]] std::byte* block(SetIndex set) const noexcept {
+    return const_cast<std::byte*>(arena_) + std::size_t{set} * stride_;
+  }
+  [[nodiscard]] std::uint64_t* tags(SetIndex set) const noexcept {
+    return reinterpret_cast<std::uint64_t*>(block(set));
+  }
+  [[nodiscard]] std::uint64_t* valid_word(SetIndex set) const noexcept {
+    return reinterpret_cast<std::uint64_t*>(block(set) + valid_offset_);
+  }
+  [[nodiscard]] std::uint8_t* ranks(SetIndex set) const noexcept {
+    return reinterpret_cast<std::uint8_t*>(block(set) + rank_offset_);
+  }
   [[nodiscard]] WayIndex find(SetIndex set, std::uint64_t tag) const noexcept;
 
   std::uint32_t num_sets_;
   std::uint32_t assoc_;
-  std::vector<std::uint64_t> tags_;   ///< num_sets * assoc, flat
-  std::vector<std::uint64_t> valid_;  ///< per-set valid-way bitmask
-  std::vector<std::uint8_t> rank_;    ///< num_sets * assoc LRU ranks
+  std::size_t valid_offset_ = 0;
+  std::size_t rank_offset_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<std::byte> arena_storage_;  ///< blocks + alignment slack
+  std::byte* arena_ = nullptr;            ///< 64-aligned first block
 };
 
 }  // namespace snug::core

@@ -1,0 +1,52 @@
+// 1-in-N monitor event sampling, in time windows (see
+// MonitorConfig::sample_period for the statistical argument): each lane
+// (a set for the SNUG capacity monitor, a core for DSR's app-level
+// monitor) processes kWindow consecutive events, then skips the next
+// (N - 1) windows.  Window sampling — not independent per-event
+// thinning — because the eviction -> re-miss pair that registers
+// capacity demand is two neighbouring events: independent thinning
+// would almost never observe both and the shadow-hit signal would
+// collapse.  Per-lane indices keep a regular lane-interleaved event
+// order from aliasing against the period and starving fixed lanes.
+//
+// One definition shared by both monitors so the "same semantics, same
+// scenario knob" guarantee cannot drift.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace snug::core {
+
+class WindowSampler {
+ public:
+  /// Events per sampling window.
+  static constexpr std::uint32_t kWindow = 32;
+
+  WindowSampler() = default;
+  WindowSampler(std::uint32_t lanes, std::uint32_t period)
+      : period_(period) {
+    SNUG_REQUIRE(period >= 1);
+    event_index_.assign(lanes, 0);
+  }
+
+  /// True when `lane`'s next event falls in an active window.  Every
+  /// lane starts inside one (the first events are always observed).
+  [[nodiscard]] bool sampled(std::uint32_t lane) noexcept {
+    const std::uint32_t idx = event_index_[lane]++;
+    return (idx / kWindow) % period_ == 0;
+  }
+
+  /// Restarts every lane at the beginning of an active window.
+  void reset() noexcept {
+    event_index_.assign(event_index_.size(), 0);
+  }
+
+ private:
+  std::uint32_t period_ = 1;
+  std::vector<std::uint32_t> event_index_;
+};
+
+}  // namespace snug::core

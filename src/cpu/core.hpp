@@ -101,16 +101,24 @@ class Core {
   Cycle step(Cycle now) {
     settle_stall(now);  // fold pending stall cycles < now into the stats
 
+    // Hoisted configuration: the calls below reach the memory system,
+    // which the optimiser cannot see through, so member loads inside the
+    // loops would otherwise repeat after every instruction.
+    const std::uint32_t issue_width = cfg_.issue_width;
+    const std::uint32_t rob_entries = cfg_.rob_entries;
+    const std::uint32_t lsq_entries = cfg_.lsq_entries;
+    RobEntry* const rob = rob_.data();
+
     // ---- retire (in order, up to issue_width per cycle)
     std::uint32_t retired_now = 0;
-    while (retired_now < cfg_.issue_width && rob_size_ != 0 &&
-           rob_[rob_head_].done_at <= now) {
-      lsq_used_ -= rob_[rob_head_].is_mem;  // branchless: is_mem is 0/1
-      if (++rob_head_ == cfg_.rob_entries) rob_head_ = 0;
+    while (retired_now < issue_width && rob_size_ != 0 &&
+           rob[rob_head_].done_at <= now) {
+      lsq_used_ -= rob[rob_head_].is_mem;  // branchless: is_mem is 0/1
+      if (++rob_head_ == rob_entries) rob_head_ = 0;
       --rob_size_;
-      ++stats_.retired;
       ++retired_now;
     }
+    stats_.retired += retired_now;  // batched per step, not per instr
 
     // ---- fetch/dispatch
     // `observed_block` mirrors the per-cycle loop's accounting: a stall
@@ -120,21 +128,20 @@ class Core {
     bool observed_block = false;
     if (now >= fetch_stall_until_) {
       std::uint32_t dispatched = 0;
-      while (dispatched < cfg_.issue_width) {
-        if (rob_size_ >= cfg_.rob_entries ||
-            lsq_used_ >= cfg_.lsq_entries) {
+      while (dispatched < issue_width) {
+        if (rob_size_ >= rob_entries || lsq_used_ >= lsq_entries) {
           observed_block = true;
           break;
         }
-        dispatch_one(now);
+        dispatch_one(now, rob, rob_entries);
         ++dispatched;
         if (now < fetch_stall_until_) break;  // branch redirect / I-miss
       }
     }
 
     // ---- next-event computation (and pending-stall bookkeeping)
-    const bool rob_full = rob_size_ >= cfg_.rob_entries;
-    const bool lsq_full = lsq_used_ >= cfg_.lsq_entries;
+    const bool rob_full = rob_size_ >= rob_entries;
+    const bool lsq_full = lsq_used_ >= lsq_entries;
     const Cycle dispatch_at = (rob_full || lsq_full)
                                   ? kNever  // gated on retirement
                                   : std::max(fetch_stall_until_, now + 1);
@@ -216,7 +223,10 @@ class Core {
   /// virtual dispatch amortised over the batch.
   static constexpr std::size_t kFetchBatch = 64;
 
-  void dispatch_one(Cycle now) {
+  // `rob`/`rob_entries` arrive pre-hoisted from step(): the memory-port
+  // call below is opaque to the optimiser, which would otherwise reload
+  // the members on every instruction.
+  void dispatch_one(Cycle now, RobEntry* rob, std::uint32_t rob_entries) {
     // Per-block instruction fetch: one L1I access per fetched line.
     if (--ifetch_countdown_ == 0) {
       ifetch_countdown_ = cfg_.line_bytes / cfg_.instr_bytes;
@@ -252,7 +262,10 @@ class Core {
       ++lsq_used_;
       const Cycle completion =
           mem_.data_access(id_, iaddr_[ibuf_pos_], is_write, now);
-      SNUG_ENSURE(completion > now);
+      // Port contract (completion > now): a per-instruction hot-path
+      // precondition — checked in dev builds, compiled out in the
+      // measurement configurations (common/require.hpp).
+      SNUG_REQUIRE(completion > now);
       // Stores update cache state and consume bandwidth but commit
       // without waiting for the line (store-buffer semantics); loads
       // occupy their ROB entry until the data arrives.
@@ -266,8 +279,8 @@ class Core {
     }
     ++ibuf_pos_;
     std::uint32_t tail = rob_head_ + rob_size_;
-    if (tail >= cfg_.rob_entries) tail -= cfg_.rob_entries;
-    rob_[tail] = entry;
+    if (tail >= rob_entries) tail -= rob_entries;
+    rob[tail] = entry;
     ++rob_size_;
   }
 

@@ -1,7 +1,5 @@
 #include "dram/dram.hpp"
 
-#include <algorithm>
-
 #include "common/require.hpp"
 
 namespace snug::dram {
@@ -9,33 +7,41 @@ namespace snug::dram {
 DramModel::DramModel(const DramConfig& cfg) : cfg_(cfg) {
   SNUG_REQUIRE(cfg.channels >= 1);
   SNUG_REQUIRE(cfg.latency >= 1);
-  free_at_.assign(cfg.channels, 0);
+  reset(0);
 }
 
 Cycle DramModel::schedule(Cycle now) {
-  // Pick the earliest-free channel.
-  auto it = std::min_element(free_at_.begin(), free_at_.end());
-  const Cycle start = std::max(now, *it);
-  if (start > now) {
-    ++stats_.queued;
-    stats_.queue_cycles += start - now;
+  // Head of the conflict schedule == the earliest-free channel, with the
+  // lowest channel index breaking free_at ties — exactly the channel the
+  // old std::min_element scan picked.
+  Slot slot = slots_.front();
+  const Cycle start = now > slot.free_at ? now : slot.free_at;
+  stats_.queued() += static_cast<std::uint64_t>(start > now);
+  stats_.queue_cycles() += start - now;
+  slot.free_at = start + cfg_.occupancy;
+
+  // Re-insert the busy slot at its ordered position.  When every channel
+  // is free at/before `now` (the uncontended common case) the updated
+  // slot has the latest free_at and slides straight to the tail; under
+  // contention the walk is bounded by the channel count.
+  std::size_t i = 1;
+  for (; i < slots_.size(); ++i) {
+    const Slot& other = slots_[i];
+    if (other.free_at > slot.free_at ||
+        (other.free_at == slot.free_at && other.channel > slot.channel)) {
+      break;
+    }
+    slots_[i - 1] = other;
   }
-  *it = start + cfg_.occupancy;
+  slots_[i - 1] = slot;
   return start + cfg_.latency;
 }
 
-Cycle DramModel::read(Cycle now) {
-  ++stats_.reads;
-  return schedule(now);
-}
-
-Cycle DramModel::write(Cycle now) {
-  ++stats_.writes;
-  return schedule(now);
-}
-
 void DramModel::reset(Cycle now) {
-  std::fill(free_at_.begin(), free_at_.end(), now);
+  slots_.resize(cfg_.channels);
+  for (std::uint32_t c = 0; c < cfg_.channels; ++c) {
+    slots_[c] = Slot{now, c};
+  }
 }
 
 }  // namespace snug::dram

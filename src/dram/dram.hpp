@@ -6,12 +6,25 @@
 //
 // so bursts of misses queue up — the effect cooperative caching is
 // supposed to mitigate by keeping victims on chip.
+//
+// Event-horizon discipline (same treatment as the bus ring): the channel
+// slots live in one small ring kept ordered by (free_at, channel), i.e.
+// the precomputed conflict schedule — the order in which channels come
+// free.  Scheduling a request is a head read (the earliest-free channel,
+// identical to the old per-request min-scan including its index
+// tie-break) plus one bounded re-insertion of the updated slot; the
+// queueing statistics are accumulated branchlessly.  Service times are
+// fixed per config (`occupancy` hold, `latency` completion offset), so
+// read/write contain no data-dependent branches at all.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
+#include "stats/counters.hpp"
 
 namespace snug::dram {
 
@@ -21,11 +34,15 @@ struct DramConfig {
   Cycle occupancy = 16;      ///< core cycles a request holds its channel
 };
 
-struct DramStats {
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-  std::uint64_t queued = 0;        ///< requests that had to wait for a slot
-  std::uint64_t queue_cycles = 0;  ///< total cycles spent waiting
+/// DRAM event counters as SoA words (stats/counters.hpp).
+struct DramStats final : stats::CounterWords<DramStats, 4> {
+  enum : std::size_t { kReads, kWrites, kQueued, kQueueCycles };
+  static constexpr std::array<std::string_view, kNumWords> kNames = {
+      "reads", "writes", "queued", "queue_cycles"};
+  SNUG_COUNTER(reads, kReads)
+  SNUG_COUNTER(writes, kWrites)
+  SNUG_COUNTER(queued, kQueued)            ///< requests that waited
+  SNUG_COUNTER(queue_cycles, kQueueCycles) ///< total wait cycles
 };
 
 class DramModel {
@@ -33,21 +50,32 @@ class DramModel {
   explicit DramModel(const DramConfig& cfg);
 
   /// Schedules a read (cache fill); returns the completion cycle.
-  Cycle read(Cycle now);
+  Cycle read(Cycle now) {
+    ++stats_.reads();
+    return schedule(now);
+  }
 
   /// Schedules a write-back; returns the completion cycle.  Writes consume
   /// bandwidth but nothing waits on them.
-  Cycle write(Cycle now);
+  Cycle write(Cycle now) {
+    ++stats_.writes();
+    return schedule(now);
+  }
 
   [[nodiscard]] const DramStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = DramStats{}; }
+  void reset_stats() noexcept { stats_.reset(); }
   void reset(Cycle now = 0);
 
  private:
+  struct Slot {
+    Cycle free_at;
+    std::uint32_t channel;
+  };
+
   Cycle schedule(Cycle now);
 
   DramConfig cfg_;
-  std::vector<Cycle> free_at_;  // per-channel next-free cycle
+  std::vector<Slot> slots_;  ///< ordered by (free_at, channel)
   DramStats stats_;
 };
 

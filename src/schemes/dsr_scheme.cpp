@@ -9,6 +9,8 @@ DsrScheme::DsrScheme(const PrivateConfig& cfg, const DsrConfig& dsr,
     : PrivateSchemeBase("DSR", cfg, bus, dram), dsr_(dsr) {
   const std::uint32_t num_sets = cfg.l2.num_sets();
 
+  SNUG_ENSURE(dsr.sample_period >= 1);
+  sampler_ = core::WindowSampler(cfg.num_cores, dsr.sample_period);
   shadows_.reserve(cfg.num_cores);
   for (CoreId c = 0; c < cfg.num_cores; ++c) {
     shadows_.emplace_back(num_sets, cfg.l2.associativity());
@@ -85,11 +87,13 @@ std::uint32_t DsrScheme::psel(CoreId c) const {
 }
 
 void DsrScheme::on_local_hit(CoreId c, SetIndex /*set*/) {
+  if (dsr_.sample_period != 1 && !sampler_.sampled(c)) return;
   if (!counting_) return;
   if (divider_[c].tick()) app_counter_[c].decrement();
 }
 
 void DsrScheme::on_local_miss(CoreId c, SetIndex set, std::uint64_t tag) {
+  if (dsr_.sample_period != 1 && !sampler_.sampled(c)) return;
   // Shadow upkeep always (exclusivity); counting only during Stage I.
   const bool shadow_hit = shadows_[c].probe_and_remove(set, tag);
   if (counting_ && shadow_hit) {
@@ -112,6 +116,7 @@ void DsrScheme::on_local_miss(CoreId c, SetIndex set, std::uint64_t tag) {
 
 void DsrScheme::on_local_eviction(CoreId c, SetIndex set,
                                   std::uint64_t tag) {
+  if (dsr_.sample_period != 1 && !sampler_.sampled(c)) return;
   shadows_[c].insert(set, tag);
 }
 
@@ -133,11 +138,11 @@ RemoteResult DsrScheme::probe_peers(CoreId c, Addr addr,
 void DsrScheme::maybe_spill(CoreId c, Addr victim_addr, SetIndex set,
                             Cycle now, int chain_budget) {
   if (!controller_->spilling_allowed()) {
-    ++stats_.spill_blocked_stage;
+    ++stats_.spill_blocked_stage();
     return;
   }
   if (role_of(c, set) != Role::kSpiller) {
-    ++stats_.spill_blocked_role;
+    ++stats_.spill_blocked_role();
     return;
   }
   // Pick a receiver peer for this index, rotating the start position so
@@ -152,7 +157,7 @@ void DsrScheme::maybe_spill(CoreId c, Addr victim_addr, SetIndex set,
                 chain_budget);
     return;
   }
-  ++stats_.spill_no_target;
+  ++stats_.spill_no_target();
 }
 
 }  // namespace snug::schemes

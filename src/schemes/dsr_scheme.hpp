@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "core/controller.hpp"
+#include "core/monitor.hpp"
 #include "core/saturating_counter.hpp"
 #include "core/shadow_set.hpp"
+#include "core/window_sampler.hpp"
 #include "schemes/private_base.hpp"
 
 namespace snug::schemes {
@@ -29,6 +31,13 @@ struct DsrConfig {
   std::uint32_t k_bits = 8;  ///< app-level counter width (events/epoch big)
   std::uint32_t p = 8;       ///< same 1/p threshold as SNUG (Table 2)
   core::EpochConfig epochs;  ///< synchronised with SNUG's epochs
+  /// 1-in-N monitor event sampling, same semantics (and same scenario
+  /// knob) as MonitorConfig::sample_period: window sampling in time, so
+  /// the eviction -> re-miss pairing survives, and the 1/N thinning
+  /// applies uniformly to the shadow-hit numerator and the
+  /// mod-p-divided hit denominator — the sigma_app > 1/p compare is
+  /// unchanged.  1 = exact.
+  std::uint32_t sample_period = 1;
   // --- set-dueling ablation variant ---
   bool use_set_dueling = false;
   std::uint32_t leader_sets = 32;  ///< per role, per cache
@@ -77,6 +86,10 @@ class DsrScheme final : public PrivateSchemeBase {
   void harvest_roles();
 
   DsrConfig dsr_;
+  /// Per-core lanes (DsrConfig::sample_period): a miss and the eviction
+  /// it causes are adjacent events of the same core, so they share a
+  /// window except at the edges.
+  core::WindowSampler sampler_;
   // Monitor-based classification (default).
   std::vector<core::ShadowSetArray> shadows_;  // [cache](set)
   std::vector<core::SaturatingCounter> app_counter_;

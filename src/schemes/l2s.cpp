@@ -21,20 +21,23 @@ Cycle L2S::bank_latency(CoreId c, Addr addr) const {
   return bank_of(addr) == c ? cfg_.lat.l2_local : cfg_.lat.l2s_remote;
 }
 
-Cycle L2S::access(CoreId c, Addr addr, bool is_write, Cycle now) {
-  ++stats_.l2_accesses;
+void L2S::drain(Cycle now) {
   wbb_->tick(now);
+  drain_deadline_ = wbb_->next_drain_cycle();
+}
+
+Cycle L2S::access(CoreId c, Addr addr, bool is_write, Cycle now) {
   const Cycle lat = bank_latency(c, addr);
   const cache::AccessResult res = shared_->access_local(addr, is_write);
   if (res.hit) {
-    ++stats_.l2_hits;
+    ++stats_.l2_hits();
     return now + lat;
   }
-  ++stats_.l2_misses;
+  ++stats_.l2_misses();
 
   const Addr block = shared_->geometry().block_of(addr);
-  if (wbb_->read_hit(block)) {
-    ++stats_.wbb_direct_reads;
+  if (wbb_->read_hit(block, now)) {
+    ++stats_.wbb_direct_reads();
     return now + lat;
   }
 
@@ -43,7 +46,7 @@ Cycle L2S::access(CoreId c, Addr addr, bool is_write, Cycle now) {
   const Cycle data_ready = dram_.read(req.finished);
   const bus::BusGrant fill =
       bus_.transact(data_ready, bus::BusOp::kDataBlock);
-  ++stats_.dram_fills;
+  ++stats_.dram_fills();
   const Cycle completion = fill.finished + lat;
 
   const cache::Eviction ev = shared_->fill_local(block, is_write, c);
@@ -52,7 +55,8 @@ Cycle L2S::access(CoreId c, Addr addr, bool is_write, Cycle now) {
     const Addr victim =
         shared_->geometry().addr_of(ev.line.tag, ev.set);
     stall = wbb_->insert(victim, completion);
-    stats_.wbb_stall_cycles += stall;
+    note_wbb_insert();
+    stats_.wbb_stall_cycles() += stall;
   }
   return completion + stall;
 }
@@ -65,7 +69,8 @@ void L2S::l1_writeback(CoreId /*c*/, Addr addr, Cycle now) {
   }
   const Cycle stall =
       wbb_->insert(shared_->geometry().block_of(addr), now);
-  stats_.wbb_stall_cycles += stall;
+  note_wbb_insert();
+  stats_.wbb_stall_cycles() += stall;
 }
 
 }  // namespace snug::schemes

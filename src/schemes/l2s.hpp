@@ -27,6 +27,7 @@ class L2S final : public L2Scheme {
   [[nodiscard]] const char* name() const override { return "L2S"; }
   Cycle access(CoreId c, Addr addr, bool is_write, Cycle now) override;
   void l1_writeback(CoreId c, Addr addr, Cycle now) override;
+  void drain(Cycle now) override;
 
   [[nodiscard]] cache::SetAssocCache& slice(CoreId) override {
     return *shared_;
@@ -41,6 +42,12 @@ class L2S final : public L2Scheme {
 
  private:
   [[nodiscard]] Cycle bank_latency(CoreId c, Addr addr) const;
+
+  /// Lowers the cached drain deadline after a wbb insert (see L2Scheme).
+  void note_wbb_insert() noexcept {
+    const Cycle d = wbb_->next_drain_cycle();
+    if (d < drain_deadline_) drain_deadline_ = d;
+  }
 
   SharedConfig cfg_;
   bus::SnoopBus& bus_;

@@ -49,6 +49,16 @@ std::uint32_t PrivateSchemeBase::cc_copies_of(Addr addr) const {
   return n;
 }
 
+void PrivateSchemeBase::drain(Cycle now) {
+  Cycle deadline = kNoPeriodicWork;
+  for (auto& wbb : wbbs_) {
+    wbb.tick(now);
+    const Cycle d = wbb.next_drain_cycle();
+    if (d < deadline) deadline = d;
+  }
+  drain_deadline_ = deadline;
+}
+
 Cycle PrivateSchemeBase::install_fill(CoreId c, Addr addr, bool dirty,
                                       Cycle now) {
   const cache::Eviction ev = slices_[c].fill_local(addr, dirty, c);
@@ -56,10 +66,11 @@ Cycle PrivateSchemeBase::install_fill(CoreId c, Addr addr, bool dirty,
     // Dirty victim: write-back buffer; report the stall to the caller.
     const auto& geo = slices_[c].geometry();
     on_local_eviction(c, ev.set, ev.line.tag);
-    ++stats_.evict_dirty_local;
+    ++stats_.evict_dirty_local();
     const Cycle stall =
         wbbs_[c].insert(geo.addr_of(ev.line.tag, ev.set), now);
-    stats_.wbb_stall_cycles += stall;
+    note_wbb_insert(wbbs_[c]);
+    stats_.wbb_stall_cycles() += stall;
     return stall;
   }
   route_eviction(c, ev, now, kMaxSpillChain);
@@ -71,7 +82,7 @@ void PrivateSchemeBase::route_eviction(CoreId cache,
                                        int chain_budget) {
   if (!ev.happened()) return;
   if (ev.line.cc) {
-    ++stats_.evict_guest;  // one-chance forwarding: guests are dropped
+    ++stats_.evict_guest();  // one-chance forwarding: guests are dropped
     return;
   }
   const auto& geo = slices_[cache].geometry();
@@ -79,12 +90,13 @@ void PrivateSchemeBase::route_eviction(CoreId cache,
   on_local_eviction(cache, ev.set, ev.line.tag);
   if (ev.line.dirty) {
     // Only clean blocks may be cooperatively cached (Section 3.3).
-    ++stats_.evict_dirty_local;
+    ++stats_.evict_dirty_local();
     const Cycle stall = wbbs_[cache].insert(victim_addr, now);
-    stats_.wbb_stall_cycles += stall;
+    note_wbb_insert(wbbs_[cache]);
+    stats_.wbb_stall_cycles() += stall;
     return;
   }
-  ++stats_.evict_clean_local;
+  ++stats_.evict_clean_local();
   if (chain_budget > 0) {
     maybe_spill(cache, victim_addr, ev.set, now, chain_budget);
   }
@@ -97,7 +109,7 @@ void PrivateSchemeBase::place_spill(CoreId owner, CoreId target, Addr addr,
   bus_.transact(now, bus::BusOp::kSpill);
   const cache::Eviction ev =
       slices_[target].insert_cc(addr, owner, flipped);
-  ++stats_.spills;
+  ++stats_.spills();
   // A displaced local victim of the target is an ordinary eviction and
   // may spill onward (this cascade is what lets eviction-driven CC pool
   // same-index sets across slices).
@@ -107,23 +119,22 @@ void PrivateSchemeBase::place_spill(CoreId owner, CoreId target, Addr addr,
 Cycle PrivateSchemeBase::access(CoreId c, Addr addr, bool is_write,
                                 Cycle now) {
   SNUG_REQUIRE(c < slices_.size());
-  ++stats_.l2_accesses;
-  wbbs_[c].tick(now);
 
   cache::SetAssocCache& l2 = slices_[c];
   const cache::AccessResult res = l2.access_local(addr, is_write);
   if (res.hit) {
-    ++stats_.l2_hits;
+    ++stats_.l2_hits();
     on_local_hit(c, res.set);
     return now + cfg_.lat.l2_local;
   }
-  ++stats_.l2_misses;
+  ++stats_.l2_misses();
   on_local_miss(c, res.set, l2.geometry().tag_of(addr));
 
   // Write-back buffer direct read (Table 4: "support direct read").
+  // read_hit syncs the buffer to `now` itself — no tick on this path.
   const Addr block = l2.geometry().block_of(addr);
-  if (wbbs_[c].read_hit(block)) {
-    ++stats_.wbb_direct_reads;
+  if (wbbs_[c].read_hit(block, now)) {
+    ++stats_.wbb_direct_reads();
     return now + cfg_.lat.l2_local;
   }
 
@@ -133,12 +144,12 @@ Cycle PrivateSchemeBase::access(CoreId c, Addr addr, bool is_write,
   Cycle completion;
   const RemoteResult remote = probe_peers(c, addr, req.finished);
   if (remote.found) {
-    ++stats_.remote_hits;
+    ++stats_.remote_hits();
     completion = remote.completion;
   } else {
     const Cycle data_ready = dram_.read(req.finished);
     completion = bus_.transact(data_ready, bus::BusOp::kDataBlock).finished;
-    ++stats_.dram_fills;
+    ++stats_.dram_fills();
   }
   const Cycle stall = install_fill(c, block, is_write, completion);
   return completion + stall;
@@ -155,7 +166,8 @@ void PrivateSchemeBase::l1_writeback(CoreId c, Addr addr, Cycle now) {
   // The L2 line was already displaced (non-inclusive hierarchy): buffer the
   // dirty data for memory.
   const Cycle stall = wbbs_[c].insert(l2.geometry().block_of(addr), now);
-  stats_.wbb_stall_cycles += stall;
+  note_wbb_insert(wbbs_[c]);
+  stats_.wbb_stall_cycles() += stall;
 }
 
 }  // namespace snug::schemes

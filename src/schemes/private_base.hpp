@@ -36,6 +36,10 @@ class PrivateSchemeBase : public L2Scheme {
   Cycle access(CoreId c, Addr addr, bool is_write, Cycle now) final;
   void l1_writeback(CoreId c, Addr addr, Cycle now) final;
 
+  /// Syncs every slice's write-back buffer to `now` and recomputes the
+  /// drain deadline (L2Scheme event-horizon contract).
+  void drain(Cycle now) final;
+
   [[nodiscard]] const char* name() const override {
     return name_.c_str();
   }
@@ -101,6 +105,15 @@ class PrivateSchemeBase : public L2Scheme {
   Rng rng_;  ///< spill coin flips / tie-breaks
 
  private:
+  /// Lowers the cached drain deadline after an insert into `wbb` — the
+  /// only operation that can move a buffer's deadline earlier.  Syncs
+  /// (read_hit / drains) only push deadlines later, so the cached value
+  /// stays a valid lower bound in between (see L2Scheme).
+  void note_wbb_insert(const cache::WriteBackBuffer& wbb) noexcept {
+    const Cycle d = wbb.next_drain_cycle();
+    if (d < drain_deadline_) drain_deadline_ = d;
+  }
+
   std::string name_;
   // Value storage: one pointer chase fewer on every access, and the
   // slices' flat arrays sit in one allocation run per slice.

@@ -13,14 +13,18 @@
 // bus-request (8) + peer lookup (2 or 12) + bus data transfer (20).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "bus/snoop_bus.hpp"
 #include "cache/cache.hpp"
 #include "common/types.hpp"
 #include "dram/dram.hpp"
+#include "stats/counters.hpp"
 
 namespace snug::schemes {
 
@@ -32,23 +36,56 @@ struct LatencyConfig {
   Cycle l2s_remote = 30;         ///< shared-L2 remote-bank access
 };
 
-struct SchemeStats {
-  std::uint64_t l2_accesses = 0;
-  std::uint64_t l2_hits = 0;
-  std::uint64_t l2_misses = 0;
-  std::uint64_t wbb_direct_reads = 0;
-  std::uint64_t remote_hits = 0;    ///< misses served by a peer L2
-  std::uint64_t dram_fills = 0;
-  std::uint64_t spills = 0;         ///< victims placed in a peer
-  std::uint64_t spill_no_target = 0;
-  std::uint64_t evict_guest = 0;    ///< displaced cooperative lines (dropped)
-  std::uint64_t spill_blocked_stage = 0;  ///< SNUG: Stage I, no spilling
-  std::uint64_t spill_blocked_giver = 0;  ///< SNUG: giver sets do not spill
-  std::uint64_t spill_blocked_role = 0;   ///< DSR: receiver role
-  std::uint64_t evict_dirty_local = 0;   ///< dirty locals -> WBB
-  std::uint64_t evict_clean_local = 0;   ///< clean locals -> spill candidates
-  std::uint64_t wbb_stall_cycles = 0;
-  std::uint64_t cc_flushed = 0;     ///< cooperative lines dropped at regroup
+/// Scheme event counters as SoA words (stats/counters.hpp).  The
+/// aggregate l2_accesses is derived (hits + misses) at report time, so
+/// the access path bumps exactly one word per lookup outcome.
+struct SchemeStats final : stats::CounterWords<SchemeStats, 15> {
+  enum : std::size_t {
+    kL2Hits,
+    kL2Misses,
+    kWbbDirectReads,
+    kRemoteHits,
+    kDramFills,
+    kSpills,
+    kSpillNoTarget,
+    kEvictGuest,
+    kSpillBlockedStage,
+    kSpillBlockedGiver,
+    kSpillBlockedRole,
+    kEvictDirtyLocal,
+    kEvictCleanLocal,
+    kWbbStallCycles,
+    kCcFlushed,
+  };
+  static constexpr std::array<std::string_view, kNumWords> kNames = {
+      "l2_hits",           "l2_misses",
+      "wbb_direct_reads",  "remote_hits",
+      "dram_fills",        "spills",
+      "spill_no_target",   "evict_guest",
+      "spill_blocked_stage", "spill_blocked_giver",
+      "spill_blocked_role",  "evict_dirty_local",
+      "evict_clean_local",   "wbb_stall_cycles",
+      "cc_flushed"};
+  SNUG_COUNTER(l2_hits, kL2Hits)
+  SNUG_COUNTER(l2_misses, kL2Misses)
+  SNUG_COUNTER(wbb_direct_reads, kWbbDirectReads)
+  SNUG_COUNTER(remote_hits, kRemoteHits)  ///< misses served by a peer L2
+  SNUG_COUNTER(dram_fills, kDramFills)
+  SNUG_COUNTER(spills, kSpills)           ///< victims placed in a peer
+  SNUG_COUNTER(spill_no_target, kSpillNoTarget)
+  SNUG_COUNTER(evict_guest, kEvictGuest)  ///< displaced guests (dropped)
+  SNUG_COUNTER(spill_blocked_stage, kSpillBlockedStage)  ///< SNUG Stage I
+  SNUG_COUNTER(spill_blocked_giver, kSpillBlockedGiver)  ///< giver sets
+  SNUG_COUNTER(spill_blocked_role, kSpillBlockedRole)    ///< DSR receiver
+  SNUG_COUNTER(evict_dirty_local, kEvictDirtyLocal)  ///< dirty -> WBB
+  SNUG_COUNTER(evict_clean_local, kEvictCleanLocal)  ///< clean -> spillable
+  SNUG_COUNTER(wbb_stall_cycles, kWbbStallCycles)
+  SNUG_COUNTER(cc_flushed, kCcFlushed)  ///< guests dropped at regroup
+
+  /// Derived: every L2-level access is exactly one hit or one miss.
+  [[nodiscard]] std::uint64_t l2_accesses() const noexcept {
+    return l2_hits() + l2_misses();
+  }
 };
 
 class L2Scheme {
@@ -89,6 +126,21 @@ class L2Scheme {
     return kNoPeriodicWork;
   }
 
+  /// Earliest cycle at which any write-back buffer owned by the scheme
+  /// is due to drain — a conservative lower bound (spurious early wakes
+  /// are harmless; the bound never overshoots a real deadline).
+  /// kNoPeriodicWork when nothing is buffered.  Event-skipping drivers
+  /// clamp their jumps to this and call drain() when time reaches it,
+  /// which is what removed the per-access WriteBackBuffer::tick.
+  [[nodiscard]] Cycle next_drain_cycle() const noexcept {
+    return drain_deadline_;
+  }
+
+  /// Retires write-back-buffer entries due at/before `now` and advances
+  /// the drain deadline.  Only called by drivers when time reaches
+  /// next_drain_cycle(); schemes without buffers never override it.
+  virtual void drain(Cycle /*now*/) { drain_deadline_ = kNoPeriodicWork; }
+
   /// The cache storage serving core `c` (the shared cache for L2S).
   [[nodiscard]] virtual cache::SetAssocCache& slice(CoreId c) = 0;
   [[nodiscard]] virtual const cache::SetAssocCache& slice(
@@ -96,10 +148,13 @@ class L2Scheme {
   [[nodiscard]] virtual std::uint32_t num_slices() const = 0;
 
   [[nodiscard]] const SchemeStats& stats() const noexcept { return stats_; }
-  virtual void reset_stats() { stats_ = SchemeStats{}; }
+  virtual void reset_stats() { stats_.reset(); }
 
  protected:
   SchemeStats stats_;
+  /// See next_drain_cycle().  Maintained by schemes that own write-back
+  /// buffers: lowered (min) after every insert, recomputed in drain().
+  Cycle drain_deadline_ = kNoPeriodicWork;
 };
 
 }  // namespace snug::schemes

@@ -60,7 +60,7 @@ void SnugScheme::harvest_and_regroup() {
       for (WayIndex w = 0; w < set.assoc(); ++w) {
         if (set.valid_cc(w)) {
           l2.invalidate(s, w);
-          ++stats_.cc_flushed;
+          ++stats_.cc_flushed();
         }
       }
     }
@@ -100,12 +100,12 @@ RemoteResult SnugScheme::probe_peers(CoreId c, Addr addr,
 void SnugScheme::maybe_spill(CoreId c, Addr victim_addr, SetIndex set,
                              Cycle now, int chain_budget) {
   if (!controller_->spilling_allowed()) {
-    ++stats_.spill_blocked_stage;
+    ++stats_.spill_blocked_stage();
     return;
   }
   // Only taker sets are entitled to spill (Section 3.1.3).
   if (!gts_[c].taker(set)) {
-    ++stats_.spill_blocked_giver;
+    ++stats_.spill_blocked_giver();
     return;
   }
   const SetIndex home = slice(c).geometry().set_of(victim_addr);
@@ -125,7 +125,7 @@ void SnugScheme::maybe_spill(CoreId c, Addr victim_addr, SetIndex set,
                 chain_budget);
     return;
   }
-  ++stats_.spill_no_target;
+  ++stats_.spill_no_target();
 }
 
 std::uint64_t SnugScheme::cc_lines_in_taker_sets() const {

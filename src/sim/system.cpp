@@ -62,28 +62,91 @@ void CmpSystem::build(const schemes::SchemeSpec& spec,
 
 void CmpSystem::run(Cycle cycles) {
   // Event-skipping loop: a core is stepped only at cycles where it can
-  // change state (Core::step returns the next such cycle), and the
-  // scheme's tick is consulted only when it declares periodic work.  Time
-  // jumps straight to the earliest pending event, clamped to the next
-  // scheme epoch boundary so boundary callbacks fire at exactly the same
-  // cycles as under per-cycle stepping — the simulated behaviour is
-  // identical to the former for(;;++now_) loop, cycle for cycle.
+  // change state (Core::step returns the next such cycle), the scheme's
+  // tick is consulted only when it declares periodic work, and the
+  // write-back buffers drain at their own deadlines — the whole timing
+  // back-end follows one event-horizon discipline.  Time jumps straight
+  // to the earliest pending event, clamped to the next scheme epoch
+  // boundary and the next WBB drain so boundary callbacks and drains
+  // fire at exactly the same cycles as under per-cycle stepping — the
+  // simulated behaviour is identical to the former for(;;++now_) loop,
+  // cycle for cycle.
   const Cycle end = now_ + cycles;
-  Cycle boundary = scheme_->has_periodic_work()
-                       ? scheme_->next_tick_cycle()
+  schemes::L2Scheme* const scheme = scheme_.get();
+  Cycle boundary = scheme->has_periodic_work()
+                       ? scheme->next_tick_cycle()
                        : schemes::L2Scheme::kNoPeriodicWork;
-  while (now_ < end) {
-    Cycle next = end;
-    for (std::size_t c = 0; c < cores_.size(); ++c) {
-      if (core_wake_[c] <= now_) core_wake_[c] = cores_[c]->step(now_);
-      if (core_wake_[c] < next) next = core_wake_[c];
+  // Hoisted bases: the loop below runs once per event cycle, and the
+  // opaque step() call in the middle would otherwise force the member
+  // vectors' data pointers to be reloaded on every pass (step() can
+  // reach back into this object as far as the optimiser can tell).
+  const std::size_t num_cores = cores_.size();
+  std::vector<cpu::Core<CmpSystem>*> core_ptrs;
+  core_ptrs.reserve(num_cores);
+  for (const auto& c : cores_) core_ptrs.push_back(c.get());
+  cpu::Core<CmpSystem>* const* const cores = core_ptrs.data();
+  Cycle* const wake = core_wake_.data();
+  // The per-core "due?" test is taken with each core's own sleep/burst
+  // pattern; fully unrolling the scan for the common power-of-two core
+  // counts gives every core a distinct branch site (predicted on its own
+  // history) instead of one shared, constantly-mispredicting slot.
+  const auto sweep = [&]<std::size_t kCores>(
+                         std::integral_constant<std::size_t, kCores>) {
+    while (now_ < end) {
+      // Retire due write-back-buffer entries before any core observes
+      // the buffers at this cycle (the pre-event-horizon code ticked
+      // them at the top of every scheme access instead).
+      if (now_ >= scheme->next_drain_cycle()) scheme->drain(now_);
+      Cycle next = end;
+#pragma GCC unroll 16
+      for (std::size_t c = 0; c < kCores; ++c) {
+        if (wake[c] <= now_) wake[c] = cores[c]->step(now_);
+        next = wake[c] < next ? wake[c] : next;
+      }
+      if (now_ >= boundary) {
+        scheme->tick(now_);
+        boundary = scheme->next_tick_cycle();
+      }
+      if (boundary < next) next = boundary;
+      const Cycle drain = scheme->next_drain_cycle();
+      if (drain < next) next = drain;
+      now_ = next > now_ ? next : now_ + 1;
     }
-    if (now_ >= boundary) {
-      scheme_->tick(now_);
-      boundary = scheme_->next_tick_cycle();
+  };
+  const auto sweep_dynamic = [&](std::size_t n) {
+    while (now_ < end) {
+      if (now_ >= scheme->next_drain_cycle()) scheme->drain(now_);
+      Cycle next = end;
+      for (std::size_t c = 0; c < n; ++c) {
+        if (wake[c] <= now_) wake[c] = cores[c]->step(now_);
+        next = wake[c] < next ? wake[c] : next;
+      }
+      if (now_ >= boundary) {
+        scheme->tick(now_);
+        boundary = scheme->next_tick_cycle();
+      }
+      if (boundary < next) next = boundary;
+      const Cycle drain = scheme->next_drain_cycle();
+      if (drain < next) next = drain;
+      now_ = next > now_ ? next : now_ + 1;
     }
-    if (boundary < next) next = boundary;
-    now_ = next > now_ ? next : now_ + 1;
+  };
+  switch (num_cores) {
+    case 2:
+      sweep(std::integral_constant<std::size_t, 2>{});
+      break;
+    case 4:
+      sweep(std::integral_constant<std::size_t, 4>{});
+      break;
+    case 8:
+      sweep(std::integral_constant<std::size_t, 8>{});
+      break;
+    case 16:
+      sweep(std::integral_constant<std::size_t, 16>{});
+      break;
+    default:
+      sweep_dynamic(num_cores);
+      break;
   }
   // Close the window for the stall statistics: cores that slept through
   // the tail still get their in-window stall cycles charged.
@@ -101,6 +164,22 @@ void CmpSystem::begin_measurement() {
   bus_->reset_stats();
   dram_->reset_stats();
   window_start_ = now_;
+}
+
+stats::CounterReport CmpSystem::counter_report() const {
+  stats::CounterReport report;
+  report.push_back({"bus", bus_->stats().snapshot()});
+  report.push_back({"dram", dram_->stats().snapshot()});
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    report.push_back({l1i_[c].name(), l1i_[c].stats().snapshot()});
+    report.push_back({l1d_[c].name(), l1d_[c].stats().snapshot()});
+  }
+  report.push_back({scheme_->name(), scheme_->stats().snapshot()});
+  for (CoreId c = 0; c < scheme_->num_slices(); ++c) {
+    const cache::SetAssocCache& s = scheme_->slice(c);
+    report.push_back({s.name(), s.stats().snapshot()});
+  }
+  return report;
 }
 
 std::vector<double> CmpSystem::measured_ipc() const {

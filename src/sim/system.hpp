@@ -36,6 +36,11 @@ class CmpSystem final : public cpu::MemoryPort {
   /// Per-core IPC over the current measurement window.
   [[nodiscard]] std::vector<double> measured_ipc() const;
 
+  /// Name-based snapshot of every component's counters (bus, DRAM, L1s,
+  /// scheme + slices) — the once-per-report path of the SoA stats
+  /// pipeline (stats/counters.hpp).
+  [[nodiscard]] stats::CounterReport counter_report() const;
+
   // cpu::MemoryPort.  Defined inline: these two calls are the boundary
   // between the core model and the memory hierarchy — every simulated
   // load, store and ifetch crosses it, and the L1-hit fast path below

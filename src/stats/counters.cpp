@@ -1,0 +1,27 @@
+#include "stats/counters.hpp"
+
+#include "common/str.hpp"
+
+namespace snug::stats {
+
+std::string render_counter_report(const CounterReport& report) {
+  std::size_t width = 0;
+  for (const auto& comp : report) {
+    for (const auto& [name, _] : comp.counters) {
+      width = std::max(width, comp.component.size() + 1 + name.size());
+    }
+  }
+  std::string out;
+  for (const auto& comp : report) {
+    for (const auto& [name, value] : comp.counters) {
+      std::string key = comp.component;
+      key += '.';
+      key += name;
+      out += strf("%-*s %20llu\n", static_cast<int>(width), key.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  return out;
+}
+
+}  // namespace snug::stats

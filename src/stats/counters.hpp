@@ -1,52 +1,96 @@
-// Named event counters.  Each simulator component owns a CounterBlock;
-// the system aggregates them into reports.  Counters are plain uint64 adds
-// on the hot path — no strings are touched while simulating.
+// Per-component hot counters, structure-of-arrays style.
+//
+// Every timing component (cache, scheme, bus, DRAM, WBB, monitor) keeps
+// its event counters in ONE flat array of uint64 words; the hot path
+// bumps a word through a named inline accessor (compiled to a single
+// add on a fixed offset — exactly the cost of a plain struct field),
+// and the human-readable names live in a parallel constexpr table that
+// is consulted only when a report is assembled.  Aggregate counters that
+// are pure sums of others (cache accesses = hits + misses, scheme
+// l2_accesses = l2_hits + l2_misses) are not stored at all: they are
+// derived at snapshot time, so the innermost loops bump one word fewer
+// per event.
+//
+// This replaces the std::map<std::string, Counter>-backed CounterBlock:
+// nothing name-shaped is reachable from a simulating thread any more —
+// name-based snapshotting happens once, at report time.
+//
+// Usage pattern (see bus/snoop_bus.hpp for a complete example):
+//
+//   struct BusStats final : stats::CounterWords<BusStats, 5> {
+//     enum : std::size_t { kRequests, ... };
+//     static constexpr std::array<std::string_view, kNumWords> kNames = {
+//         "requests", ...};
+//     SNUG_COUNTER(requests, kRequests)
+//     ...
+//   };
+//
+//   ++stats_.requests();            // hot path: one inc, no strings
+//   report = stats_.snapshot();     // report time: named values
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace snug::stats {
 
-/// One monotonically increasing event count.
-class Counter {
+/// A named counter snapshot, produced once per report.
+using Snapshot = std::vector<std::pair<std::string_view, std::uint64_t>>;
+
+/// CRTP base: `Derived` supplies the word index enum and the kNames
+/// table; this base owns the flat word array and the report machinery.
+template <typename Derived, std::size_t N>
+class CounterWords {
  public:
-  void add(std::uint64_t n = 1) noexcept { value_ += n; }
-  void reset() noexcept { value_ = 0; }
-  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  static constexpr std::size_t kNumWords = N;
 
- private:
-  std::uint64_t value_ = 0;
-};
+  /// Zeroes every counter (measurement-window boundaries).
+  void reset() noexcept { words_.fill(0); }
 
-/// A registry of counters with stable names, e.g. one per cache slice.
-class CounterBlock {
- public:
-  /// Returns a reference valid for the lifetime of the block.  Must be
-  /// called during setup, not on the hot path.
-  Counter& get(const std::string& name) { return counters_[name]; }
-
-  [[nodiscard]] std::uint64_t value(const std::string& name) const {
-    const auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second.value();
+  /// The raw word array (equivalence tests, batch aggregation).
+  [[nodiscard]] const std::array<std::uint64_t, N>& words() const noexcept {
+    return words_;
   }
 
-  void reset_all() noexcept {
-    for (auto& [_, c] : counters_) c.reset();
-  }
-
-  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot()
-      const {
-    std::vector<std::pair<std::string, std::uint64_t>> out;
-    out.reserve(counters_.size());
-    for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  /// Pairs every stored word with its name.  Report time only.
+  [[nodiscard]] Snapshot snapshot() const {
+    static_assert(Derived::kNames.size() == N,
+                  "kNames must name every counter word");
+    Snapshot out;
+    out.reserve(N);
+    for (std::size_t i = 0; i < N; ++i) {
+      out.emplace_back(Derived::kNames[i], words_[i]);
+    }
     return out;
   }
 
- private:
-  std::map<std::string, Counter> counters_;
+ protected:
+  std::array<std::uint64_t, N> words_{};
 };
+
+/// Defines the mutable + const accessor pair for one counter word.  The
+/// mutable form is the hot-path bump site (`++stats_.requests();`).
+#define SNUG_COUNTER(name, index)                                   \
+  [[nodiscard]] std::uint64_t& name() noexcept {                    \
+    return this->words_[index];                                     \
+  }                                                                 \
+  [[nodiscard]] std::uint64_t name() const noexcept {               \
+    return this->words_[index];                                     \
+  }
+
+/// One component's named counters inside a system-wide report.
+struct ComponentCounters {
+  std::string component;  ///< e.g. "bus", "l1d[3]", "SNUG.l2[0]"
+  Snapshot counters;
+};
+
+using CounterReport = std::vector<ComponentCounters>;
+
+/// Renders a report as aligned "component.counter  value" lines.
+[[nodiscard]] std::string render_counter_report(const CounterReport& report);
 
 }  // namespace snug::stats

@@ -96,11 +96,10 @@ class SyntheticStream final : public InstrStream {
 
   std::size_t phase_idx_ = 0;
   std::uint64_t phase_end_refs_ = 0;  // l2 ref count at which phase ends
-  std::vector<std::uint32_t> demand_;     // d(s) for current phase
   // Per-set LRU stacks, MRU-first, flattened into one arena of
   // fixed-stride circular slabs (stride = max band demand rounded up to a
   // power of two, ≤ 32 == A_threshold).  A slab is a ring anchored at
-  // head_: depth j lives at slab[(head + j) & stride_mask].  Push-front is
+  // head: depth j lives at slab[(head + j) & stride_mask].  Push-front is
   // O(1) (head moves back one slot) and a move-to-front from depth k
   // shifts only the k-1 slots in front of it — geometric-small under the
   // stack-distance distribution — where the former vector<vector> paid an
@@ -108,9 +107,10 @@ class SyntheticStream final : public InstrStream {
   std::vector<std::uint32_t> stack_arena_;   // num_sets slabs x stride uids
   std::vector<std::uint16_t> stack_head_;    // MRU offset within the slab
   std::vector<std::uint16_t> stack_size_;    // live depth (<= demand_[s])
+  std::vector<std::uint32_t> next_uid_;      // per-set block allocator
+  std::vector<std::uint32_t> demand_;        // d(s) for current phase
   std::uint32_t stride_ = 0;
   std::uint32_t stride_mask_ = 0;
-  std::vector<std::uint32_t> next_uid_;   // per-set block allocator
 
   // O(1) stack-distance sampling: one alias table per working-set depth d
   // present in the current phase, over [1, d] with weights q^(k-1) —

@@ -73,7 +73,7 @@ TEST(BusInterval, BusyAccountingMatchesDurations) {
   bus.transact(0, BusOp::kRequest);
   bus.transact(0, BusOp::kDataBlock);
   bus.transact(0, BusOp::kSpill);
-  EXPECT_EQ(bus.stats().busy_core_cycles, 8U + 20U + 24U);
+  EXPECT_EQ(bus.stats().busy_core_cycles(), 8U + 20U + 24U);
 }
 
 TEST(BusInterval, ResetClearsSchedule) {
@@ -82,6 +82,79 @@ TEST(BusInterval, ResetClearsSchedule) {
   bus.reset(0);
   const BusGrant g = bus.transact(0, BusOp::kRequest);
   EXPECT_EQ(g.granted, 0U);
+}
+
+TEST(BusInterval, UtilisationAccumulatesAcrossReset) {
+  SnoopBus bus(paper_bus());
+  bus.transact(0, BusOp::kRequest);  // 8 busy cycles
+  EXPECT_DOUBLE_EQ(bus.utilisation(80), 0.1);
+  // reset(now) clears the *schedule* (tracked tenures), not the busy
+  // accumulator: measurement windows are cut with reset_stats().
+  bus.reset(1000);
+  EXPECT_EQ(bus.tracked_intervals(), 0U);
+  EXPECT_DOUBLE_EQ(bus.utilisation(80), 0.1);
+  bus.transact(1000, BusOp::kRequest);  // 8 more busy cycles
+  EXPECT_DOUBLE_EQ(bus.utilisation(160), 0.1);
+  // reset_stats() zeroes the accumulator; the schedule survives.
+  bus.reset_stats();
+  EXPECT_DOUBLE_EQ(bus.utilisation(160), 0.0);
+  EXPECT_EQ(bus.tracked_intervals(), 1U);
+}
+
+TEST(BusInterval, RingFullFallbackStaysConflictFree) {
+  SnoopBus bus(paper_bus());
+  // Adversarial schedule: every transaction is issued at cycle 0, so no
+  // tenure ever retires (the horizon never advances) and the ring must
+  // overflow.  First-fit packs the schedule back to back, so even the
+  // fallback grants (after the last booked tenure) coincide with what
+  // unbounded first-fit would produce.
+  const std::size_t n = SnoopBus::kRingCapacity + 64;
+  std::vector<BusGrant> grants;
+  grants.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    grants.push_back(bus.transact(0, BusOp::kRequest));
+  }
+  EXPECT_GT(bus.stats().ring_full_fallbacks(), 0U);
+  EXPECT_LE(bus.tracked_intervals(), SnoopBus::kRingCapacity);
+  const Cycle dur = bus.duration(BusOp::kRequest);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(grants[i].granted, i * dur) << "grant " << i;
+    EXPECT_EQ(grants[i].finished, (i + 1) * dur);
+  }
+  // The fallback dropped live tenures from tracking; their ranges are
+  // sealed behind the conflict floor, so even a transaction issued at
+  // cycle 0 afterwards cannot be granted inside an untracked tenure.
+  const BusGrant late = bus.transact(0, BusOp::kRequest);
+  EXPECT_GE(late.granted, n * dur);
+  grants.push_back(late);
+  std::sort(grants.begin(), grants.end(),
+            [](const BusGrant& a, const BusGrant& b) {
+              return a.granted < b.granted;
+            });
+  for (std::size_t i = 1; i < grants.size(); ++i) {
+    EXPECT_LE(grants[i - 1].finished, grants[i].granted)
+        << "overlap at grant " << i;
+  }
+}
+
+TEST(BusInterval, RingPressureRetiresDeadTenuresBeforeFallingBack) {
+  SnoopBus bus(paper_bus());
+  // Fill the ring with future tenures issued from a fixed early cycle,
+  // then advance time far past all of them: pressure retirement (ends
+  // <= now) must make room without burning a fallback.
+  for (std::size_t i = 0; i < SnoopBus::kRingCapacity; ++i) {
+    bus.transact(10, BusOp::kRequest);
+  }
+  EXPECT_EQ(bus.tracked_intervals(), SnoopBus::kRingCapacity);
+  // All booked tenures end by `last_end`, which is still within the
+  // retirement slack of the horizon — only the pressure path (ends <=
+  // now) can reclaim the slots.
+  const Cycle last_end =
+      10 + SnoopBus::kRingCapacity * bus.duration(BusOp::kRequest);
+  const BusGrant g = bus.transact(last_end, BusOp::kRequest);
+  EXPECT_EQ(g.granted, last_end);
+  EXPECT_EQ(bus.stats().ring_full_fallbacks(), 0U);
+  EXPECT_LT(bus.tracked_intervals(), SnoopBus::kRingCapacity);
 }
 
 }  // namespace

@@ -38,7 +38,7 @@ TEST(Bus, SerialisesOverlappingTransactions) {
   const BusGrant b = bus.transact(2, BusOp::kDataBlock);
   EXPECT_EQ(b.granted, 8U);  // waits for a
   EXPECT_EQ(b.finished, 28U);
-  EXPECT_EQ(bus.stats().wait_core_cycles, 6U);
+  EXPECT_EQ(bus.stats().wait_core_cycles(), 6U);
 }
 
 TEST(Bus, IdleBusGrantsImmediately) {
@@ -55,9 +55,9 @@ TEST(Bus, CountsPerKind) {
   bus.transact(0, BusOp::kDataBlock);
   bus.transact(0, BusOp::kSpill);
   bus.transact(0, BusOp::kSpill);
-  EXPECT_EQ(bus.stats().requests, 1U);
-  EXPECT_EQ(bus.stats().data_blocks, 1U);
-  EXPECT_EQ(bus.stats().spills, 2U);
+  EXPECT_EQ(bus.stats().requests(), 1U);
+  EXPECT_EQ(bus.stats().data_blocks(), 1U);
+  EXPECT_EQ(bus.stats().spills(), 2U);
 }
 
 TEST(Bus, Utilisation) {

@@ -17,17 +17,17 @@ TEST(Cache, MissThenHit) {
   EXPECT_FALSE(c.access_local(a, false).hit);
   c.fill_local(a, false, 0);
   EXPECT_TRUE(c.access_local(a, false).hit);
-  EXPECT_EQ(c.stats().hits, 1U);
-  EXPECT_EQ(c.stats().misses, 1U);
+  EXPECT_EQ(c.stats().hits(), 1U);
+  EXPECT_EQ(c.stats().misses(), 1U);
 }
 
 TEST(Cache, ProbeDoesNotDisturbState) {
   SetAssocCache c("l2", small_geo());
   const Addr a = make_addr(c.geometry(), 5, 3);
   c.fill_local(a, false, 0);
-  const auto before = c.stats().accesses;
+  const auto before = c.stats().accesses();
   EXPECT_TRUE(c.probe_local(a).hit);
-  EXPECT_EQ(c.stats().accesses, before);
+  EXPECT_EQ(c.stats().accesses(), before);
 }
 
 TEST(Cache, WriteSetsDirty) {
@@ -57,9 +57,9 @@ TEST(Cache, EvictionKindCounters) {
     c.fill_local(make_addr(g, t, 0), t == 0, 0);  // tag 0 dirty
   }
   c.fill_local(make_addr(g, 10, 0), false, 0);  // displaces dirty tag 0
-  EXPECT_EQ(c.stats().evict_dirty, 1U);
+  EXPECT_EQ(c.stats().evict_dirty(), 1U);
   c.fill_local(make_addr(g, 11, 0), false, 0);  // displaces clean tag 1
-  EXPECT_EQ(c.stats().evict_clean, 1U);
+  EXPECT_EQ(c.stats().evict_clean(), 1U);
 }
 
 TEST(Cache, CcInsertAndLookupSameIndex) {
@@ -116,8 +116,8 @@ TEST(Cache, ForwardAndInvalidateRemovesCopy) {
   const CcLocation loc = c.lookup_cc(a);
   c.forward_and_invalidate(loc);
   EXPECT_FALSE(c.lookup_cc(a).found);
-  EXPECT_EQ(c.stats().cc_forwarded, 1U);
-  EXPECT_EQ(c.stats().cc_invalidated, 1U);
+  EXPECT_EQ(c.stats().cc_forwarded(), 1U);
+  EXPECT_EQ(c.stats().cc_invalidated(), 1U);
   EXPECT_EQ(c.total_cc_lines(), 0U);
 }
 
@@ -130,7 +130,7 @@ TEST(Cache, CcInsertDisplacementIsReported) {
   const Eviction ev = c.insert_cc(make_addr(g, 50, 6), 1, false);
   EXPECT_TRUE(ev.happened());
   EXPECT_FALSE(ev.line.cc);
-  EXPECT_EQ(c.stats().cc_inserted, 1U);
+  EXPECT_EQ(c.stats().cc_inserted(), 1U);
 }
 
 TEST(Cache, TotalCcLines) {
@@ -167,7 +167,7 @@ TEST(Cache, StatsResetKeepsContents) {
   c.fill_local(a, false, 0);
   c.access_local(a, false);
   c.reset_stats();
-  EXPECT_EQ(c.stats().hits, 0U);
+  EXPECT_EQ(c.stats().hits(), 0U);
   EXPECT_TRUE(c.access_local(a, false).hit);  // contents survived
 }
 

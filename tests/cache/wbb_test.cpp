@@ -21,15 +21,15 @@ TEST(Wbb, MergesSameBlock) {
   wbb.insert(0x40, 0);
   wbb.insert(0x40, 1);
   EXPECT_EQ(wbb.occupancy(), 1U);
-  EXPECT_EQ(wbb.stats().merges, 1U);
+  EXPECT_EQ(wbb.stats().merges(), 1U);
 }
 
 TEST(Wbb, DirectReadHit) {
   WriteBackBuffer wbb(cfg());
   wbb.insert(0x40, 0);
-  EXPECT_TRUE(wbb.read_hit(0x40));
-  EXPECT_FALSE(wbb.read_hit(0x80));
-  EXPECT_EQ(wbb.stats().direct_reads, 1U);
+  EXPECT_TRUE(wbb.read_hit(0x40, 0));
+  EXPECT_FALSE(wbb.read_hit(0x80, 0));
+  EXPECT_EQ(wbb.stats().direct_reads(), 1U);
 }
 
 TEST(Wbb, DrainsOverTime) {
@@ -52,9 +52,9 @@ TEST(Wbb, FullInsertStallsAndForcesDrain) {
   const Cycle stall = wbb.insert(0xC0, 1);
   EXPECT_EQ(stall, 77U);
   EXPECT_EQ(wbb.occupancy(), 2U);  // one forced out, one in
-  EXPECT_EQ(wbb.stats().full_stalls, 1U);
-  EXPECT_FALSE(wbb.read_hit(0x40));  // oldest was drained
-  EXPECT_TRUE(wbb.read_hit(0xC0));
+  EXPECT_EQ(wbb.stats().full_stalls(), 1U);
+  EXPECT_FALSE(wbb.read_hit(0x40, 1));  // oldest was drained
+  EXPECT_TRUE(wbb.read_hit(0xC0, 1));
 }
 
 TEST(Wbb, FifoDrainOrder) {
@@ -62,8 +62,8 @@ TEST(Wbb, FifoDrainOrder) {
   wbb.insert(0x40, 0);
   wbb.insert(0x80, 0);
   wbb.tick(10);
-  EXPECT_FALSE(wbb.read_hit(0x40));
-  EXPECT_TRUE(wbb.read_hit(0x80));
+  EXPECT_FALSE(wbb.read_hit(0x40, 10));
+  EXPECT_TRUE(wbb.read_hit(0x80, 10));
 }
 
 TEST(Wbb, ClearEmpties) {
@@ -71,7 +71,7 @@ TEST(Wbb, ClearEmpties) {
   wbb.insert(0x40, 0);
   wbb.clear();
   EXPECT_EQ(wbb.occupancy(), 0U);
-  EXPECT_FALSE(wbb.read_hit(0x40));
+  EXPECT_FALSE(wbb.read_hit(0x40, 0));
 }
 
 TEST(Wbb, PaperConfigIs16Entries) {

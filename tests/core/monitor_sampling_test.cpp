@@ -1,0 +1,183 @@
+// Distributional pins for 1-in-N sampled monitor updates
+// (MonitorConfig::sample_period) — the PR 4 chi-square style: sampling
+// must not change what the monitor *decides*, only how many events it
+// pays for.
+//
+// The justification mirrors the counter maths (core/saturating_counter):
+// the G/T decision tests sigma = shadow_hits / (real + shadow hits)
+// against 1/p through the counter drift.  Uniform 1-in-N thinning of all
+// three event streams scales the numerator and the denominator by the
+// same factor, so the threshold compare is unchanged — the factor folds
+// out.  These tests drive exact and sampled monitors with IDENTICAL
+// per-set event streams at realistic epoch volumes and require the
+// harvested G/T vectors to agree: exactly on clear-demand sets, and
+// statistically (chi-square homogeneity of the taker rate, plus a high
+// per-set agreement floor) on populations straddling the threshold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/gt_vector.hpp"
+#include "core/monitor.hpp"
+
+namespace snug::core {
+namespace {
+
+MonitorConfig monitor_cfg(std::uint32_t num_sets, std::uint32_t sample) {
+  MonitorConfig cfg;
+  cfg.num_sets = num_sets;
+  cfg.assoc = 16;
+  cfg.k_bits = 4;
+  cfg.p = 8;  // Table 2: taker when sigma > 1/8
+  cfg.sample_period = sample;
+  return cfg;
+}
+
+/// Feeds one epoch of per-set events to `m`.  Each set receives
+/// `events_per_set` events; a fraction `shadow_rate` are
+/// shadow-hitting misses (evict a tag, then miss on it — the capacity
+/// signal), the rest are real hits.  Event order interleaves sets the
+/// way real traffic does (set-major round robin with per-set phase) so
+/// the sampler sees a mixed stream.
+void drive_epoch(CapacityMonitor& m, std::uint32_t num_sets,
+                 std::uint32_t events_per_set,
+                 const std::vector<double>& shadow_rate,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> next_tag(num_sets, 1);
+  for (std::uint32_t e = 0; e < events_per_set; ++e) {
+    for (SetIndex s = 0; s < num_sets; ++s) {
+      if (rng.chance(shadow_rate[s])) {
+        // A capacity-starved reference: the block was evicted recently
+        // and is missed again — lands in the shadow set, then hits it.
+        const std::uint64_t tag = next_tag[s]++;
+        m.on_local_eviction(s, tag);
+        m.on_local_miss(s, tag);
+      } else {
+        m.on_local_hit(s);
+      }
+    }
+  }
+}
+
+// Clear capacity demand must harvest identically under sampling: deep
+// sets (half the epoch's references would hit with double capacity)
+// stay takers, shallow sets (almost no shadow hits) become givers, for
+// every sampled period, at a realistic per-epoch event volume (a
+// paper-scale 5 M-cycle Stage I gives a 1 MB slice's sets a few hundred
+// L2 events each).
+TEST(MonitorSampling, ClearDemandHarvestsIdentically) {
+  constexpr std::uint32_t kSets = 256;
+  constexpr std::uint32_t kEventsPerSet = 256;
+  std::vector<double> rate(kSets);
+  for (SetIndex s = 0; s < kSets; ++s) {
+    rate[s] = (s % 2 == 0) ? 0.5 : 0.01;  // deep / shallow alternating
+  }
+
+  CapacityMonitor exact(monitor_cfg(kSets, 1));
+  GtVector gt_exact(kSets);
+  drive_epoch(exact, kSets, kEventsPerSet, rate, 0xE9);
+  exact.harvest(gt_exact);
+
+  for (const std::uint32_t n : {2U, 4U, 8U}) {
+    CapacityMonitor sampled(monitor_cfg(kSets, n));
+    GtVector gt_sampled(kSets);
+    drive_epoch(sampled, kSets, kEventsPerSet, rate, 0xE9);
+    sampled.harvest(gt_sampled);
+    for (SetIndex s = 0; s < kSets; ++s) {
+      EXPECT_EQ(gt_exact.taker(s), gt_sampled.taker(s))
+          << "set " << s << " diverged at sample period " << n;
+      // The ground truth, not just mutual agreement.
+      EXPECT_EQ(gt_exact.taker(s), s % 2 == 0) << "set " << s;
+    }
+    // The sampled monitor did ~1/n of the shadow work — the point of
+    // the knob.  The factor is not exactly 1/n when the epoch's per-set
+    // event count does not divide the window period (the last partial
+    // period contributes a full active window), so allow 2x headroom.
+    EXPECT_LT(sampled.stats().shadow_inserts(),
+              2 * exact.stats().shadow_inserts() / n + kSets);
+  }
+}
+
+// A population straddling the 1/p threshold: per-set decisions may
+// flip under sampling (fewer samples, wider estimate), but the *rate*
+// of takers must be statistically indistinguishable — 2x2 chi-square
+// homogeneity (1 dof; bound df + 6 sd ~ 1e-8 false-positive rate, and
+// the seeds are fixed anyway) — and most sets must still agree.
+TEST(MonitorSampling, BorderlinePopulationTakerRateIsHomogeneous) {
+  constexpr std::uint32_t kSets = 1024;
+  constexpr std::uint32_t kEventsPerSet = 384;
+  Rng pop(0x5E7);
+  std::vector<double> rate(kSets);
+  for (SetIndex s = 0; s < kSets; ++s) {
+    rate[s] = 0.02 + 0.21 * pop.uniform();  // straddles 1/8
+  }
+
+  CapacityMonitor exact(monitor_cfg(kSets, 1));
+  CapacityMonitor sampled(monitor_cfg(kSets, 8));
+  GtVector gt_exact(kSets);
+  GtVector gt_sampled(kSets);
+  drive_epoch(exact, kSets, kEventsPerSet, rate, 0xB0B);
+  drive_epoch(sampled, kSets, kEventsPerSet, rate, 0xB0B);
+  exact.harvest(gt_exact);
+  sampled.harvest(gt_sampled);
+
+  std::uint32_t takers_exact = 0;
+  std::uint32_t takers_sampled = 0;
+  std::uint32_t agree = 0;
+  for (SetIndex s = 0; s < kSets; ++s) {
+    takers_exact += gt_exact.taker(s);
+    takers_sampled += gt_sampled.taker(s);
+    agree += gt_exact.taker(s) == gt_sampled.taker(s);
+  }
+  // Both monitors saw a mixed population, so neither margin is empty.
+  ASSERT_GT(takers_exact, kSets / 8);
+  ASSERT_LT(takers_exact, kSets - kSets / 8);
+
+  // Chi-square homogeneity of the two taker proportions.
+  const double n = kSets;
+  const double p_pool =
+      static_cast<double>(takers_exact + takers_sampled) / (2.0 * n);
+  double chi2 = 0.0;
+  for (const double t : {static_cast<double>(takers_exact),
+                         static_cast<double>(takers_sampled)}) {
+    const double e_t = n * p_pool;
+    const double e_g = n * (1.0 - p_pool);
+    chi2 += (t - e_t) * (t - e_t) / e_t;
+    chi2 += ((n - t) - e_g) * ((n - t) - e_g) / e_g;
+  }
+  const double bound = 1.0 + 6.0 * std::sqrt(2.0);
+  EXPECT_LT(chi2, bound) << "taker rates: exact " << takers_exact << "/"
+                         << kSets << ", sampled " << takers_sampled << "/"
+                         << kSets;
+
+  // Per-set agreement floor: only sets near the threshold may flip (the
+  // population here was *constructed* to crowd the threshold; clear
+  // sets are pinned to exact agreement by ClearDemandHarvestsIdentically).
+  EXPECT_GT(static_cast<double>(agree) / n, 0.75)
+      << "agreement " << agree << "/" << kSets;
+}
+
+// The exact default must not pay for the knob: with sample_period == 1
+// the monitor is bit-identical to the pre-knob behaviour (every event
+// observed, every stat counted).  This is the configuration the golden
+// fig9 pin runs under; here we pin the monitor-level contract directly.
+TEST(MonitorSampling, PeriodOneObservesEveryEvent) {
+  constexpr std::uint32_t kSets = 8;
+  CapacityMonitor m(monitor_cfg(kSets, 1));
+  for (int r = 0; r < 10; ++r) {
+    for (SetIndex s = 0; s < kSets; ++s) {
+      m.on_local_eviction(s, 100 + r);
+      EXPECT_TRUE(m.on_local_miss(s, 100 + r));
+      m.on_local_hit(s);
+    }
+  }
+  EXPECT_EQ(m.stats().shadow_inserts(), 10U * kSets);
+  EXPECT_EQ(m.stats().shadow_hits(), 10U * kSets);
+  EXPECT_EQ(m.stats().real_hits(), 10U * kSets);
+}
+
+}  // namespace
+}  // namespace snug::core

@@ -109,9 +109,9 @@ TEST(Monitor, StatsAccumulate) {
   m.on_local_hit(0);
   m.on_local_eviction(0, 1);
   m.on_local_miss(0, 1);
-  EXPECT_EQ(m.stats().real_hits, 1U);
-  EXPECT_EQ(m.stats().shadow_inserts, 1U);
-  EXPECT_EQ(m.stats().shadow_hits, 1U);
+  EXPECT_EQ(m.stats().real_hits(), 1U);
+  EXPECT_EQ(m.stats().shadow_inserts(), 1U);
+  EXPECT_EQ(m.stats().shadow_hits(), 1U);
 }
 
 TEST(Monitor, ResetClearsEverything) {
@@ -120,7 +120,7 @@ TEST(Monitor, ResetClearsEverything) {
   m.on_local_miss(0, 1);
   m.reset();
   EXPECT_EQ(m.counter(0).value(), 7U);
-  EXPECT_EQ(m.stats().shadow_hits, 0U);
+  EXPECT_EQ(m.stats().shadow_hits(), 0U);
   EXPECT_FALSE(m.on_local_miss(0, 1));  // shadow cleared
 }
 

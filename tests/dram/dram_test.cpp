@@ -23,23 +23,23 @@ TEST(Dram, QueueingTracksOccupancyNotLatency) {
   dram.read(0);
   // Channel busy until 16; next request at 10 starts at 16.
   EXPECT_EQ(dram.read(10), 316U);
-  EXPECT_EQ(dram.stats().queued, 1U);
-  EXPECT_EQ(dram.stats().queue_cycles, 6U);
+  EXPECT_EQ(dram.stats().queued(), 1U);
+  EXPECT_EQ(dram.stats().queue_cycles(), 6U);
 }
 
 TEST(Dram, WritesConsumeBandwidth) {
   DramModel dram(DramConfig{300, 1, 16});
   dram.write(0);
   EXPECT_EQ(dram.read(0), 316U);
-  EXPECT_EQ(dram.stats().writes, 1U);
-  EXPECT_EQ(dram.stats().reads, 1U);
+  EXPECT_EQ(dram.stats().writes(), 1U);
+  EXPECT_EQ(dram.stats().reads(), 1U);
 }
 
 TEST(Dram, IdleChannelNoQueueing) {
   DramModel dram(DramConfig{300, 1, 16});
   dram.read(0);
   EXPECT_EQ(dram.read(1000), 1300U);
-  EXPECT_EQ(dram.stats().queued, 0U);
+  EXPECT_EQ(dram.stats().queued(), 0U);
 }
 
 TEST(Dram, ResetClearsTimeline) {

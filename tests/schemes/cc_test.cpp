@@ -31,7 +31,7 @@ void overflow_set(CcFixture& f, CoreId c, SetIndex s, std::uint64_t n,
 TEST(CC, SpillsCleanVictimsAtFullProbability) {
   CcFixture f(1.0);
   overflow_set(f, 0, 2, 8);  // 4-way set: 4 victims spilled
-  EXPECT_EQ(f.scheme.stats().spills, 4U);
+  EXPECT_EQ(f.scheme.stats().spills(), 4U);
   // Victims live somewhere among the peers, in the same-index set.
   std::uint64_t hosted = 0;
   for (CoreId c = 1; c < 4; ++c) {
@@ -43,7 +43,7 @@ TEST(CC, SpillsCleanVictimsAtFullProbability) {
 TEST(CC, ZeroProbabilityNeverSpills) {
   CcFixture f(0.0);
   overflow_set(f, 0, 2, 12);
-  EXPECT_EQ(f.scheme.stats().spills, 0U);
+  EXPECT_EQ(f.scheme.stats().spills(), 0U);
 }
 
 TEST(CC, RetrieveFindsSpilledBlockRemotely) {
@@ -51,11 +51,11 @@ TEST(CC, RetrieveFindsSpilledBlockRemotely) {
   const auto& geo = f.ctx.priv.l2;
   overflow_set(f, 0, 2, 8);
   // Block 0 was evicted first and spilled.  Re-access it.
-  const auto remote_before = f.scheme.stats().remote_hits;
+  const auto remote_before = f.scheme.stats().remote_hits();
   const Cycle start = 1'000'000;
   const Cycle done = f.scheme.access(0, block_addr(geo, 0, 2, 0), false,
                                      start);
-  EXPECT_EQ(f.scheme.stats().remote_hits, remote_before + 1);
+  EXPECT_EQ(f.scheme.stats().remote_hits(), remote_before + 1);
   EXPECT_EQ(done - start, 30U);  // uncontended CC remote latency
 }
 
@@ -93,9 +93,9 @@ TEST(CC, DirtyVictimsAreNeverSpilled) {
   for (std::uint64_t uid = 0; uid < 8; ++uid) {
     f.scheme.access(0, block_addr(geo, 0, 3, uid), true, uid * 1000);
   }
-  EXPECT_EQ(f.scheme.stats().spills, 0U);
+  EXPECT_EQ(f.scheme.stats().spills(), 0U);
   // Section 3.3 restriction 1: dirty victims go to the write buffer.
-  EXPECT_GT(f.scheme.wbb(0).stats().inserts, 0U);
+  EXPECT_GT(f.scheme.wbb(0).stats().inserts(), 0U);
 }
 
 TEST(CC, OneChanceForwarding) {
@@ -103,7 +103,7 @@ TEST(CC, OneChanceForwarding) {
   CcFixture f(1.0);
   const auto& geo = f.ctx.priv.l2;
   overflow_set(f, 0, 2, 8);
-  const std::uint64_t spills_before = f.scheme.stats().spills;
+  const std::uint64_t spills_before = f.scheme.stats().spills();
   // Every peer now hosts guests in set 2.  Make ALL peers overflow their
   // own set 2, displacing the guests.
   for (CoreId c = 1; c < 4; ++c) overflow_set(f, c, 2, 8, 2'000'000);
@@ -113,7 +113,7 @@ TEST(CC, OneChanceForwarding) {
   }
   // The original 4 guests from core 0 are gone (displaced and dropped);
   // the only guests left are the new spills from cores 1-3.
-  const std::uint64_t new_spills = f.scheme.stats().spills - spills_before;
+  const std::uint64_t new_spills = f.scheme.stats().spills() - spills_before;
   EXPECT_LE(guests, new_spills);
   for (std::uint64_t uid = 0; uid < 4; ++uid) {
     EXPECT_EQ(f.scheme.cc_copies_of(block_addr(geo, 0, 2, uid)), 0U);
@@ -122,9 +122,9 @@ TEST(CC, OneChanceForwarding) {
 
 TEST(CC, SpillConsumesBusBandwidth) {
   CcFixture f(1.0);
-  const auto before = f.bus.stats().spills;
+  const auto before = f.bus.stats().spills();
   overflow_set(f, 0, 2, 8);
-  EXPECT_EQ(f.bus.stats().spills, before + 4);
+  EXPECT_EQ(f.bus.stats().spills(), before + 4);
 }
 
 }  // namespace

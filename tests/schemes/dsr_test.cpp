@@ -82,9 +82,9 @@ TEST(DSR, SpillerSpillsIntoReceiversSameIndex) {
   f.train_taker_app(0);
   for (CoreId c = 1; c < 4; ++c) f.train_giver_app(c);
   f.finish_identify();
-  const std::uint64_t before = f.scheme->stats().spills;
+  const std::uint64_t before = f.scheme->stats().spills();
   for (std::uint64_t uid = 20; uid < 30; ++uid) f.touch(0, 3, uid);
-  EXPECT_GT(f.scheme->stats().spills, before);
+  EXPECT_GT(f.scheme->stats().spills(), before);
   // Guests live at the same index (f == 0), in receiver caches.
   std::uint64_t guests = 0;
   for (CoreId c = 1; c < 4; ++c) {
@@ -109,10 +109,10 @@ TEST(DSR, IdenticalTakerAppsNeverSpill) {
   for (CoreId c = 0; c < 4; ++c) {
     EXPECT_EQ(f.scheme->role_of(c), DsrScheme::Role::kSpiller);
   }
-  const std::uint64_t before = f.scheme->stats().spills;
+  const std::uint64_t before = f.scheme->stats().spills();
   for (std::uint64_t uid = 20; uid < 30; ++uid) f.touch(0, 3, uid);
-  EXPECT_EQ(f.scheme->stats().spills, before);
-  EXPECT_GT(f.scheme->stats().spill_no_target, 0U);
+  EXPECT_EQ(f.scheme->stats().spills(), before);
+  EXPECT_GT(f.scheme->stats().spill_no_target(), 0U);
 }
 
 TEST(DSR, RetrieveRestoresSpilledBlockAt30Cycles) {
@@ -127,9 +127,9 @@ TEST(DSR, RetrieveRestoresSpilledBlockAt30Cycles) {
     if (f.scheme->cc_copies_of(a) == 1) {
       f.clock += 100'000;  // quiet bus
       f.scheme->tick(f.clock);
-      const auto before = f.scheme->stats().remote_hits;
+      const auto before = f.scheme->stats().remote_hits();
       const Cycle done = f.scheme->access(0, a, false, f.clock);
-      EXPECT_EQ(f.scheme->stats().remote_hits, before + 1);
+      EXPECT_EQ(f.scheme->stats().remote_hits(), before + 1);
       EXPECT_EQ(done - f.clock, 30U);  // DSR remote latency (Section 4.1)
       EXPECT_EQ(f.scheme->cc_copies_of(a), 0U);
       return;
@@ -147,10 +147,10 @@ TEST(DSR, NoSpillsDuringIdentifyStage) {
   f.clock += DsrFixture::kGroup + 1;
   f.scheme->tick(f.clock);
   ASSERT_EQ(f.scheme->stage(), core::Stage::kIdentify);
-  const std::uint64_t before = f.scheme->stats().spills;
+  const std::uint64_t before = f.scheme->stats().spills();
   for (std::uint64_t uid = 40; uid < 50; ++uid) f.touch(0, 5, uid);
-  EXPECT_EQ(f.scheme->stats().spills, before);
-  EXPECT_GT(f.scheme->stats().spill_blocked_stage, 0U);
+  EXPECT_EQ(f.scheme->stats().spills(), before);
+  EXPECT_GT(f.scheme->stats().spill_blocked_stage(), 0U);
 }
 
 TEST(DSR, AtMostOneCooperativeCopy) {

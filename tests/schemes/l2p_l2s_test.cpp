@@ -26,7 +26,7 @@ TEST(L2P, MissGoesToDram) {
   const Cycle done = f.scheme.access(0, a, false, 0);
   // request(8) + DRAM(300) + data(20) = 328 uncontended.
   EXPECT_EQ(done, 328U);
-  EXPECT_EQ(f.scheme.stats().dram_fills, 1U);
+  EXPECT_EQ(f.scheme.stats().dram_fills(), 1U);
 }
 
 TEST(L2P, HitCostsLocalLatency) {
@@ -35,7 +35,25 @@ TEST(L2P, HitCostsLocalLatency) {
   f.scheme.access(0, a, false, 0);
   const Cycle done = f.scheme.access(0, a, false, 1000);
   EXPECT_EQ(done, 1010U);
-  EXPECT_EQ(f.scheme.stats().l2_hits, 1U);
+  EXPECT_EQ(f.scheme.stats().l2_hits(), 1U);
+}
+
+TEST(L2P, DrainDeadlineFollowsWbbEventHorizon) {
+  L2PFixture f;
+  const auto& geo = f.ctx.priv.l2;
+  // No buffered write-backs: nothing to drain, ever.
+  EXPECT_EQ(f.scheme.next_drain_cycle(), L2Scheme::kNoPeriodicWork);
+  // An L1 write-back that misses the L2 buffers the block and arms the
+  // deadline one drain interval out.
+  f.scheme.l1_writeback(0, block_addr(geo, 0, 2, 7), 100);
+  const Cycle deadline = f.scheme.next_drain_cycle();
+  EXPECT_EQ(deadline, 100 + f.ctx.priv.wbb.drain_interval);
+  EXPECT_EQ(f.scheme.wbb(0).occupancy(), 1U);
+  // Draining at the deadline retires the entry and disarms the clock —
+  // exactly what CmpSystem::run does when time reaches the deadline.
+  f.scheme.drain(deadline);
+  EXPECT_EQ(f.scheme.wbb(0).occupancy(), 0U);
+  EXPECT_EQ(f.scheme.next_drain_cycle(), L2Scheme::kNoPeriodicWork);
 }
 
 TEST(L2P, NeverSpills) {
@@ -45,7 +63,7 @@ TEST(L2P, NeverSpills) {
   for (std::uint64_t uid = 0; uid < 16; ++uid) {
     f.scheme.access(0, block_addr(geo, 0, 0, uid), false, uid * 1000);
   }
-  EXPECT_EQ(f.scheme.stats().spills, 0U);
+  EXPECT_EQ(f.scheme.stats().spills(), 0U);
   for (CoreId c = 0; c < 4; ++c) {
     EXPECT_EQ(f.scheme.slice(c).total_cc_lines(), 0U);
   }
@@ -60,12 +78,12 @@ TEST(L2P, DirtyVictimEntersWbbAndServesDirectRead) {
   for (std::uint64_t uid = 1; uid <= 4; ++uid) {
     f.scheme.access(0, block_addr(geo, 0, 0, uid), false, 1000 * uid);
   }
-  EXPECT_TRUE(f.scheme.wbb(0).read_hit(geo.block_of(dirty)));
+  EXPECT_TRUE(f.scheme.wbb(0).read_hit(geo.block_of(dirty), 4000));
   // A quick re-access is served from the buffer, not DRAM.
-  const auto before = f.scheme.stats().dram_fills;
+  const auto before = f.scheme.stats().dram_fills();
   f.scheme.access(0, dirty, false, 4100);
-  EXPECT_EQ(f.scheme.stats().wbb_direct_reads, 1U);
-  EXPECT_EQ(f.scheme.stats().dram_fills, before);
+  EXPECT_EQ(f.scheme.stats().wbb_direct_reads(), 1U);
+  EXPECT_EQ(f.scheme.stats().dram_fills(), before);
 }
 
 TEST(L2P, SlicesAreIsolated) {
@@ -76,7 +94,7 @@ TEST(L2P, SlicesAreIsolated) {
   // Same block address requested by another core misses its own slice.
   const Cycle done = f.scheme.access(1, a0, false, 1000);
   EXPECT_GT(done, 1300U);
-  EXPECT_EQ(f.scheme.stats().l2_misses, 2U);
+  EXPECT_EQ(f.scheme.stats().l2_misses(), 2U);
 }
 
 struct L2SFixture {
@@ -94,7 +112,7 @@ TEST(L2S, SharedCapacityVisibleToAllCores) {
   // Core 2 hits the line core 0 brought in (shared cache, no coherence
   // separation for read-only data in this multiprogrammed model).
   const Cycle done = f.scheme.access(2, a, false, 1000);
-  EXPECT_EQ(f.scheme.stats().l2_hits, 1U);
+  EXPECT_EQ(f.scheme.stats().l2_hits(), 1U);
   EXPECT_LE(done - 1000, 30U);
 }
 

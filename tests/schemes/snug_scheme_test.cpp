@@ -57,7 +57,7 @@ TEST(Snug, StartsInIdentifyWithNoSpills) {
   EXPECT_EQ(f.scheme->stage(), core::Stage::kIdentify);
   // Overflowing a set during Stage I must not spill.
   for (std::uint64_t uid = 0; uid < 10; ++uid) f.touch(0, 2, uid);
-  EXPECT_EQ(f.scheme->stats().spills, 0U);
+  EXPECT_EQ(f.scheme->stats().spills(), 0U);
 }
 
 TEST(Snug, IdentifiesTakersAndGivers) {
@@ -75,9 +75,9 @@ TEST(Snug, SpillsFromTakerToSameIndexGiver) {
   f.train_taker(0, 4);
   f.train_giver(1, 4);  // peer's same-index set is a giver (Case 1)
   f.finish_identify();
-  const std::uint64_t before = f.scheme->stats().spills;
+  const std::uint64_t before = f.scheme->stats().spills();
   for (std::uint64_t uid = 20; uid < 28; ++uid) f.touch(0, 4, uid);
-  EXPECT_GT(f.scheme->stats().spills, before);
+  EXPECT_GT(f.scheme->stats().spills(), before);
   // Guests live in giver sets only.
   EXPECT_EQ(f.scheme->cc_lines_in_taker_sets(), 0U);
 }
@@ -89,7 +89,7 @@ TEST(Snug, FlippedSpillWhenOnlyBuddyIsGiver) {
   for (CoreId c = 1; c < 4; ++c) f.train_giver(c, 5);
   f.finish_identify();
   for (std::uint64_t uid = 20; uid < 30; ++uid) f.touch(0, 4, uid);
-  EXPECT_GT(f.scheme->stats().spills, 0U);
+  EXPECT_GT(f.scheme->stats().spills(), 0U);
   // Guests must carry f=1 and live in set 5 of some peer.
   bool found_flipped = false;
   for (CoreId c = 1; c < 4; ++c) {
@@ -113,10 +113,10 @@ TEST(Snug, NoSpillWhenEveryPlacementIsTaker) {
     f.train_taker(c, 5);
   }
   f.finish_identify();
-  const std::uint64_t before = f.scheme->stats().spills;
+  const std::uint64_t before = f.scheme->stats().spills();
   for (std::uint64_t uid = 20; uid < 30; ++uid) f.touch(0, 4, uid);
-  EXPECT_EQ(f.scheme->stats().spills, before);
-  EXPECT_GT(f.scheme->stats().spill_no_target, 0U);
+  EXPECT_EQ(f.scheme->stats().spills(), before);
+  EXPECT_GT(f.scheme->stats().spill_no_target(), 0U);
 }
 
 TEST(Snug, FlipDisabledSuppressesFlippedPlacement) {
@@ -125,7 +125,7 @@ TEST(Snug, FlipDisabledSuppressesFlippedPlacement) {
   for (CoreId c = 1; c < 4; ++c) f.train_giver(c, 5);
   f.finish_identify();
   for (std::uint64_t uid = 20; uid < 30; ++uid) f.touch(0, 4, uid);
-  EXPECT_EQ(f.scheme->stats().spills, 0U);
+  EXPECT_EQ(f.scheme->stats().spills(), 0U);
 }
 
 TEST(Snug, RetrieveFindsFlippedGuestAt40Cycles) {
@@ -139,11 +139,11 @@ TEST(Snug, RetrieveFindsFlippedGuestAt40Cycles) {
   for (std::uint64_t uid = 20; uid < 28; ++uid) {
     const Addr a = block_addr(geo, 0, 4, uid);
     if (f.scheme->cc_copies_of(a) == 1) {
-      const auto before = f.scheme->stats().remote_hits;
+      const auto before = f.scheme->stats().remote_hits();
       f.clock += 100'000;  // quiet bus
       f.scheme->tick(f.clock);
       const Cycle done = f.scheme->access(0, a, false, f.clock);
-      EXPECT_EQ(f.scheme->stats().remote_hits, before + 1);
+      EXPECT_EQ(f.scheme->stats().remote_hits(), before + 1);
       EXPECT_EQ(done - f.clock, 40U);  // SNUG remote latency (Section 4.1)
       EXPECT_EQ(f.scheme->cc_copies_of(a), 0U);
       return;
@@ -181,7 +181,7 @@ TEST(Snug, RegroupFlushesGuestsInReclaimedSets) {
   ASSERT_TRUE(f.scheme->gt(1).taker(4));
   EXPECT_FALSE(f.scheme->slice(1).lookup_cc(stranded).found);
   EXPECT_EQ(f.scheme->cc_lines_in_taker_sets(), 0U);
-  EXPECT_GT(f.scheme->stats().cc_flushed, 0U);
+  EXPECT_GT(f.scheme->stats().cc_flushed(), 0U);
 }
 
 TEST(Snug, OnlyTakerSetsSpill) {
@@ -191,9 +191,9 @@ TEST(Snug, OnlyTakerSetsSpill) {
   f.finish_identify();
   // Overflow the giver set: evictions happen but no spilling (the set is
   // not entitled to spill).
-  const std::uint64_t before = f.scheme->stats().spills;
+  const std::uint64_t before = f.scheme->stats().spills();
   for (std::uint64_t uid = 50; uid < 60; ++uid) f.touch(0, 6, uid);
-  EXPECT_EQ(f.scheme->stats().spills, before);
+  EXPECT_EQ(f.scheme->stats().spills(), before);
 }
 
 TEST(Snug, AtMostOneCooperativeCopy) {

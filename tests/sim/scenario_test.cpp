@@ -263,6 +263,34 @@ TEST(Scenario, FingerprintCoversTopologyAndWorkload) {
   EXPECT_EQ(variants.size(), 10U);  // all distinct from each other too
 }
 
+TEST(Scenario, MonitorSampleKnob) {
+  ScenarioSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_scenario("monitor-sample=8", spec, error)) << error;
+  EXPECT_EQ(spec.monitor_sample, 8U);
+  const SystemConfig cfg = spec.system_config();
+  EXPECT_EQ(cfg.scheme_ctx.snug.monitor.sample_period, 8U);
+  EXPECT_EQ(cfg.scheme_ctx.dsr.sample_period, 8U);
+  // The knob round-trips through the canonical spec string...
+  ScenarioSpec reparsed;
+  ASSERT_TRUE(parse_scenario(spec.spec_string(), reparsed, error)) << error;
+  EXPECT_EQ(reparsed.monitor_sample, 8U);
+  // ...but is absent from default (exact) spec strings, whose
+  // fingerprints must stay byte-for-byte what they were before the knob
+  // existed (the eval cache keys on them).
+  EXPECT_EQ(ScenarioSpec::paper().spec_string().find("monitor-sample"),
+            std::string::npos);
+  ASSERT_TRUE(parse_scenario("monitor-sample=1", spec, error)) << error;
+  EXPECT_EQ(scenario_fingerprint(spec),
+            scenario_fingerprint(ScenarioSpec::paper()));
+  ASSERT_TRUE(parse_scenario("monitor-sample=8", spec, error)) << error;
+  EXPECT_NE(scenario_fingerprint(spec),
+            scenario_fingerprint(ScenarioSpec::paper()));
+  // Out-of-range values are rejected with a real message.
+  EXPECT_FALSE(parse_scenario("monitor-sample=0", spec, error));
+  EXPECT_NE(error.find("monitor-sample"), std::string::npos);
+}
+
 TEST(Scenario, SummaryMentionsTopologyAndWorkload) {
   ScenarioSpec spec;
   std::string error;

@@ -57,11 +57,41 @@ TEST(System, L1FiltersMostAccesses) {
   for (CoreId c = 0; c < 4; ++c) {
     const auto& l1 = sys.l1d(c);
     const auto& st = l1.stats();
-    ASSERT_GT(st.accesses, 0U);
+    ASSERT_GT(st.accesses(), 0U);
     const double hit_rate =
-        static_cast<double>(st.hits) / static_cast<double>(st.accesses);
+        static_cast<double>(st.hits()) / static_cast<double>(st.accesses());
     EXPECT_GT(hit_rate, 0.5) << "core " << c;
   }
+}
+
+TEST(System, CounterReportNamesEveryComponent) {
+  const SystemConfig cfg = paper_system_config();
+  CmpSystem sys(cfg, {schemes::SchemeKind::kL2P, 0}, mixed_combo(),
+                tiny_scale());
+  sys.run(50'000);
+  const stats::CounterReport report = sys.counter_report();
+  // bus + dram + 2 L1s per core + scheme + per-core slices.
+  EXPECT_EQ(report.size(), 2U + 2U * 4U + 1U + 4U);
+  std::uint64_t l1d_hits = 0;
+  bool saw_bus_requests = false;
+  for (const auto& comp : report) {
+    EXPECT_FALSE(comp.component.empty());
+    EXPECT_FALSE(comp.counters.empty());
+    for (const auto& [name, value] : comp.counters) {
+      if (comp.component == "bus" && name == "requests") {
+        saw_bus_requests = value > 0;
+      }
+      if (comp.component.rfind("l1d", 0) == 0 && name == "hits") {
+        l1d_hits += value;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_bus_requests);
+  // The named snapshot and the typed accessors view the same words.
+  std::uint64_t accessor_hits = 0;
+  for (CoreId c = 0; c < 4; ++c) accessor_hits += sys.l1d(c).stats().hits();
+  EXPECT_EQ(l1d_hits, accessor_hits);
+  EXPECT_FALSE(stats::render_counter_report(report).empty());
 }
 
 TEST(System, L2SeesTraffic) {
@@ -69,8 +99,8 @@ TEST(System, L2SeesTraffic) {
   CmpSystem sys(cfg, {schemes::SchemeKind::kL2P, 0}, mixed_combo(),
                 tiny_scale());
   sys.run(300'000);
-  EXPECT_GT(sys.scheme().stats().l2_accesses, 1000U);
-  EXPECT_GT(sys.scheme().stats().l2_misses, 0U);
+  EXPECT_GT(sys.scheme().stats().l2_accesses(), 1000U);
+  EXPECT_GT(sys.scheme().stats().l2_misses(), 0U);
 }
 
 TEST(System, SnugInvariantHoldsAfterLongRun) {
@@ -111,7 +141,7 @@ TEST(System, BusSeesTrafficUnderPrivateSchemes) {
   CmpSystem sys(cfg, {schemes::SchemeKind::kL2P, 0}, mixed_combo(),
                 tiny_scale());
   sys.run(100'000);
-  EXPECT_GT(sys.snoop_bus().stats().requests, 0U);
+  EXPECT_GT(sys.snoop_bus().stats().requests(), 0U);
   // The bus must not be hopelessly saturated at the default traffic level.
   EXPECT_LT(sys.snoop_bus().utilisation(100'000), 0.98);
 }

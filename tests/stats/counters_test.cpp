@@ -1,43 +1,111 @@
+// The SoA counter framework (stats/counters.hpp): flat per-component
+// word arrays on the hot path, name-based snapshots only at report time.
 #include "stats/counters.hpp"
 
 #include <gtest/gtest.h>
 
+#include "bus/snoop_bus.hpp"
+#include "cache/cache.hpp"
+#include "cache/wbb.hpp"
+#include "dram/dram.hpp"
+#include "schemes/scheme.hpp"
+
 namespace snug::stats {
 namespace {
 
-TEST(Counters, AddAndValue) {
-  CounterBlock block;
-  block.get("hits").add();
-  block.get("hits").add(4);
-  EXPECT_EQ(block.value("hits"), 5U);
-  EXPECT_EQ(block.value("absent"), 0U);
+struct TestStats final : CounterWords<TestStats, 2> {
+  enum : std::size_t { kAlpha, kBeta };
+  static constexpr std::array<std::string_view, kNumWords> kNames = {
+      "alpha", "beta"};
+  SNUG_COUNTER(alpha, kAlpha)
+  SNUG_COUNTER(beta, kBeta)
+};
+
+TEST(Counters, StartAtZeroAndBump) {
+  TestStats s;
+  EXPECT_EQ(s.alpha(), 0U);
+  ++s.alpha();
+  s.beta() += 41;
+  ++s.beta();
+  EXPECT_EQ(s.alpha(), 1U);
+  EXPECT_EQ(s.beta(), 42U);
 }
 
-TEST(Counters, ResetAll) {
-  CounterBlock block;
-  block.get("a").add(10);
-  block.get("b").add(20);
-  block.reset_all();
-  EXPECT_EQ(block.value("a"), 0U);
-  EXPECT_EQ(block.value("b"), 0U);
+TEST(Counters, ResetZeroesEveryWord) {
+  TestStats s;
+  ++s.alpha();
+  ++s.beta();
+  s.reset();
+  EXPECT_EQ(s.alpha(), 0U);
+  EXPECT_EQ(s.beta(), 0U);
 }
 
-TEST(Counters, SnapshotSortedByName) {
-  CounterBlock block;
-  block.get("z").add(1);
-  block.get("a").add(2);
-  const auto snap = block.snapshot();
+TEST(Counters, SnapshotPairsNamesWithValues) {
+  TestStats s;
+  s.alpha() += 3;
+  s.beta() += 7;
+  const Snapshot snap = s.snapshot();
   ASSERT_EQ(snap.size(), 2U);
-  EXPECT_EQ(snap[0].first, "a");
-  EXPECT_EQ(snap[1].first, "z");
+  EXPECT_EQ(snap[0].first, "alpha");
+  EXPECT_EQ(snap[0].second, 3U);
+  EXPECT_EQ(snap[1].first, "beta");
+  EXPECT_EQ(snap[1].second, 7U);
 }
 
-TEST(Counters, ReferenceStaysValid) {
-  CounterBlock block;
-  Counter& c = block.get("x");
-  block.get("y").add(1);  // must not invalidate c (std::map stability)
-  c.add(3);
-  EXPECT_EQ(block.value("x"), 3U);
+TEST(Counters, WordsExposeTheRawSoaArray) {
+  TestStats s;
+  ++s.beta();
+  EXPECT_EQ(s.words()[TestStats::kBeta], 1U);
+  EXPECT_EQ(s.words().size(), TestStats::kNumWords);
+}
+
+// Every component block must name every word — a mismatch is a
+// compile-time error via the static_assert in snapshot(); this pins the
+// runtime shape for the blocks the report pipeline aggregates.
+TEST(Counters, ComponentBlocksSnapshotCompletely) {
+  EXPECT_EQ(bus::BusStats{}.snapshot().size(), bus::BusStats::kNumWords);
+  EXPECT_EQ(dram::DramStats{}.snapshot().size(),
+            dram::DramStats::kNumWords);
+  EXPECT_EQ(cache::WbbStats{}.snapshot().size(),
+            cache::WbbStats::kNumWords);
+  EXPECT_EQ(cache::CacheStats{}.snapshot().size(),
+            cache::CacheStats::kNumWords);
+  EXPECT_EQ(schemes::SchemeStats{}.snapshot().size(),
+            schemes::SchemeStats::kNumWords);
+}
+
+// Aggregates that are pure sums are derived at report time, not stored.
+TEST(Counters, DerivedAggregatesAreSums) {
+  cache::CacheStats c;
+  c.hits() += 5;
+  c.misses() += 2;
+  EXPECT_EQ(c.accesses(), 7U);
+
+  schemes::SchemeStats s;
+  s.l2_hits() += 4;
+  s.l2_misses() += 9;
+  EXPECT_EQ(s.l2_accesses(), 13U);
+}
+
+TEST(Counters, BusOpIndexedWordsMatchNamedAccessors) {
+  bus::BusStats b;
+  ++b.op_count(bus::BusOp::kRequest);
+  ++b.op_count(bus::BusOp::kSpill);
+  ++b.op_count(bus::BusOp::kSpill);
+  EXPECT_EQ(b.requests(), 1U);
+  EXPECT_EQ(b.data_blocks(), 0U);
+  EXPECT_EQ(b.spills(), 2U);
+}
+
+TEST(Counters, RenderCounterReportAlignsAndPrefixes) {
+  TestStats s;
+  s.alpha() += 12;
+  CounterReport report;
+  report.push_back({"unit", s.snapshot()});
+  const std::string text = render_counter_report(report);
+  EXPECT_NE(text.find("unit.alpha"), std::string::npos);
+  EXPECT_NE(text.find("12"), std::string::npos);
+  EXPECT_NE(text.find("unit.beta"), std::string::npos);
 }
 
 }  // namespace
