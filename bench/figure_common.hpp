@@ -53,6 +53,31 @@ inline bool handle_grid_listings(CliArgs& args,
   if (dry_run) {
     for (const auto& spec : sweep) {
       std::fputs(sim::describe_grid(spec).c_str(), stdout);
+      // Resolved warm-up plan: under warmup-mode=functional each campaign
+      // point either restores its warm prefix from the warm-state bank
+      // (hit) or warms functionally once and banks the checkpoint (miss).
+      // The probe is header-validated only, so a predicted hit can still
+      // fall back to a fresh warm-up if the entry turns out torn.
+      const bool functional = spec.scenario.scale.warmup_mode ==
+                              sim::WarmupMode::kFunctional;
+      std::printf("warm-up mode: %s%s\n",
+                  functional ? "functional" : "timing",
+                  functional
+                      ? strf(" (bank %s)",
+                             sim::default_warm_bank_dir().c_str())
+                            .c_str()
+                      : " (warm-state bank inactive)");
+      if (functional) {
+        const sim::ExperimentRunner probe(spec.scenario, /*cache_dir=*/"");
+        for (const auto& combo : spec.combos()) {
+          for (const auto& scheme : spec.schemes) {
+            std::printf("  %-24s %-10s warm bank %s\n", combo.name.c_str(),
+                        scheme.id().c_str(),
+                        probe.warm_state_banked(combo, scheme) ? "hit"
+                                                               : "miss");
+          }
+        }
+      }
     }
   }
   return list_schemes || list_combos || dry_run;

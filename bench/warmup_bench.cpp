@@ -1,0 +1,343 @@
+// Warm-up bench — the measurement device behind the ISSUE 6 functional
+// fast-forward warm-up and the fingerprint-keyed warm-state bank.  Three
+// tiers, each one full campaign point (machine build + warm-up + measured
+// window) on the same 8-core scenario, interleaved round-robin and
+// reported best-of-N so OS noise cannot favour a tier:
+//
+//   cold       — full-timing warm-up (warmup-mode=timing): CmpSystem::run
+//                drives the core pipeline, bus, DRAM and write-back
+//                buffers through the whole warm-up window.
+//   functional — fast-forward warm-up (warmup-mode=functional):
+//                CmpSystem::warm_functional drives cache contents and
+//                scheme state against shadow bus/DRAM models, skipping
+//                the timing machinery wholesale.
+//   bank       — warm-state bank hit: the checkpoint a functional warm-up
+//                stored under its warm fingerprint is loaded and restored
+//                (bit-identical to re-warming, pinned by
+//                tests/sim/warm_state_test.cpp), then measured.
+//
+// The measured windows are reported too: per-core IPC deltas functional
+// vs cold (statistical closeness) and bank vs functional (exact — the
+// restore is bit-identical in-process).
+//
+// The bench also records the monitor-sampling IPC sensitivity table the
+// 16-core scaling configurations rely on (ISSUE 6 satellite): the same
+// 16-core point under monitor-sample=1 (exact) and monitor-sample=8 (the
+// sampled monitors the scaling study runs), per-core measured IPC side
+// by side.
+//
+// --json-out=FILE writes one JSON record tagged with --label;
+// BENCH_warmup.json at the repo root keeps the recorded tiers
+// (scripts/check_bench_regression.py gates the speedups).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/str.hpp"
+#include "schemes/factory.hpp"
+#include "sim/scenario.hpp"
+#include "sim/system.hpp"
+#include "sim/warm_state.hpp"
+
+namespace {
+
+using namespace snug;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+/// One campaign point: everything a grid task pays per (combo, scheme)
+/// cell — machine build, warm-up in the requested mode, measured window.
+struct PointResult {
+  double seconds = 0.0;
+  std::vector<double> ipc;
+  std::uint64_t checksum = 0;
+};
+
+enum class WarmTier { kCold, kFunctional, kBank };
+
+PointResult run_point(const sim::SystemConfig& cfg,
+                      const schemes::SchemeSpec& spec,
+                      const trace::WorkloadCombo& combo,
+                      const sim::RunScale& scale, WarmTier tier,
+                      const sim::WarmStateBank* bank,
+                      const std::string& bank_key,
+                      std::uint64_t fingerprint) {
+  PointResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::CmpSystem sys(cfg, spec, combo, scale);
+  switch (tier) {
+    case WarmTier::kCold:
+      sys.run(scale.warmup_cycles);
+      break;
+    case WarmTier::kFunctional:
+      sys.warm_functional(scale.warmup_cycles);
+      break;
+    case WarmTier::kBank: {
+      std::vector<std::byte> blob;
+      SNUG_REQUIRE_MSG(bank != nullptr && bank->load(bank_key, fingerprint, blob),
+                       "warm-state bank miss for key '%s'", bank_key.c_str());
+      sys.load_warm_state(blob);
+      break;
+    }
+  }
+  sys.begin_measurement();
+  sys.run(scale.measure_cycles);
+  out.seconds = seconds_since(t0);
+  out.ipc = sys.measured_ipc();
+  out.checksum = sys.now();
+  for (const double v : out.ipc) {
+    out.checksum += static_cast<std::uint64_t>(v * 1e6);
+  }
+  return out;
+}
+
+/// Largest per-core relative IPC difference between two measured windows.
+double max_rel_delta(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  SNUG_ENSURE(a.size() == b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]) / a[i]);
+  }
+  return worst;
+}
+
+std::string join_doubles(const std::vector<double>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out += strf(i == 0 ? "%.4f" : ", %.4f", v[i]);
+  }
+  return out;
+}
+
+/// Monitor-sampling sensitivity: the 16-core scaling point measured under
+/// exact monitors and under the 1-in-8 sampling the scaling study uses.
+struct SenseResult {
+  std::vector<double> ipc_exact;
+  std::vector<double> ipc_sampled;
+  double max_delta = 0.0;
+};
+
+SenseResult monitor_sense(const sim::ScenarioSpec& base, Cycle warm,
+                          Cycle measure, std::uint64_t& checksum) {
+  SenseResult out;
+  for (const std::uint32_t sample : {1U, 8U}) {
+    sim::ScenarioSpec spec = base;
+    spec.monitor_sample = sample;
+    spec.scale.warmup_cycles = warm;
+    spec.scale.measure_cycles = measure;
+    const auto combos = spec.combos();
+    SNUG_REQUIRE_MSG(!combos.empty(), "sense scenario expands to no combos");
+    schemes::SchemeSpec snug;
+    SNUG_ENSURE(schemes::parse_scheme_id("SNUG", snug));
+    sim::CmpSystem sys(spec.system_config(), snug, combos.front(),
+                       spec.scale);
+    sys.run(warm);
+    sys.begin_measurement();
+    sys.run(measure);
+    checksum += sys.now();
+    (sample == 1 ? out.ipc_exact : out.ipc_sampled) = sys.measured_ipc();
+  }
+  out.max_delta = max_rel_delta(out.ipc_exact, out.ipc_sampled);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snug;
+  CliArgs args(argc, argv);
+  const std::string scenario_text = args.get_string(
+      "scenario",
+      "name=warm8 cores=8 workload=2A+1B+1C warmup-mode=functional",
+      "campaign-point scenario spec");
+  const std::string scheme_id = args.get_string(
+      "scheme", "SNUG", "L2 organisation for the campaign point");
+  const std::int64_t warm = args.get_int(
+      "warmup-cycles", 1'500'000, "warm-up window (core cycles)");
+  const std::int64_t measure = args.get_int(
+      "measure-cycles", 150'000, "measured window (core cycles)");
+  const std::int64_t rounds = args.get_int(
+      "rounds", 5, "interleaved repetitions per tier (best-of)");
+  const std::string sense_text = args.get_string(
+      "sense-scenario", "name=sense16 cores=16 workload=2A+1B+1C",
+      "monitor-sampling sensitivity scenario (16-core scaling point)");
+  // Defaults cross the 1.5 M-cycle Stage I identification epoch: the
+  // sampled monitors only influence simulated numbers through harvest
+  // decisions, so a shorter window would compare two identical machines.
+  const std::int64_t sense_warm = args.get_int(
+      "sense-warmup-cycles", 1'600'000, "sensitivity warm-up (core cycles)");
+  const std::int64_t sense_measure = args.get_int(
+      "sense-measure-cycles", 400'000, "sensitivity window (core cycles)");
+  const std::string bank_dir = args.get_string(
+      "bank-dir", "warmup_bench.bank",
+      "warm-state bank directory (recreated fresh each run)");
+  const std::string json_out = args.get_string(
+      "json-out", "", "write the results as one JSON record to this file");
+  const std::string label = args.get_string(
+      "label", "run", "label stored in the JSON record");
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+  args.check_unknown();
+
+  sim::ScenarioSpec scenario;
+  std::string err;
+  if (!sim::parse_scenario(scenario_text, scenario, err)) {
+    std::fprintf(stderr, "warmup_bench: bad --scenario: %s\n", err.c_str());
+    return 1;
+  }
+  sim::ScenarioSpec sense_scenario;
+  if (!sim::parse_scenario(sense_text, sense_scenario, err)) {
+    std::fprintf(stderr, "warmup_bench: bad --sense-scenario: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  schemes::SchemeSpec scheme;
+  if (!schemes::parse_scheme_id(scheme_id, scheme)) {
+    std::fprintf(stderr, "warmup_bench: unknown --scheme '%s'\n",
+                 scheme_id.c_str());
+    return 1;
+  }
+
+  const sim::SystemConfig cfg = scenario.system_config();
+  const auto combos = scenario.combos();
+  SNUG_REQUIRE_MSG(!combos.empty(), "scenario expands to no combos");
+  const trace::WorkloadCombo combo = combos.front();
+
+  sim::RunScale timing_scale = scenario.scale;
+  timing_scale.warmup_cycles = static_cast<Cycle>(warm);
+  timing_scale.measure_cycles = static_cast<Cycle>(measure);
+  timing_scale.warmup_mode = sim::WarmupMode::kTiming;
+  sim::RunScale functional_scale = timing_scale;
+  functional_scale.warmup_mode = sim::WarmupMode::kFunctional;
+
+  // Populate the bank once — the cost every campaign shares across all
+  // points with the same warm prefix, paid outside the per-point timers
+  // exactly as ExperimentRunner amortises it.
+  std::filesystem::remove_all(bank_dir);
+  sim::WarmStateBank bank(bank_dir);
+  const std::uint64_t fingerprint =
+      sim::warm_fingerprint(cfg, functional_scale, combo, scheme);
+  const std::string bank_key = combo.name + "." + scheme_id;
+  {
+    sim::CmpSystem sys(cfg, scheme, combo, functional_scale);
+    sys.warm_functional(functional_scale.warmup_cycles);
+    bank.store(bank_key, fingerprint, sys.save_warm_state());
+  }
+
+  std::uint64_t checksum = 0;
+  double cold_sec = 1e300;
+  double functional_sec = 1e300;
+  double bank_sec = 1e300;
+  std::vector<double> cold_ipc;
+  std::vector<double> functional_ipc;
+  std::vector<double> bank_ipc;
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    const PointResult cold = run_point(cfg, scheme, combo, timing_scale,
+                                       WarmTier::kCold, nullptr, "", 0);
+    const PointResult func =
+        run_point(cfg, scheme, combo, functional_scale,
+                  WarmTier::kFunctional, nullptr, "", 0);
+    const PointResult bnk =
+        run_point(cfg, scheme, combo, functional_scale, WarmTier::kBank,
+                  &bank, bank_key, fingerprint);
+    cold_sec = std::min(cold_sec, cold.seconds);
+    functional_sec = std::min(functional_sec, func.seconds);
+    bank_sec = std::min(bank_sec, bnk.seconds);
+    if (r == 0) {
+      cold_ipc = cold.ipc;
+      functional_ipc = func.ipc;
+      bank_ipc = bnk.ipc;
+    }
+    checksum += cold.checksum + func.checksum + bnk.checksum;
+  }
+  const double speedup_functional = cold_sec / functional_sec;
+  const double speedup_bank = cold_sec / bank_sec;
+  const double ipc_delta_functional = max_rel_delta(cold_ipc, functional_ipc);
+  const double ipc_delta_bank = max_rel_delta(functional_ipc, bank_ipc);
+
+  const SenseResult sense =
+      monitor_sense(sense_scenario, static_cast<Cycle>(sense_warm),
+                    static_cast<Cycle>(sense_measure), checksum);
+
+  std::printf("warmup_bench — %s, scheme %s, combo %s\n",
+              scenario.summary().c_str(), scheme_id.c_str(),
+              combo.name.c_str());
+  std::printf("warm %lld + measure %lld cycles, best of %lld interleaved\n",
+              static_cast<long long>(warm), static_cast<long long>(measure),
+              static_cast<long long>(rounds));
+  std::printf("%-24s %10s %10s\n", "tier", "seconds", "speedup");
+  std::printf("%-24s %10.3f %10s\n", "cold (timing warm-up)", cold_sec, "1.00x");
+  std::printf("%-24s %10.3f %9.2fx\n", "functional warm-up", functional_sec,
+              speedup_functional);
+  std::printf("%-24s %10.3f %9.2fx\n", "warm-state bank hit", bank_sec,
+              speedup_bank);
+  std::printf("measured IPC delta: functional vs cold %.4f, "
+              "bank vs functional %.6f\n",
+              ipc_delta_functional, ipc_delta_bank);
+  std::printf("monitor-sample sensitivity (%s, warm %lld + measure %lld):\n",
+              sense_scenario.summary().c_str(),
+              static_cast<long long>(sense_warm),
+              static_cast<long long>(sense_measure));
+  std::printf("  sample=1 IPC [%s]\n", join_doubles(sense.ipc_exact).c_str());
+  std::printf("  sample=8 IPC [%s]\n",
+              join_doubles(sense.ipc_sampled).c_str());
+  std::printf("  max per-core delta %.4f\n", sense.max_delta);
+  std::printf("(checksum %llu)\n",
+              static_cast<unsigned long long>(checksum));
+
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warmup_bench: cannot write %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"label\": \"%s\",\n"
+                 "  \"scenario\": \"%s\",\n"
+                 "  \"scheme\": \"%s\",\n"
+                 "  \"warmup_cycles\": %lld,\n"
+                 "  \"measure_cycles\": %lld,\n"
+                 "  \"rounds\": %lld,\n"
+                 "  \"cold_sec\": %.4f,\n"
+                 "  \"functional_sec\": %.4f,\n"
+                 "  \"bank_sec\": %.4f,\n"
+                 "  \"speedup_functional_vs_cold\": %.3f,\n"
+                 "  \"speedup_bank_vs_cold\": %.3f,\n"
+                 "  \"ipc_delta_functional_vs_cold\": %.4f,\n"
+                 "  \"ipc_delta_bank_vs_functional\": %.6f,\n"
+                 "  \"sense_scenario\": \"%s\",\n"
+                 "  \"sense_warmup_cycles\": %lld,\n"
+                 "  \"sense_measure_cycles\": %lld,\n"
+                 "  \"sense_ipc_sample1\": [%s],\n"
+                 "  \"sense_ipc_sample8\": [%s],\n"
+                 "  \"sense_ipc_delta_max\": %.4f,\n"
+                 "  \"checksum\": %llu\n"
+                 "}\n",
+                 label.c_str(), scenario_text.c_str(), scheme_id.c_str(),
+                 static_cast<long long>(warm),
+                 static_cast<long long>(measure),
+                 static_cast<long long>(rounds), cold_sec, functional_sec,
+                 bank_sec, speedup_functional, speedup_bank,
+                 ipc_delta_functional, ipc_delta_bank, sense_text.c_str(),
+                 static_cast<long long>(sense_warm),
+                 static_cast<long long>(sense_measure),
+                 join_doubles(sense.ipc_exact).c_str(),
+                 join_doubles(sense.ipc_sampled).c_str(), sense.max_delta,
+                 static_cast<unsigned long long>(checksum));
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -1,74 +1,135 @@
 #!/usr/bin/env python3
-"""Gate the hot-path bench against the committed BENCH baseline.
+"""Gate bench records against their committed BENCH baselines.
 
 Usage:
-    check_bench_regression.py MEASURED.json BASELINE.json [--min-ratio R]
+    check_bench_regression.py MEASURED.json BASELINE.json \
+        [MEASURED2.json BASELINE2.json ...] [--min-ratio R]
 
-MEASURED.json is a fresh `hot_path_bench --json-out` record.  BASELINE.json
-is a committed BENCH_*.json file whose `baseline` object holds the
-reference numbers (the slower, pre-refactor side — deliberately: CI runner
-hardware differs from the machine that produced the baseline, and gating
-against the pre numbers leaves that headroom while still catching real
-regressions).  The gate checks the end-to-end run tier — the number every
-campaign cycle actually pays:
+Positional arguments are (measured, baseline) pairs: each MEASURED.json
+is a fresh `--json-out` record from one of the bench executables, each
+BASELINE.json a committed BENCH_*.json whose `baseline` object (or the
+record itself) holds the reference numbers — the slower, pre-refactor
+side, deliberately: CI runner hardware differs from the machine that
+produced the baseline, and gating against the pre numbers leaves that
+headroom while still catching real regressions.
 
-    system_run_instr_per_sec      (the --scheme machine, default SNUG)
-    system_run_l2p_instr_per_sec  (the L2P machine)
+Two record kinds are recognised by shape:
 
-and fails when either falls below min-ratio x baseline (default 0.9,
-i.e. a >10% regression).  Exit codes: 0 pass, 1 regression, 2 bad input.
+  hot-path records (hot_path_bench): the end-to-end run tier — the
+  number every campaign cycle actually pays —
+
+      system_run_instr_per_sec      (the --scheme machine, default SNUG)
+      system_run_l2p_instr_per_sec  (the L2P machine)
+
+  fails when either falls below min-ratio x baseline (default 0.9,
+  i.e. a >10% regression).
+
+  warm-up records (warmup_bench, detected by `speedup_bank_vs_cold`):
+  gated on absolute tiers rather than hardware-relative ratios —
+
+      speedup_bank_vs_cold          >= 1.6   (the ISSUE 6 acceptance bar)
+      ipc_delta_functional_vs_cold  <= 0.25  (equivalence-test band)
+      ipc_delta_bank_vs_functional  == 0.0   (restore is bit-identical)
+
+Exit codes: 0 pass, 1 regression, 2 bad input.
 """
 
 import argparse
 import json
 import sys
 
-GATED_KEYS = ("system_run_instr_per_sec", "system_run_l2p_instr_per_sec")
+HOTPATH_KEYS = ("system_run_instr_per_sec", "system_run_l2p_instr_per_sec")
+
+WARMUP_MIN_BANK_SPEEDUP = 1.6
+WARMUP_MAX_FUNCTIONAL_IPC_DELTA = 0.25
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def gate_hotpath(measured, baseline, min_ratio):
+    failures = []
+    for key in HOTPATH_KEYS:
+        ref = baseline.get(key)
+        got = measured.get(key)
+        if not isinstance(ref, (int, float)) or ref <= 0:
+            raise ValueError(f"baseline lacks {key}")
+        if not isinstance(got, (int, float)) or got <= 0:
+            raise ValueError(f"measurement lacks {key}")
+        ratio = got / ref
+        status = "OK " if ratio >= min_ratio else "REGRESSION"
+        print(f"{status} {key}: measured {got:,.0f} / baseline {ref:,.0f} "
+              f"= {ratio:.3f} (floor {min_ratio:.2f})")
+        if ratio < min_ratio:
+            failures.append(key)
+    return failures
+
+
+def gate_warmup(measured):
+    checks = (
+        ("speedup_bank_vs_cold", lambda v: v >= WARMUP_MIN_BANK_SPEEDUP,
+         f">= {WARMUP_MIN_BANK_SPEEDUP}"),
+        ("ipc_delta_functional_vs_cold",
+         lambda v: v <= WARMUP_MAX_FUNCTIONAL_IPC_DELTA,
+         f"<= {WARMUP_MAX_FUNCTIONAL_IPC_DELTA}"),
+        ("ipc_delta_bank_vs_functional", lambda v: v == 0.0, "== 0"),
+    )
+    failures = []
+    for key, ok, bound in checks:
+        got = measured.get(key)
+        if not isinstance(got, (int, float)):
+            raise ValueError(f"measurement lacks {key}")
+        status = "OK " if ok(got) else "REGRESSION"
+        print(f"{status} {key}: measured {got} (require {bound})")
+        if not ok(got):
+            failures.append(key)
+    return failures
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("measured", help="fresh hot_path_bench --json-out record")
-    parser.add_argument("baseline", help="committed BENCH_*.json with a 'baseline' object")
+    parser.add_argument("files", nargs="+",
+                        help="(measured, baseline) JSON file pairs")
     parser.add_argument(
         "--min-ratio",
         type=float,
         default=0.9,
-        help="fail when measured/baseline drops below this (default 0.9)",
+        help="hot-path gate: fail when measured/baseline drops below this "
+             "(default 0.9)",
     )
     args = parser.parse_args()
-
-    try:
-        with open(args.measured) as f:
-            measured = json.load(f)
-        with open(args.baseline) as f:
-            baseline_file = json.load(f)
-    except (OSError, json.JSONDecodeError) as err:
-        print(f"check_bench_regression: cannot read inputs: {err}", file=sys.stderr)
+    if len(args.files) % 2 != 0:
+        print("check_bench_regression: arguments must be "
+              "(measured, baseline) pairs", file=sys.stderr)
         return 2
 
-    baseline = baseline_file.get("baseline", baseline_file)
     failures = []
-    for key in GATED_KEYS:
-        ref = baseline.get(key)
-        got = measured.get(key)
-        if not isinstance(ref, (int, float)) or ref <= 0:
-            print(f"check_bench_regression: baseline lacks {key}", file=sys.stderr)
+    for i in range(0, len(args.files), 2):
+        measured_path, baseline_path = args.files[i], args.files[i + 1]
+        try:
+            measured = load(measured_path)
+            baseline_file = load(baseline_path)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"check_bench_regression: cannot read inputs: {err}",
+                  file=sys.stderr)
             return 2
-        if not isinstance(got, (int, float)) or got <= 0:
-            print(f"check_bench_regression: measurement lacks {key}", file=sys.stderr)
+        baseline = baseline_file.get("baseline", baseline_file)
+        print(f"-- {measured_path} vs {baseline_path}")
+        try:
+            if "speedup_bank_vs_cold" in measured:
+                failed = gate_warmup(measured)
+            else:
+                failed = gate_hotpath(measured, baseline, args.min_ratio)
+        except ValueError as err:
+            print(f"check_bench_regression: {err}", file=sys.stderr)
             return 2
-        ratio = got / ref
-        status = "OK " if ratio >= args.min_ratio else "REGRESSION"
-        print(f"{status} {key}: measured {got:,.0f} / baseline {ref:,.0f} = {ratio:.3f} "
-              f"(floor {args.min_ratio:.2f})")
-        if ratio < args.min_ratio:
-            failures.append(key)
+        failures.extend(failed)
 
     if failures:
-        print(f"check_bench_regression: run tier regressed >"
-              f"{(1 - args.min_ratio) * 100:.0f}% on: {', '.join(failures)}",
-              file=sys.stderr)
+        print(f"check_bench_regression: gate failed on: "
+              f"{', '.join(failures)}", file=sys.stderr)
         return 1
     return 0
 

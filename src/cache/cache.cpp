@@ -1,5 +1,7 @@
 #include "cache/cache.hpp"
 
+#include <cstring>
+
 #include "common/require.hpp"
 
 namespace snug::cache {
@@ -136,6 +138,14 @@ std::uint64_t SetAssocCache::total_cc_lines() const noexcept {
     n += set_view(s).cc_count();
   }
   return n;
+}
+
+void SetAssocCache::export_state(std::byte* out) const noexcept {
+  std::memcpy(out, arena_, state_bytes());
+}
+
+void SetAssocCache::import_state(const std::byte* in) noexcept {
+  std::memcpy(arena_, in, state_bytes());
 }
 
 }  // namespace snug::cache

@@ -192,6 +192,21 @@ class SetAssocCache {
   /// Total valid cooperative lines (invariant checks).
   [[nodiscard]] std::uint64_t total_cc_lines() const noexcept;
 
+  // ------------------------------------------------------------ warm state
+
+  /// Byte size of the serializable arena image (num_sets x set stride).
+  [[nodiscard]] std::size_t state_bytes() const noexcept {
+    return std::size_t{geo_.num_sets()} * set_stride_;
+  }
+
+  /// Copies the whole AoSoA arena (tags, occupancy, guest counts, meta,
+  /// replacement state) out of / back into the cache, bit-exactly.  The
+  /// image is only meaningful for a cache of identical geometry and
+  /// replacement kind — the warm-state bank guards this with its
+  /// fingerprint (sim/warm_state.hpp).
+  void export_state(std::byte* out) const noexcept;
+  void import_state(const std::byte* in) noexcept;
+
  private:
   /// Byte offsets of the runs inside one set block (tags sit at 0; the
   /// occupancy word follows the tag run so both stay 8-byte aligned).

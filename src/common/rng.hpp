@@ -96,6 +96,13 @@ class Rng {
     }
   }
 
+  /// Raw xoshiro lanes, for warm-state serialization (sim/warm_state):
+  /// restoring the lanes resumes the stream draw-for-draw.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return s_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept { s_ = s; }
+
  private:
   static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,101 @@
+// Flat binary state serialization for warm-state checkpoints.
+//
+// StateWriter appends trivially-copyable values and sized vectors to one
+// contiguous byte buffer; StateReader walks the same sequence back.  The
+// format carries no per-field tags: writer and reader must execute the
+// SAME field sequence, which every save_state/load_state pair in this
+// repo guarantees by construction (each is the mirror image of the
+// other, in one file).  Integrity against torn or stale files is NOT
+// this layer's job — the warm-state bank (sim/warm_state.hpp) guards
+// whole blobs with a fingerprinted header and an exact payload size, so
+// a reader only ever sees bytes produced by the matching writer
+// sequence.  Reads past the end are programming errors and fail the
+// SNUG_ENSURE invariants.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace snug {
+
+class StateWriter {
+ public:
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void bytes(const std::byte* p, std::size_t n) {
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  /// Length-prefixed (u64) element run.
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    pod(static_cast<std::uint64_t>(v.size()));
+    bytes(reinterpret_cast<const std::byte*>(v.data()),
+          v.size() * sizeof(T));
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& data() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::byte> take() noexcept {
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class StateReader {
+ public:
+  StateReader(const std::byte* data, std::size_t size) noexcept
+      : p_(data), end_(data + size) {}
+  explicit StateReader(const std::vector<std::byte>& buf) noexcept
+      : StateReader(buf.data(), buf.size()) {}
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    SNUG_ENSURE(remaining() >= sizeof(T));
+    T v;
+    std::memcpy(&v, p_, sizeof(T));
+    p_ += sizeof(T);
+    return v;
+  }
+
+  void bytes(std::byte* out, std::size_t n) {
+    SNUG_ENSURE(remaining() >= n);
+    std::memcpy(out, p_, n);
+    p_ += n;
+  }
+
+  template <typename T>
+  std::vector<T> vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto count = pod<std::uint64_t>();
+    SNUG_ENSURE(remaining() >= count * sizeof(T));
+    std::vector<T> v(count);
+    bytes(reinterpret_cast<std::byte*>(v.data()), count * sizeof(T));
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+ private:
+  const std::byte* p_;
+  const std::byte* end_;
+};
+
+}  // namespace snug

@@ -57,6 +57,15 @@ class SnugController {
 
   void reset(Cycle now = 0);
 
+  /// Warm-state restore: puts the state machine exactly where a prior run
+  /// left it (stage, the absolute cycle its stage ends, completed-period
+  /// count) without firing either callback.
+  void restore(Stage stage, Cycle boundary, std::uint64_t periods) noexcept {
+    stage_ = stage;
+    boundary_ = boundary;
+    periods_ = periods;
+  }
+
  private:
   EpochConfig cfg_;
   Stage stage_ = Stage::kIdentify;

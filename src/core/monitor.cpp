@@ -71,4 +71,39 @@ void CapacityMonitor::reset() {
   sampler_.reset();
 }
 
+void CapacityMonitor::save_state(StateWriter& w) const {
+  std::vector<std::byte> shadow(shadows_.state_bytes());
+  shadows_.export_state(shadow.data());
+  w.vec(shadow);
+  std::vector<std::uint32_t> values(cfg_.num_sets);
+  for (SetIndex s = 0; s < cfg_.num_sets; ++s) {
+    values[s] = counters_[s].value();
+  }
+  w.vec(values);
+  for (SetIndex s = 0; s < cfg_.num_sets; ++s) {
+    values[s] = dividers_[s].count();
+  }
+  w.vec(values);
+  w.pod(static_cast<std::uint8_t>(counting_));
+  w.vec(sampler_.event_indices());
+}
+
+void CapacityMonitor::load_state(StateReader& r) {
+  const auto shadow = r.vec<std::byte>();
+  SNUG_ENSURE(shadow.size() == shadows_.state_bytes());
+  shadows_.import_state(shadow.data());
+  auto values = r.vec<std::uint32_t>();
+  SNUG_ENSURE(values.size() == cfg_.num_sets);
+  for (SetIndex s = 0; s < cfg_.num_sets; ++s) {
+    counters_[s].set_value(values[s]);
+  }
+  values = r.vec<std::uint32_t>();
+  SNUG_ENSURE(values.size() == cfg_.num_sets);
+  for (SetIndex s = 0; s < cfg_.num_sets; ++s) {
+    dividers_[s].set_count(values[s]);
+  }
+  counting_ = r.pod<std::uint8_t>() != 0;
+  sampler_.set_event_indices(r.vec<std::uint32_t>());
+}
+
 }  // namespace snug::core

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/state_io.hpp"
 #include "core/gt_vector.hpp"
 #include "core/saturating_counter.hpp"
 #include "core/shadow_set.hpp"
@@ -88,6 +89,14 @@ class CapacityMonitor {
   [[nodiscard]] const MonitorConfig& config() const noexcept { return cfg_; }
 
   void reset();
+
+  /// Warm-state serialization: shadow tags, counter values, divider
+  /// phases, the counting flag and the sampler cursors round-trip
+  /// bit-exactly for a monitor of identical MonitorConfig (guarded by
+  /// the warm-state bank fingerprint).  Event stats are NOT saved — the
+  /// measurement boundary resets them in both the save and restore path.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   MonitorConfig cfg_;

@@ -50,6 +50,12 @@ class SaturatingCounter {
 
   [[nodiscard]] std::uint32_t value() const noexcept { return value_; }
 
+  /// Warm-state restore; the value must fit the counter's k bits.
+  void set_value(std::uint32_t v) noexcept {
+    SNUG_REQUIRE(v <= (1U << k_) - 1);
+    value_ = v;
+  }
+
   /// Back to the starting point: 2^(k-1) - 1 (paper) or 2^(k-1) (biased).
   void reset() noexcept {
     value_ = (1U << (k_ - 1)) - (taker_biased_ ? 0 : 1);
@@ -79,6 +85,13 @@ class ModPCounter {
 
   void reset() noexcept { count_ = 0; }
   [[nodiscard]] std::uint32_t p() const noexcept { return p_; }
+  [[nodiscard]] std::uint32_t count() const noexcept { return count_; }
+
+  /// Warm-state restore; the phase must be inside the divider period.
+  void set_count(std::uint32_t c) noexcept {
+    SNUG_REQUIRE(c < p_);
+    count_ = c;
+  }
 
  private:
   std::uint32_t p_;

@@ -1,6 +1,7 @@
 #include "core/shadow_set.hpp"
 
 #include <bit>
+#include <cstring>
 
 #include "common/bitutil.hpp"
 #include "common/require.hpp"
@@ -82,6 +83,14 @@ void ShadowSetArray::clear() {
 std::uint32_t ShadowSetArray::valid_count(SetIndex set) const noexcept {
   SNUG_REQUIRE(set < num_sets_);
   return static_cast<std::uint32_t>(std::popcount(*valid_word(set)));
+}
+
+void ShadowSetArray::export_state(std::byte* out) const noexcept {
+  std::memcpy(out, arena_, state_bytes());
+}
+
+void ShadowSetArray::import_state(const std::byte* in) noexcept {
+  std::memcpy(arena_, in, state_bytes());
 }
 
 }  // namespace snug::core

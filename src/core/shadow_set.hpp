@@ -55,6 +55,15 @@ class ShadowSetArray {
   [[nodiscard]] std::uint32_t num_sets() const noexcept { return num_sets_; }
   [[nodiscard]] std::uint32_t assoc() const noexcept { return assoc_; }
 
+  /// Byte size of the serializable arena image (num_sets x stride); the
+  /// image round-trips bit-exactly through export_state -> import_state
+  /// for an array of identical shape (see sim/warm_state.hpp).
+  [[nodiscard]] std::size_t state_bytes() const noexcept {
+    return std::size_t{num_sets_} * stride_;
+  }
+  void export_state(std::byte* out) const noexcept;
+  void import_state(const std::byte* in) noexcept;
+
  private:
   /// One set's block: tags at offset 0, then the valid word, then ranks.
   [[nodiscard]] std::byte* block(SetIndex set) const noexcept {

@@ -44,6 +44,16 @@ class WindowSampler {
     event_index_.assign(event_index_.size(), 0);
   }
 
+  /// Per-lane event cursors, for warm-state serialization.
+  [[nodiscard]] const std::vector<std::uint32_t>& event_indices()
+      const noexcept {
+    return event_index_;
+  }
+  void set_event_indices(const std::vector<std::uint32_t>& idx) {
+    SNUG_REQUIRE(idx.size() == event_index_.size());
+    event_index_ = idx;
+  }
+
  private:
   std::uint32_t period_ = 1;
   std::vector<std::uint32_t> event_index_;

@@ -21,7 +21,7 @@ RemoteResult CcScheme::probe_peers(CoreId c, Addr addr,
     slice(peer).forward_and_invalidate(loc);
     const Cycle lookup_done = request_done + cfg_.lat.remote_lookup_cc;
     const bus::BusGrant data =
-        bus_.transact(lookup_done, bus::BusOp::kDataBlock);
+        abus().transact(lookup_done, bus::BusOp::kDataBlock);
     return {true, data.finished};
   }
   return {};

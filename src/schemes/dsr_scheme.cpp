@@ -129,10 +129,71 @@ RemoteResult DsrScheme::probe_peers(CoreId c, Addr addr,
     slice(peer).forward_and_invalidate(loc);
     const Cycle lookup_done = request_done + cfg_.lat.remote_lookup_cc;
     const bus::BusGrant data =
-        bus_.transact(lookup_done, bus::BusOp::kDataBlock);
+        abus().transact(lookup_done, bus::BusOp::kDataBlock);
     return {true, data.finished};
   }
   return {};
+}
+
+void DsrScheme::save_warm_state(StateWriter& w) const {
+  PrivateSchemeBase::save_warm_state(w);
+  w.vec(sampler_.event_indices());
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    std::vector<std::byte> shadow(shadows_[c].state_bytes());
+    shadows_[c].export_state(shadow.data());
+    w.vec(shadow);
+  }
+  std::vector<std::uint32_t> values(cfg_.num_cores);
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    values[c] = app_counter_[c].value();
+  }
+  w.vec(values);
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    values[c] = divider_[c].count();
+  }
+  w.vec(values);
+  std::vector<std::uint8_t> roles(cfg_.num_cores);
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    roles[c] = static_cast<std::uint8_t>(roles_[c]);
+  }
+  w.vec(roles);
+  w.pod(static_cast<std::uint8_t>(counting_));
+  w.vec(psel_);
+  w.pod(static_cast<std::uint8_t>(controller_->stage()));
+  w.pod(controller_->next_boundary());
+  w.pod(controller_->periods_completed());
+}
+
+void DsrScheme::load_warm_state(StateReader& r) {
+  PrivateSchemeBase::load_warm_state(r);
+  sampler_.set_event_indices(r.vec<std::uint32_t>());
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    const auto shadow = r.vec<std::byte>();
+    SNUG_ENSURE(shadow.size() == shadows_[c].state_bytes());
+    shadows_[c].import_state(shadow.data());
+  }
+  auto values = r.vec<std::uint32_t>();
+  SNUG_ENSURE(values.size() == cfg_.num_cores);
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    app_counter_[c].set_value(values[c]);
+  }
+  values = r.vec<std::uint32_t>();
+  SNUG_ENSURE(values.size() == cfg_.num_cores);
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    divider_[c].set_count(values[c]);
+  }
+  const auto roles = r.vec<std::uint8_t>();
+  SNUG_ENSURE(roles.size() == cfg_.num_cores);
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    roles_[c] = static_cast<Role>(roles[c]);
+  }
+  counting_ = r.pod<std::uint8_t>() != 0;
+  psel_ = r.vec<std::uint32_t>();
+  SNUG_ENSURE(psel_.size() == cfg_.num_cores);
+  const auto stage = static_cast<core::Stage>(r.pod<std::uint8_t>());
+  const auto boundary = r.pod<Cycle>();
+  const auto periods = r.pod<std::uint64_t>();
+  controller_->restore(stage, boundary, periods);
 }
 
 void DsrScheme::maybe_spill(CoreId c, Addr victim_addr, SetIndex set,

@@ -70,6 +70,13 @@ class DsrScheme final : public PrivateSchemeBase {
     return controller_->stage();
   }
 
+  /// Base warm state + the classification machinery (sampler windows,
+  /// shadow arrays, app counters, dividers, roles, PSELs, epoch
+  /// controller).  Leader placement is construction-deterministic and
+  /// not serialized.
+  void save_warm_state(StateWriter& w) const override;
+  void load_warm_state(StateReader& r) override;
+
  protected:
   RemoteResult probe_peers(CoreId c, Addr addr,
                            Cycle request_done) override;

@@ -36,27 +36,39 @@ Cycle L2S::access(CoreId c, Addr addr, bool is_write, Cycle now) {
   ++stats_.l2_misses();
 
   const Addr block = shared_->geometry().block_of(addr);
-  if (wbb_->read_hit(block, now)) {
+
+  // WBB direct read — timing mode only: a functional warm-up keeps the
+  // buffer empty by construction.
+  if (!functional_warmup() && wbb_->read_hit(block, now)) {
     ++stats_.wbb_direct_reads();
     return now + lat;
   }
 
-  // DRAM over the bus, then install at the home bank.
-  const bus::BusGrant req = bus_.transact(now, bus::BusOp::kRequest);
-  const Cycle data_ready = dram_.read(req.finished);
+  // DRAM over the bus, then install at the home bank.  In a functional
+  // warm-up the tenures book on the shadow bus/DRAM (see L2Scheme), so
+  // the completion carries realistic queueing delays while the real
+  // schedules stay untouched.
+  bus::SnoopBus& bus = abus();
+  const bus::BusGrant req = bus.transact(now, bus::BusOp::kRequest);
+  const Cycle data_ready = adram().read(req.finished);
   const bus::BusGrant fill =
-      bus_.transact(data_ready, bus::BusOp::kDataBlock);
+      bus.transact(data_ready, bus::BusOp::kDataBlock);
   ++stats_.dram_fills();
   const Cycle completion = fill.finished + lat;
 
   const cache::Eviction ev = shared_->fill_local(block, is_write, c);
   Cycle stall = 0;
   if (ev.happened() && ev.line.dirty) {
-    const Addr victim =
-        shared_->geometry().addr_of(ev.line.tag, ev.set);
-    stall = wbb_->insert(victim, completion);
-    note_wbb_insert();
-    stats_.wbb_stall_cycles() += stall;
+    if (functional_warmup()) {
+      // Dropped — a shadow DRAM write stands in for the write-back.
+      shadow_dram().write(completion);
+    } else {
+      const Addr victim =
+          shared_->geometry().addr_of(ev.line.tag, ev.set);
+      stall = wbb_->insert(victim, completion);
+      note_wbb_insert();
+      stats_.wbb_stall_cycles() += stall;
+    }
   }
   return completion + stall;
 }
@@ -67,10 +79,29 @@ void L2S::l1_writeback(CoreId /*c*/, Addr addr, Cycle now) {
     shared_->mark_dirty(res.set, res.way);
     return;
   }
+  if (functional_warmup()) {
+    // Dropped — the WBB stays empty; a shadow DRAM write stands in.
+    shadow_dram().write(now);
+    return;
+  }
   const Cycle stall =
       wbb_->insert(shared_->geometry().block_of(addr), now);
   note_wbb_insert();
   stats_.wbb_stall_cycles() += stall;
+}
+
+void L2S::save_warm_state(StateWriter& w) const {
+  SNUG_ENSURE(wbb_->occupancy() == 0);
+  std::vector<std::byte> arena(shared_->state_bytes());
+  shared_->export_state(arena.data());
+  w.vec(arena);
+}
+
+void L2S::load_warm_state(StateReader& r) {
+  SNUG_ENSURE(wbb_->occupancy() == 0);
+  const auto arena = r.vec<std::byte>();
+  SNUG_ENSURE(arena.size() == shared_->state_bytes());
+  shared_->import_state(arena.data());
 }
 
 }  // namespace snug::schemes

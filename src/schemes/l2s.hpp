@@ -40,8 +40,21 @@ class L2S final : public L2Scheme {
   /// Bank (0..num_cores-1) serving `addr`.
   [[nodiscard]] std::uint32_t bank_of(Addr addr) const;
 
+  /// Warm state: the shared arena (L2S has no epoch machinery or RNG).
+  void save_warm_state(StateWriter& w) const override;
+  void load_warm_state(StateReader& r) override;
+
  private:
   [[nodiscard]] Cycle bank_latency(CoreId c, Addr addr) const;
+
+  /// Bus/DRAM in effect for the current mode: the real models, or the
+  /// shadow pair during a functional warm-up (see L2Scheme).
+  [[nodiscard]] bus::SnoopBus& abus() noexcept {
+    return functional_warmup() ? shadow_bus() : bus_;
+  }
+  [[nodiscard]] dram::DramModel& adram() noexcept {
+    return functional_warmup() ? shadow_dram() : dram_;
+  }
 
   /// Lowers the cached drain deadline after a wbb insert (see L2Scheme).
   void note_wbb_insert() noexcept {

@@ -67,6 +67,12 @@ Cycle PrivateSchemeBase::install_fill(CoreId c, Addr addr, bool dirty,
     const auto& geo = slices_[c].geometry();
     on_local_eviction(c, ev.set, ev.line.tag);
     ++stats_.evict_dirty_local();
+    if (functional_warmup()) {
+      // Dropped — the WBB stays empty; a shadow DRAM write stands in
+      // for the write-back's bandwidth.
+      shadow_dram().write(now);
+      return 0;
+    }
     const Cycle stall =
         wbbs_[c].insert(geo.addr_of(ev.line.tag, ev.set), now);
     note_wbb_insert(wbbs_[c]);
@@ -91,6 +97,10 @@ void PrivateSchemeBase::route_eviction(CoreId cache,
   if (ev.line.dirty) {
     // Only clean blocks may be cooperatively cached (Section 3.3).
     ++stats_.evict_dirty_local();
+    if (functional_warmup()) {
+      shadow_dram().write(now);
+      return;  // dropped — the WBB stays empty
+    }
     const Cycle stall = wbbs_[cache].insert(victim_addr, now);
     note_wbb_insert(wbbs_[cache]);
     stats_.wbb_stall_cycles() += stall;
@@ -106,7 +116,7 @@ void PrivateSchemeBase::place_spill(CoreId owner, CoreId target, Addr addr,
                                     bool flipped, Cycle now,
                                     int chain_budget) {
   SNUG_REQUIRE(owner != target);
-  bus_.transact(now, bus::BusOp::kSpill);
+  abus().transact(now, bus::BusOp::kSpill);
   const cache::Eviction ev =
       slices_[target].insert_cc(addr, owner, flipped);
   ++stats_.spills();
@@ -130,25 +140,32 @@ Cycle PrivateSchemeBase::access(CoreId c, Addr addr, bool is_write,
   ++stats_.l2_misses();
   on_local_miss(c, res.set, l2.geometry().tag_of(addr));
 
-  // Write-back buffer direct read (Table 4: "support direct read").
-  // read_hit syncs the buffer to `now` itself — no tick on this path.
   const Addr block = l2.geometry().block_of(addr);
-  if (wbbs_[c].read_hit(block, now)) {
+
+  // Write-back buffer direct read (Table 4: "support direct read") —
+  // timing mode only: a functional warm-up keeps the WBBs empty by
+  // construction, so there is nothing to read.  read_hit syncs the
+  // buffer to `now` itself — no tick on this path.
+  if (!functional_warmup() && wbbs_[c].read_hit(block, now)) {
     ++stats_.wbb_direct_reads();
     return now + cfg_.lat.l2_local;
   }
 
   // One broadcast serves both the peer snoop and the memory request: if
-  // no peer responds, the memory controller picks the request up.
-  const bus::BusGrant req = bus_.transact(now, bus::BusOp::kRequest);
+  // no peer responds, the memory controller picks the request up.  In a
+  // functional warm-up the tenures book on the shadow bus/DRAM, so the
+  // completion carries the same queueing delays the timing machine
+  // would compute without touching the real schedules.
+  bus::SnoopBus& bus = abus();
+  const bus::BusGrant req = bus.transact(now, bus::BusOp::kRequest);
   Cycle completion;
   const RemoteResult remote = probe_peers(c, addr, req.finished);
   if (remote.found) {
     ++stats_.remote_hits();
     completion = remote.completion;
   } else {
-    const Cycle data_ready = dram_.read(req.finished);
-    completion = bus_.transact(data_ready, bus::BusOp::kDataBlock).finished;
+    const Cycle data_ready = adram().read(req.finished);
+    completion = bus.transact(data_ready, bus::BusOp::kDataBlock).finished;
     ++stats_.dram_fills();
   }
   const Cycle stall = install_fill(c, block, is_write, completion);
@@ -165,9 +182,37 @@ void PrivateSchemeBase::l1_writeback(CoreId c, Addr addr, Cycle now) {
   }
   // The L2 line was already displaced (non-inclusive hierarchy): buffer the
   // dirty data for memory.
+  if (functional_warmup()) {
+    // Dropped — the WBB stays empty; a shadow DRAM write stands in.
+    shadow_dram().write(now);
+    return;
+  }
   const Cycle stall = wbbs_[c].insert(l2.geometry().block_of(addr), now);
   note_wbb_insert(wbbs_[c]);
   stats_.wbb_stall_cycles() += stall;
+}
+
+void PrivateSchemeBase::save_warm_state(StateWriter& w) const {
+  // A functional warm-up never buffers a write-back, so the checkpoint
+  // carries no in-flight memory state — enforce that rather than
+  // silently serializing a half-timing machine.
+  for (const auto& wbb : wbbs_) SNUG_ENSURE(wbb.occupancy() == 0);
+  w.pod(rng_.state());
+  for (const auto& s : slices_) {
+    std::vector<std::byte> arena(s.state_bytes());
+    s.export_state(arena.data());
+    w.vec(arena);
+  }
+}
+
+void PrivateSchemeBase::load_warm_state(StateReader& r) {
+  for (const auto& wbb : wbbs_) SNUG_ENSURE(wbb.occupancy() == 0);
+  rng_.set_state(r.pod<std::array<std::uint64_t, 4>>());
+  for (auto& s : slices_) {
+    const auto arena = r.vec<std::byte>();
+    SNUG_ENSURE(arena.size() == s.state_bytes());
+    s.import_state(arena.data());
+  }
 }
 
 }  // namespace snug::schemes

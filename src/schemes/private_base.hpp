@@ -53,6 +53,13 @@ class PrivateSchemeBase : public L2Scheme {
   /// Total cooperative copies of `addr` across all slices (invariant: <= 1).
   [[nodiscard]] std::uint32_t cc_copies_of(Addr addr) const;
 
+  /// Base warm state: spill RNG + every slice's arena.  Requires (and
+  /// asserts) empty write-back buffers — guaranteed after a functional
+  /// warm-up, which never inserts into them.  Derived schemes call the
+  /// base then append their epoch state.
+  void save_warm_state(StateWriter& w) const override;
+  void load_warm_state(StateReader& r) override;
+
  protected:
   /// Longest eviction-driven spill chain one fill can trigger.  A spill
   /// displacing a peer's *local* victim makes that victim eligible for
@@ -98,6 +105,15 @@ class PrivateSchemeBase : public L2Scheme {
   /// Places a spill into `target`'s slice and routes its displaced line.
   void place_spill(CoreId owner, CoreId target, Addr addr, bool flipped,
                    Cycle now, int chain_budget);
+
+  /// Bus/DRAM in effect for the current mode: the real models, or the
+  /// shadow pair during a functional warm-up (see L2Scheme).
+  [[nodiscard]] bus::SnoopBus& abus() noexcept {
+    return functional_warmup() ? shadow_bus() : bus_;
+  }
+  [[nodiscard]] dram::DramModel& adram() noexcept {
+    return functional_warmup() ? shadow_dram() : dram_;
+  }
 
   PrivateConfig cfg_;
   bus::SnoopBus& bus_;

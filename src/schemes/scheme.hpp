@@ -22,6 +22,7 @@
 
 #include "bus/snoop_bus.hpp"
 #include "cache/cache.hpp"
+#include "common/state_io.hpp"
 #include "common/types.hpp"
 #include "dram/dram.hpp"
 #include "stats/counters.hpp"
@@ -150,8 +151,59 @@ class L2Scheme {
   [[nodiscard]] const SchemeStats& stats() const noexcept { return stats_; }
   virtual void reset_stats() { stats_.reset(); }
 
+  // ------------------------------------------------- functional warm-up
+  /// Functional warm-up (warmup-mode=functional): between begin and
+  /// end, access()/l1_writeback() perform every *state* update —
+  /// tag/meta/replacement fills, spills, retrieves, monitor and shadow
+  /// events — but touch none of the real timing machinery.  Bus and
+  /// DRAM tenures book on the caller-supplied *shadow* models (same
+  /// configs, same first-fit/channel arithmetic, discarded after the
+  /// warm-up), and dirty victims are dropped after their monitor events
+  /// with a shadow DRAM write standing in for the write-back (the WBBs
+  /// stay empty and next_drain_cycle() stays kNoPeriodicWork).
+  /// Completion cycles returned in this mode therefore carry the same
+  /// queueing delays the timing machine would compute — they pace the
+  /// functional driver's clock — while the real bus/DRAM schedules and
+  /// stats stay untouched for the measurement phase.
+  void begin_functional_warmup(bus::SnoopBus& shadow_bus,
+                               dram::DramModel& shadow_dram) noexcept {
+    functional_warmup_ = true;
+    shadow_bus_ = &shadow_bus;
+    shadow_dram_ = &shadow_dram;
+  }
+  void end_functional_warmup() noexcept {
+    functional_warmup_ = false;
+    shadow_bus_ = nullptr;
+    shadow_dram_ = nullptr;
+  }
+  [[nodiscard]] bool functional_warmup() const noexcept {
+    return functional_warmup_;
+  }
+
+  // ------------------------------------------------ warm-state round-trip
+  /// Serializes everything that distinguishes a post-functional-warm-up
+  /// scheme from a freshly built one: cache arenas, epoch/monitor state,
+  /// RNG cursors.  In-flight timing state need not be covered because a
+  /// functional warm-up never creates any (WBBs empty, bus/DRAM
+  /// untouched).  load_warm_state on a same-config scheme must restore
+  /// it bit-exactly (pinned by tests/sim/warm_state_test.cpp).
+  virtual void save_warm_state(StateWriter& w) const = 0;
+  virtual void load_warm_state(StateReader& r) = 0;
+
  protected:
+  /// The shadow timing models — valid only while functional_warmup().
+  /// Scratch state: discarded by the driver after the warm-up, never
+  /// serialized (the measurement phase books the real bus/DRAM from
+  /// their untouched schedules).
+  [[nodiscard]] bus::SnoopBus& shadow_bus() noexcept { return *shadow_bus_; }
+  [[nodiscard]] dram::DramModel& shadow_dram() noexcept {
+    return *shadow_dram_;
+  }
+
   SchemeStats stats_;
+  bool functional_warmup_ = false;
+  bus::SnoopBus* shadow_bus_ = nullptr;
+  dram::DramModel* shadow_dram_ = nullptr;
   /// See next_drain_cycle().  Maintained by schemes that own write-back
   /// buffers: lowered (min) after every insert, recomputed in drain().
   Cycle drain_deadline_ = kNoPeriodicWork;

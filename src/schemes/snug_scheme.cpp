@@ -91,7 +91,7 @@ RemoteResult SnugScheme::probe_peers(CoreId c, Addr addr,
     const Cycle lookup_done =
         request_done + cfg_.lat.remote_lookup_snug;
     const bus::BusGrant data =
-        bus_.transact(lookup_done, bus::BusOp::kDataBlock);
+        abus().transact(lookup_done, bus::BusOp::kDataBlock);
     return {true, data.finished};
   }
   return {};
@@ -126,6 +126,37 @@ void SnugScheme::maybe_spill(CoreId c, Addr victim_addr, SetIndex set,
     return;
   }
   ++stats_.spill_no_target();
+}
+
+void SnugScheme::save_warm_state(StateWriter& w) const {
+  PrivateSchemeBase::save_warm_state(w);
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    monitors_[c]->save_state(w);
+    std::vector<std::uint8_t> bits(gts_[c].num_sets());
+    for (SetIndex s = 0; s < gts_[c].num_sets(); ++s) {
+      bits[s] = gts_[c].taker(s) ? 1 : 0;
+    }
+    w.vec(bits);
+  }
+  w.pod(static_cast<std::uint8_t>(controller_->stage()));
+  w.pod(controller_->next_boundary());
+  w.pod(controller_->periods_completed());
+}
+
+void SnugScheme::load_warm_state(StateReader& r) {
+  PrivateSchemeBase::load_warm_state(r);
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    monitors_[c]->load_state(r);
+    const auto bits = r.vec<std::uint8_t>();
+    SNUG_ENSURE(bits.size() == gts_[c].num_sets());
+    for (SetIndex s = 0; s < gts_[c].num_sets(); ++s) {
+      gts_[c].set_taker(s, bits[s] != 0);
+    }
+  }
+  const auto stage = static_cast<core::Stage>(r.pod<std::uint8_t>());
+  const auto boundary = r.pod<Cycle>();
+  const auto periods = r.pod<std::uint64_t>();
+  controller_->restore(stage, boundary, periods);
 }
 
 std::uint64_t SnugScheme::cc_lines_in_taker_sets() const {

@@ -65,6 +65,12 @@ class SnugScheme final : public PrivateSchemeBase {
   /// giver-marked set of its host.  Returns the number of violations.
   [[nodiscard]] std::uint64_t cc_lines_in_taker_sets() const;
 
+  /// Base warm state + per-core monitors, G/T vectors and the epoch
+  /// controller (stage, boundary, period count — callbacks not fired on
+  /// restore).
+  void save_warm_state(StateWriter& w) const override;
+  void load_warm_state(StateReader& r) override;
+
  protected:
   void on_local_hit(CoreId c, SetIndex set) override;
   void on_local_miss(CoreId c, SetIndex set, std::uint64_t tag) override;

@@ -116,6 +116,12 @@ std::uint64_t config_fingerprint(const SystemConfig& cfg,
                        cfg.scheme_ctx.snug.monitor.sample_period,
                        cfg.scheme_ctx.dsr.sample_period);
   }
+  // Same conditional-suffix rule for the warm-up mode: timing (the
+  // default) keeps its pre-knob fingerprint, functional warm-up changes
+  // simulated history and gets its own cache lineage.
+  if (scale.warmup_mode == WarmupMode::kFunctional) {
+    descriptor += "|wmode=f";
+  }
   return Rng::derive_seed(descriptor);
 }
 

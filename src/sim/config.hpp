@@ -31,6 +31,19 @@ struct SystemConfig {
   dram::DramConfig dram;                     ///< 300-cycle latency
 };
 
+/// How the warm-up phase is driven (scenario knob `warmup-mode=`).
+enum class WarmupMode : std::uint8_t {
+  /// Full-timing warm-up: the same event-skipping loop as measurement
+  /// (bus arbitration, DRAM slots, WBB drains, ROB occupancy).
+  kTiming,
+  /// Functional fast-forward: cache contents and scheme epoch state are
+  /// driven, all timing machinery is skipped
+  /// (CmpSystem::warm_functional); the run switches to full timing at
+  /// the measurement boundary.  Post-warm-up state is closed and
+  /// serializable, which is what enables the warm-state bank.
+  kFunctional,
+};
+
 struct RunScale {
   /// The first G/T harvest happens on a cold cache (compulsory misses
   /// only) and classifies almost everything as giver; warm-up must reach
@@ -41,6 +54,7 @@ struct RunScale {
   /// One full SNUG period (group + identify) at default epochs.
   Cycle measure_cycles = 7'500'000;
   std::uint64_t phase_period_refs = 80'000;
+  WarmupMode warmup_mode = WarmupMode::kTiming;
 
   /// Multiplies every length by `factor` (used for --full-scale).
   void scale_by(std::uint64_t factor);

@@ -125,13 +125,20 @@ std::uint64_t run_fingerprint(const SystemConfig& cfg, const RunScale& scale,
 
 ExperimentRunner::ExperimentRunner(const SystemConfig& cfg,
                                    const RunScale& scale,
-                                   std::string cache_dir)
-    : cfg_(cfg), scale_(scale), cache_(std::move(cache_dir)) {}
+                                   std::string cache_dir,
+                                   std::string warm_bank_dir)
+    : cfg_(cfg),
+      scale_(scale),
+      cache_(std::move(cache_dir)),
+      warm_bank_(scale.warmup_mode == WarmupMode::kFunctional
+                     ? std::move(warm_bank_dir)
+                     : std::string()) {}
 
 ExperimentRunner::ExperimentRunner(const ScenarioSpec& scenario,
-                                   std::string cache_dir)
+                                   std::string cache_dir,
+                                   std::string warm_bank_dir)
     : ExperimentRunner(scenario.system_config(), scenario.scale,
-                       std::move(cache_dir)) {}
+                       std::move(cache_dir), std::move(warm_bank_dir)) {}
 
 std::string ExperimentRunner::cache_key(
     const trace::WorkloadCombo& combo,
@@ -144,6 +151,31 @@ std::string ExperimentRunner::cache_key(const trace::WorkloadCombo& combo,
                                         std::uint64_t fingerprint) const {
   return strf("%s__%s__%016llx", combo.name.c_str(), spec.id().c_str(),
               static_cast<unsigned long long>(fingerprint));
+}
+
+std::string ExperimentRunner::warm_key(
+    const trace::WorkloadCombo& combo,
+    const schemes::SchemeSpec& spec) const {
+  return warm_key(combo, spec, warm_fingerprint(cfg_, scale_, combo, spec));
+}
+
+std::string ExperimentRunner::warm_key(const trace::WorkloadCombo& combo,
+                                       const schemes::SchemeSpec& spec,
+                                       std::uint64_t fingerprint) const {
+  return strf("warm__%s__%s__%016llx", combo.name.c_str(),
+              spec.id().c_str(),
+              static_cast<unsigned long long>(fingerprint));
+}
+
+bool ExperimentRunner::warm_state_banked(
+    const trace::WorkloadCombo& combo,
+    const schemes::SchemeSpec& spec) const {
+  if (scale_.warmup_mode != WarmupMode::kFunctional ||
+      !warm_bank_.enabled()) {
+    return false;
+  }
+  const std::uint64_t wfp = warm_fingerprint(cfg_, scale_, combo, spec);
+  return warm_bank_.contains(warm_key(combo, spec, wfp), wfp);
 }
 
 RunResult ExperimentRunner::run(const trace::WorkloadCombo& combo,
@@ -165,7 +197,27 @@ RunResult ExperimentRunner::run(const trace::WorkloadCombo& combo,
   }
 
   CmpSystem system(cfg_, spec, combo, scale_);
-  system.run(scale_.warmup_cycles);
+  if (scale_.warmup_mode == WarmupMode::kFunctional) {
+    // Functional fast-forward, with the warm-up prefix banked: the first
+    // point of a (scenario, workload, warmup, scheme) prefix pays the
+    // functional warm-up and serializes the result; every later point
+    // sharing the prefix (e.g. differing only in measurement length)
+    // restores it.  Restore + measure is bit-identical to warm + measure
+    // (tests/sim/warm_state_test.cpp), so the two paths are
+    // interchangeable.
+    const std::uint64_t wfp = warm_fingerprint(cfg_, scale_, combo, spec);
+    const std::string wkey = warm_key(combo, spec, wfp);
+    std::vector<std::byte> blob;
+    if (warm_bank_.load(wkey, wfp, blob)) {
+      system.load_warm_state(blob);
+      result.warm_banked = true;
+    } else {
+      system.warm_functional(scale_.warmup_cycles);
+      warm_bank_.store(wkey, wfp, system.save_warm_state());
+    }
+  } else {
+    system.run(scale_.warmup_cycles);
+  }
   system.begin_measurement();
   system.run(scale_.measure_cycles);
   result.ipc = system.measured_ipc();

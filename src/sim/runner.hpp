@@ -20,12 +20,17 @@
 #include "sim/config.hpp"
 #include "sim/scenario.hpp"
 #include "sim/system.hpp"
+#include "sim/warm_state.hpp"
 
 namespace snug::sim {
 
 struct RunResult {
   std::vector<double> ipc;  ///< per core, measurement window
   bool cached = false;      ///< true when served from the eval cache
+  /// True when the warm-up phase was restored from the warm-state bank
+  /// instead of simulated (functional mode only; always false when the
+  /// whole result came from the eval cache).
+  bool warm_banked = false;
 
   [[nodiscard]] double throughput() const;
 };
@@ -94,12 +99,15 @@ class EvalCache {
 class ExperimentRunner {
  public:
   ExperimentRunner(const SystemConfig& cfg, const RunScale& scale,
-                   std::string cache_dir = default_cache_dir());
+                   std::string cache_dir = default_cache_dir(),
+                   std::string warm_bank_dir = default_warm_bank_dir());
 
   /// Builds the runner's machine and scale from a scenario spec; aborts
   /// with the spec's validate() message on an unbuildable scenario.
   explicit ExperimentRunner(const ScenarioSpec& scenario,
-                            std::string cache_dir = default_cache_dir());
+                            std::string cache_dir = default_cache_dir(),
+                            std::string warm_bank_dir =
+                                default_warm_bank_dir());
 
   /// Runs (or loads) one combo under one scheme.  Safe to call from many
   /// threads concurrently; each call simulates on its own CmpSystem.
@@ -125,13 +133,32 @@ class ExperimentRunner {
   [[nodiscard]] std::string cache_key(const trace::WorkloadCombo& combo,
                                       const schemes::SchemeSpec& spec) const;
 
+  /// Warm-state-bank entry basename for one task's warm-up prefix
+  /// (functional mode; see sim/warm_state.hpp).
+  [[nodiscard]] std::string warm_key(const trace::WorkloadCombo& combo,
+                                     const schemes::SchemeSpec& spec) const;
+
+  /// True when the warm-state bank already holds this task's warm-up
+  /// prefix (header-validated probe) — the --dry-run hit/miss
+  /// prediction.  Always false outside functional mode.
+  [[nodiscard]] bool warm_state_banked(
+      const trace::WorkloadCombo& combo,
+      const schemes::SchemeSpec& spec) const;
+
  private:
   [[nodiscard]] std::string cache_key(const trace::WorkloadCombo& combo,
                                       const schemes::SchemeSpec& spec,
                                       std::uint64_t fingerprint) const;
+  [[nodiscard]] std::string warm_key(const trace::WorkloadCombo& combo,
+                                     const schemes::SchemeSpec& spec,
+                                     std::uint64_t fingerprint) const;
   SystemConfig cfg_;
   RunScale scale_;
   EvalCache cache_;
+  /// Fingerprint-keyed warm-state store, active only under
+  /// warmup-mode=functional (constructed disabled otherwise so timing
+  /// runs never touch the bank directory).
+  WarmStateBank warm_bank_;
   std::mutex progress_mu_;
 };
 

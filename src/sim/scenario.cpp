@@ -316,6 +316,9 @@ std::string ScenarioSpec::spec_string() const {
   if (workload.kind == WorkloadSpec::Kind::kPattern) {
     out += strf(" variants=%u", workload.variants);
   }
+  if (scale.warmup_mode == WarmupMode::kFunctional) {
+    out += " warmup-mode=functional";
+  }
   out += strf(" warmup-cycles=%llu measure-cycles=%llu phase-refs=%llu",
               static_cast<unsigned long long>(scale.warmup_cycles),
               static_cast<unsigned long long>(scale.measure_cycles),
@@ -405,6 +408,16 @@ bool parse_scenario(const std::string& text, const ScenarioSpec& base,
       if (!set_u32(spec.workload.variants)) return false;
       if (spec.workload.variants == 0) {
         error = "variants must be >= 1";
+        return false;
+      }
+    } else if (key == "warmup-mode") {
+      if (value == "timing") {
+        spec.scale.warmup_mode = WarmupMode::kTiming;
+      } else if (value == "functional") {
+        spec.scale.warmup_mode = WarmupMode::kFunctional;
+      } else {
+        error = "warmup-mode must be 'timing' or 'functional', got '" +
+                value + "'";
         return false;
       }
     } else if (key == "warmup-cycles") {

@@ -31,6 +31,10 @@
 //   workload=<benches>    explicit combo, e.g. ammp+parser+bzip2+mcf
 //                         (one benchmark per core)
 //   variants=<n>          how many rotated instances of a pattern mix
+//   warmup-mode=<m>       timing (default: full-timing warm-up) or
+//                         functional (fast-forward: cache/scheme state
+//                         only, timing machinery skipped; enables the
+//                         warm-state bank — see sim/warm_state.hpp)
 //   warmup-cycles=, measure-cycles=, phase-refs=   run scale overrides
 #pragma once
 

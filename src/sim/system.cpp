@@ -1,6 +1,9 @@
 #include "sim/system.hpp"
 
+#include <array>
+
 #include "common/require.hpp"
+#include "common/state_io.hpp"
 #include "common/str.hpp"
 #include "trace/profile.hpp"
 
@@ -151,6 +154,168 @@ void CmpSystem::run(Cycle cycles) {
   // Close the window for the stall statistics: cores that slept through
   // the tail still get their in-window stall cycles charged.
   for (auto& core : cores_) core->settle_stall(end);
+}
+
+void CmpSystem::warm_functional(Cycle cycles) {
+  // Functional fast-forward (see the header comment): per-core cursors
+  // mimic Core::dispatch_one's cadence — one I-fetch per
+  // line_bytes/instr_bytes instructions over the cyclic code footprint,
+  // batch-filled SoA instruction decode, issue_width instructions per
+  // base cycle — against an *estimated* clock: I-miss latency blocks
+  // dispatch outright (as fetch_stall_until_ does), mispredicts charge
+  // branch_penalty, and load misses replay the core's ROB back-pressure
+  // in aggregate: a miss opens a rob_entries-instruction window, misses
+  // inside one window overlap (the ROB issues them in the same dispatch
+  // burst), and when the window fills the clock jumps to the latest
+  // outstanding completion — so an isolated miss costs its full latency
+  // and clustered misses share it, the same two mechanisms cpu::Core
+  // models exactly.  Miss completions book on *shadow* bus/DRAM models
+  // (same configs and arithmetic as the real ones, discarded after the
+  // warm-up), so the estimated clock slows under cold-phase contention
+  // the way the real machine's does while the real schedules and stats
+  // stay untouched.  The clock only paces epoch boundaries and the
+  // warm-up length; no real timing structure observes it.  Cores
+  // advance in global virtual-time order — always the cursor furthest
+  // behind, in bounded bursts — so arrivals at the shadow models stay
+  // approximately time-ordered and contention is shared fairly instead
+  // of the first core monopolising each slice.  Slices are clamped to
+  // the scheme's next epoch boundary so boundary work fires between the
+  // same references as an exact-boundary driver would, up to the
+  // quantum.
+  constexpr Cycle kQuantum = 8192;
+  constexpr Cycle kBurst = 256;
+  constexpr std::size_t kBatch = 64;
+  struct FunctionalCursor {
+    Cycle now = 0;
+    std::uint32_t instr = 0;  ///< instructions since the last base cycle
+    std::uint32_t ifetch_countdown = 1;
+    std::uint64_t code_cursor = 0;
+    Cycle miss_until = 0;      ///< latest outstanding load-miss completion
+    std::uint32_t rob_room = 0;  ///< instrs left in the window (0 = none)
+    std::array<std::uint8_t, kBatch> code;
+    std::array<Addr, kBatch> addr;
+    std::uint32_t pos = 0;
+    std::uint32_t len = 0;
+  };
+
+  const Cycle end = now_ + cycles;
+  schemes::L2Scheme* const scheme = scheme_.get();
+  bus::SnoopBus shadow_bus(cfg_.bus);
+  dram::DramModel shadow_dram(cfg_.dram);
+  shadow_bus.reset(now_);
+  shadow_dram.reset(now_);
+  scheme->begin_functional_warmup(shadow_bus, shadow_dram);
+  Cycle boundary = scheme->has_periodic_work()
+                       ? scheme->next_tick_cycle()
+                       : schemes::L2Scheme::kNoPeriodicWork;
+  const std::uint32_t issue = cfg_.core.issue_width;
+  const std::uint32_t ifetch_period =
+      cfg_.l1i.line_bytes() / cfg_.core.instr_bytes;
+  std::vector<FunctionalCursor> cursors(cfg_.num_cores);
+  for (auto& f : cursors) f.now = now_;
+
+  while (now_ < end) {
+    Cycle slice_end = now_ + kQuantum < end ? now_ + kQuantum : end;
+    if (boundary < slice_end) slice_end = boundary;
+    for (;;) {
+      // Pick the cursor furthest behind in virtual time.
+      CoreId c = cfg_.num_cores;
+      Cycle c_now = slice_end;
+      for (CoreId i = 0; i < cfg_.num_cores; ++i) {
+        if (cursors[i].now < c_now) {
+          c = i;
+          c_now = cursors[i].now;
+        }
+      }
+      if (c == cfg_.num_cores) break;  // every cursor reached slice_end
+      FunctionalCursor& f = cursors[c];
+      trace::SyntheticStream& stream = *streams_[c];
+      const std::uint64_t code_blocks = stream.profile().code_blocks;
+      const Cycle burst_end =
+          f.now + kBurst < slice_end ? f.now + kBurst : slice_end;
+      while (f.now < burst_end) {
+        if (--f.ifetch_countdown == 0) {
+          f.ifetch_countdown = ifetch_period;
+          const Addr ifetch_addr =
+              cpu::code_base(c) + f.code_cursor * cfg_.l1i.line_bytes();
+          if (++f.code_cursor == code_blocks) f.code_cursor = 0;
+          const Cycle done = inst_fetch(c, ifetch_addr, f.now);
+          if (done > f.now + 1) f.now = done;  // I-miss blocks dispatch
+        }
+        if (f.pos == f.len) {
+          f.len = static_cast<std::uint32_t>(
+              stream.fill_batch(f.code.data(), f.addr.data(), kBatch));
+          f.pos = 0;
+        }
+        const std::uint8_t code = f.code[f.pos];
+        if ((code >> 1) == 1) {  // kLoad or kStore
+          const bool is_write = code & 1;
+          const Cycle done = data_access(c, f.addr[f.pos], is_write, f.now);
+          // Stores commit without waiting (store-buffer semantics); a
+          // load miss joins the current ROB window, or opens one.
+          if (!is_write && done > f.now + 1) {
+            if (f.rob_room == 0) f.rob_room = cfg_.core.rob_entries;
+            if (done > f.miss_until) f.miss_until = done;
+          }
+        } else if (code & trace::kInstrMispredictBit) {
+          f.now += cfg_.core.branch_penalty;
+        }
+        ++f.pos;
+        if (f.rob_room != 0 && --f.rob_room == 0) {
+          // The ROB filled behind the oldest outstanding miss: dispatch
+          // resumes once every overlapped miss in the window completed.
+          if (f.miss_until > f.now) f.now = f.miss_until;
+          f.miss_until = 0;
+        }
+        if (++f.instr == issue) {
+          f.instr = 0;
+          ++f.now;
+        }
+      }
+    }
+    now_ = slice_end;
+    // Mirrors run(): a boundary landing exactly on the window end is NOT
+    // ticked here — it fires at the top of the next window (the
+    // measurement run), the same deferral the event-skipping loop makes.
+    if (now_ >= boundary && now_ < end) {
+      scheme->tick(now_);
+      boundary = scheme->next_tick_cycle();
+    }
+  }
+  scheme->end_functional_warmup();
+}
+
+std::vector<std::byte> CmpSystem::save_warm_state() const {
+  StateWriter w;
+  w.pod(now_);
+  std::vector<std::byte> arena;
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    arena.resize(l1i_[c].state_bytes());
+    l1i_[c].export_state(arena.data());
+    w.vec(arena);
+    arena.resize(l1d_[c].state_bytes());
+    l1d_[c].export_state(arena.data());
+    w.vec(arena);
+    streams_[c]->save_state(w);
+  }
+  scheme_->save_warm_state(w);
+  return w.take();
+}
+
+void CmpSystem::load_warm_state(const std::vector<std::byte>& blob) {
+  StateReader r(blob);
+  now_ = r.pod<Cycle>();
+  for (CoreId c = 0; c < cfg_.num_cores; ++c) {
+    auto arena = r.vec<std::byte>();
+    SNUG_ENSURE(arena.size() == l1i_[c].state_bytes());
+    l1i_[c].import_state(arena.data());
+    arena = r.vec<std::byte>();
+    SNUG_ENSURE(arena.size() == l1d_[c].state_bytes());
+    l1d_[c].import_state(arena.data());
+    streams_[c]->load_state(r);
+  }
+  scheme_->load_warm_state(r);
+  SNUG_ENSURE(r.remaining() == 0);
 }
 
 void CmpSystem::begin_measurement() {

@@ -29,6 +29,29 @@ class CmpSystem final : public cpu::MemoryPort {
   /// Advances the machine by `cycles` core cycles.
   void run(Cycle cycles);
 
+  /// Functional fast-forward warm-up (warmup-mode=functional): drives
+  /// the same instruction streams through the same L1/L2/scheme *state*
+  /// machinery as run() — fills, spills, retrieves, monitor and shadow
+  /// events, epoch ticks at their exact boundaries — but skips the
+  /// timing machinery wholesale (no bus/DRAM booking, no write-back
+  /// buffering, no ROB/LSQ occupancy; see L2Scheme::set_functional_
+  /// warmup).  A lightweight per-core cursor replays the core's fetch/
+  /// dispatch cadence against an estimated clock so reference density
+  /// per epoch stays realistic; the cores themselves are never stepped
+  /// and remain in their just-built state.  Must be called on a freshly
+  /// built machine, before any run(); afterwards the machine state is
+  /// the closed set save_warm_state() serializes, and run() continues
+  /// in full timing from `now()`.
+  void warm_functional(Cycle cycles);
+
+  /// Serializes the post-functional-warm-up machine (now_, L1 arenas,
+  /// stream cursors, scheme warm state) into a self-contained blob.
+  /// load_warm_state on a freshly built same-config machine restores it
+  /// bit-exactly: restore + run() is identical to warm_functional +
+  /// run() in-process (pinned by tests/sim/warm_state_test.cpp).
+  [[nodiscard]] std::vector<std::byte> save_warm_state() const;
+  void load_warm_state(const std::vector<std::byte>& blob);
+
   /// Clears all statistics (contents survive) and marks the start of a
   /// measurement window.
   void begin_measurement();

@@ -1,0 +1,138 @@
+#include "sim/warm_state.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "common/str.hpp"
+
+namespace snug::sim {
+namespace {
+
+// Host-endian, like EvalCache's CacheHeader: the magic word doubles as
+// an endianness check because a byte-swapped header can never match.
+struct BankHeader {
+  std::uint32_t magic = WarmStateBank::kMagic;
+  std::uint32_t version = WarmStateBank::kVersion;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t payload_bytes = 0;
+};
+static_assert(sizeof(BankHeader) == 24, "header layout must be packed");
+
+/// Reads and validates the header; leaves `in` positioned at the payload.
+bool read_valid_header(std::ifstream& in, std::uint64_t fingerprint,
+                       BankHeader& hdr) {
+  in.read(reinterpret_cast<char*>(&hdr), sizeof hdr);
+  if (!in || in.gcount() != sizeof hdr) return false;
+  if (hdr.magic != WarmStateBank::kMagic ||
+      hdr.version != WarmStateBank::kVersion ||
+      hdr.fingerprint != fingerprint) {
+    return false;
+  }
+  return hdr.payload_bytes != 0 &&
+         hdr.payload_bytes <= WarmStateBank::kMaxBytes;
+}
+
+}  // namespace
+
+WarmStateBank::WarmStateBank(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) dir_.clear();  // fall back to bank-less operation
+  }
+}
+
+std::string WarmStateBank::entry_path(const std::string& key) const {
+  return dir_ + "/" + key + ".snugw";
+}
+
+bool WarmStateBank::load(const std::string& key, std::uint64_t fingerprint,
+                         std::vector<std::byte>& blob) const {
+  if (dir_.empty()) return false;
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (!in) return false;
+
+  BankHeader hdr;
+  if (!read_valid_header(in, fingerprint, hdr)) return false;
+
+  std::vector<std::byte> payload(hdr.payload_bytes);
+  const auto bytes = static_cast<std::streamsize>(hdr.payload_bytes);
+  in.read(reinterpret_cast<char*>(payload.data()), bytes);
+  if (!in || in.gcount() != bytes) return false;  // truncated entry
+  if (in.peek() != std::ifstream::traits_type::eof()) return false;  // long
+
+  blob = std::move(payload);
+  return true;
+}
+
+bool WarmStateBank::contains(const std::string& key,
+                             std::uint64_t fingerprint) const {
+  if (dir_.empty()) return false;
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (!in) return false;
+  BankHeader hdr;
+  return read_valid_header(in, fingerprint, hdr);
+}
+
+void WarmStateBank::store(const std::string& key, std::uint64_t fingerprint,
+                          const std::vector<std::byte>& blob) const {
+  if (dir_.empty() || blob.empty() || blob.size() > kMaxBytes) return;
+
+  // Unique temp name per (process, store) so concurrent writers — threads
+  // of one campaign or entirely separate processes — never collide; the
+  // final rename is atomic within the bank directory.
+  const std::string tmp =
+      strf("%s/%s.tmp.%ld.%llu", dir_.c_str(), key.c_str(),
+           static_cast<long>(::getpid()),
+           static_cast<unsigned long long>(
+               store_seq_.fetch_add(1, std::memory_order_relaxed)));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    BankHeader hdr;
+    hdr.fingerprint = fingerprint;
+    hdr.payload_bytes = blob.size();
+    out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, entry_path(key), ec);
+  if (ec) std::filesystem::remove(tmp, ec);  // bank stays best-effort
+}
+
+std::string default_warm_bank_dir() {
+  if (const char* env = std::getenv("SNUG_WARM_BANK_DIR")) return env;
+  return ".snug_warm_bank";
+}
+
+std::uint64_t warm_fingerprint(const SystemConfig& cfg, const RunScale& scale,
+                               const trace::WorkloadCombo& combo,
+                               const schemes::SchemeSpec& spec) {
+  // The warm-up prefix ends at the measurement boundary, so the
+  // measurement length must not split checkpoints: pin it before reusing
+  // the full config fingerprint.
+  RunScale warm_scale = scale;
+  warm_scale.measure_cycles = 0;
+  std::string tag = "warm|" + combo.name;
+  for (const auto& bench : combo.benchmarks) {
+    tag += '|';
+    tag += bench;
+  }
+  tag += '|';
+  tag += spec.id();
+  return Rng::derive_seed(tag, config_fingerprint(cfg, warm_scale),
+                          WarmStateBank::kVersion);
+}
+
+}  // namespace snug::sim

@@ -1,0 +1,85 @@
+// WarmStateBank — a fingerprint-keyed disk store for post-warm-up system
+// checkpoints (ISSUE 6).
+//
+// A campaign over the paper grid re-warms every (scenario, workload,
+// scheme) point from cold even when only the measurement phase differs
+// between benches.  Under `warmup-mode=functional` the post-warm-up
+// state is small and closed (cache arenas, scheme epoch state, RNG and
+// stream cursors — no in-flight timing state, because the functional
+// warm-up never creates any), so it can be serialized once and restored
+// by every later point sharing the same (scenario, workload, warmup,
+// scheme) prefix: restore + measure is bit-identical to warm + measure
+// (pinned by tests/sim/warm_state_test.cpp).
+//
+// The on-disk format follows EvalCache (sim/runner.hpp): a versioned,
+// fingerprinted, host-endian header followed by an exact-size payload;
+// stores write a uniquely named temp file and rename() it into place, so
+// concurrent writers never expose a torn entry and loads reject
+// anything truncated, oversized, corrupt or stale — every rejection
+// falls back to a fresh warm-up simulation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace snug::sim {
+
+class WarmStateBank {
+ public:
+  static constexpr std::uint32_t kMagic = 0x4D57554E;  // "NUWM"
+  /// v1: initial warm-state blob layout (see CmpSystem::save_warm_state
+  /// for the field sequence).  Bump whenever any serialized structure
+  /// changes shape so stale checkpoints are rejected wholesale.
+  static constexpr std::uint32_t kVersion = 1;
+  /// Hard upper bound on a plausible checkpoint (a 16-core paper-scale
+  /// system is a few hundred MB of arenas); anything larger is treated
+  /// as corruption.
+  static constexpr std::uint64_t kMaxBytes = 1ULL << 32;
+
+  /// `dir` is created on demand; pass "" to disable the bank.
+  explicit WarmStateBank(std::string dir);
+
+  WarmStateBank(const WarmStateBank&) = delete;
+  WarmStateBank& operator=(const WarmStateBank&) = delete;
+
+  [[nodiscard]] bool load(const std::string& key, std::uint64_t fingerprint,
+                          std::vector<std::byte>& blob) const;
+  void store(const std::string& key, std::uint64_t fingerprint,
+             const std::vector<std::byte>& blob) const;
+
+  /// Cheap presence probe (header-only validation) for --dry-run
+  /// hit/miss prediction; a true result can still fail a later full
+  /// load if the file is torn mid-payload.
+  [[nodiscard]] bool contains(const std::string& key,
+                              std::uint64_t fingerprint) const;
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+
+ private:
+  [[nodiscard]] std::string entry_path(const std::string& key) const;
+
+  std::string dir_;
+  mutable std::atomic<std::uint64_t> store_seq_{0};  ///< unique temp names
+};
+
+/// Default bank directory: $SNUG_WARM_BANK_DIR or .snug_warm_bank under
+/// the current working directory.
+[[nodiscard]] std::string default_warm_bank_dir();
+
+/// Fingerprint of one warm-up prefix: covers the system config, the
+/// warm-up-relevant scale fields (warmup_cycles, phase_period_refs,
+/// warmup_mode — NOT measure_cycles), the workload combo and the scheme
+/// spec, salted with the bank format version.  Two campaign points that
+/// differ only in measurement length share a fingerprint and therefore a
+/// checkpoint.
+[[nodiscard]] std::uint64_t warm_fingerprint(const SystemConfig& cfg,
+                                             const RunScale& scale,
+                                             const trace::WorkloadCombo& combo,
+                                             const schemes::SchemeSpec& spec);
+
+}  // namespace snug::sim

@@ -118,29 +118,13 @@ void SyntheticStream::enter_phase(std::size_t idx) {
   // are simply never referenced again (a compulsory burst follows, which
   // is what a real phase change produces).  Slabs are MRU-first rings, so
   // truncation is just a size clamp — the tail beyond size is dead.
-  std::vector<bool> depth_in_use(stride_ + 1, false);
   for (SetIndex s = 0; s < cfg_.num_sets; ++s) {
     if (stack_size_[s] > demand_[s]) {
       stack_size_[s] = static_cast<std::uint16_t>(demand_[s]);
     }
-    depth_in_use[demand_[s]] = true;
   }
 
-  // Stack-distance samplers for this phase: one alias table per live
-  // depth d, over [1, d] with weights q^(k-1) (q == 1 is uniform) — the
-  // same truncated-geometric law Rng::truncated_geometric implements,
-  // answered in O(1) without per-draw pow/log.
-  streaming_thr_ = to_threshold(ph.streaming_prob);
-  tg_by_demand_.assign(stride_ + 1, AliasTable{});
-  std::vector<double> weights;
-  for (std::uint32_t d = 1; d <= stride_; ++d) {
-    if (!depth_in_use[d]) continue;
-    weights.assign(d, 1.0);
-    for (std::uint32_t k = 1; k < d; ++k) {
-      weights[k] = weights[k - 1] * ph.sd_q;
-    }
-    tg_by_demand_[d] = AliasTable(weights);
-  }
+  rebuild_phase_tables();
 
   // Phase deadline in cumulative L2 refs.
   double cum = 0.0;
@@ -153,6 +137,67 @@ void SyntheticStream::enter_phase(std::size_t idx) {
   if (phase_end_refs_ <= l2_refs_) {
     phase_end_refs_ = l2_refs_ + 1;  // degenerate fraction; keep advancing
   }
+}
+
+void SyntheticStream::rebuild_phase_tables() {
+  const Phase& ph = profile_.phases[phase_idx_];
+
+  // Stack-distance samplers for this phase: one alias table per live
+  // depth d, over [1, d] with weights q^(k-1) (q == 1 is uniform) — the
+  // same truncated-geometric law Rng::truncated_geometric implements,
+  // answered in O(1) without per-draw pow/log.
+  streaming_thr_ = to_threshold(ph.streaming_prob);
+  std::vector<bool> depth_in_use(stride_ + 1, false);
+  for (SetIndex s = 0; s < cfg_.num_sets; ++s) {
+    depth_in_use[demand_[s]] = true;
+  }
+  tg_by_demand_.assign(stride_ + 1, AliasTable{});
+  std::vector<double> weights;
+  for (std::uint32_t d = 1; d <= stride_; ++d) {
+    if (!depth_in_use[d]) continue;
+    weights.assign(d, 1.0);
+    for (std::uint32_t k = 1; k < d; ++k) {
+      weights[k] = weights[k - 1] * ph.sd_q;
+    }
+    tg_by_demand_[d] = AliasTable(weights);
+  }
+}
+
+void SyntheticStream::save_state(StateWriter& w) const {
+  w.pod(rng_.state());
+  w.pod(static_cast<std::uint64_t>(phase_idx_));
+  w.pod(phase_end_refs_);
+  w.vec(stack_arena_);
+  w.vec(stack_head_);
+  w.vec(stack_size_);
+  w.vec(next_uid_);
+  w.vec(demand_);
+  w.pod(l2_refs_);
+  w.pod(last_block_);
+}
+
+void SyntheticStream::load_state(StateReader& r) {
+  rng_.set_state(r.pod<std::array<std::uint64_t, 4>>());
+  phase_idx_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  SNUG_ENSURE(phase_idx_ < profile_.phases.size());
+  phase_end_refs_ = r.pod<std::uint64_t>();
+  stack_arena_ = r.vec<std::uint32_t>();
+  stack_head_ = r.vec<std::uint16_t>();
+  stack_size_ = r.vec<std::uint16_t>();
+  next_uid_ = r.vec<std::uint32_t>();
+  demand_ = r.vec<std::uint32_t>();
+  SNUG_ENSURE(stack_arena_.size() ==
+              static_cast<std::size_t>(cfg_.num_sets) * stride_);
+  SNUG_ENSURE(stack_head_.size() == cfg_.num_sets);
+  SNUG_ENSURE(stack_size_.size() == cfg_.num_sets);
+  SNUG_ENSURE(next_uid_.size() == cfg_.num_sets);
+  SNUG_ENSURE(demand_.size() == cfg_.num_sets);
+  l2_refs_ = r.pod<std::uint64_t>();
+  last_block_ = r.pod<Addr>();
+  // Derived per-phase tables (alias samplers, streaming threshold) are
+  // rebuilt, NOT re-entered: enter_phase would clamp stacks and recompute
+  // the phase deadline, both of which the snapshot already fixes.
+  rebuild_phase_tables();
 }
 
 void SyntheticStream::maybe_advance_phase() {

@@ -22,6 +22,7 @@
 
 #include "common/alias.hpp"
 #include "common/rng.hpp"
+#include "common/state_io.hpp"
 #include "common/types.hpp"
 #include "common/zipf.hpp"
 #include "trace/instr.hpp"
@@ -74,8 +75,20 @@ class SyntheticStream final : public InstrStream {
   [[nodiscard]] std::size_t current_phase() const { return phase_idx_; }
   [[nodiscard]] const BenchmarkProfile& profile() const { return profile_; }
 
+  /// Warm-state serialization: generator cursors (RNG lanes, phase index
+  /// and deadline, per-set LRU slabs, uid allocators, demand map, ref
+  /// count, L1-local target) round-trip bit-exactly for a stream built
+  /// from the same (profile, StreamConfig); derived tables are rebuilt
+  /// on load.  The restored stream resumes draw-for-draw.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+
  private:
   void enter_phase(std::size_t idx);
+  /// Rebuilds the derived per-phase state (alias tables, streaming
+  /// threshold) from demand_ + phase_idx_; shared by enter_phase and
+  /// load_state.
+  void rebuild_phase_tables();
   void maybe_advance_phase();
   Addr make_block_addr(SetIndex set, std::uint32_t uid) const;
   Addr next_l2_ref();
