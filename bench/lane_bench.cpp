@@ -1,0 +1,258 @@
+// Lane bench — the measurement device behind the ISSUE 7 lane-parallel
+// campaign engine.  Four tiers, each executing the *same* set of
+// campaign points (build + timing warm-up + measured window per point)
+// on one 8-core scenario, interleaved round-robin and reported
+// best-of-N so OS noise cannot favour a tier:
+//
+//   scalar     — the pre-lane engine: one point at a time through
+//                CmpSystem::run (Core::step scalar dispatch).
+//   masked(1)  — one point at a time through run_masked: isolates the
+//                free-running core-step win from the lane packing (the
+//                lane-overhead break-even measurement).
+//   W=4        — points packed four per LaneGroup, round-robin quanta.
+//   W=8        — all eight points in one LaneGroup.
+//
+// Every tier simulates identical machines over identical windows, so
+// the per-point IPC/cycle checksums must agree exactly across tiers —
+// printed, recorded, and gated in CI (scalar-vs-lane bit-identity on
+// real campaign workloads, complementing the unit-level equivalence
+// tests).
+//
+// --json-out=FILE writes one JSON record tagged with --label;
+// BENCH_lanes.json at the repo root keeps the recorded tiers
+// (scripts/check_bench_regression.py gates checksum equality and the
+// W=4 speedup).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/str.hpp"
+#include "schemes/factory.hpp"
+#include "sim/lane_engine.hpp"
+#include "sim/scenario.hpp"
+#include "sim/system.hpp"
+
+namespace {
+
+using namespace snug;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+std::uint64_t retired_instructions(sim::CmpSystem& sys,
+                                   std::uint32_t cores) {
+  std::uint64_t total = 0;
+  for (CoreId c = 0; c < cores; ++c) total += sys.core(c).retired();
+  return total;
+}
+
+struct TierResult {
+  double seconds = 0.0;
+  std::uint64_t instructions = 0;  ///< retired, warm-up + measurement
+  std::uint64_t checksum = 0;      ///< end cycles + scaled measured IPCs
+};
+
+enum class Tier { kScalar, kMaskedW1, kGroup };
+
+/// Runs every (combo, scheme-fixed) point of the campaign set once.
+/// kScalar/kMaskedW1 run the points sequentially through run() /
+/// run_masked(); kGroup packs them `width` per LaneGroup.
+TierResult run_tier(const sim::SystemConfig& cfg,
+                    const schemes::SchemeSpec& scheme,
+                    const std::vector<trace::WorkloadCombo>& combos,
+                    const sim::RunScale& scale, Tier tier,
+                    std::size_t width) {
+  TierResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto finish_point = [&](sim::CmpSystem& sys) {
+    out.instructions += retired_instructions(sys, cfg.num_cores);
+    out.checksum += sys.now();
+    for (const double v : sys.measured_ipc()) {
+      out.checksum += static_cast<std::uint64_t>(v * 1e6);
+    }
+  };
+  if (tier == Tier::kGroup) {
+    for (std::size_t g0 = 0; g0 < combos.size(); g0 += width) {
+      const std::size_t w =
+          std::min<std::size_t>(width, combos.size() - g0);
+      sim::LaneGroup group;
+      for (std::size_t l = 0; l < w; ++l) {
+        group.add_lane(std::make_unique<sim::CmpSystem>(
+            cfg, scheme, combos[g0 + l], scale));
+      }
+      group.run(scale.warmup_cycles);
+      for (std::size_t l = 0; l < w; ++l) {
+        out.instructions +=
+            retired_instructions(group.lane(l), cfg.num_cores);
+        group.lane(l).begin_measurement();
+      }
+      group.run(scale.measure_cycles);
+      for (std::size_t l = 0; l < w; ++l) finish_point(group.lane(l));
+    }
+  } else {
+    for (const auto& combo : combos) {
+      sim::CmpSystem sys(cfg, scheme, combo, scale);
+      const bool masked = tier == Tier::kMaskedW1;
+      if (masked) {
+        sys.run_masked(scale.warmup_cycles);
+      } else {
+        sys.run(scale.warmup_cycles);
+      }
+      out.instructions += retired_instructions(sys, cfg.num_cores);
+      sys.begin_measurement();
+      if (masked) {
+        sys.run_masked(scale.measure_cycles);
+      } else {
+        sys.run(scale.measure_cycles);
+      }
+      finish_point(sys);
+    }
+  }
+  out.seconds = seconds_since(t0);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snug;
+  CliArgs args(argc, argv);
+  const std::string scenario_text = args.get_string(
+      "scenario", "name=lane8 cores=8 workload=1A+1C variants=8",
+      "campaign scenario spec (variants= sets the point count)");
+  const std::string scheme_id = args.get_string(
+      "scheme", "SNUG", "L2 organisation for every point");
+  const std::int64_t warm = args.get_int(
+      "warmup-cycles", 250'000, "per-point warm-up window (core cycles)");
+  const std::int64_t measure = args.get_int(
+      "measure-cycles", 1'000'000,
+      "per-point measured window (core cycles)");
+  const std::int64_t rounds = args.get_int(
+      "rounds", 3, "interleaved repetitions per tier (best-of)");
+  const std::string json_out = args.get_string(
+      "json-out", "", "write the results as one JSON record to this file");
+  const std::string label = args.get_string(
+      "label", "run", "label stored in the JSON record");
+  const std::string notes = args.get_string(
+      "notes", "", "free-form notes stored in the JSON record");
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+  args.check_unknown();
+
+  sim::ScenarioSpec scenario;
+  std::string err;
+  if (!sim::parse_scenario(scenario_text, scenario, err)) {
+    std::fprintf(stderr, "lane_bench: bad --scenario: %s\n", err.c_str());
+    return 1;
+  }
+  schemes::SchemeSpec scheme;
+  if (!schemes::parse_scheme_id(scheme_id, scheme)) {
+    std::fprintf(stderr, "lane_bench: unknown --scheme '%s'\n",
+                 scheme_id.c_str());
+    return 1;
+  }
+
+  const sim::SystemConfig cfg = scenario.system_config();
+  const std::vector<trace::WorkloadCombo> combos = scenario.combos();
+  SNUG_REQUIRE_MSG(combos.size() >= 2,
+                   "lane_bench needs >= 2 campaign points (use variants=)");
+  sim::RunScale scale = scenario.scale;
+  scale.warmup_cycles = static_cast<Cycle>(warm);
+  scale.measure_cycles = static_cast<Cycle>(measure);
+  scale.warmup_mode = sim::WarmupMode::kTiming;
+
+  TierResult scalar, masked, w4, w8;
+  scalar.seconds = masked.seconds = w4.seconds = w8.seconds = 1e300;
+  const auto keep_best = [](TierResult& best, const TierResult& r) {
+    if (r.seconds < best.seconds) best = r;
+  };
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    keep_best(scalar, run_tier(cfg, scheme, combos, scale, Tier::kScalar, 1));
+    keep_best(masked,
+              run_tier(cfg, scheme, combos, scale, Tier::kMaskedW1, 1));
+    keep_best(w4, run_tier(cfg, scheme, combos, scale, Tier::kGroup, 4));
+    keep_best(w8, run_tier(cfg, scheme, combos, scale, Tier::kGroup, 8));
+  }
+  const bool checksums_equal = scalar.checksum == masked.checksum &&
+                               scalar.checksum == w4.checksum &&
+                               scalar.checksum == w8.checksum;
+  const double scalar_ips =
+      static_cast<double>(scalar.instructions) / scalar.seconds;
+  const double speedup_masked = scalar.seconds / masked.seconds;
+  const double speedup_w4 = scalar.seconds / w4.seconds;
+  const double speedup_w8 = scalar.seconds / w8.seconds;
+
+  std::printf("lane_bench — %s, scheme %s, %zu points\n",
+              scenario.summary().c_str(), scheme_id.c_str(), combos.size());
+  std::printf("warm %lld + measure %lld cycles/point, best of %lld "
+              "interleaved\n",
+              static_cast<long long>(warm), static_cast<long long>(measure),
+              static_cast<long long>(rounds));
+  std::printf("%-18s %10s %14s %10s\n", "tier", "seconds", "instr/s",
+              "speedup");
+  const auto row = [](const char* name, const TierResult& t, double sp) {
+    std::printf("%-18s %10.3f %14.3e %9.2fx\n", name, t.seconds,
+                static_cast<double>(t.instructions) / t.seconds, sp);
+  };
+  row("scalar", scalar, 1.0);
+  row("masked W=1", masked, speedup_masked);
+  row("lanes W=4", w4, speedup_w4);
+  row("lanes W=8", w8, speedup_w8);
+  std::printf("checksums %s (scalar %llu)\n",
+              checksums_equal ? "EQUAL across all tiers" : "MISMATCH",
+              static_cast<unsigned long long>(scalar.checksum));
+  if (!checksums_equal) {
+    std::fprintf(stderr,
+                 "lane_bench: tier checksums diverge — lane execution is "
+                 "no longer bit-identical to scalar\n");
+  }
+
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "lane_bench: cannot write %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"label\": \"%s\",\n"
+                 "  \"scenario\": \"%s\",\n"
+                 "  \"scheme\": \"%s\",\n"
+                 "  \"points\": %zu,\n"
+                 "  \"warmup_cycles\": %lld,\n"
+                 "  \"measure_cycles\": %lld,\n"
+                 "  \"rounds\": %lld,\n"
+                 "  \"scalar_sec\": %.4f,\n"
+                 "  \"masked_w1_sec\": %.4f,\n"
+                 "  \"w4_sec\": %.4f,\n"
+                 "  \"w8_sec\": %.4f,\n"
+                 "  \"scalar_instr_per_sec\": %.4e,\n"
+                 "  \"speedup_masked_w1\": %.3f,\n"
+                 "  \"speedup_w4\": %.3f,\n"
+                 "  \"speedup_w8\": %.3f,\n"
+                 "  \"lane_checksum_equal\": %d,\n"
+                 "  \"checksum\": %llu,\n"
+                 "  \"notes\": \"%s\"\n"
+                 "}\n",
+                 label.c_str(), scenario_text.c_str(), scheme_id.c_str(),
+                 combos.size(), static_cast<long long>(warm),
+                 static_cast<long long>(measure),
+                 static_cast<long long>(rounds), scalar.seconds,
+                 masked.seconds, w4.seconds, w8.seconds, scalar_ips,
+                 speedup_masked, speedup_w4, speedup_w8,
+                 checksums_equal ? 1 : 0,
+                 static_cast<unsigned long long>(scalar.checksum),
+                 notes.c_str());
+    std::fclose(f);
+  }
+  return checksums_equal ? 0 : 1;
+}

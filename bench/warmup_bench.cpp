@@ -24,7 +24,10 @@
 // 16-core scaling configurations rely on (ISSUE 6 satellite): the same
 // 16-core point under monitor-sample=1 (exact) and monitor-sample=8 (the
 // sampled monitors the scaling study runs), per-core measured IPC side
-// by side.
+// by side — plus the same comparison for each Table 8 workload class
+// mix (C1..C6 scaled to 16 cores), so the "sampling is IPC-neutral"
+// claim is backed per class, not by one mix (ISSUE 7 carry-over).  The
+// per-class worst deltas land in the JSON record's `notes` field.
 //
 // --json-out=FILE writes one JSON record tagged with --label;
 // BENCH_warmup.json at the repo root keeps the recorded tiers
@@ -150,6 +153,19 @@ SenseResult monitor_sense(const sim::ScenarioSpec& base, Cycle warm,
   return out;
 }
 
+/// The Table 8 workload classes as class-pattern mixes (Table 7 names).
+/// Each total divides 16, so every mix scales to the 16-core point the
+/// scaling study runs with monitor-sample=8.
+struct SenseClass {
+  const char* name;
+  const char* mix;
+};
+
+constexpr SenseClass kSenseClasses[] = {
+    {"C1", "4A"},       {"C2", "4C"},       {"C3", "2A+2C"},
+    {"C4", "2A+1B+1C"}, {"C5", "2A+2D"},    {"C6", "2A+1B+1D"},
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -270,6 +286,32 @@ int main(int argc, char** argv) {
       monitor_sense(sense_scenario, static_cast<Cycle>(sense_warm),
                     static_cast<Cycle>(sense_measure), checksum);
 
+  // Per-class sensitivity: one exact-vs-sampled pair per Table 8 class
+  // mix at the 16-core scaling point.  The worst per-core delta of each
+  // class feeds the record's `notes` field.
+  std::vector<double> class_delta;
+  std::string notes = strf(
+      "monitor-sample=8 vs exact, Table 8 classes at 16 cores "
+      "(warm %lld + measure %lld):",
+      static_cast<long long>(sense_warm),
+      static_cast<long long>(sense_measure));
+  double class_delta_worst = 0.0;
+  for (const SenseClass& cls : kSenseClasses) {
+    sim::ScenarioSpec cls_scenario;
+    const std::string cls_text = strf("name=sense%s cores=16 workload=%s",
+                                      cls.name, cls.mix);
+    SNUG_REQUIRE_MSG(sim::parse_scenario(cls_text, cls_scenario, err),
+                     "bad class sense scenario '%s': %s", cls_text.c_str(),
+                     err.c_str());
+    const SenseResult r =
+        monitor_sense(cls_scenario, static_cast<Cycle>(sense_warm),
+                      static_cast<Cycle>(sense_measure), checksum);
+    class_delta.push_back(r.max_delta);
+    class_delta_worst = std::max(class_delta_worst, r.max_delta);
+    notes += strf(" %s(%s) %.4f;", cls.name, cls.mix, r.max_delta);
+  }
+  notes += strf(" worst %.4f", class_delta_worst);
+
   std::printf("warmup_bench — %s, scheme %s, combo %s\n",
               scenario.summary().c_str(), scheme_id.c_str(),
               combo.name.c_str());
@@ -293,6 +335,11 @@ int main(int argc, char** argv) {
   std::printf("  sample=8 IPC [%s]\n",
               join_doubles(sense.ipc_sampled).c_str());
   std::printf("  max per-core delta %.4f\n", sense.max_delta);
+  std::printf("per-class sensitivity (Table 8 mixes at 16 cores):\n");
+  for (std::size_t i = 0; i < std::size(kSenseClasses); ++i) {
+    std::printf("  %s %-10s max delta %.4f\n", kSenseClasses[i].name,
+                kSenseClasses[i].mix, class_delta[i]);
+  }
   std::printf("(checksum %llu)\n",
               static_cast<unsigned long long>(checksum));
 
@@ -324,6 +371,8 @@ int main(int argc, char** argv) {
                  "  \"sense_ipc_sample1\": [%s],\n"
                  "  \"sense_ipc_sample8\": [%s],\n"
                  "  \"sense_ipc_delta_max\": %.4f,\n"
+                 "  \"sense_class_delta_max\": [%s],\n"
+                 "  \"notes\": \"%s\",\n"
                  "  \"checksum\": %llu\n"
                  "}\n",
                  label.c_str(), scenario_text.c_str(), scheme_id.c_str(),
@@ -336,6 +385,7 @@ int main(int argc, char** argv) {
                  static_cast<long long>(sense_measure),
                  join_doubles(sense.ipc_exact).c_str(),
                  join_doubles(sense.ipc_sampled).c_str(), sense.max_delta,
+                 join_doubles(class_delta).c_str(), notes.c_str(),
                  static_cast<unsigned long long>(checksum));
     std::fclose(f);
   }

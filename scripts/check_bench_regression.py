@@ -31,6 +31,18 @@ Two record kinds are recognised by shape:
       ipc_delta_functional_vs_cold  <= 0.25  (equivalence-test band)
       ipc_delta_bank_vs_functional  == 0.0   (restore is bit-identical)
 
+  lane records (lane_bench, detected by `speedup_w4`): gated on
+
+      lane_checksum_equal           == 1     (lane execution stays
+                                              bit-identical to scalar)
+      speedup_w4                    >= 0.75  (the W=4 lane tier must not
+                                              collapse; the recorded
+                                              BENCH_lanes.json measures
+                                              ~0.9-1.0x on the 1-core
+                                              dev host — see its notes
+                                              for the negative result
+                                              vs the 1.5x target)
+
 Exit codes: 0 pass, 1 regression, 2 bad input.
 """
 
@@ -42,6 +54,8 @@ HOTPATH_KEYS = ("system_run_instr_per_sec", "system_run_l2p_instr_per_sec")
 
 WARMUP_MIN_BANK_SPEEDUP = 1.6
 WARMUP_MAX_FUNCTIONAL_IPC_DELTA = 0.25
+
+LANE_MIN_W4_SPEEDUP = 0.75
 
 
 def load(path):
@@ -88,6 +102,24 @@ def gate_warmup(measured):
     return failures
 
 
+def gate_lane(measured):
+    checks = (
+        ("lane_checksum_equal", lambda v: v == 1, "== 1"),
+        ("speedup_w4", lambda v: v >= LANE_MIN_W4_SPEEDUP,
+         f">= {LANE_MIN_W4_SPEEDUP}"),
+    )
+    failures = []
+    for key, ok, bound in checks:
+        got = measured.get(key)
+        if not isinstance(got, (int, float)):
+            raise ValueError(f"measurement lacks {key}")
+        status = "OK " if ok(got) else "REGRESSION"
+        print(f"{status} {key}: measured {got} (require {bound})")
+        if not ok(got):
+            failures.append(key)
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="+",
@@ -120,6 +152,8 @@ def main() -> int:
         try:
             if "speedup_bank_vs_cold" in measured:
                 failed = gate_warmup(measured)
+            elif "speedup_w4" in measured:
+                failed = gate_lane(measured)
             else:
                 failed = gate_hotpath(measured, baseline, args.min_ratio)
         except ValueError as err:

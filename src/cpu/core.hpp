@@ -98,7 +98,191 @@ class Core {
   /// Simulates one core clock cycle (retire, then fetch/dispatch) and
   /// returns the earliest cycle > now at which this core can next change
   /// state — the driver may skip straight to it.
-  Cycle step(Cycle now) {
+  Cycle step(Cycle now) { return step_impl(now); }
+
+  /// Free-running batch step for the lane engine (sim/lane_engine.hpp).
+  ///
+  /// Everything a core does between its own L1 *misses* is core-local:
+  /// plain instructions, correctly predicted branches, L1-hit loads and
+  /// stores, retirement, mispredict redirects, batch refills from the
+  /// (private) stream.  step_masked exploits that: called at global
+  /// cycle `now`, it simulates cycle after cycle privately — the same
+  /// per-cycle retire/dispatch/next-event bodies as step(), so the state
+  /// evolution is bit-identical — WITHOUT returning to the driver, until
+  /// it either
+  ///   * reaches a shared-state event (an L1D or L1I miss, which books
+  ///     bus/DRAM tenures and mutates the L2 scheme): if the event falls
+  ///     at a cycle t beyond `now`, the core *parks* — records the
+  ///     half-dispatched instruction and returns t.  The driver resumes
+  ///     it via the normal wake machinery at exactly (cycle t, this
+  ///     core's sweep slot), so every shared-state access happens in the
+  ///     same global (cycle, core-index) order as under step() — the
+  ///     property all bus/DRAM/scheme bit-identity rests on.  At
+  ///     t == now (the core's own sweep slot) misses execute
+  ///     synchronously, scalar-style, no park.
+  ///   * runs out of window: cycles >= `limit` belong to the next run()
+  ///     call; the core returns its next-event cycle unparked.
+  ///
+  /// Epoch ticks and WBB drains stay on the driver's timeline; they
+  /// commute with the free-run because it touches no shared state.
+  /// A parked core must be resumed through step_masked before any
+  /// scalar step() call (CmpSystem::run_masked guarantees parks never
+  /// outlive a run window, so run()/run_masked() may still be
+  /// interleaved freely at window granularity).
+  Cycle step_masked(Cycle now, Cycle limit) {
+    const std::uint32_t issue_width = cfg_.issue_width;
+    const std::uint32_t rob_entries = cfg_.rob_entries;
+    const std::uint32_t lsq_entries = cfg_.lsq_entries;
+    RobEntry* const rob = rob_.data();
+
+    Cycle t = now;
+    std::uint32_t dispatched = 0;
+    bool observed_block = false;
+    bool mid_cycle = false;
+
+    if (pending_ != Pending::kNone) {
+      // Parked: t == the shared event's cycle and this is our sweep
+      // slot, so the miss executes now, synchronously.  Cycle t's
+      // retire phase ran before the park; finish its dispatch phase.
+      dispatched = pending_dispatched_;
+      observed_block = pending_observed_block_;
+      mid_cycle = true;
+      if (pending_ == Pending::kData) {
+        const Cycle completion =
+            mem_.miss_data(id_, pending_addr_, pending_write_, t);
+        SNUG_REQUIRE(completion > t);
+        RobEntry entry;
+        entry.done_at = pending_write_ ? t + 1 : completion;
+        entry.is_mem = true;
+        ++ibuf_pos_;
+        append_rob(entry, rob, rob_entries);
+      } else {  // Pending::kIfetch
+        const Cycle completion = mem_.miss_inst(id_, pending_addr_, t);
+        const Cycle done = completion > t ? completion : t + 1;
+        if (done > t + 1) fetch_stall_until_ = done;
+        // The instruction the fetch belonged to still dispatches at t
+        // (as in dispatch_one); a data miss inside it is synchronous.
+        const bool parked = dispatch_decode(t, t, rob, rob_entries);
+        SNUG_ENSURE(!parked);
+      }
+      pending_ = Pending::kNone;
+      ++dispatched;
+    }
+
+    for (;;) {
+      if (!mid_cycle) {
+        settle_stall(t);
+        std::uint32_t retired_now = 0;
+        while (retired_now < issue_width && rob_size_ != 0 &&
+               rob[rob_head_].done_at <= t) {
+          lsq_used_ -= rob[rob_head_].is_mem;
+          if (++rob_head_ == rob_entries) rob_head_ = 0;
+          --rob_size_;
+          ++retired_now;
+        }
+        stats_.retired += retired_now;
+        dispatched = 0;
+        observed_block = false;
+      }
+      mid_cycle = false;
+
+      if (t >= fetch_stall_until_) {
+        while (dispatched < issue_width) {
+          if (rob_size_ >= rob_entries || lsq_used_ >= lsq_entries) {
+            observed_block = true;
+            break;
+          }
+          if (dispatch_one_masked(t, now, rob, rob_entries)) {
+            pending_dispatched_ = dispatched;
+            pending_observed_block_ = observed_block;
+            return t;
+          }
+          ++dispatched;
+          if (t < fetch_stall_until_) break;  // redirect / I-miss
+        }
+      }
+
+      // Next-event + pending-stall bookkeeping: verbatim step() epilogue.
+      const bool rob_full = rob_size_ >= rob_entries;
+      const bool lsq_full = lsq_used_ >= lsq_entries;
+      const Cycle dispatch_at = (rob_full || lsq_full)
+                                    ? kNever
+                                    : std::max(fetch_stall_until_, t + 1);
+      Cycle next;
+      if (rob_size_ == 0) {
+        stall_from_ = stall_until_ = 0;
+        next = dispatch_at;
+      } else {
+        const Cycle retire_at = std::max(rob[rob_head_].done_at, t + 1);
+        if (rob_full || lsq_full) {
+          stall_from_ = std::max(fetch_stall_until_,
+                                 observed_block ? t : t + 1);
+          stall_until_ = retire_at;
+          stall_is_rob_ = rob_full;
+        } else {
+          stall_from_ = stall_until_ = 0;
+        }
+        next = std::min(dispatch_at, retire_at);
+      }
+      if (next >= limit) return next;
+      t = next;
+    }
+  }
+
+  /// Folds the pending stall span into rob_full/lsq_full counters up to
+  /// (excluding) `now`.  step() settles on entry; a driver that ends a
+  /// run window at cycle `end` calls settle_stall(end) so stall cycles
+  /// inside the window are charged even when the core slept through its
+  /// tail (sim::CmpSystem::run does).
+  void settle_stall(Cycle now) noexcept {
+    if (stall_until_ > stall_from_) {
+      const Cycle upto = std::min(now, stall_until_);
+      if (upto > stall_from_) {
+        (stall_is_rob_ ? stats_.rob_full_cycles
+                       : stats_.lsq_full_cycles) += upto - stall_from_;
+        stall_from_ = upto;
+      }
+    }
+  }
+
+  [[nodiscard]] const CoreStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t retired() const noexcept {
+    return stats_.retired;
+  }
+  [[nodiscard]] CoreId id() const noexcept { return id_; }
+
+  /// IPC over a window of `cycles` (uses retired instructions since the
+  /// last reset_stats()).
+  [[nodiscard]] double ipc(Cycle cycles) const noexcept {
+    if (cycles == 0) return 0.0;
+    return static_cast<double>(stats_.retired) /
+           static_cast<double>(cycles);
+  }
+
+  /// Clears counters; `now` marks where the new measurement window
+  /// starts.  The pre-reset part of an in-flight stall span is settled
+  /// into the discarded window and the remainder stays pending for the
+  /// new one, so windowed stall statistics match what per-cycle
+  /// accounting records.  Pass the boundary cycle when windows matter
+  /// (sim::CmpSystem::begin_measurement does); the default 0 just
+  /// clears counters.
+  void reset_stats(Cycle now = 0) noexcept {
+    settle_stall(now);
+    stats_ = CoreStats{};
+  }
+
+ private:
+  struct RobEntry {
+    Cycle done_at = 0;
+    bool is_mem = false;
+  };
+
+  static constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+  /// Instructions pulled from the stream per InstrStream::fill call: one
+  /// virtual dispatch amortised over the batch.
+  static constexpr std::size_t kFetchBatch = 64;
+
+  Cycle step_impl(Cycle now) {
     settle_stall(now);  // fold pending stall cycles < now into the stats
 
     // Hoisted configuration: the calls below reach the memory system,
@@ -170,58 +354,89 @@ class Core {
     return std::min(dispatch_at, retire_at);
   }
 
-  /// Folds the pending stall span into rob_full/lsq_full counters up to
-  /// (excluding) `now`.  step() settles on entry; a driver that ends a
-  /// run window at cycle `end` calls settle_stall(end) so stall cycles
-  /// inside the window are charged even when the core slept through its
-  /// tail (sim::CmpSystem::run does).
-  void settle_stall(Cycle now) noexcept {
-    if (stall_until_ > stall_from_) {
-      const Cycle upto = std::min(now, stall_until_);
-      if (upto > stall_from_) {
-        (stall_is_rob_ ? stats_.rob_full_cycles
-                       : stats_.lsq_full_cycles) += upto - stall_from_;
-        stall_from_ = upto;
+  void append_rob(const RobEntry& entry, RobEntry* rob,
+                  std::uint32_t rob_entries) noexcept {
+    std::uint32_t tail = rob_head_ + rob_size_;
+    if (tail >= rob_entries) tail -= rob_entries;
+    rob[tail] = entry;
+    ++rob_size_;
+  }
+
+  /// Decode + execute of the instruction at ibuf_pos_ at cycle t — the
+  /// post-I-fetch tail of dispatch_one, with the shared-state access
+  /// split out for the free-run.  `global_now` is the driver's clock:
+  /// an L1D miss at t > global_now parks the core (returns true)
+  /// instead of touching bus/DRAM/L2 ahead of the global event order;
+  /// at t == global_now it executes synchronously, scalar-style.
+  bool dispatch_decode(Cycle t, Cycle global_now, RobEntry* rob,
+                       std::uint32_t rob_entries) {
+    if (ibuf_pos_ == ibuf_len_) {
+      ibuf_len_ = static_cast<std::uint32_t>(
+          stream_.fill_batch(icode_.data(), iaddr_.data(), kFetchBatch));
+      SNUG_ENSURE(ibuf_len_ > 0 && ibuf_len_ <= kFetchBatch);
+      ibuf_pos_ = 0;
+    }
+    const std::uint8_t code = icode_[ibuf_pos_];
+    RobEntry entry;
+    entry.done_at = t + 1;
+    if ((code >> 1) == 1) {  // kLoad or kStore
+      const bool is_write = code & 1;
+      stats_.loads += !is_write;
+      stats_.stores += is_write;
+      entry.is_mem = true;
+      ++lsq_used_;
+      const Addr addr = iaddr_[ibuf_pos_];
+      if (!mem_.probe_data(id_, addr, is_write)) {  // L1D miss: shared
+        if (t > global_now) {
+          pending_ = Pending::kData;
+          pending_addr_ = addr;
+          pending_write_ = is_write;
+          return true;
+        }
+        const Cycle completion = mem_.miss_data(id_, addr, is_write, t);
+        SNUG_REQUIRE(completion > t);
+        if (!is_write) entry.done_at = completion;
+      }
+      // L1D hit: completion is t + 1 — entry.done_at is already right.
+    } else {
+      stats_.branches += (code & 7) == 1;
+      if (code & trace::kInstrMispredictBit) {
+        ++stats_.mispredicts;
+        fetch_stall_until_ = t + cfg_.branch_penalty;
       }
     }
+    ++ibuf_pos_;
+    append_rob(entry, rob, rob_entries);
+    return false;
   }
 
-  [[nodiscard]] const CoreStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] std::uint64_t retired() const noexcept {
-    return stats_.retired;
+  /// dispatch_one for the free-run: identical state evolution, but L1I
+  /// and L1D misses beyond the driver's clock park the core (see
+  /// step_masked).  Returns true when parked.
+  bool dispatch_one_masked(Cycle t, Cycle global_now, RobEntry* rob,
+                           std::uint32_t rob_entries) {
+    if (--ifetch_countdown_ == 0) {
+      ifetch_countdown_ = cfg_.line_bytes / cfg_.instr_bytes;
+      const Addr ifetch_addr =
+          code_base_ + code_block_cursor_ * cfg_.line_bytes;
+      if (++code_block_cursor_ == cfg_.code_blocks) {
+        code_block_cursor_ = 0;
+      }
+      ++stats_.ifetch_blocks;
+      if (!mem_.probe_inst(id_, ifetch_addr)) {  // L1I miss: shared
+        if (t > global_now) {
+          pending_ = Pending::kIfetch;
+          pending_addr_ = ifetch_addr;
+          return true;
+        }
+        const Cycle completion = mem_.miss_inst(id_, ifetch_addr, t);
+        const Cycle done = completion > t ? completion : t + 1;
+        if (done > t + 1) fetch_stall_until_ = done;  // I-miss stall
+      }
+      // L1I hit: done == t + 1, no fetch stall.
+    }
+    return dispatch_decode(t, global_now, rob, rob_entries);
   }
-  [[nodiscard]] CoreId id() const noexcept { return id_; }
-
-  /// IPC over a window of `cycles` (uses retired instructions since the
-  /// last reset_stats()).
-  [[nodiscard]] double ipc(Cycle cycles) const noexcept {
-    if (cycles == 0) return 0.0;
-    return static_cast<double>(stats_.retired) /
-           static_cast<double>(cycles);
-  }
-
-  /// Clears counters; `now` marks where the new measurement window
-  /// starts.  The pre-reset part of an in-flight stall span is settled
-  /// into the discarded window and the remainder stays pending for the
-  /// new one, so windowed stall statistics match what per-cycle
-  /// accounting records.  Pass the boundary cycle when windows matter
-  /// (sim::CmpSystem::begin_measurement does); the default 0 just
-  /// clears counters.
-  void reset_stats(Cycle now = 0) noexcept {
-    settle_stall(now);
-    stats_ = CoreStats{};
-  }
-
- private:
-  struct RobEntry {
-    Cycle done_at = 0;
-    bool is_mem = false;
-  };
-
-  static constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
-  /// Instructions pulled from the stream per InstrStream::fill call: one
-  /// virtual dispatch amortised over the batch.
-  static constexpr std::size_t kFetchBatch = 64;
 
   // `rob`/`rob_entries` arrive pre-hoisted from step(): the memory-port
   // call below is opaque to the optimiser, which would otherwise reload
@@ -308,6 +523,15 @@ class Core {
   std::array<Addr, kFetchBatch> iaddr_;
   std::uint32_t ibuf_pos_ = 0;
   std::uint32_t ibuf_len_ = 0;
+
+  // Parked shared-state event (see step_masked): the half-dispatched
+  // instruction waiting for its (cycle, core) sweep slot.
+  enum class Pending : std::uint8_t { kNone, kData, kIfetch };
+  Pending pending_ = Pending::kNone;
+  Addr pending_addr_ = 0;
+  bool pending_write_ = false;
+  std::uint32_t pending_dispatched_ = 0;
+  bool pending_observed_block_ = false;
 
   // Pending stall span [stall_from_, stall_until_) not yet folded into
   // rob_full/lsq_full — settled as simulated time reaches it (see

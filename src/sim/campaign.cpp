@@ -6,6 +6,7 @@
 
 #include "common/require.hpp"
 #include "common/str.hpp"
+#include "sim/lane_engine.hpp"
 
 namespace snug::sim {
 
@@ -95,16 +96,16 @@ CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
   std::mutex hook_mu;
   std::size_t done = 0;
 
-  exec_.run_indexed(n_tasks, [&](std::size_t i) {
+  // Shared post-result bookkeeping: progress hook, per-combo countdown,
+  // combo-completion hook.  Identical for the scalar and lane paths so
+  // the two engines are interchangeable downstream.
+  const auto finish_task = [&](std::size_t i) {
     const std::size_t c = i / n_schemes;
     const auto& combo = combos[c];
-    const auto& scheme = spec.schemes[i % n_schemes];
-    slots[i] = runner_.run(combo, scheme);
-
     if (on_progress) {
       const std::lock_guard<std::mutex> lock(hook_mu);
-      on_progress({++done, n_tasks, combo.name, scheme.id(),
-                   slots[i].cached});
+      on_progress({++done, n_tasks, combo.name,
+                   spec.schemes[i % n_schemes].id(), slots[i].cached});
     }
     // acq_rel: the last decrementer observes every sibling's slot write.
     if (remaining[c]->fetch_sub(1, std::memory_order_acq_rel) == 1 &&
@@ -116,7 +117,40 @@ CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
       const std::lock_guard<std::mutex> lock(hook_mu);
       on_combo_done(combo, combo_results);
     }
-  });
+  };
+
+  if (const std::uint32_t lanes = runner_.scale().lanes; lanes > 1) {
+    // Lane-parallel path: the executor's work items are lane-group
+    // plans, each running its points in lockstep through one
+    // LaneGroup (sim/lane_engine.hpp).  plan_lane_groups chunks
+    // scheme-major — a group's lanes share the scheme and differ only
+    // in workload combo (seed / rotated variant) — and plans carry the
+    // same combo-major task indices as the scalar path, so slot
+    // layout, progress accounting and per-combo completion are
+    // untouched.
+    const std::vector<LaneGroupPlan> plans =
+        plan_lane_groups(combos.size(), n_schemes, lanes);
+    exec_.run_indexed(plans.size(), [&](std::size_t p) {
+      const LaneGroupPlan& plan = plans[p];
+      std::vector<ExperimentRunner::GroupPoint> points;
+      points.reserve(plan.tasks.size());
+      for (const std::size_t i : plan.tasks) {
+        points.push_back(
+            {combos[i / n_schemes], spec.schemes[i % n_schemes]});
+      }
+      std::vector<RunResult> group = runner_.run_group(points);
+      for (std::size_t l = 0; l < plan.tasks.size(); ++l) {
+        slots[plan.tasks[l]] = std::move(group[l]);
+        finish_task(plan.tasks[l]);
+      }
+    });
+  } else {
+    exec_.run_indexed(n_tasks, [&](std::size_t i) {
+      slots[i] =
+          runner_.run(combos[i / n_schemes], spec.schemes[i % n_schemes]);
+      finish_task(i);
+    });
+  }
 
   CampaignResults out;
   for (std::size_t c = 0; c < combos.size(); ++c) {

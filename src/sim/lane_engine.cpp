@@ -1,0 +1,47 @@
+#include "sim/lane_engine.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace snug::sim {
+
+std::vector<LaneGroupPlan> plan_lane_groups(std::size_t n_combos,
+                                            std::size_t n_schemes,
+                                            std::uint32_t lanes) {
+  std::vector<LaneGroupPlan> plans;
+  if (lanes <= 1) {
+    plans.reserve(n_combos * n_schemes);
+    for (std::size_t i = 0; i < n_combos * n_schemes; ++i) {
+      plans.push_back({{i}});
+    }
+    return plans;
+  }
+  // Scheme-major: chunk each scheme's combo column into groups of
+  // `lanes`.  Task indices stay combo-major (combo * n_schemes + scheme)
+  // to match CampaignEngine's slot layout.
+  for (std::size_t s = 0; s < n_schemes; ++s) {
+    for (std::size_t c0 = 0; c0 < n_combos; c0 += lanes) {
+      const std::size_t chunk = std::min<std::size_t>(lanes, n_combos - c0);
+      LaneGroupPlan plan;
+      plan.tasks.reserve(chunk);
+      for (std::size_t c = c0; c < c0 + chunk; ++c) {
+        plan.tasks.push_back(c * n_schemes + s);
+      }
+      plans.push_back(std::move(plan));
+    }
+  }
+  return plans;
+}
+
+void LaneGroup::run(Cycle cycles) {
+  SNUG_REQUIRE(!lanes_.empty());
+  Cycle remaining = cycles;
+  while (remaining > 0) {
+    const Cycle quantum = std::min(kQuantum, remaining);
+    for (auto& lane : lanes_) lane->run_masked(quantum);
+    remaining -= quantum;
+  }
+}
+
+}  // namespace snug::sim

@@ -1,0 +1,95 @@
+// Lane-parallel execution engine: steps W replicas of near-identical
+// campaign points ("lanes") through the free-running core path inside
+// one campaign worker.
+//
+// Why lanes help at all: the post-PR 5/6 profile says the scalar run
+// tier is bounded by per-cycle driver overhead — `CmpSystem::run`
+// sweeps every core every event cycle, and `Core::step` pays a call
+// round-trip per simulated cycle.  A lane group attacks this two ways:
+//   * every lane steps through cpu::Core::step_masked, which free-runs
+//     each core through its core-local work (plain instructions, L1
+//     hits, retirement) in one call and parks only at shared-state
+//     events — measured ~9x fewer core-step calls per simulated window;
+//   * lanes advance in round-robin *quanta* (kQuantum cycles each), so
+//     the host branch predictor and caches see a long homogeneous burst
+//     per lane instead of a per-event interleave thrashing both.
+//
+// Lanes are fully independent machines — same scenario, different seed
+// or rotated workload variant — so bit-identity with the scalar engine
+// is structural, not statistical: CmpSystem::run is resumable
+// (run(a); run(b) == run(a+b), the event-at-window-end deferral
+// contract documented in system.cpp), step_masked parks shared-state
+// events back onto their exact (cycle, core) sweep slot, and no state
+// is shared between lanes.  Lane 0 of a W-wide group therefore produces
+// bit-identical results to a scalar run of the same point — pinned per
+// scheme by tests/sim/lane_equivalence_test.cpp.
+//
+// Shared-state events (scheme/bus/DRAM accesses, epoch ticks, WBB
+// drains) stay on the driver's global timeline: step_masked parks at
+// them, and the system-level event loop is unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/system.hpp"
+
+namespace snug::sim {
+
+/// One lane group's worth of work: absolute task indices into the
+/// campaign's combo-major (task = combo * n_schemes + scheme) grid.
+/// A single-entry plan is executed on the scalar path (no group setup).
+struct LaneGroupPlan {
+  std::vector<std::size_t> tasks;
+};
+
+/// Packs an n_combos x n_schemes campaign grid into lane groups of
+/// width `lanes`.  Grouping is scheme-major: the combos of one scheme
+/// differ only in seed/rotated workload variant (the replicated-
+/// evaluation shape lanes are built for), so each group's lanes share
+/// the scheme's control-flow profile.  A final partial chunk of >= 2
+/// combos still forms a (narrower) group; a leftover single combo
+/// becomes a width-1 plan, which the runner executes on the scalar
+/// path.  lanes <= 1 yields one width-1 plan per task (pure scalar).
+[[nodiscard]] std::vector<LaneGroupPlan> plan_lane_groups(
+    std::size_t n_combos, std::size_t n_schemes, std::uint32_t lanes);
+
+/// W independent CmpSystems advanced in lockstep by round-robin quanta.
+class LaneGroup {
+ public:
+  /// Cycles each lane advances per round-robin turn.  Large enough to
+  /// amortise re-warming the host cache with the lane's working set at
+  /// each switch (a lane's hot arenas span a few MB — comparable to a
+  /// host L2 — so switches are expensive: on the 1-core dev host,
+  /// 4096-cycle quanta measured ~5% slower than 32768 at W=4, and
+  /// 131072 bought nothing further); small enough that lanes stay
+  /// within a small fraction of a run window of each other in virtual
+  /// time (irrelevant for correctness — lanes share no state — but
+  /// keeps progress reporting honest).
+  static constexpr Cycle kQuantum = 32768;
+
+  void add_lane(std::unique_ptr<CmpSystem> sys) {
+    lanes_.push_back(std::move(sys));
+  }
+
+  [[nodiscard]] std::size_t width() const noexcept { return lanes_.size(); }
+
+  [[nodiscard]] CmpSystem& lane(std::size_t i) {
+    SNUG_REQUIRE(i < lanes_.size());
+    return *lanes_[i];
+  }
+
+  /// Advances every lane by exactly `cycles` cycles through the masked
+  /// stepping path.  Equivalent to calling lane(i).run(cycles) for each
+  /// lane (CmpSystem::run is resumable, step_masked is bit-exact to
+  /// step); the quantum interleave only changes host-side locality.
+  void run(Cycle cycles);
+
+ private:
+  std::vector<std::unique_ptr<CmpSystem>> lanes_;
+};
+
+}  // namespace snug::sim

@@ -114,6 +114,22 @@ class ExperimentRunner {
   RunResult run(const trace::WorkloadCombo& combo,
                 const schemes::SchemeSpec& spec);
 
+  /// One lane-group point: a (combo, scheme) task.
+  struct GroupPoint {
+    trace::WorkloadCombo combo;
+    schemes::SchemeSpec spec;
+  };
+
+  /// Runs several points as one lane group (sim/lane_engine.hpp):
+  /// cache-resident points are served immediately, the remaining points
+  /// are built as independent lanes of one LaneGroup and advanced in
+  /// lockstep through the masked stepping path.  Results — IPC vectors,
+  /// cache entries, warm-bank traffic — are bit-identical to calling
+  /// run() per point (lane equivalence is pinned per scheme by
+  /// tests/sim/lane_equivalence_test.cpp); only host throughput
+  /// differs.  Thread-safe like run().
+  std::vector<RunResult> run_group(const std::vector<GroupPoint>& points);
+
   /// Results for one combo under every scheme of the paper grid, keyed by
   /// scheme id ("L2P", "L2S", "CC(25%)", ..., "DSR", "SNUG").
   using ComboResults = std::map<std::string, RunResult>;

@@ -63,7 +63,12 @@ void CmpSystem::build(const schemes::SchemeSpec& spec,
   core_wake_.assign(cfg.num_cores, 0);
 }
 
-void CmpSystem::run(Cycle cycles) {
+void CmpSystem::run(Cycle cycles) { run_impl<false>(cycles); }
+
+void CmpSystem::run_masked(Cycle cycles) { run_impl<true>(cycles); }
+
+template <bool kMasked>
+void CmpSystem::run_impl(Cycle cycles) {
   // Event-skipping loop: a core is stepped only at cycles where it can
   // change state (Core::step returns the next such cycle), the scheme's
   // tick is consulted only when it declares periodic work, and the
@@ -103,7 +108,13 @@ void CmpSystem::run(Cycle cycles) {
       Cycle next = end;
 #pragma GCC unroll 16
       for (std::size_t c = 0; c < kCores; ++c) {
-        if (wake[c] <= now_) wake[c] = cores[c]->step(now_);
+        if (wake[c] <= now_) {
+          if constexpr (kMasked) {
+            wake[c] = cores[c]->step_masked(now_, end);
+          } else {
+            wake[c] = cores[c]->step(now_);
+          }
+        }
         next = wake[c] < next ? wake[c] : next;
       }
       if (now_ >= boundary) {
@@ -121,7 +132,13 @@ void CmpSystem::run(Cycle cycles) {
       if (now_ >= scheme->next_drain_cycle()) scheme->drain(now_);
       Cycle next = end;
       for (std::size_t c = 0; c < n; ++c) {
-        if (wake[c] <= now_) wake[c] = cores[c]->step(now_);
+        if (wake[c] <= now_) {
+          if constexpr (kMasked) {
+            wake[c] = cores[c]->step_masked(now_, end);
+          } else {
+            wake[c] = cores[c]->step(now_);
+          }
+        }
         next = wake[c] < next ? wake[c] : next;
       }
       if (now_ >= boundary) {

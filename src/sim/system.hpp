@@ -29,6 +29,17 @@ class CmpSystem final : public cpu::MemoryPort {
   /// Advances the machine by `cycles` core cycles.
   void run(Cycle cycles);
 
+  /// run() with free-running cores (cpu::Core::step_masked): each core
+  /// simulates ahead through its core-local work — plain instructions,
+  /// L1 hits, retirement — in one call, parking at shared-state events
+  /// (L1 misses) so those still execute in exact global (cycle, core)
+  /// order.  The simulated state evolution is bit-identical to run();
+  /// only the host-side scheduling differs.  The lane engine
+  /// (sim/lane_engine.hpp) uses this for its lane quanta; run() and
+  /// run_masked() may be interleaved freely on one machine (no park
+  /// survives a run window).
+  void run_masked(Cycle cycles);
+
   /// Functional fast-forward warm-up (warmup-mode=functional): drives
   /// the same instruction streams through the same L1/L2/scheme *state*
   /// machinery as run() — fills, spills, retrieves, monitor and shadow
@@ -64,16 +75,25 @@ class CmpSystem final : public cpu::MemoryPort {
   /// pipeline (stats/counters.hpp).
   [[nodiscard]] stats::CounterReport counter_report() const;
 
-  // cpu::MemoryPort.  Defined inline: these two calls are the boundary
+  // cpu::MemoryPort, split into a core-local probe and a shared-state
+  // miss half.  The split serves the free-running lane path
+  // (cpu::Core::step_masked): the probe touches only the calling core's
+  // L1 — rank updates, dirty marks, hit/miss counters — so a core may
+  // issue it while running ahead of the global clock, and park before
+  // the miss half, which reaches the scheme/bus/DRAM and must happen in
+  // global (cycle, core) order.  data_access/inst_fetch compose the two
+  // halves verbatim, so the scalar path is bit-identical by
+  // construction.  All defined inline: these calls are the boundary
   // between the core model and the memory hierarchy — every simulated
   // load, store and ifetch crosses it, and the L1-hit fast path below
   // must fold into the caller rather than pay a cross-TU call.
-  Cycle data_access(CoreId core, Addr addr, bool is_write,
-                    Cycle now) override {
-    cache::SetAssocCache& l1 = l1d_[core];
-    const cache::AccessResult res = l1.access_local(addr, is_write);
-    if (res.hit) return now + 1;
+  bool probe_data(CoreId core, Addr addr, bool is_write) {
+    return l1d_[core].access_local(addr, is_write).hit;
+  }
 
+  /// The L1D-miss half: `probe_data` already ran and missed.
+  Cycle miss_data(CoreId core, Addr addr, bool is_write, Cycle now) {
+    cache::SetAssocCache& l1 = l1d_[core];
     const Cycle completion = scheme_->access(core, addr, is_write, now);
     const Addr block = l1.geometry().block_of(addr);
     const cache::Eviction ev = l1.fill_local(block, is_write, core);
@@ -84,15 +104,28 @@ class CmpSystem final : public cpu::MemoryPort {
     return completion > now ? completion : now + 1;
   }
 
-  Cycle inst_fetch(CoreId core, Addr addr, Cycle now) override {
-    cache::SetAssocCache& l1 = l1i_[core];
-    const cache::AccessResult res = l1.access_local(addr, false);
-    if (res.hit) return now + 1;
+  bool probe_inst(CoreId core, Addr addr) {
+    return l1i_[core].access_local(addr, false).hit;
+  }
 
+  /// The L1I-miss half: `probe_inst` already ran and missed.
+  Cycle miss_inst(CoreId core, Addr addr, Cycle now) {
+    cache::SetAssocCache& l1 = l1i_[core];
     const Cycle completion = scheme_->access(core, addr, false, now);
     const Addr block = l1.geometry().block_of(addr);
     l1.fill_local(block, false, core);  // I-lines are never dirty
     return completion > now ? completion : now + 1;
+  }
+
+  Cycle data_access(CoreId core, Addr addr, bool is_write,
+                    Cycle now) override {
+    if (probe_data(core, addr, is_write)) return now + 1;
+    return miss_data(core, addr, is_write, now);
+  }
+
+  Cycle inst_fetch(CoreId core, Addr addr, Cycle now) override {
+    if (probe_inst(core, addr)) return now + 1;
+    return miss_inst(core, addr, now);
   }
 
   // Introspection for tests and benches.
@@ -108,6 +141,9 @@ class CmpSystem final : public cpu::MemoryPort {
  private:
   void build(const schemes::SchemeSpec& spec,
              const trace::WorkloadCombo& combo, const RunScale& scale);
+
+  template <bool kMasked>
+  void run_impl(Cycle cycles);
 
   SystemConfig cfg_;
   std::unique_ptr<bus::SnoopBus> bus_;

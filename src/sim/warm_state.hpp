@@ -71,12 +71,18 @@ class WarmStateBank {
 /// the current working directory.
 [[nodiscard]] std::string default_warm_bank_dir();
 
-/// Fingerprint of one warm-up prefix: covers the system config, the
-/// warm-up-relevant scale fields (warmup_cycles, phase_period_refs,
-/// warmup_mode — NOT measure_cycles), the workload combo and the scheme
-/// spec, salted with the bank format version.  Two campaign points that
-/// differ only in measurement length share a fingerprint and therefore a
-/// checkpoint.
+/// Fingerprint of one warm-up prefix: covers exactly the inputs the
+/// functional warm-up reads — topology and geometries, core cadence,
+/// bus/DRAM, the latencies on the scheme's access path, warmup_cycles,
+/// phase_period_refs, warmup_mode, the workload combo and the scheme
+/// spec — salted with the bank format version.  Knobs the warm-up
+/// provably never consults stay out: measure_cycles, the WBB config
+/// (functional warm-up keeps the buffers empty), the lane width, and
+/// other schemes' ablation knobs — so e.g. every CC(x%) point shares
+/// its checkpoint across `monitor-sample=` or measurement-length
+/// changes, while L2P/L2S/SNUG/DSR and distinct CC thresholds stay
+/// distinct (the scheme id is part of the key, and different spill
+/// probabilities genuinely diverge during warm-up).
 [[nodiscard]] std::uint64_t warm_fingerprint(const SystemConfig& cfg,
                                              const RunScale& scale,
                                              const trace::WorkloadCombo& combo,

@@ -257,6 +257,56 @@ TEST(WarmFingerprint, SensitiveToWarmupPrefixInputs) {
   EXPECT_NE(fp, warm_fingerprint(cfg, scale, swapped, snug));
 }
 
+TEST(WarmFingerprint, IgnoresKnobsTheWarmupNeverReads) {
+  // The w2 descriptor keys warm-relevant state only: knobs the
+  // functional warm-up provably never consults — measurement length,
+  // lane width, WBB shape, another scheme's ablation block — must not
+  // split checkpoints.
+  const SystemConfig cfg = paper_system_config();
+  const trace::WorkloadCombo combo{"t", 5, {"gzip", "mesa", "gzip", "mesa"}};
+  const schemes::SchemeSpec cc{schemes::SchemeKind::kCC, 0.25};
+  RunScale scale;
+  scale.warmup_mode = WarmupMode::kFunctional;
+  const std::uint64_t fp = warm_fingerprint(cfg, scale, combo, cc);
+
+  RunScale longer = scale;
+  longer.measure_cycles *= 3;
+  EXPECT_EQ(fp, warm_fingerprint(cfg, longer, combo, cc));
+
+  RunScale wide = scale;
+  wide.lanes = 4;
+  EXPECT_EQ(fp, warm_fingerprint(cfg, wide, combo, cc));
+
+  SystemConfig wbb = cfg;
+  wbb.scheme_ctx.priv.wbb.entries *= 2;
+  wbb.scheme_ctx.priv.wbb.drain_interval *= 2;
+  EXPECT_EQ(fp, warm_fingerprint(wbb, scale, combo, cc));
+
+  // Monitor sampling is a SNUG/DSR knob: CC checkpoints ignore it...
+  SystemConfig sampled = cfg;
+  sampled.scheme_ctx.snug.monitor.sample_period = 8;
+  sampled.scheme_ctx.dsr.sample_period = 8;
+  EXPECT_EQ(fp, warm_fingerprint(sampled, scale, combo, cc));
+
+  // ...while the owning schemes rightly key on it.
+  const schemes::SchemeSpec snug{schemes::SchemeKind::kSNUG, 0.0};
+  const schemes::SchemeSpec dsr{schemes::SchemeKind::kDSR, 0.0};
+  EXPECT_NE(warm_fingerprint(cfg, scale, combo, snug),
+            warm_fingerprint(sampled, scale, combo, snug));
+  EXPECT_NE(warm_fingerprint(cfg, scale, combo, dsr),
+            warm_fingerprint(sampled, scale, combo, dsr));
+
+  // Distinct organisations and distinct CC thresholds stay distinct:
+  // their warm-up evolution genuinely diverges (per-scheme RNG streams
+  // and spill decisions).
+  EXPECT_NE(fp, warm_fingerprint(cfg, scale, combo,
+                                 {schemes::SchemeKind::kCC, 0.75}));
+  EXPECT_NE(fp, warm_fingerprint(cfg, scale, combo,
+                                 {schemes::SchemeKind::kL2P, 0.0}));
+  EXPECT_NE(fp, warm_fingerprint(cfg, scale, combo,
+                                 {schemes::SchemeKind::kL2S, 0.0}));
+}
+
 TEST(WarmFingerprint, ConfigFingerprintGainsSuffixOnlyWhenFunctional) {
   // Timing mode (the default) must keep its pre-knob fingerprint so every
   // existing eval-cache entry and golden pin stays valid.
@@ -406,6 +456,50 @@ TEST(WarmBankRunner, BanksOnceThenRestoresIdentically) {
   for (std::size_t i = 0; i < cold.ipc.size(); ++i) {
     EXPECT_EQ(banked.ipc[i], cold.ipc[i]) << "core " << i;
   }
+}
+
+TEST(WarmBankRunner, CcThresholdsHitTheBankAcrossWarmIrrelevantKnobs) {
+  // ISSUE 7 satellite pin: a CC(x%) checkpoint banked by one runner is
+  // found — and restored bit-identically — by a runner whose config
+  // differs only in knobs the warm-up never reads (measurement length,
+  // monitor sampling, WBB depth), for more than one spill threshold.
+  TempBankDir tmp("snug_warm_bank_cc_share_test");
+  RunScale scale;
+  scale.warmup_cycles = 250'000;
+  scale.measure_cycles = 120'000;
+  scale.phase_period_refs = 50'000;
+  scale.warmup_mode = WarmupMode::kFunctional;
+  const SystemConfig cfg = paper_system_config();
+  const trace::WorkloadCombo combo = warm_test_combo();
+
+  RunScale other_scale = scale;
+  other_scale.measure_cycles *= 2;
+  SystemConfig other_cfg = cfg;
+  other_cfg.scheme_ctx.snug.monitor.sample_period = 8;
+  other_cfg.scheme_ctx.dsr.sample_period = 8;
+  other_cfg.scheme_ctx.priv.wbb.entries *= 2;
+
+  for (const double prob : {0.25, 0.75}) {
+    SCOPED_TRACE(prob);
+    const schemes::SchemeSpec spec{schemes::SchemeKind::kCC, prob};
+
+    ExperimentRunner cold(cfg, scale, "", tmp.dir.string());
+    EXPECT_FALSE(cold.warm_state_banked(combo, spec));
+    const RunResult first = cold.run(combo, spec);
+    EXPECT_FALSE(first.warm_banked);
+
+    ExperimentRunner other(other_cfg, other_scale, "", tmp.dir.string());
+    EXPECT_TRUE(other.warm_state_banked(combo, spec));
+    const RunResult shared = other.run(combo, spec);
+    EXPECT_TRUE(shared.warm_banked);
+    for (const double v : shared.ipc) EXPECT_GT(v, 0.0);
+  }
+
+  // The two thresholds banked two distinct checkpoints — neither can
+  // serve the other (their warm-up evolution diverges).
+  ExperimentRunner probe(cfg, scale, "", tmp.dir.string());
+  EXPECT_TRUE(probe.warm_state_banked(combo, {schemes::SchemeKind::kCC, 0.25}));
+  EXPECT_FALSE(probe.warm_state_banked(combo, {schemes::SchemeKind::kCC, 0.5}));
 }
 
 TEST(WarmBankRunner, TimingModeNeverTouchesTheBank) {
