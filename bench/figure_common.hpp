@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <span>
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/fault.hpp"
 #include "common/str.hpp"
 #include "common/table.hpp"
 #include "sim/campaign.hpp"
@@ -23,13 +25,116 @@
 
 namespace snug::bench {
 
+/// The robustness knobs every campaign bench shares: checkpoint journal,
+/// deterministic fault-injection plan, transient-failure retry policy and
+/// the wedged-worker watchdog deadline.
+struct RobustnessOpts {
+  std::string journal;          ///< --journal= checkpoint file ("" = off)
+  std::string fault_plan_text;  ///< --fault-plan= source text ("" = off)
+  fault::FaultPlan plan;        ///< parsed from fault_plan_text
+  std::int64_t retry_attempts = 3;
+  std::int64_t backoff_ms = 10;
+  std::int64_t watchdog_ms = 0;
+
+  /// Installs the parsed plan into `scoped` for that guard's lifetime
+  /// (no-op without --fault-plan).  Emplace-in-place because the guard
+  /// is pinned (non-movable); hold it across store construction AND the
+  /// campaign run — stores resolve their Env when built.
+  void install(std::optional<fault::ScopedFaultPlan>& scoped) const {
+    if (!plan.empty()) scoped.emplace(plan);
+  }
+};
+
+/// Registers --journal / --fault-plan / --retry-attempts /
+/// --retry-backoff-ms / --watchdog-ms and parses the fault plan.
+/// Returns false (after printing a one-line diagnostic) when the plan
+/// text does not parse; the caller should exit non-zero.
+inline bool parse_robustness_flags(CliArgs& args, RobustnessOpts& r) {
+  r.journal = args.get_string(
+      "journal", "",
+      "campaign checkpoint journal: completed cells are appended as they "
+      "finish, and a resumed run replays them instead of re-simulating");
+  r.fault_plan_text = args.get_string(
+      "fault-plan", "",
+      "deterministic fault-injection plan, e.g. \"seed=7; "
+      "short-write@write:p=0.2\" (grammar in src/common/fault.hpp)");
+  r.retry_attempts = args.get_int(
+      "retry-attempts", 3,
+      "max attempts per campaign cell on an injected transient failure");
+  r.backoff_ms = args.get_int(
+      "retry-backoff-ms", 10,
+      "first retry backoff in ms, doubling per attempt (no jitter)");
+  r.watchdog_ms = args.get_int(
+      "watchdog-ms", 0,
+      "flag (never kill) a worker holding one task longer than this many "
+      "ms, with a diagnostic dump (0 = off)");
+  if (args.help_requested() || r.fault_plan_text.empty()) return true;
+  std::string error;
+  if (!fault::FaultPlan::parse(r.fault_plan_text, r.plan, error)) {
+    std::fprintf(stderr, "bad --fault-plan: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Forwards the parsed knobs onto a campaign engine.
+inline void apply_robustness(const RobustnessOpts& r,
+                             sim::CampaignEngine& engine) {
+  engine.journal_path = r.journal;
+  engine.retry.max_attempts =
+      r.retry_attempts > 0 ? static_cast<unsigned>(r.retry_attempts) : 1;
+  engine.retry.backoff_ms =
+      r.backoff_ms > 0 ? static_cast<std::uint64_t>(r.backoff_ms) : 0;
+  engine.set_watchdog_ms(
+      r.watchdog_ms > 0 ? static_cast<std::uint64_t>(r.watchdog_ms) : 0);
+}
+
+/// One stderr line of recovery/retry counters after a campaign: printed
+/// whenever anything noteworthy happened (always under a fault plan or
+/// journal, so faulty and resumed runs are auditable even with --quiet
+/// off the table).
+inline void print_robustness_summary(const sim::CampaignEngine& engine,
+                                     const sim::ExperimentRunner& runner,
+                                     bool force) {
+  const sim::CampaignEngine::Stats& s = engine.stats();
+  const sim::EvalCache::Recovery cache = runner.cache_recovery();
+  const sim::WarmStateBank::Recovery warm = runner.warm_recovery();
+  const fault::FaultStats faults = fault::installed_stats();
+  const std::uint64_t noteworthy =
+      s.replayed + s.retries + s.watchdog_flags +
+      s.journal_discarded_bytes + s.journal_append_failures +
+      (s.journal_reset_stale ? 1 : 0) + cache.quarantined +
+      cache.reaped_temps + warm.quarantined + warm.reaped_temps +
+      faults.total();
+  if (!force && noteworthy == 0) return;
+  std::fprintf(
+      stderr,
+      "robustness: %llu replayed, %llu retries, %llu watchdog flag(s); "
+      "cache %llu quarantined / %llu temps reaped, warm bank %llu "
+      "quarantined / %llu temps reaped; journal %llu torn byte(s) "
+      "discarded, %llu append failure(s)%s; %llu fault(s) injected\n",
+      static_cast<unsigned long long>(s.replayed),
+      static_cast<unsigned long long>(s.retries),
+      static_cast<unsigned long long>(s.watchdog_flags),
+      static_cast<unsigned long long>(cache.quarantined),
+      static_cast<unsigned long long>(cache.reaped_temps),
+      static_cast<unsigned long long>(warm.quarantined),
+      static_cast<unsigned long long>(warm.reaped_temps),
+      static_cast<unsigned long long>(s.journal_discarded_bytes),
+      static_cast<unsigned long long>(s.journal_append_failures),
+      s.journal_reset_stale ? " (stale journal moved aside)" : "",
+      static_cast<unsigned long long>(faults.total()));
+}
+
 /// Registers the --list-schemes / --list-combos / --dry-run flags every
 /// campaign bench shares and, when one was passed, prints the requested
 /// listing for each spec of the sweep (the figure benches pass exactly
-/// one; scaling_study one per topology).  Returns true when the caller
-/// should exit (a listing was printed).
+/// one; scaling_study one per topology).  --dry-run also reports the
+/// robustness configuration when `robust` is given.  Returns true when
+/// the caller should exit (a listing was printed).
 inline bool handle_grid_listings(CliArgs& args,
-                                 std::span<const sim::CampaignSpec> sweep) {
+                                 std::span<const sim::CampaignSpec> sweep,
+                                 const RobustnessOpts* robust = nullptr) {
   const bool list_schemes =
       args.get_bool("list-schemes", false, "print the scheme grid and exit");
   const bool list_combos = args.get_bool(
@@ -112,6 +217,26 @@ inline bool handle_grid_listings(CliArgs& args,
         }
       }
     }
+    if (robust != nullptr) {
+      std::printf("journal: %s\n", robust->journal.empty()
+                                       ? "disabled (--journal= to "
+                                         "checkpoint/resume)"
+                                       : robust->journal.c_str());
+      if (robust->plan.empty()) {
+        std::printf("fault plan: none\n");
+      } else {
+        std::printf("fault plan: %s\n", robust->plan.summary().c_str());
+      }
+      std::printf("retry: %lld attempt(s), backoff %lld ms doubling; "
+                  "watchdog: %s\n",
+                  static_cast<long long>(robust->retry_attempts),
+                  static_cast<long long>(robust->backoff_ms),
+                  robust->watchdog_ms > 0
+                      ? strf("%lld ms",
+                             static_cast<long long>(robust->watchdog_ms))
+                            .c_str()
+                      : "off");
+    }
   }
   return list_schemes || list_combos || dry_run;
 }
@@ -128,6 +253,8 @@ inline int run_figure_bench(int argc, char** argv, sim::Metric metric,
       "warmup-cycles", 0, "override warm-up cycles (0 = default scale)");
   const std::int64_t measure = args.get_int(
       "measure-cycles", 0, "override measured cycles (0 = default scale)");
+  RobustnessOpts robust;
+  if (!parse_robustness_flags(args, robust)) return 2;
 
   sim::CampaignSpec spec = sim::CampaignSpec::paper();
   if (warmup > 0) spec.scenario.scale.warmup_cycles =
@@ -135,7 +262,7 @@ inline int run_figure_bench(int argc, char** argv, sim::Metric metric,
   if (measure > 0) spec.scenario.scale.measure_cycles =
       static_cast<Cycle>(measure);
 
-  const bool listed = handle_grid_listings(args, {&spec, 1});
+  const bool listed = handle_grid_listings(args, {&spec, 1}, &robust);
   if (args.help_requested()) {
     std::fputs(args.usage().c_str(), stdout);
     return 0;
@@ -143,12 +270,18 @@ inline int run_figure_bench(int argc, char** argv, sim::Metric metric,
   args.check_unknown();
   if (listed) return 0;
 
+  // Install the fault plan (if any) before the runner exists: the eval
+  // cache and warm-state bank capture fault::env() at construction.
+  std::optional<fault::ScopedFaultPlan> faults;
+  robust.install(faults);
   sim::ExperimentRunner runner(spec.scenario, cache_dir);
   sim::CampaignEngine engine(runner, sim::resolve_jobs(jobs));
+  apply_robustness(robust, engine);
   ProgressMeter meter(!quiet);
   engine.on_progress = [&meter](const sim::CampaignProgress& p) {
     meter.report(p.done, p.total, p.combo + " / " + p.scheme,
-                 p.cached ? "(cached)" : "simulated");
+                 p.replayed ? "(journal)"
+                            : (p.cached ? "(cached)" : "simulated"));
   };
   if (!quiet) {
     std::fprintf(stderr, "%s campaign: %u worker(s), cache %s\n",
@@ -157,6 +290,9 @@ inline int run_figure_bench(int argc, char** argv, sim::Metric metric,
   }
 
   const sim::CampaignResults results = engine.run(spec);
+  print_robustness_summary(engine, runner,
+                           /*force=*/faults.has_value() ||
+                               !robust.journal.empty());
   const sim::FigureSeries fig = sim::assemble_figure(results, metric);
 
   std::printf("%s — %s\n", figure_name, sim::to_string(metric));

@@ -90,6 +90,8 @@ int main(int argc, char** argv) {
       "warmup-cycles", 0, "override warm-up cycles (0 = default scale)");
   const std::int64_t measure = args.get_int(
       "measure-cycles", 0, "override measured cycles (0 = default scale)");
+  bench::RobustnessOpts robust;
+  if (!bench::parse_robustness_flags(args, robust)) return 2;
 
   // ---- expand the scenario x scheme grid -------------------------------
   std::vector<schemes::SchemeSpec> grid{{schemes::SchemeKind::kL2P, 0.0}};
@@ -133,7 +135,7 @@ int main(int argc, char** argv) {
   }
 
   // ---- listing / dry-run flags ----------------------------------------
-  const bool listed = bench::handle_grid_listings(args, sweep);
+  const bool listed = bench::handle_grid_listings(args, sweep, &robust);
   if (args.help_requested()) {
     std::fputs(args.usage().c_str(), stdout);
     return 0;
@@ -152,18 +154,34 @@ int main(int argc, char** argv) {
                  cache_dir.empty() ? "disabled" : cache_dir.c_str());
   }
 
+  // The fault plan (if any) must be live before each runner is built:
+  // the stores capture fault::env() at construction.
+  std::optional<fault::ScopedFaultPlan> faults;
+  robust.install(faults);
+
   ProgressMeter meter(!quiet);
   std::size_t done_before = 0;
   std::vector<std::vector<SchemeRow>> per_topology;
   for (const auto& spec : sweep) {
     sim::ExperimentRunner runner(spec.scenario, cache_dir);
     sim::CampaignEngine engine(runner, sim::resolve_jobs(jobs));
+    bench::apply_robustness(robust, engine);
+    // Each topology is its own campaign (distinct fingerprint), so each
+    // journals to its own file; sharing one path would make topology N
+    // move topology N-1's checkpoints aside as stale.
+    if (!robust.journal.empty()) {
+      engine.journal_path = robust.journal + "." + spec.scenario.name;
+    }
     engine.on_progress = [&](const sim::CampaignProgress& p) {
       meter.report(done_before + p.done, total_tasks,
                    spec.scenario.name + ": " + p.combo + " / " + p.scheme,
-                   p.cached ? "(cached)" : "simulated");
+                   p.replayed ? "(journal)"
+                              : (p.cached ? "(cached)" : "simulated"));
     };
     const sim::CampaignResults results = engine.run(spec);
+    bench::print_robustness_summary(
+        engine, runner,
+        /*force=*/faults.has_value() || !robust.journal.empty());
     done_before += spec.size();
     per_topology.push_back(aggregate_scenario(spec, results));
   }

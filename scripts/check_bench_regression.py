@@ -43,12 +43,22 @@ Two record kinds are recognised by shape:
                                               for the negative result
                                               vs the 1.5x target)
 
+Bad inputs (missing, truncated, or corrupt JSON; records missing their
+gate keys) fail with ONE line on stderr naming the offending file — a CI
+log should never need spelunking to learn which artefact broke.
+
+`--self-check` runs the built-in pytest-style test suite (gates and
+error paths, against generated temp files) and exits 0/1; CI runs it
+before trusting the gate.
+
 Exit codes: 0 pass, 1 regression, 2 bad input.
 """
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 
 HOTPATH_KEYS = ("system_run_instr_per_sec", "system_run_l2p_instr_per_sec")
 
@@ -58,20 +68,52 @@ WARMUP_MAX_FUNCTIONAL_IPC_DELTA = 0.25
 LANE_MIN_W4_SPEEDUP = 0.75
 
 
+class InputError(Exception):
+    """A bad input file; str(self) is the one-line, file-named message."""
+
+
 def load(path):
-    with open(path) as f:
-        return json.load(f)
+    """Parses one record, classifying every failure by file name."""
+    try:
+        with open(path, "rb") as f:
+            raw = f.read()
+    except FileNotFoundError:
+        raise InputError(f"{path}: missing (bench did not write it?)")
+    except OSError as err:
+        raise InputError(f"{path}: unreadable ({err.strerror})")
+    if not raw.strip():
+        raise InputError(f"{path}: empty/truncated (0 JSON bytes)")
+    try:
+        record = json.loads(raw)
+    except json.JSONDecodeError as err:
+        kind = ("truncated" if err.pos >= len(raw.strip()) - 1
+                else "corrupt")
+        raise InputError(
+            f"{path}: {kind} JSON ({err.msg} at line {err.lineno} "
+            f"column {err.colno})")
+    if not isinstance(record, dict):
+        raise InputError(
+            f"{path}: corrupt record (top level is "
+            f"{type(record).__name__}, expected an object)")
+    return record
 
 
-def gate_hotpath(measured, baseline, min_ratio):
+def require_number(record, path, key, positive=False):
+    got = record.get(key)
+    if not isinstance(got, (int, float)) or isinstance(got, bool) or (
+            positive and got <= 0):
+        have = "missing" if key not in record else f"= {record[key]!r}"
+        raise InputError(
+            f"{path}: corrupt record (gate key '{key}' {have})")
+    return got
+
+
+def gate_hotpath(measured, baseline, min_ratio, measured_path,
+                 baseline_path):
     failures = []
     for key in HOTPATH_KEYS:
-        ref = baseline.get(key)
-        got = measured.get(key)
-        if not isinstance(ref, (int, float)) or ref <= 0:
-            raise ValueError(f"baseline lacks {key}")
-        if not isinstance(got, (int, float)) or got <= 0:
-            raise ValueError(f"measurement lacks {key}")
+        ref = require_number(baseline, baseline_path, key, positive=True)
+        got = require_number(measured, measured_path, key, positive=True)
         ratio = got / ref
         status = "OK " if ratio >= min_ratio else "REGRESSION"
         print(f"{status} {key}: measured {got:,.0f} / baseline {ref:,.0f} "
@@ -81,48 +123,138 @@ def gate_hotpath(measured, baseline, min_ratio):
     return failures
 
 
-def gate_warmup(measured):
-    checks = (
+def gate_fixed(measured, checks, measured_path):
+    failures = []
+    for key, ok, bound in checks:
+        got = require_number(measured, measured_path, key)
+        status = "OK " if ok(got) else "REGRESSION"
+        print(f"{status} {key}: measured {got} (require {bound})")
+        if not ok(got):
+            failures.append(key)
+    return failures
+
+
+def gate_warmup(measured, measured_path):
+    return gate_fixed(measured, (
         ("speedup_bank_vs_cold", lambda v: v >= WARMUP_MIN_BANK_SPEEDUP,
          f">= {WARMUP_MIN_BANK_SPEEDUP}"),
         ("ipc_delta_functional_vs_cold",
          lambda v: v <= WARMUP_MAX_FUNCTIONAL_IPC_DELTA,
          f"<= {WARMUP_MAX_FUNCTIONAL_IPC_DELTA}"),
         ("ipc_delta_bank_vs_functional", lambda v: v == 0.0, "== 0"),
-    )
-    failures = []
-    for key, ok, bound in checks:
-        got = measured.get(key)
-        if not isinstance(got, (int, float)):
-            raise ValueError(f"measurement lacks {key}")
-        status = "OK " if ok(got) else "REGRESSION"
-        print(f"{status} {key}: measured {got} (require {bound})")
-        if not ok(got):
-            failures.append(key)
-    return failures
+    ), measured_path)
 
 
-def gate_lane(measured):
-    checks = (
+def gate_lane(measured, measured_path):
+    return gate_fixed(measured, (
         ("lane_checksum_equal", lambda v: v == 1, "== 1"),
         ("speedup_w4", lambda v: v >= LANE_MIN_W4_SPEEDUP,
          f">= {LANE_MIN_W4_SPEEDUP}"),
-    )
+    ), measured_path)
+
+
+def run_pairs(files, min_ratio):
+    """The gate proper: 0 pass, 1 regression; raises InputError."""
     failures = []
-    for key, ok, bound in checks:
-        got = measured.get(key)
-        if not isinstance(got, (int, float)):
-            raise ValueError(f"measurement lacks {key}")
-        status = "OK " if ok(got) else "REGRESSION"
-        print(f"{status} {key}: measured {got} (require {bound})")
-        if not ok(got):
-            failures.append(key)
-    return failures
+    for i in range(0, len(files), 2):
+        measured_path, baseline_path = files[i], files[i + 1]
+        measured = load(measured_path)
+        baseline_file = load(baseline_path)
+        baseline = baseline_file.get("baseline", baseline_file)
+        print(f"-- {measured_path} vs {baseline_path}")
+        if "speedup_bank_vs_cold" in measured:
+            failures += gate_warmup(measured, measured_path)
+        elif "speedup_w4" in measured:
+            failures += gate_lane(measured, measured_path)
+        else:
+            failures += gate_hotpath(measured, baseline, min_ratio,
+                                     measured_path, baseline_path)
+    if failures:
+        print(f"check_bench_regression: gate failed on: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---- self-check ----------------------------------------------------------
+# A pytest-style micro-suite over generated temp files: every gate kind
+# passing and regressing, plus every InputError path (missing, empty,
+# truncated, corrupt, wrong-shape, gate key absent).  CI runs
+# `--self-check` before trusting the gate, so a broken checker fails the
+# build instead of waving regressions through.
+
+def _write(dirname, name, text):
+    path = os.path.join(dirname, name)
+    with open(path, "w") as f:
+        f.write(text)
+    return path
+
+
+def _expect(name, condition, detail=""):
+    status = "ok" if condition else "FAILED"
+    print(f"self-check {name} ... {status}{detail}")
+    return condition
+
+
+def _expect_input_error(name, fragment, *load_args):
+    try:
+        run_pairs(list(load_args), 0.9)
+    except InputError as err:
+        msg = str(err)
+        return _expect(name, fragment in msg and "\n" not in msg,
+                       f" [{msg}]" if fragment not in msg else "")
+    return _expect(name, False, " [no InputError raised]")
+
+
+def self_check():
+    hot = json.dumps({k: 1000.0 for k in HOTPATH_KEYS})
+    hot_slow = json.dumps({k: 100.0 for k in HOTPATH_KEYS})
+    warm = json.dumps({"speedup_bank_vs_cold": 2.0,
+                       "ipc_delta_functional_vs_cold": 0.1,
+                       "ipc_delta_bank_vs_functional": 0.0})
+    lane = json.dumps({"lane_checksum_equal": 1, "speedup_w4": 0.9})
+    lane_bad = json.dumps({"lane_checksum_equal": 0, "speedup_w4": 0.9})
+    ok = True
+    with tempfile.TemporaryDirectory(prefix="snug_gate_check") as d:
+        hot_m = _write(d, "hot.json", hot)
+        hot_b = _write(d, "hot_base.json",
+                       json.dumps({"baseline": json.loads(hot)}))
+        ok &= _expect("hotpath pass", run_pairs([hot_m, hot_b], 0.9) == 0)
+        slow = _write(d, "hot_slow.json", hot_slow)
+        ok &= _expect("hotpath regression",
+                      run_pairs([slow, hot_b], 0.9) == 1)
+        warm_m = _write(d, "warm.json", warm)
+        ok &= _expect("warmup pass", run_pairs([warm_m, warm_m], 0.9) == 0)
+        lane_m = _write(d, "lane.json", lane)
+        ok &= _expect("lane pass", run_pairs([lane_m, lane_m], 0.9) == 0)
+        lane_b = _write(d, "lane_bad.json", lane_bad)
+        ok &= _expect("lane regression",
+                      run_pairs([lane_b, lane_b], 0.9) == 1)
+
+        missing = os.path.join(d, "never_written.json")
+        ok &= _expect_input_error("missing file", "missing", missing,
+                                  hot_b)
+        empty = _write(d, "empty.json", "")
+        ok &= _expect_input_error("empty file", "empty/truncated", empty,
+                                  hot_b)
+        torn = _write(d, "torn.json", hot[: len(hot) // 2])
+        ok &= _expect_input_error("truncated JSON", "JSON", torn, hot_b)
+        corrupt = _write(d, "corrupt.json", "{\"a\": nope}")
+        ok &= _expect_input_error("corrupt JSON", "corrupt JSON", corrupt,
+                                  hot_b)
+        listy = _write(d, "list.json", "[1, 2]")
+        ok &= _expect_input_error("wrong shape", "top level is list",
+                                  listy, hot_b)
+        keyless = _write(d, "keyless.json", "{\"unrelated\": 3}")
+        ok &= _expect_input_error("gate key absent", "gate key", keyless,
+                                  hot_b)
+    print("self-check:", "all passed" if ok else "FAILURES", file=sys.stderr)
+    return 0 if ok else 1
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("files", nargs="+",
+    parser.add_argument("files", nargs="*",
                         help="(measured, baseline) JSON file pairs")
     parser.add_argument(
         "--min-ratio",
@@ -131,41 +263,22 @@ def main() -> int:
         help="hot-path gate: fail when measured/baseline drops below this "
              "(default 0.9)",
     )
+    parser.add_argument(
+        "--self-check", action="store_true",
+        help="run the built-in test suite against generated inputs and "
+             "exit (CI runs this before trusting the gate)")
     args = parser.parse_args()
-    if len(args.files) % 2 != 0:
+    if args.self_check:
+        return self_check()
+    if not args.files or len(args.files) % 2 != 0:
         print("check_bench_regression: arguments must be "
               "(measured, baseline) pairs", file=sys.stderr)
         return 2
-
-    failures = []
-    for i in range(0, len(args.files), 2):
-        measured_path, baseline_path = args.files[i], args.files[i + 1]
-        try:
-            measured = load(measured_path)
-            baseline_file = load(baseline_path)
-        except (OSError, json.JSONDecodeError) as err:
-            print(f"check_bench_regression: cannot read inputs: {err}",
-                  file=sys.stderr)
-            return 2
-        baseline = baseline_file.get("baseline", baseline_file)
-        print(f"-- {measured_path} vs {baseline_path}")
-        try:
-            if "speedup_bank_vs_cold" in measured:
-                failed = gate_warmup(measured)
-            elif "speedup_w4" in measured:
-                failed = gate_lane(measured)
-            else:
-                failed = gate_hotpath(measured, baseline, args.min_ratio)
-        except ValueError as err:
-            print(f"check_bench_regression: {err}", file=sys.stderr)
-            return 2
-        failures.extend(failed)
-
-    if failures:
-        print(f"check_bench_regression: gate failed on: "
-              f"{', '.join(failures)}", file=sys.stderr)
-        return 1
-    return 0
+    try:
+        return run_pairs(args.files, args.min_ratio)
+    except InputError as err:
+        print(f"check_bench_regression: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -72,3 +72,10 @@ namespace snug::detail {
 #define SNUG_REQUIRE_MSG(expr, ...)          \
   ((expr) ? static_cast<void>(0)             \
           : ::snug::detail::fail_msg(__FILE__, __LINE__, __VA_ARGS__))
+
+/// Invariant with a printf-style diagnostic — always on like SNUG_ENSURE,
+/// for decode/recovery paths where the bare expression would not say
+/// *where* the data went wrong (e.g. which field of a state blob).
+#define SNUG_ENSURE_MSG(expr, ...)           \
+  ((expr) ? static_cast<void>(0)             \
+          : ::snug::detail::fail_msg(__FILE__, __LINE__, __VA_ARGS__))

@@ -66,7 +66,8 @@ class StateReader {
   template <typename T>
   T pod() {
     static_assert(std::is_trivially_copyable_v<T>);
-    SNUG_ENSURE(remaining() >= sizeof(T));
+    ++field_;
+    check_room(sizeof(T), "pod");
     T v;
     std::memcpy(&v, p_, sizeof(T));
     p_ += sizeof(T);
@@ -74,7 +75,8 @@ class StateReader {
   }
 
   void bytes(std::byte* out, std::size_t n) {
-    SNUG_ENSURE(remaining() >= n);
+    ++field_;
+    check_room(n, "byte run");
     std::memcpy(out, p_, n);
     p_ += n;
   }
@@ -82,10 +84,24 @@ class StateReader {
   template <typename T>
   std::vector<T> vec() {
     static_assert(std::is_trivially_copyable_v<T>);
-    const auto count = pod<std::uint64_t>();
-    SNUG_ENSURE(remaining() >= count * sizeof(T));
-    std::vector<T> v(count);
-    bytes(reinterpret_cast<std::byte*>(v.data()), count * sizeof(T));
+    ++field_;
+    check_room(sizeof(std::uint64_t), "vector length prefix");
+    std::uint64_t count;
+    std::memcpy(&count, p_, sizeof(count));
+    p_ += sizeof(count);
+    // Division, not multiplication: a hostile/garbled length prefix must
+    // not overflow count * sizeof(T) into a small number.
+    SNUG_ENSURE_MSG(
+        count <= remaining() / sizeof(T),
+        "state decode: field #%zu — vector of %llu %zu-byte element(s) "
+        "overruns the buffer (%zu byte(s) left); truncated data, an "
+        "oversize length prefix, or a writer/reader element-type "
+        "mismatch",
+        field_, static_cast<unsigned long long>(count), sizeof(T),
+        remaining());
+    std::vector<T> v(static_cast<std::size_t>(count));
+    std::memcpy(v.data(), p_, v.size() * sizeof(T));
+    p_ += v.size() * sizeof(T);
     return v;
   }
 
@@ -93,9 +109,25 @@ class StateReader {
     return static_cast<std::size_t>(end_ - p_);
   }
 
+  /// Fields decoded so far (each pod()/bytes()/vec() call is one field).
+  [[nodiscard]] std::size_t fields_read() const noexcept { return field_; }
+
  private:
+  /// The decode invariant, with the failing field's sequence position:
+  /// writer and reader execute the same field sequence by construction,
+  /// so an overrun means the blob was not produced by this reader's
+  /// mirror writer — the position says exactly where they diverged.
+  void check_room(std::size_t need, const char* what) const {
+    SNUG_ENSURE_MSG(remaining() >= need,
+                    "state decode: field #%zu — %s of %zu byte(s) "
+                    "overruns the buffer (%zu byte(s) left); the "
+                    "writer/reader field sequences diverged here",
+                    field_, what, need, remaining());
+  }
+
   const std::byte* p_;
   const std::byte* end_;
+  std::size_t field_ = 0;  ///< 1-based position of the field being read
 };
 
 }  // namespace snug

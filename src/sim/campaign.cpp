@@ -1,11 +1,15 @@
 #include "sim/campaign.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "common/require.hpp"
+#include "common/rng.hpp"
 #include "common/str.hpp"
+#include "sim/journal.hpp"
 #include "sim/lane_engine.hpp"
 
 namespace snug::sim {
@@ -82,6 +86,33 @@ CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
   const std::size_t n_schemes = spec.schemes.size();
   const std::size_t n_tasks = combos.size() * n_schemes;
   SNUG_REQUIRE(n_tasks > 0);
+  stats_ = Stats{};
+  const std::uint64_t flags_before = exec_.watchdog_flagged();
+
+  // Per-cell run fingerprints: the journal keys, covering everything
+  // that affects the simulated IPCs.
+  std::vector<std::uint64_t> fps(n_tasks);
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    fps[i] = run_fingerprint(runner_.config(), runner_.scale(),
+                             combos[i / n_schemes],
+                             spec.schemes[i % n_schemes]);
+  }
+
+  // Checkpoint/resume: open (or resume) the journal keyed by the
+  // campaign's identity — machine plus the exact cell grid — so a
+  // journal from a different campaign is moved aside, not replayed.
+  std::unique_ptr<CampaignJournal> journal;
+  if (!journal_path.empty()) {
+    std::uint64_t cfp = Rng::derive_seed(
+        "campaign-journal",
+        config_fingerprint(runner_.config(), runner_.scale()), n_tasks);
+    for (const std::uint64_t fp : fps) {
+      cfp = Rng::derive_seed("cell", cfp, fp);
+    }
+    journal = std::make_unique<CampaignJournal>(journal_path, cfp);
+    stats_.journal_discarded_bytes = journal->discarded_tail_bytes();
+    stats_.journal_reset_stale = journal->reset_stale();
+  }
 
   // Task i = (combo i / n_schemes, scheme i % n_schemes); slots are
   // per-index so workers never contend on result storage.
@@ -96,16 +127,23 @@ CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
   std::mutex hook_mu;
   std::size_t done = 0;
 
-  // Shared post-result bookkeeping: progress hook, per-combo countdown,
-  // combo-completion hook.  Identical for the scalar and lane paths so
-  // the two engines are interchangeable downstream.
+  // Shared post-result bookkeeping: journal checkpoint, progress hook,
+  // per-combo countdown, combo-completion hook.  Identical for the
+  // scalar and lane paths so the two engines are interchangeable
+  // downstream.
   const auto finish_task = [&](std::size_t i) {
     const std::size_t c = i / n_schemes;
     const auto& combo = combos[c];
+    // Checkpoint before the hooks fire: a campaign killed right after a
+    // progress tick must still replay that cell on resume.
+    if (journal && !slots[i].replayed) {
+      journal->append(fps[i], slots[i].ipc);
+    }
     if (on_progress) {
       const std::lock_guard<std::mutex> lock(hook_mu);
       on_progress({++done, n_tasks, combo.name,
-                   spec.schemes[i % n_schemes].id(), slots[i].cached});
+                   spec.schemes[i % n_schemes].id(), slots[i].cached,
+                   slots[i].replayed});
     }
     // acq_rel: the last decrementer observes every sibling's slot write.
     if (remaining[c]->fetch_sub(1, std::memory_order_acq_rel) == 1 &&
@@ -116,6 +154,41 @@ CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
       }
       const std::lock_guard<std::mutex> lock(hook_mu);
       on_combo_done(combo, combo_results);
+    }
+  };
+
+  // Resume: serve journalled cells before any worker starts, re-seeding
+  // the eval cache so a resumed campaign reproduces the uninterrupted
+  // run's cache contents even for cells it never re-simulates.
+  std::vector<bool> pending(n_tasks, true);
+  if (journal) {
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      if (!journal->lookup(fps[i], slots[i].ipc)) continue;
+      slots[i].replayed = true;
+      pending[i] = false;
+      runner_.seed_cache(combos[i / n_schemes],
+                         spec.schemes[i % n_schemes], slots[i].ipc);
+      ++stats_.replayed;
+      finish_task(i);
+    }
+  }
+
+  // Transient-failure retry with deterministic exponential backoff.
+  std::atomic<std::uint64_t> retries{0};
+  const unsigned max_attempts = retry.max_attempts > 0
+                                    ? retry.max_attempts
+                                    : 1;
+  const auto with_retry = [&](const auto& attempt) {
+    for (unsigned a = 1;; ++a) {
+      try {
+        attempt();
+        return;
+      } catch (const fault::TransientError&) {
+        if (a >= max_attempts) throw;
+        retries.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(retry.backoff_ms << (a - 1)));
+      }
     }
   };
 
@@ -132,24 +205,46 @@ CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
         plan_lane_groups(combos.size(), n_schemes, lanes);
     exec_.run_indexed(plans.size(), [&](std::size_t p) {
       const LaneGroupPlan& plan = plans[p];
-      std::vector<ExperimentRunner::GroupPoint> points;
-      points.reserve(plan.tasks.size());
+      // Journal-replayed cells drop out of the group; shrinking a group
+      // cannot change results (lane ≡ scalar is pinned bit-identical).
+      std::vector<std::size_t> tasks;
+      tasks.reserve(plan.tasks.size());
       for (const std::size_t i : plan.tasks) {
+        if (pending[i]) tasks.push_back(i);
+      }
+      if (tasks.empty()) return;
+      std::vector<ExperimentRunner::GroupPoint> points;
+      points.reserve(tasks.size());
+      for (const std::size_t i : tasks) {
         points.push_back(
             {combos[i / n_schemes], spec.schemes[i % n_schemes]});
       }
-      std::vector<RunResult> group = runner_.run_group(points);
-      for (std::size_t l = 0; l < plan.tasks.size(); ++l) {
-        slots[plan.tasks[l]] = std::move(group[l]);
-        finish_task(plan.tasks[l]);
+      std::vector<RunResult> group;
+      with_retry([&] { group = runner_.run_group(points); });
+      for (std::size_t l = 0; l < tasks.size(); ++l) {
+        slots[tasks[l]] = std::move(group[l]);
+        finish_task(tasks[l]);
       }
     });
   } else {
-    exec_.run_indexed(n_tasks, [&](std::size_t i) {
-      slots[i] =
-          runner_.run(combos[i / n_schemes], spec.schemes[i % n_schemes]);
+    std::vector<std::size_t> todo;
+    todo.reserve(n_tasks);
+    for (std::size_t i = 0; i < n_tasks; ++i) {
+      if (pending[i]) todo.push_back(i);
+    }
+    exec_.run_indexed(todo.size(), [&](std::size_t t) {
+      const std::size_t i = todo[t];
+      with_retry([&] {
+        slots[i] = runner_.run(combos[i / n_schemes],
+                               spec.schemes[i % n_schemes]);
+      });
       finish_task(i);
     });
+  }
+  stats_.retries = retries.load(std::memory_order_relaxed);
+  stats_.watchdog_flags = exec_.watchdog_flagged() - flags_before;
+  if (journal) {
+    stats_.journal_append_failures = journal->append_failures();
   }
 
   CampaignResults out;

@@ -72,14 +72,52 @@ struct CampaignProgress {
   std::size_t total = 0;  ///< spec.size()
   std::string combo;
   std::string scheme;
-  bool cached = false;  ///< served from the eval cache, no simulation
+  bool cached = false;    ///< served from the eval cache, no simulation
+  bool replayed = false;  ///< served from the campaign journal (resume)
+};
+
+/// Retry discipline for transiently failing cells: a task throwing
+/// fault::TransientError is re-attempted up to `max_attempts` times
+/// total, sleeping backoff_ms, 2*backoff_ms, 4*backoff_ms, ... between
+/// attempts (deterministic — no jitter, so faulty runs replay exactly).
+/// Anything else thrown propagates immediately.
+struct RetryPolicy {
+  unsigned max_attempts = 3;
+  std::uint64_t backoff_ms = 10;
 };
 
 class CampaignEngine {
  public:
+  /// Robustness counters for one run() call (bench summary lines).
+  struct Stats {
+    std::uint64_t replayed = 0;  ///< cells served from the journal
+    std::uint64_t retries = 0;   ///< transient-failure re-attempts
+    std::uint64_t journal_discarded_bytes = 0;  ///< torn tail at open
+    std::uint64_t journal_append_failures = 0;
+    std::uint64_t watchdog_flags = 0;  ///< stuck-worker flags this run
+    bool journal_reset_stale = false;  ///< foreign journal moved aside
+  };
+
   /// `jobs` as in resolve_jobs(): 1 = serial on the calling thread,
   /// 0 = one worker per hardware thread, n = exactly n workers.
   explicit CampaignEngine(ExperimentRunner& runner, unsigned jobs = 1);
+
+  /// Checkpoint/resume: when non-empty, completed cells are journalled
+  /// to this file and a resumed run replays them instead of
+  /// re-simulating (sim/journal.hpp).  Set before run().
+  std::string journal_path;
+
+  /// Transient-failure retry discipline (see RetryPolicy).
+  RetryPolicy retry;
+
+  /// Wedged-worker watchdog deadline forwarded to the executor; 0
+  /// disables (see ParallelExecutor::watchdog_ms).
+  void set_watchdog_ms(std::uint64_t ms) noexcept {
+    exec_.watchdog_ms = ms;
+  }
+
+  /// Counters of the most recent run().
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
   /// Progress hook; invocations are serialised, so the callback does not
   /// need its own locking.  Completion order is nondeterministic under
@@ -103,6 +141,7 @@ class CampaignEngine {
  private:
   ExperimentRunner& runner_;
   ParallelExecutor exec_;
+  Stats stats_;
 };
 
 }  // namespace snug::sim

@@ -36,6 +36,23 @@ class ParallelExecutor {
 
   [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
 
+  /// Wedged-worker watchdog deadline (0 = off).  While a pooled batch
+  /// runs, a monitor thread scans the workers' in-flight tasks; one that
+  /// has held the same index longer than this is FLAGGED, not killed —
+  /// a diagnostic dump (worker, task index, held duration, batch
+  /// progress) goes to stderr once per stuck claim, watchdog_flagged()
+  /// increments, and the worker keeps running: killing a deterministic
+  /// simulation mid-flight could only corrupt shared stores, while a
+  /// flag lets the operator decide.  Serial mode (jobs=1) runs inline on
+  /// the caller and is never watched.
+  std::uint64_t watchdog_ms = 0;
+
+  /// Stuck-task flags raised by the watchdog so far (cumulative across
+  /// batches; a task re-flagged after a worker moves on counts again).
+  [[nodiscard]] std::uint64_t watchdog_flagged() const noexcept {
+    return watchdog_flagged_.load(std::memory_order_relaxed);
+  }
+
   /// Runs fn(i) exactly once for every i in [0, n), possibly concurrently,
   /// and returns when all are done.  fn must confine its writes to
   /// per-index state.  The first exception thrown by fn is rethrown here
@@ -44,11 +61,22 @@ class ParallelExecutor {
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop(const std::stop_token& stop);
-  void work_off_batch();
+  /// One worker's in-flight claim, written by the worker and read by
+  /// the watchdog monitor (cache-line padded: claims are per-task
+  /// writes on the hot path).
+  struct alignas(64) WorkerClaim {
+    static constexpr std::size_t kIdle = static_cast<std::size_t>(-1);
+    std::atomic<std::size_t> index{kIdle};
+    std::atomic<std::uint64_t> start_ns{0};
+  };
+
+  void worker_loop(const std::stop_token& stop, unsigned wid);
+  void work_off_batch(unsigned wid);
+  void watchdog_scan();
 
   unsigned jobs_ = 1;
   std::vector<std::jthread> workers_;
+  std::vector<WorkerClaim> claims_;
 
   std::mutex mu_;
   std::condition_variable_any work_cv_;
@@ -59,6 +87,8 @@ class ParallelExecutor {
   std::atomic<std::size_t> next_{0};  ///< next unclaimed task index
   unsigned workers_done_ = 0;         ///< workers finished with this batch
   std::exception_ptr first_error_;
+  std::atomic<std::uint64_t> watchdog_flagged_{0};
+  std::vector<std::uint64_t> flagged_start_;  ///< monitor-only: dedup per claim
 
   std::mutex batch_mu_;  ///< serialises run_indexed callers
 };

@@ -4,13 +4,14 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
+#include <cstring>
 
+#include "common/crc32.hpp"
 #include "common/require.hpp"
 #include "common/rng.hpp"
 #include "common/str.hpp"
 #include "sim/lane_engine.hpp"
+#include "sim/store_recovery.hpp"
 
 namespace snug::sim {
 namespace {
@@ -22,7 +23,7 @@ struct CacheHeader {
   std::uint32_t version = EvalCache::kVersion;
   std::uint64_t fingerprint = 0;
   std::uint32_t count = 0;
-  std::uint32_t reserved = 0;
+  std::uint32_t payload_crc = 0;  ///< CRC-32C of the f64 payload (v4+)
 };
 static_assert(sizeof(CacheHeader) == 24, "header layout must be packed");
 
@@ -34,11 +35,15 @@ double RunResult::throughput() const {
   return sum;
 }
 
-EvalCache::EvalCache(std::string dir) : dir_(std::move(dir)) {
+EvalCache::EvalCache(std::string dir)
+    : env_(&fault::env()), dir_(std::move(dir)) {
   if (!dir_.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(dir_, ec);
-    if (ec) dir_.clear();  // fall back to uncached operation
+    if (!env_->create_directories(dir_)) {
+      dir_.clear();  // fall back to uncached operation
+      return;
+    }
+    reaped_temps_.store(reap_orphaned_temps(*env_, dir_),
+                        std::memory_order_relaxed);
   }
 }
 
@@ -49,32 +54,54 @@ std::string EvalCache::entry_path(const std::string& key) const {
 bool EvalCache::load(const std::string& key, std::uint64_t fingerprint,
                      std::vector<double>& ipc) const {
   if (dir_.empty()) return false;
-  std::ifstream in(entry_path(key), std::ios::binary);
-  if (!in) return false;
+  std::vector<std::byte> raw;
+  if (!env_->read_file(entry_path(key), raw)) return false;
 
-  CacheHeader hdr;
-  in.read(reinterpret_cast<char*>(&hdr), sizeof hdr);
-  if (!in || in.gcount() != sizeof hdr) return false;
-  if (hdr.magic != kMagic || hdr.version != kVersion ||
-      hdr.fingerprint != fingerprint || hdr.reserved != 0) {
+  // Structural damage — a file that can never be a valid entry of any
+  // version — is quarantined; *stale* entries (wrong version or
+  // fingerprint: valid files answering a different question) stay put.
+  const auto corrupt = [&] {
+    if (quarantine_entry(
+            *env_, dir_, key + ".snugc",
+            store_seq_.fetch_add(1, std::memory_order_relaxed))) {
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+    }
     return false;
+  };
+
+  if (raw.size() < sizeof(CacheHeader)) return corrupt();
+  CacheHeader hdr;
+  std::memcpy(&hdr, raw.data(), sizeof hdr);
+  if (hdr.magic != kMagic) return corrupt();
+  if (hdr.version != kVersion || hdr.fingerprint != fingerprint) {
+    return false;  // stale, not corrupt
   }
-  if (hdr.count == 0 || hdr.count > kMaxEntries) return false;
+  if (hdr.count == 0 || hdr.count > kMaxEntries) return corrupt();
+  const std::size_t payload_bytes = hdr.count * sizeof(double);
+  if (raw.size() != sizeof hdr + payload_bytes) {
+    return corrupt();  // truncated (short write) or trailing garbage
+  }
+  if (crc32c(raw.data() + sizeof hdr, payload_bytes) != hdr.payload_crc) {
+    return corrupt();  // bit rot / torn payload
+  }
 
-  std::vector<double> payload(hdr.count);
-  const std::streamsize bytes =
-      static_cast<std::streamsize>(hdr.count * sizeof(double));
-  in.read(reinterpret_cast<char*>(payload.data()), bytes);
-  if (!in || in.gcount() != bytes) return false;  // truncated entry
-  if (in.peek() != std::ifstream::traits_type::eof()) return false;  // long
-
-  ipc = std::move(payload);
+  ipc.resize(hdr.count);
+  std::memcpy(ipc.data(), raw.data() + sizeof hdr, payload_bytes);
   return true;
 }
 
 void EvalCache::store(const std::string& key, std::uint64_t fingerprint,
                       const std::vector<double>& ipc) const {
   if (dir_.empty() || ipc.empty() || ipc.size() > kMaxEntries) return;
+
+  CacheHeader hdr;
+  hdr.fingerprint = fingerprint;
+  hdr.count = static_cast<std::uint32_t>(ipc.size());
+  hdr.payload_crc = crc32c(ipc.data(), ipc.size() * sizeof(double));
+  std::vector<std::byte> raw(sizeof hdr + ipc.size() * sizeof(double));
+  std::memcpy(raw.data(), &hdr, sizeof hdr);
+  std::memcpy(raw.data() + sizeof hdr, ipc.data(),
+              ipc.size() * sizeof(double));
 
   // Unique temp name per (process, store) so concurrent writers — threads
   // of this process or entirely separate processes — never collide; the
@@ -84,25 +111,13 @@ void EvalCache::store(const std::string& key, std::uint64_t fingerprint,
            static_cast<long>(::getpid()),
            static_cast<unsigned long long>(
                store_seq_.fetch_add(1, std::memory_order_relaxed)));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return;
-    CacheHeader hdr;
-    hdr.fingerprint = fingerprint;
-    hdr.count = static_cast<std::uint32_t>(ipc.size());
-    out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
-    out.write(reinterpret_cast<const char*>(ipc.data()),
-              static_cast<std::streamsize>(ipc.size() * sizeof(double)));
-    if (!out) {
-      out.close();
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      return;
-    }
+  if (!env_->write_file(tmp, raw.data(), raw.size())) {
+    env_->remove(tmp);  // ENOSPC-style partial file: clean up
+    return;
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, entry_path(key), ec);
-  if (ec) std::filesystem::remove(tmp, ec);  // cache stays best-effort
+  if (!env_->rename(tmp, entry_path(key))) {
+    env_->remove(tmp);  // cache stays best-effort
+  }
 }
 
 std::string default_cache_dir() {
@@ -196,6 +211,9 @@ RunResult ExperimentRunner::run(const trace::WorkloadCombo& combo,
     const std::lock_guard<std::mutex> lock(progress_mu_);
     on_progress(combo.name, spec.id(), false);
   }
+  // Transient-fault point for the simulation cell itself (fail@task /
+  // stall@task clauses); the campaign engine's backoff loop retries.
+  fault::maybe_fail_task(combo.name + "/" + spec.id());
 
   CmpSystem system(cfg_, spec, combo, scale_);
   if (scale_.warmup_mode == WarmupMode::kFunctional) {
@@ -256,6 +274,10 @@ std::vector<RunResult> ExperimentRunner::run_group(
     }
   }
   if (live.empty()) return results;
+  for (const std::size_t i : live) {
+    fault::maybe_fail_task(points[i].combo.name + "/" +
+                           points[i].spec.id());
+  }
 
   // Build the surviving points as lanes.  A group shrunk to one live
   // lane still goes through the (width-1) lane path: step_masked is
@@ -300,6 +322,13 @@ std::vector<RunResult> ExperimentRunner::run_group(
     cache_.store(keys[i], fps[i], results[i].ipc);
   }
   return results;
+}
+
+void ExperimentRunner::seed_cache(const trace::WorkloadCombo& combo,
+                                  const schemes::SchemeSpec& spec,
+                                  const std::vector<double>& ipc) {
+  const std::uint64_t fp = run_fingerprint(cfg_, scale_, combo, spec);
+  cache_.store(cache_key(combo, spec, fp), fp, ipc);
 }
 
 ExperimentRunner::ComboResults ExperimentRunner::run_combo_grid(

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "sim/config.hpp"
 #include "sim/scenario.hpp"
 #include "sim/system.hpp"
@@ -31,6 +32,9 @@ struct RunResult {
   /// instead of simulated (functional mode only; always false when the
   /// whole result came from the eval cache).
   bool warm_banked = false;
+  /// True when the result was replayed from a campaign journal
+  /// (sim/journal.hpp) rather than simulated or cache-loaded this run.
+  bool replayed = false;
 
   [[nodiscard]] double throughput() const;
 };
@@ -41,12 +45,21 @@ struct RunResult {
 /// Entry format (host-endian, `<key>.snugc`; the magic word doubles as
 /// an endianness check):
 ///   u32 magic 'SNUG'   u32 format version   u64 key fingerprint
-///   u32 ipc count      u32 reserved (0)     f64 x count payload
-/// A load succeeds only when magic, version and fingerprint match and the
-/// file holds exactly `count` doubles — short reads, torn writes and
-/// version bumps all fall through to a fresh simulation.  Stores write a
-/// uniquely named temp file and rename() it into place, so a concurrent
-/// reader can never observe a half-written entry.
+///   u32 ipc count      u32 payload CRC-32C  f64 x count payload
+/// A load succeeds only when magic, version, fingerprint, exact size and
+/// payload CRC all check out — short reads, torn writes, bit rot and
+/// version bumps all fall through to a fresh simulation.  Rejections are
+/// classified: *stale* entries (wrong version or fingerprint — valid
+/// files that simply answer a different question) stay in place, while
+/// *structurally corrupt* files (bad magic, truncation, trailing bytes,
+/// CRC mismatch, implausible count) are quarantined — renamed into
+/// `<dir>/quarantine/`, never deleted — so they stop shadowing fresh
+/// stores but remain inspectable.  Stores write a uniquely named temp
+/// file and rename() it into place, so a concurrent reader can never
+/// observe a half-written entry; opening a cache reaps temp files whose
+/// writer process is dead (see sim/store_recovery.hpp).  All I/O goes
+/// through the fault::Env seam, so every one of these failure paths is
+/// exercised deterministically by tests/sim/fault_injection_test.cpp.
 class EvalCache {
  public:
   static constexpr std::uint32_t kMagic = 0x47554E53;  // "SNUG"
@@ -59,12 +72,23 @@ class EvalCache {
   /// than the CDF sampler, so every simulated IPC legitimately changed
   /// (statistically equivalent, bit-level different); v2 entries would
   /// silently resurrect pre-alias results and are rejected wholesale.
-  static constexpr std::uint32_t kVersion = 3;
+  /// v4: the reserved header word became the payload CRC-32C.  A v3
+  /// entry with a non-empty payload would always fail the CRC check and
+  /// land in quarantine even though it is merely stale, so v3 is
+  /// rejected by version (and left in place) instead.
+  static constexpr std::uint32_t kVersion = 4;
   /// Hard upper bound on plausible per-core entries; anything larger is
   /// treated as corruption.
   static constexpr std::uint32_t kMaxEntries = 4096;
 
-  /// `dir` is created on demand; pass "" to disable caching.
+  /// Recovery actions taken by this instance (see the class comment).
+  struct Recovery {
+    std::uint64_t reaped_temps = 0;  ///< dead writers' temps removed on open
+    std::uint64_t quarantined = 0;   ///< corrupt entries renamed aside
+  };
+
+  /// `dir` is created on demand; pass "" to disable caching.  Opening
+  /// runs the orphaned-temp reap.
   explicit EvalCache(std::string dir);
 
   EvalCache(const EvalCache&) = delete;
@@ -76,11 +100,19 @@ class EvalCache {
              const std::vector<double>& ipc) const;
   [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
 
+  [[nodiscard]] Recovery recovery() const noexcept {
+    return {reaped_temps_.load(std::memory_order_relaxed),
+            quarantined_.load(std::memory_order_relaxed)};
+  }
+
  private:
   [[nodiscard]] std::string entry_path(const std::string& key) const;
 
+  const fault::Env* env_;  ///< resolved at construction (fault seam)
   std::string dir_;
   mutable std::atomic<std::uint64_t> store_seq_{0};  ///< unique temp names
+  std::atomic<std::uint64_t> reaped_temps_{0};
+  mutable std::atomic<std::uint64_t> quarantined_{0};
 };
 
 /// Default cache directory: $SNUG_CACHE_DIR or .snug_eval_cache under the
@@ -130,6 +162,15 @@ class ExperimentRunner {
   /// differs.  Thread-safe like run().
   std::vector<RunResult> run_group(const std::vector<GroupPoint>& points);
 
+  /// Re-publishes a known-good result into the eval cache — the exact
+  /// store run() would have performed.  Used by campaign journal replay
+  /// (sim/journal.hpp) so a resumed campaign reproduces the
+  /// uninterrupted run's cache contents even for cells it never
+  /// re-simulated.
+  void seed_cache(const trace::WorkloadCombo& combo,
+                  const schemes::SchemeSpec& spec,
+                  const std::vector<double>& ipc);
+
   /// Results for one combo under every scheme of the paper grid, keyed by
   /// scheme id ("L2P", "L2S", "CC(25%)", ..., "DSR", "SNUG").
   using ComboResults = std::map<std::string, RunResult>;
@@ -143,6 +184,14 @@ class ExperimentRunner {
 
   [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const RunScale& scale() const noexcept { return scale_; }
+
+  /// Recovery counters of the two stores, for bench summary lines.
+  [[nodiscard]] EvalCache::Recovery cache_recovery() const noexcept {
+    return cache_.recovery();
+  }
+  [[nodiscard]] WarmStateBank::Recovery warm_recovery() const noexcept {
+    return warm_bank_.recovery();
+  }
 
   /// Cache-entry basename for one task (combo, scheme id, fingerprint);
   /// exposed for fingerprint-stability tests and cache tooling.

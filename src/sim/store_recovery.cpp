@@ -1,0 +1,62 @@
+#include "sim/store_recovery.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/str.hpp"
+
+namespace snug::sim {
+namespace {
+
+/// True when a process with this pid still exists (EPERM counts: the
+/// process is alive, we just may not signal it).
+bool pid_alive(long pid) {
+  if (pid <= 0) return false;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno == EPERM;
+}
+
+/// Extracts the writer pid from `<key>.tmp.<pid>.<seq>`; false when the
+/// name does not parse (treated as reapable garbage by the caller).
+bool parse_temp_pid(const std::string& name, long& pid) {
+  const std::size_t tmp = name.find(".tmp.");
+  if (tmp == std::string::npos) return false;
+  const std::size_t pid_begin = tmp + 5;
+  const std::size_t pid_end = name.find('.', pid_begin);
+  if (pid_end == std::string::npos || pid_end == pid_begin) return false;
+  char* end = nullptr;
+  const std::string pid_str = name.substr(pid_begin, pid_end - pid_begin);
+  pid = std::strtol(pid_str.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+std::uint64_t reap_orphaned_temps(const fault::Env& env,
+                                  const std::string& dir) {
+  std::uint64_t reaped = 0;
+  for (const std::string& name : env.list_dir(dir)) {
+    if (name.find(".tmp.") == std::string::npos) continue;
+    long pid = 0;
+    if (parse_temp_pid(name, pid) && pid_alive(pid)) continue;
+    env.remove(dir + "/" + name);
+    ++reaped;
+  }
+  return reaped;
+}
+
+bool quarantine_entry(const fault::Env& env, const std::string& dir,
+                      const std::string& name, std::uint64_t uniq) {
+  const std::string qdir = dir + "/quarantine";
+  if (!env.create_directories(qdir)) return false;
+  const std::string qpath =
+      strf("%s/%s.%ld.%llu", qdir.c_str(), name.c_str(),
+           static_cast<long>(::getpid()),
+           static_cast<unsigned long long>(uniq));
+  return env.rename(dir + "/" + name, qpath);
+}
+
+}  // namespace snug::sim

@@ -1,0 +1,41 @@
+// Shared crash-recovery helpers for the on-disk stores (ISSUE 8).
+//
+// EvalCache and WarmStateBank publish entries by writing a uniquely
+// named `<key>.tmp.<pid>.<seq>` file and renaming it into place.  A
+// writer killed between the write and the rename leaves the temp behind
+// forever; an entry that fails structural validation (bad magic,
+// truncation, trailing garbage, payload CRC mismatch) used to sit in
+// the directory shadowing every future store.  These helpers implement
+// the two recovery actions both stores run:
+//
+//   * reap_orphaned_temps — on open, delete temp files whose writer
+//     process is dead (kill(pid, 0) probe).  Temps of live writers are
+//     left alone: they are about to be renamed or cleaned by their
+//     owner.
+//   * quarantine_entry — rename a corrupt entry into
+//     `<dir>/quarantine/<name>.<pid>.<seq>` (never delete: the bytes
+//     are evidence).  The caller then recomputes and rewrites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/fault.hpp"
+
+namespace snug::sim {
+
+/// Deletes orphaned `*.tmp.<pid>.<seq>` files in `dir` whose owning
+/// process no longer exists (or whose name is too mangled to tell).
+/// Returns the number reaped.  Valid entries and live writers' temps
+/// are untouched.
+std::uint64_t reap_orphaned_temps(const fault::Env& env,
+                                  const std::string& dir);
+
+/// Moves `dir`/`name` aside into `dir`/quarantine/ under a unique name
+/// so it stops shadowing fresh stores but stays inspectable.  Returns
+/// false when the rename (or quarantine-dir creation) fails — the
+/// caller degrades to ignoring the entry in place.
+bool quarantine_entry(const fault::Env& env, const std::string& dir,
+                      const std::string& name, std::uint64_t uniq);
+
+}  // namespace snug::sim

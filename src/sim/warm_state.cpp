@@ -3,11 +3,12 @@
 #include <unistd.h>
 
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
+#include <cstring>
 
+#include "common/crc32.hpp"
 #include "common/rng.hpp"
 #include "common/str.hpp"
+#include "sim/store_recovery.hpp"
 
 namespace snug::sim {
 namespace {
@@ -19,30 +20,45 @@ struct BankHeader {
   std::uint32_t version = WarmStateBank::kVersion;
   std::uint64_t fingerprint = 0;
   std::uint64_t payload_bytes = 0;
+  std::uint32_t payload_crc = 0;  ///< CRC-32C of the payload (v2+)
+  std::uint32_t reserved = 0;
 };
-static_assert(sizeof(BankHeader) == 24, "header layout must be packed");
+static_assert(sizeof(BankHeader) == 32, "header layout must be packed");
 
-/// Reads and validates the header; leaves `in` positioned at the payload.
-bool read_valid_header(std::ifstream& in, std::uint64_t fingerprint,
-                       BankHeader& hdr) {
-  in.read(reinterpret_cast<char*>(&hdr), sizeof hdr);
-  if (!in || in.gcount() != sizeof hdr) return false;
-  if (hdr.magic != WarmStateBank::kMagic ||
-      hdr.version != WarmStateBank::kVersion ||
+/// How a header (or file prefix) failed validation.
+enum class HeaderCheck {
+  kOk,
+  kStale,    ///< valid file answering a different question: leave it
+  kCorrupt,  ///< can never be valid: quarantine it
+};
+
+HeaderCheck check_header(const std::vector<std::byte>& raw,
+                         std::uint64_t fingerprint, BankHeader& hdr) {
+  if (raw.size() < sizeof hdr) return HeaderCheck::kCorrupt;
+  std::memcpy(&hdr, raw.data(), sizeof hdr);
+  if (hdr.magic != WarmStateBank::kMagic) return HeaderCheck::kCorrupt;
+  if (hdr.version != WarmStateBank::kVersion ||
       hdr.fingerprint != fingerprint) {
-    return false;
+    return HeaderCheck::kStale;
   }
-  return hdr.payload_bytes != 0 &&
-         hdr.payload_bytes <= WarmStateBank::kMaxBytes;
+  if (hdr.payload_bytes == 0 ||
+      hdr.payload_bytes > WarmStateBank::kMaxBytes || hdr.reserved != 0) {
+    return HeaderCheck::kCorrupt;
+  }
+  return HeaderCheck::kOk;
 }
 
 }  // namespace
 
-WarmStateBank::WarmStateBank(std::string dir) : dir_(std::move(dir)) {
+WarmStateBank::WarmStateBank(std::string dir)
+    : env_(&fault::env()), dir_(std::move(dir)) {
   if (!dir_.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(dir_, ec);
-    if (ec) dir_.clear();  // fall back to bank-less operation
+    if (!env_->create_directories(dir_)) {
+      dir_.clear();  // fall back to bank-less operation
+      return;
+    }
+    reaped_temps_.store(reap_orphaned_temps(*env_, dir_),
+                        std::memory_order_relaxed);
   }
 }
 
@@ -53,34 +69,63 @@ std::string WarmStateBank::entry_path(const std::string& key) const {
 bool WarmStateBank::load(const std::string& key, std::uint64_t fingerprint,
                          std::vector<std::byte>& blob) const {
   if (dir_.empty()) return false;
-  std::ifstream in(entry_path(key), std::ios::binary);
-  if (!in) return false;
+  std::vector<std::byte> raw;
+  if (!env_->read_file(entry_path(key), raw)) return false;
+
+  const auto corrupt = [&] {
+    if (quarantine_entry(
+            *env_, dir_, key + ".snugw",
+            store_seq_.fetch_add(1, std::memory_order_relaxed))) {
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  };
 
   BankHeader hdr;
-  if (!read_valid_header(in, fingerprint, hdr)) return false;
+  switch (check_header(raw, fingerprint, hdr)) {
+    case HeaderCheck::kStale:
+      return false;
+    case HeaderCheck::kCorrupt:
+      return corrupt();
+    case HeaderCheck::kOk:
+      break;
+  }
+  if (raw.size() != sizeof hdr + hdr.payload_bytes) {
+    return corrupt();  // truncated (short write) or trailing garbage
+  }
+  if (crc32c(raw.data() + sizeof hdr, hdr.payload_bytes) !=
+      hdr.payload_crc) {
+    return corrupt();  // bit rot / torn payload
+  }
 
-  std::vector<std::byte> payload(hdr.payload_bytes);
-  const auto bytes = static_cast<std::streamsize>(hdr.payload_bytes);
-  in.read(reinterpret_cast<char*>(payload.data()), bytes);
-  if (!in || in.gcount() != bytes) return false;  // truncated entry
-  if (in.peek() != std::ifstream::traits_type::eof()) return false;  // long
-
-  blob = std::move(payload);
+  blob.assign(raw.begin() + sizeof hdr, raw.end());
   return true;
 }
 
 bool WarmStateBank::contains(const std::string& key,
                              std::uint64_t fingerprint) const {
   if (dir_.empty()) return false;
-  std::ifstream in(entry_path(key), std::ios::binary);
-  if (!in) return false;
+  std::vector<std::byte> raw;
+  if (!env_->read_file(entry_path(key), raw, sizeof(BankHeader))) {
+    return false;
+  }
   BankHeader hdr;
-  return read_valid_header(in, fingerprint, hdr);
+  // Header-only probe: no CRC/size verdict, and no quarantine — a later
+  // full load makes the structural call on the whole file.
+  return check_header(raw, fingerprint, hdr) == HeaderCheck::kOk;
 }
 
 void WarmStateBank::store(const std::string& key, std::uint64_t fingerprint,
                           const std::vector<std::byte>& blob) const {
   if (dir_.empty() || blob.empty() || blob.size() > kMaxBytes) return;
+
+  BankHeader hdr;
+  hdr.fingerprint = fingerprint;
+  hdr.payload_bytes = blob.size();
+  hdr.payload_crc = crc32c(blob.data(), blob.size());
+  std::vector<std::byte> raw(sizeof hdr + blob.size());
+  std::memcpy(raw.data(), &hdr, sizeof hdr);
+  std::memcpy(raw.data() + sizeof hdr, blob.data(), blob.size());
 
   // Unique temp name per (process, store) so concurrent writers — threads
   // of one campaign or entirely separate processes — never collide; the
@@ -90,25 +135,13 @@ void WarmStateBank::store(const std::string& key, std::uint64_t fingerprint,
            static_cast<long>(::getpid()),
            static_cast<unsigned long long>(
                store_seq_.fetch_add(1, std::memory_order_relaxed)));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return;
-    BankHeader hdr;
-    hdr.fingerprint = fingerprint;
-    hdr.payload_bytes = blob.size();
-    out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
-    out.write(reinterpret_cast<const char*>(blob.data()),
-              static_cast<std::streamsize>(blob.size()));
-    if (!out) {
-      out.close();
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      return;
-    }
+  if (!env_->write_file(tmp, raw.data(), raw.size())) {
+    env_->remove(tmp);  // ENOSPC-style partial file: clean up
+    return;
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, entry_path(key), ec);
-  if (ec) std::filesystem::remove(tmp, ec);  // bank stays best-effort
+  if (!env_->rename(tmp, entry_path(key))) {
+    env_->remove(tmp);  // bank stays best-effort
+  }
 }
 
 std::string default_warm_bank_dir() {

@@ -12,11 +12,16 @@
 // (pinned by tests/sim/warm_state_test.cpp).
 //
 // The on-disk format follows EvalCache (sim/runner.hpp): a versioned,
-// fingerprinted, host-endian header followed by an exact-size payload;
-// stores write a uniquely named temp file and rename() it into place, so
-// concurrent writers never expose a torn entry and loads reject
-// anything truncated, oversized, corrupt or stale — every rejection
-// falls back to a fresh warm-up simulation.
+// fingerprinted, host-endian header (with a payload CRC-32C since v2)
+// followed by an exact-size payload; stores write a uniquely named temp
+// file and rename() it into place, so concurrent writers never expose a
+// torn entry and loads reject anything truncated, oversized, corrupt or
+// stale — every rejection falls back to a fresh warm-up simulation.
+// Like EvalCache, rejections are classified: stale entries (wrong
+// version/fingerprint) stay in place, structurally corrupt files are
+// quarantined into `<dir>/quarantine/`, and opening the bank reaps temp
+// files whose writer process is dead (sim/store_recovery.hpp).  All I/O
+// goes through the fault::Env seam.
 #pragma once
 
 #include <atomic>
@@ -25,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "sim/config.hpp"
 
 namespace snug::sim {
@@ -35,13 +41,22 @@ class WarmStateBank {
   /// v1: initial warm-state blob layout (see CmpSystem::save_warm_state
   /// for the field sequence).  Bump whenever any serialized structure
   /// changes shape so stale checkpoints are rejected wholesale.
-  static constexpr std::uint32_t kVersion = 1;
+  /// v2: the header grew a payload CRC-32C (and a reserved pad word);
+  /// v1 entries have a 24-byte header and are rejected by version.
+  static constexpr std::uint32_t kVersion = 2;
   /// Hard upper bound on a plausible checkpoint (a 16-core paper-scale
   /// system is a few hundred MB of arenas); anything larger is treated
   /// as corruption.
   static constexpr std::uint64_t kMaxBytes = 1ULL << 32;
 
-  /// `dir` is created on demand; pass "" to disable the bank.
+  /// Recovery actions taken by this instance (see the class comment).
+  struct Recovery {
+    std::uint64_t reaped_temps = 0;  ///< dead writers' temps removed on open
+    std::uint64_t quarantined = 0;   ///< corrupt entries renamed aside
+  };
+
+  /// `dir` is created on demand; pass "" to disable the bank.  Opening
+  /// runs the orphaned-temp reap.
   explicit WarmStateBank(std::string dir);
 
   WarmStateBank(const WarmStateBank&) = delete;
@@ -60,11 +75,19 @@ class WarmStateBank {
 
   [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
 
+  [[nodiscard]] Recovery recovery() const noexcept {
+    return {reaped_temps_.load(std::memory_order_relaxed),
+            quarantined_.load(std::memory_order_relaxed)};
+  }
+
  private:
   [[nodiscard]] std::string entry_path(const std::string& key) const;
 
+  const fault::Env* env_;  ///< resolved at construction (fault seam)
   std::string dir_;
   mutable std::atomic<std::uint64_t> store_seq_{0};  ///< unique temp names
+  std::atomic<std::uint64_t> reaped_temps_{0};
+  mutable std::atomic<std::uint64_t> quarantined_{0};
 };
 
 /// Default bank directory: $SNUG_WARM_BANK_DIR or .snug_warm_bank under

@@ -1,0 +1,93 @@
+#include "common/state_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace snug {
+namespace {
+
+TEST(StateIo, RoundTripsPodsAndVectors) {
+  StateWriter w;
+  w.pod<std::uint32_t>(0xC0FFEEu);
+  w.pod<double>(2.5);
+  w.vec<std::uint16_t>({1, 2, 3});
+  w.vec<double>({});
+
+  StateReader r(w.data());
+  EXPECT_EQ(r.pod<std::uint32_t>(), 0xC0FFEEu);
+  EXPECT_EQ(r.pod<double>(), 2.5);
+  EXPECT_EQ(r.vec<std::uint16_t>(), (std::vector<std::uint16_t>{1, 2, 3}));
+  EXPECT_TRUE(r.vec<double>().empty());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(r.fields_read(), 4u);
+}
+
+// The error paths below are SNUG_ENSURE invariants — always on, in every
+// build type — and their diagnostic names the 1-based sequence position
+// of the field that overran, because writer and reader execute the same
+// field sequence by construction: the position is exactly where they
+// diverged.
+
+using StateIoDeathTest = ::testing::Test;
+
+TEST(StateIoDeathTest, TruncatedBufferNamesFailingFieldPosition) {
+  StateWriter w;
+  w.pod<std::uint64_t>(7);
+  w.pod<std::uint64_t>(9);
+  const std::vector<std::byte> full = w.data();
+  // Chop mid-way through the second pod: field #1 decodes, field #2 must
+  // die naming its position.
+  const std::vector<std::byte> torn(full.begin(), full.begin() + 12);
+  EXPECT_DEATH(
+      {
+        StateReader r(torn);
+        (void)r.pod<std::uint64_t>();
+        (void)r.pod<std::uint64_t>();
+      },
+      "field #2.*overruns the buffer");
+}
+
+TEST(StateIoDeathTest, OversizeLengthPrefixNamesFailingFieldPosition) {
+  StateWriter w;
+  w.pod<std::uint32_t>(1);
+  // A length prefix claiming ~2^61 elements: the division-based bound
+  // must reject it rather than overflowing count * sizeof(T).
+  w.pod<std::uint64_t>(std::uint64_t{1} << 61);
+  EXPECT_DEATH(
+      {
+        StateReader r(w.data());
+        (void)r.pod<std::uint32_t>();
+        (void)r.vec<double>();
+      },
+      "field #2.*overruns the buffer.*oversize length prefix");
+}
+
+TEST(StateIoDeathTest, ElementTypeSizeMismatchNamesFailingFieldPosition) {
+  StateWriter w;
+  w.pod<std::uint8_t>(0);
+  w.vec<std::uint32_t>({1, 2, 3});
+  EXPECT_DEATH(
+      {
+        StateReader r(w.data());
+        (void)r.pod<std::uint8_t>();
+        // Reader disagrees with the writer about the element type: three
+        // u32s cannot satisfy three u64s.
+        (void)r.vec<std::uint64_t>();
+      },
+      "field #2.*element-type");
+}
+
+TEST(StateIoDeathTest, TruncatedByteRunNamesFailingFieldPosition) {
+  StateWriter w;
+  w.pod<std::uint16_t>(5);
+  StateReader r(w.data());
+  (void)r.pod<std::uint16_t>();
+  std::byte out[4];
+  EXPECT_DEATH(r.bytes(out, sizeof(out)),
+               "field #2.*byte run of 4 byte\\(s\\).*overruns the buffer");
+}
+
+}  // namespace
+}  // namespace snug

@@ -4,6 +4,8 @@
 // partial IPC vector.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -11,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/crc32.hpp"
 #include "sim/runner.hpp"
 
 namespace snug::sim {
@@ -167,19 +170,20 @@ TEST(EvalCache, RejectsPreScenarioFormatEntries) {
   // The scenario refactor bumped the entry format to v2 (fingerprints now
   // cover the full topology).  A well-formed v1 entry — as any
   // pre-refactor cache directory holds — must be rejected wholesale even
-  // when its stored fingerprint happens to match.
+  // when its stored fingerprint happens to match.  Stale ≠ corrupt: the
+  // legacy file must stay in place, not land in quarantine.
   ASSERT_GE(EvalCache::kVersion, 2U);
   TempCacheDir tmp;
   EvalCache cache(tmp.dir.string());
 
+  const double payload[2] = {1.25, 0.75};
   struct V1Header {
     std::uint32_t magic = EvalCache::kMagic;
     std::uint32_t version = 1;  // pre-scenario format
     std::uint64_t fingerprint = 42;
     std::uint32_t count = 2;
-    std::uint32_t reserved = 0;
+    std::uint32_t payload_crc = 0;  // the v1-era reserved word
   } hdr;
-  const double payload[2] = {1.25, 0.75};
   {
     std::ofstream out(entry_file(tmp, "legacy"), std::ios::binary);
     out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
@@ -189,16 +193,102 @@ TEST(EvalCache, RejectsPreScenarioFormatEntries) {
   std::vector<double> ipc;
   EXPECT_FALSE(cache.load("legacy", 42, ipc));
   EXPECT_TRUE(ipc.empty());
+  EXPECT_TRUE(std::filesystem::exists(entry_file(tmp, "legacy")));
+  EXPECT_EQ(cache.recovery().quarantined, 0U);
 
-  // The same bytes with the current version load fine — the rejection
-  // above is the version check, nothing else.
+  // The same bytes with the current version (and a correct v4 payload
+  // CRC) load fine — the rejection above is the version check, nothing
+  // else.
   hdr.version = EvalCache::kVersion;
+  hdr.payload_crc = crc32c(payload, sizeof payload);
   {
     std::ofstream out(entry_file(tmp, "legacy"), std::ios::binary);
     out.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
     out.write(reinterpret_cast<const char*>(payload), sizeof payload);
   }
   EXPECT_TRUE(cache.load("legacy", 42, ipc));
+}
+
+TEST(EvalCache, RejectsFlippedPayloadBitViaCrc) {
+  TempCacheDir tmp;
+  EvalCache cache(tmp.dir.string());
+  cache.store("k", 42, {1.0, 2.0, 3.0});
+
+  // Flip one payload bit; header and size stay plausible, so only the
+  // CRC can catch it.
+  {
+    std::fstream f(entry_file(tmp, "k"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(24 + 5);
+    char byte;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(24 + 5);
+    f.write(&byte, 1);
+  }
+  std::vector<double> ipc;
+  EXPECT_FALSE(cache.load("k", 42, ipc));
+}
+
+TEST(EvalCache, QuarantinesCorruptEntriesKeepsStaleOnes) {
+  TempCacheDir tmp;
+  EvalCache cache(tmp.dir.string());
+  cache.store("torn", 42, {1.0, 2.0, 3.0, 4.0});
+  cache.store("stale", 42, {5.0, 6.0});
+  std::filesystem::resize_file(entry_file(tmp, "torn"), 36);  // mid-double
+
+  std::vector<double> ipc;
+  EXPECT_FALSE(cache.load("torn", 42, ipc));
+  EXPECT_FALSE(cache.load("stale", 99, ipc));  // fingerprint miss: stale
+
+  // The torn file moved aside (evidence, not deleted); the stale one is
+  // untouched and still serves its own fingerprint.
+  EXPECT_FALSE(std::filesystem::exists(entry_file(tmp, "torn")));
+  std::size_t quarantined_files = 0;
+  for (const auto& e :
+       std::filesystem::directory_iterator(tmp.dir / "quarantine")) {
+    EXPECT_NE(e.path().filename().string().find("torn.snugc"),
+              std::string::npos);
+    ++quarantined_files;
+  }
+  EXPECT_EQ(quarantined_files, 1U);
+  EXPECT_EQ(cache.recovery().quarantined, 1U);
+  EXPECT_TRUE(cache.load("stale", 42, ipc));
+
+  // Degradation is recompute + rewrite: a fresh store of the torn key
+  // fully heals the slot.
+  cache.store("torn", 42, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_TRUE(cache.load("torn", 42, ipc));
+  EXPECT_EQ(ipc.size(), 4U);
+}
+
+TEST(EvalCache, ReapsDeadWritersTempsOnOpen) {
+  TempCacheDir tmp;
+  {
+    EvalCache cache(tmp.dir.string());
+    cache.store("keep", 42, {1.0, 2.0});
+  }
+  // Plant what killed writers leave behind: temps owned by a dead pid
+  // and a mangled name nobody will ever rename — plus one owned by a
+  // live process (us), which must survive the reap.
+  const auto plant = [&](const std::string& name) {
+    std::ofstream out(tmp.dir / name, std::ios::binary);
+    out << "partial";
+  };
+  plant("keep.snugc.tmp.999999999.7");
+  plant("other.snugc.tmp.bogus.3");
+  const std::string live =
+      "live.snugc.tmp." + std::to_string(::getpid()) + ".1";
+  plant(live);
+
+  EvalCache reopened(tmp.dir.string());
+  EXPECT_EQ(reopened.recovery().reaped_temps, 2U);
+  EXPECT_FALSE(
+      std::filesystem::exists(tmp.dir / "keep.snugc.tmp.999999999.7"));
+  EXPECT_FALSE(std::filesystem::exists(tmp.dir / "other.snugc.tmp.bogus.3"));
+  EXPECT_TRUE(std::filesystem::exists(tmp.dir / live));
+  std::vector<double> ipc;
+  EXPECT_TRUE(reopened.load("keep", 42, ipc));  // valid entries untouched
 }
 
 TEST(EvalCache, RunFingerprintCoversFullTopology) {

@@ -1,0 +1,341 @@
+// ISSUE 8 fault-injection suite: the deterministic fault seam
+// (common/fault.hpp) and the recovery behaviour it forces out of the
+// stores and the campaign engine — short writes, poisoned reads and
+// torn renames self-heal, injected transient task failures retry, a
+// seeded faulty campaign is bit-identical to a clean one, and a wedged
+// worker is flagged (not killed) by the executor watchdog.
+#include "common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/campaign.hpp"
+#include "sim/executor.hpp"
+#include "sim/runner.hpp"
+#include "sim/warm_state.hpp"
+
+namespace snug {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  explicit TempDir(const char* name) {
+    dir = fs::temp_directory_path() / name;
+    fs::remove_all(dir);
+  }
+  ~TempDir() { fs::remove_all(dir); }
+  fs::path dir;
+};
+
+// ---- plan grammar ------------------------------------------------------
+
+TEST(FaultPlan, ParsesClausesSeedAndKeys) {
+  fault::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(fault::FaultPlan::parse(
+      "seed=7; short-write@write:p=0.25; "
+      "fail@task:match=mixA/SNUG,first=2; stall@read:ms=5,every=3",
+      plan, error))
+      << error;
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.clauses.size(), 3u);
+  EXPECT_EQ(plan.clauses[0].kind, fault::Kind::kShortWrite);
+  EXPECT_EQ(plan.clauses[0].op, fault::Op::kWrite);
+  EXPECT_DOUBLE_EQ(plan.clauses[0].prob, 0.25);
+  EXPECT_EQ(plan.clauses[1].kind, fault::Kind::kFail);
+  EXPECT_EQ(plan.clauses[1].op, fault::Op::kTask);
+  EXPECT_EQ(plan.clauses[1].match, "mixA/SNUG");
+  EXPECT_EQ(plan.clauses[1].first, 2u);
+  EXPECT_EQ(plan.clauses[2].stall_ms, 5u);
+  EXPECT_EQ(plan.clauses[2].every, 3u);
+  // The summary round-trips through the parser.
+  fault::FaultPlan again;
+  ASSERT_TRUE(fault::FaultPlan::parse(plan.summary(), again, error))
+      << plan.summary() << ": " << error;
+  EXPECT_EQ(again.summary(), plan.summary());
+}
+
+TEST(FaultPlan, RejectsBadClausesWithNamedErrors) {
+  fault::FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(fault::FaultPlan::parse("melt@write", plan, error));
+  EXPECT_NE(error.find("melt@write"), std::string::npos) << error;
+  EXPECT_FALSE(fault::FaultPlan::parse("short-write@read", plan, error));
+  EXPECT_FALSE(fault::FaultPlan::parse("torn-rename@write", plan, error));
+  EXPECT_FALSE(fault::FaultPlan::parse("stall@write", plan, error))
+      << "stall requires ms=";
+  EXPECT_FALSE(fault::FaultPlan::parse("bit-flip@write:p=2.0", plan,
+                                       error));
+  EXPECT_FALSE(fault::FaultPlan::parse("bit-flip@write:p=nope", plan,
+                                       error));
+}
+
+TEST(FaultPlan, RejectsAnEmptyPlanAndReportsNoInstallation) {
+  fault::FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(fault::FaultPlan::parse("", plan, error));
+  EXPECT_NE(error.find("no clauses"), std::string::npos) << error;
+  EXPECT_FALSE(fault::plan_installed());
+  EXPECT_EQ(fault::installed_stats().total(), 0u);
+}
+
+// ---- deterministic injection through the Env seam ----------------------
+
+TEST(FaultEnv, ShortWriteIsSilentAndSeedDeterministic) {
+  TempDir tmp("snug_fault_env_test");
+  fs::create_directories(tmp.dir);
+  const std::string path = (tmp.dir / "victim.bin").string();
+  const std::string payload(1000, 'x');
+
+  fault::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(fault::FaultPlan::parse("seed=9; short-write@write:p=1",
+                                      plan, error));
+  std::uintmax_t torn_size = 0;
+  {
+    fault::ScopedFaultPlan scoped(plan);
+    // The writer is told the write succeeded — that is the point.
+    EXPECT_TRUE(fault::env().write_file(
+      path, reinterpret_cast<const std::byte*>(payload.data()),
+                                        payload.size()));
+    EXPECT_EQ(scoped.stats().short_writes, 1u);
+    torn_size = fs::file_size(path);
+    EXPECT_LT(torn_size, payload.size());
+  }
+  // Same seed, same key, same occurrence → the same torn length.
+  fs::remove(path);
+  {
+    fault::ScopedFaultPlan scoped(plan);
+    EXPECT_TRUE(fault::env().write_file(
+      path, reinterpret_cast<const std::byte*>(payload.data()),
+                                        payload.size()));
+    EXPECT_EQ(fs::file_size(path), torn_size);
+  }
+  // Plan uninstalled: writes are whole again.
+  EXPECT_TRUE(fault::env().write_file(
+      path, reinterpret_cast<const std::byte*>(payload.data()),
+                                      payload.size()));
+  EXPECT_EQ(fs::file_size(path), payload.size());
+}
+
+// ---- store self-healing under injected faults --------------------------
+
+TEST(FaultInjection, EvalCacheHealsShortWrittenEntry) {
+  TempDir tmp("snug_fault_cache_short_write");
+  const std::vector<double> ipc{1.0, 2.0, 3.0, 4.0};
+
+  fault::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(fault::FaultPlan::parse("seed=11; short-write@write:p=1",
+                                      plan, error));
+  {
+    fault::ScopedFaultPlan scoped(plan);
+    // Built under the plan so the cache resolves the faulty Env.
+    const sim::EvalCache cache(tmp.dir.string());
+    cache.store("cell", 77, ipc);
+  }
+
+  // The torn entry is detected, quarantined (never deleted) and healed
+  // by the rewrite.
+  const sim::EvalCache cache(tmp.dir.string());
+  std::vector<double> out;
+  EXPECT_FALSE(cache.load("cell", 77, out));
+  EXPECT_EQ(cache.recovery().quarantined, 1u);
+  EXPECT_TRUE(fs::exists(tmp.dir / "quarantine"));
+  cache.store("cell", 77, ipc);
+  ASSERT_TRUE(cache.load("cell", 77, out));
+  EXPECT_EQ(out, ipc);
+}
+
+TEST(FaultInjection, EvalCachePoisonedReadFallsBackToRecompute) {
+  TempDir tmp("snug_fault_cache_bit_flip");
+  const std::vector<double> ipc{0.5, 0.25};
+  {
+    const sim::EvalCache cache(tmp.dir.string());
+    cache.store("cell", 5, ipc);
+  }
+
+  fault::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(fault::FaultPlan::parse("seed=2; bit-flip@read:p=1", plan,
+                                      error));
+  {
+    fault::ScopedFaultPlan scoped(plan);
+    const sim::EvalCache cache(tmp.dir.string());
+    std::vector<double> out;
+    // Every read is poisoned; the CRC rejects the bytes and the caller
+    // falls back to simulation (a cache miss, not a crash).
+    EXPECT_FALSE(cache.load("cell", 5, out));
+    EXPECT_GE(scoped.stats().bit_flips, 1u);
+  }
+}
+
+TEST(FaultInjection, TornRenameNeverExposesAPartialEntry) {
+  TempDir tmp("snug_fault_cache_torn_rename");
+  const std::vector<double> ipc{9.0};
+
+  fault::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(fault::FaultPlan::parse("seed=4; torn-rename@rename:p=1",
+                                      plan, error));
+  {
+    fault::ScopedFaultPlan scoped(plan);
+    const sim::EvalCache cache(tmp.dir.string());
+    cache.store("cell", 1, ipc);  // publish rename suppressed
+    EXPECT_EQ(scoped.stats().torn_renames, 1u);
+    std::vector<double> out;
+    // The entry simply never appeared — a clean miss, no torn bytes.
+    EXPECT_FALSE(cache.load("cell", 1, out));
+  }
+  const sim::EvalCache cache(tmp.dir.string());
+  EXPECT_EQ(cache.recovery().quarantined, 0u);
+  std::vector<double> out;
+  EXPECT_FALSE(cache.load("cell", 1, out));
+  cache.store("cell", 1, ipc);
+  EXPECT_TRUE(cache.load("cell", 1, out));
+}
+
+TEST(FaultInjection, WarmStateBankHealsShortWrittenCheckpoint) {
+  TempDir tmp("snug_fault_bank_short_write");
+  std::vector<std::byte> blob(256);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::byte>(i);
+  }
+
+  fault::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(fault::FaultPlan::parse("seed=6; short-write@write:p=1",
+                                      plan, error));
+  {
+    fault::ScopedFaultPlan scoped(plan);
+    const sim::WarmStateBank bank(tmp.dir.string());
+    bank.store("warm", 13, blob);
+  }
+
+  const sim::WarmStateBank bank(tmp.dir.string());
+  std::vector<std::byte> out;
+  EXPECT_FALSE(bank.load("warm", 13, out));
+  EXPECT_EQ(bank.recovery().quarantined, 1u);
+  bank.store("warm", 13, blob);
+  ASSERT_TRUE(bank.load("warm", 13, out));
+  EXPECT_EQ(out, blob);
+}
+
+// ---- the ISSUE 8 acceptance property -----------------------------------
+// A campaign under a seeded fault plan — transient task failures plus
+// store chaos — produces bit-identical results to a fault-free run.
+
+void expect_identical(const sim::CampaignResults& a,
+                      const sim::CampaignResults& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [combo, combo_results] : a) {
+    const auto it = b.find(combo);
+    ASSERT_NE(it, b.end()) << combo;
+    ASSERT_EQ(combo_results.size(), it->second.size());
+    for (const auto& [scheme, result] : combo_results) {
+      const auto& other = it->second.at(scheme);
+      ASSERT_EQ(result.ipc.size(), other.ipc.size());
+      for (std::size_t i = 0; i < result.ipc.size(); ++i) {
+        EXPECT_EQ(result.ipc[i], other.ipc[i])
+            << combo << "/" << scheme << " core " << i;
+      }
+    }
+  }
+}
+
+sim::CampaignSpec small_grid() {
+  sim::CampaignSpec spec = sim::CampaignSpec::grid(
+      {
+          {"mixA", 3, {"gzip", "mesa", "gzip", "mesa"}},
+          {"mixB", 5, {"ammp", "gzip", "mesa", "ammp"}},
+      },
+      {{schemes::SchemeKind::kL2P, 0.0},
+       {schemes::SchemeKind::kCC, 0.5},
+       {schemes::SchemeKind::kSNUG, 0.0}});
+  spec.scenario.scale.warmup_cycles = 10'000;
+  spec.scenario.scale.measure_cycles = 40'000;
+  spec.scenario.scale.phase_period_refs = 50'000;
+  return spec;
+}
+
+TEST(FaultInjection, FaultedCampaignIsBitIdenticalToCleanRun) {
+  const sim::CampaignSpec spec = small_grid();
+
+  sim::ExperimentRunner clean_runner(spec.scenario, "");
+  sim::CampaignEngine clean(clean_runner, 2);
+  const sim::CampaignResults a = clean.run(spec);
+
+  TempDir tmp("snug_faulted_campaign_cache");
+  fault::FaultPlan plan;
+  std::string error;
+  // first=1 on fail@task: every cell's FIRST attempt throws an injected
+  // TransientError and every retry succeeds — the retry count is exact,
+  // not probabilistic.  The store faults exercise the cache recovery
+  // paths mid-campaign.
+  ASSERT_TRUE(fault::FaultPlan::parse(
+      "seed=3; fail@task:first=1; short-write@write:p=0.4; "
+      "bit-flip@read:p=0.4",
+      plan, error))
+      << error;
+  fault::ScopedFaultPlan scoped(plan);
+  sim::ExperimentRunner faulty_runner(spec.scenario, tmp.dir.string());
+  sim::CampaignEngine faulty(faulty_runner, 2);
+  faulty.retry.max_attempts = 3;
+  faulty.retry.backoff_ms = 1;
+  const sim::CampaignResults b = faulty.run(spec);
+
+  expect_identical(a, b);
+  EXPECT_EQ(faulty.stats().retries, spec.size());
+  EXPECT_EQ(scoped.stats().task_failures, spec.size());
+}
+
+TEST(FaultInjection, RetryGivesUpAfterMaxAttempts) {
+  const sim::CampaignSpec spec = small_grid();
+  fault::FaultPlan plan;
+  std::string error;
+  // One cell fails on every attempt, forever.
+  ASSERT_TRUE(fault::FaultPlan::parse("seed=1; fail@task:match=mixB/SNUG",
+                                      plan, error))
+      << error;
+  fault::ScopedFaultPlan scoped(plan);
+  sim::ExperimentRunner runner(spec.scenario, "");
+  sim::CampaignEngine engine(runner, 1);
+  engine.retry.max_attempts = 2;
+  engine.retry.backoff_ms = 1;
+  EXPECT_THROW((void)engine.run(spec), fault::TransientError);
+  EXPECT_EQ(scoped.stats().task_failures, 2u);  // attempts, then give up
+}
+
+// ---- executor watchdog -------------------------------------------------
+
+TEST(Watchdog, FlagsButNeverKillsAWedgedWorker) {
+  sim::ParallelExecutor exec(2);
+  exec.watchdog_ms = 30;
+  std::atomic<int> completed{0};
+  exec.run_indexed(2, [&](std::size_t i) {
+    if (i == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    completed.fetch_add(1);
+  });
+  // The slow task was flagged (possibly more than once is impossible:
+  // one claim, one dump) and still ran to completion.
+  EXPECT_EQ(exec.watchdog_flagged(), 1u);
+  EXPECT_EQ(completed.load(), 2);
+}
+
+TEST(Watchdog, QuietWhenTasksBeatTheDeadline) {
+  sim::ParallelExecutor exec(2);
+  exec.watchdog_ms = 60'000;
+  exec.run_indexed(8, [](std::size_t) {});
+  EXPECT_EQ(exec.watchdog_flagged(), 0u);
+}
+
+}  // namespace
+}  // namespace snug

@@ -1,0 +1,308 @@
+// CampaignJournal tests (ISSUE 8): frame round-trips, torn-tail
+// discard with atomic rewrite, stale journals renamed aside (never
+// deleted), best-effort appends under injected ENOSPC, and the
+// acceptance property — a campaign resumed from a partial journal is
+// bit-identical to the uninterrupted run and simulates only the
+// missing cells.
+#include "sim/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "sim/campaign.hpp"
+#include "sim/runner.hpp"
+
+namespace snug::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  explicit TempDir(const char* name) {
+    dir = fs::temp_directory_path() / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~TempDir() { fs::remove_all(dir); }
+  [[nodiscard]] std::string journal() const {
+    return (dir / "campaign.journal").string();
+  }
+  fs::path dir;
+};
+
+TEST(CampaignJournal, RoundTripsRecordsAcrossReopen) {
+  TempDir tmp("snug_journal_roundtrip");
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{0.5};
+  {
+    CampaignJournal journal(tmp.journal(), 42);
+    ASSERT_TRUE(journal.enabled());
+    EXPECT_EQ(journal.replayed_cells(), 0u);
+    journal.append(101, a);
+    journal.append(202, b);
+    EXPECT_EQ(journal.append_failures(), 0u);
+  }
+  CampaignJournal journal(tmp.journal(), 42);
+  EXPECT_EQ(journal.replayed_cells(), 2u);
+  EXPECT_EQ(journal.discarded_tail_bytes(), 0u);
+  EXPECT_FALSE(journal.reset_stale());
+  std::vector<double> out;
+  ASSERT_TRUE(journal.lookup(101, out));
+  EXPECT_EQ(out, a);
+  ASSERT_TRUE(journal.lookup(202, out));
+  EXPECT_EQ(out, b);
+  EXPECT_FALSE(journal.lookup(303, out));
+}
+
+TEST(CampaignJournal, DisabledWhenPathIsEmpty) {
+  CampaignJournal journal("", 1);
+  EXPECT_FALSE(journal.enabled());
+  journal.append(1, {1.0});  // no-op, no crash
+  std::vector<double> out;
+  EXPECT_FALSE(journal.lookup(1, out));
+}
+
+TEST(CampaignJournal, TornTailIsDiscardedAndAtomicallyRewritten) {
+  TempDir tmp("snug_journal_torn_tail");
+  {
+    CampaignJournal journal(tmp.journal(), 7);
+    journal.append(1, {1.0, 2.0});
+    journal.append(2, {3.0, 4.0});
+    journal.append(3, {5.0, 6.0});
+  }
+  // kill -9 mid-append: chop the file mid-way through the last frame.
+  const std::uintmax_t full = fs::file_size(tmp.journal());
+  const std::uintmax_t frame = (full - 16) / 3;
+  ASSERT_EQ((full - 16) % 3, 0u) << "frames should be equal-sized";
+  fs::resize_file(tmp.journal(), full - frame / 2);
+
+  {
+    CampaignJournal journal(tmp.journal(), 7);
+    EXPECT_EQ(journal.replayed_cells(), 2u);
+    EXPECT_EQ(journal.discarded_tail_bytes(), frame - frame / 2);
+    std::vector<double> out;
+    EXPECT_TRUE(journal.lookup(2, out));
+    EXPECT_FALSE(journal.lookup(3, out));
+    // The rewrite dropped the torn bytes from disk, atomically.
+    EXPECT_EQ(fs::file_size(tmp.journal()), 16 + 2 * frame);
+    // Appending after recovery lands cleanly after the valid prefix.
+    journal.append(3, {5.0, 6.0});
+  }
+  CampaignJournal journal(tmp.journal(), 7);
+  EXPECT_EQ(journal.replayed_cells(), 3u);
+  EXPECT_EQ(journal.discarded_tail_bytes(), 0u);
+}
+
+TEST(CampaignJournal, GarbageTailStopsReplayAtTheLastValidFrame) {
+  TempDir tmp("snug_journal_garbage_tail");
+  {
+    CampaignJournal journal(tmp.journal(), 9);
+    journal.append(1, {1.0});
+  }
+  {
+    // A frame whose length prefix is absurd: parsing must stop, not
+    // allocate 4 GB.
+    std::ofstream f(tmp.journal(), std::ios::binary | std::ios::app);
+    const std::uint32_t len = 0xFFFFFFFFu;
+    f.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    f.write("garbage", 7);
+  }
+  CampaignJournal journal(tmp.journal(), 9);
+  EXPECT_EQ(journal.replayed_cells(), 1u);
+  EXPECT_GT(journal.discarded_tail_bytes(), 0u);
+  std::vector<double> out;
+  EXPECT_TRUE(journal.lookup(1, out));
+}
+
+TEST(CampaignJournal, StaleJournalIsMovedAsideNeverDeleted) {
+  TempDir tmp("snug_journal_stale");
+  {
+    CampaignJournal journal(tmp.journal(), 1);
+    journal.append(11, {1.0});
+  }
+  const std::uintmax_t original_size = fs::file_size(tmp.journal());
+
+  // A different campaign opens the same path: nothing replays, and the
+  // old journal survives under <path>.stale.*.
+  CampaignJournal journal(tmp.journal(), 2);
+  EXPECT_TRUE(journal.reset_stale());
+  EXPECT_EQ(journal.replayed_cells(), 0u);
+  std::vector<double> out;
+  EXPECT_FALSE(journal.lookup(11, out));
+  bool found_stale = false;
+  for (const auto& entry : fs::directory_iterator(tmp.dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find("campaign.journal.stale.") == 0) {
+      found_stale = true;
+      EXPECT_EQ(fs::file_size(entry.path()), original_size);
+    }
+  }
+  EXPECT_TRUE(found_stale);
+}
+
+TEST(CampaignJournal, EnospcAppendIsCountedNotFatal) {
+  TempDir tmp("snug_journal_enospc");
+  fault::FaultPlan plan;
+  std::string error;
+  // every=2 fires on the 2nd, 4th, ... write to the journal path: the
+  // header write (occurrence 1) and the second append (occurrence 3)
+  // succeed, the first append (occurrence 2) hits ENOSPC.
+  ASSERT_TRUE(fault::FaultPlan::parse("seed=5; enospc@write:every=2",
+                                      plan, error))
+      << error;
+  fault::ScopedFaultPlan scoped(plan);
+  {
+    CampaignJournal journal(tmp.journal(), 3);
+    ASSERT_TRUE(journal.enabled());
+    journal.append(1, {1.0});
+    journal.append(2, {2.0});
+    EXPECT_EQ(journal.append_failures(), 1u);
+    EXPECT_EQ(scoped.stats().enospc, 1u);
+  }
+  // The failed append may have left a torn frame; recovery discards it
+  // and the surviving record replays.
+  CampaignJournal journal(tmp.journal(), 3);
+  std::vector<double> out;
+  EXPECT_TRUE(journal.lookup(2, out));
+  EXPECT_EQ(journal.replayed_cells(), 1u);
+}
+
+// ---- campaign checkpoint/resume ----------------------------------------
+
+void expect_identical(const CampaignResults& a, const CampaignResults& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [combo, combo_results] : a) {
+    const auto it = b.find(combo);
+    ASSERT_NE(it, b.end()) << combo;
+    ASSERT_EQ(combo_results.size(), it->second.size());
+    for (const auto& [scheme, result] : combo_results) {
+      const auto& other = it->second.at(scheme);
+      ASSERT_EQ(result.ipc.size(), other.ipc.size());
+      for (std::size_t i = 0; i < result.ipc.size(); ++i) {
+        EXPECT_EQ(result.ipc[i], other.ipc[i])
+            << combo << "/" << scheme << " core " << i;
+      }
+    }
+  }
+}
+
+CampaignSpec small_grid() {
+  CampaignSpec spec = CampaignSpec::grid(
+      {
+          {"mixA", 3, {"gzip", "mesa", "gzip", "mesa"}},
+          {"mixB", 5, {"ammp", "gzip", "mesa", "ammp"}},
+      },
+      {{schemes::SchemeKind::kL2P, 0.0},
+       {schemes::SchemeKind::kCC, 0.5},
+       {schemes::SchemeKind::kSNUG, 0.0}});
+  spec.scenario.scale.warmup_cycles = 10'000;
+  spec.scenario.scale.measure_cycles = 40'000;
+  spec.scenario.scale.phase_period_refs = 50'000;
+  return spec;
+}
+
+TEST(CampaignResume, FullJournalReplaysEverythingBitIdentically) {
+  TempDir tmp("snug_resume_full");
+  const CampaignSpec spec = small_grid();
+
+  ExperimentRunner first_runner(spec.scenario, "");
+  CampaignEngine first(first_runner, 2);
+  first.journal_path = tmp.journal();
+  const CampaignResults a = first.run(spec);
+  EXPECT_EQ(first.stats().replayed, 0u);
+
+  // Caching disabled: everything the resumed run reports must come from
+  // the journal, not re-simulation or the eval cache.
+  ExperimentRunner second_runner(spec.scenario, "");
+  CampaignEngine second(second_runner, 2);
+  second.journal_path = tmp.journal();
+  std::size_t replayed_ticks = 0;
+  second.on_progress = [&](const CampaignProgress& p) {
+    if (p.replayed) ++replayed_ticks;
+  };
+  const CampaignResults b = second.run(spec);
+
+  expect_identical(a, b);
+  EXPECT_EQ(second.stats().replayed, spec.size());
+  EXPECT_EQ(replayed_ticks, spec.size());
+}
+
+TEST(CampaignResume, PartialJournalSimulatesOnlyTheMissingCells) {
+  TempDir tmp("snug_resume_partial");
+  const CampaignSpec spec = small_grid();
+
+  ExperimentRunner first_runner(spec.scenario, "");
+  CampaignEngine first(first_runner, 1);
+  first.journal_path = tmp.journal();
+  const CampaignResults a = first.run(spec);
+
+  // Simulate a kill -9 after two cells: keep the header, two frames and
+  // half of the third.
+  const std::uintmax_t full = fs::file_size(tmp.journal());
+  const std::uintmax_t frame = (full - 16) / spec.size();
+  fs::resize_file(tmp.journal(), 16 + 2 * frame + frame / 2);
+
+  ExperimentRunner second_runner(spec.scenario, "");
+  CampaignEngine second(second_runner, 2);
+  second.journal_path = tmp.journal();
+  std::size_t replayed_ticks = 0;
+  std::size_t simulated_ticks = 0;
+  second.on_progress = [&](const CampaignProgress& p) {
+    (p.replayed ? replayed_ticks : simulated_ticks)++;
+  };
+  const CampaignResults b = second.run(spec);
+
+  expect_identical(a, b);  // resume ≡ uninterrupted, bit-identically
+  EXPECT_EQ(second.stats().replayed, 2u);
+  EXPECT_EQ(replayed_ticks, 2u);
+  EXPECT_EQ(simulated_ticks, spec.size() - 2);
+  EXPECT_GT(second.stats().journal_discarded_bytes, 0u);
+
+  // The resumed run re-journalled what it re-simulated: a third run
+  // replays the whole grid.
+  ExperimentRunner third_runner(spec.scenario, "");
+  CampaignEngine third(third_runner, 2);
+  third.journal_path = tmp.journal();
+  const CampaignResults c = third.run(spec);
+  expect_identical(a, c);
+  EXPECT_EQ(third.stats().replayed, spec.size());
+}
+
+TEST(CampaignResume, ForeignJournalIsIgnoredAndPreserved) {
+  TempDir tmp("snug_resume_foreign");
+  CampaignSpec spec = small_grid();
+
+  ExperimentRunner runner(spec.scenario, "");
+  CampaignEngine engine(runner, 1);
+  engine.journal_path = tmp.journal();
+  (void)engine.run(spec);
+
+  // The same journal path under a different grid (one scheme dropped):
+  // a different campaign fingerprint, so nothing replays.
+  CampaignSpec other = spec;
+  other.schemes.pop_back();
+  ExperimentRunner other_runner(other.scenario, "");
+  CampaignEngine other_engine(other_runner, 1);
+  other_engine.journal_path = tmp.journal();
+  (void)other_engine.run(other);
+  EXPECT_EQ(other_engine.stats().replayed, 0u);
+  EXPECT_TRUE(other_engine.stats().journal_reset_stale);
+
+  bool found_stale = false;
+  for (const auto& entry : fs::directory_iterator(tmp.dir)) {
+    if (entry.path().filename().string().find(
+            "campaign.journal.stale.") == 0) {
+      found_stale = true;
+    }
+  }
+  EXPECT_TRUE(found_stale);
+}
+
+}  // namespace
+}  // namespace snug::sim

@@ -4,6 +4,8 @@
 // functionally warming the same machine in-process and measuring.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -202,6 +204,59 @@ TEST(WarmStateBank, ConcurrentWritersSameKeyStayConsistent) {
   for (const auto& e : std::filesystem::directory_iterator(tmp.dir)) {
     EXPECT_EQ(e.path().extension(), ".snugw") << e.path();
   }
+}
+
+TEST(WarmStateBank, QuarantinesCorruptEntriesKeepsStaleOnes) {
+  TempBankDir tmp("snug_warm_bank_quarantine_test");
+  WarmStateBank bank(tmp.dir.string());
+  bank.store("torn", 42, test_blob(128));
+  bank.store("stale", 42, test_blob(64));
+  const auto path = entry_file(tmp, "torn");
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 9);
+
+  std::vector<std::byte> blob;
+  EXPECT_FALSE(bank.load("torn", 42, blob));
+  EXPECT_FALSE(bank.load("stale", 99, blob));  // fingerprint miss: stale
+
+  EXPECT_FALSE(std::filesystem::exists(entry_file(tmp, "torn")));
+  std::size_t quarantined_files = 0;
+  for (const auto& e :
+       std::filesystem::directory_iterator(tmp.dir / "quarantine")) {
+    EXPECT_NE(e.path().filename().string().find("torn.snugw"),
+              std::string::npos);
+    ++quarantined_files;
+  }
+  EXPECT_EQ(quarantined_files, 1U);
+  EXPECT_EQ(bank.recovery().quarantined, 1U);
+  EXPECT_TRUE(bank.load("stale", 42, blob));
+
+  // Degradation is re-warm + rewrite: a fresh store heals the slot.
+  bank.store("torn", 42, test_blob(128));
+  EXPECT_TRUE(bank.load("torn", 42, blob));
+}
+
+TEST(WarmStateBank, ReapsDeadWritersTempsOnOpen) {
+  TempBankDir tmp("snug_warm_bank_reap_test");
+  {
+    WarmStateBank bank(tmp.dir.string());
+    bank.store("keep", 42, test_blob(64));
+  }
+  const auto plant = [&](const std::string& name) {
+    std::ofstream out(tmp.dir / name, std::ios::binary);
+    out << "partial";
+  };
+  plant("keep.snugw.tmp.999999999.4");
+  const std::string live =
+      "live.snugw.tmp." + std::to_string(::getpid()) + ".2";
+  plant(live);
+
+  WarmStateBank reopened(tmp.dir.string());
+  EXPECT_EQ(reopened.recovery().reaped_temps, 1U);
+  EXPECT_FALSE(
+      std::filesystem::exists(tmp.dir / "keep.snugw.tmp.999999999.4"));
+  EXPECT_TRUE(std::filesystem::exists(tmp.dir / live));
+  std::vector<std::byte> blob;
+  EXPECT_TRUE(reopened.load("keep", 42, blob));  // valid entries untouched
 }
 
 TEST(WarmStateBank, DisabledBankRejectsEverything) {
