@@ -103,25 +103,29 @@ inline void print_robustness_summary(const sim::CampaignEngine& engine,
   const std::uint64_t noteworthy =
       s.replayed + s.retries + s.watchdog_flags +
       s.journal_discarded_bytes + s.journal_append_failures +
-      (s.journal_reset_stale ? 1 : 0) + cache.quarantined +
-      cache.reaped_temps + warm.quarantined + warm.reaped_temps +
+      s.journal_stale_reaped + (s.journal_reset_stale ? 1 : 0) +
+      cache.quarantined + cache.reaped_temps + cache.quarantine_trimmed +
+      warm.quarantined + warm.reaped_temps + warm.quarantine_trimmed +
       faults.total();
   if (!force && noteworthy == 0) return;
   std::fprintf(
       stderr,
       "robustness: %llu replayed, %llu retries, %llu watchdog flag(s); "
-      "cache %llu quarantined / %llu temps reaped, warm bank %llu "
-      "quarantined / %llu temps reaped; journal %llu torn byte(s) "
-      "discarded, %llu append failure(s)%s; %llu fault(s) injected\n",
+      "cache %llu quarantined / %llu temps reaped / %llu quarantine "
+      "trimmed, warm bank %llu quarantined / %llu temps reaped; journal "
+      "%llu torn byte(s) discarded, %llu append failure(s), %llu stale "
+      "reaped%s; %llu fault(s) injected\n",
       static_cast<unsigned long long>(s.replayed),
       static_cast<unsigned long long>(s.retries),
       static_cast<unsigned long long>(s.watchdog_flags),
       static_cast<unsigned long long>(cache.quarantined),
       static_cast<unsigned long long>(cache.reaped_temps),
+      static_cast<unsigned long long>(cache.quarantine_trimmed),
       static_cast<unsigned long long>(warm.quarantined),
       static_cast<unsigned long long>(warm.reaped_temps),
       static_cast<unsigned long long>(s.journal_discarded_bytes),
       static_cast<unsigned long long>(s.journal_append_failures),
+      static_cast<unsigned long long>(s.journal_stale_reaped),
       s.journal_reset_stale ? " (stale journal moved aside)" : "",
       static_cast<unsigned long long>(faults.total()));
 }

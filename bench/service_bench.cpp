@@ -1,0 +1,277 @@
+// service_bench — measures the campaign service's query throughput at
+// the two ends of the hit-ratio spectrum (ISSUE 9).
+//
+// An in-process CampaignServer (own temp service root + temp cache dir,
+// so host state never leaks in) is driven by a ServiceClient through
+// the real file-based wire protocol:
+//
+//   cold phase  N distinct (scenario, scheme) queries against an empty
+//               cache — every cell is simulated through the backlog
+//               (0% hit ratio).  queries/s here is dominated by
+//               simulation, the floor of the service.
+//   hit  phase  the same N queries under fresh ids — every cell is now
+//               cache-resident, answered on the ingest path without
+//               touching the backlog (100% hit ratio).  queries/s here
+//               is the service overhead itself: file round-trip, parse,
+//               fingerprint, cache probe, answer publish.
+//
+// Correctness is checked, not assumed: hit answers must equal the cold
+// answers bit-exactly (%.17g IPC round-trip), and a sample of cold
+// answers is re-simulated on an isolated cache-less runner and compared
+// exactly.  --json-out records both rates; BENCH_service.json at the
+// repo root keeps them (scripts/check_bench_regression.py gates the hit
+// rate and both correctness bits).
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/str.hpp"
+#include "schemes/factory.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+#include "sim/service/server.hpp"
+#include "sim/service/wire.hpp"
+
+namespace {
+
+using namespace snug;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::int64_t n_queries = args.get_int(
+      "queries", 6, "distinct (scenario, scheme) queries per phase");
+  const std::int64_t workers =
+      args.get_int("workers", 2, "server simulation workers");
+  const std::int64_t warmup = args.get_int(
+      "warmup-cycles", 10'000, "per-cell warm-up cycles");
+  const std::int64_t measure = args.get_int(
+      "measure-cycles", 40'000, "per-cell measured cycles");
+  const std::string label =
+      args.get_string("label", "service-v1", "record label");
+  const std::string json_out = args.get_string(
+      "json-out", "", "write the results as one JSON record to this file");
+  const bool quiet = args.get_bool("quiet", false, "suppress progress");
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+  args.check_unknown();
+
+  // Distinct queries: explicit 4-core benchmark lists x a scheme cycle.
+  const std::vector<std::string> mixes = {
+      "ammp+gzip+mesa+parser", "vortex+swim+bzip2+mcf",
+      "gzip+gzip+ammp+mesa",   "art+vpr+applu+apsi",
+      "mesa+parser+gzip+swim", "mcf+ammp+vortex+bzip2",
+      "bzip2+apsi+art+gzip",   "swim+mesa+mcf+vpr"};
+  const std::vector<std::string> scheme_ids = {"SNUG", "DSR", "L2P",
+                                               "CC(50%)"};
+  std::vector<sim::service::ServiceQuery> queries;
+  for (std::int64_t i = 0; i < n_queries; ++i) {
+    sim::service::ServiceQuery q;
+    q.scenario_text = strf(
+        "name=svc%lld cores=4 workload=%s warmup-cycles=%lld "
+        "measure-cycles=%lld",
+        static_cast<long long>(i),
+        mixes[static_cast<std::size_t>(i) % mixes.size()].c_str(),
+        static_cast<long long>(warmup), static_cast<long long>(measure));
+    q.scheme_id = scheme_ids[static_cast<std::size_t>(i) % scheme_ids.size()];
+    queries.push_back(std::move(q));
+  }
+
+  namespace fs = std::filesystem;
+  const fs::path base =
+      fs::temp_directory_path() /
+      strf("snug_service_bench_%ld", static_cast<long>(::getpid()));
+  fs::remove_all(base);
+  fs::create_directories(base);
+
+  // The serving loop runs on its own thread; the bench thread plays the
+  // client, exactly as separate processes would interact.
+  const auto run_phase = [&](sim::service::CampaignServer& server,
+                             const std::string& root, const std::string& tag)
+      -> std::pair<double, std::vector<sim::service::ServiceAnswer>> {
+    sim::service::ServiceClient client(root);
+    std::jthread serving([&server] {
+      server.serve(/*idle_exit_polls=*/0, /*poll_ms=*/1);
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      sim::service::ServiceQuery q = queries[i];
+      q.id = strf("%s-%zu", tag.c_str(), i);
+      std::string error;
+      if (!client.submit(q, &error)) {
+        std::fprintf(stderr, "service_bench: submit failed: %s\n",
+                     error.c_str());
+        std::exit(1);
+      }
+    }
+    std::vector<sim::service::ServiceAnswer> answers(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const std::string id = strf("%s-%zu", tag.c_str(), i);
+      if (!client.wait(id, answers[i], /*timeout_ms=*/120'000)) {
+        std::fprintf(stderr, "service_bench: timed out waiting for %s\n",
+                     id.c_str());
+        std::exit(1);
+      }
+      if (answers[i].status != sim::service::AnswerStatus::kOk) {
+        std::fprintf(stderr, "service_bench: %s answered '%s'\n",
+                     id.c_str(), answers[i].error.c_str());
+        std::exit(1);
+      }
+    }
+    const double sec = seconds_since(t0);
+    server.request_stop();
+    serving.join();
+    return {sec, std::move(answers)};
+  };
+
+  sim::service::ServiceConfig cfg;
+  cfg.root = (base / "svc").string();
+  cfg.cache_dir = (base / "cache").string();
+  cfg.workers = static_cast<unsigned>(workers > 0 ? workers : 1);
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "service_bench: %zu queries x 2 phases, %u worker(s)\n",
+                 queries.size(), cfg.workers);
+  }
+  // Cold: server 1, empty cache — every cell simulates.
+  double cold_sec = 0.0;
+  std::vector<sim::service::ServiceAnswer> cold;
+  sim::service::CampaignServer::Stats cold_stats;
+  {
+    sim::service::CampaignServer server(cfg);
+    std::tie(cold_sec, cold) = run_phase(server, cfg.root, "cold");
+    cold_stats = server.stats();
+  }
+  // Hit: a SECOND server instance (fresh service root and backlog, no
+  // memory of the cold phase) sharing only the cache directory — the
+  // multi-process EvalCache read-sharing path, as a restart or a second
+  // campaignd on the same cache would see it.
+  sim::service::ServiceConfig cfg2 = cfg;
+  cfg2.root = (base / "svc2").string();
+  cfg2.journal.clear();
+  double hit_sec = 0.0;
+  std::vector<sim::service::ServiceAnswer> hit;
+  sim::service::CampaignServer::Stats hit_stats;
+  {
+    sim::service::CampaignServer server(cfg2);
+    std::tie(hit_sec, hit) = run_phase(server, cfg2.root, "hit");
+    hit_stats = server.stats();
+  }
+
+  // Hit answers must reproduce the cold answers bit-exactly: same cells,
+  // same order, same IPC doubles.
+  bool hit_correct = cold.size() == hit.size();
+  for (std::size_t i = 0; hit_correct && i < cold.size(); ++i) {
+    hit_correct = cold[i].cells.size() == hit[i].cells.size();
+    for (std::size_t c = 0; hit_correct && c < cold[i].cells.size(); ++c) {
+      hit_correct = cold[i].cells[c].combo == hit[i].cells[c].combo &&
+                    cold[i].cells[c].ipc == hit[i].cells[c].ipc;
+    }
+  }
+
+  // A sample of cold answers re-simulated without any cache or service:
+  // the service must not change a single bit of the science.
+  bool miss_correct = true;
+  const std::size_t sample = std::min<std::size_t>(2, queries.size());
+  for (std::size_t i = 0; miss_correct && i < sample; ++i) {
+    sim::ScenarioSpec spec;
+    std::string error;
+    if (!sim::parse_scenario(queries[i].scenario_text, spec, error)) {
+      std::fprintf(stderr, "service_bench: %s\n", error.c_str());
+      return 1;
+    }
+    schemes::SchemeSpec scheme;
+    if (!schemes::parse_scheme_id(queries[i].scheme_id, scheme)) return 1;
+    sim::ExperimentRunner isolated(spec, /*cache_dir=*/"",
+                                   /*warm_bank_dir=*/"");
+    const std::vector<trace::WorkloadCombo> combos = spec.combos();
+    miss_correct = cold[i].cells.size() == combos.size();
+    for (std::size_t c = 0; miss_correct && c < combos.size(); ++c) {
+      const sim::RunResult r = isolated.run(combos[c], scheme);
+      miss_correct = cold[i].cells[c].combo == combos[c].name &&
+                     cold[i].cells[c].ipc == r.ipc;
+    }
+  }
+
+  const double qps_cold =
+      cold_sec > 0 ? static_cast<double>(queries.size()) / cold_sec : 0.0;
+  const double qps_hit =
+      hit_sec > 0 ? static_cast<double>(queries.size()) / hit_sec : 0.0;
+
+  std::printf("service_bench — campaignd query throughput\n\n");
+  std::printf("  queries per phase     %zu\n", queries.size());
+  std::printf("  cold (0%% hit)         %8.3f s   %10.2f queries/s\n",
+              cold_sec, qps_cold);
+  std::printf("  hit  (100%% hit)       %8.3f s   %10.2f queries/s\n",
+              hit_sec, qps_hit);
+  std::printf("  cold: %llu cell(s) simulated; hit: %llu cell(s) served "
+              "from the shared cache, %llu entr(ies) visible to the "
+              "second server\n",
+              static_cast<unsigned long long>(cold_stats.cells_simulated),
+              static_cast<unsigned long long>(hit_stats.cells_from_cache),
+              static_cast<unsigned long long>(
+                  hit_stats.cache_entries_visible));
+  std::printf("  hit answers == cold answers:   %s\n",
+              hit_correct ? "EXACT" : "MISMATCH");
+  std::printf("  cold answers == isolated runs: %s\n",
+              miss_correct ? "EXACT" : "MISMATCH");
+
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "service_bench: cannot write %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"label\": \"%s\",\n"
+        "  \"queries\": %zu,\n"
+        "  \"workers\": %u,\n"
+        "  \"warmup_cycles\": %lld,\n"
+        "  \"measure_cycles\": %lld,\n"
+        "  \"cold_sec\": %.4f,\n"
+        "  \"hit_sec\": %.4f,\n"
+        "  \"queries_per_sec_cold\": %.2f,\n"
+        "  \"queries_per_sec_hit\": %.2f,\n"
+        "  \"cells_simulated\": %llu,\n"
+        "  \"cells_from_cache\": %llu,\n"
+        "  \"hit_correct\": %d,\n"
+        "  \"miss_correct\": %d,\n"
+        "  \"notes\": \"cold = server 1 on an empty cache, every cell "
+        "simulated through the journaled backlog; hit = identical "
+        "queries against a SECOND server instance sharing only the "
+        "cache directory (multi-process EvalCache read-sharing), every "
+        "cell answered on the ingest path without simulation. Both "
+        "phases run the real file-based wire protocol, and both "
+        "correctness bits compare IPC doubles exactly.\"\n"
+        "}\n",
+        label.c_str(), queries.size(), cfg.workers,
+        static_cast<long long>(warmup), static_cast<long long>(measure),
+        cold_sec, hit_sec, qps_cold, qps_hit,
+        static_cast<unsigned long long>(cold_stats.cells_simulated),
+        static_cast<unsigned long long>(hit_stats.cells_from_cache),
+        hit_correct ? 1 : 0, miss_correct ? 1 : 0);
+    std::fclose(f);
+  }
+
+  fs::remove_all(base);
+  return hit_correct && miss_correct ? 0 : 1;
+}

@@ -43,6 +43,20 @@ Two record kinds are recognised by shape:
                                               for the negative result
                                               vs the 1.5x target)
 
+  service records (service_bench, detected by `queries_per_sec_hit`):
+  gated on
+
+      hit_correct                   == 1     (cache-hit answers are
+                                              bit-identical to cold)
+      miss_correct                  == 1     (cold answers match
+                                              isolated re-simulation)
+      queries_per_sec_hit           >= 5.0   (the 100%-hit path — file
+                                              round-trip + cache probe —
+                                              must stay service-shaped,
+                                              not simulation-shaped; the
+                                              recorded BENCH_service.json
+                                              measures ~2500 q/s)
+
 Bad inputs (missing, truncated, or corrupt JSON; records missing their
 gate keys) fail with ONE line on stderr naming the offending file — a CI
 log should never need spelunking to learn which artefact broke.
@@ -66,6 +80,8 @@ WARMUP_MIN_BANK_SPEEDUP = 1.6
 WARMUP_MAX_FUNCTIONAL_IPC_DELTA = 0.25
 
 LANE_MIN_W4_SPEEDUP = 0.75
+
+SERVICE_MIN_HIT_QPS = 5.0
 
 
 class InputError(Exception):
@@ -153,6 +169,15 @@ def gate_lane(measured, measured_path):
     ), measured_path)
 
 
+def gate_service(measured, measured_path):
+    return gate_fixed(measured, (
+        ("hit_correct", lambda v: v == 1, "== 1"),
+        ("miss_correct", lambda v: v == 1, "== 1"),
+        ("queries_per_sec_hit", lambda v: v >= SERVICE_MIN_HIT_QPS,
+         f">= {SERVICE_MIN_HIT_QPS}"),
+    ), measured_path)
+
+
 def run_pairs(files, min_ratio):
     """The gate proper: 0 pass, 1 regression; raises InputError."""
     failures = []
@@ -166,6 +191,8 @@ def run_pairs(files, min_ratio):
             failures += gate_warmup(measured, measured_path)
         elif "speedup_w4" in measured:
             failures += gate_lane(measured, measured_path)
+        elif "queries_per_sec_hit" in measured:
+            failures += gate_service(measured, measured_path)
         else:
             failures += gate_hotpath(measured, baseline, min_ratio,
                                      measured_path, baseline_path)
@@ -214,6 +241,12 @@ def self_check():
                        "ipc_delta_bank_vs_functional": 0.0})
     lane = json.dumps({"lane_checksum_equal": 1, "speedup_w4": 0.9})
     lane_bad = json.dumps({"lane_checksum_equal": 0, "speedup_w4": 0.9})
+    service = json.dumps({"queries_per_sec_hit": 2500.0,
+                          "hit_correct": 1, "miss_correct": 1})
+    service_bad = json.dumps({"queries_per_sec_hit": 2500.0,
+                              "hit_correct": 1, "miss_correct": 0})
+    service_slow = json.dumps({"queries_per_sec_hit": 2.0,
+                               "hit_correct": 1, "miss_correct": 1})
     ok = True
     with tempfile.TemporaryDirectory(prefix="snug_gate_check") as d:
         hot_m = _write(d, "hot.json", hot)
@@ -230,6 +263,19 @@ def self_check():
         lane_b = _write(d, "lane_bad.json", lane_bad)
         ok &= _expect("lane regression",
                       run_pairs([lane_b, lane_b], 0.9) == 1)
+        svc_m = _write(d, "service.json", service)
+        ok &= _expect("service pass", run_pairs([svc_m, svc_m], 0.9) == 0)
+        svc_b = _write(d, "service_bad.json", service_bad)
+        ok &= _expect("service correctness regression",
+                      run_pairs([svc_b, svc_b], 0.9) == 1)
+        svc_s = _write(d, "service_slow.json", service_slow)
+        ok &= _expect("service throughput regression",
+                      run_pairs([svc_s, svc_s], 0.9) == 1)
+        svc_keyless = _write(
+            d, "service_keyless.json",
+            json.dumps({"queries_per_sec_hit": 2500.0, "hit_correct": 1}))
+        ok &= _expect_input_error("service gate key absent", "gate key",
+                                  svc_keyless, svc_m)
 
         missing = os.path.join(d, "never_written.json")
         ok &= _expect_input_error("missing file", "missing", missing,

@@ -112,6 +112,7 @@ CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
     journal = std::make_unique<CampaignJournal>(journal_path, cfp);
     stats_.journal_discarded_bytes = journal->discarded_tail_bytes();
     stats_.journal_reset_stale = journal->reset_stale();
+    stats_.journal_stale_reaped = journal->stale_reaped();
   }
 
   // Task i = (combo i / n_schemes, scheme i % n_schemes); slots are
@@ -192,6 +193,20 @@ CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
     }
   };
 
+  // Name tasks for the watchdog: a flag line must identify the wedged
+  // CELL (combo/scheme + run fingerprint), not just the worker index.
+  // The label fn captures locals of this run(), so it is cleared before
+  // they go out of scope.
+  const auto cell_label = [&](std::size_t i) {
+    return strf("(%s/%s fp=%016llx)", combos[i / n_schemes].name.c_str(),
+                spec.schemes[i % n_schemes].id().c_str(),
+                static_cast<unsigned long long>(fps[i]));
+  };
+  struct LabelGuard {
+    ParallelExecutor& exec;
+    ~LabelGuard() { exec.task_label = nullptr; }
+  } label_guard{exec_};
+
   if (const std::uint32_t lanes = runner_.scale().lanes; lanes > 1) {
     // Lane-parallel path: the executor's work items are lane-group
     // plans, each running its points in lockstep through one
@@ -203,6 +218,13 @@ CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
     // untouched.
     const std::vector<LaneGroupPlan> plans =
         plan_lane_groups(combos.size(), n_schemes, lanes);
+    exec_.task_label = [&](std::size_t p) {
+      std::string label = strf("(group of %zu:", plans[p].tasks.size());
+      for (const std::size_t i : plans[p].tasks) {
+        label += " " + cell_label(i);
+      }
+      return label + ")";
+    };
     exec_.run_indexed(plans.size(), [&](std::size_t p) {
       const LaneGroupPlan& plan = plans[p];
       // Journal-replayed cells drop out of the group; shrinking a group
@@ -232,6 +254,7 @@ CampaignResults CampaignEngine::run(const CampaignSpec& spec) {
     for (std::size_t i = 0; i < n_tasks; ++i) {
       if (pending[i]) todo.push_back(i);
     }
+    exec_.task_label = [&](std::size_t t) { return cell_label(todo[t]); };
     exec_.run_indexed(todo.size(), [&](std::size_t t) {
       const std::size_t i = todo[t];
       with_retry([&] {

@@ -94,6 +94,8 @@ class CampaignEngine {
     std::uint64_t retries = 0;   ///< transient-failure re-attempts
     std::uint64_t journal_discarded_bytes = 0;  ///< torn tail at open
     std::uint64_t journal_append_failures = 0;
+    /// Dead writers' `.stale.<pid>` journal siblings reaped at open.
+    std::uint64_t journal_stale_reaped = 0;
     std::uint64_t watchdog_flags = 0;  ///< stuck-worker flags this run
     bool journal_reset_stale = false;  ///< foreign journal moved aside
   };

@@ -96,11 +96,13 @@ void ParallelExecutor::watchdog_scan() {
     watchdog_flagged_.fetch_add(1, std::memory_order_relaxed);
     // Flag, never kill: the dump is the diagnostic, the operator (or a
     // bench summary reading watchdog_flagged()) decides what to do.
+    const std::string label =
+        task_label ? task_label(i) : std::string();
     std::fprintf(stderr,
-                 "snug: watchdog: worker %u has held task %zu for "
+                 "snug: watchdog: worker %u has held task %zu%s%s for "
                  "%llu ms (deadline %llu ms, batch %zu/%zu claimed) — "
                  "flagging, not killing\n",
-                 w, i,
+                 w, i, label.empty() ? "" : " ", label.c_str(),
                  static_cast<unsigned long long>((now - start) / 1'000'000),
                  static_cast<unsigned long long>(watchdog_ms),
                  std::min(next_.load(std::memory_order_relaxed),

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -52,6 +53,16 @@ class ParallelExecutor {
   [[nodiscard]] std::uint64_t watchdog_flagged() const noexcept {
     return watchdog_flagged_.load(std::memory_order_relaxed);
   }
+
+  /// Optional task naming for the watchdog dump: given a batch index,
+  /// returns a human label (the campaign engine supplies
+  /// "combo/scheme fp=<run fingerprint>"), so a flag line identifies
+  /// WHICH cell wedged, not just which worker holds it — service logs
+  /// need the fingerprint to correlate with backlog/lease records.
+  /// Must be safe to call from the monitor thread while the batch runs
+  /// (pure function of the index).  Set before run_indexed; cleared by
+  /// the caller when the labels' backing storage dies.
+  std::function<std::string(std::size_t)> task_label;
 
   /// Runs fn(i) exactly once for every i in [0, n), possibly concurrently,
   /// and returns when all are done.  fn must confine its writes to

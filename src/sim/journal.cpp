@@ -6,6 +6,7 @@
 
 #include "common/crc32.hpp"
 #include "common/str.hpp"
+#include "sim/store_recovery.hpp"
 
 namespace snug::sim {
 namespace {
@@ -25,6 +26,10 @@ CampaignJournal::CampaignJournal(std::string path,
       path_(std::move(path)),
       campaign_fp_(campaign_fingerprint) {
   if (path_.empty()) return;
+  // Dead writers' `.stale.<pid>` siblings (foreign journals a prior
+  // open moved aside) have served their purpose; reap them like
+  // orphaned temps so a long-lived journal directory stays bounded.
+  stale_reaped_ = reap_stale_journals(*env_, path_);
 
   std::vector<std::byte> raw;
   if (!env_->read_file(path_, raw) || raw.empty()) {

@@ -77,6 +77,12 @@ class CampaignJournal {
   /// True when a stale journal (wrong campaign/version) was renamed
   /// aside at open.
   [[nodiscard]] bool reset_stale() const noexcept { return reset_stale_; }
+  /// Dead writers' `.stale.<pid>` siblings removed at open (see
+  /// sim/store_recovery.hpp) — they are evidence only while their
+  /// writer might still want them.
+  [[nodiscard]] std::uint64_t stale_reaped() const noexcept {
+    return stale_reaped_;
+  }
   /// Appends that failed (journal stays best-effort).
   [[nodiscard]] std::uint64_t append_failures() const noexcept {
     return append_failures_;
@@ -95,6 +101,7 @@ class CampaignJournal {
   std::mutex append_mu_;
   std::uint64_t discarded_tail_bytes_ = 0;
   std::uint64_t append_failures_ = 0;
+  std::uint64_t stale_reaped_ = 0;
   bool reset_stale_ = false;
 };
 

@@ -44,6 +44,8 @@ EvalCache::EvalCache(std::string dir)
     }
     reaped_temps_.store(reap_orphaned_temps(*env_, dir_),
                         std::memory_order_relaxed);
+    quarantine_trimmed_.store(bound_quarantine(*env_, dir_),
+                              std::memory_order_relaxed);
   }
 }
 
@@ -88,6 +90,37 @@ bool EvalCache::load(const std::string& key, std::uint64_t fingerprint,
   ipc.resize(hdr.count);
   std::memcpy(ipc.data(), raw.data() + sizeof hdr, payload_bytes);
   return true;
+}
+
+bool EvalCache::contains(const std::string& key,
+                         std::uint64_t fingerprint) const {
+  if (dir_.empty()) return false;
+  std::vector<std::byte> raw;
+  if (!env_->read_file(entry_path(key), raw, sizeof(CacheHeader))) {
+    return false;
+  }
+  if (raw.size() < sizeof(CacheHeader)) return false;
+  CacheHeader hdr;
+  std::memcpy(&hdr, raw.data(), sizeof hdr);
+  // Header-only probe: no CRC/size verdict and no quarantine — a later
+  // full load makes the structural call (same contract as
+  // WarmStateBank::contains).
+  return hdr.magic == kMagic && hdr.version == kVersion &&
+         hdr.fingerprint == fingerprint && hdr.count > 0 &&
+         hdr.count <= kMaxEntries;
+}
+
+std::size_t EvalCache::refresh() const {
+  if (dir_.empty()) return 0;
+  std::size_t published = 0;
+  for (const std::string& name : env_->list_dir(dir_)) {
+    // Count only published entries: temps are in-flight stores and
+    // anything else (journals, notes) is not ours to report.
+    if (name.size() > 6 && name.rfind(".snugc") == name.size() - 6) {
+      ++published;
+    }
+  }
+  return published;
 }
 
 void EvalCache::store(const std::string& key, std::uint64_t fingerprint,
@@ -329,6 +362,13 @@ void ExperimentRunner::seed_cache(const trace::WorkloadCombo& combo,
                                   const std::vector<double>& ipc) {
   const std::uint64_t fp = run_fingerprint(cfg_, scale_, combo, spec);
   cache_.store(cache_key(combo, spec, fp), fp, ipc);
+}
+
+bool ExperimentRunner::cached_ipc(const trace::WorkloadCombo& combo,
+                                  const schemes::SchemeSpec& spec,
+                                  std::vector<double>& ipc) const {
+  const std::uint64_t fp = run_fingerprint(cfg_, scale_, combo, spec);
+  return cache_.load(cache_key(combo, spec, fp), fp, ipc);
 }
 
 ExperimentRunner::ComboResults ExperimentRunner::run_combo_grid(

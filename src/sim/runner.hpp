@@ -85,6 +85,9 @@ class EvalCache {
   struct Recovery {
     std::uint64_t reaped_temps = 0;  ///< dead writers' temps removed on open
     std::uint64_t quarantined = 0;   ///< corrupt entries renamed aside
+    /// Oldest quarantine/ entries removed at open to stay within the
+    /// kQuarantineCap bound (sim/store_recovery.hpp).
+    std::uint64_t quarantine_trimmed = 0;
   };
 
   /// `dir` is created on demand; pass "" to disable caching.  Opening
@@ -100,9 +103,28 @@ class EvalCache {
              const std::vector<double>& ipc) const;
   [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
 
+  /// Header-validated probe: true when a well-formed entry for this
+  /// (key, fingerprint) is currently published.  No CRC verdict and no
+  /// quarantine (a later load makes the structural call), mirroring
+  /// WarmStateBank::contains — cheap enough for a service admission
+  /// path.
+  [[nodiscard]] bool contains(const std::string& key,
+                              std::uint64_t fingerprint) const;
+
+  /// Re-scans the cache directory, picking up entries published by
+  /// OTHER processes since this instance opened (multi-process
+  /// read-sharing: the writer's atomic temp-then-rename publish means a
+  /// re-scan can never observe a half-written entry).  Loads always go
+  /// to disk, so refresh() is not required for correctness — it exists
+  /// so a long-lived server can report (and tests can pin) how many
+  /// entries are visible.  Returns the number of published entries now
+  /// in the directory.
+  std::size_t refresh() const;
+
   [[nodiscard]] Recovery recovery() const noexcept {
     return {reaped_temps_.load(std::memory_order_relaxed),
-            quarantined_.load(std::memory_order_relaxed)};
+            quarantined_.load(std::memory_order_relaxed),
+            quarantine_trimmed_.load(std::memory_order_relaxed)};
   }
 
  private:
@@ -113,6 +135,7 @@ class EvalCache {
   mutable std::atomic<std::uint64_t> store_seq_{0};  ///< unique temp names
   std::atomic<std::uint64_t> reaped_temps_{0};
   mutable std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> quarantine_trimmed_{0};
 };
 
 /// Default cache directory: $SNUG_CACHE_DIR or .snug_eval_cache under the
@@ -171,6 +194,14 @@ class ExperimentRunner {
                   const schemes::SchemeSpec& spec,
                   const std::vector<double>& ipc);
 
+  /// Direct cache probe: loads this task's published IPCs without
+  /// simulating on a miss (and without firing on_progress).  The
+  /// campaign service's hit path — a cache-resident query is answered
+  /// from here in microseconds; only misses enter the backlog.
+  [[nodiscard]] bool cached_ipc(const trace::WorkloadCombo& combo,
+                                const schemes::SchemeSpec& spec,
+                                std::vector<double>& ipc) const;
+
   /// Results for one combo under every scheme of the paper grid, keyed by
   /// scheme id ("L2P", "L2S", "CC(25%)", ..., "DSR", "SNUG").
   using ComboResults = std::map<std::string, RunResult>;
@@ -189,6 +220,9 @@ class ExperimentRunner {
   [[nodiscard]] EvalCache::Recovery cache_recovery() const noexcept {
     return cache_.recovery();
   }
+  /// The runner's eval cache (read-side service probes: refresh(),
+  /// contains()).
+  [[nodiscard]] const EvalCache& cache() const noexcept { return cache_; }
   [[nodiscard]] WarmStateBank::Recovery warm_recovery() const noexcept {
     return warm_bank_.recovery();
   }

@@ -1,0 +1,88 @@
+#include "sim/service/lease.hpp"
+
+#include "common/fault.hpp"
+
+namespace snug::sim::service {
+
+LeaseTable::LeaseTable(std::uint64_t lease_ms, std::uint32_t max_holds)
+    : lease_ms_(lease_ms > 0 ? lease_ms : 1),
+      max_holds_(max_holds > 0 ? max_holds : 1) {}
+
+bool LeaseTable::acquire(std::uint64_t fp, const std::string& label,
+                         unsigned worker, std::uint64_t now_ms) {
+  // Consult the fault plan outside the lock: stall@lease sleeps here.
+  const bool denied = fault::maybe_deny_lease(label);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (live_.count(fp) != 0) return false;
+  if (denied) {
+    ++counters_.denied;
+    return false;
+  }
+  live_[fp] = Lease{worker, label, now_ms, now_ms};
+  ++holds_[fp];
+  ++counters_.granted;
+  return true;
+}
+
+bool LeaseTable::heartbeat(std::uint64_t fp, unsigned worker,
+                           std::uint64_t now_ms) {
+  std::string label;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = live_.find(fp);
+    if (it == live_.end() || it->second.worker != worker) return false;
+    label = it->second.label;
+  }
+  if (fault::maybe_drop_heartbeat(label)) {
+    // Lost on the wire: report success to the worker, renew nothing.
+    return true;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = live_.find(fp);
+  if (it == live_.end() || it->second.worker != worker) return false;
+  it->second.renewed_ms = now_ms;
+  ++counters_.renewed;
+  return true;
+}
+
+void LeaseTable::release(std::uint64_t fp, unsigned worker) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = live_.find(fp);
+  if (it != live_.end() && it->second.worker == worker) live_.erase(it);
+}
+
+std::vector<LeaseTable::Expiry> LeaseTable::scan(std::uint64_t now_ms) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Expiry> out;
+  for (auto it = live_.begin(); it != live_.end();) {
+    const Lease& lease = it->second;
+    if (now_ms - lease.renewed_ms < lease_ms_) {
+      ++it;
+      continue;
+    }
+    Expiry e;
+    e.fp = it->first;
+    e.label = lease.label;
+    e.worker = lease.worker;
+    e.holds = holds_[it->first];
+    e.held_ms = now_ms - lease.acquired_ms;
+    e.poisoned = e.holds >= max_holds_;
+    ++counters_.expired;
+    if (e.poisoned) ++counters_.poisoned;
+    out.push_back(std::move(e));
+    it = live_.erase(it);
+  }
+  return out;
+}
+
+std::size_t LeaseTable::live() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+LeaseTable::Counters LeaseTable::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace snug::sim::service

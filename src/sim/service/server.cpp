@@ -1,0 +1,445 @@
+#include "sim/service/server.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "common/str.hpp"
+
+namespace snug::sim::service {
+namespace {
+
+ServiceConfig normalize(ServiceConfig cfg) {
+  if (cfg.journal.empty()) cfg.journal = cfg.root + "/backlog.journal";
+  if (cfg.workers == 0) cfg.workers = 1;
+  return cfg;
+}
+
+}  // namespace
+
+CampaignServer::CampaignServer(ServiceConfig cfg)
+    : cfg_(normalize(std::move(cfg))),
+      env_(&fault::env()),
+      start_(std::chrono::steady_clock::now()),
+      backlog_(cfg_.max_backlog, cfg_.journal),
+      lease_(cfg_.lease_ms, cfg_.max_holds) {
+  env_->create_directories(submit_dir(cfg_.root));
+  env_->create_directories(answer_dir(cfg_.root));
+  workers_.reserve(cfg_.workers);
+  for (unsigned i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back(
+        [this, i](const std::stop_token& stop) { worker_loop(stop, i); });
+  }
+}
+
+CampaignServer::~CampaignServer() {
+  for (auto& w : workers_) w.request_stop();
+  wake_cv_.notify_all();
+  // Join before any member the workers touch is destroyed.
+  for (auto& w : workers_) w.join();
+}
+
+std::uint64_t CampaignServer::now_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+ExperimentRunner& CampaignServer::runner_for(const ScenarioSpec& spec,
+                                             std::uint64_t runner_key) {
+  const std::lock_guard<std::mutex> lock(runners_mu_);
+  auto it = runners_.find(runner_key);
+  if (it == runners_.end()) {
+    it = runners_
+             .emplace(runner_key,
+                      std::make_unique<ExperimentRunner>(
+                          spec, cfg_.cache_dir, cfg_.root + "/warm_bank"))
+             .first;
+  }
+  return *it->second;
+}
+
+bool CampaignServer::publish_answer(const ServiceAnswer& answer) {
+  const std::string text = encode_answer(answer);
+  // Same atomic-publish discipline as the stores — plus a read-back
+  // verify, because a torn answer renamed into place (and the submit
+  // file then retired) would be a permanently corrupt result.  On
+  // failure the submit file stays and a later poll retries under a
+  // fresh temp name.
+  const std::string tmp = strf(
+      "%s/%s.answer.tmp.%ld.%llu", answer_dir(cfg_.root).c_str(),
+      answer.id.c_str(), static_cast<long>(::getpid()),
+      static_cast<unsigned long long>(
+          seq_.fetch_add(1, std::memory_order_relaxed)));
+  if (!publish_verified(*env_, tmp, answer_path(cfg_.root, answer.id),
+                        text)) {
+    publish_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+bool CampaignServer::answer_and_retire(const ServiceAnswer& answer) {
+  if (!publish_answer(answer)) return false;  // submit stays — retried
+  env_->remove(query_path(cfg_.root, answer.id));
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  answered_[answer.id] = true;
+  return true;
+}
+
+std::size_t CampaignServer::ingest() {
+  std::size_t progress = 0;
+  for (const std::string& name : env_->list_dir(submit_dir(cfg_.root))) {
+    if (name.size() <= 6 || name.rfind(".query") != name.size() - 6) {
+      continue;  // temp files mid-publish, strays
+    }
+    const std::string id = name.substr(0, name.size() - 6);
+    if (!valid_query_id(id)) continue;  // not ours to answer
+    {
+      const std::lock_guard<std::mutex> lock(state_mu_);
+      if (tracked_.count(id) != 0) continue;
+      if (answered_.count(id) != 0) {
+        // Publish succeeded but the submit removal was lost: retire it.
+        env_->remove(query_path(cfg_.root, id));
+        continue;
+      }
+    }
+    {
+      // Restart case: the answer exists on disk from a previous server
+      // life but the submit file survived the crash window.
+      std::vector<std::byte> probe;
+      if (env_->read_file(answer_path(cfg_.root, id), probe, 1)) {
+        env_->remove(query_path(cfg_.root, id));
+        const std::lock_guard<std::mutex> lock(state_mu_);
+        answered_[id] = true;
+        continue;
+      }
+    }
+
+    std::vector<std::byte> raw;
+    if (!env_->read_file(query_path(cfg_.root, id), raw)) continue;
+    const std::string text(reinterpret_cast<const char*>(raw.data()),
+                           raw.size());
+
+    const auto reject = [&](const std::string& why) {
+      ServiceAnswer a;
+      a.id = id;
+      a.status = AnswerStatus::kError;
+      a.error = why;
+      if (answer_and_retire(a)) {
+        queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+        queries_answered_.fetch_add(1, std::memory_order_relaxed);
+        ++progress;
+      }
+    };
+
+    ServiceQuery query;
+    std::string error;
+    if (!parse_query(text, query, error)) {
+      reject(error);
+      continue;
+    }
+    if (query.id != id) {
+      reject(strf("query id '%s' does not match file name '%s'",
+                  query.id.c_str(), id.c_str()));
+      continue;
+    }
+    ScenarioSpec spec;
+    if (!parse_scenario(query.scenario_text, spec, error)) {
+      reject("bad scenario: " + error);
+      continue;
+    }
+    if (const std::string invalid = spec.validate(); !invalid.empty()) {
+      reject("bad scenario: " + invalid);
+      continue;
+    }
+    schemes::SchemeSpec scheme;
+    if (!schemes::parse_scheme_id(query.scheme_id, scheme)) {
+      reject("unknown scheme '" + query.scheme_id + "'");
+      continue;
+    }
+
+    const SystemConfig sys = spec.system_config();
+    const std::uint64_t runner_key = config_fingerprint(sys, spec.scale);
+    ExperimentRunner& runner = runner_for(spec, runner_key);
+    const std::vector<trace::WorkloadCombo> combos = spec.combos();
+
+    TrackedQuery tq;
+    tq.id = id;
+    std::vector<BacklogCell> missing;
+    for (const trace::WorkloadCombo& combo : combos) {
+      BacklogCell cell;
+      cell.fp = run_fingerprint(sys, spec.scale, combo, scheme);
+      cell.label = combo.name + "/" + scheme.id();
+      cell.combo = combo.name;
+      cell.scheme = scheme.id();
+      cell.runner_key = runner_key;
+      tq.cells.emplace_back(combo.name, cell.fp);
+      {
+        // Workers resolve cells through work_, so it must be populated
+        // before any cell of this query can be claimed.
+        const std::lock_guard<std::mutex> lock(state_mu_);
+        work_.emplace(cell.fp, WorkItem{combo, scheme, &runner});
+      }
+      if (backlog_.state(cell.fp) != BacklogScheduler::State::kUnknown) {
+        continue;  // deduplicated — some earlier query owns this cell
+      }
+      std::vector<double> ipc;
+      if (runner.cached_ipc(combo, scheme, ipc)) {
+        // Hit path: answered from the shared cache, no simulation, and
+        // journaled so a restart replays it identically.
+        backlog_.inject_done(cell, ipc);
+        cells_from_cache_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        missing.push_back(std::move(cell));
+      }
+    }
+
+    if (!backlog_.admit(missing, nullptr)) {
+      // Admission control: nothing was enqueued; tell the client when
+      // to come back instead of growing the backlog without bound.
+      ServiceAnswer a;
+      a.id = id;
+      a.status = AnswerStatus::kRetryAfter;
+      a.retry_after_ms = cfg_.retry_after_ms;
+      if (answer_and_retire(a)) {
+        queries_shed_.fetch_add(1, std::memory_order_relaxed);
+        queries_answered_.fetch_add(1, std::memory_order_relaxed);
+        ++progress;
+      }
+      continue;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(state_mu_);
+      tracked_[id] = std::move(tq);
+    }
+    queries_ingested_.fetch_add(1, std::memory_order_relaxed);
+    ++progress;
+    wake_cv_.notify_all();
+  }
+  return progress;
+}
+
+std::size_t CampaignServer::supervise() {
+  const std::vector<LeaseTable::Expiry> expiries = lease_.scan(now_ms());
+  for (const LeaseTable::Expiry& e : expiries) {
+    leases_expired_.fetch_add(1, std::memory_order_relaxed);
+    if (e.poisoned) {
+      // Quarantine: this cell has wedged max_holds workers — stop
+      // reassigning and turn it into an explicit error answer.
+      backlog_.poison(
+          e.fp, strf("%s: poisoned after %u lease grants (worker %u held "
+                     "%llu ms past a %llu ms lease)",
+                     e.label.c_str(), e.holds, e.worker,
+                     static_cast<unsigned long long>(e.held_ms),
+                     static_cast<unsigned long long>(lease_.lease_ms())));
+      std::fprintf(stderr,
+                   "snug: campaignd: poisoning %s fp=%016llx after %u "
+                   "lease grants (worker %u held %llu ms)\n",
+                   e.label.c_str(),
+                   static_cast<unsigned long long>(e.fp), e.holds,
+                   e.worker,
+                   static_cast<unsigned long long>(e.held_ms));
+    } else {
+      backlog_.requeue(e.fp);
+      reassignments_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "snug: campaignd: lease expired on %s fp=%016llx "
+                   "(worker %u, held %llu ms, grant %u/%u) — "
+                   "reassigning\n",
+                   e.label.c_str(),
+                   static_cast<unsigned long long>(e.fp), e.worker,
+                   static_cast<unsigned long long>(e.held_ms), e.holds,
+                   cfg_.max_holds);
+    }
+  }
+  if (!expiries.empty()) wake_cv_.notify_all();
+  return expiries.size();
+}
+
+std::size_t CampaignServer::publish() {
+  std::vector<TrackedQuery> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    snapshot.reserve(tracked_.size());
+    for (const auto& [id, tq] : tracked_) snapshot.push_back(tq);
+  }
+  std::size_t progress = 0;
+  for (const TrackedQuery& tq : snapshot) {
+    ServiceAnswer a;
+    a.id = tq.id;
+    a.status = AnswerStatus::kOk;
+    bool ready = true;
+    for (const auto& [combo, fp] : tq.cells) {
+      switch (backlog_.state(fp)) {
+        case BacklogScheduler::State::kDone: {
+          AnswerCell cell;
+          cell.combo = combo;
+          const bool ok = backlog_.result(fp, cell.ipc);
+          ready = ready && ok;
+          a.cells.push_back(std::move(cell));
+          break;
+        }
+        case BacklogScheduler::State::kPoisoned: {
+          // Graceful degradation: the query still answers — the healthy
+          // cells are included, the poisoned ones are named.
+          a.status = AnswerStatus::kError;
+          if (!a.error.empty()) a.error += "; ";
+          a.error += backlog_.poison_error(fp);
+          break;
+        }
+        default:
+          ready = false;
+          break;
+      }
+      if (!ready) break;
+    }
+    if (!ready) continue;
+    if (!publish_answer(a)) continue;  // retried next pass
+    env_->remove(query_path(cfg_.root, tq.id));
+    {
+      const std::lock_guard<std::mutex> lock(state_mu_);
+      answered_[tq.id] = true;
+      tracked_.erase(tq.id);
+    }
+    queries_answered_.fetch_add(1, std::memory_order_relaxed);
+    ++progress;
+  }
+  return progress;
+}
+
+std::size_t CampaignServer::poll_once() {
+  std::size_t progress = 0;
+  progress += ingest();
+  progress += supervise();
+  progress += publish();
+  return progress;
+}
+
+std::size_t CampaignServer::serve(std::size_t idle_exit_polls,
+                                  std::uint64_t poll_ms) {
+  std::size_t passes = 0;
+  std::size_t idle = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const std::size_t progress = poll_once();
+    ++passes;
+    bool is_idle = progress == 0 && backlog_.backlog() == 0 &&
+                   lease_.live() == 0;
+    if (is_idle) {
+      const std::lock_guard<std::mutex> lock(state_mu_);
+      is_idle = tracked_.empty();
+    }
+    if (is_idle) {
+      if (idle_exit_polls > 0 && ++idle >= idle_exit_polls) break;
+    } else {
+      idle = 0;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(poll_ms > 0 ? poll_ms : 1));
+  }
+  return passes;
+}
+
+void CampaignServer::worker_loop(const std::stop_token& stop,
+                                 unsigned wid) {
+  while (!stop.stop_requested()) {
+    {
+      // Bounded wait: notifications are advisory (sent without holding
+      // wake_mu_), the timeout is the liveness guarantee.
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      (void)wake_cv_.wait_for(lock, stop, std::chrono::milliseconds(5),
+                              [&] { return backlog_.pending() > 0; });
+    }
+    if (stop.stop_requested()) return;
+    if (backlog_.pending() == 0) continue;
+    BacklogCell cell;
+    if (!backlog_.next_pending(cell)) continue;
+    if (!lease_.acquire(cell.fp, cell.label, wid, now_ms())) {
+      // Grant denied (fail@lease, or a racing live lease): hand the
+      // cell back and back off — never run without a lease.
+      backlog_.requeue(cell.fp);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(cfg_.retry.backoff_ms));
+      continue;
+    }
+    run_cell(wid, cell);
+    lease_.release(cell.fp, wid);
+  }
+}
+
+void CampaignServer::run_cell(unsigned wid, const BacklogCell& cell) {
+  WorkItem item;
+  {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    const auto it = work_.find(cell.fp);
+    if (it == work_.end()) {
+      backlog_.poison(cell.fp, cell.label + ": internal: no work item");
+      return;
+    }
+    item = it->second;
+  }
+  const unsigned max_attempts =
+      cfg_.retry.max_attempts > 0 ? cfg_.retry.max_attempts : 1;
+  for (unsigned a = 1;; ++a) {
+    try {
+      (void)lease_.heartbeat(cell.fp, wid, now_ms());
+      const RunResult r = item.runner->run(item.combo, item.scheme);
+      (void)lease_.heartbeat(cell.fp, wid, now_ms());
+      // complete() is the dedup point: a straggler whose lease expired
+      // mid-run may land after its replacement — only the first sticks.
+      if (backlog_.complete(cell.fp, r.ipc)) {
+        cells_simulated_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    } catch (const fault::TransientError& e) {
+      if (a >= max_attempts) {
+        backlog_.poison(cell.fp,
+                        strf("%s: %s (gave up after %u attempts)",
+                             cell.label.c_str(), e.what(), a));
+        return;
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      (void)lease_.heartbeat(cell.fp, wid, now_ms());
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          cfg_.retry.backoff_ms << (a - 1)));
+    } catch (const std::exception& e) {
+      backlog_.poison(cell.fp, cell.label + ": " + e.what());
+      return;
+    }
+  }
+}
+
+CampaignServer::Stats CampaignServer::stats() const {
+  Stats s;
+  s.queries_ingested = queries_ingested_.load(std::memory_order_relaxed);
+  s.queries_answered = queries_answered_.load(std::memory_order_relaxed);
+  s.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
+  s.queries_shed = queries_shed_.load(std::memory_order_relaxed);
+  s.cells_from_cache = cells_from_cache_.load(std::memory_order_relaxed);
+  s.cells_simulated = cells_simulated_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.leases_expired = leases_expired_.load(std::memory_order_relaxed);
+  s.reassignments = reassignments_.load(std::memory_order_relaxed);
+  s.publish_failures = publish_failures_.load(std::memory_order_relaxed);
+  s.backlog = backlog_.counters();
+  s.leases = lease_.counters();
+  s.journal_replayed = backlog_.journal_replayed();
+  s.journal_stale_reaped = backlog_.journal_stale_reaped();
+  s.journal_discarded_bytes = backlog_.journal_discarded_bytes();
+  s.journal_append_failures = backlog_.journal_append_failures();
+  {
+    const std::lock_guard<std::mutex> lock(runners_mu_);
+    if (!runners_.empty()) {
+      s.cache_entries_visible = runners_.begin()->second->cache().refresh();
+    }
+  }
+  if (s.cache_entries_visible == 0 && !cfg_.cache_dir.empty()) {
+    // No runner yet (or an empty view): probe the directory directly.
+    s.cache_entries_visible = EvalCache(cfg_.cache_dir).refresh();
+  }
+  return s;
+}
+
+}  // namespace snug::sim::service

@@ -1,0 +1,190 @@
+// CampaignServer — `campaignd`'s engine: a long-lived process that owns
+// the EvalCache and a crash-safe simulation backlog (ISSUE 9 tentpole).
+//
+// Clients drop ScenarioSpec x scheme queries into <root>/submit/ (the
+// wire protocol in sim/service/wire.hpp) and poll <root>/answers/.  One
+// poll_once() pass:
+//
+//   ingest     new query files are parsed and split into per-combo
+//              cells keyed by run_fingerprint.  Cache-resident cells
+//              are answered immediately (hit path — no simulation);
+//              the rest are deduplicated into the journaled backlog
+//              (sim/service/backlog.hpp).  A query whose fresh cells
+//              would overflow the bounded backlog is SHED with an
+//              explicit status=retry-after answer — admission control,
+//              not an unbounded queue.  Malformed queries answer
+//              status=error right away.
+//   supervise  the lease table (sim/service/lease.hpp) is scanned:
+//              expired leases hand their cells back to the backlog
+//              (deterministic reassignment); a cell that has burned
+//              max_holds leases is poisoned — quarantined out of the
+//              reassignment loop — and its queries answer status=error
+//              for that cell.  Graceful degradation, never a hang.
+//   publish    queries whose cells are all done (or poisoned) get their
+//              answer file written atomically; only AFTER a successful
+//              publish is the submit file removed, so a crash at any
+//              point re-ingests the query on restart.
+//
+// Worker threads drain the backlog under lease + heartbeat, running
+// cells through per-machine ExperimentRunners that share one cache
+// directory, with the campaign engine's deterministic retry/backoff for
+// TransientErrors.  Kill -9 the server at any moment: on restart the
+// backlog journal replays every completed cell and the submit dir
+// re-supplies every unanswered query — no query lost, none answered
+// twice, answers bit-identical to an uninterrupted run (pinned by
+// tests/sim/service_server_test.cpp and the CI chaos soak).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "schemes/factory.hpp"
+#include "sim/campaign.hpp"
+#include "sim/runner.hpp"
+#include "sim/service/backlog.hpp"
+#include "sim/service/lease.hpp"
+#include "sim/service/wire.hpp"
+
+namespace snug::sim::service {
+
+struct ServiceConfig {
+  std::string root;       ///< service dir: submit/, answers/, journal
+  std::string cache_dir;  ///< shared EvalCache directory
+  /// Backlog journal path; "" resolves to <root>/backlog.journal.
+  std::string journal;
+  unsigned workers = 2;
+  std::size_t max_backlog = 256;    ///< admission-control bound (0 = off)
+  std::uint64_t lease_ms = 10'000;  ///< unrenewed leases expire after this
+  std::uint32_t max_holds = 3;      ///< lease grants before poisoning
+  std::uint64_t retry_after_ms = 250;  ///< backoff hint on shed queries
+  RetryPolicy retry;                ///< TransientError retry/backoff
+  bool verbose = false;             ///< supervision log lines to stderr
+};
+
+class CampaignServer {
+ public:
+  struct Stats {
+    std::uint64_t queries_ingested = 0;
+    std::uint64_t queries_answered = 0;  ///< answers published (any status)
+    std::uint64_t queries_rejected = 0;  ///< malformed — status=error
+    std::uint64_t queries_shed = 0;      ///< admission — status=retry-after
+    std::uint64_t cells_from_cache = 0;  ///< hit path, no simulation
+    std::uint64_t cells_simulated = 0;
+    std::uint64_t retries = 0;           ///< TransientError re-attempts
+    std::uint64_t leases_expired = 0;
+    std::uint64_t reassignments = 0;     ///< expiries requeued
+    std::uint64_t publish_failures = 0;  ///< answer writes retried
+    BacklogScheduler::Counters backlog;
+    LeaseTable::Counters leases;
+    std::uint64_t journal_replayed = 0;  ///< cells resumed at startup
+    std::uint64_t journal_stale_reaped = 0;
+    std::uint64_t journal_discarded_bytes = 0;
+    std::uint64_t journal_append_failures = 0;
+    /// Published cache entries currently visible (EvalCache::refresh()).
+    std::uint64_t cache_entries_visible = 0;
+  };
+
+  explicit CampaignServer(ServiceConfig cfg);
+  ~CampaignServer();
+
+  CampaignServer(const CampaignServer&) = delete;
+  CampaignServer& operator=(const CampaignServer&) = delete;
+
+  /// One ingest + supervise + publish pass; returns how much happened
+  /// (queries ingested + expiries handled + answers published) so a
+  /// caller can detect idleness.  Thread-safe against the workers but
+  /// meant to be driven from one serving thread.
+  std::size_t poll_once();
+
+  /// Drives poll_once() every poll_ms until request_stop(), or — when
+  /// idle_exit_polls > 0 — until that many consecutive passes saw no
+  /// progress, no tracked query, no pending cell and no live lease
+  /// (campaignd's drain-and-exit mode for scripted/CI use; 0 serves
+  /// forever).  Returns the number of passes.
+  std::size_t serve(std::size_t idle_exit_polls, std::uint64_t poll_ms);
+
+  /// Makes serve() return after its current pass; workers stop at their
+  /// next claim.  Called from a signal-ish context or another thread.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+  /// Milliseconds since construction — the lease clock.  Monotonic.
+  [[nodiscard]] std::uint64_t now_ms() const;
+
+ private:
+  /// A simulation cell's runnable identity (the backlog stores only
+  /// strings; workers need the real objects and a runner).
+  struct WorkItem {
+    trace::WorkloadCombo combo;
+    schemes::SchemeSpec scheme;
+    ExperimentRunner* runner = nullptr;
+  };
+
+  /// One client query being tracked until every cell resolves.
+  struct TrackedQuery {
+    std::string id;
+    /// (combo name, fp) in the scenario's combo order — the answer's
+    /// cell order, independent of completion order.
+    std::vector<std::pair<std::string, std::uint64_t>> cells;
+  };
+
+  std::size_t ingest();
+  std::size_t supervise();
+  std::size_t publish();
+  void worker_loop(const std::stop_token& stop, unsigned wid);
+  void run_cell(unsigned wid, const BacklogCell& cell);
+  ExperimentRunner& runner_for(const ScenarioSpec& spec,
+                               std::uint64_t runner_key);
+  bool publish_answer(const ServiceAnswer& answer);
+  /// Error/retry-after short-circuit at ingest: publish, and on success
+  /// retire the submit file.  False leaves the submit file for a retry
+  /// next pass.
+  bool answer_and_retire(const ServiceAnswer& answer);
+
+  const ServiceConfig cfg_;
+  const fault::Env* env_;
+  const std::chrono::steady_clock::time_point start_;
+
+  BacklogScheduler backlog_;
+  LeaseTable lease_;
+
+  mutable std::mutex runners_mu_;
+  std::map<std::uint64_t, std::unique_ptr<ExperimentRunner>> runners_;
+
+  mutable std::mutex state_mu_;
+  std::map<std::uint64_t, WorkItem> work_;      ///< fp -> how to run it
+  std::map<std::string, TrackedQuery> tracked_;  ///< id -> open query
+  std::map<std::string, bool> answered_;         ///< ids already answered
+
+  std::atomic<std::uint64_t> cells_from_cache_{0};
+  std::atomic<std::uint64_t> cells_simulated_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> leases_expired_{0};
+  std::atomic<std::uint64_t> reassignments_{0};
+  std::atomic<std::uint64_t> publish_failures_{0};
+  std::atomic<std::uint64_t> queries_ingested_{0};
+  std::atomic<std::uint64_t> queries_answered_{0};
+  std::atomic<std::uint64_t> queries_rejected_{0};
+  std::atomic<std::uint64_t> queries_shed_{0};
+  std::atomic<std::uint64_t> seq_{0};  ///< unique answer temp names
+  std::atomic<bool> stop_{false};
+
+  std::mutex wake_mu_;
+  std::condition_variable_any wake_cv_;  ///< pending work for workers
+
+  /// Declared last: workers must be joined (jthread dtor) before any
+  /// member they touch is destroyed.
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace snug::sim::service

@@ -1,0 +1,313 @@
+#include "sim/service/wire.hpp"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/str.hpp"
+
+namespace snug::sim::service {
+namespace {
+
+constexpr const char* kQueryMagic = "query-v1";
+constexpr const char* kAnswerMagic = "answer-v1";
+
+const char* status_name(AnswerStatus status) {
+  switch (status) {
+    case AnswerStatus::kOk: return "ok";
+    case AnswerStatus::kError: return "error";
+    case AnswerStatus::kRetryAfter: return "retry-after";
+  }
+  return "?";
+}
+
+bool status_from_name(const std::string& s, AnswerStatus& status) {
+  for (const AnswerStatus st : {AnswerStatus::kOk, AnswerStatus::kError,
+                                AnswerStatus::kRetryAfter}) {
+    if (s == status_name(st)) {
+      status = st;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Splits "key=value"; false when the line has no '='.
+bool split_kv(const std::string& line, std::string& key,
+              std::string& value) {
+  const std::size_t eq = line.find('=');
+  if (eq == std::string::npos) return false;
+  key = line.substr(0, eq);
+  value = line.substr(eq + 1);
+  return true;
+}
+
+bool parse_ipc_list(const std::string& text, std::vector<double>& out) {
+  out.clear();
+  for (const std::string& tok : split(text, ',')) {
+    if (tok.empty()) return false;
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    out.push_back(v);
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+bool valid_query_id(const std::string& id) {
+  if (id.empty() || id.size() > 128) return false;
+  for (const char c : id) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string submit_dir(const std::string& root) { return root + "/submit"; }
+std::string answer_dir(const std::string& root) { return root + "/answers"; }
+
+std::string query_path(const std::string& root, const std::string& id) {
+  return submit_dir(root) + "/" + id + ".query";
+}
+
+std::string answer_path(const std::string& root, const std::string& id) {
+  return answer_dir(root) + "/" + id + ".answer";
+}
+
+std::string encode_query(const ServiceQuery& query) {
+  std::string out = kQueryMagic;
+  out += "\nid=" + query.id;
+  out += "\nscenario=" + query.scenario_text;
+  out += "\nscheme=" + query.scheme_id;
+  out += '\n';
+  return out;
+}
+
+bool parse_query(const std::string& text, ServiceQuery& out,
+                 std::string& error) {
+  ServiceQuery q;
+  bool saw_magic = false;
+  bool saw_scenario = false;
+  bool saw_scheme = false;
+  for (const std::string& line : split(text, '\n')) {
+    if (line.empty()) continue;
+    if (!saw_magic) {
+      if (line != kQueryMagic) {
+        error = strf("query does not start with '%s'", kQueryMagic);
+        return false;
+      }
+      saw_magic = true;
+      continue;
+    }
+    std::string key;
+    std::string value;
+    if (!split_kv(line, key, value)) {
+      error = "bad query line '" + line + "'";
+      return false;
+    }
+    if (key == "id") {
+      q.id = value;
+    } else if (key == "scenario") {
+      q.scenario_text = value;
+      saw_scenario = true;
+    } else if (key == "scheme") {
+      q.scheme_id = value;
+      saw_scheme = true;
+    } else {
+      error = "unknown query key '" + key + "'";
+      return false;
+    }
+  }
+  if (!saw_magic) {
+    error = "empty query";
+    return false;
+  }
+  if (!valid_query_id(q.id)) {
+    error = "bad query id '" + q.id + "' ([A-Za-z0-9._-]+, max 128)";
+    return false;
+  }
+  if (!saw_scenario || !saw_scheme) {
+    error = "query is missing scenario= or scheme=";
+    return false;
+  }
+  out = std::move(q);
+  return true;
+}
+
+std::string encode_answer(const ServiceAnswer& answer) {
+  std::string out = kAnswerMagic;
+  out += "\nid=" + answer.id;
+  out += strf("\nstatus=%s", status_name(answer.status));
+  if (answer.status == AnswerStatus::kError) {
+    out += "\nerror=" + answer.error;
+  }
+  if (answer.status == AnswerStatus::kRetryAfter) {
+    out += strf("\nretry-after-ms=%llu",
+                static_cast<unsigned long long>(answer.retry_after_ms));
+  }
+  for (const AnswerCell& cell : answer.cells) {
+    out += "\ncell=" + cell.combo + " ipc=";
+    for (std::size_t i = 0; i < cell.ipc.size(); ++i) {
+      // %.17g round-trips an IEEE double exactly: resumed-server answers
+      // byte-compare against an uninterrupted run's.
+      out += strf(i == 0 ? "%.17g" : ",%.17g", cell.ipc[i]);
+    }
+  }
+  out += '\n';
+  return out;
+}
+
+bool parse_answer(const std::string& text, ServiceAnswer& out,
+                  std::string& error) {
+  ServiceAnswer a;
+  bool saw_magic = false;
+  bool saw_status = false;
+  for (const std::string& line : split(text, '\n')) {
+    if (line.empty()) continue;
+    if (!saw_magic) {
+      if (line != kAnswerMagic) {
+        error = strf("answer does not start with '%s'", kAnswerMagic);
+        return false;
+      }
+      saw_magic = true;
+      continue;
+    }
+    std::string key;
+    std::string value;
+    if (!split_kv(line, key, value)) {
+      error = "bad answer line '" + line + "'";
+      return false;
+    }
+    if (key == "id") {
+      a.id = value;
+    } else if (key == "status") {
+      if (!status_from_name(value, a.status)) {
+        error = "unknown status '" + value + "'";
+        return false;
+      }
+      saw_status = true;
+    } else if (key == "error") {
+      a.error = value;
+    } else if (key == "retry-after-ms") {
+      char* end = nullptr;
+      a.retry_after_ms = std::strtoull(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        error = "bad retry-after-ms '" + value + "'";
+        return false;
+      }
+    } else if (key == "cell") {
+      const std::size_t sep = value.find(" ipc=");
+      AnswerCell cell;
+      if (sep == std::string::npos || sep == 0 ||
+          !parse_ipc_list(value.substr(sep + 5), cell.ipc)) {
+        error = "bad cell line '" + line + "'";
+        return false;
+      }
+      cell.combo = value.substr(0, sep);
+      a.cells.push_back(std::move(cell));
+    } else {
+      error = "unknown answer key '" + key + "'";
+      return false;
+    }
+  }
+  if (!saw_magic || !saw_status) {
+    error = saw_magic ? "answer is missing status=" : "empty answer";
+    return false;
+  }
+  out = std::move(a);
+  return true;
+}
+
+bool publish_verified(const fault::Env& env, const std::string& tmp,
+                      const std::string& final_path,
+                      const std::string& text) {
+  const auto* data = reinterpret_cast<const std::byte*>(text.data());
+  if (!env.write_file(tmp, data, text.size())) {
+    env.remove(tmp);
+    return false;
+  }
+  // Read back before renaming: write_file reporting success does not
+  // mean the bytes landed (ENOSPC tails, torn writes).  The wire files
+  // carry no checksum, so this read-back IS the integrity check — a
+  // torn temp is discarded here, never published.
+  std::vector<std::byte> on_disk;
+  if (!env.read_file(tmp, on_disk) || on_disk.size() != text.size() ||
+      std::memcmp(on_disk.data(), data, text.size()) != 0) {
+    env.remove(tmp);
+    return false;
+  }
+  if (!env.rename(tmp, final_path)) {
+    env.remove(tmp);
+    return false;
+  }
+  return true;
+}
+
+ServiceClient::ServiceClient(std::string root)
+    : env_(&fault::env()), root_(std::move(root)) {
+  env_->create_directories(submit_dir(root_));
+  env_->create_directories(answer_dir(root_));
+}
+
+bool ServiceClient::submit(const ServiceQuery& query,
+                           std::string* error) const {
+  if (!valid_query_id(query.id)) {
+    if (error != nullptr) {
+      *error = "bad query id '" + query.id + "' ([A-Za-z0-9._-]+, max 128)";
+    }
+    return false;
+  }
+  const std::string text = encode_query(query);
+  // Atomic publish: the server must never ingest a half-written query.
+  const std::string tmp =
+      strf("%s/%s.query.tmp.%ld.%llu", submit_dir(root_).c_str(),
+           query.id.c_str(), static_cast<long>(::getpid()),
+           static_cast<unsigned long long>(
+               seq_.fetch_add(1, std::memory_order_relaxed)));
+  if (!publish_verified(*env_, tmp, query_path(root_, query.id), text)) {
+    if (error != nullptr) *error = "failed to publish " + tmp;
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::try_poll(const std::string& id,
+                             ServiceAnswer& out) const {
+  std::vector<std::byte> raw;
+  if (!env_->read_file(answer_path(root_, id), raw)) return false;
+  const std::string text(reinterpret_cast<const char*>(raw.data()),
+                         raw.size());
+  std::string error;
+  if (!parse_answer(text, out, error)) {
+    // The answer exists but does not parse (bit rot on the answer
+    // file): surface it as an error rather than spinning forever.
+    out = ServiceAnswer{};
+    out.id = id;
+    out.status = AnswerStatus::kError;
+    out.error = "unparseable answer: " + error;
+  }
+  return true;
+}
+
+bool ServiceClient::wait(const std::string& id, ServiceAnswer& out,
+                         std::uint64_t timeout_ms,
+                         std::uint64_t poll_ms) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    if (try_poll(id, out)) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(poll_ms > 0 ? poll_ms : 1));
+  }
+}
+
+}  // namespace snug::sim::service

@@ -1,0 +1,131 @@
+// Wire protocol of the campaign service (ISSUE 9) — the file-based
+// submit/complete queue between clients and `campaignd`.
+//
+// A query is one file in `<root>/submit/<id>.query`; the matching
+// answer appears at `<root>/answers/<id>.answer`.  Both sides publish
+// atomically (unique temp + rename, the same discipline as the stores),
+// so a reader can never observe a half-written message, and both sides
+// go through the fault::Env seam so torn submissions and answer-publish
+// failures are exercised deterministically in tests.
+//
+// Query format (line-oriented key=value; the ScenarioSpec grammar is
+// the scenario payload — it already round-trips as text):
+//   query-v1
+//   id=<client-chosen id, [A-Za-z0-9._-]+>
+//   scenario=<ScenarioSpec key=value line, e.g. "cores=4 workload=paper">
+//   scheme=<SchemeSpec id, e.g. "SNUG" or "CC(50%)">
+//
+// Answer format:
+//   answer-v1
+//   id=<query id>
+//   status=ok | error | retry-after
+//   error=<one-line diagnostic>            (status=error only)
+//   retry-after-ms=<n>                     (status=retry-after only)
+//   cell=<combo name> ipc=<v>,<v>,...      (one line per workload combo)
+// IPC values are printed with %.17g, which round-trips an IEEE double
+// exactly — a resumed server's answers can be byte-compared ("diff")
+// against an uninterrupted run's.
+//
+// Crash contract: the submit file is the durable record of an accepted
+// query — the server removes it only AFTER the answer is published, so
+// a server killed at any point re-ingests the query on restart and the
+// client's poll loop never hangs on a lost query.  Re-publishing an
+// identical answer is idempotent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+
+namespace snug::sim::service {
+
+/// Client-visible status of a completed query.
+enum class AnswerStatus : std::uint8_t {
+  kOk,
+  kError,       ///< malformed query, or a cell poisoned past recovery
+  kRetryAfter,  ///< backlog full — resubmit after retry_after_ms
+};
+
+struct ServiceQuery {
+  std::string id;
+  std::string scenario_text;  ///< ScenarioSpec grammar (sim/scenario.hpp)
+  std::string scheme_id;      ///< SchemeSpec::id() grammar
+};
+
+struct AnswerCell {
+  std::string combo;        ///< workload combo name
+  std::vector<double> ipc;  ///< per-core measured IPC
+};
+
+struct ServiceAnswer {
+  std::string id;
+  AnswerStatus status = AnswerStatus::kOk;
+  std::string error;                 ///< status=error diagnostic
+  std::uint64_t retry_after_ms = 0;  ///< status=retry-after backoff hint
+  std::vector<AnswerCell> cells;     ///< query's combos, in combo order
+};
+
+/// Query ids become file names: one path component, no separators or
+/// shell surprises — [A-Za-z0-9._-]+, at most 128 chars.
+[[nodiscard]] bool valid_query_id(const std::string& id);
+
+[[nodiscard]] std::string submit_dir(const std::string& root);
+[[nodiscard]] std::string answer_dir(const std::string& root);
+[[nodiscard]] std::string query_path(const std::string& root,
+                                     const std::string& id);
+[[nodiscard]] std::string answer_path(const std::string& root,
+                                      const std::string& id);
+
+[[nodiscard]] std::string encode_query(const ServiceQuery& query);
+/// False (with a one-line diagnostic) on any malformed line, a bad id,
+/// or a missing field; `out` is untouched on failure.
+[[nodiscard]] bool parse_query(const std::string& text, ServiceQuery& out,
+                               std::string& error);
+
+[[nodiscard]] std::string encode_answer(const ServiceAnswer& answer);
+[[nodiscard]] bool parse_answer(const std::string& text, ServiceAnswer& out,
+                                std::string& error);
+
+/// Verified atomic publish: writes `text` to `tmp`, reads it back, and
+/// only renames onto `final_path` when the bytes on disk are exactly
+/// the bytes intended.  A write that silently tears (a full disk
+/// swallowing the tail, the short-write fault) is caught here instead
+/// of being renamed into a permanently corrupt wire file; the temp is
+/// removed and the caller retries later.  False on any step failing.
+[[nodiscard]] bool publish_verified(const fault::Env& env,
+                                    const std::string& tmp,
+                                    const std::string& final_path,
+                                    const std::string& text);
+
+/// Client side of the queue: submits query files and polls for answers.
+/// Stateless apart from a temp-name sequence; one client may be shared
+/// by threads, and any number of client processes may point at one
+/// service root.
+class ServiceClient {
+ public:
+  explicit ServiceClient(std::string root);
+
+  /// Atomically publishes the query file.  False (diagnosing into
+  /// `error` when given) on a bad id or an I/O failure.
+  bool submit(const ServiceQuery& query, std::string* error = nullptr) const;
+
+  /// True when the answer for `id` has been published (and parses);
+  /// false while still pending.  A published-but-unparseable answer
+  /// reports status=error with the parse diagnostic, so a client never
+  /// spins forever on a mangled file.
+  bool try_poll(const std::string& id, ServiceAnswer& out) const;
+
+  /// Polls every poll_ms until the answer lands or timeout_ms passes.
+  bool wait(const std::string& id, ServiceAnswer& out,
+            std::uint64_t timeout_ms, std::uint64_t poll_ms = 2) const;
+
+ private:
+  const fault::Env* env_;  ///< resolved at construction (fault seam)
+  std::string root_;
+  mutable std::atomic<std::uint64_t> seq_{0};  ///< unique temp names
+};
+
+}  // namespace snug::sim::service

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/str.hpp"
@@ -57,6 +58,45 @@ bool quarantine_entry(const fault::Env& env, const std::string& dir,
            static_cast<long>(::getpid()),
            static_cast<unsigned long long>(uniq));
   return env.rename(dir + "/" + name, qpath);
+}
+
+std::uint64_t bound_quarantine(const fault::Env& env, const std::string& dir,
+                               std::size_t max_keep) {
+  const std::string qdir = dir + "/quarantine";
+  const std::vector<std::string> names = env.list_dir(qdir);  // sorted
+  if (names.size() <= max_keep) return 0;
+  const std::uint64_t surplus = names.size() - max_keep;
+  for (std::uint64_t i = 0; i < surplus; ++i) {
+    env.remove(qdir + "/" + names[i]);
+  }
+  std::fprintf(stderr,
+               "snug: quarantine bound: removed %llu oldest of %zu "
+               "entries in %s (cap %zu)\n",
+               static_cast<unsigned long long>(surplus), names.size(),
+               qdir.c_str(), max_keep);
+  return surplus;
+}
+
+std::uint64_t reap_stale_journals(const fault::Env& env,
+                                  const std::string& journal_path) {
+  const std::size_t slash = journal_path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : journal_path.substr(0, slash);
+  const std::string base = slash == std::string::npos
+                               ? journal_path
+                               : journal_path.substr(slash + 1);
+  const std::string prefix = base + ".stale.";
+  std::uint64_t reaped = 0;
+  for (const std::string& name : env.list_dir(dir)) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    char* end = nullptr;
+    const std::string pid_str = name.substr(prefix.size());
+    const long pid = std::strtol(pid_str.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && pid_alive(pid)) continue;
+    env.remove(dir + "/" + name);
+    ++reaped;
+  }
+  return reaped;
 }
 
 }  // namespace snug::sim

@@ -59,6 +59,8 @@ WarmStateBank::WarmStateBank(std::string dir)
     }
     reaped_temps_.store(reap_orphaned_temps(*env_, dir_),
                         std::memory_order_relaxed);
+    quarantine_trimmed_.store(bound_quarantine(*env_, dir_),
+                              std::memory_order_relaxed);
   }
 }
 

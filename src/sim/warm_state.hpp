@@ -53,10 +53,13 @@ class WarmStateBank {
   struct Recovery {
     std::uint64_t reaped_temps = 0;  ///< dead writers' temps removed on open
     std::uint64_t quarantined = 0;   ///< corrupt entries renamed aside
+    /// Oldest quarantine/ entries removed at open to stay within the
+    /// kQuarantineCap bound (sim/store_recovery.hpp).
+    std::uint64_t quarantine_trimmed = 0;
   };
 
   /// `dir` is created on demand; pass "" to disable the bank.  Opening
-  /// runs the orphaned-temp reap.
+  /// runs the orphaned-temp reap and the quarantine bound.
   explicit WarmStateBank(std::string dir);
 
   WarmStateBank(const WarmStateBank&) = delete;
@@ -77,7 +80,8 @@ class WarmStateBank {
 
   [[nodiscard]] Recovery recovery() const noexcept {
     return {reaped_temps_.load(std::memory_order_relaxed),
-            quarantined_.load(std::memory_order_relaxed)};
+            quarantined_.load(std::memory_order_relaxed),
+            quarantine_trimmed_.load(std::memory_order_relaxed)};
   }
 
  private:
@@ -88,6 +92,7 @@ class WarmStateBank {
   mutable std::atomic<std::uint64_t> store_seq_{0};  ///< unique temp names
   std::atomic<std::uint64_t> reaped_temps_{0};
   mutable std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> quarantine_trimmed_{0};
 };
 
 /// Default bank directory: $SNUG_WARM_BANK_DIR or .snug_warm_bank under

@@ -4,6 +4,7 @@
 // partial IPC vector.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdint>
@@ -15,6 +16,7 @@
 
 #include "common/crc32.hpp"
 #include "sim/runner.hpp"
+#include "sim/store_recovery.hpp"
 
 namespace snug::sim {
 namespace {
@@ -289,6 +291,130 @@ TEST(EvalCache, ReapsDeadWritersTempsOnOpen) {
   EXPECT_TRUE(std::filesystem::exists(tmp.dir / live));
   std::vector<double> ipc;
   EXPECT_TRUE(reopened.load("keep", 42, ipc));  // valid entries untouched
+}
+
+TEST(EvalCache, ContainsProbesHeaderWithoutQuarantining) {
+  TempCacheDir tmp;
+  EvalCache cache(tmp.dir.string());
+  EXPECT_FALSE(cache.contains("k", 42));
+  cache.store("k", 42, {1.0, 2.0});
+  EXPECT_TRUE(cache.contains("k", 42));
+  EXPECT_FALSE(cache.contains("k", 43)) << "fingerprint mismatch";
+  EXPECT_FALSE(cache.contains("absent", 42));
+
+  // A CRC-broken payload under an intact header still probes true —
+  // contains() is the cheap admission check; load() makes the
+  // structural call and quarantines.
+  {
+    std::fstream f(entry_file(tmp, "k"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(24 + 3);
+    char byte;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(24 + 3);
+    f.write(&byte, 1);
+  }
+  EXPECT_TRUE(cache.contains("k", 42));
+  EXPECT_EQ(cache.recovery().quarantined, 0u);
+  std::vector<double> ipc;
+  EXPECT_FALSE(cache.load("k", 42, ipc));
+  EXPECT_EQ(cache.recovery().quarantined, 1u);
+}
+
+TEST(EvalCache, RefreshSeesEntriesPublishedByAnotherProcess) {
+  TempCacheDir tmp;
+  EvalCache reader(tmp.dir.string());
+  EXPECT_EQ(reader.refresh(), 0u);
+
+  // A genuinely separate process publishes entries into the directory
+  // the reader already has open — the campaignd sharing scenario.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    EvalCache writer(tmp.dir.string());
+    for (int i = 0; i < 5; ++i) {
+      writer.store("shared" + std::to_string(i), 42,
+                   {1.0 + i, 2.0 + i});
+    }
+    ::_exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  EXPECT_EQ(reader.refresh(), 5u);
+  std::vector<double> ipc;
+  ASSERT_TRUE(reader.load("shared3", 42, ipc));
+  EXPECT_EQ(ipc, (std::vector<double>{4.0, 5.0}));
+}
+
+TEST(EvalCache, CrossProcessReaderNeverObservesATornWrite) {
+  TempCacheDir tmp;
+  EvalCache reader(tmp.dir.string());
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{9.0, 8.0, 7.0, 6.0};
+  {
+    EvalCache seed(tmp.dir.string());
+    seed.store("k", 42, a);
+  }
+
+  // The child rewrites the same key as fast as it can, alternating two
+  // payloads; the parent reads concurrently.  The atomic temp+rename
+  // publish means every successful load is exactly A or exactly B —
+  // never a mixture, never a CRC rejection.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    EvalCache writer(tmp.dir.string());
+    for (int i = 0; i < 400; ++i) {
+      writer.store("k", 42, (i % 2) != 0 ? b : a);
+    }
+    ::_exit(0);
+  }
+  std::size_t loads = 0;
+  int status = 0;
+  bool child_done = false;
+  while (!child_done) {
+    child_done = ::waitpid(pid, &status, WNOHANG) == pid;
+    std::vector<double> ipc;
+    ASSERT_TRUE(reader.load("k", 42, ipc)) << "after " << loads << " loads";
+    EXPECT_TRUE(ipc == a || ipc == b) << "torn payload observed";
+    ++loads;
+  }
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_GT(loads, 0u);
+  EXPECT_EQ(reader.recovery().quarantined, 0u);
+}
+
+TEST(EvalCache, QuarantineDirectoryIsBoundedOnOpen) {
+  TempCacheDir tmp;
+  {
+    EvalCache cache(tmp.dir.string());
+    cache.store("keep", 42, {1.0});
+  }
+  // A store that healed corruption for months: far more quarantined
+  // evidence than kQuarantineCap.
+  std::filesystem::create_directories(tmp.dir / "quarantine");
+  for (std::size_t i = 0; i < kQuarantineCap + 20; ++i) {
+    std::ofstream out(
+        tmp.dir / "quarantine" /
+        ("old" + std::to_string(1000 + i) + ".snugc.7.1"),
+        std::ios::binary);
+    out << "evidence";
+  }
+
+  EvalCache reopened(tmp.dir.string());
+  EXPECT_EQ(reopened.recovery().quarantine_trimmed, 20u);
+  std::size_t remaining = 0;
+  for (const auto& e :
+       std::filesystem::directory_iterator(tmp.dir / "quarantine")) {
+    (void)e;
+    ++remaining;
+  }
+  EXPECT_EQ(remaining, kQuarantineCap);
+  std::vector<double> ipc;
+  EXPECT_TRUE(reopened.load("keep", 42, ipc)) << "entries untouched";
 }
 
 TEST(EvalCache, RunFingerprintCoversFullTopology) {

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -144,6 +146,34 @@ TEST(CampaignJournal, StaleJournalIsMovedAsideNeverDeleted) {
     }
   }
   EXPECT_TRUE(found_stale);
+}
+
+TEST(CampaignJournal, StaleJournalsOfDeadWritersAreReapedOnOpen) {
+  TempDir tmp("snug_journal_stale_reap");
+  // What crashed campaigns leave behind: stale files moved aside by a
+  // fingerprint mismatch, owned by pids that no longer exist — plus one
+  // owned by a live process (us), which must survive the reap.
+  const auto plant = [&](const std::string& suffix) {
+    std::ofstream out(tmp.journal() + suffix, std::ios::binary);
+    out << "old journal bytes";
+  };
+  plant(".stale.999999999");
+  plant(".stale.bogus");
+  const std::string live = ".stale." + std::to_string(::getpid());
+  plant(live);
+
+  {
+    CampaignJournal journal(tmp.journal(), 6);
+    EXPECT_EQ(journal.stale_reaped(), 2u);
+    EXPECT_FALSE(fs::exists(tmp.journal() + ".stale.999999999"));
+    EXPECT_FALSE(fs::exists(tmp.journal() + ".stale.bogus"));
+    EXPECT_TRUE(fs::exists(tmp.journal() + live));
+    // The journal itself opens clean and appends normally.
+    journal.append(1, {1.0});
+  }
+  CampaignJournal journal(tmp.journal(), 6);
+  std::vector<double> out;
+  EXPECT_TRUE(journal.lookup(1, out));
 }
 
 TEST(CampaignJournal, EnospcAppendIsCountedNotFatal) {

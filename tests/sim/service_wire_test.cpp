@@ -1,0 +1,212 @@
+// Campaign-service wire protocol tests (ISSUE 9): query/answer encode
+// and parse round trips, malformed-input rejection with diagnostics,
+// query-id hygiene (ids become file names — no traversal, no
+// separators), exact %.17g IPC round-tripping, and the ServiceClient's
+// atomic submit / poll behaviour.
+#include "sim/service/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+
+namespace snug::sim::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  explicit TempDir(const char* name) {
+    dir = fs::temp_directory_path() / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~TempDir() { fs::remove_all(dir); }
+  fs::path dir;
+};
+
+TEST(ServiceWire, QueryRoundTrips) {
+  ServiceQuery q;
+  q.id = "client-1.query_07";
+  q.scenario_text = "cores=4 workload=gzip+mesa+gzip+mesa";
+  q.scheme_id = "CC(50%)";
+  ServiceQuery back;
+  std::string error;
+  ASSERT_TRUE(parse_query(encode_query(q), back, error)) << error;
+  EXPECT_EQ(back.id, q.id);
+  EXPECT_EQ(back.scenario_text, q.scenario_text);
+  EXPECT_EQ(back.scheme_id, q.scheme_id);
+}
+
+TEST(ServiceWire, QueryParseRejectsMalformedInput) {
+  ServiceQuery out;
+  std::string error;
+  EXPECT_FALSE(parse_query("", out, error));
+  EXPECT_FALSE(parse_query("not-a-query\nid=a", out, error));
+  EXPECT_FALSE(parse_query("query-v1\nid=a\nscheme=SNUG", out, error))
+      << "missing scenario must be rejected";
+  EXPECT_NE(error.find("scenario"), std::string::npos) << error;
+  EXPECT_FALSE(parse_query(
+      "query-v1\nid=a\nscenario=cores=4\nscheme=SNUG\nbogus=1", out,
+      error));
+  EXPECT_FALSE(parse_query(
+      "query-v1\nid=../../etc\nscenario=cores=4\nscheme=SNUG", out,
+      error))
+      << "a traversal id must be rejected at parse";
+}
+
+TEST(ServiceWire, QueryIdsAreFileNameSafe) {
+  EXPECT_TRUE(valid_query_id("abc-123_X.Y"));
+  EXPECT_FALSE(valid_query_id(""));
+  EXPECT_FALSE(valid_query_id("a/b"));
+  EXPECT_FALSE(valid_query_id("../up"));
+  EXPECT_FALSE(valid_query_id("sp ace"));
+  EXPECT_FALSE(valid_query_id("semi;colon"));
+  EXPECT_FALSE(valid_query_id(std::string(129, 'a')));
+  EXPECT_TRUE(valid_query_id(std::string(128, 'a')));
+}
+
+TEST(ServiceWire, AnswerRoundTripsIpcDoublesExactly) {
+  ServiceAnswer a;
+  a.id = "q1";
+  a.status = AnswerStatus::kOk;
+  // Values chosen to lose bits under anything less than %.17g.
+  a.cells.push_back({"mixA", {1.0 / 3.0, 0.1234567890123456789, 2.0}});
+  a.cells.push_back({"mixB", {1e-300, 3.0000000000000004}});
+  ServiceAnswer back;
+  std::string error;
+  ASSERT_TRUE(parse_answer(encode_answer(a), back, error)) << error;
+  EXPECT_EQ(back.status, AnswerStatus::kOk);
+  ASSERT_EQ(back.cells.size(), 2u);
+  EXPECT_EQ(back.cells[0].combo, "mixA");
+  EXPECT_EQ(back.cells[1].combo, "mixB");
+  // Bit-exact, not approximately equal: the chaos soak byte-diffs
+  // resumed answers against a clean run's.
+  EXPECT_EQ(back.cells[0].ipc, a.cells[0].ipc);
+  EXPECT_EQ(back.cells[1].ipc, a.cells[1].ipc);
+  // And the re-encoding is byte-identical.
+  EXPECT_EQ(encode_answer(back), encode_answer(a));
+}
+
+TEST(ServiceWire, AnswerCarriesStatusErrorAndRetryAfter) {
+  ServiceAnswer err;
+  err.id = "q2";
+  err.status = AnswerStatus::kError;
+  err.error = "mixA/SNUG: gave up after 3 attempts";
+  ServiceAnswer back;
+  std::string diag;
+  ASSERT_TRUE(parse_answer(encode_answer(err), back, diag)) << diag;
+  EXPECT_EQ(back.status, AnswerStatus::kError);
+  EXPECT_EQ(back.error, err.error);
+
+  ServiceAnswer shed;
+  shed.id = "q3";
+  shed.status = AnswerStatus::kRetryAfter;
+  shed.retry_after_ms = 250;
+  ASSERT_TRUE(parse_answer(encode_answer(shed), back, diag)) << diag;
+  EXPECT_EQ(back.status, AnswerStatus::kRetryAfter);
+  EXPECT_EQ(back.retry_after_ms, 250u);
+}
+
+TEST(ServiceWire, AnswerParseRejectsMalformedInput) {
+  ServiceAnswer out;
+  std::string error;
+  EXPECT_FALSE(parse_answer("", out, error));
+  EXPECT_FALSE(parse_answer("answer-v1\nid=a", out, error))
+      << "missing status must be rejected";
+  EXPECT_FALSE(parse_answer("answer-v1\nid=a\nstatus=maybe", out, error));
+  EXPECT_FALSE(parse_answer(
+      "answer-v1\nid=a\nstatus=ok\ncell=mixA ipc=1.0,nope", out, error));
+  EXPECT_FALSE(parse_answer(
+      "answer-v1\nid=a\nstatus=ok\ncell=mixA-no-ipc-field", out, error));
+}
+
+TEST(ServiceClientTest, SubmitPublishesAtomicallyAndPollsAnswers) {
+  TempDir tmp("snug_service_wire_client");
+  const std::string root = tmp.dir.string();
+  ServiceClient client(root);
+
+  ServiceQuery q;
+  q.id = "q1";
+  q.scenario_text = "cores=4";
+  q.scheme_id = "SNUG";
+  std::string error;
+  ASSERT_TRUE(client.submit(q, &error)) << error;
+  // The query file is fully published (no temp residue) and parses.
+  EXPECT_TRUE(fs::exists(query_path(root, "q1")));
+  for (const auto& e : fs::directory_iterator(submit_dir(root))) {
+    EXPECT_EQ(e.path().filename().string().find(".tmp."),
+              std::string::npos);
+  }
+
+  ServiceAnswer polled;
+  EXPECT_FALSE(client.try_poll("q1", polled)) << "no answer yet";
+
+  ServiceAnswer a;
+  a.id = "q1";
+  a.cells.push_back({"mixA", {1.5, 2.5}});
+  std::ofstream(answer_path(root, "q1"), std::ios::binary)
+      << encode_answer(a);
+  ASSERT_TRUE(client.try_poll("q1", polled));
+  EXPECT_EQ(polled.status, AnswerStatus::kOk);
+  ASSERT_EQ(polled.cells.size(), 1u);
+  EXPECT_EQ(polled.cells[0].ipc, a.cells[0].ipc);
+  ASSERT_TRUE(client.wait("q1", polled, /*timeout_ms=*/100));
+}
+
+TEST(ServiceWire, PublishVerifiedNeverPublishesATornWrite) {
+  // Regression pin for the chaos-soak bug: a short-written temp used to
+  // be renamed into place as a permanently corrupt answer.  The
+  // read-back verify must refuse to publish and clean up the temp.
+  TempDir tmp("snug_service_wire_torn_publish");
+  const std::string tmp_file = (tmp.dir / "a.tmp").string();
+  const std::string final_file = (tmp.dir / "a.final").string();
+  const std::string text(512, 'x');
+
+  fault::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(fault::FaultPlan::parse("seed=9; short-write@write:p=1",
+                                      plan, error))
+      << error;
+  {
+    fault::ScopedFaultPlan scoped(plan);
+    EXPECT_FALSE(
+        publish_verified(fault::env(), tmp_file, final_file, text));
+    EXPECT_EQ(scoped.stats().short_writes, 1u);
+  }
+  EXPECT_FALSE(fs::exists(final_file)) << "torn bytes must not publish";
+  EXPECT_FALSE(fs::exists(tmp_file)) << "the torn temp is removed";
+
+  // Fault-free, the same publish lands whole.
+  ASSERT_TRUE(publish_verified(fault::env(), tmp_file, final_file, text));
+  EXPECT_EQ(fs::file_size(final_file), text.size());
+  EXPECT_FALSE(fs::exists(tmp_file));
+}
+
+TEST(ServiceClientTest, RejectsBadIdsAndSurfacesUnparseableAnswers) {
+  TempDir tmp("snug_service_wire_badid");
+  const std::string root = tmp.dir.string();
+  ServiceClient client(root);
+
+  ServiceQuery q;
+  q.id = "../escape";
+  std::string error;
+  EXPECT_FALSE(client.submit(q, &error));
+  EXPECT_NE(error.find("bad query id"), std::string::npos) << error;
+
+  // A mangled answer file must resolve the poll (status=error), never
+  // spin the client forever.
+  std::ofstream(answer_path(root, "q9"), std::ios::binary) << "garbage";
+  ServiceAnswer out;
+  ASSERT_TRUE(client.try_poll("q9", out));
+  EXPECT_EQ(out.status, AnswerStatus::kError);
+  EXPECT_NE(out.error.find("unparseable answer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snug::sim::service
