@@ -16,13 +16,18 @@
 //   campaignd --dir=svc --fault-plan="seed=7; enospc@write:p=0.1"
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/fault.hpp"
 #include "sim/runner.hpp"
+#include "sim/service/client.hpp"
 #include "sim/service/server.hpp"
+#include "sim/service/wire.hpp"
 
 namespace {
 
@@ -78,6 +83,14 @@ int main(int argc, char** argv) {
       "fault-plan", "",
       "deterministic fault-injection plan (grammar in src/common/fault.hpp; "
       "service ops: fail@lease, fail@heartbeat)");
+  const std::string ring_queries_file = args.get_string(
+      "ring-queries", "",
+      "submit the '<scheme>|<scenario>' lines of this file as ONE "
+      "query-v2 batch through the in-process submit ring (publish=true: "
+      "the answer file lands in <dir>/answers/ for kill/resume "
+      "byte-diffing), then keep serving");
+  const std::string ring_id = args.get_string(
+      "ring-id", "ring-batch", "query id of the --ring-queries batch");
   const bool quiet = args.get_bool("quiet", false, "suppress the stats line");
   if (args.help_requested()) {
     std::fputs(args.usage().c_str(), stdout);
@@ -98,25 +111,90 @@ int main(int argc, char** argv) {
   std::optional<fault::ScopedFaultPlan> faults;
   if (!plan.empty()) faults.emplace(plan);
 
-  sim::service::CampaignServer server(cfg);
-  g_server = &server;
-  std::signal(SIGINT, handle_signal);
-  std::signal(SIGTERM, handle_signal);
-
-  if (!quiet) {
-    std::fprintf(stderr,
-                 "campaignd: serving %s (cache %s, %u worker(s), backlog "
-                 "cap %zu, lease %llu ms, %s)\n",
-                 cfg.root.c_str(), cfg.cache_dir.c_str(), cfg.workers,
-                 cfg.max_backlog,
-                 static_cast<unsigned long long>(cfg.lease_ms),
-                 idle_exit > 0 ? "drain-and-exit" : "until signalled");
+  sim::service::ServiceBatchQuery ring_batch;
+  ring_batch.id = ring_id;
+  if (!ring_queries_file.empty()) {
+    std::ifstream in(ring_queries_file);
+    if (!in.good()) {
+      std::fprintf(stderr, "campaignd: cannot read --ring-queries=%s\n",
+                   ring_queries_file.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const std::size_t sep = line.find('|');
+      if (sep == std::string::npos || sep == 0 || sep + 1 == line.size()) {
+        std::fprintf(stderr,
+                     "campaignd: bad --ring-queries line '%s' (want "
+                     "<scheme>|<scenario>)\n",
+                     line.c_str());
+        return 2;
+      }
+      sim::service::BatchItem item;
+      item.scheme_id = line.substr(0, sep);
+      item.scenario_text = line.substr(sep + 1);
+      ring_batch.items.push_back(std::move(item));
+    }
+    if (ring_batch.items.empty()) {
+      std::fprintf(stderr, "campaignd: --ring-queries=%s has no items\n",
+                   ring_queries_file.c_str());
+      return 2;
+    }
   }
-  const std::size_t passes = server.serve(
-      idle_exit > 0 ? static_cast<std::size_t>(idle_exit) : 0,
-      poll_ms > 0 ? static_cast<std::uint64_t>(poll_ms) : 1);
 
-  const sim::service::CampaignServer::Stats s = server.stats();
+  // The ring client thread must JOIN after the server is destroyed: a
+  // server killed by a signal mid-batch completes every accepted ring
+  // op (status=error) only in its destructor, and the op's storage
+  // lives on the client thread's stack.
+  std::thread ringer;
+  bool ring_ok = false;
+  std::string ring_error;
+  sim::service::ServiceBatchAnswer ring_answer;
+  std::size_t passes = 0;
+  sim::service::CampaignServer::Stats s;
+  {
+    sim::service::CampaignServer server(cfg);
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "campaignd: serving %s (cache %s, %u worker(s), backlog "
+                   "cap %zu, lease %llu ms, %s)\n",
+                   cfg.root.c_str(), cfg.cache_dir.c_str(), cfg.workers,
+                   cfg.max_backlog,
+                   static_cast<unsigned long long>(cfg.lease_ms),
+                   idle_exit > 0 ? "drain-and-exit" : "until signalled");
+    }
+    if (!ring_batch.items.empty()) {
+      ringer = std::thread([&server, &ring_batch, &ring_ok, &ring_answer,
+                            &ring_error] {
+        sim::service::RingClient ring(server);
+        ring_ok = ring.query(ring_batch, ring_answer, /*publish=*/true,
+                             &ring_error);
+      });
+    }
+    passes = server.serve(
+        idle_exit > 0 ? static_cast<std::size_t>(idle_exit) : 0,
+        poll_ms > 0 ? static_cast<std::uint64_t>(poll_ms) : 1);
+    s = server.stats();
+    g_server = nullptr;
+  }
+  if (ringer.joinable()) ringer.join();
+  if (!ring_batch.items.empty() && !quiet) {
+    std::size_t ok_parts = 0;
+    for (const sim::service::BatchPart& p : ring_answer.parts) {
+      if (p.status == sim::service::AnswerStatus::kOk) ++ok_parts;
+    }
+    std::fprintf(stderr,
+                 "campaignd: ring batch '%s': %zu item(s), %zu part(s) "
+                 "answered ok%s%s\n",
+                 ring_batch.id.c_str(), ring_batch.items.size(), ok_parts,
+                 ring_ok ? "" : "; submit failed: ",
+                 ring_ok ? "" : ring_error.c_str());
+  }
   if (!quiet) {
     std::fprintf(
         stderr,
@@ -143,6 +221,28 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.journal_discarded_bytes),
         static_cast<unsigned long long>(s.journal_append_failures),
         static_cast<unsigned long long>(s.cache_entries_visible));
+    std::fprintf(
+        stderr,
+        "campaignd: ring %llu submit(s) (%llu inline, %llu backlogged); "
+        "batches %llu (%llu part(s): %llu rejected, %llu shed); index "
+        "%llu entr(ies), %llu hit(s) / %llu miss(es), %llu rescan(s) "
+        "over %llu epoch check(s); %llu submit scan(s) skipped; answers "
+        "%llu reaped, %llu orphaned temp(s)\n",
+        static_cast<unsigned long long>(s.ring_submits),
+        static_cast<unsigned long long>(s.ring_inline_answers),
+        static_cast<unsigned long long>(s.ring_backlogged),
+        static_cast<unsigned long long>(s.batches_ingested),
+        static_cast<unsigned long long>(s.parts_total),
+        static_cast<unsigned long long>(s.parts_rejected),
+        static_cast<unsigned long long>(s.parts_shed),
+        static_cast<unsigned long long>(s.index.entries),
+        static_cast<unsigned long long>(s.index.hits),
+        static_cast<unsigned long long>(s.index.misses),
+        static_cast<unsigned long long>(s.index.rescans),
+        static_cast<unsigned long long>(s.index.epoch_checks),
+        static_cast<unsigned long long>(s.submit_scans_skipped),
+        static_cast<unsigned long long>(s.answers_reaped),
+        static_cast<unsigned long long>(s.answer_temps_reaped));
     if (faults.has_value()) {
       const fault::FaultStats f = faults->stats();
       std::fprintf(stderr, "campaignd: %llu fault(s) injected\n",

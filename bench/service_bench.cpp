@@ -15,12 +15,25 @@
 //               is the service overhead itself: file round-trip, parse,
 //               fingerprint, cache probe, answer publish.
 //
+// ISSUE 10 adds the latency phases against a third warm server:
+//
+//   file latency  the same queries re-submitted SERIALLY over the file
+//                 wire, one at a time — per-query round-trip
+//                 percentiles (p50/p95/p99 µs), dominated by the submit
+//                 poll interval and two file publishes.
+//   ring  phase   the same queries as single-item batches through the
+//                 in-process SubmitRing (RingClient, no files, no
+//                 polling): the microsecond tier.  Percentiles plus
+//                 queries/s, and every ring answer is compared
+//                 bit-exactly against the cold phase's (ring_correct).
+//
 // Correctness is checked, not assumed: hit answers must equal the cold
 // answers bit-exactly (%.17g IPC round-trip), and a sample of cold
 // answers is re-simulated on an isolated cache-less runner and compared
-// exactly.  --json-out records both rates; BENCH_service.json at the
-// repo root keeps them (scripts/check_bench_regression.py gates the hit
-// rate and both correctness bits).
+// exactly.  --json-out records the rates and percentiles;
+// BENCH_service.json at the repo root keeps them
+// (scripts/check_bench_regression.py gates the hit/ring rates, the ring
+// p50 ceiling, and all three correctness bits).
 #include <unistd.h>
 
 #include <algorithm>
@@ -37,6 +50,7 @@
 #include "schemes/factory.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario.hpp"
+#include "sim/service/client.hpp"
 #include "sim/service/server.hpp"
 #include "sim/service/wire.hpp"
 
@@ -47,6 +61,15 @@ using namespace snug;
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   const auto dt = std::chrono::steady_clock::now() - t0;
   return std::chrono::duration<double>(dt).count();
+}
+
+/// Nearest-rank percentile (p in [0,1]) over an unsorted sample set.
+double percentile_us(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
 }
 
 }  // namespace
@@ -61,6 +84,9 @@ int main(int argc, char** argv) {
       "warmup-cycles", 10'000, "per-cell warm-up cycles");
   const std::int64_t measure = args.get_int(
       "measure-cycles", 40'000, "per-cell measured cycles");
+  const std::int64_t latency_rounds = args.get_int(
+      "latency-rounds", 30,
+      "rounds over all queries in each warm latency phase (file and ring)");
   const std::string label =
       args.get_string("label", "service-v1", "record label");
   const std::string json_out = args.get_string(
@@ -174,6 +200,84 @@ int main(int argc, char** argv) {
     hit_stats = server.stats();
   }
 
+  // Latency phases (ISSUE 10): a THIRD server, warm on the shared
+  // cache, kept serving while the bench thread measures individual
+  // round-trips — serially, so each sample is one query's latency, not
+  // a pipelined batch's.
+  sim::service::ServiceConfig cfg3 = cfg;
+  cfg3.root = (base / "svc3").string();
+  cfg3.journal.clear();
+  std::vector<double> file_us;
+  std::vector<double> ring_us;
+  double ring_sec = 0.0;
+  std::size_t ring_queries = 0;
+  bool ring_correct = true;
+  sim::service::CampaignServer::Stats ring_stats;
+  {
+    sim::service::CampaignServer server(cfg3);
+    std::jthread serving([&server] {
+      server.serve(/*idle_exit_polls=*/0, /*poll_ms=*/1);
+    });
+    // File-wire warm latency: submit, then wait — one query in flight.
+    sim::service::ServiceClient client(cfg3.root);
+    for (std::int64_t r = 0; r < latency_rounds; ++r) {
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        sim::service::ServiceQuery q = queries[i];
+        q.id = strf("lat-%lld-%zu", static_cast<long long>(r), i);
+        sim::service::ServiceAnswer a;
+        const auto t0 = std::chrono::steady_clock::now();
+        std::string error;
+        if (!client.submit(q, &error) ||
+            !client.wait(q.id, a, /*timeout_ms=*/120'000,
+                         /*poll_ms=*/1)) {
+          std::fprintf(stderr, "service_bench: file latency query %s "
+                       "failed: %s\n", q.id.c_str(), error.c_str());
+          std::exit(1);
+        }
+        file_us.push_back(seconds_since(t0) * 1e6);
+      }
+    }
+    // Ring warm latency: the same queries as single-item batches
+    // through the in-process ring — no files, no polling.
+    sim::service::RingClient ring(server);
+    const auto ring_t0 = std::chrono::steady_clock::now();
+    for (std::int64_t r = 0; r < latency_rounds; ++r) {
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        sim::service::ServiceBatchQuery q;
+        q.id = strf("ring-%lld-%zu", static_cast<long long>(r), i);
+        q.items.push_back({queries[i].scenario_text, queries[i].scheme_id});
+        sim::service::ServiceBatchAnswer out;
+        const auto t0 = std::chrono::steady_clock::now();
+        std::string error;
+        if (!ring.query(q, out, /*publish=*/false, &error)) {
+          std::fprintf(stderr, "service_bench: ring query %s failed: %s\n",
+                       q.id.c_str(), error.c_str());
+          std::exit(1);
+        }
+        ring_us.push_back(seconds_since(t0) * 1e6);
+        ++ring_queries;
+        // Every ring answer must reproduce the cold answer bit-exactly.
+        ring_correct =
+            ring_correct && out.parts.size() == 1 &&
+            out.parts[0].status == sim::service::AnswerStatus::kOk &&
+            out.parts[0].cells.size() == cold[i].cells.size();
+        for (std::size_t c = 0;
+             ring_correct && c < out.parts[0].cells.size(); ++c) {
+          ring_correct =
+              out.parts[0].cells[c].combo == cold[i].cells[c].combo &&
+              out.parts[0].cells[c].ipc == cold[i].cells[c].ipc;
+        }
+      }
+    }
+    ring_sec = seconds_since(ring_t0);
+    ring_correct = ring_correct && ring.wire_fallbacks() == 0;
+    server.request_stop();
+    serving.join();
+    ring_stats = server.stats();
+  }
+  const double qps_ring =
+      ring_sec > 0 ? static_cast<double>(ring_queries) / ring_sec : 0.0;
+
   // Hit answers must reproduce the cold answers bit-exactly: same cells,
   // same order, same IPC doubles.
   bool hit_correct = cold.size() == hit.size();
@@ -227,8 +331,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(hit_stats.cells_from_cache),
               static_cast<unsigned long long>(
                   hit_stats.cache_entries_visible));
+  std::printf("  ring (100%% hit)       %8.3f s   %10.2f queries/s\n",
+              ring_sec, qps_ring);
+  std::printf(
+      "  warm hit latency        p50        p95        p99   (µs, %zu "
+      "samples each)\n"
+      "    file wire        %9.1f  %9.1f  %9.1f\n"
+      "    submit ring      %9.1f  %9.1f  %9.1f\n",
+      file_us.size(), percentile_us(file_us, 0.50),
+      percentile_us(file_us, 0.95), percentile_us(file_us, 0.99),
+      percentile_us(ring_us, 0.50), percentile_us(ring_us, 0.95),
+      percentile_us(ring_us, 0.99));
+  std::printf("  ring: %llu submit(s), %llu inline answer(s), index "
+              "%llu hit(s) over %llu entr(ies)\n",
+              static_cast<unsigned long long>(ring_stats.ring_submits),
+              static_cast<unsigned long long>(
+                  ring_stats.ring_inline_answers),
+              static_cast<unsigned long long>(ring_stats.index.hits),
+              static_cast<unsigned long long>(ring_stats.index.entries));
   std::printf("  hit answers == cold answers:   %s\n",
               hit_correct ? "EXACT" : "MISMATCH");
+  std::printf("  ring answers == cold answers:  %s\n",
+              ring_correct ? "EXACT" : "MISMATCH");
   std::printf("  cold answers == isolated runs: %s\n",
               miss_correct ? "EXACT" : "MISMATCH");
 
@@ -251,27 +375,42 @@ int main(int argc, char** argv) {
         "  \"hit_sec\": %.4f,\n"
         "  \"queries_per_sec_cold\": %.2f,\n"
         "  \"queries_per_sec_hit\": %.2f,\n"
+        "  \"queries_per_sec_ring\": %.2f,\n"
+        "  \"file_hit_p50_us\": %.1f,\n"
+        "  \"file_hit_p95_us\": %.1f,\n"
+        "  \"file_hit_p99_us\": %.1f,\n"
+        "  \"ring_hit_p50_us\": %.1f,\n"
+        "  \"ring_hit_p95_us\": %.1f,\n"
+        "  \"ring_hit_p99_us\": %.1f,\n"
         "  \"cells_simulated\": %llu,\n"
         "  \"cells_from_cache\": %llu,\n"
         "  \"hit_correct\": %d,\n"
+        "  \"ring_correct\": %d,\n"
         "  \"miss_correct\": %d,\n"
         "  \"notes\": \"cold = server 1 on an empty cache, every cell "
         "simulated through the journaled backlog; hit = identical "
         "queries against a SECOND server instance sharing only the "
         "cache directory (multi-process EvalCache read-sharing), every "
-        "cell answered on the ingest path without simulation. Both "
-        "phases run the real file-based wire protocol, and both "
-        "correctness bits compare IPC doubles exactly.\"\n"
+        "cell answered from the answer-index without simulation; ring = "
+        "single-item batches through the in-process submit ring of a "
+        "THIRD warm server (no files, no polling), measured serially "
+        "for per-query percentiles. file_hit percentiles are serial "
+        "file-wire round-trips on the same warm server, dominated by "
+        "the 1 ms submit poll. All correctness bits compare IPC doubles "
+        "exactly against the cold answers.\"\n"
         "}\n",
         label.c_str(), queries.size(), cfg.workers,
         static_cast<long long>(warmup), static_cast<long long>(measure),
-        cold_sec, hit_sec, qps_cold, qps_hit,
+        cold_sec, hit_sec, qps_cold, qps_hit, qps_ring,
+        percentile_us(file_us, 0.50), percentile_us(file_us, 0.95),
+        percentile_us(file_us, 0.99), percentile_us(ring_us, 0.50),
+        percentile_us(ring_us, 0.95), percentile_us(ring_us, 0.99),
         static_cast<unsigned long long>(cold_stats.cells_simulated),
         static_cast<unsigned long long>(hit_stats.cells_from_cache),
-        hit_correct ? 1 : 0, miss_correct ? 1 : 0);
+        hit_correct ? 1 : 0, ring_correct ? 1 : 0, miss_correct ? 1 : 0);
     std::fclose(f);
   }
 
   fs::remove_all(base);
-  return hit_correct && miss_correct ? 0 : 1;
+  return hit_correct && ring_correct && miss_correct ? 0 : 1;
 }

@@ -50,12 +50,27 @@ Two record kinds are recognised by shape:
                                               bit-identical to cold)
       miss_correct                  == 1     (cold answers match
                                               isolated re-simulation)
+      ring_correct                  == 1     (in-process ring answers are
+                                              bit-identical to cold)
       queries_per_sec_hit           >= 5.0   (the 100%-hit path — file
                                               round-trip + cache probe —
                                               must stay service-shaped,
                                               not simulation-shaped; the
                                               recorded BENCH_service.json
                                               measures ~2500 q/s)
+      queries_per_sec_ring          >= 1000  (the in-process ring tier
+                                              must stay memory-shaped;
+                                              the recorded
+                                              BENCH_service.json measures
+                                              ~100k q/s — the floor only
+                                              catches a collapse back to
+                                              file-wire latency)
+      ring_hit_p50_us               <= 750   (a warm ring hit must never
+                                              pay a poll interval or a
+                                              directory scan; recorded
+                                              p50 is single-digit µs,
+                                              the ceiling is a loose
+                                              CI-hardware guard)
 
 Bad inputs (missing, truncated, or corrupt JSON; records missing their
 gate keys) fail with ONE line on stderr naming the offending file — a CI
@@ -82,6 +97,8 @@ WARMUP_MAX_FUNCTIONAL_IPC_DELTA = 0.25
 LANE_MIN_W4_SPEEDUP = 0.75
 
 SERVICE_MIN_HIT_QPS = 5.0
+SERVICE_MIN_RING_QPS = 1000.0
+SERVICE_MAX_RING_P50_US = 750.0
 
 
 class InputError(Exception):
@@ -173,8 +190,13 @@ def gate_service(measured, measured_path):
     return gate_fixed(measured, (
         ("hit_correct", lambda v: v == 1, "== 1"),
         ("miss_correct", lambda v: v == 1, "== 1"),
+        ("ring_correct", lambda v: v == 1, "== 1"),
         ("queries_per_sec_hit", lambda v: v >= SERVICE_MIN_HIT_QPS,
          f">= {SERVICE_MIN_HIT_QPS}"),
+        ("queries_per_sec_ring", lambda v: v >= SERVICE_MIN_RING_QPS,
+         f">= {SERVICE_MIN_RING_QPS}"),
+        ("ring_hit_p50_us", lambda v: v <= SERVICE_MAX_RING_P50_US,
+         f"<= {SERVICE_MAX_RING_P50_US}"),
     ), measured_path)
 
 
@@ -241,12 +263,18 @@ def self_check():
                        "ipc_delta_bank_vs_functional": 0.0})
     lane = json.dumps({"lane_checksum_equal": 1, "speedup_w4": 0.9})
     lane_bad = json.dumps({"lane_checksum_equal": 0, "speedup_w4": 0.9})
-    service = json.dumps({"queries_per_sec_hit": 2500.0,
-                          "hit_correct": 1, "miss_correct": 1})
-    service_bad = json.dumps({"queries_per_sec_hit": 2500.0,
-                              "hit_correct": 1, "miss_correct": 0})
-    service_slow = json.dumps({"queries_per_sec_hit": 2.0,
-                               "hit_correct": 1, "miss_correct": 1})
+    service_ok = {"queries_per_sec_hit": 2500.0,
+                  "queries_per_sec_ring": 100000.0,
+                  "ring_hit_p50_us": 7.0,
+                  "hit_correct": 1, "ring_correct": 1, "miss_correct": 1}
+    service = json.dumps(service_ok)
+    service_bad = json.dumps({**service_ok, "miss_correct": 0})
+    service_slow = json.dumps({**service_ok, "queries_per_sec_hit": 2.0})
+    service_ring_bad = json.dumps({**service_ok, "ring_correct": 0})
+    service_ring_slow = json.dumps(
+        {**service_ok, "queries_per_sec_ring": 200.0})
+    service_ring_lat = json.dumps(
+        {**service_ok, "ring_hit_p50_us": 5000.0})
     ok = True
     with tempfile.TemporaryDirectory(prefix="snug_gate_check") as d:
         hot_m = _write(d, "hot.json", hot)
@@ -271,11 +299,27 @@ def self_check():
         svc_s = _write(d, "service_slow.json", service_slow)
         ok &= _expect("service throughput regression",
                       run_pairs([svc_s, svc_s], 0.9) == 1)
+        svc_rb = _write(d, "service_ring_bad.json", service_ring_bad)
+        ok &= _expect("service ring correctness regression",
+                      run_pairs([svc_rb, svc_rb], 0.9) == 1)
+        svc_rs = _write(d, "service_ring_slow.json", service_ring_slow)
+        ok &= _expect("service ring throughput regression",
+                      run_pairs([svc_rs, svc_rs], 0.9) == 1)
+        svc_rl = _write(d, "service_ring_lat.json", service_ring_lat)
+        ok &= _expect("service ring latency regression",
+                      run_pairs([svc_rl, svc_rl], 0.9) == 1)
         svc_keyless = _write(
             d, "service_keyless.json",
             json.dumps({"queries_per_sec_hit": 2500.0, "hit_correct": 1}))
         ok &= _expect_input_error("service gate key absent", "gate key",
                                   svc_keyless, svc_m)
+        svc_noring = _write(
+            d, "service_noring.json",
+            json.dumps({k: v for k, v in service_ok.items()
+                        if not k.startswith("ring") and
+                        k != "queries_per_sec_ring"}))
+        ok &= _expect_input_error("service pre-ring record rejected",
+                                  "gate key", svc_noring, svc_m)
 
         missing = os.path.join(d, "never_written.json")
         ok &= _expect_input_error("missing file", "missing", missing,

@@ -112,6 +112,15 @@ bool EvalCache::contains(const std::string& key,
 
 std::size_t EvalCache::refresh() const {
   if (dir_.empty()) return 0;
+  const std::lock_guard<std::mutex> lock(refresh_mu_);
+  // Epoch short-circuit: every publish renames into the directory and
+  // perturbs its (mtime_ns, size) signature, so an unchanged-and-settled
+  // signature means the last count is still exact — no listing needed
+  // (racy-mtime rule: common/fsepoch.hpp).
+  const DirEpoch now = dir_epoch(dir_);
+  if (refresh_primed_ && epoch_unchanged(now, refresh_epoch_)) {
+    return refresh_count_;
+  }
   std::size_t published = 0;
   for (const std::string& name : env_->list_dir(dir_)) {
     // Count only published entries: temps are in-flight stores and
@@ -120,6 +129,9 @@ std::size_t EvalCache::refresh() const {
       ++published;
     }
   }
+  refresh_primed_ = true;
+  refresh_epoch_ = now;
+  refresh_count_ = published;
   return published;
 }
 

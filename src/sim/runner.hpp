@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/fault.hpp"
+#include "common/fsepoch.hpp"
 #include "sim/config.hpp"
 #include "sim/scenario.hpp"
 #include "sim/system.hpp"
@@ -111,7 +112,7 @@ class EvalCache {
   [[nodiscard]] bool contains(const std::string& key,
                               std::uint64_t fingerprint) const;
 
-  /// Re-scans the cache directory, picking up entries published by
+  /// Counts entries published in the directory, picking up entries from
   /// OTHER processes since this instance opened (multi-process
   /// read-sharing: the writer's atomic temp-then-rename publish means a
   /// re-scan can never observe a half-written entry).  Loads always go
@@ -119,6 +120,13 @@ class EvalCache {
   /// so a long-lived server can report (and tests can pin) how many
   /// entries are visible.  Returns the number of published entries now
   /// in the directory.
+  ///
+  /// The directory is only LISTED when its stat epoch (mtime_ns, size)
+  /// moved since the last refresh — every publish is a rename into the
+  /// directory, which perturbs the epoch — so a server polling refresh()
+  /// pays one metadata syscall per call, not a scan (ISSUE 10).  The
+  /// stat is deliberately outside the fault::Env seam: the epoch is a
+  /// pure memoisation key, never a durability decision.
   std::size_t refresh() const;
 
   [[nodiscard]] Recovery recovery() const noexcept {
@@ -136,6 +144,13 @@ class EvalCache {
   std::atomic<std::uint64_t> reaped_temps_{0};
   mutable std::atomic<std::uint64_t> quarantined_{0};
   std::atomic<std::uint64_t> quarantine_trimmed_{0};
+
+  /// refresh() memo: the directory's settled epoch at the last listing
+  /// (common/fsepoch.hpp) plus the count it produced.
+  mutable std::mutex refresh_mu_;
+  mutable DirEpoch refresh_epoch_;
+  mutable std::size_t refresh_count_ = 0;
+  mutable bool refresh_primed_ = false;
 };
 
 /// Default cache directory: $SNUG_CACHE_DIR or .snug_eval_cache under the

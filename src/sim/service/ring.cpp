@@ -1,0 +1,73 @@
+#include "sim/service/ring.hpp"
+
+namespace snug::sim::service {
+namespace {
+
+[[nodiscard]] std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SubmitRing::SubmitRing(std::size_t capacity) {
+  const std::size_t cap = round_up_pow2(capacity < 2 ? 2 : capacity);
+  mask_ = cap - 1;
+  slots_ = std::make_unique<Slot[]>(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    slots_[i].seq.store(i, std::memory_order_relaxed);
+    slots_[i].op = nullptr;
+  }
+}
+
+bool SubmitRing::try_push(RingOp* op) noexcept {
+  std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    const auto diff =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (diff == 0) {
+      // Slot free for this lap — race other producers for it.
+      if (tail_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        slot.op = op;
+        slot.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS updated pos; retry with the fresh claim point.
+    } else if (diff < 0) {
+      // Slot still holds the previous lap's op — ring is full.
+      return false;
+    } else {
+      // Another producer claimed pos after we read tail_; catch up.
+      pos = tail_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+RingOp* SubmitRing::try_pop() noexcept {
+  const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[pos & mask_];
+  const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+  if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) !=
+      0) {
+    return nullptr;  // producer hasn't published pos yet
+  }
+  RingOp* op = slot.op;
+  slot.op = nullptr;
+  // Recycle the slot for the next lap before advancing head_: only this
+  // consumer reads head_, so plain store ordering suffices there.
+  slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+  head_.store(pos + 1, std::memory_order_relaxed);
+  return op;
+}
+
+std::size_t SubmitRing::size_approx() const noexcept {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+}
+
+}  // namespace snug::sim::service

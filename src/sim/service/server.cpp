@@ -2,18 +2,39 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
 #include "common/str.hpp"
+#include "sim/store_recovery.hpp"
 
 namespace snug::sim::service {
 namespace {
 
+/// Bound on the (scenario, scheme) resolve memo; overflow clears the
+/// map wholesale (the memo is pure gain, never a correctness input).
+constexpr std::size_t kResolveMemoCap = 4096;
+
 ServiceConfig normalize(ServiceConfig cfg) {
   if (cfg.journal.empty()) cfg.journal = cfg.root + "/backlog.journal";
   if (cfg.workers == 0) cfg.workers = 1;
+  if (cfg.ring_capacity < 2) cfg.ring_capacity = 2;
   return cfg;
+}
+
+/// Fills a ring op's answer with one status=error part per item and
+/// completes it — the op never blocks its client, whatever went wrong.
+void fail_ring_op(RingOp* op, const std::string& why) {
+  op->answer.id = op->query.id;
+  op->answer.parts.clear();
+  op->answer.parts.resize(op->query.items.empty() ? 1
+                                                  : op->query.items.size());
+  for (BatchPart& part : op->answer.parts) {
+    part.status = AnswerStatus::kError;
+    part.error = why;
+  }
+  op->complete();
 }
 
 }  // namespace
@@ -23,21 +44,41 @@ CampaignServer::CampaignServer(ServiceConfig cfg)
       env_(&fault::env()),
       start_(std::chrono::steady_clock::now()),
       backlog_(cfg_.max_backlog, cfg_.journal),
-      lease_(cfg_.lease_ms, cfg_.max_holds) {
+      lease_(cfg_.lease_ms, cfg_.max_holds),
+      index_(cfg_.cache_dir),
+      ring_(cfg_.ring_capacity) {
   env_->create_directories(submit_dir(cfg_.root));
   env_->create_directories(answer_dir(cfg_.root));
+  gc_answers();
   workers_.reserve(cfg_.workers);
   for (unsigned i = 0; i < cfg_.workers; ++i) {
     workers_.emplace_back(
         [this, i](const std::stop_token& stop) { worker_loop(stop, i); });
   }
+  ring_thread_ = std::jthread(
+      [this](const std::stop_token& stop) { ring_loop(stop); });
 }
 
 CampaignServer::~CampaignServer() {
   for (auto& w : workers_) w.request_stop();
+  ring_thread_.request_stop();
   wake_cv_.notify_all();
+  // Unpark the ring drain (it may be in an atomic wait).
+  ring_pushes_.fetch_add(1, std::memory_order_seq_cst);
+  ring_pushes_.notify_all();
   // Join before any member the workers touch is destroyed.
   for (auto& w : workers_) w.join();
+  ring_thread_.join();
+  // No client may block past our lifetime: ops still queued in the
+  // ring, or tracked but unfinished, drain with status=error.
+  while (RingOp* op = ring_.try_pop()) {
+    fail_ring_op(op, "server shut down before the answer resolved");
+  }
+  for (auto& [id, tq] : tracked_) {
+    if (tq.ring != nullptr && tq.ring->state() == RingOp::kPending) {
+      fail_ring_op(tq.ring, "server shut down before the answer resolved");
+    }
+  }
 }
 
 std::uint64_t CampaignServer::now_ms() const {
@@ -45,6 +86,43 @@ std::uint64_t CampaignServer::now_ms() const {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - start_)
           .count());
+}
+
+void CampaignServer::gc_answers() {
+  const std::string adir = answer_dir(cfg_.root);
+  answer_temps_reaped_.store(reap_orphaned_temps(*env_, adir),
+                             std::memory_order_relaxed);
+  // Reap acked answers (no matching submit file — the client saw them
+  // or abandoned them) beyond the retention cap, oldest name first:
+  // the same bounded-evidence pattern as the stores' quarantine cap.
+  std::vector<std::string> published;
+  for (const std::string& name : env_->list_dir(adir)) {
+    if (name.size() > 7 && name.rfind(".answer") == name.size() - 7) {
+      published.push_back(name);
+    }
+  }
+  if (published.size() <= kAnswerKeepCap) return;
+  std::sort(published.begin(), published.end());
+  std::size_t remaining = published.size();
+  std::uint64_t reaped = 0;
+  for (const std::string& name : published) {
+    if (remaining <= kAnswerKeepCap) break;
+    const std::string id = name.substr(0, name.size() - 7);
+    std::vector<std::byte> probe;
+    if (env_->read_file(query_path(cfg_.root, id), probe, 1)) {
+      continue;  // still awaiting pickup — the submit file is live
+    }
+    env_->remove(adir + "/" + name);
+    ++reaped;
+    --remaining;
+  }
+  answers_reaped_.store(reaped, std::memory_order_relaxed);
+  if (reaped > 0) {
+    std::fprintf(stderr,
+                 "snug: campaignd: reaped %llu acked answers over the "
+                 "%zu-entry retention cap\n",
+                 static_cast<unsigned long long>(reaped), kAnswerKeepCap);
+  }
 }
 
 ExperimentRunner& CampaignServer::runner_for(const ScenarioSpec& spec,
@@ -61,37 +139,222 @@ ExperimentRunner& CampaignServer::runner_for(const ScenarioSpec& spec,
   return *it->second;
 }
 
-bool CampaignServer::publish_answer(const ServiceAnswer& answer) {
-  const std::string text = encode_answer(answer);
+std::shared_ptr<const CampaignServer::ResolvedItem>
+CampaignServer::resolve_item(const BatchItem& item) {
+  const std::string key = item.scheme_id + '\x1f' + item.scenario_text;
+  {
+    const std::lock_guard<std::mutex> lock(resolve_mu_);
+    const auto it = resolve_memo_.find(key);
+    if (it != resolve_memo_.end()) return it->second;
+  }
+  auto r = std::make_shared<ResolvedItem>();
+  std::string error;
+  ScenarioSpec spec;
+  if (!parse_scenario(item.scenario_text, spec, error)) {
+    r->error = "bad scenario: " + error;
+  } else if (const std::string invalid = spec.validate(); !invalid.empty()) {
+    r->error = "bad scenario: " + invalid;
+  } else if (!schemes::parse_scheme_id(item.scheme_id, r->scheme)) {
+    r->error = "unknown scheme '" + item.scheme_id + "'";
+  } else {
+    r->ok = true;
+    r->spec = spec;
+    const SystemConfig sys = spec.system_config();
+    r->runner_key = config_fingerprint(sys, spec.scale);
+    r->combos = spec.combos();
+    r->fps.reserve(r->combos.size());
+    for (const trace::WorkloadCombo& combo : r->combos) {
+      r->fps.push_back(run_fingerprint(sys, spec.scale, combo, r->scheme));
+    }
+  }
+  const std::lock_guard<std::mutex> lock(resolve_mu_);
+  if (resolve_memo_.size() >= kResolveMemoCap) resolve_memo_.clear();
+  return resolve_memo_.emplace(key, std::move(r)).first->second;
+}
+
+CampaignServer::TrackedPart CampaignServer::build_part(const BatchItem& item,
+                                                       bool allow_refresh) {
+  TrackedPart part;
+  const std::shared_ptr<const ResolvedItem> r = resolve_item(item);
+  if (!r->ok) {
+    part.status = AnswerStatus::kError;
+    part.error = r->error;
+    return part;
+  }
+  std::vector<std::size_t> missing;
+  bool refreshed = false;
+  part.cells.reserve(r->combos.size());
+  for (std::size_t i = 0; i < r->combos.size(); ++i) {
+    TrackedCell cell;
+    cell.combo = r->combos[i].name;
+    cell.fp = r->fps[i];
+    bool hit = index_.lookup(cell.fp, cell.ipc);
+    if (!hit && allow_refresh && !refreshed) {
+      // The ring path does not ride the poller's per-pass refresh, so a
+      // first miss buys one epoch check — another process may have
+      // published this cell since the last scan.
+      refreshed = true;
+      if (index_.maybe_refresh()) hit = index_.lookup(cell.fp, cell.ipc);
+    }
+    if (hit) {
+      // Hit path: answered from the in-memory index — no file read and
+      // no journal append.  The cache entry is the durable record: a
+      // crash before the answer publishes re-ingests the query, which
+      // hits the index again and reproduces the identical bytes.
+      cell.resolved = true;
+      cells_from_cache_.fetch_add(1, std::memory_order_relaxed);
+    } else if (backlog_.state(cell.fp) == BacklogScheduler::State::kUnknown) {
+      missing.push_back(i);
+    }
+    part.cells.push_back(std::move(cell));
+  }
+  if (!missing.empty()) {
+    ExperimentRunner& runner = runner_for(r->spec, r->runner_key);
+    const std::string scheme_id = r->scheme.id();
+    std::vector<BacklogCell> fresh;
+    fresh.reserve(missing.size());
+    for (const std::size_t i : missing) {
+      BacklogCell cell;
+      cell.fp = r->fps[i];
+      cell.combo = r->combos[i].name;
+      cell.scheme = scheme_id;
+      cell.label = cell.combo + "/" + scheme_id;
+      cell.runner_key = r->runner_key;
+      {
+        // Workers resolve cells through work_, so it must be populated
+        // before any cell of this part can be claimed.
+        const std::lock_guard<std::mutex> lock(state_mu_);
+        work_.emplace(cell.fp, WorkItem{r->combos[i], r->scheme, &runner});
+      }
+      fresh.push_back(std::move(cell));
+    }
+    if (!backlog_.admit(fresh, nullptr)) {
+      // Admission control, part-granular: nothing was enqueued and the
+      // part keeps NO cells (not even its hits) — a shed part is whole.
+      TrackedPart shed;
+      shed.status = AnswerStatus::kRetryAfter;
+      shed.retry_after_ms = cfg_.retry_after_ms;
+      return shed;
+    }
+    wake_cv_.notify_all();
+  }
+  return part;
+}
+
+bool CampaignServer::collect_answer(const TrackedQuery& tq,
+                                    ServiceBatchAnswer& out) {
+  out.id = tq.id;
+  out.parts.clear();
+  out.parts.reserve(tq.parts.size());
+  for (const TrackedPart& part : tq.parts) {
+    BatchPart bp;
+    bp.status = part.status;
+    bp.error = part.error;
+    bp.retry_after_ms = part.retry_after_ms;
+    if (part.status == AnswerStatus::kOk) {
+      for (const TrackedCell& cell : part.cells) {
+        if (cell.resolved) {
+          bp.cells.push_back(AnswerCell{cell.combo, cell.ipc});
+          continue;
+        }
+        switch (backlog_.state(cell.fp)) {
+          case BacklogScheduler::State::kDone: {
+            AnswerCell ac;
+            ac.combo = cell.combo;
+            if (!backlog_.result(cell.fp, ac.ipc)) return false;
+            bp.cells.push_back(std::move(ac));
+            break;
+          }
+          case BacklogScheduler::State::kPoisoned:
+            // Graceful degradation: the part still answers — healthy
+            // cells are included, the poisoned ones are named.
+            bp.status = AnswerStatus::kError;
+            if (!bp.error.empty()) bp.error += "; ";
+            bp.error += backlog_.poison_error(cell.fp);
+            break;
+          default:
+            return false;  // still pending or leased
+        }
+      }
+    }
+    out.parts.push_back(std::move(bp));
+  }
+  return true;
+}
+
+bool CampaignServer::publish_text(const std::string& id,
+                                  const std::string& text) {
   // Same atomic-publish discipline as the stores — plus a read-back
   // verify, because a torn answer renamed into place (and the submit
   // file then retired) would be a permanently corrupt result.  On
   // failure the submit file stays and a later poll retries under a
   // fresh temp name.
   const std::string tmp = strf(
-      "%s/%s.answer.tmp.%ld.%llu", answer_dir(cfg_.root).c_str(),
-      answer.id.c_str(), static_cast<long>(::getpid()),
+      "%s/%s.answer.tmp.%ld.%llu", answer_dir(cfg_.root).c_str(), id.c_str(),
+      static_cast<long>(::getpid()),
       static_cast<unsigned long long>(
           seq_.fetch_add(1, std::memory_order_relaxed)));
-  if (!publish_verified(*env_, tmp, answer_path(cfg_.root, answer.id),
-                        text)) {
+  if (!publish_verified(*env_, tmp, answer_path(cfg_.root, id), text)) {
     publish_failures_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   return true;
 }
 
-bool CampaignServer::answer_and_retire(const ServiceAnswer& answer) {
-  if (!publish_answer(answer)) return false;  // submit stays — retried
-  env_->remove(query_path(cfg_.root, answer.id));
-  const std::lock_guard<std::mutex> lock(state_mu_);
-  answered_[answer.id] = true;
+bool CampaignServer::finish_tracked(const TrackedQuery& tq,
+                                    const ServiceBatchAnswer& answer) {
+  std::string text;
+  if (tq.batch) {
+    text = encode_batch_answer(answer);
+  } else {
+    // v1 queries answer v1 bytes, byte-identical to the pre-batch
+    // server (the compat pin in tests/sim/service_wire_test.cpp).
+    ServiceAnswer v1;
+    v1.id = answer.id;
+    if (!answer.parts.empty()) {
+      const BatchPart& part = answer.parts.front();
+      v1.status = part.status;
+      v1.error = part.error;
+      v1.retry_after_ms = part.retry_after_ms;
+      v1.cells = part.cells;
+    }
+    text = encode_answer(v1);
+  }
+  const bool need_file = tq.ring == nullptr || tq.ring->publish;
+  if (need_file && !publish_text(tq.id, text)) return false;
+  if (tq.ring != nullptr) {
+    tq.ring->answer = answer;
+    tq.ring->complete();
+  } else {
+    // Only AFTER a successful publish is the submit file removed — the
+    // crash contract.
+    env_->remove(query_path(cfg_.root, tq.id));
+  }
+  if (need_file) {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    answered_[tq.id] = true;
+  }
   return true;
 }
 
 std::size_t CampaignServer::ingest() {
+  const std::string sdir = submit_dir(cfg_.root);
+  // Epoch-gated poller (ISSUE 10): every submit publish renames into
+  // the directory, so an unchanged-and-settled signature means no new
+  // queries — the pass costs one stat, not a listing (the racy-mtime
+  // rule in common/fsepoch.hpp keeps same-tick publishes safe).  A
+  // failed publish or read forces the next pass through (the retry
+  // does not change the directory).
+  const DirEpoch now = dir_epoch(sdir);
+  if (!submit_force_rescan_ && epoch_unchanged(now, submit_epoch_)) {
+    submit_scans_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  submit_force_rescan_ = false;
+  submit_epoch_ = now;
+
   std::size_t progress = 0;
-  for (const std::string& name : env_->list_dir(submit_dir(cfg_.root))) {
+  for (const std::string& name : env_->list_dir(sdir)) {
     if (name.size() <= 6 || name.rfind(".query") != name.size() - 6) {
       continue;  // temp files mid-publish, strays
     }
@@ -119,7 +382,10 @@ std::size_t CampaignServer::ingest() {
     }
 
     std::vector<std::byte> raw;
-    if (!env_->read_file(query_path(cfg_.root, id), raw)) continue;
+    if (!env_->read_file(query_path(cfg_.root, id), raw)) {
+      submit_force_rescan_ = true;  // transient read fault — retry
+      continue;
+    }
     const std::string text(reinterpret_cast<const char*>(raw.data()),
                            raw.size());
 
@@ -128,87 +394,93 @@ std::size_t CampaignServer::ingest() {
       a.id = id;
       a.status = AnswerStatus::kError;
       a.error = why;
-      if (answer_and_retire(a)) {
-        queries_rejected_.fetch_add(1, std::memory_order_relaxed);
-        queries_answered_.fetch_add(1, std::memory_order_relaxed);
-        ++progress;
+      if (!publish_text(id, encode_answer(a))) {
+        submit_force_rescan_ = true;
+        return;
       }
+      env_->remove(query_path(cfg_.root, id));
+      {
+        const std::lock_guard<std::mutex> lock(state_mu_);
+        answered_[id] = true;
+      }
+      queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+      queries_answered_.fetch_add(1, std::memory_order_relaxed);
+      ++progress;
     };
-
-    ServiceQuery query;
-    std::string error;
-    if (!parse_query(text, query, error)) {
-      reject(error);
-      continue;
-    }
-    if (query.id != id) {
-      reject(strf("query id '%s' does not match file name '%s'",
-                  query.id.c_str(), id.c_str()));
-      continue;
-    }
-    ScenarioSpec spec;
-    if (!parse_scenario(query.scenario_text, spec, error)) {
-      reject("bad scenario: " + error);
-      continue;
-    }
-    if (const std::string invalid = spec.validate(); !invalid.empty()) {
-      reject("bad scenario: " + invalid);
-      continue;
-    }
-    schemes::SchemeSpec scheme;
-    if (!schemes::parse_scheme_id(query.scheme_id, scheme)) {
-      reject("unknown scheme '" + query.scheme_id + "'");
-      continue;
-    }
-
-    const SystemConfig sys = spec.system_config();
-    const std::uint64_t runner_key = config_fingerprint(sys, spec.scale);
-    ExperimentRunner& runner = runner_for(spec, runner_key);
-    const std::vector<trace::WorkloadCombo> combos = spec.combos();
 
     TrackedQuery tq;
     tq.id = id;
-    std::vector<BacklogCell> missing;
-    for (const trace::WorkloadCombo& combo : combos) {
-      BacklogCell cell;
-      cell.fp = run_fingerprint(sys, spec.scale, combo, scheme);
-      cell.label = combo.name + "/" + scheme.id();
-      cell.combo = combo.name;
-      cell.scheme = scheme.id();
-      cell.runner_key = runner_key;
-      tq.cells.emplace_back(combo.name, cell.fp);
-      {
-        // Workers resolve cells through work_, so it must be populated
-        // before any cell of this query can be claimed.
-        const std::lock_guard<std::mutex> lock(state_mu_);
-        work_.emplace(cell.fp, WorkItem{combo, scheme, &runner});
+    std::vector<BatchItem> items;
+    if (is_batch_query(text)) {
+      ServiceBatchQuery bq;
+      std::string error;
+      if (!parse_batch_query(text, bq, error)) {
+        // A malformed batch is rejected wholesale with a v1 error
+        // answer (try_poll_batch folds it into one error part).
+        reject(error);
+        continue;
       }
-      if (backlog_.state(cell.fp) != BacklogScheduler::State::kUnknown) {
-        continue;  // deduplicated — some earlier query owns this cell
+      if (bq.id != id) {
+        reject(strf("query id '%s' does not match file name '%s'",
+                    bq.id.c_str(), id.c_str()));
+        continue;
       }
-      std::vector<double> ipc;
-      if (runner.cached_ipc(combo, scheme, ipc)) {
-        // Hit path: answered from the shared cache, no simulation, and
-        // journaled so a restart replays it identically.
-        backlog_.inject_done(cell, ipc);
-        cells_from_cache_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        missing.push_back(std::move(cell));
+      tq.batch = true;
+      items = std::move(bq.items);
+    } else {
+      ServiceQuery query;
+      std::string error;
+      if (!parse_query(text, query, error)) {
+        reject(error);
+        continue;
       }
+      if (query.id != id) {
+        reject(strf("query id '%s' does not match file name '%s'",
+                    query.id.c_str(), id.c_str()));
+        continue;
+      }
+      items.push_back(BatchItem{query.scenario_text, query.scheme_id});
     }
 
-    if (!backlog_.admit(missing, nullptr)) {
-      // Admission control: nothing was enqueued; tell the client when
-      // to come back instead of growing the backlog without bound.
-      ServiceAnswer a;
-      a.id = id;
-      a.status = AnswerStatus::kRetryAfter;
-      a.retry_after_ms = cfg_.retry_after_ms;
-      if (answer_and_retire(a)) {
-        queries_shed_.fetch_add(1, std::memory_order_relaxed);
-        queries_answered_.fetch_add(1, std::memory_order_relaxed);
-        ++progress;
+    tq.parts.reserve(items.size());
+    for (const BatchItem& item : items) {
+      tq.parts.push_back(build_part(item, false));
+    }
+    parts_total_.fetch_add(items.size(), std::memory_order_relaxed);
+    for (const TrackedPart& part : tq.parts) {
+      if (part.status == AnswerStatus::kError) {
+        parts_rejected_.fetch_add(1, std::memory_order_relaxed);
+      } else if (part.status == AnswerStatus::kRetryAfter) {
+        parts_shed_.fetch_add(1, std::memory_order_relaxed);
       }
+    }
+    if (tq.batch) batches_ingested_.fetch_add(1, std::memory_order_relaxed);
+
+    // Warm queries (and fully rejected/shed ones) answer right here at
+    // ingest — no tracking pass, no extra poll of latency.
+    ServiceBatchAnswer a;
+    if (collect_answer(tq, a)) {
+      if (!finish_tracked(tq, a)) {
+        submit_force_rescan_ = true;  // publish failed; retry next pass
+        continue;
+      }
+      if (!tq.batch) {
+        switch (tq.parts.front().status) {
+          case AnswerStatus::kError:
+            queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case AnswerStatus::kRetryAfter:
+            queries_shed_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            queries_ingested_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      } else {
+        queries_ingested_.fetch_add(1, std::memory_order_relaxed);
+      }
+      queries_answered_.fetch_add(1, std::memory_order_relaxed);
+      ++progress;
       continue;
     }
     {
@@ -268,40 +540,11 @@ std::size_t CampaignServer::publish() {
   }
   std::size_t progress = 0;
   for (const TrackedQuery& tq : snapshot) {
-    ServiceAnswer a;
-    a.id = tq.id;
-    a.status = AnswerStatus::kOk;
-    bool ready = true;
-    for (const auto& [combo, fp] : tq.cells) {
-      switch (backlog_.state(fp)) {
-        case BacklogScheduler::State::kDone: {
-          AnswerCell cell;
-          cell.combo = combo;
-          const bool ok = backlog_.result(fp, cell.ipc);
-          ready = ready && ok;
-          a.cells.push_back(std::move(cell));
-          break;
-        }
-        case BacklogScheduler::State::kPoisoned: {
-          // Graceful degradation: the query still answers — the healthy
-          // cells are included, the poisoned ones are named.
-          a.status = AnswerStatus::kError;
-          if (!a.error.empty()) a.error += "; ";
-          a.error += backlog_.poison_error(fp);
-          break;
-        }
-        default:
-          ready = false;
-          break;
-      }
-      if (!ready) break;
-    }
-    if (!ready) continue;
-    if (!publish_answer(a)) continue;  // retried next pass
-    env_->remove(query_path(cfg_.root, tq.id));
+    ServiceBatchAnswer a;
+    if (!collect_answer(tq, a)) continue;
+    if (!finish_tracked(tq, a)) continue;  // retried next pass
     {
       const std::lock_guard<std::mutex> lock(state_mu_);
-      answered_[tq.id] = true;
       tracked_.erase(tq.id);
     }
     queries_answered_.fetch_add(1, std::memory_order_relaxed);
@@ -311,6 +554,9 @@ std::size_t CampaignServer::publish() {
 }
 
 std::size_t CampaignServer::poll_once() {
+  // One stat per pass keeps the index fresh against other processes'
+  // publishes; a rescan only happens when the epoch actually moved.
+  (void)index_.maybe_refresh();
   std::size_t progress = 0;
   progress += ingest();
   progress += supervise();
@@ -326,7 +572,7 @@ std::size_t CampaignServer::serve(std::size_t idle_exit_polls,
     const std::size_t progress = poll_once();
     ++passes;
     bool is_idle = progress == 0 && backlog_.backlog() == 0 &&
-                   lease_.live() == 0;
+                   lease_.live() == 0 && ring_.size_approx() == 0;
     if (is_idle) {
       const std::lock_guard<std::mutex> lock(state_mu_);
       is_idle = tracked_.empty();
@@ -340,6 +586,104 @@ std::size_t CampaignServer::serve(std::size_t idle_exit_polls,
         std::chrono::milliseconds(poll_ms > 0 ? poll_ms : 1));
   }
   return passes;
+}
+
+bool CampaignServer::ring_submit(RingOp* op) {
+  if (!ring_.try_push(op)) return false;
+  ring_pushes_.fetch_add(1, std::memory_order_seq_cst);
+  // Dekker pairing with ring_loop, via the seq_cst total order (no
+  // standalone fences: TSan cannot model atomic_thread_fence): either
+  // this load sees the drain parked (and wakes it), or the drain's
+  // pre-wait seq_cst load of ring_pushes_ sees our increment and the
+  // wait returns immediately.
+  if (drain_parked_.load(std::memory_order_seq_cst)) {
+    ring_pushes_.notify_one();
+  }
+  return true;
+}
+
+void CampaignServer::ring_loop(const std::stop_token& stop) {
+  unsigned idle = 0;
+  while (!stop.stop_requested()) {
+    if (RingOp* op = ring_.try_pop()) {
+      idle = 0;
+      handle_ring_op(op);
+      continue;
+    }
+    // Graduated backoff: a short yield-spin keeps back-to-back ops in
+    // the microsecond regime; a quiet ring parks on a futex so an idle
+    // server burns no CPU.
+    if (++idle < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    const std::uint64_t seen = ring_pushes_.load(std::memory_order_seq_cst);
+    drain_parked_.store(true, std::memory_order_seq_cst);
+    RingOp* op = ring_.try_pop();
+    if (op != nullptr || stop.stop_requested()) {
+      drain_parked_.store(false, std::memory_order_relaxed);
+      idle = 0;
+      if (op != nullptr) handle_ring_op(op);
+      continue;
+    }
+    // seq_cst wait load closes the Dekker race: a producer that read
+    // drain_parked_==false ordered its push-count increment before our
+    // parked store, so this load observes it and returns without
+    // blocking.  Reading the increment also acquires the pushed op.
+    ring_pushes_.wait(seen, std::memory_order_seq_cst);
+    drain_parked_.store(false, std::memory_order_relaxed);
+    idle = 0;
+  }
+}
+
+void CampaignServer::handle_ring_op(RingOp* op) {
+  ring_submits_.fetch_add(1, std::memory_order_relaxed);
+  if (op->query.items.empty() || op->query.items.size() > kMaxBatchItems) {
+    fail_ring_op(op, strf("batch must carry 1..%zu items",
+                          kMaxBatchItems));
+    return;
+  }
+  if (op->publish && !valid_query_id(op->query.id)) {
+    fail_ring_op(op, "bad id: publish requires a file-name-safe query id");
+    return;
+  }
+  TrackedQuery tq;
+  tq.id = op->query.id;
+  tq.batch = true;
+  tq.ring = op;
+  tq.parts.reserve(op->query.items.size());
+  for (const BatchItem& item : op->query.items) {
+    tq.parts.push_back(build_part(item, /*allow_refresh=*/true));
+  }
+  parts_total_.fetch_add(op->query.items.size(), std::memory_order_relaxed);
+  for (const TrackedPart& part : tq.parts) {
+    if (part.status == AnswerStatus::kError) {
+      parts_rejected_.fetch_add(1, std::memory_order_relaxed);
+    } else if (part.status == AnswerStatus::kRetryAfter) {
+      parts_shed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // The warm path: everything resolved from the index — complete in
+  // memory right here, microseconds after the push.
+  ServiceBatchAnswer a;
+  if (collect_answer(tq, a)) {
+    if (finish_tracked(tq, a)) {
+      ring_inline_answers_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // op->publish answer file failed (fault plan): fall through to
+    // tracking — the publish() pass retries under a fresh temp.
+  }
+  {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    if (tracked_.count(tq.id) != 0) {
+      fail_ring_op(op, "duplicate query id already in flight");
+      return;
+    }
+    tracked_[tq.id] = std::move(tq);
+  }
+  ring_backlogged_.fetch_add(1, std::memory_order_relaxed);
+  wake_cv_.notify_all();
 }
 
 void CampaignServer::worker_loop(const std::stop_token& stop,
@@ -391,6 +735,8 @@ void CampaignServer::run_cell(unsigned wid, const BacklogCell& cell) {
       // mid-run may land after its replacement — only the first sticks.
       if (backlog_.complete(cell.fp, r.ipc)) {
         cells_simulated_.fetch_add(1, std::memory_order_relaxed);
+        // Keep the index warm without waiting for an epoch rescan.
+        index_.insert(cell.fp, r.ipc);
       }
       return;
     } catch (const fault::TransientError& e) {
@@ -429,6 +775,20 @@ CampaignServer::Stats CampaignServer::stats() const {
   s.journal_stale_reaped = backlog_.journal_stale_reaped();
   s.journal_discarded_bytes = backlog_.journal_discarded_bytes();
   s.journal_append_failures = backlog_.journal_append_failures();
+  s.batches_ingested = batches_ingested_.load(std::memory_order_relaxed);
+  s.parts_total = parts_total_.load(std::memory_order_relaxed);
+  s.parts_rejected = parts_rejected_.load(std::memory_order_relaxed);
+  s.parts_shed = parts_shed_.load(std::memory_order_relaxed);
+  s.ring_submits = ring_submits_.load(std::memory_order_relaxed);
+  s.ring_inline_answers =
+      ring_inline_answers_.load(std::memory_order_relaxed);
+  s.ring_backlogged = ring_backlogged_.load(std::memory_order_relaxed);
+  s.answers_reaped = answers_reaped_.load(std::memory_order_relaxed);
+  s.answer_temps_reaped =
+      answer_temps_reaped_.load(std::memory_order_relaxed);
+  s.submit_scans_skipped =
+      submit_scans_skipped_.load(std::memory_order_relaxed);
+  s.index = index_.counters();
   {
     const std::lock_guard<std::mutex> lock(runners_mu_);
     if (!runners_.empty()) {

@@ -16,6 +16,8 @@ namespace {
 
 constexpr const char* kQueryMagic = "query-v1";
 constexpr const char* kAnswerMagic = "answer-v1";
+constexpr const char* kBatchQueryMagic = "query-v2";
+constexpr const char* kBatchAnswerMagic = "answer-v2";
 
 const char* status_name(AnswerStatus status) {
   switch (status) {
@@ -226,6 +228,249 @@ bool parse_answer(const std::string& text, ServiceAnswer& out,
   return true;
 }
 
+bool is_batch_query(const std::string& text) {
+  const std::size_t magic_len = std::strlen(kBatchQueryMagic);
+  return text.size() > magic_len &&
+         text.compare(0, magic_len, kBatchQueryMagic) == 0 &&
+         text[magic_len] == '\n';
+}
+
+std::string encode_batch_query(const ServiceBatchQuery& query) {
+  std::string out = kBatchQueryMagic;
+  out += "\nid=" + query.id;
+  for (const BatchItem& item : query.items) {
+    out += "\nquery=" + item.scheme_id + "|" + item.scenario_text;
+  }
+  out += '\n';
+  return out;
+}
+
+bool parse_batch_query(const std::string& text, ServiceBatchQuery& out,
+                       std::string& error) {
+  ServiceBatchQuery q;
+  bool saw_magic = false;
+  for (const std::string& line : split(text, '\n')) {
+    if (line.empty()) continue;
+    if (!saw_magic) {
+      if (line != kBatchQueryMagic) {
+        error = strf("batch query does not start with '%s'",
+                     kBatchQueryMagic);
+        return false;
+      }
+      saw_magic = true;
+      continue;
+    }
+    std::string key;
+    std::string value;
+    if (!split_kv(line, key, value)) {
+      error = "bad batch query line '" + line + "'";
+      return false;
+    }
+    if (key == "id") {
+      q.id = value;
+    } else if (key == "query") {
+      const std::size_t sep = value.find('|');
+      if (sep == std::string::npos || sep == 0 ||
+          sep + 1 == value.size()) {
+        error = "bad batch item '" + line +
+                "' (want query=<scheme>|<scenario>)";
+        return false;
+      }
+      if (q.items.size() >= kMaxBatchItems) {
+        error = strf("batch exceeds %zu items", kMaxBatchItems);
+        return false;
+      }
+      BatchItem item;
+      item.scheme_id = value.substr(0, sep);
+      item.scenario_text = value.substr(sep + 1);
+      q.items.push_back(std::move(item));
+    } else {
+      error = "unknown batch query key '" + key + "'";
+      return false;
+    }
+  }
+  if (!saw_magic) {
+    error = "empty batch query";
+    return false;
+  }
+  if (!valid_query_id(q.id)) {
+    error = "bad query id '" + q.id + "' ([A-Za-z0-9._-]+, max 128)";
+    return false;
+  }
+  if (q.items.empty()) {
+    error = "batch query has no query= lines";
+    return false;
+  }
+  out = std::move(q);
+  return true;
+}
+
+std::string encode_batch_answer(const ServiceBatchAnswer& answer) {
+  std::string out = kBatchAnswerMagic;
+  out += "\nid=" + answer.id;
+  out += strf("\nparts=%zu", answer.parts.size());
+  for (std::size_t i = 0; i < answer.parts.size(); ++i) {
+    const BatchPart& part = answer.parts[i];
+    out += strf("\npart=%zu status=%s", i, status_name(part.status));
+    if (part.status == AnswerStatus::kError) {
+      out += " error=" + part.error;
+    }
+    if (part.status == AnswerStatus::kRetryAfter) {
+      out += strf(" retry-after-ms=%llu",
+                  static_cast<unsigned long long>(part.retry_after_ms));
+    }
+  }
+  for (std::size_t i = 0; i < answer.parts.size(); ++i) {
+    for (const AnswerCell& cell : answer.parts[i].cells) {
+      out += strf("\ncell=%zu/", i);
+      out += cell.combo + " ipc=";
+      for (std::size_t v = 0; v < cell.ipc.size(); ++v) {
+        out += strf(v == 0 ? "%.17g" : ",%.17g", cell.ipc[v]);
+      }
+    }
+  }
+  out += '\n';
+  return out;
+}
+
+bool parse_batch_answer(const std::string& text, ServiceBatchAnswer& out,
+                        std::string& error) {
+  ServiceBatchAnswer a;
+  bool saw_magic = false;
+  bool saw_parts = false;
+  std::vector<bool> part_seen;
+  for (const std::string& line : split(text, '\n')) {
+    if (line.empty()) continue;
+    if (!saw_magic) {
+      if (line != kBatchAnswerMagic) {
+        error = strf("batch answer does not start with '%s'",
+                     kBatchAnswerMagic);
+        return false;
+      }
+      saw_magic = true;
+      continue;
+    }
+    std::string key;
+    std::string value;
+    if (!split_kv(line, key, value)) {
+      error = "bad batch answer line '" + line + "'";
+      return false;
+    }
+    if (key == "id") {
+      a.id = value;
+    } else if (key == "parts") {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0 || n > kMaxBatchItems) {
+        error = "bad parts count '" + value + "'";
+        return false;
+      }
+      a.parts.resize(static_cast<std::size_t>(n));
+      part_seen.assign(a.parts.size(), false);
+      saw_parts = true;
+    } else if (key == "part") {
+      // "part=<i> status=<s> [error=...|retry-after-ms=N]"; the status
+      // token carries the whole rest of the line for error text.
+      if (!saw_parts) {
+        error = "part= line before parts=";
+        return false;
+      }
+      char* end = nullptr;
+      const unsigned long long i = std::strtoull(value.c_str(), &end, 10);
+      if (end == nullptr || *end != ' ' || i >= a.parts.size()) {
+        error = "bad part line '" + line + "'";
+        return false;
+      }
+      if (part_seen[static_cast<std::size_t>(i)]) {
+        error = strf("duplicate part %llu", i);
+        return false;
+      }
+      part_seen[static_cast<std::size_t>(i)] = true;
+      BatchPart& part = a.parts[static_cast<std::size_t>(i)];
+      const std::string rest(end + 1);
+      std::string skey;
+      std::string sval;
+      if (!split_kv(rest, skey, sval) || skey != "status") {
+        error = "bad part line '" + line + "'";
+        return false;
+      }
+      // The status value runs to the first space; what follows is the
+      // optional error=/retry-after-ms= payload.
+      const std::size_t sp = sval.find(' ');
+      const std::string status_tok =
+          sp == std::string::npos ? sval : sval.substr(0, sp);
+      const std::string payload =
+          sp == std::string::npos ? std::string() : sval.substr(sp + 1);
+      if (!status_from_name(status_tok, part.status)) {
+        error = "unknown status '" + status_tok + "'";
+        return false;
+      }
+      if (part.status == AnswerStatus::kError) {
+        std::string pkey;
+        std::string pval;
+        if (!split_kv(payload, pkey, pval) || pkey != "error") {
+          error = "error part without error= in '" + line + "'";
+          return false;
+        }
+        part.error = pval;
+      } else if (part.status == AnswerStatus::kRetryAfter) {
+        std::string pkey;
+        std::string pval;
+        char* pend = nullptr;
+        if (!split_kv(payload, pkey, pval) || pkey != "retry-after-ms") {
+          error = "retry-after part without retry-after-ms= in '" + line +
+                  "'";
+          return false;
+        }
+        part.retry_after_ms = std::strtoull(pval.c_str(), &pend, 10);
+        if (pend == nullptr || *pend != '\0') {
+          error = "bad retry-after-ms '" + pval + "'";
+          return false;
+        }
+      } else if (!payload.empty()) {
+        error = "unexpected payload on ok part '" + line + "'";
+        return false;
+      }
+    } else if (key == "cell") {
+      if (!saw_parts) {
+        error = "cell= line before parts=";
+        return false;
+      }
+      char* end = nullptr;
+      const unsigned long long i = std::strtoull(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '/' || i >= a.parts.size()) {
+        error = "bad cell line '" + line + "'";
+        return false;
+      }
+      const std::string rest(end + 1);
+      const std::size_t sep = rest.find(" ipc=");
+      AnswerCell cell;
+      if (sep == std::string::npos || sep == 0 ||
+          !parse_ipc_list(rest.substr(sep + 5), cell.ipc)) {
+        error = "bad cell line '" + line + "'";
+        return false;
+      }
+      cell.combo = rest.substr(0, sep);
+      a.parts[static_cast<std::size_t>(i)].cells.push_back(std::move(cell));
+    } else {
+      error = "unknown batch answer key '" + key + "'";
+      return false;
+    }
+  }
+  if (!saw_magic || !saw_parts) {
+    error = saw_magic ? "batch answer is missing parts=" : "empty answer";
+    return false;
+  }
+  for (std::size_t i = 0; i < part_seen.size(); ++i) {
+    if (!part_seen[i]) {
+      error = strf("batch answer is missing part %zu", i);
+      return false;
+    }
+  }
+  out = std::move(a);
+  return true;
+}
+
 bool publish_verified(const fault::Env& env, const std::string& tmp,
                       const std::string& final_path,
                       const std::string& text) {
@@ -304,6 +549,75 @@ bool ServiceClient::wait(const std::string& id, ServiceAnswer& out,
                         std::chrono::milliseconds(timeout_ms);
   while (true) {
     if (try_poll(id, out)) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(poll_ms > 0 ? poll_ms : 1));
+  }
+}
+
+bool ServiceClient::submit_batch(const ServiceBatchQuery& query,
+                                 std::string* error) const {
+  if (!valid_query_id(query.id)) {
+    if (error != nullptr) {
+      *error = "bad query id '" + query.id + "' ([A-Za-z0-9._-]+, max 128)";
+    }
+    return false;
+  }
+  if (query.items.empty() || query.items.size() > kMaxBatchItems) {
+    if (error != nullptr) {
+      *error = strf("batch must carry 1..%zu items, got %zu",
+                    kMaxBatchItems, query.items.size());
+    }
+    return false;
+  }
+  const std::string text = encode_batch_query(query);
+  const std::string tmp =
+      strf("%s/%s.query.tmp.%ld.%llu", submit_dir(root_).c_str(),
+           query.id.c_str(), static_cast<long>(::getpid()),
+           static_cast<unsigned long long>(
+               seq_.fetch_add(1, std::memory_order_relaxed)));
+  if (!publish_verified(*env_, tmp, query_path(root_, query.id), text)) {
+    if (error != nullptr) *error = "failed to publish " + tmp;
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::try_poll_batch(const std::string& id,
+                                   ServiceBatchAnswer& out) const {
+  std::vector<std::byte> raw;
+  if (!env_->read_file(answer_path(root_, id), raw)) return false;
+  const std::string text(reinterpret_cast<const char*>(raw.data()),
+                         raw.size());
+  std::string error;
+  if (parse_batch_answer(text, out, error)) return true;
+  // A server that rejected the batch wholesale (unparseable file)
+  // answers plain answer-v1 status=error; fold either that or local bit
+  // rot into one error part so the client never spins.
+  ServiceAnswer v1;
+  std::string v1_error;
+  out = ServiceBatchAnswer{};
+  out.id = id;
+  out.parts.resize(1);
+  out.parts[0].status = AnswerStatus::kError;
+  if (parse_answer(text, v1, v1_error)) {
+    out.parts[0].status = v1.status;
+    out.parts[0].error = v1.error;
+    out.parts[0].retry_after_ms = v1.retry_after_ms;
+  } else {
+    out.parts[0].error = "unparseable answer: " + error;
+  }
+  return true;
+}
+
+bool ServiceClient::wait_batch(const std::string& id,
+                               ServiceBatchAnswer& out,
+                               std::uint64_t timeout_ms,
+                               std::uint64_t poll_ms) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    if (try_poll_batch(id, out)) return true;
     if (std::chrono::steady_clock::now() >= deadline) return false;
     std::this_thread::sleep_for(
         std::chrono::milliseconds(poll_ms > 0 ? poll_ms : 1));

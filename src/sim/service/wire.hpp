@@ -26,6 +26,29 @@
 // exactly — a resumed server's answers can be byte-compared ("diff")
 // against an uninterrupted run's.
 //
+// Batched sweep queries (ISSUE 10): a figure-style sweep used to cost
+// one wire round-trip per (scenario, scheme) point — 21 messages for a
+// fig9 column.  `query-v2` carries N scenario x scheme items in ONE
+// message and `answer-v2` answers them with PER-PART status, so
+// admission control can shed one overloaded part (whole-part, never a
+// partial cell list) while the rest of the batch proceeds:
+//
+//   query-v2
+//   id=<client-chosen id>
+//   query=<scheme id>|<ScenarioSpec line>   (one line per part, >= 1;
+//                                            '|' cannot appear in either)
+//
+//   answer-v2
+//   id=<query id>
+//   parts=<N>
+//   part=<i> status=ok | error error=<msg> | retry-after retry-after-ms=<n>
+//   cell=<i>/<combo name> ipc=<v>,<v>,...   (ok parts only, combo order)
+//
+// Part lines appear in index order 0..N-1, exactly once each; cell
+// lines follow, grouped by part.  A v1 client is untouched: `query-v1`
+// files still answer `answer-v1` byte-identically (the compat pin in
+// tests/sim/service_wire_test.cpp).
+//
 // Crash contract: the submit file is the durable record of an accepted
 // query — the server removes it only AFTER the answer is published, so
 // a server killed at any point re-ingests the query on restart and the
@@ -68,6 +91,36 @@ struct ServiceAnswer {
   std::vector<AnswerCell> cells;     ///< query's combos, in combo order
 };
 
+/// One scenario x scheme item of a v2 batch query.
+struct BatchItem {
+  std::string scenario_text;
+  std::string scheme_id;
+};
+
+/// Hard cap on items per batch — a figure sweep is ~21; anything past
+/// this is a malformed (or hostile) message, rejected at parse.
+inline constexpr std::size_t kMaxBatchItems = 1024;
+
+struct ServiceBatchQuery {
+  std::string id;
+  std::vector<BatchItem> items;
+};
+
+/// Per-part result of a batch: one item's whole answer.  Shed and error
+/// verdicts are part-granular — a part never carries a partial cell
+/// list.
+struct BatchPart {
+  AnswerStatus status = AnswerStatus::kOk;
+  std::string error;                 ///< status=error diagnostic
+  std::uint64_t retry_after_ms = 0;  ///< status=retry-after backoff hint
+  std::vector<AnswerCell> cells;     ///< item's combos, in combo order
+};
+
+struct ServiceBatchAnswer {
+  std::string id;
+  std::vector<BatchPart> parts;  ///< one per query item, in item order
+};
+
 /// Query ids become file names: one path component, no separators or
 /// shell surprises — [A-Za-z0-9._-]+, at most 128 chars.
 [[nodiscard]] bool valid_query_id(const std::string& id);
@@ -88,6 +141,21 @@ struct ServiceAnswer {
 [[nodiscard]] std::string encode_answer(const ServiceAnswer& answer);
 [[nodiscard]] bool parse_answer(const std::string& text, ServiceAnswer& out,
                                 std::string& error);
+
+/// True when `text` opens with the query-v2 magic (the server's format
+/// dispatch; cheap — looks at the first line only).
+[[nodiscard]] bool is_batch_query(const std::string& text);
+
+[[nodiscard]] std::string encode_batch_query(const ServiceBatchQuery& query);
+[[nodiscard]] bool parse_batch_query(const std::string& text,
+                                     ServiceBatchQuery& out,
+                                     std::string& error);
+
+[[nodiscard]] std::string encode_batch_answer(
+    const ServiceBatchAnswer& answer);
+[[nodiscard]] bool parse_batch_answer(const std::string& text,
+                                      ServiceBatchAnswer& out,
+                                      std::string& error);
 
 /// Verified atomic publish: writes `text` to `tmp`, reads it back, and
 /// only renames onto `final_path` when the bytes on disk are exactly
@@ -121,6 +189,22 @@ class ServiceClient {
   /// Polls every poll_ms until the answer lands or timeout_ms passes.
   bool wait(const std::string& id, ServiceAnswer& out,
             std::uint64_t timeout_ms, std::uint64_t poll_ms = 2) const;
+
+  /// Atomically publishes a batch (query-v2) file.  Same contract as
+  /// submit(): false on a bad id, an empty/oversized batch, or I/O
+  /// failure.
+  bool submit_batch(const ServiceBatchQuery& query,
+                    std::string* error = nullptr) const;
+
+  /// Batch counterpart of try_poll.  A published answer that parses as
+  /// neither answer-v2 nor answer-v1 (or a v1 error the server used to
+  /// reject a malformed batch wholesale) surfaces as a single
+  /// status=error part, so a batch client never spins on a mangled or
+  /// downgraded file.
+  bool try_poll_batch(const std::string& id, ServiceBatchAnswer& out) const;
+
+  bool wait_batch(const std::string& id, ServiceBatchAnswer& out,
+                  std::uint64_t timeout_ms, std::uint64_t poll_ms = 2) const;
 
  private:
   const fault::Env* env_;  ///< resolved at construction (fault seam)

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <thread>
@@ -371,6 +372,164 @@ TEST(CampaignServerTest, CorruptCacheEntryRecomputesAndHeals) {
   EXPECT_EQ(s.cells_simulated, 1u);
   EXPECT_TRUE(fs::exists(fs::path(cfg.cache_dir) / "quarantine"))
       << "the corrupt entry is quarantined, not deleted";
+}
+
+bool submit_batch(const std::string& root, const std::string& id,
+                  const std::vector<BatchItem>& items) {
+  ServiceClient client(root);
+  ServiceBatchQuery q;
+  q.id = id;
+  q.items = items;
+  std::string error;
+  const bool ok = client.submit_batch(q, &error);
+  EXPECT_TRUE(ok) << error;
+  return ok;
+}
+
+/// Batch counterpart of serve_until_answered.
+ServiceBatchAnswer serve_until_batch_answered(CampaignServer& server,
+                                              const std::string& root,
+                                              const std::string& id) {
+  ServiceClient client(root);
+  std::jthread serving(
+      [&server] { server.serve(/*idle_exit_polls=*/0, /*poll_ms=*/1); });
+  ServiceBatchAnswer answer;
+  const bool got = client.wait_batch(id, answer, /*timeout_ms=*/30'000);
+  server.request_stop();
+  serving.join();
+  EXPECT_TRUE(got) << "no batch answer for " << id << " within 30 s";
+  return answer;
+}
+
+TEST(CampaignServerBatchTest, MixedPartsAnswerPerPartStatuses) {
+  TempDir tmp("snug_service_batch_mixed");
+  const ServiceConfig cfg = small_config(tmp);
+  CampaignServer server(cfg);
+  // Part 1 is malformed (unknown scheme): it must answer status=error
+  // WITHOUT dragging the healthy parts down with it.
+  ASSERT_TRUE(submit_batch(cfg.root, "sweep",
+                           {{kScenarioA, "SNUG"},
+                            {kScenarioA, "NOPE"},
+                            {kScenarioB, "SNUG"}}));
+  const ServiceBatchAnswer a =
+      serve_until_batch_answered(server, cfg.root, "sweep");
+  ASSERT_EQ(a.parts.size(), 3u);
+  ASSERT_EQ(a.parts[0].status, AnswerStatus::kOk) << a.parts[0].error;
+  expect_cells_equal(a.parts[0].cells, direct_cells(kScenarioA, "SNUG"));
+  EXPECT_EQ(a.parts[1].status, AnswerStatus::kError);
+  EXPECT_NE(a.parts[1].error.find("NOPE"), std::string::npos)
+      << a.parts[1].error;
+  EXPECT_TRUE(a.parts[1].cells.empty());
+  ASSERT_EQ(a.parts[2].status, AnswerStatus::kOk) << a.parts[2].error;
+  expect_cells_equal(a.parts[2].cells, direct_cells(kScenarioB, "SNUG"));
+  // The batch's submit file retires exactly like a v1 query's.
+  EXPECT_FALSE(fs::exists(query_path(cfg.root, "sweep")));
+  const CampaignServer::Stats s = server.stats();
+  EXPECT_EQ(s.batches_ingested, 1u);
+  EXPECT_EQ(s.parts_total, 3u);
+  EXPECT_EQ(s.parts_rejected, 1u);
+  EXPECT_EQ(s.parts_shed, 0u);
+}
+
+TEST(CampaignServerBatchTest, AdmissionShedsWholePartsNotCells) {
+  TempDir tmp("snug_service_batch_shed");
+  // Every cell stalls 400 ms, so part 0's admission still holds the
+  // only backlog slot when part 1 asks.
+  fault::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(
+      fault::FaultPlan::parse("seed=2; stall@task:ms=400", plan, error))
+      << error;
+  fault::ScopedFaultPlan scoped(plan);
+
+  ServiceConfig cfg = small_config(tmp);
+  cfg.workers = 1;
+  cfg.max_backlog = 1;
+  cfg.retry_after_ms = 123;
+  CampaignServer server(cfg);
+  ASSERT_TRUE(submit_batch(cfg.root, "burst",
+                           {{kScenarioA, "SNUG"}, {kScenarioB, "SNUG"}}));
+  const ServiceBatchAnswer a =
+      serve_until_batch_answered(server, cfg.root, "burst");
+  ASSERT_EQ(a.parts.size(), 2u);
+  ASSERT_EQ(a.parts[0].status, AnswerStatus::kOk) << a.parts[0].error;
+  expect_cells_equal(a.parts[0].cells, direct_cells(kScenarioA, "SNUG"));
+  EXPECT_EQ(a.parts[1].status, AnswerStatus::kRetryAfter);
+  EXPECT_EQ(a.parts[1].retry_after_ms, 123u);
+  EXPECT_TRUE(a.parts[1].cells.empty())
+      << "a shed part is whole-part: no cells, not even warm hits";
+  EXPECT_EQ(server.stats().parts_shed, 1u);
+}
+
+TEST(CampaignServerBatchTest, V1ClientsStillGetByteIdenticalV1Answers) {
+  TempDir tmp("snug_service_batch_v1pin");
+  const ServiceConfig cfg = small_config(tmp);
+  CampaignServer server(cfg);
+  // One serving session answers a v1 client and a v2 client side by
+  // side: the format each gets back is decided per query, not per
+  // server.
+  ASSERT_TRUE(submit(cfg.root, "old", kScenarioA, "SNUG"));
+  ASSERT_TRUE(submit_batch(cfg.root, "new", {{kScenarioA, "SNUG"}}));
+  ServiceClient client(cfg.root);
+  ServiceAnswer a;
+  ServiceBatchAnswer b;
+  {
+    std::jthread serving(
+        [&server] { server.serve(/*idle_exit_polls=*/0, /*poll_ms=*/1); });
+    ASSERT_TRUE(client.wait("old", a, /*timeout_ms=*/30'000));
+    ASSERT_TRUE(client.wait_batch("new", b, /*timeout_ms=*/30'000));
+    server.request_stop();
+  }
+  ASSERT_EQ(a.status, AnswerStatus::kOk) << a.error;
+  ASSERT_EQ(b.parts.size(), 1u);
+  ASSERT_EQ(b.parts[0].status, AnswerStatus::kOk) << b.parts[0].error;
+  expect_cells_equal(b.parts[0].cells, a.cells);
+
+  // Compat pin: a v1 query's answer file still opens with the v1 magic
+  // and re-encodes byte-identically — a pre-batch client parses it.
+  std::ifstream in(answer_path(cfg.root, "old"), std::ios::binary);
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  ASSERT_EQ(raw.rfind("answer-v1\n", 0), 0u)
+      << "v1 queries must answer answer-v1, never v2: " << raw;
+  EXPECT_EQ(raw, encode_answer(a));
+
+  // And the v2 batch answered with the v2 magic.
+  std::ifstream in2(answer_path(cfg.root, "new"), std::ios::binary);
+  std::string raw2((std::istreambuf_iterator<char>(in2)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(raw2.rfind("answer-v2\n", 0), 0u) << raw2;
+}
+
+TEST(CampaignServerTest, OpenReapsAckedAnswersOverTheRetentionCap) {
+  TempDir tmp("snug_service_answer_gc");
+  const ServiceConfig cfg = small_config(tmp);
+  ServiceClient client(cfg.root);  // creates submit/ and answers/
+  // 260 acked answers (no submit file) + one still-awaiting-pickup
+  // answer whose submit file is live; the cap is kAnswerKeepCap (256).
+  for (int i = 0; i < 260; ++i) {
+    char id[16];
+    std::snprintf(id, sizeof id, "g%03d", i);
+    std::ofstream(answer_path(cfg.root, id), std::ios::binary)
+        << "answer-v1\nid=" << id << "\nstatus=ok\n";
+  }
+  std::ofstream(query_path(cfg.root, "g000"), std::ios::binary)
+      << "query-v1\nid=g000\nscenario=cores=4\nscheme=SNUG\n";
+
+  CampaignServer server(cfg);
+  std::size_t kept = 0;
+  for (const auto& e : fs::directory_iterator(answer_dir(cfg.root))) {
+    if (e.path().extension() == ".answer") ++kept;
+  }
+  EXPECT_EQ(kept, kAnswerKeepCap);
+  EXPECT_EQ(server.stats().answers_reaped, 4u);
+  // The oldest names go first — but never one a client still awaits.
+  EXPECT_TRUE(fs::exists(answer_path(cfg.root, "g000")))
+      << "a live submit file pins its answer";
+  EXPECT_FALSE(fs::exists(answer_path(cfg.root, "g001")));
+  EXPECT_FALSE(fs::exists(answer_path(cfg.root, "g004")));
+  EXPECT_TRUE(fs::exists(answer_path(cfg.root, "g005")));
+  EXPECT_TRUE(fs::exists(answer_path(cfg.root, "g259")));
 }
 
 }  // namespace

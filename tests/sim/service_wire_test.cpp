@@ -208,5 +208,175 @@ TEST(ServiceClientTest, RejectsBadIdsAndSurfacesUnparseableAnswers) {
   EXPECT_NE(out.error.find("unparseable answer"), std::string::npos);
 }
 
+TEST(ServiceWireBatch, BatchQueryRoundTripsAndDispatches) {
+  ServiceBatchQuery q;
+  q.id = "sweep-01";
+  q.items.push_back({"cores=4 workload=gzip+mesa+gzip+mesa", "SNUG"});
+  q.items.push_back({"cores=4 workload=paper", "CC(50%)"});
+  q.items.push_back({"cores=8 workload=paper", "PRIV"});
+  const std::string text = encode_batch_query(q);
+  EXPECT_TRUE(is_batch_query(text));
+  EXPECT_FALSE(is_batch_query(encode_query(
+      {"q1", "cores=4", "SNUG"})))
+      << "v1 queries must not dispatch to the batch parser";
+
+  ServiceBatchQuery back;
+  std::string error;
+  ASSERT_TRUE(parse_batch_query(text, back, error)) << error;
+  EXPECT_EQ(back.id, q.id);
+  ASSERT_EQ(back.items.size(), 3u);
+  for (std::size_t i = 0; i < back.items.size(); ++i) {
+    EXPECT_EQ(back.items[i].scenario_text, q.items[i].scenario_text) << i;
+    EXPECT_EQ(back.items[i].scheme_id, q.items[i].scheme_id) << i;
+  }
+}
+
+TEST(ServiceWireBatch, BatchQueryParseRejectsMalformedInput) {
+  ServiceBatchQuery out;
+  std::string error;
+  EXPECT_FALSE(parse_batch_query("", out, error));
+  EXPECT_FALSE(parse_batch_query("query-v1\nid=a\nquery=SNUG|cores=4",
+                                 out, error))
+      << "a v1 magic must not parse as a batch";
+  EXPECT_FALSE(parse_batch_query("query-v2\nid=a", out, error))
+      << "a batch with no items is malformed";
+  EXPECT_FALSE(parse_batch_query("query-v2\nid=a\nquery=no-separator",
+                                 out, error))
+      << "an item without '|' is malformed";
+  EXPECT_NE(error.find("<scheme>|<scenario>"), std::string::npos) << error;
+  EXPECT_FALSE(parse_batch_query("query-v2\nid=a\nquery=|cores=4", out,
+                                 error))
+      << "an empty scheme is malformed";
+  EXPECT_FALSE(parse_batch_query("query-v2\nid=a\nquery=SNUG|", out,
+                                 error))
+      << "an empty scenario is malformed";
+  EXPECT_FALSE(parse_batch_query(
+      "query-v2\nid=../up\nquery=SNUG|cores=4", out, error))
+      << "a traversal id must be rejected at parse";
+  EXPECT_FALSE(parse_batch_query(
+      "query-v2\nid=a\nquery=SNUG|cores=4\nbogus=1", out, error));
+  // The item cap is enforced at parse, not just at submit.
+  std::string huge = "query-v2\nid=a";
+  for (std::size_t i = 0; i <= kMaxBatchItems; ++i) {
+    huge += "\nquery=SNUG|cores=4";
+  }
+  EXPECT_FALSE(parse_batch_query(huge, out, error));
+  EXPECT_NE(error.find("exceeds"), std::string::npos) << error;
+}
+
+TEST(ServiceWireBatch, BatchAnswerRoundTripsMixedStatusesExactly) {
+  ServiceBatchAnswer a;
+  a.id = "sweep-02";
+  a.parts.resize(4);
+  a.parts[0].cells.push_back({"mixA", {1.0 / 3.0, 0.1234567890123456789}});
+  a.parts[0].cells.push_back({"mixB", {1e-300}});
+  a.parts[1].status = AnswerStatus::kError;
+  a.parts[1].error = "unknown scheme 'WAT'";
+  a.parts[2].status = AnswerStatus::kRetryAfter;
+  a.parts[2].retry_after_ms = 250;
+  a.parts[3].cells.push_back({"mixC", {3.0000000000000004}});
+
+  ServiceBatchAnswer back;
+  std::string error;
+  ASSERT_TRUE(parse_batch_answer(encode_batch_answer(a), back, error))
+      << error;
+  EXPECT_EQ(back.id, a.id);
+  ASSERT_EQ(back.parts.size(), 4u);
+  EXPECT_EQ(back.parts[0].status, AnswerStatus::kOk);
+  ASSERT_EQ(back.parts[0].cells.size(), 2u);
+  // Bit-exact: resumed batch answers are byte-diffed in the chaos soak.
+  EXPECT_EQ(back.parts[0].cells[0].ipc, a.parts[0].cells[0].ipc);
+  EXPECT_EQ(back.parts[0].cells[1].ipc, a.parts[0].cells[1].ipc);
+  EXPECT_EQ(back.parts[1].status, AnswerStatus::kError);
+  EXPECT_EQ(back.parts[1].error, a.parts[1].error);
+  EXPECT_EQ(back.parts[2].status, AnswerStatus::kRetryAfter);
+  EXPECT_EQ(back.parts[2].retry_after_ms, 250u);
+  ASSERT_EQ(back.parts[3].cells.size(), 1u);
+  EXPECT_EQ(back.parts[3].cells[0].combo, "mixC");
+  EXPECT_EQ(encode_batch_answer(back), encode_batch_answer(a));
+}
+
+TEST(ServiceWireBatch, BatchAnswerParseRejectsMalformedInput) {
+  ServiceBatchAnswer out;
+  std::string error;
+  EXPECT_FALSE(parse_batch_answer("", out, error));
+  EXPECT_FALSE(parse_batch_answer("answer-v2\nid=a", out, error))
+      << "missing parts= must be rejected";
+  EXPECT_FALSE(parse_batch_answer("answer-v2\nid=a\nparts=0", out, error));
+  EXPECT_FALSE(parse_batch_answer(
+      "answer-v2\nid=a\nparts=2\npart=0 status=ok", out, error))
+      << "a missing part line must be rejected";
+  EXPECT_NE(error.find("missing part 1"), std::string::npos) << error;
+  EXPECT_FALSE(parse_batch_answer(
+      "answer-v2\nid=a\nparts=1\npart=0 status=ok\npart=0 status=ok",
+      out, error))
+      << "a duplicate part line must be rejected";
+  EXPECT_FALSE(parse_batch_answer(
+      "answer-v2\nid=a\nparts=1\npart=1 status=ok", out, error))
+      << "an out-of-range part index must be rejected";
+  EXPECT_FALSE(parse_batch_answer(
+      "answer-v2\nid=a\nparts=1\npart=0 status=error", out, error))
+      << "status=error without error= must be rejected";
+  EXPECT_FALSE(parse_batch_answer(
+      "answer-v2\nid=a\nparts=1\npart=0 status=ok\ncell=0/m ipc=1,bad",
+      out, error));
+  EXPECT_FALSE(parse_batch_answer(
+      "answer-v2\nid=a\nparts=1\npart=0 status=ok\ncell=9/m ipc=1.0",
+      out, error))
+      << "a cell pointing past parts= must be rejected";
+}
+
+TEST(ServiceClientTest, BatchSubmitPollsAndFoldsV1Rejections) {
+  TempDir tmp("snug_service_wire_batch_client");
+  const std::string root = tmp.dir.string();
+  ServiceClient client(root);
+
+  ServiceBatchQuery q;
+  q.id = "b1";
+  q.items.push_back({"cores=4", "SNUG"});
+  q.items.push_back({"cores=4", "CC(50%)"});
+  std::string error;
+  ASSERT_TRUE(client.submit_batch(q, &error)) << error;
+  EXPECT_TRUE(fs::exists(query_path(root, "b1")));
+
+  ServiceBatchQuery oversized;
+  oversized.id = "b2";
+  EXPECT_FALSE(client.submit_batch(oversized, &error))
+      << "an empty batch must not submit";
+  oversized.items.assign(kMaxBatchItems + 1, {"cores=4", "SNUG"});
+  EXPECT_FALSE(client.submit_batch(oversized, &error));
+
+  ServiceBatchAnswer polled;
+  EXPECT_FALSE(client.try_poll_batch("b1", polled)) << "no answer yet";
+
+  // A server that rejected the batch wholesale publishes answer-v1
+  // status=error; the client folds it into one error part.
+  ServiceAnswer v1;
+  v1.id = "b1";
+  v1.status = AnswerStatus::kError;
+  v1.error = "unparseable query";
+  std::ofstream(answer_path(root, "b1"), std::ios::binary)
+      << encode_answer(v1);
+  ASSERT_TRUE(client.try_poll_batch("b1", polled));
+  ASSERT_EQ(polled.parts.size(), 1u);
+  EXPECT_EQ(polled.parts[0].status, AnswerStatus::kError);
+  EXPECT_EQ(polled.parts[0].error, "unparseable query");
+
+  // A real v2 answer parses through, and wait_batch resolves on it.
+  ServiceBatchAnswer a;
+  a.id = "b1";
+  a.parts.resize(2);
+  a.parts[0].cells.push_back({"mixA", {1.5}});
+  a.parts[1].status = AnswerStatus::kRetryAfter;
+  a.parts[1].retry_after_ms = 99;
+  std::ofstream(answer_path(root, "b1"),
+                std::ios::binary | std::ios::trunc)
+      << encode_batch_answer(a);
+  ASSERT_TRUE(client.wait_batch("b1", polled, /*timeout_ms=*/100));
+  ASSERT_EQ(polled.parts.size(), 2u);
+  EXPECT_EQ(polled.parts[0].cells[0].ipc, a.parts[0].cells[0].ipc);
+  EXPECT_EQ(polled.parts[1].retry_after_ms, 99u);
+}
+
 }  // namespace
 }  // namespace snug::sim::service
